@@ -1,0 +1,203 @@
+package connquery
+
+// Benchmarks regenerating the paper's evaluation, one per table/figure.
+// Each benchmark iteration executes one full COkNN query (or the figure's
+// specific variant) over the paper's workload at a reduced dataset scale so
+// `go test -bench=.` completes on a laptop; `cmd/connbench` runs the same
+// sweeps at arbitrary scale with tabular output, and EXPERIMENTS.md records
+// the paper-vs-measured comparison.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"connquery/internal/bench"
+	"connquery/internal/core"
+	"connquery/internal/dataset"
+	"connquery/internal/geom"
+)
+
+// benchScale keeps `go test -bench` runs tractable. connbench defaults to
+// 0.1 and supports 1.0 (the paper's cardinalities).
+const benchScale = 0.02
+
+var workloadCache = map[string]bench.Workload{}
+
+func workload(name string, ratio float64) bench.Workload {
+	key := fmt.Sprintf("%s/%g", name, ratio)
+	w, ok := workloadCache[key]
+	if !ok {
+		w = bench.BuildWorkload(name, benchScale, ratio, 2009)
+		workloadCache[key] = w
+	}
+	return w
+}
+
+func runQueries(b *testing.B, w bench.Workload, cfg bench.RunConfig) {
+	b.Helper()
+	cfg.Queries = 1
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		bench.Run(w, cfg)
+	}
+}
+
+// BenchmarkTable2Defaults runs the paper's default parameter cell
+// (CL, k = 5, ql = 4.5%, |P|/|O| = 1, no buffer) — Table 2's bold entries.
+func BenchmarkTable2Defaults(b *testing.B) {
+	runQueries(b, workload("CL", 1), bench.RunConfig{QL: 0.045, K: 5})
+}
+
+// BenchmarkFig09_QueryLength sweeps ql on CL with k = 5 (Figure 9a/9b).
+func BenchmarkFig09_QueryLength(b *testing.B) {
+	for _, ql := range bench.QLGrid {
+		b.Run(fmt.Sprintf("ql=%.1f%%", ql*100), func(b *testing.B) {
+			runQueries(b, workload("CL", 1), bench.RunConfig{QL: ql, K: 5})
+		})
+	}
+}
+
+// BenchmarkFig10_K sweeps k on CL with ql = 4.5% (Figure 10a/10b).
+func BenchmarkFig10_K(b *testing.B) {
+	for _, k := range bench.KGrid {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			runQueries(b, workload("CL", 1), bench.RunConfig{QL: 0.045, K: k})
+		})
+	}
+}
+
+// BenchmarkFig11_Ratio sweeps |P|/|O| on UL and ZL (Figure 11a-d).
+func BenchmarkFig11_Ratio(b *testing.B) {
+	for _, name := range []string{"UL", "ZL"} {
+		for _, ratio := range bench.RatioGrid {
+			b.Run(fmt.Sprintf("%s/ratio=%g", name, ratio), func(b *testing.B) {
+				runQueries(b, workload(name, ratio), bench.RunConfig{QL: 0.045, K: 5})
+			})
+		}
+	}
+}
+
+// BenchmarkFig12_Buffer sweeps the LRU buffer size on CL and UL
+// (Figure 12a-d).
+func BenchmarkFig12_Buffer(b *testing.B) {
+	for _, name := range []string{"CL", "UL"} {
+		for _, bs := range append([]float64{0}, bench.BufferGrid...) {
+			b.Run(fmt.Sprintf("%s/bs=%.0f%%", name, bs*100), func(b *testing.B) {
+				runQueries(b, workload(name, 1), bench.RunConfig{QL: 0.045, K: 5, BufferFrac: bs, WarmUp: 2})
+			})
+		}
+	}
+}
+
+// BenchmarkFig13_OneVsTwoTrees compares the unified-tree variant with the
+// default two-tree configuration (Figure 13a-f).
+func BenchmarkFig13_OneVsTwoTrees(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		oneTree bool
+	}{{"2T", false}, {"1T", true}} {
+		for _, name := range []string{"CL", "UL"} {
+			b.Run(fmt.Sprintf("%s/%s", mode.name, name), func(b *testing.B) {
+				runQueries(b, workload(name, 1), bench.RunConfig{QL: 0.045, K: 5, OneTree: mode.oneTree})
+			})
+		}
+	}
+}
+
+// Ablation benches (DESIGN.md §7): each design choice against its disabled
+// variant on the default cell.
+func benchAblation(b *testing.B, tuning core.Options) {
+	runQueries(b, workload("CL", 1), bench.RunConfig{QL: 0.045, K: 5, Tuning: tuning})
+}
+
+func BenchmarkAblationLemma1(b *testing.B) {
+	b.Run("on", func(b *testing.B) { benchAblation(b, core.Options{}) })
+	b.Run("off", func(b *testing.B) { benchAblation(b, core.Options{DisableLemma1: true}) })
+}
+
+func BenchmarkAblationLemma7(b *testing.B) {
+	b.Run("on", func(b *testing.B) { benchAblation(b, core.Options{}) })
+	b.Run("off", func(b *testing.B) { benchAblation(b, core.Options{DisableLemma7: true}) })
+}
+
+func BenchmarkAblationVGReuse(b *testing.B) {
+	b.Run("on", func(b *testing.B) { benchAblation(b, core.Options{}) })
+	b.Run("off", func(b *testing.B) { benchAblation(b, core.Options{DisableVGReuse: true}) })
+}
+
+func BenchmarkAblationSolver(b *testing.B) {
+	b.Run("quadratic", func(b *testing.B) { benchAblation(b, core.Options{}) })
+	b.Run("bisection", func(b *testing.B) { benchAblation(b, core.Options{UseBisectionSolver: true}) })
+}
+
+// BenchmarkPublicAPI_CONN measures a single CONN query end to end through
+// the public API on a mid-size database.
+func BenchmarkPublicAPI_CONN(b *testing.B) {
+	w := workload("CL", 1)
+	db, err := Open(w.Points, w.Obstacles)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	queries := make([]Segment, 64)
+	for i := range queries {
+		queries[i] = dataset.QuerySegment(rng, 0.045, w.Obstacles)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := db.CONN(queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObstructedDist measures pairwise obstructed-distance computation
+// via incremental obstacle retrieval.
+func BenchmarkObstructedDist(b *testing.B) {
+	w := workload("CL", 1)
+	db, err := Open(w.Points, w.Obstacles)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	pairs := make([][2]geom.Point, 64)
+	for i := range pairs {
+		pairs[i] = [2]geom.Point{
+			geom.Pt(rng.Float64()*dataset.Side, rng.Float64()*dataset.Side),
+			geom.Pt(rng.Float64()*dataset.Side, rng.Float64()*dataset.Side),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		db.ObstructedDist(p[0], p[1])
+	}
+}
+
+// BenchmarkNaiveVsCONN contrasts the exact single-pass CONN algorithm with
+// the §1 naive sampling baseline at equal answer quality (the baseline needs
+// many ONN probes to even approximate the split points).
+func BenchmarkNaiveVsCONN(b *testing.B) {
+	w := workload("CL", 1)
+	db, err := Open(w.Points, w.Obstacles)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	q := dataset.QuerySegment(rng, 0.015, w.Obstacles)
+	b.Run("CONN", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := db.CONN(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Naive64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := db.NaiveCONN(q, 64); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,77 @@
+// Command conngen generates the paper's experimental datasets (§5.1) as CSV
+// files: the CA and LA surrogates, Uniform and Zipf(0.8) point sets, all
+// normalized to the [0, 10000]^2 search space.
+//
+// Usage:
+//
+//	conngen -out data -scale 0.1 -seed 2009
+//
+// writes data/ca_points.csv, data/la_obstacles.csv, data/uniform_points.csv
+// and data/zipf_points.csv. Points are "x,y" rows; obstacles are
+// "minx,miny,maxx,maxy" rows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"connquery/internal/dataset"
+	"connquery/internal/geom"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("conngen: ")
+
+	out := flag.String("out", "data", "output directory")
+	scale := flag.Float64("scale", 0.1, "dataset cardinality scale (1 = the paper's sizes)")
+	ratio := flag.Float64("ratio", 1, "|P|/|O| ratio for the Uniform and Zipf sets")
+	seed := flag.Int64("seed", 2009, "generator seed")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	nObs := int(float64(dataset.LASize) * *scale)
+	nCA := int(float64(dataset.CASize) * *scale)
+	nSyn := int(float64(nObs) * *ratio)
+
+	la := dataset.Streets(nObs, *seed)
+	write(*out, "la_obstacles.csv", func(f *os.File) error {
+		return dataset.WriteRectsCSV(f, la)
+	})
+	writePoints(*out, "ca_points.csv", dataset.FilterPoints(
+		dataset.Clustered(nCA, 24, dataset.Side*0.035, 0.15, *seed+1), la))
+	writePoints(*out, "uniform_points.csv", dataset.FilterPoints(
+		dataset.Uniform(nSyn, *seed+2), la))
+	writePoints(*out, "zipf_points.csv", dataset.FilterPoints(
+		dataset.Zipf(nSyn, 0.8, *seed+3), la))
+
+	fmt.Printf("wrote %d obstacles and point sets (CA %d, Uniform/Zipf ~%d) to %s/\n",
+		nObs, nCA, nSyn, *out)
+}
+
+func writePoints(dir, name string, pts []geom.Point) {
+	write(dir, name, func(f *os.File) error {
+		return dataset.WritePointsCSV(f, pts)
+	})
+}
+
+func write(dir, name string, fn func(*os.File) error) {
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

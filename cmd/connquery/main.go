@@ -1,0 +1,187 @@
+// Command connquery is a small CLI for running CONN-family queries over
+// generated workloads, useful for exploring the system without writing code.
+//
+// Examples:
+//
+//	connquery -workload CL -scale 0.05 -query "1000,1000:1450,1000"
+//	connquery -workload UL -ratio 2 -k 3 -query "500,500:950,500"
+//	connquery -workload ZL -algo cnn -query "100,100:550,100"
+//	connquery -workload CL -algo onn -k 5 -point "5000,5000"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"connquery"
+	"connquery/internal/bench"
+	"connquery/internal/dataset"
+	"connquery/internal/geom"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("connquery: ")
+
+	workload := flag.String("workload", "CL", "dataset combination: CL, UL or ZL")
+	scale := flag.Float64("scale", 0.05, "dataset cardinality scale (1 = the paper's sizes)")
+	ratio := flag.Float64("ratio", 1, "|P|/|O| ratio for UL/ZL")
+	seed := flag.Int64("seed", 2009, "workload seed")
+	algo := flag.String("algo", "conn", "algorithm: conn, coknn, cnn, naive, onn")
+	k := flag.Int("k", 5, "k for coknn/onn")
+	samples := flag.Int("samples", 128, "sample count for the naive baseline")
+	queryFlag := flag.String("query", "", "query segment as x1,y1:x2,y2 (space is [0,10000]^2)")
+	pointFlag := flag.String("point", "", "query point as x,y (for -algo onn)")
+	oneTree := flag.Bool("onetree", false, "index points and obstacles in one R-tree")
+	buffer := flag.Int("buffer", 0, "LRU buffer pages per tree")
+	pointsCSV := flag.String("points-csv", "", "load data points from a CSV file (x,y rows) instead of generating them")
+	obstaclesCSV := flag.String("obstacles-csv", "", "load obstacles from a CSV file (minx,miny,maxx,maxy rows)")
+	flag.Parse()
+
+	var w bench.Workload
+	if *pointsCSV != "" || *obstaclesCSV != "" {
+		if *pointsCSV == "" || *obstaclesCSV == "" {
+			log.Fatal("-points-csv and -obstacles-csv must be given together")
+		}
+		pts, err := readPointsFile(*pointsCSV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		obs, err := readRectsFile(*obstaclesCSV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w = bench.Workload{Name: "CSV", Points: dataset.FilterPoints(pts, obs), Obstacles: obs}
+	} else {
+		w = bench.BuildWorkload(strings.ToUpper(*workload), *scale, *ratio, *seed)
+	}
+	fmt.Printf("workload %s: %d points, %d obstacles\n", w.Name, len(w.Points), len(w.Obstacles))
+
+	var opts []connquery.Option
+	if *oneTree {
+		opts = append(opts, connquery.WithOneTree())
+	}
+	if *buffer > 0 {
+		opts = append(opts, connquery.WithBufferPages(*buffer))
+	}
+	db, err := connquery.Open(w.Points, w.Obstacles, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch strings.ToLower(*algo) {
+	case "onn":
+		p, err := parsePoint(*pointFlag)
+		if err != nil {
+			log.Fatalf("-point: %v", err)
+		}
+		nbrs, m, err := db.ONN(p, *k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, n := range nbrs {
+			fmt.Printf("%d. point %d at %v, obstructed distance %.2f\n", i+1, n.PID, n.P, n.Dist)
+		}
+		fmt.Printf("metrics: %v\n", m)
+	case "conn", "cnn", "naive":
+		q, err := parseSegment(*queryFlag)
+		if err != nil {
+			log.Fatalf("-query: %v", err)
+		}
+		var res *connquery.Result
+		var m connquery.Metrics
+		switch strings.ToLower(*algo) {
+		case "conn":
+			res, m, err = db.CONN(q)
+		case "cnn":
+			res, m, err = db.CNN(q)
+		default:
+			res, m, err = db.NaiveCONN(q, *samples)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, tup := range res.Tuples {
+			if tup.PID == connquery.NoOwner {
+				fmt.Printf("t [%.4f, %.4f]: unreachable\n", tup.Span.Lo, tup.Span.Hi)
+				continue
+			}
+			fmt.Printf("t [%.4f, %.4f]: point %d at %v\n", tup.Span.Lo, tup.Span.Hi, tup.PID, tup.P)
+		}
+		fmt.Printf("%d tuples, %d split points\nmetrics: %v\n", len(res.Tuples), len(res.SplitPoints()), m)
+	case "coknn":
+		q, err := parseSegment(*queryFlag)
+		if err != nil {
+			log.Fatalf("-query: %v", err)
+		}
+		res, m, err := db.COKNN(q, *k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, tup := range res.Tuples {
+			ids := make([]int32, len(tup.Owners))
+			for i, o := range tup.Owners {
+				ids[i] = o.PID
+			}
+			fmt.Printf("t [%.4f, %.4f]: points %v\n", tup.Span.Lo, tup.Span.Hi, ids)
+		}
+		fmt.Printf("%d tuples\nmetrics: %v\n", len(res.Tuples), m)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -algo %q\n", *algo)
+		os.Exit(2)
+	}
+}
+
+func parsePoint(s string) (connquery.Point, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return connquery.Point{}, fmt.Errorf("want x,y, got %q", s)
+	}
+	x, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return connquery.Point{}, err
+	}
+	y, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return connquery.Point{}, err
+	}
+	return connquery.Pt(x, y), nil
+}
+
+func parseSegment(s string) (connquery.Segment, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return connquery.Segment{}, fmt.Errorf("want x1,y1:x2,y2, got %q", s)
+	}
+	a, err := parsePoint(parts[0])
+	if err != nil {
+		return connquery.Segment{}, err
+	}
+	b, err := parsePoint(parts[1])
+	if err != nil {
+		return connquery.Segment{}, err
+	}
+	return connquery.Seg(a, b), nil
+}
+
+func readPointsFile(path string) ([]geom.Point, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadPointsCSV(f)
+}
+
+func readRectsFile(path string) ([]geom.Rect, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadRectsCSV(f)
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestParsePoint(t *testing.T) {
+	p, err := parsePoint("3.5, -2")
+	if err != nil || p.X != 3.5 || p.Y != -2 {
+		t.Fatalf("parsePoint: %v %v", p, err)
+	}
+	for _, bad := range []string{"", "1", "1,2,3", "a,b"} {
+		if _, err := parsePoint(bad); err == nil {
+			t.Fatalf("parsePoint(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseSegment(t *testing.T) {
+	s, err := parseSegment("0,0:10,5")
+	if err != nil || s.A.X != 0 || s.B.Y != 5 {
+		t.Fatalf("parseSegment: %v %v", s, err)
+	}
+	for _, bad := range []string{"", "1,2", "1,2:3", "1,2:3,4:5,6", "x,y:1,2"} {
+		if _, err := parseSegment(bad); err == nil {
+			t.Fatalf("parseSegment(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestReadFilesMissing(t *testing.T) {
+	if _, err := readPointsFile("/nonexistent/points.csv"); err == nil {
+		t.Fatal("missing points file accepted")
+	}
+	if _, err := readRectsFile("/nonexistent/rects.csv"); err == nil {
+		t.Fatal("missing rects file accepted")
+	}
+}

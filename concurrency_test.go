@@ -1,0 +1,123 @@
+package connquery
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestCloneProducesSameAnswers(t *testing.T) {
+	db := smallDB(t)
+	clone := db.Clone()
+	q := Seg(Pt(0, 0), Pt(100, 0))
+	a, _, err := db.CONN(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := clone.CONN(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Tuples) != len(b.Tuples) {
+		t.Fatalf("clone tuples %d vs %d", len(b.Tuples), len(a.Tuples))
+	}
+	for i := range a.Tuples {
+		if a.Tuples[i].PID != b.Tuples[i].PID {
+			t.Fatalf("tuple %d: %d vs %d", i, a.Tuples[i].PID, b.Tuples[i].PID)
+		}
+	}
+}
+
+func TestConcurrentClones(t *testing.T) {
+	r := rand.New(rand.NewSource(901))
+	points := make([]Point, 800)
+	for i := range points {
+		points[i] = Pt(r.Float64()*5000, r.Float64()*5000)
+	}
+	obstacles := make([]Rect, 120)
+	for i := range obstacles {
+		lo := Pt(r.Float64()*5000, r.Float64()*5000)
+		obstacles[i] = R(lo.X, lo.Y, lo.X+40, lo.Y+30)
+	}
+	pts := points[:0]
+	for _, p := range points {
+		free := true
+		for _, o := range obstacles {
+			if o.ContainsOpen(p) {
+				free = false
+			}
+		}
+		if free {
+			pts = append(pts, p)
+		}
+	}
+	db, err := Open(pts, obstacles, WithBufferPages(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A reference answer per query, computed serially.
+	queries := make([]Segment, 8)
+	rq := rand.New(rand.NewSource(902))
+	for i := range queries {
+		for {
+			a := Pt(rq.Float64()*5000, rq.Float64()*5000)
+			b := Pt(a.X+200, a.Y+130)
+			q := Seg(a, b)
+			blocked := false
+			for _, o := range obstacles {
+				if o.BlocksSegment(q) {
+					blocked = true
+					break
+				}
+			}
+			if !blocked {
+				queries[i] = q
+				break
+			}
+		}
+	}
+	want := make([][]int32, len(queries))
+	for i, q := range queries {
+		res, _, err := db.CONN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tu := range res.Tuples {
+			want[i] = append(want[i], tu.PID)
+		}
+	}
+
+	// 8 goroutines, each with its own clone, race over all queries.
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			clone := db.Clone()
+			for i, q := range queries {
+				res, _, err := clone.CONN(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res.Tuples) != len(want[i]) {
+					t.Errorf("query %d: %d tuples, want %d", i, len(res.Tuples), len(want[i]))
+					return
+				}
+				for j, tu := range res.Tuples {
+					if tu.PID != want[i][j] {
+						t.Errorf("query %d tuple %d: %d vs %d", i, j, tu.PID, want[i][j])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

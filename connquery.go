@@ -1,0 +1,391 @@
+// Package connquery is a spatial query library for continuous obstructed
+// nearest neighbor (CONN) search, reproducing Gao & Zheng, "Continuous
+// Obstructed Nearest Neighbor Queries in Spatial Databases" (SIGMOD 2009).
+//
+// Given a set of data points P, a set of rectangular obstacles O, and a
+// query line segment q, a CONN query reports, for every position along q,
+// which data point is nearest by obstructed distance — the length of the
+// shortest path that does not cross any obstacle's interior — together with
+// the exact split positions where the answer changes. COkNN generalizes the
+// answer to the k nearest points per position.
+//
+// Basic usage:
+//
+//	db, err := connquery.Open(points, obstacles)
+//	if err != nil { ... }
+//	res, metrics, err := db.CONN(connquery.Seg(start, end))
+//	if err != nil { ... }
+//	for _, tup := range res.Tuples {
+//	    fmt.Println(tup.P, "owns", res.Q.SubSegment(tup.Span.Lo, tup.Span.Hi))
+//	}
+//	fmt.Println("cost:", metrics.TotalCost())
+//
+// The library indexes P and O with R*-trees (two separate trees by default,
+// or a single unified tree with WithOneTree), models page I/O with a
+// configurable page size and optional LRU buffer, and reports the paper's
+// cost metrics (page faults, CPU time, points/obstacles evaluated,
+// visibility-graph size) with every query.
+package connquery
+
+import (
+	"errors"
+	"fmt"
+
+	"connquery/internal/core"
+	"connquery/internal/geom"
+	"connquery/internal/lru"
+	"connquery/internal/rtree"
+	"connquery/internal/stats"
+)
+
+// Re-exported geometry types. PIDs in results index the point slice given
+// to Open.
+type (
+	// Point is a 2D location.
+	Point = geom.Point
+	// Rect is a closed axis-aligned rectangle (the obstacle shape).
+	Rect = geom.Rect
+	// Segment is a query line segment.
+	Segment = geom.Segment
+	// Span is a parametric interval [Lo, Hi] ⊆ [0, 1] along a query segment.
+	Span = geom.Span
+)
+
+// Result types re-exported from the query core.
+type (
+	// Result is a CONN answer.
+	Result = core.Result
+	// Tuple is one ⟨point, interval⟩ element of a CONN answer.
+	Tuple = core.Tuple
+	// KResult is a COkNN answer.
+	KResult = core.KResult
+	// KTuple is one ⟨point set, interval⟩ element of a COkNN answer.
+	KTuple = core.KTuple
+	// Neighbor is one answer of a point ONN query.
+	Neighbor = core.Neighbor
+	// Metrics reports one query's cost profile.
+	Metrics = stats.QueryMetrics
+)
+
+// NoOwner marks intervals with no reachable data point.
+const NoOwner = core.NoOwner
+
+// Pt builds a Point.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// R builds a Rect from min/max coordinates.
+func R(minX, minY, maxX, maxY float64) Rect { return geom.R(minX, minY, maxX, maxY) }
+
+// Seg builds a Segment.
+func Seg(a, b Point) Segment { return geom.Seg(a, b) }
+
+// DB is an immutable snapshot database over a point set and an obstacle set,
+// ready to answer CONN-family queries. A DB is safe for concurrent reads
+// only when metrics collection is not shared (each goroutine should use its
+// own DB or external synchronization; the page-fault counters and LRU buffer
+// are per-DB mutable state).
+type DB struct {
+	eng        *core.Engine
+	points     []Point
+	obstacles  []Rect
+	deletedPts map[int32]bool
+	deletedObs map[int32]bool
+	dataBuf    *lru.Buffer
+	obstBuf    *lru.Buffer
+	cfg        config
+}
+
+// Open builds a DB over the given points and obstacles. Points may lie on
+// obstacle boundaries but not strictly inside; violations are reported as an
+// error. Obstacle rectangles must be well-formed (Min <= Max).
+func Open(points []Point, obstacles []Rect, opts ...Option) (*DB, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if len(points) == 0 {
+		return nil, errors.New("connquery: no data points")
+	}
+	for i, p := range points {
+		if !validPoint(p) {
+			return nil, fmt.Errorf("connquery: point %d has a non-finite coordinate: %v", i, p)
+		}
+	}
+	for i, o := range obstacles {
+		if !validRect(o) {
+			return nil, fmt.Errorf("connquery: obstacle %d is malformed: %v", i, o)
+		}
+	}
+	db := &DB{
+		points:    append([]Point(nil), points...),
+		obstacles: append([]Rect(nil), obstacles...),
+		cfg:       cfg,
+	}
+
+	pointItems := make([]rtree.Item, len(points))
+	for i, p := range points {
+		pointItems[i] = rtree.PointItem(int32(i), p)
+	}
+	obstItems := make([]rtree.Item, len(obstacles))
+	for i, o := range obstacles {
+		obstItems[i] = rtree.ObstacleItem(int32(i), o)
+	}
+
+	eng := &core.Engine{Obstacles: db.obstacles, Opts: cfg.tuning}
+	if cfg.oneTree {
+		uni := rtree.New(rtree.Options{PageSize: cfg.pageSize})
+		uni.BulkLoad(append(pointItems, obstItems...))
+		counter := &stats.PageCounter{}
+		if cfg.bufferPages > 0 {
+			db.dataBuf = lru.New(cfg.bufferPages)
+			counter.Buffer = db.dataBuf
+		}
+		uni.SetAccessRecorder(counter)
+		eng.Unified = uni
+		eng.DataCounter = counter
+	} else {
+		data := rtree.New(rtree.Options{PageSize: cfg.pageSize})
+		data.BulkLoad(pointItems)
+		obst := rtree.New(rtree.Options{PageSize: cfg.pageSize})
+		obst.BulkLoad(obstItems)
+		dc, oc := &stats.PageCounter{}, &stats.PageCounter{}
+		if cfg.bufferPages > 0 {
+			db.dataBuf = lru.New(cfg.bufferPages)
+			db.obstBuf = lru.New(cfg.bufferPages)
+			dc.Buffer = db.dataBuf
+			oc.Buffer = db.obstBuf
+		}
+		data.SetAccessRecorder(dc)
+		obst.SetAccessRecorder(oc)
+		eng.Data, eng.Obst = data, obst
+		eng.DataCounter, eng.ObstCounter = dc, oc
+	}
+	db.eng = eng
+
+	// Validate point placement using the freshly built obstacle index.
+	for i, p := range points {
+		for _, o := range db.obstaclesNear(p) {
+			if o.ContainsOpen(p) {
+				return nil, fmt.Errorf("connquery: point %d (%v) lies strictly inside obstacle %v", i, p, o)
+			}
+		}
+	}
+	return db, nil
+}
+
+func (db *DB) obstaclesNear(p Point) []Rect {
+	var out []Rect
+	w := geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
+	search := func(t *rtree.Tree) {
+		t.Search(w, func(it rtree.Item) bool {
+			if it.Kind == rtree.KindObstacle {
+				out = append(out, db.obstacles[it.ID])
+			}
+			return true
+		})
+	}
+	if db.eng.OneTree() {
+		search(db.eng.Unified)
+	} else {
+		search(db.eng.Obst)
+	}
+	return out
+}
+
+// NumPoints returns the size of the data set P (excluding deleted points).
+func (db *DB) NumPoints() int { return len(db.points) - len(db.deletedPts) }
+
+// NumObstacles returns the size of the obstacle set O (excluding deleted
+// obstacles).
+func (db *DB) NumObstacles() int { return len(db.obstacles) - len(db.deletedObs) }
+
+// PointByID returns the data point with the given result PID.
+func (db *DB) PointByID(pid int32) (Point, bool) {
+	if pid < 0 || int(pid) >= len(db.points) || db.deletedPts[pid] {
+		return Point{}, false
+	}
+	return db.points[pid], true
+}
+
+// Clone returns an independent query handle over the same indexes: the
+// R-tree nodes, points and obstacles are shared (they are immutable after
+// Open), while page-fault counters and the optional LRU buffer are fresh
+// per clone. Use one clone per goroutine for concurrent querying.
+func (db *DB) Clone() *DB {
+	cp := &DB{
+		points:    db.points,
+		obstacles: db.obstacles,
+		cfg:       db.cfg,
+	}
+	eng := &core.Engine{Obstacles: db.obstacles, Opts: db.cfg.tuning}
+	if db.eng.OneTree() {
+		c := &stats.PageCounter{}
+		if db.cfg.bufferPages > 0 {
+			cp.dataBuf = lru.New(db.cfg.bufferPages)
+			c.Buffer = cp.dataBuf
+		}
+		eng.Unified = db.eng.Unified.View(c)
+		eng.DataCounter = c
+	} else {
+		dc, oc := &stats.PageCounter{}, &stats.PageCounter{}
+		if db.cfg.bufferPages > 0 {
+			cp.dataBuf = lru.New(db.cfg.bufferPages)
+			cp.obstBuf = lru.New(db.cfg.bufferPages)
+			dc.Buffer = cp.dataBuf
+			oc.Buffer = cp.obstBuf
+		}
+		eng.Data = db.eng.Data.View(dc)
+		eng.Obst = db.eng.Obst.View(oc)
+		eng.DataCounter, eng.ObstCounter = dc, oc
+	}
+	cp.eng = eng
+	return cp
+}
+
+// ResetBufferStats zeroes the LRU hit/miss counters while keeping resident
+// pages, the boundary between the paper's warm-up and measurement phases.
+func (db *DB) ResetBufferStats() {
+	if db.dataBuf != nil {
+		db.dataBuf.ResetStats()
+	}
+	if db.obstBuf != nil {
+		db.obstBuf.ResetStats()
+	}
+}
+
+// validateQuery rejects unusable query segments.
+func (db *DB) validateQuery(q Segment) error {
+	if q.Degenerate() {
+		return errors.New("connquery: query segment is degenerate (use ONN for point queries)")
+	}
+	return nil
+}
+
+// CONN answers a continuous obstructed nearest neighbor query over q: the
+// returned tuples partition q and each names the data point that is the
+// obstructed NN of every position in its interval.
+func (db *DB) CONN(q Segment) (*Result, Metrics, error) {
+	if err := db.validateQuery(q); err != nil {
+		return nil, Metrics{}, err
+	}
+	res, m := db.eng.CONN(q)
+	return res, m, nil
+}
+
+// COKNN answers a continuous obstructed k-nearest-neighbor query (k >= 1).
+func (db *DB) COKNN(q Segment, k int) (*KResult, Metrics, error) {
+	if err := db.validateQuery(q); err != nil {
+		return nil, Metrics{}, err
+	}
+	if k < 1 {
+		return nil, Metrics{}, fmt.Errorf("connquery: k must be >= 1, got %d", k)
+	}
+	res, m := db.eng.COKNN(q, k)
+	return res, m, nil
+}
+
+// ONN answers a snapshot obstructed k-nearest-neighbor query at a point.
+func (db *DB) ONN(p Point, k int) ([]Neighbor, Metrics, error) {
+	if k < 1 {
+		return nil, Metrics{}, fmt.Errorf("connquery: k must be >= 1, got %d", k)
+	}
+	nbrs, m := db.eng.ONN(p, k)
+	return nbrs, m, nil
+}
+
+// CNN answers a classical Euclidean continuous nearest neighbor query,
+// ignoring obstacles — the baseline the paper contrasts in Figure 1.
+func (db *DB) CNN(q Segment) (*Result, Metrics, error) {
+	if err := db.validateQuery(q); err != nil {
+		return nil, Metrics{}, err
+	}
+	res, m := db.eng.CNN(q)
+	return res, m, nil
+}
+
+// NaiveCONN answers CONN by sampling: an ONN query at samples+1 evenly
+// spaced positions. Approximate and slow by design; it is the baseline the
+// paper's introduction rules out.
+func (db *DB) NaiveCONN(q Segment, samples int) (*Result, Metrics, error) {
+	if err := db.validateQuery(q); err != nil {
+		return nil, Metrics{}, err
+	}
+	res, m := db.eng.NaiveCONN(q, samples)
+	return res, m, nil
+}
+
+// JoinPair is one result of an obstructed join query.
+type JoinPair = core.JoinPair
+
+// EDistanceJoin returns every (query point, data point) pair whose
+// obstructed distance is at most e (the obstructed e-distance join of
+// Zhang et al., EDBT 2004).
+func (db *DB) EDistanceJoin(queries []Point, e float64) ([]JoinPair, Metrics, error) {
+	if e < 0 {
+		return nil, Metrics{}, fmt.Errorf("connquery: negative join distance %v", e)
+	}
+	pairs, m := db.eng.EDistanceJoin(queries, e)
+	return pairs, m, nil
+}
+
+// ClosestPair returns the (query point, data point) pair with the smallest
+// obstructed distance. With no query points the returned pair has
+// QIdx == -1 and infinite distance.
+func (db *DB) ClosestPair(queries []Point) (JoinPair, Metrics) {
+	pair, m := db.eng.ClosestPair(queries)
+	return pair, m
+}
+
+// DistanceSemiJoin returns, for each query point, its obstructed nearest
+// data point, sorted ascending by distance.
+func (db *DB) DistanceSemiJoin(queries []Point) ([]JoinPair, Metrics) {
+	pairs, m := db.eng.DistanceSemiJoin(queries)
+	return pairs, m
+}
+
+// VisibleKNN returns the k nearest data points (Euclidean) among those
+// visible from p — obstacles occlude rather than detour (the VkNN query of
+// Nutanong et al., DASFAA 2007).
+func (db *DB) VisibleKNN(p Point, k int) ([]Neighbor, Metrics, error) {
+	if k < 1 {
+		return nil, Metrics{}, fmt.Errorf("connquery: k must be >= 1, got %d", k)
+	}
+	nbrs, m := db.eng.VisibleKNN(p, k)
+	return nbrs, m, nil
+}
+
+// TrajectoryResult is a per-leg CONN answer over a polyline trajectory.
+type TrajectoryResult = core.TrajectoryResult
+
+// TrajectoryCONN answers a CONN query over a polyline trajectory (the
+// paper's §6 trajectory extension): the obstructed NN of every point on
+// every leg. Degenerate legs are skipped.
+func (db *DB) TrajectoryCONN(waypoints []Point) (*TrajectoryResult, Metrics, error) {
+	if len(waypoints) < 2 {
+		return nil, Metrics{}, errors.New("connquery: trajectory needs at least two waypoints")
+	}
+	res, m := db.eng.TrajectoryCONN(waypoints)
+	if len(res.Legs) == 0 {
+		return nil, Metrics{}, errors.New("connquery: all trajectory legs are degenerate")
+	}
+	return res, m, nil
+}
+
+// ObstructedRange returns every data point whose obstructed distance to
+// center is at most radius, sorted ascending (the obstructed range query of
+// Zhang et al., EDBT 2004).
+func (db *DB) ObstructedRange(center Point, radius float64) ([]Neighbor, Metrics, error) {
+	if radius < 0 {
+		return nil, Metrics{}, fmt.Errorf("connquery: negative radius %v", radius)
+	}
+	nbrs, m := db.eng.ObstructedRange(center, radius)
+	return nbrs, m, nil
+}
+
+// ObstructedDist returns the exact obstructed distance between two free
+// points under the DB's obstacle set, +Inf when no path exists. It uses the
+// same incremental obstacle retrieval as the queries, so only obstacles near
+// the pair are examined.
+func (db *DB) ObstructedDist(a, b Point) float64 {
+	return db.eng.ObstructedDistance(a, b)
+}

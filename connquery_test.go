@@ -1,0 +1,290 @@
+package connquery
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func smallDB(t *testing.T, opts ...Option) *DB {
+	t.Helper()
+	points := []Point{Pt(10, 10), Pt(50, 50), Pt(90, 10), Pt(50, 90)}
+	obstacles := []Rect{R(40, 20, 60, 40)}
+	db, err := Open(points, obstacles, opts...)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return db
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(nil, nil); err == nil {
+		t.Fatal("Open with no points succeeded")
+	}
+	if _, err := Open([]Point{Pt(1, 1)}, []Rect{{MinX: 5, MinY: 5, MaxX: 1, MaxY: 1}}); err == nil {
+		t.Fatal("Open with malformed obstacle succeeded")
+	}
+	// Point strictly inside an obstacle.
+	if _, err := Open([]Point{Pt(5, 5)}, []Rect{R(0, 0, 10, 10)}); err == nil {
+		t.Fatal("Open with interior point succeeded")
+	}
+	// Boundary point is legal.
+	if _, err := Open([]Point{Pt(0, 5)}, []Rect{R(0, 0, 10, 10)}); err != nil {
+		t.Fatalf("Open with boundary point failed: %v", err)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	db := smallDB(t)
+	if _, _, err := db.CONN(Seg(Pt(1, 1), Pt(1, 1))); err == nil {
+		t.Fatal("degenerate CONN accepted")
+	}
+	if _, _, err := db.COKNN(Seg(Pt(0, 0), Pt(1, 0)), 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, _, err := db.ONN(Pt(0, 0), 0); err == nil {
+		t.Fatal("ONN k=0 accepted")
+	}
+}
+
+func TestCONNBasic(t *testing.T) {
+	db := smallDB(t)
+	q := Seg(Pt(0, 0), Pt(100, 0))
+	res, m, err := db.CONN(q)
+	if err != nil {
+		t.Fatalf("CONN: %v", err)
+	}
+	if len(res.Tuples) < 2 {
+		t.Fatalf("expected multiple tuples along q, got %+v", res.Tuples)
+	}
+	first, _ := res.OwnerAt(0)
+	last, _ := res.OwnerAt(1)
+	if first.PID != 0 || last.PID != 2 {
+		t.Fatalf("owners: first=%d last=%d, want 0 and 2", first.PID, last.PID)
+	}
+	if m.NPE == 0 || m.CPU <= 0 {
+		t.Fatalf("metrics not populated: %+v", m)
+	}
+}
+
+func TestCOKNNBasic(t *testing.T) {
+	db := smallDB(t)
+	res, _, err := db.COKNN(Seg(Pt(0, 0), Pt(100, 0)), 2)
+	if err != nil {
+		t.Fatalf("COKNN: %v", err)
+	}
+	for _, tu := range res.Tuples {
+		if len(tu.Owners) != 2 {
+			t.Fatalf("owner set size %d, want 2: %+v", len(tu.Owners), tu)
+		}
+	}
+}
+
+func TestONNAndObstructedDist(t *testing.T) {
+	db := smallDB(t)
+	nbrs, _, err := db.ONN(Pt(50, 0), 1)
+	if err != nil || len(nbrs) != 1 {
+		t.Fatalf("ONN: %v %v", nbrs, err)
+	}
+	// (50,50) is straight above but blocked by the obstacle; its obstructed
+	// distance must exceed the Euclidean 50.
+	d := db.ObstructedDist(Pt(50, 0), Pt(50, 50))
+	if d <= 50 {
+		t.Fatalf("ObstructedDist through obstacle = %v, want > 50", d)
+	}
+	if got := db.ObstructedDist(Pt(1, 1), Pt(1, 1)); got != 0 {
+		t.Fatalf("self distance = %v", got)
+	}
+	if got, want := db.ObstructedDist(Pt(0, 0), Pt(3, 4)), 5.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("free-space distance = %v, want %v", got, want)
+	}
+}
+
+func TestNaiveCONNPublic(t *testing.T) {
+	db := smallDB(t)
+	q := Seg(Pt(0, 0), Pt(100, 0))
+	exact, _, err := db.CONN(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, _, err := db.NaiveCONN(q, 200)
+	if err != nil {
+		t.Fatalf("NaiveCONN: %v", err)
+	}
+	// Owners must agree away from split points.
+	for k := 0; k <= 50; k++ {
+		tt := float64(k) / 50
+		a, _ := exact.OwnerAt(tt)
+		b, _ := naive.OwnerAt(tt)
+		nearSplit := false
+		for _, s := range exact.SplitPoints() {
+			if math.Abs(tt-s) < 0.02 {
+				nearSplit = true
+			}
+		}
+		if !nearSplit && a.PID != b.PID {
+			t.Fatalf("t=%v: exact %d vs naive %d", tt, a.PID, b.PID)
+		}
+	}
+	if _, _, err := db.NaiveCONN(Seg(Pt(0, 0), Pt(0, 0)), 10); err == nil {
+		t.Fatal("degenerate naive query accepted")
+	}
+}
+
+func TestCNNIgnoresObstacles(t *testing.T) {
+	db := smallDB(t)
+	q := Seg(Pt(0, 60), Pt(100, 60))
+	cnn, _, err := db.CNN(q)
+	if err != nil {
+		t.Fatalf("CNN: %v", err)
+	}
+	mid, _ := cnn.OwnerAt(0.5)
+	if mid.PID != 1 {
+		t.Fatalf("CNN middle owner = %d, want 1 (the (50,50) point)", mid.PID)
+	}
+}
+
+func TestOneTreeOptionMatchesTwoTree(t *testing.T) {
+	r := rand.New(rand.NewSource(401))
+	points := make([]Point, 60)
+	for i := range points {
+		points[i] = Pt(r.Float64()*1000, r.Float64()*1000)
+	}
+	obstacles := make([]Rect, 12)
+	for i := range obstacles {
+		lo := Pt(r.Float64()*1000, r.Float64()*1000)
+		obstacles[i] = R(lo.X, lo.Y, lo.X+40, lo.Y+40)
+	}
+	pts := points[:0]
+	for _, p := range points {
+		ok := true
+		for _, o := range obstacles {
+			if o.ContainsOpen(p) {
+				ok = false
+			}
+		}
+		if ok {
+			pts = append(pts, p)
+		}
+	}
+	two, err := Open(pts, obstacles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := Open(pts, obstacles, WithOneTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Seg(Pt(100, 500), Pt(900, 500))
+	for _, o := range obstacles {
+		if o.BlocksSegment(q) {
+			t.Skip("fixture drifted: q crosses an obstacle")
+		}
+	}
+	r2, _, _ := two.CONN(q)
+	r1, _, _ := one.CONN(q)
+	if len(r1.Tuples) != len(r2.Tuples) {
+		t.Fatalf("1T %d tuples vs 2T %d", len(r1.Tuples), len(r2.Tuples))
+	}
+	for i := range r1.Tuples {
+		if r1.Tuples[i].PID != r2.Tuples[i].PID {
+			t.Fatalf("tuple %d owner mismatch: %d vs %d", i, r1.Tuples[i].PID, r2.Tuples[i].PID)
+		}
+	}
+}
+
+func TestBufferReducesFaults(t *testing.T) {
+	r := rand.New(rand.NewSource(403))
+	points := make([]Point, 3000)
+	for i := range points {
+		points[i] = Pt(r.Float64()*10000, r.Float64()*10000)
+	}
+	obstacles := make([]Rect, 300)
+	for i := range obstacles {
+		lo := Pt(r.Float64()*10000, r.Float64()*10000)
+		obstacles[i] = R(lo.X, lo.Y, lo.X+30, lo.Y+30)
+	}
+	pts := points[:0]
+	for _, p := range points {
+		ok := true
+		for _, o := range obstacles {
+			if o.ContainsOpen(p) {
+				ok = false
+			}
+		}
+		if ok {
+			pts = append(pts, p)
+		}
+	}
+	cold, _ := Open(pts, obstacles)
+	warm, _ := Open(pts, obstacles, WithBufferPages(256))
+	q := Seg(Pt(2000, 5000), Pt(2450, 5000))
+
+	var coldFaults, warmFaults int64
+	for i := 0; i < 5; i++ {
+		_, m, err := cold.CONN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coldFaults += m.Faults()
+		_, m2, err := warm.CONN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warmFaults += m2.Faults()
+	}
+	if warmFaults >= coldFaults {
+		t.Fatalf("buffer did not reduce faults: warm=%d cold=%d", warmFaults, coldFaults)
+	}
+	warm.ResetBufferStats() // must not panic and must keep working
+	if _, _, err := warm.CONN(q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointByID(t *testing.T) {
+	db := smallDB(t)
+	if p, ok := db.PointByID(1); !ok || p != Pt(50, 50) {
+		t.Fatalf("PointByID(1) = %v %v", p, ok)
+	}
+	if _, ok := db.PointByID(-1); ok {
+		t.Fatal("PointByID(-1) succeeded")
+	}
+	if _, ok := db.PointByID(100); ok {
+		t.Fatal("PointByID out of range succeeded")
+	}
+	if db.NumPoints() != 4 || db.NumObstacles() != 1 {
+		t.Fatalf("sizes: %d points %d obstacles", db.NumPoints(), db.NumObstacles())
+	}
+}
+
+func TestTuningOptionsProduceSameAnswers(t *testing.T) {
+	points := []Point{Pt(10, 10), Pt(90, 15), Pt(45, 80), Pt(70, 60)}
+	obstacles := []Rect{R(30, 20, 50, 35), R(60, 40, 75, 55)}
+	q := Seg(Pt(0, 5), Pt(100, 5))
+	base, err := Open(points, obstacles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, _ := base.CONN(q)
+	for _, tun := range []Tuning{
+		{DisableLemma1: true},
+		{DisableLemma7: true},
+		{UseBisectionSolver: true},
+		{DisableVGReuse: true},
+	} {
+		db, err := Open(points, obstacles, WithTuning(tun))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, _ := db.CONN(q)
+		if len(got.Tuples) != len(want.Tuples) {
+			t.Fatalf("tuning %+v changed the answer: %+v vs %+v", tun, got.Tuples, want.Tuples)
+		}
+		for i := range got.Tuples {
+			if got.Tuples[i].PID != want.Tuples[i].PID {
+				t.Fatalf("tuning %+v tuple %d: %d vs %d", tun, i, got.Tuples[i].PID, want.Tuples[i].PID)
+			}
+		}
+	}
+}

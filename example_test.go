@@ -1,0 +1,83 @@
+package connquery_test
+
+import (
+	"fmt"
+
+	"connquery"
+)
+
+// The basic CONN workflow: open a database, query a segment, walk the
+// answer intervals.
+func ExampleOpen() {
+	points := []connquery.Point{
+		connquery.Pt(10, 40),
+		connquery.Pt(90, 40),
+	}
+	obstacles := []connquery.Rect{
+		connquery.R(45, 10, 55, 70), // wall between the two points
+	}
+	db, err := connquery.Open(points, obstacles)
+	if err != nil {
+		fmt.Println("open:", err)
+		return
+	}
+	res, _, err := db.CONN(connquery.Seg(connquery.Pt(0, 0), connquery.Pt(100, 0)))
+	if err != nil {
+		fmt.Println("query:", err)
+		return
+	}
+	for _, tup := range res.Tuples {
+		fmt.Printf("t in [%.2f, %.2f]: point %d\n", tup.Span.Lo, tup.Span.Hi, tup.PID)
+	}
+	// Output:
+	// t in [0.00, 0.50]: point 0
+	// t in [0.50, 1.00]: point 1
+}
+
+// Obstacles lengthen the obstructed distance beyond the Euclidean one.
+func ExampleDB_ObstructedDist() {
+	db, err := connquery.Open(
+		[]connquery.Point{connquery.Pt(0, 0)},
+		[]connquery.Rect{connquery.R(-10, 4, 10, 6)}, // wall
+	)
+	if err != nil {
+		fmt.Println("open:", err)
+		return
+	}
+	euclid := 10.0
+	obstructed := db.ObstructedDist(connquery.Pt(0, 0), connquery.Pt(0, 10))
+	fmt.Printf("euclidean %.0f, obstructed %.1f\n", euclid, obstructed)
+	// The shortest route rounds the wall's end: (0,0)->(10,4)->(10,6)->(0,10).
+	// Output:
+	// euclidean 10, obstructed 23.5
+}
+
+// COkNN returns the k nearest points per interval.
+func ExampleDB_COKNN() {
+	db, err := connquery.Open(
+		[]connquery.Point{connquery.Pt(25, 10), connquery.Pt(75, 10), connquery.Pt(50, 30)},
+		nil,
+	)
+	if err != nil {
+		fmt.Println("open:", err)
+		return
+	}
+	res, _, err := db.COKNN(connquery.Seg(connquery.Pt(0, 0), connquery.Pt(100, 0)), 2)
+	if err != nil {
+		fmt.Println("query:", err)
+		return
+	}
+	for _, tup := range res.Tuples {
+		ids := make([]int32, len(tup.Owners))
+		for i, o := range tup.Owners {
+			ids[i] = o.PID
+		}
+		fmt.Printf("t in [%.2f, %.2f]: points %v\n", tup.Span.Lo, tup.Span.Hi, ids)
+	}
+	// Around the middle both side points beat the distant central one, so
+	// three distinct 2-NN sets appear along the segment.
+	// Output:
+	// t in [0.00, 0.47]: points [0 2]
+	// t in [0.47, 0.54]: points [0 1]
+	// t in [0.54, 1.00]: points [1 2]
+}

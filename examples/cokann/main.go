@@ -1,0 +1,85 @@
+// Command cokann demonstrates the COkNN generalization (paper §4.5) on a
+// delivery-planning workload: a courier rides a fixed street segment through
+// a warehouse district and, to tolerate pickup failures, wants the three
+// nearest depots — by travel distance around the buildings — for every point
+// of the ride. The example also shows how the k answer sets shrink and the
+// query cost grows as k increases (the paper's Figure 10 effect, in
+// miniature).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"connquery"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+
+	// Warehouse district: a loose grid of buildings.
+	var buildings []connquery.Rect
+	for row := 0; row < 6; row++ {
+		for col := 0; col < 6; col++ {
+			x := 60 + float64(col)*140 + rng.Float64()*20
+			y := 60 + float64(row)*140 + rng.Float64()*20
+			w := 60 + rng.Float64()*40
+			h := 60 + rng.Float64()*40
+			b := connquery.R(x, y, x+w, y+h)
+			// Keep the courier's street clear.
+			if b.MinY < 420 && b.MaxY > 380 {
+				continue
+			}
+			buildings = append(buildings, b)
+		}
+	}
+
+	// Depots scattered between the buildings.
+	var depots []connquery.Point
+	for len(depots) < 20 {
+		p := connquery.Pt(rng.Float64()*900, rng.Float64()*900)
+		free := true
+		for _, b := range buildings {
+			if b.ContainsOpen(p) {
+				free = false
+				break
+			}
+		}
+		if free {
+			depots = append(depots, p)
+		}
+	}
+
+	db, err := connquery.Open(depots, buildings)
+	if err != nil {
+		log.Fatalf("open: %v", err)
+	}
+	street := connquery.Seg(connquery.Pt(0, 400), connquery.Pt(900, 400))
+
+	res, m, err := db.COKNN(street, 3)
+	if err != nil {
+		log.Fatalf("coknn: %v", err)
+	}
+	fmt.Println("3 nearest depots (by travel distance) along the street:")
+	for _, tup := range res.Tuples {
+		ids := make([]int32, len(tup.Owners))
+		for i, o := range tup.Owners {
+			ids[i] = o.PID
+		}
+		fmt.Printf("  %5.0f m .. %5.0f m: depots %v\n",
+			tup.Span.Lo*street.Length(), tup.Span.Hi*street.Length(), ids)
+	}
+	fmt.Printf("cost %v  NPE=%d NOE=%d |SVG|=%d\n\n", m.TotalCost(), m.NPE, m.NOE, m.SVG)
+
+	fmt.Println("Scaling with k (the Figure 10 effect):")
+	fmt.Println("   k  intervals  NPE  NOE  |SVG|       CPU")
+	for _, k := range []int{1, 3, 5, 7, 9} {
+		res, m, err := db.COKNN(street, k)
+		if err != nil {
+			log.Fatalf("coknn k=%d: %v", k, err)
+		}
+		fmt.Printf("  %2d  %9d  %3d  %3d  %5d  %9v\n",
+			k, len(res.Tuples), m.NPE, m.NOE, m.SVG, m.CPU)
+	}
+}

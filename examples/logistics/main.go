@@ -1,0 +1,73 @@
+// Command logistics exercises the obstructed join family (Zhang et al.,
+// EDBT 2004 — the query toolbox the paper's §2.3 builds on) on a
+// warehouse-assignment workload: trucks parked around a fenced industrial
+// estate must be matched to loading docks by actual driving distance around
+// the fenced lots, not by straight-line proximity.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"connquery"
+)
+
+func main() {
+	// Loading docks (the data set P).
+	docks := []connquery.Point{
+		connquery.Pt(150, 140), // 0
+		connquery.Pt(420, 120), // 1
+		connquery.Pt(690, 160), // 2
+		connquery.Pt(180, 420), // 3
+		connquery.Pt(460, 450), // 4
+		connquery.Pt(720, 430), // 5
+	}
+	// Fenced lots (obstacles) between the access roads and the docks.
+	lots := []connquery.Rect{
+		connquery.R(100, 180, 260, 380),
+		connquery.R(360, 170, 520, 400),
+		connquery.R(620, 200, 790, 390),
+	}
+	db, err := connquery.Open(docks, lots)
+	if err != nil {
+		log.Fatalf("open: %v", err)
+	}
+
+	// Trucks waiting on the perimeter road.
+	trucks := []connquery.Point{
+		connquery.Pt(80, 280),  // west side, fenced off from dock 3
+		connquery.Pt(310, 280), // in the corridor between two lots
+		connquery.Pt(800, 280), // east side
+	}
+
+	fmt.Println("Truck-to-dock assignment (obstructed distance semi-join):")
+	pairs, _ := db.DistanceSemiJoin(trucks)
+	for _, pr := range pairs {
+		fmt.Printf("  truck %d -> dock %d, %.0f m of driving\n", pr.QIdx, pr.PID, pr.Dist)
+	}
+
+	best, _ := db.ClosestPair(trucks)
+	fmt.Printf("\nFastest single dispatch: truck %d to dock %d (%.0f m)\n",
+		best.QIdx, best.PID, best.Dist)
+
+	fmt.Println("\nDocks within 400 m of driving per truck (e-distance join):")
+	joined, _, err := db.EDistanceJoin(trucks, 400)
+	if err != nil {
+		log.Fatalf("join: %v", err)
+	}
+	for _, pr := range joined {
+		fmt.Printf("  truck %d can reach dock %d in %.0f m\n", pr.QIdx, pr.PID, pr.Dist)
+	}
+
+	// Line-of-sight check: which docks can the dispatcher at the gate
+	// actually see (obstacles occlude rather than detour)?
+	gate := connquery.Pt(440, 30)
+	visible, _, err := db.VisibleKNN(gate, 3)
+	if err != nil {
+		log.Fatalf("vknn: %v", err)
+	}
+	fmt.Printf("\nDocks visible from the gate %v, nearest first:\n", gate)
+	for _, n := range visible {
+		fmt.Printf("  dock %d at %v (%.0f m line of sight)\n", n.PID, n.P, n.Dist)
+	}
+}

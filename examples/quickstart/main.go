@@ -1,0 +1,66 @@
+// Command quickstart is the minimal end-to-end CONN example: a handful of
+// points, one obstacle, one query segment, and a printout of the answer
+// intervals with their split points.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"connquery"
+)
+
+func main() {
+	// Five facilities and one rectangular building between them.
+	points := []connquery.Point{
+		connquery.Pt(10, 40), // 0
+		connquery.Pt(35, 75), // 1
+		connquery.Pt(55, 20), // 2
+		connquery.Pt(80, 70), // 3
+		connquery.Pt(95, 30), // 4
+	}
+	obstacles := []connquery.Rect{
+		connquery.R(45, 25, 65, 45), // a building between the route and point 2
+	}
+
+	db, err := connquery.Open(points, obstacles)
+	if err != nil {
+		log.Fatalf("open: %v", err)
+	}
+
+	// The client moves left to right along y = 50.
+	q := connquery.Seg(connquery.Pt(0, 50), connquery.Pt(100, 50))
+	res, metrics, err := db.CONN(q)
+	if err != nil {
+		log.Fatalf("query: %v", err)
+	}
+
+	fmt.Println("CONN result along", q)
+	for _, tup := range res.Tuples {
+		from, to := q.At(tup.Span.Lo), q.At(tup.Span.Hi)
+		if tup.PID == connquery.NoOwner {
+			fmt.Printf("  %v .. %v: unreachable\n", from, to)
+			continue
+		}
+		fmt.Printf("  %v .. %v: nearest is point %d at %v\n", from, to, tup.PID, tup.P)
+	}
+	fmt.Println("split points at t =", res.SplitPoints())
+	fmt.Printf("cost: %v (NPE=%d NOE=%d |SVG|=%d)\n",
+		metrics.TotalCost(), metrics.NPE, metrics.NOE, metrics.SVG)
+
+	// A terminal sketch of the scene: '#' building, digits are points,
+	// 'S---|---E' is the route with its split points.
+	fmt.Println()
+	fmt.Print(db.RenderScene(q, res, 64, 18))
+
+	// Contrast with the Euclidean answer: the building changes the winner
+	// in the middle of the route.
+	cnn, _, err := db.CNN(q)
+	if err != nil {
+		log.Fatalf("cnn: %v", err)
+	}
+	fmt.Println("\nEuclidean CNN (obstacles ignored) for comparison:")
+	for _, tup := range cnn.Tuples {
+		fmt.Printf("  t in [%.3f, %.3f]: point %d\n", tup.Span.Lo, tup.Span.Hi, tup.PID)
+	}
+}

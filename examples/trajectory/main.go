@@ -1,0 +1,97 @@
+// Command trajectory demonstrates the paper's §6 future-work extension: a
+// CONN query over a multi-leg trajectory (a patrol route with several
+// turns), plus obstructed range queries at chosen stops. A security patrol
+// walks a polygonal route through a campus; for every stretch of the walk
+// we report the nearest emergency phone by actual walking distance, and at
+// each waypoint we list every phone within a 150 m walk.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"connquery"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// Campus buildings.
+	var buildings []connquery.Rect
+	blocks := []connquery.Rect{
+		connquery.R(100, 100, 260, 220),
+		connquery.R(340, 80, 520, 200),
+		connquery.R(600, 120, 760, 260),
+		connquery.R(150, 320, 320, 470),
+		connquery.R(420, 300, 560, 480),
+		connquery.R(640, 340, 820, 460),
+		connquery.R(120, 560, 300, 700),
+		connquery.R(380, 540, 540, 720),
+		connquery.R(620, 560, 800, 680),
+	}
+	buildings = append(buildings, blocks...)
+
+	// Emergency phones along walkways.
+	var phones []connquery.Point
+	for len(phones) < 14 {
+		p := connquery.Pt(80+rng.Float64()*760, 60+rng.Float64()*680)
+		free := true
+		for _, b := range buildings {
+			if b.ContainsOpen(p) {
+				free = false
+				break
+			}
+		}
+		if free {
+			phones = append(phones, p)
+		}
+	}
+
+	db, err := connquery.Open(phones, buildings)
+	if err != nil {
+		log.Fatalf("open: %v", err)
+	}
+
+	// The patrol route: four legs with three turns, kept on walkways.
+	route := []connquery.Point{
+		connquery.Pt(60, 60),
+		connquery.Pt(60, 740),
+		connquery.Pt(860, 740),
+		connquery.Pt(860, 60),
+		connquery.Pt(60, 60),
+	}
+
+	tr, m, err := db.TrajectoryCONN(route)
+	if err != nil {
+		log.Fatalf("trajectory: %v", err)
+	}
+	fmt.Println("Patrol route: nearest emergency phone per stretch")
+	for li, leg := range tr.Legs {
+		fmt.Printf("leg %d: %v -> %v\n", li+1, leg.Q.A, leg.Q.B)
+		for _, tup := range leg.Tuples {
+			if tup.PID == connquery.NoOwner {
+				fmt.Printf("    [%.2f, %.2f]: no phone reachable\n", tup.Span.Lo, tup.Span.Hi)
+				continue
+			}
+			fmt.Printf("    [%.2f, %.2f]: phone %d at %v\n", tup.Span.Lo, tup.Span.Hi, tup.PID, tup.P)
+		}
+	}
+	fmt.Printf("total: %d points evaluated, %d obstacles, cost %v\n\n", m.NPE, m.NOE, m.TotalCost())
+
+	fmt.Println("Phones within a 150 m walk of each waypoint:")
+	for i, w := range route[:len(route)-1] {
+		nbrs, _, err := db.ObstructedRange(w, 150)
+		if err != nil {
+			log.Fatalf("range: %v", err)
+		}
+		fmt.Printf("  waypoint %d %v:", i+1, w)
+		if len(nbrs) == 0 {
+			fmt.Print(" none")
+		}
+		for _, n := range nbrs {
+			fmt.Printf(" phone%d(%.0fm)", n.PID, n.Dist)
+		}
+		fmt.Println()
+	}
+}

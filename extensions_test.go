@@ -1,0 +1,66 @@
+package connquery
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTrajectoryCONNPublic(t *testing.T) {
+	db := smallDB(t)
+	tr, m, err := db.TrajectoryCONN([]Point{Pt(0, 0), Pt(100, 0), Pt(100, 100)})
+	if err != nil {
+		t.Fatalf("TrajectoryCONN: %v", err)
+	}
+	if len(tr.Legs) != 2 {
+		t.Fatalf("legs = %d", len(tr.Legs))
+	}
+	if m.NPE == 0 {
+		t.Fatal("metrics empty")
+	}
+	if _, _, err := db.TrajectoryCONN([]Point{Pt(0, 0)}); err == nil {
+		t.Fatal("single-waypoint trajectory accepted")
+	}
+	if _, _, err := db.TrajectoryCONN([]Point{Pt(0, 0), Pt(0, 0)}); err == nil {
+		t.Fatal("all-degenerate trajectory accepted")
+	}
+}
+
+func TestObstructedRangePublic(t *testing.T) {
+	db := smallDB(t)
+	// Radius reaching points 0 and 2 from the segment start area.
+	nbrs, _, err := db.ObstructedRange(Pt(10, 0), 15)
+	if err != nil {
+		t.Fatalf("ObstructedRange: %v", err)
+	}
+	if len(nbrs) != 1 || nbrs[0].PID != 0 {
+		t.Fatalf("nbrs = %+v, want only point 0", nbrs)
+	}
+	if math.Abs(nbrs[0].Dist-10) > 1e-9 {
+		t.Fatalf("dist = %v, want 10", nbrs[0].Dist)
+	}
+	all, _, err := db.ObstructedRange(Pt(50, 50), 1e6)
+	if err != nil || len(all) != db.NumPoints() {
+		t.Fatalf("huge radius returned %d of %d (%v)", len(all), db.NumPoints(), err)
+	}
+	if _, _, err := db.ObstructedRange(Pt(0, 0), -1); err == nil {
+		t.Fatal("negative radius accepted")
+	}
+}
+
+// The obstructed range must respect obstacles: a point just behind a wall
+// is Euclidean-near but obstructed-far.
+func TestObstructedRangeRespectsWalls(t *testing.T) {
+	points := []Point{Pt(0, 10)}
+	obstacles := []Rect{R(-50, 4, 50, 6)} // wall between the origin and the point
+	db, err := Open(points, obstacles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Euclidean distance is 10, but the wall forces a ~100+ unit detour.
+	if nbrs, _, _ := db.ObstructedRange(Pt(0, 0), 20); len(nbrs) != 0 {
+		t.Fatalf("wall ignored: %+v", nbrs)
+	}
+	if nbrs, _, _ := db.ObstructedRange(Pt(0, 0), 200); len(nbrs) != 1 {
+		t.Fatal("detour radius missed the point")
+	}
+}

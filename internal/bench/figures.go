@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// Sweep grids from the paper's Table 2.
+var (
+	QLGrid     = []float64{0.015, 0.03, 0.045, 0.06, 0.075}
+	KGrid      = []int{1, 3, 5, 7, 9}
+	RatioGrid  = []float64{0.1, 0.2, 0.5, 1, 2, 5, 10}
+	BufferGrid = []float64{0.01, 0.02, 0.04, 0.08, 0.16, 0.32}
+)
+
+// Config bundles the global harness knobs shared by every figure.
+type Config struct {
+	Scale   float64 // dataset cardinality scale (1 = the paper's sizes)
+	Queries int     // queries per cell (paper: 100)
+	Seed    int64
+}
+
+func (c Config) norm() Config {
+	if c.Scale == 0 {
+		c.Scale = 0.1
+	}
+	if c.Queries == 0 {
+		c.Queries = DefaultQueries
+	}
+	return c
+}
+
+// Fig9 regenerates Figure 9: COkNN performance and |SVG| versus query
+// length ql on CL with k = 5. One table serves both subfigures — 9(a)'s
+// time/NPE/NOE columns and 9(b)'s |SVG| vs FULL columns.
+func Fig9(out io.Writer, cfg Config) {
+	cfg = cfg.norm()
+	fmt.Fprintf(out, "Figure 9: CL, k=5 — performance vs query length (scale %.2f, %d queries/cell)\n", cfg.Scale, cfg.Queries)
+	w := BuildWorkload("CL", cfg.Scale, DefaultRatio, cfg.Seed)
+	header(out, "ql")
+	for _, ql := range QLGrid {
+		c := Run(w, RunConfig{QL: ql, K: 5, Queries: cfg.Queries, Seed: cfg.Seed})
+		row(out, fmt.Sprintf("%.1f%%", ql*100), c)
+	}
+	fmt.Fprintln(out)
+}
+
+// Fig10 regenerates Figure 10: performance and |SVG| versus k on CL with
+// ql = 4.5%.
+func Fig10(out io.Writer, cfg Config) {
+	cfg = cfg.norm()
+	fmt.Fprintf(out, "Figure 10: CL, ql=4.5%% — performance vs k (scale %.2f, %d queries/cell)\n", cfg.Scale, cfg.Queries)
+	w := BuildWorkload("CL", cfg.Scale, DefaultRatio, cfg.Seed)
+	header(out, "k")
+	for _, k := range KGrid {
+		c := Run(w, RunConfig{QL: DefaultQL, K: k, Queries: cfg.Queries, Seed: cfg.Seed})
+		row(out, fmt.Sprintf("%d", k), c)
+	}
+	fmt.Fprintln(out)
+}
+
+// Fig11 regenerates Figure 11: performance and |SVG| versus the |P|/|O|
+// cardinality ratio on UL (subfigures a, b) and ZL (subfigures c, d), with
+// k = 5 and ql = 4.5%.
+func Fig11(out io.Writer, cfg Config) {
+	cfg = cfg.norm()
+	for _, name := range []string{"UL", "ZL"} {
+		fmt.Fprintf(out, "Figure 11 (%s): k=5, ql=4.5%% — performance vs |P|/|O| (scale %.2f, %d queries/cell)\n", name, cfg.Scale, cfg.Queries)
+		header(out, "|P|/|O|")
+		for _, ratio := range RatioGrid {
+			w := BuildWorkload(name, cfg.Scale, ratio, cfg.Seed)
+			c := Run(w, RunConfig{QL: DefaultQL, K: 5, Queries: cfg.Queries, Seed: cfg.Seed})
+			row(out, fmt.Sprintf("%.1f", ratio), c)
+		}
+		fmt.Fprintln(out)
+	}
+}
+
+// Fig12 regenerates Figure 12: performance versus LRU buffer size (as a
+// fraction of each tree's size) on CL (a, b) and UL (c, d). Following the
+// paper, half of the queries warm the buffer and only the second half is
+// reported, so only the I/O column should respond to the buffer.
+func Fig12(out io.Writer, cfg Config) {
+	cfg = cfg.norm()
+	warm := cfg.Queries / 2
+	report := cfg.Queries - warm
+	for _, name := range []string{"CL", "UL"} {
+		fmt.Fprintf(out, "Figure 12 (%s): k=5, ql=4.5%% — performance vs buffer size (warm-up %d, report %d)\n", name, warm, report)
+		w := BuildWorkload(name, cfg.Scale, DefaultRatio, cfg.Seed)
+		header(out, "buffer")
+		base := Run(w, RunConfig{QL: DefaultQL, K: 5, Queries: report, WarmUp: warm, Seed: cfg.Seed})
+		row(out, "0%", base)
+		for _, bs := range BufferGrid {
+			c := Run(w, RunConfig{QL: DefaultQL, K: 5, Queries: report, WarmUp: warm, BufferFrac: bs, Seed: cfg.Seed})
+			row(out, fmt.Sprintf("%.0f%%", bs*100), c)
+		}
+		fmt.Fprintln(out)
+	}
+}
+
+// Fig13 regenerates Figure 13: COkNN on two R-trees (2T) versus one unified
+// R-tree (1T), across query length (a: CL, b: UL), k (c: CL, d: UL) and
+// |P|/|O| (e: UL, f: ZL). Reported as paired total-cost columns.
+func Fig13(out io.Writer, cfg Config) {
+	cfg = cfg.norm()
+	pair := func(w Workload, rc RunConfig) (Cell, Cell) {
+		two := Run(w, rc)
+		rc.OneTree = true
+		one := Run(w, rc)
+		return one, two
+	}
+	prt := func(label string, one, two Cell) {
+		fmt.Fprintf(out, "%-10s %14.1f %14.1f\n", label,
+			float64(one.Mean.TotalCost().Microseconds())/1000,
+			float64(two.Mean.TotalCost().Microseconds())/1000)
+	}
+
+	for _, name := range []string{"CL", "UL"} {
+		fmt.Fprintf(out, "Figure 13 (%s): total cost vs ql — 1T vs 2T\n", name)
+		fmt.Fprintf(out, "%-10s %14s %14s\n", "ql", "1T total(ms)", "2T total(ms)")
+		w := BuildWorkload(name, cfg.Scale, DefaultRatio, cfg.Seed)
+		for _, ql := range QLGrid {
+			one, two := pair(w, RunConfig{QL: ql, K: 5, Queries: cfg.Queries, Seed: cfg.Seed})
+			prt(fmt.Sprintf("%.1f%%", ql*100), one, two)
+		}
+		fmt.Fprintln(out)
+	}
+	for _, name := range []string{"CL", "UL"} {
+		fmt.Fprintf(out, "Figure 13 (%s): total cost vs k — 1T vs 2T\n", name)
+		fmt.Fprintf(out, "%-10s %14s %14s\n", "k", "1T total(ms)", "2T total(ms)")
+		w := BuildWorkload(name, cfg.Scale, DefaultRatio, cfg.Seed)
+		for _, k := range KGrid {
+			one, two := pair(w, RunConfig{QL: DefaultQL, K: k, Queries: cfg.Queries, Seed: cfg.Seed})
+			prt(fmt.Sprintf("%d", k), one, two)
+		}
+		fmt.Fprintln(out)
+	}
+	for _, name := range []string{"UL", "ZL"} {
+		fmt.Fprintf(out, "Figure 13 (%s): total cost vs |P|/|O| — 1T vs 2T\n", name)
+		fmt.Fprintf(out, "%-10s %14s %14s\n", "|P|/|O|", "1T total(ms)", "2T total(ms)")
+		for _, ratio := range RatioGrid {
+			w := BuildWorkload(name, cfg.Scale, ratio, cfg.Seed)
+			one, two := pair(w, RunConfig{QL: DefaultQL, K: 5, Queries: cfg.Queries, Seed: cfg.Seed})
+			prt(fmt.Sprintf("%.1f", ratio), one, two)
+		}
+		fmt.Fprintln(out)
+	}
+}
+
+// Ablations benchmarks the paper's individual design choices (DESIGN.md §7):
+// Lemma 1's endpoint shortcut, Lemma 7's CPLC termination, local-VG reuse,
+// and the quadratic solver, each against its disabled variant on CL.
+func Ablations(out io.Writer, cfg Config) {
+	cfg = cfg.norm()
+	w := BuildWorkload("CL", cfg.Scale, DefaultRatio, cfg.Seed)
+	fmt.Fprintf(out, "Ablations: CL (CONN, k=1), ql=4.5%% (scale %.2f, %d queries/cell)\n", cfg.Scale, cfg.Queries)
+	header(out, "variant")
+	base := RunConfig{QL: DefaultQL, K: 5, Queries: cfg.Queries, Seed: cfg.Seed, UseCONN: true}
+	row(out, "full", Run(w, base))
+
+	v := base
+	v.Tuning.DisableLemma1 = true
+	row(out, "-lemma1", Run(w, v))
+
+	v = base
+	v.Tuning.DisableLemma7 = true
+	row(out, "-lemma7", Run(w, v))
+
+	v = base
+	v.Tuning.UseBisectionSolver = true
+	row(out, "-quad", Run(w, v))
+
+	v = base
+	v.Tuning.DisableVGReuse = true
+	row(out, "-vgreuse", Run(w, v))
+	fmt.Fprintln(out)
+}

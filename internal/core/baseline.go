@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"connquery/internal/geom"
+	"connquery/internal/rtree"
+	"connquery/internal/stats"
+	"connquery/internal/visgraph"
+)
+
+func rtreeSegTarget(q geom.Segment) rtree.SegmentTarget { return rtree.SegmentTarget{Seg: q} }
+
+// Neighbor is one answer of a point ONN query.
+type Neighbor struct {
+	PID  int32
+	P    geom.Point
+	Dist float64 // obstructed distance
+}
+
+// ONN answers a snapshot obstructed k-nearest-neighbor query at a single
+// point (Zhang et al., EDBT 2004 / Xia et al., BNCOD 2004 — the building
+// block the naive CONN baseline issues at every sample position). It reuses
+// the incremental machinery with a degenerate query segment: the best-first
+// scan is ordered by Euclidean mindist (a lower bound of the obstructed
+// distance) and terminates once the bound exceeds the k-th best obstructed
+// distance found.
+func (e *Engine) ONN(pt geom.Point, k int) ([]Neighbor, stats.QueryMetrics) {
+	if k < 1 {
+		k = 1
+	}
+	start := time.Now()
+	qs := e.newQueryState(geom.Seg(pt, pt))
+
+	var best []Neighbor // sorted ascending by Dist, length <= k
+	kth := func() float64 {
+		if len(best) < k {
+			return math.Inf(1)
+		}
+		return best[len(best)-1].Dist
+	}
+	for {
+		bound, ok := qs.peekPointBound()
+		if !ok || bound >= kth() {
+			break
+		}
+		item, _, _ := qs.nextPoint()
+		p := item.Point()
+		qs.npe++
+
+		pNode := qs.vg.AddPoint(p, visgraph.KindTransient)
+		dS, _ := qs.ior(pNode)
+		qs.vg.RemovePoint(pNode)
+		if math.IsInf(dS, 1) {
+			continue
+		}
+		best = append(best, Neighbor{PID: item.ID, P: p, Dist: dS})
+		sort.SliceStable(best, func(i, j int) bool { return best[i].Dist < best[j].Dist })
+		if len(best) > k {
+			best = best[:k]
+		}
+	}
+	m := stats.QueryMetrics{NPE: qs.npe, NOE: qs.noe, SVG: qs.svgSize(), CPU: time.Since(start)}
+	return best, m
+}
+
+// CNN answers the classical Euclidean continuous nearest neighbor query
+// (Tao, Papadias & Shen, VLDB 2002) — the obstacle-free special case the
+// paper contrasts in Figure 1. It runs the same best-first scan and
+// result-list update with every point acting as its own control point at
+// base distance zero; with no obstacles the obstructed distance reduces to
+// the Euclidean distance and the split points are the classical bisector
+// crossings.
+func (e *Engine) CNN(q geom.Segment) (*Result, stats.QueryMetrics) {
+	start := time.Now()
+	qs := e.newQueryState(q)
+	rl := []ResultEntry{{PID: NoOwner, Span: geom.Span{Lo: 0, Hi: 1}}}
+	for {
+		bound, ok := qs.peekPointBound()
+		if !ok || bound >= rlMax(q, rl) {
+			break
+		}
+		item, _, _ := qs.nextPoint()
+		p := item.Point()
+		qs.npe++
+		cpl := CPL{{Span: geom.Span{Lo: 0, Hi: 1}, Fn: distFn{CP: p, Base: 0}, Valid: true}}
+		rl = qs.rlu(rl, item.ID, p, cpl)
+	}
+	m := stats.QueryMetrics{NPE: qs.npe, CPU: time.Since(start)}
+	return &Result{Q: q, Tuples: finalizeRL(rl)}, m
+}
+
+// NaiveCONN is the baseline the paper dismisses in §1: issue an ONN query at
+// (a sampling of) every point along q and stitch equal consecutive answers.
+// Its accuracy depends on the sample count and it re-pays the obstacle
+// retrieval for every sample, which is exactly the cost profile the CONN
+// algorithm is designed to avoid; it exists for benchmarking and as a
+// cross-check.
+func (e *Engine) NaiveCONN(q geom.Segment, samples int) (*Result, stats.QueryMetrics) {
+	if samples < 2 {
+		samples = 2
+	}
+	start := time.Now()
+	agg := stats.QueryMetrics{}
+	var tuples []Tuple
+	for i := 0; i <= samples; i++ {
+		t := float64(i) / float64(samples)
+		nbrs, m := e.ONN(q.At(t), 1)
+		agg.NPE += m.NPE
+		agg.NOE += m.NOE
+		if m.SVG > agg.SVG {
+			agg.SVG = m.SVG
+		}
+		pid, p := NoOwner, geom.Point{}
+		if len(nbrs) > 0 {
+			pid, p = nbrs[0].PID, nbrs[0].P
+		}
+		if n := len(tuples); n > 0 && tuples[n-1].PID == pid {
+			tuples[n-1].Span.Hi = t
+			continue
+		}
+		lo := 0.0
+		if n := len(tuples); n > 0 {
+			lo = tuples[n-1].Span.Hi
+		}
+		tuples = append(tuples, Tuple{PID: pid, P: p, Span: geom.Span{Lo: lo, Hi: t}})
+	}
+	if n := len(tuples); n > 0 {
+		tuples[n-1].Span.Hi = 1
+	}
+	agg.CPU = time.Since(start)
+	return &Result{Q: q, Tuples: tuples}, agg
+}
+
+// BruteCONNDistanceAt is the test oracle: the exact obstructed distance from
+// the closest data point to q(t), computed with the full visibility graph
+// over the complete obstacle set. O(|P| * |O|^2 log) per call — tests only.
+func BruteCONNDistanceAt(points []geom.Point, obstacles []geom.Rect, q geom.Segment, t float64) float64 {
+	s := q.At(t)
+	best := math.Inf(1)
+	for _, p := range points {
+		if d := visgraph.BruteObstructedDist(p, s, obstacles); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// BruteKDistancesAt returns the k smallest exact obstructed distances from
+// the data points to q(t) (test oracle for COkNN).
+func BruteKDistancesAt(points []geom.Point, obstacles []geom.Rect, q geom.Segment, t float64, k int) []float64 {
+	s := q.At(t)
+	ds := make([]float64, 0, len(points))
+	for _, p := range points {
+		ds = append(ds, visgraph.BruteObstructedDist(p, s, obstacles))
+	}
+	sort.Float64s(ds)
+	if len(ds) > k {
+		ds = ds[:k]
+	}
+	return ds
+}

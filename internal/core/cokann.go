@@ -1,0 +1,243 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"connquery/internal/geom"
+	"connquery/internal/interval"
+	"connquery/internal/stats"
+	"connquery/internal/visgraph"
+)
+
+// kEntry is one interval of the COkNN result list: Owners are the (up to k)
+// obstructed nearest neighbors over Span, each with the distance function
+// valid on that span.
+type kEntry struct {
+	Span   geom.Span
+	Owners []Owner
+}
+
+// COKNN answers a continuous obstructed k-nearest-neighbor query (§4.5).
+// The outer loop is Algorithm 4's best-first scan with the generalized
+// pruning bound RLMAX_k = max_i maxodist(ONNS_i, R_i endpoints); the inner
+// merge maintains the exact k-level of the candidate distance envelope using
+// the same quadratic crossing machinery as the k = 1 Split function.
+func (e *Engine) COKNN(q geom.Segment, k int) (*KResult, stats.QueryMetrics) {
+	if k < 1 {
+		k = 1
+	}
+	start := time.Now()
+	var snapD, snapO int64
+	if e.DataCounter != nil {
+		snapD = e.DataCounter.Faults
+	}
+	if e.ObstCounter != nil {
+		snapO = e.ObstCounter.Faults
+	}
+
+	qs := e.newQueryState(q)
+	kl := []kEntry{{Span: geom.Span{Lo: 0, Hi: 1}}}
+
+	for {
+		bound, ok := qs.peekPointBound()
+		if !ok || bound >= rlkMax(q, kl, k) {
+			break
+		}
+		item, _, _ := qs.nextPoint()
+		p := item.Point()
+		qs.npe++
+
+		qs.maybeResetVG()
+		pNode := qs.vg.AddPoint(p, visgraph.KindTransient)
+		qs.ior(pNode)
+		cpl := qs.computeCPL(pNode)
+		qs.vg.RemovePoint(pNode)
+		kl = qs.mergeK(kl, item.ID, p, cpl, k)
+	}
+
+	m := stats.QueryMetrics{
+		NPE: qs.npe,
+		NOE: qs.noe,
+		SVG: qs.svgSize(),
+		CPU: time.Since(start),
+	}
+	if e.DataCounter != nil {
+		m.FaultsData = e.DataCounter.Faults - snapD
+	}
+	if e.ObstCounter != nil {
+		m.FaultsObst = e.ObstCounter.Faults - snapO
+	}
+	return &KResult{Q: q, K: k, Tuples: finalizeKL(q, kl)}, m
+}
+
+// mergeK folds a candidate point's CPL into the k-result list.
+func (qs *queryState) mergeK(kl []kEntry, pid int32, p geom.Point, cpl CPL, k int) []kEntry {
+	q := qs.q
+	var out []kEntry
+	i, j := 0, 0
+	cursor := 0.0
+	for i < len(kl) && j < len(cpl) {
+		hi := math.Min(kl[i].Span.Hi, cpl[j].Span.Hi)
+		cell := geom.Span{Lo: cursor, Hi: hi}
+		if !cell.Empty() {
+			out = append(out, qs.resolveKCell(q, cell, kl[i], pid, p, cpl[j], k)...)
+		}
+		cursor = hi
+		if kl[i].Span.Hi <= hi+interval.Eps {
+			i++
+		}
+		if cpl[j].Span.Hi <= hi+interval.Eps {
+			j++
+		}
+	}
+	for ; i < len(kl); i++ {
+		cell := geom.Span{Lo: cursor, Hi: kl[i].Span.Hi}
+		if !cell.Empty() {
+			e := kl[i]
+			e.Span = cell
+			out = append(out, e)
+		}
+		cursor = kl[i].Span.Hi
+	}
+	return normalizeKL(out)
+}
+
+// resolveKCell updates one atomic cell's owner set with the candidate.
+func (qs *queryState) resolveKCell(q geom.Segment, cell geom.Span, old kEntry, pid int32, p geom.Point, ce CPLEntry, k int) []kEntry {
+	if !ce.Valid {
+		old.Span = cell
+		return []kEntry{old}
+	}
+	cand := Owner{PID: pid, P: p, Fn: ce.Fn}
+	if len(old.Owners) < k {
+		owners := append(append([]Owner(nil), old.Owners...), cand)
+		return []kEntry{{Span: cell, Owners: owners}}
+	}
+	// Full owner set: subdivide the cell at every pairwise crossing among
+	// owners ∪ {cand}. Within each sub-cell the ranking of all k+1 distance
+	// functions is fixed, so the k-set is decided by a midpoint evaluation.
+	all := append(append([]Owner(nil), old.Owners...), cand)
+	cuts := []float64{cell.Lo, cell.Hi}
+	for a := 0; a < len(all); a++ {
+		for b := a + 1; b < len(all); b++ {
+			cuts = append(cuts, quadraticCrossings(q, cell, all[a].Fn, all[b].Fn)...)
+		}
+	}
+	sort.Float64s(cuts)
+	var out []kEntry
+	for i := 1; i < len(cuts); i++ {
+		sub := geom.Span{Lo: cuts[i-1], Hi: cuts[i]}
+		if sub.Len() <= splitEps {
+			continue
+		}
+		mid := sub.Mid()
+		ranked := append([]Owner(nil), all...)
+		sort.SliceStable(ranked, func(a, b int) bool {
+			return ranked[a].Fn.eval(q, mid) < ranked[b].Fn.eval(q, mid)
+		})
+		out = append(out, kEntry{Span: sub, Owners: ranked[:k]})
+	}
+	if len(out) == 0 {
+		old.Span = cell
+		return []kEntry{old}
+	}
+	out[0].Span.Lo = cell.Lo
+	out[len(out)-1].Span.Hi = cell.Hi
+	return out
+}
+
+// rlkMax is the §4.5 generalized pruning bound: +Inf while any interval has
+// fewer than k owners, otherwise the maximum over intervals of the maximal
+// owner distance at the interval endpoints (maxodist).
+func rlkMax(q geom.Segment, kl []kEntry, k int) float64 {
+	m := 0.0
+	for _, e := range kl {
+		if len(e.Owners) < k {
+			return math.Inf(1)
+		}
+		for _, o := range e.Owners {
+			m = math.Max(m, math.Max(o.Fn.eval(q, e.Span.Lo), o.Fn.eval(q, e.Span.Hi)))
+		}
+	}
+	return m
+}
+
+// normalizeKL merges adjacent entries whose owner lists are identical
+// (same PIDs and same distance functions).
+func normalizeKL(kl []kEntry) []kEntry {
+	sort.Slice(kl, func(i, j int) bool { return kl[i].Span.Lo < kl[j].Span.Lo })
+	out := kl[:0]
+	for _, e := range kl {
+		if e.Span.Empty() {
+			continue
+		}
+		if n := len(out); n > 0 && sameOwners(out[n-1].Owners, e.Owners) && e.Span.Lo-out[n-1].Span.Hi <= interval.Eps {
+			out[n-1].Span.Hi = e.Span.Hi
+		} else {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func sameOwners(a, b []Owner) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	used := make([]bool, len(b))
+outer:
+	for _, oa := range a {
+		for i, ob := range b {
+			if !used[i] && oa.PID == ob.PID && oa.Fn.CP.Eq(ob.Fn.CP) && math.Abs(oa.Fn.Base-ob.Fn.Base) <= geom.Eps {
+				used[i] = true
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// finalizeKL converts internal entries to user-facing tuples: adjacent
+// entries with equal owner PID sets merge, and owners are sorted by their
+// distance at the span midpoint.
+func finalizeKL(q geom.Segment, kl []kEntry) []KTuple {
+	var out []KTuple
+	for _, e := range kl {
+		ids := ownerIDSet(e.Owners)
+		if n := len(out); n > 0 && equalIDSets(ownerIDSet(out[n-1].Owners), ids) {
+			out[n-1].Span.Hi = e.Span.Hi
+			continue
+		}
+		owners := append([]Owner(nil), e.Owners...)
+		mid := e.Span.Mid()
+		sort.SliceStable(owners, func(i, j int) bool {
+			return owners[i].Fn.eval(q, mid) < owners[j].Fn.eval(q, mid)
+		})
+		out = append(out, KTuple{Span: e.Span, Owners: owners})
+	}
+	return out
+}
+
+func ownerIDSet(os []Owner) []int32 {
+	ids := make([]int32, len(os))
+	for i, o := range os {
+		ids[i] = o.PID
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func equalIDSets(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

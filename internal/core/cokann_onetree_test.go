@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"connquery/internal/geom"
+)
+
+// COkNN must give identical answers in one-tree and two-tree modes.
+func TestCOKNNOneTreeMatchesTwoTree(t *testing.T) {
+	r := rand.New(rand.NewSource(811))
+	for trial := 0; trial < 15; trial++ {
+		k := 1 + r.Intn(3)
+		sc := randScene(r, k+3+r.Intn(15), 1+r.Intn(7), 100)
+		two := sc.engine(Options{}, false)
+		one := sc.engine(Options{}, true)
+		r2, _ := two.COKNN(sc.q, k)
+		r1, _ := one.COKNN(sc.q, k)
+		for s := 0; s <= 40; s++ {
+			tt := float64(s) / 40
+			ids1, ok1 := r1.OwnerSetAt(tt)
+			ids2, ok2 := r2.OwnerSetAt(tt)
+			if ok1 != ok2 {
+				t.Fatalf("trial %d t=%v: coverage mismatch", trial, tt)
+			}
+			near := false
+			for _, res := range []*KResult{r1, r2} {
+				for _, tu := range res.Tuples {
+					if math.Abs(tt-tu.Span.Lo) < 1e-4 || math.Abs(tt-tu.Span.Hi) < 1e-4 {
+						near = true
+					}
+				}
+			}
+			if near {
+				continue
+			}
+			if !equalIDSets(ids1, ids2) {
+				t.Fatalf("trial %d t=%v: 1T %v vs 2T %v", trial, tt, ids1, ids2)
+			}
+		}
+	}
+}
+
+// The COkNN termination bound rlkMax must be infinite while any interval
+// has fewer than k owners and finite (and correct) once all do.
+func TestRLKMaxSemantics(t *testing.T) {
+	q := randScene(rand.New(rand.NewSource(813)), 1, 0, 100).q
+	fn := func(x, y, base float64) Owner {
+		return Owner{PID: 0, P: q.A, Fn: distFn{CP: q.At(0.5), Base: base}}
+	}
+	kl := []kEntry{{Span: geom.Span{Lo: 0, Hi: 1}, Owners: []Owner{fn(0, 0, 3)}}}
+	if !math.IsInf(rlkMax(q, kl, 2), 1) {
+		t.Fatal("under-filled entry should give +Inf bound")
+	}
+	bound := rlkMax(q, kl, 1)
+	want := math.Max(3+q.At(0.5).Sub(q.A).Norm(), 3+q.At(0.5).Sub(q.B).Norm())
+	if math.Abs(bound-want) > 1e-9 {
+		t.Fatalf("bound = %v, want %v", bound, want)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"time"
+
+	"connquery/internal/geom"
+	"connquery/internal/stats"
+	"connquery/internal/visgraph"
+)
+
+// CONN is Algorithm 4: it answers a continuous obstructed nearest neighbor
+// query for the segment q, returning the result tuples and the paper's cost
+// metrics. Data points are consumed in ascending mindist(p, q) order; each
+// one runs IOR -> CPLC -> RLU; Lemma 2 terminates the scan once no
+// unexamined point can still alter the result list.
+func (e *Engine) CONN(q geom.Segment) (*Result, stats.QueryMetrics) {
+	start := time.Now()
+	var snapD, snapO int64
+	if e.DataCounter != nil {
+		snapD = e.DataCounter.Faults
+	}
+	if e.ObstCounter != nil {
+		snapO = e.ObstCounter.Faults
+	}
+
+	qs := e.newQueryState(q)
+	rl := []ResultEntry{{PID: NoOwner, Span: geom.Span{Lo: 0, Hi: 1}}}
+
+	for {
+		bound, ok := qs.peekPointBound()
+		if !ok || bound >= rlMax(q, rl) {
+			break // Lemma 2 (or P exhausted)
+		}
+		item, _, _ := qs.nextPoint()
+		p := item.Point()
+		qs.npe++
+		rl = qs.evaluatePoint(rl, item.ID, p)
+	}
+
+	m := stats.QueryMetrics{
+		NPE: qs.npe,
+		NOE: qs.noe,
+		SVG: qs.svgSize(),
+		CPU: time.Since(start),
+	}
+	if e.DataCounter != nil {
+		m.FaultsData = e.DataCounter.Faults - snapD
+	}
+	if e.ObstCounter != nil {
+		m.FaultsObst = e.ObstCounter.Faults - snapO
+	}
+	return &Result{Q: q, Tuples: finalizeRL(rl)}, m
+}
+
+// maybeResetVG implements the DisableVGReuse ablation: forget everything
+// discovered for previous points, forcing the next IOR to re-retrieve its
+// obstacles from scratch.
+func (qs *queryState) maybeResetVG() {
+	if !qs.eng.Opts.DisableVGReuse {
+		return
+	}
+	qs.svgSize() // record peak before discarding
+	qs.resetVG()
+	qs.loadedUpTo = 0
+	qs.rewindObstacleSource()
+}
+
+// evaluatePoint runs the per-point pipeline of Algorithm 4 lines 5-10:
+// insert p into the local VG, IOR, CPLC, remove p, RLU.
+func (qs *queryState) evaluatePoint(rl []ResultEntry, pid int32, p geom.Point) []ResultEntry {
+	qs.maybeResetVG()
+	pNode := qs.vg.AddPoint(p, visgraph.KindTransient)
+	qs.ior(pNode)
+	cpl := qs.computeCPL(pNode)
+	qs.vg.RemovePoint(pNode)
+	return qs.rlu(rl, pid, p, cpl)
+}
+
+// rewindObstacleSource restarts the obstacle iterator (only used by the
+// DisableVGReuse ablation; the paper's algorithm never rewinds — §4.1 notes
+// the shared VG means O is traversed at most once per query).
+func (qs *queryState) rewindObstacleSource() {
+	if qs.eng.OneTree() {
+		// One-tree mode cannot rewind without re-consuming data points; the
+		// ablation is only defined for the two-tree configuration.
+		panic("core: DisableVGReuse is incompatible with one-tree mode")
+	}
+	qs.obstIter = qs.eng.Obst.NewNearestIter(rtreeSegTarget(qs.q))
+}
+
+// finalizeRL converts the internal ⟨p, cp, R⟩ decomposition into the
+// user-facing ⟨p, R⟩ tuples by merging adjacent entries owned by the same
+// data point (split points between same-owner control-point changes are
+// internal, not answer split points).
+func finalizeRL(rl []ResultEntry) []Tuple {
+	var out []Tuple
+	for _, e := range rl {
+		if n := len(out); n > 0 && out[n-1].PID == e.PID {
+			out[n-1].Span.Hi = e.Span.Hi
+			continue
+		}
+		out = append(out, Tuple{PID: e.PID, P: e.P, Span: e.Span})
+	}
+	return out
+}

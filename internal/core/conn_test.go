@@ -1,0 +1,404 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"connquery/internal/geom"
+	"connquery/internal/rtree"
+	"connquery/internal/visgraph"
+)
+
+// scene bundles a randomly generated test instance.
+type scene struct {
+	points    []geom.Point
+	obstacles []geom.Rect
+	q         geom.Segment
+}
+
+// randScene draws a well-formed instance: points outside obstacle
+// interiors, query segment not crossing any obstacle interior.
+func randScene(r *rand.Rand, nPts, nObs int, domain float64) scene {
+	var sc scene
+	for len(sc.obstacles) < nObs {
+		lo := geom.Pt(r.Float64()*domain, r.Float64()*domain)
+		o := geom.R(lo.X, lo.Y, lo.X+1+r.Float64()*domain/6, lo.Y+1+r.Float64()*domain/6)
+		sc.obstacles = append(sc.obstacles, o)
+	}
+	for len(sc.points) < nPts {
+		p := geom.Pt(r.Float64()*domain, r.Float64()*domain)
+		ok := true
+		for _, o := range sc.obstacles {
+			if o.ContainsOpen(p) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			sc.points = append(sc.points, p)
+		}
+	}
+	for {
+		a := geom.Pt(r.Float64()*domain, r.Float64()*domain)
+		b := geom.Pt(a.X+(r.Float64()-0.5)*domain/2, a.Y+(r.Float64()-0.5)*domain/2)
+		q := geom.Seg(a, b)
+		if q.Degenerate() {
+			continue
+		}
+		clear := true
+		for _, o := range sc.obstacles {
+			if o.BlocksSegment(q) || o.ContainsOpen(a) || o.ContainsOpen(b) {
+				clear = false
+				break
+			}
+		}
+		if clear {
+			sc.q = q
+			return sc
+		}
+	}
+}
+
+// engines builds two-tree and one-tree engines over the scene.
+func (sc scene) engine(opts Options, oneTree bool) *Engine {
+	if oneTree {
+		uni := rtree.New(rtree.Options{PageSize: 512})
+		for i, p := range sc.points {
+			uni.Insert(rtree.PointItem(int32(i), p))
+		}
+		for i, o := range sc.obstacles {
+			uni.Insert(rtree.ObstacleItem(int32(i), o))
+		}
+		return &Engine{Unified: uni, Obstacles: sc.obstacles, Opts: opts}
+	}
+	data := rtree.New(rtree.Options{PageSize: 512})
+	for i, p := range sc.points {
+		data.Insert(rtree.PointItem(int32(i), p))
+	}
+	obst := rtree.New(rtree.Options{PageSize: 512})
+	for i, o := range sc.obstacles {
+		obst.Insert(rtree.ObstacleItem(int32(i), o))
+	}
+	return &Engine{Data: data, Obst: obst, Obstacles: sc.obstacles, Opts: opts}
+}
+
+// checkCONNAgainstOracle verifies that at every sample position the result's
+// claimed owner distance equals the exact brute-force minimum.
+func checkCONNAgainstOracle(t *testing.T, sc scene, res *Result, samples int, label string) {
+	t.Helper()
+	// Result list structural invariants (Definition 6).
+	if len(res.Tuples) == 0 {
+		t.Fatalf("%s: empty result", label)
+	}
+	if res.Tuples[0].Span.Lo > 1e-9 || res.Tuples[len(res.Tuples)-1].Span.Hi < 1-1e-9 {
+		t.Fatalf("%s: tuples do not cover q: %+v", label, res.Tuples)
+	}
+	for i := 1; i < len(res.Tuples); i++ {
+		if math.Abs(res.Tuples[i].Span.Lo-res.Tuples[i-1].Span.Hi) > 1e-9 {
+			t.Fatalf("%s: tuples not contiguous: %+v", label, res.Tuples)
+		}
+		if res.Tuples[i].PID == res.Tuples[i-1].PID {
+			t.Fatalf("%s: adjacent tuples share owner %d (split point is fake)", label, res.Tuples[i].PID)
+		}
+	}
+	for k := 0; k <= samples; k++ {
+		tt := float64(k) / float64(samples)
+		want := BruteCONNDistanceAt(sc.points, sc.obstacles, sc.q, tt)
+		tu, ok := res.OwnerAt(tt)
+		if !ok {
+			t.Fatalf("%s: no owner at t=%v", label, tt)
+		}
+		if tu.PID == NoOwner {
+			if !math.IsInf(want, 1) {
+				t.Fatalf("%s: t=%v reported unreachable but oracle dist=%v", label, tt, want)
+			}
+			continue
+		}
+		got := visgraph.BruteObstructedDist(tu.P, sc.q.At(tt), sc.obstacles)
+		if math.Abs(got-want) > 1e-6*(1+want) {
+			// Near a split point, either neighbor is acceptable within tol.
+			nearSplit := false
+			for _, s := range res.SplitPoints() {
+				if math.Abs(tt-s) < 1e-4 {
+					nearSplit = true
+				}
+			}
+			if !nearSplit {
+				t.Fatalf("%s: t=%v owner %d dist %v, oracle %v\nq=%v\npoints=%v\nobstacles=%v\ntuples=%+v",
+					label, tt, tu.PID, got, want, sc.q, sc.points, sc.obstacles, res.Tuples)
+			}
+		}
+	}
+}
+
+func TestCONNSinglePointNoObstacles(t *testing.T) {
+	sc := scene{
+		points: []geom.Point{geom.Pt(5, 5)},
+		q:      geom.Seg(geom.Pt(0, 0), geom.Pt(10, 0)),
+	}
+	e := sc.engine(Options{}, false)
+	res, m := e.CONN(sc.q)
+	if len(res.Tuples) != 1 || res.Tuples[0].PID != 0 {
+		t.Fatalf("tuples = %+v", res.Tuples)
+	}
+	if m.NPE != 1 {
+		t.Fatalf("NPE = %d", m.NPE)
+	}
+}
+
+func TestCONNEqualsCNNWithoutObstacles(t *testing.T) {
+	r := rand.New(rand.NewSource(301))
+	for trial := 0; trial < 25; trial++ {
+		sc := randScene(r, 30, 0, 100)
+		e := sc.engine(Options{}, false)
+		conn, _ := e.CONN(sc.q)
+		cnn, _ := e.CNN(sc.q)
+		if len(conn.Tuples) != len(cnn.Tuples) {
+			t.Fatalf("trial %d: CONN %d tuples vs CNN %d\nconn=%+v\ncnn=%+v",
+				trial, len(conn.Tuples), len(cnn.Tuples), conn.Tuples, cnn.Tuples)
+		}
+		for i := range conn.Tuples {
+			a, b := conn.Tuples[i], cnn.Tuples[i]
+			if a.PID != b.PID || math.Abs(a.Span.Lo-b.Span.Lo) > 1e-6 || math.Abs(a.Span.Hi-b.Span.Hi) > 1e-6 {
+				t.Fatalf("trial %d tuple %d: CONN %+v vs CNN %+v", trial, i, a, b)
+			}
+		}
+	}
+}
+
+func TestCONNFigure1Scenario(t *testing.T) {
+	// A Figure 1(b)-style scenario: an obstacle between the segment start
+	// and its Euclidean NN changes both the answer object and the split
+	// points relative to CNN.
+	d := geom.Pt(5, 3)  // Euclidean NN of S (dist 4.24), blocked by the wall
+	a := geom.Pt(2, -6) // unblocked below q, Euclidean dist 6 from S
+	q := geom.Seg(geom.Pt(2, 0), geom.Pt(14, 0))
+	sc := scene{
+		points:    []geom.Point{d, a},
+		obstacles: []geom.Rect{geom.R(0, 1, 10, 2)}, // wide wall between q and d
+		q:         q,
+	}
+	e := sc.engine(Options{}, false)
+	cnn, _ := e.CNN(q)
+	conn, _ := e.CONN(q)
+	// Euclidean: d (PID 0) owns the start of q.
+	if cnn.Tuples[0].PID != 0 {
+		t.Fatalf("CNN start owner = %d, want 0 (fixture drifted)", cnn.Tuples[0].PID)
+	}
+	// Obstructed: the wall pushes d's distance up; a (PID 1) owns the start.
+	if conn.Tuples[0].PID != 1 {
+		t.Fatalf("CONN start owner = %d, want 1\ntuples=%+v", conn.Tuples[0].PID, conn.Tuples)
+	}
+	checkCONNAgainstOracle(t, sc, conn, 120, "figure1")
+}
+
+func TestCONNRandomAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 30; trial++ {
+		sc := randScene(r, 2+r.Intn(25), 1+r.Intn(8), 100)
+		e := sc.engine(Options{}, false)
+		res, m := e.CONN(sc.q)
+		checkCONNAgainstOracle(t, sc, res, 60, "random")
+		if m.NPE == 0 || m.NPE > len(sc.points) {
+			t.Fatalf("trial %d: NPE = %d of %d", trial, m.NPE, len(sc.points))
+		}
+	}
+}
+
+func TestCONNOneTreeMatchesTwoTree(t *testing.T) {
+	r := rand.New(rand.NewSource(307))
+	for trial := 0; trial < 25; trial++ {
+		sc := randScene(r, 2+r.Intn(20), 1+r.Intn(8), 100)
+		two := sc.engine(Options{}, false)
+		one := sc.engine(Options{}, true)
+		r2, _ := two.CONN(sc.q)
+		r1, _ := one.CONN(sc.q)
+		if len(r1.Tuples) != len(r2.Tuples) {
+			t.Fatalf("trial %d: 1T %d tuples vs 2T %d\n1T=%+v\n2T=%+v",
+				trial, len(r1.Tuples), len(r2.Tuples), r1.Tuples, r2.Tuples)
+		}
+		for i := range r1.Tuples {
+			a, b := r1.Tuples[i], r2.Tuples[i]
+			if a.PID != b.PID || math.Abs(a.Span.Lo-b.Span.Lo) > 1e-6 {
+				t.Fatalf("trial %d tuple %d: 1T %+v vs 2T %+v", trial, i, a, b)
+			}
+		}
+	}
+}
+
+func TestCONNAblationsAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(311))
+	variants := []Options{
+		{},
+		{DisableLemma1: true},
+		{DisableLemma6: true},
+		{DisableLemma7: true},
+		{UseBisectionSolver: true},
+		{DisableVGReuse: true},
+		{DisableLemma1: true, DisableLemma6: true, DisableLemma7: true},
+	}
+	for trial := 0; trial < 12; trial++ {
+		sc := randScene(r, 2+r.Intn(15), 1+r.Intn(6), 100)
+		base, _ := sc.engine(variants[0], false).CONN(sc.q)
+		for vi, opts := range variants[1:] {
+			res, _ := sc.engine(opts, false).CONN(sc.q)
+			if len(res.Tuples) != len(base.Tuples) {
+				t.Fatalf("trial %d variant %d (%+v): %d tuples vs base %d\nvar=%+v\nbase=%+v",
+					trial, vi+1, opts, len(res.Tuples), len(base.Tuples), res.Tuples, base.Tuples)
+			}
+			for i := range res.Tuples {
+				a, b := res.Tuples[i], base.Tuples[i]
+				if a.PID != b.PID || math.Abs(a.Span.Lo-b.Span.Lo) > 1e-4 {
+					t.Fatalf("trial %d variant %d tuple %d: %+v vs %+v", trial, vi+1, i, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestCOKNNMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(313))
+	for trial := 0; trial < 15; trial++ {
+		k := 1 + r.Intn(3)
+		sc := randScene(r, k+2+r.Intn(12), 1+r.Intn(6), 100)
+		e := sc.engine(Options{}, false)
+		res, _ := e.COKNN(sc.q, k)
+		for s := 0; s <= 40; s++ {
+			tt := float64(s) / 40
+			want := BruteKDistancesAt(sc.points, sc.obstacles, sc.q, tt, k)
+			var tuple *KTuple
+			for i := range res.Tuples {
+				if res.Tuples[i].Span.Contains(tt) {
+					tuple = &res.Tuples[i]
+					break
+				}
+			}
+			if tuple == nil {
+				t.Fatalf("trial %d: t=%v uncovered", trial, tt)
+			}
+			if len(tuple.Owners) != len(want) {
+				t.Fatalf("trial %d t=%v: %d owners, oracle %d", trial, tt, len(tuple.Owners), len(want))
+			}
+			nearBoundary := math.Abs(tt-tuple.Span.Lo) < 1e-4 || math.Abs(tt-tuple.Span.Hi) < 1e-4
+			if nearBoundary {
+				continue
+			}
+			// Owners within a span form a set; their ranking may swap inside
+			// the span, so compare the sorted distance multisets.
+			got := make([]float64, len(tuple.Owners))
+			for i, o := range tuple.Owners {
+				got[i] = visgraph.BruteObstructedDist(o.P, sc.q.At(tt), sc.obstacles)
+			}
+			sort.Float64s(got)
+			for i := range got {
+				if math.Abs(got[i]-want[i]) > 1e-5*(1+want[i]) {
+					t.Fatalf("trial %d t=%v rank %d: dist %v, oracle %v\nowners=%+v want=%v",
+						trial, tt, i, got[i], want[i], tuple.Owners, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCOKNNK1MatchesCONN(t *testing.T) {
+	r := rand.New(rand.NewSource(317))
+	for trial := 0; trial < 20; trial++ {
+		sc := randScene(r, 2+r.Intn(15), 1+r.Intn(6), 100)
+		e := sc.engine(Options{}, false)
+		conn, _ := e.CONN(sc.q)
+		k1, _ := e.COKNN(sc.q, 1)
+		// Compare owners at samples (tuple boundaries may differ slightly).
+		for s := 0; s <= 50; s++ {
+			tt := float64(s) / 50
+			a, _ := conn.OwnerAt(tt)
+			ids, _ := k1.OwnerSetAt(tt)
+			nearSplit := false
+			for _, sp := range conn.SplitPoints() {
+				if math.Abs(tt-sp) < 1e-4 {
+					nearSplit = true
+				}
+			}
+			for _, tu := range k1.Tuples {
+				if math.Abs(tt-tu.Span.Lo) < 1e-4 || math.Abs(tt-tu.Span.Hi) < 1e-4 {
+					nearSplit = true
+				}
+			}
+			if nearSplit {
+				continue
+			}
+			if len(ids) != 1 || ids[0] != a.PID {
+				// Ties: accept equal distances.
+				if len(ids) == 1 {
+					da := visgraph.BruteObstructedDist(a.P, sc.q.At(tt), sc.obstacles)
+					var pb geom.Point
+					for _, tu := range k1.Tuples {
+						if tu.Span.Contains(tt) {
+							pb = tu.Owners[0].P
+						}
+					}
+					db := visgraph.BruteObstructedDist(pb, sc.q.At(tt), sc.obstacles)
+					if math.Abs(da-db) < 1e-6*(1+da) {
+						continue
+					}
+				}
+				t.Fatalf("trial %d t=%v: CONN owner %d vs COKNN(1) %v", trial, tt, a.PID, ids)
+			}
+		}
+	}
+}
+
+func TestONNMatchesBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(319))
+	for trial := 0; trial < 20; trial++ {
+		sc := randScene(r, 3+r.Intn(15), 1+r.Intn(6), 100)
+		e := sc.engine(Options{}, false)
+		pt := sc.q.At(r.Float64())
+		k := 1 + r.Intn(3)
+		nbrs, _ := e.ONN(pt, k)
+		want := BruteKDistancesAt(sc.points, sc.obstacles, geom.Seg(pt, pt), 0, k)
+		if len(nbrs) != len(want) && len(nbrs) != min(k, len(sc.points)) {
+			t.Fatalf("trial %d: %d neighbors", trial, len(nbrs))
+		}
+		for i := range nbrs {
+			if math.Abs(nbrs[i].Dist-want[i]) > 1e-6*(1+want[i]) {
+				t.Fatalf("trial %d neighbor %d: dist %v, oracle %v", trial, i, nbrs[i].Dist, want[i])
+			}
+		}
+	}
+}
+
+func TestNaiveCONNAgreesWithCONN(t *testing.T) {
+	r := rand.New(rand.NewSource(323))
+	for trial := 0; trial < 8; trial++ {
+		sc := randScene(r, 3+r.Intn(10), 1+r.Intn(5), 100)
+		e := sc.engine(Options{}, false)
+		exact, _ := e.CONN(sc.q)
+		naive, _ := e.NaiveCONN(sc.q, 200)
+		// Sampled agreement on owner distances.
+		for s := 0; s <= 40; s++ {
+			tt := float64(s) / 40
+			a, _ := exact.OwnerAt(tt)
+			b, okB := naive.OwnerAt(tt)
+			if !okB {
+				t.Fatalf("trial %d: naive uncovered at %v", trial, tt)
+			}
+			if a.PID == b.PID {
+				continue
+			}
+			da := visgraph.BruteObstructedDist(a.P, sc.q.At(tt), sc.obstacles)
+			db := visgraph.BruteObstructedDist(b.P, sc.q.At(tt), sc.obstacles)
+			if math.Abs(da-db) > 1e-3*(1+da) {
+				t.Fatalf("trial %d t=%v: exact owner %d (d=%v) vs naive %d (d=%v)", trial, tt, a.PID, da, b.PID, db)
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"connquery/internal/geom"
+	"connquery/internal/interval"
+	"connquery/internal/visgraph"
+)
+
+// computeCPL is Algorithm 2 (Control Point List Computation). It traverses
+// the local visibility graph from the transient node pNode in ascending
+// obstructed distance (a full Dijkstra, then ordered scan), and for each
+// node v considers it as a candidate control point over the part of q it can
+// serve: its visible region minus its Dijkstra predecessor's visible region
+// (Lemma 5). Candidates are folded into the control point list with the
+// quadratic Split function; Lemma 7's CPLMAX bound terminates the scan.
+//
+// IOR must have run for pNode first so that every obstacle in SR(p, q) is in
+// the graph; Theorem 2 then guarantees the true shortest path to any point
+// of q only turns at loaded vertices, so the produced CPL is exact.
+func (qs *queryState) computeCPL(pNode visgraph.NodeID) CPL {
+	dist, prev := qs.vg.ShortestPaths(pNode)
+
+	type cand struct {
+		id visgraph.NodeID
+		d  float64
+	}
+	order := make([]cand, 0, len(dist))
+	for i, d := range dist {
+		if !math.IsInf(d, 1) && qs.vg.Kind(visgraph.NodeID(i)) != visgraph.KindAnchor {
+			order = append(order, cand{visgraph.NodeID(i), d})
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].d != order[j].d {
+			return order[i].d < order[j].d
+		}
+		return order[i].id < order[j].id
+	})
+
+	cpl := CPL{{Span: geom.Span{Lo: 0, Hi: 1}}}
+	for _, c := range order {
+		if !qs.eng.Opts.DisableLemma7 && c.d >= cplMax(qs.q, cpl) {
+			break // Lemma 7: no farther node can enter the CPL
+		}
+		var region interval.Set
+		if c.id == pNode {
+			region = qs.visibleRegion(c.id)
+		} else {
+			region = qs.visibleRegion(c.id)
+			if u := prev[c.id]; u != visgraph.Invalid {
+				// Lemma 5: v cannot control any interval its predecessor
+				// also sees.
+				uRegion := qs.visibleRegion(u)
+				region = region.Subtract(uRegion)
+				if !qs.eng.Opts.DisableLemma6 {
+					region = refineLemma6(qs.q, region, uRegion,
+						qs.vg.Point(u), qs.vg.Point(c.id))
+				}
+			}
+		}
+		if region.Empty() {
+			continue
+		}
+		fn := distFn{CP: qs.vg.Point(c.id), Base: c.d}
+		cpl = mergeCandidateCPL(qs.q, cpl, region, fn, qs.eng.Opts.UseBisectionSolver)
+	}
+	return cpl
+}
+
+// mergeCandidateCPL folds a candidate control point (fn over region) into
+// the list: inside the region, each entry either adopts the candidate (∅
+// entries, Algorithm 2 lines 11-12) or is split against it (lines 13-14);
+// outside, entries are untouched.
+func mergeCandidateCPL(q geom.Segment, cpl CPL, region interval.Set, fn distFn, bisect bool) CPL {
+	out := make(CPL, 0, len(cpl)+2)
+	for _, e := range cpl {
+		inter := region.IntersectSpan(e.Span)
+		if inter.Empty() {
+			out = append(out, e)
+			continue
+		}
+		outside := interval.Set{e.Span}.Subtract(inter)
+		for _, sp := range outside {
+			out = append(out, CPLEntry{Span: sp, Fn: e.Fn, Valid: e.Valid})
+		}
+		for _, sp := range inter {
+			if !e.Valid {
+				out = append(out, CPLEntry{Span: sp, Fn: fn, Valid: true})
+				continue
+			}
+			for _, pc := range splitPieces(q, sp, e.Fn, fn, bisect) {
+				if pc.FirstWins {
+					out = append(out, CPLEntry{Span: pc.Span, Fn: e.Fn, Valid: true})
+				} else {
+					out = append(out, CPLEntry{Span: pc.Span, Fn: fn, Valid: true})
+				}
+			}
+		}
+	}
+	return normalizeCPL(out)
+}
+
+// refineLemma6 applies the paper's Lemma 6: for a span r ⊆ VR(v) − VR(u)
+// whose both endpoints coincide with boundaries of u's visible region (u
+// sees exactly the endpoints of the hole, not its interior), v cannot be
+// the control point over r unless v lies inside the triangle formed by u
+// and r's endpoints — a path turning at v from u would always be beaten by
+// one hugging the obstacle that blocks u from r.
+func refineLemma6(q geom.Segment, region, uRegion interval.Set, u, v geom.Point) interval.Set {
+	if region.Empty() || uRegion.Empty() {
+		return region
+	}
+	kept := region[:0:0]
+	for _, r := range region {
+		// The span is a "hole" of VR(u) iff both endpoints touch uRegion
+		// boundaries; interior holes sit strictly between two u-spans.
+		loTouches := uRegion.Contains(r.Lo)
+		hiTouches := uRegion.Contains(r.Hi)
+		if loTouches && hiTouches && !uRegion.Contains(r.Mid()) {
+			a, b := q.At(r.Lo), q.At(r.Hi)
+			if !pointInTriangle(v, u, a, b) {
+				continue // Lemma 6: v cannot control r
+			}
+		}
+		kept = append(kept, r)
+	}
+	return kept
+}
+
+// pointInTriangle reports whether p lies in the closed triangle (a, b, c).
+func pointInTriangle(p, a, b, c geom.Point) bool {
+	d1 := geom.Orientation(a, b, p)
+	d2 := geom.Orientation(b, c, p)
+	d3 := geom.Orientation(c, a, p)
+	hasNeg := d1 < 0 || d2 < 0 || d3 < 0
+	hasPos := d1 > 0 || d2 > 0 || d3 > 0
+	return !(hasNeg && hasPos)
+}
+
+// normalizeCPL sorts entries and merges adjacent entries with identical
+// owners (footnote 6's merge rule).
+func normalizeCPL(cpl CPL) CPL {
+	sort.Slice(cpl, func(i, j int) bool { return cpl[i].Span.Lo < cpl[j].Span.Lo })
+	out := cpl[:0]
+	for _, e := range cpl {
+		if e.Span.Empty() {
+			continue
+		}
+		if n := len(out); n > 0 && sameCPLOwner(out[n-1], e) && e.Span.Lo-out[n-1].Span.Hi <= interval.Eps {
+			out[n-1].Span.Hi = e.Span.Hi
+		} else {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func sameCPLOwner(a, b CPLEntry) bool {
+	if a.Valid != b.Valid {
+		return false
+	}
+	if !a.Valid {
+		return true
+	}
+	return a.Fn.CP.Eq(b.Fn.CP) && math.Abs(a.Fn.Base-b.Fn.Base) <= geom.Eps
+}
+
+// cplMax is Lemma 7's pruning bound CPLMAX: the maximum, over current
+// entries, of the obstructed distance from p to the entry's span endpoints
+// via its control point. It is +Inf while any span still has the ∅ owner.
+func cplMax(q geom.Segment, cpl CPL) float64 {
+	m := 0.0
+	for _, e := range cpl {
+		if !e.Valid {
+			return math.Inf(1)
+		}
+		m = math.Max(m, math.Max(e.Fn.eval(q, e.Span.Lo), e.Fn.eval(q, e.Span.Hi)))
+	}
+	return m
+}
+
+// cplDistAt evaluates the obstructed distance from the CPL's data point to
+// q(t) (+Inf on ∅ spans). Used by tests and the COkNN envelope machinery.
+func cplDistAt(q geom.Segment, cpl CPL, t float64) float64 {
+	for _, e := range cpl {
+		if e.Span.Contains(t) {
+			if !e.Valid {
+				return math.Inf(1)
+			}
+			return e.Fn.eval(q, t)
+		}
+	}
+	return math.Inf(1)
+}

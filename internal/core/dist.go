@@ -1,0 +1,20 @@
+package core
+
+import (
+	"connquery/internal/geom"
+	"connquery/internal/visgraph"
+)
+
+// ObstructedDistance computes the exact obstructed distance ||a, b|| using
+// the incremental obstacle retrieval machinery: the local visibility graph
+// grows only until the shortest path from a to b stabilizes (Lemma 3), so
+// obstacles far from the pair are never touched.
+func (e *Engine) ObstructedDistance(a, b geom.Point) float64 {
+	if geom.Dist2(a, b) <= geom.Eps*geom.Eps {
+		return 0
+	}
+	qs := e.newQueryState(geom.Seg(a, b))
+	pNode := qs.vg.AddPoint(a, visgraph.KindTransient)
+	_, dE := qs.ior(pNode)
+	return dE
+}

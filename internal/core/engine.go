@@ -1,0 +1,265 @@
+package core
+
+import (
+	"math"
+
+	"connquery/internal/geom"
+	"connquery/internal/interval"
+	"connquery/internal/minheap"
+	"connquery/internal/rtree"
+	"connquery/internal/stats"
+	"connquery/internal/visgraph"
+)
+
+// Engine owns the indexes and executes queries. Exactly one of
+// (Data, Obst) or Unified must be populated: the former is the paper's
+// default two-R-tree configuration, the latter the §4.5 single-tree variant.
+type Engine struct {
+	// Data indexes the point set P (two-tree mode).
+	Data *rtree.Tree
+	// Obst indexes the obstacle set O (two-tree mode).
+	Obst *rtree.Tree
+	// Unified indexes P and O together (one-tree mode).
+	Unified *rtree.Tree
+	// Obstacles holds obstacle rectangles addressed by their R-tree item ID.
+	Obstacles []geom.Rect
+	// Opts toggles individual optimizations (ablation switches).
+	Opts Options
+
+	// DataCounter and ObstCounter, when set, are consulted for page-fault
+	// snapshots around each query. In one-tree mode only DataCounter is used.
+	DataCounter *stats.PageCounter
+	ObstCounter *stats.PageCounter
+}
+
+// OneTree reports whether the engine runs in the single-R-tree mode.
+func (e *Engine) OneTree() bool { return e.Unified != nil }
+
+// queryState carries the per-query mutable machinery: the local visibility
+// graph shared across all evaluated data points, the obstacle source, and
+// the visible-region cache.
+type queryState struct {
+	eng  *Engine
+	q    geom.Segment
+	vg   *visgraph.Graph
+	sID  visgraph.NodeID
+	eID  visgraph.NodeID
+	npe  int
+	noe  int
+	svgs int // peak corner-node count, for DisableVGReuse accounting
+
+	loadedUpTo float64
+
+	// Two-tree sources.
+	ptIter   *rtree.NearestIter
+	obstIter *rtree.NearestIter
+
+	// One-tree source.
+	unifIter *rtree.NearestIter
+	pending  minheap.Heap[rtree.Item]
+
+	vrCache   map[visgraph.NodeID]interval.Set
+	vrVersion int
+}
+
+func (e *Engine) newQueryState(q geom.Segment) *queryState {
+	qs := &queryState{
+		eng:     e,
+		q:       q,
+		vrCache: make(map[visgraph.NodeID]interval.Set),
+	}
+	qs.resetVG()
+	if e.OneTree() {
+		qs.unifIter = e.Unified.NewNearestIter(rtree.SegmentTarget{Seg: q})
+	} else {
+		qs.ptIter = e.Data.NewNearestIter(rtree.SegmentTarget{Seg: q})
+		qs.obstIter = e.Obst.NewNearestIter(rtree.SegmentTarget{Seg: q})
+	}
+	return qs
+}
+
+// resetVG (re)initializes the local visibility graph to just the two anchor
+// endpoints of q (paper §1: "Initially, the local visibility graph only
+// contains two endpoints of a given query line segment").
+func (qs *queryState) resetVG() {
+	qs.vg = visgraph.New()
+	qs.sID = qs.vg.AddPoint(qs.q.A, visgraph.KindAnchor)
+	qs.eID = qs.vg.AddPoint(qs.q.B, visgraph.KindAnchor)
+	qs.vrCache = make(map[visgraph.NodeID]interval.Set)
+	qs.vrVersion = qs.vg.Version()
+}
+
+// addObstacleToVG inserts one obstacle into the local graph, tracking NOE.
+func (qs *queryState) addObstacleToVG(r geom.Rect) {
+	qs.vg.AddObstacle(r)
+	qs.noe++
+}
+
+// loadObstaclesUpTo pulls every not-yet-loaded obstacle with
+// mindist(o, q) <= d into the local visibility graph (Algorithm 1 lines
+// 6-12) and returns how many were added. In one-tree mode the shared heap
+// also surfaces data points, which are parked for the main loop (§4.5).
+func (qs *queryState) loadObstaclesUpTo(d float64) int {
+	n := 0
+	if qs.eng.OneTree() {
+		for {
+			bound, ok := qs.unifIter.PeekDist()
+			if !ok || bound > d {
+				break
+			}
+			item, key, _ := qs.unifIter.Next()
+			if item.Kind == rtree.KindObstacle {
+				qs.addObstacleToVG(qs.eng.Obstacles[item.ID])
+				n++
+			} else {
+				qs.pending.Push(key, item)
+			}
+		}
+		return n
+	}
+	for {
+		bound, ok := qs.obstIter.PeekDist()
+		if !ok || bound > d {
+			break
+		}
+		item, _, _ := qs.obstIter.Next()
+		qs.addObstacleToVG(qs.eng.Obstacles[item.ID])
+		n++
+	}
+	return n
+}
+
+// loadAnyObstacle force-loads the next obstacle regardless of distance,
+// used when the current graph leaves an endpoint unreachable. It reports
+// whether an obstacle was loaded.
+func (qs *queryState) loadAnyObstacle() bool {
+	if qs.eng.OneTree() {
+		for {
+			item, key, ok := qs.unifIter.Next()
+			if !ok {
+				return false
+			}
+			if item.Kind == rtree.KindObstacle {
+				qs.loadedUpTo = math.Max(qs.loadedUpTo, key)
+				qs.addObstacleToVG(qs.eng.Obstacles[item.ID])
+				return true
+			}
+			qs.pending.Push(key, item)
+		}
+	}
+	item, key, ok := qs.obstIter.Next()
+	if !ok {
+		return false
+	}
+	qs.loadedUpTo = math.Max(qs.loadedUpTo, key)
+	qs.addObstacleToVG(qs.eng.Obstacles[item.ID])
+	return true
+}
+
+// peekPointBound returns a lower bound on the mindist of the next data
+// point. In one-tree mode it drains any obstacles sitting ahead of the next
+// point into the visibility graph (they have been paid for already).
+func (qs *queryState) peekPointBound() (float64, bool) {
+	if !qs.eng.OneTree() {
+		return qs.ptIter.PeekDist()
+	}
+	for {
+		if !qs.pending.Empty() {
+			pk := qs.pending.PeekKey()
+			if bound, ok := qs.unifIter.PeekDist(); !ok || pk <= bound {
+				return pk, true
+			}
+		}
+		bound, ok := qs.unifIter.PeekDist()
+		if !ok {
+			if qs.pending.Empty() {
+				return 0, false
+			}
+			return qs.pending.PeekKey(), true
+		}
+		item, key, _ := qs.unifIter.Next()
+		if item.Kind == rtree.KindObstacle {
+			qs.loadedUpTo = math.Max(qs.loadedUpTo, key)
+			qs.addObstacleToVG(qs.eng.Obstacles[item.ID])
+			continue
+		}
+		qs.pending.Push(key, item)
+		_ = bound
+	}
+}
+
+// nextPoint pops the next data point in ascending mindist(p, q) order.
+func (qs *queryState) nextPoint() (rtree.Item, float64, bool) {
+	if !qs.eng.OneTree() {
+		return qs.ptIter.Next()
+	}
+	if _, ok := qs.peekPointBound(); !ok {
+		return rtree.Item{}, 0, false
+	}
+	key, item := qs.pending.Pop()
+	return item, key, true
+}
+
+// ior is Algorithm 1 (Incremental Obstacle Retrieval). It grows the local
+// visibility graph until the shortest paths from the transient node pNode to
+// both endpoints of q stabilize, which by Lemma 3 makes them the true
+// shortest paths and by Theorem 2/Lemma 4 guarantees every obstacle in the
+// search range SR(p, q) is loaded. It returns the obstructed distances to S
+// and E (+Inf when p is sealed off from q by obstacles).
+func (qs *queryState) ior(pNode visgraph.NodeID) (dS, dE float64) {
+	for {
+		dist, _ := qs.vg.ShortestPaths(pNode)
+		dS, dE = dist[qs.sID], dist[qs.eID]
+		dp := math.Max(dS, dE)
+		if math.IsInf(dp, 1) {
+			// The graph loaded so far seals p off; more obstacles may open a
+			// corner route. Pull one and retry until the source is exhausted.
+			if !qs.loadAnyObstacle() {
+				return dS, dE
+			}
+			continue
+		}
+		if dp <= qs.loadedUpTo+interval.Eps {
+			return dS, dE
+		}
+		n := qs.loadObstaclesUpTo(dp)
+		qs.loadedUpTo = math.Max(qs.loadedUpTo, dp)
+		if n == 0 {
+			return dS, dE
+		}
+	}
+}
+
+// visibleRegion returns VR(node, q) (Definition 2) as an interval set,
+// cached per node until the obstacle set changes. Transient nodes are never
+// cached because their IDs are recycled.
+func (qs *queryState) visibleRegion(id visgraph.NodeID) interval.Set {
+	if v := qs.vg.Version(); v != qs.vrVersion {
+		qs.vrCache = make(map[visgraph.NodeID]interval.Set)
+		qs.vrVersion = v
+	}
+	transient := qs.vg.Kind(id) == visgraph.KindTransient
+	if !transient {
+		if s, ok := qs.vrCache[id]; ok {
+			return s
+		}
+	}
+	p := qs.vg.Point(id)
+	bb := geom.RectFromPoints(p, qs.q.A, qs.q.B)
+	obs := qs.vg.ObstaclesNear(bb)
+	s := interval.FromSpans(geom.VisibleSpans(p, qs.q, obs))
+	if !transient {
+		qs.vrCache[id] = s
+	}
+	return s
+}
+
+// svgSize returns the |SVG| metric: the number of obstacle-corner vertices
+// currently in the local visibility graph.
+func (qs *queryState) svgSize() int {
+	n := qs.vg.NumCornerNodes()
+	if n > qs.svgs {
+		qs.svgs = n
+	}
+	return qs.svgs
+}

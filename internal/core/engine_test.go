@@ -1,0 +1,307 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"connquery/internal/geom"
+	"connquery/internal/visgraph"
+)
+
+// IOR must produce the exact obstructed distances to both query endpoints
+// (Lemma 3 / Theorem 2), matching the full-visibility-graph oracle, while
+// loading only a subset of the obstacle set.
+func TestIORMatchesBruteDistances(t *testing.T) {
+	r := rand.New(rand.NewSource(501))
+	for trial := 0; trial < 40; trial++ {
+		sc := randScene(r, 1, 2+r.Intn(10), 100)
+		e := sc.engine(Options{}, false)
+		qs := e.newQueryState(sc.q)
+		p := sc.points[0]
+		pNode := qs.vg.AddPoint(p, visgraph.KindTransient)
+		dS, dE := qs.ior(pNode)
+
+		wantS := visgraph.BruteObstructedDist(p, sc.q.A, sc.obstacles)
+		wantE := visgraph.BruteObstructedDist(p, sc.q.B, sc.obstacles)
+		if math.Abs(dS-wantS) > 1e-6*(1+wantS) || math.Abs(dE-wantE) > 1e-6*(1+wantE) {
+			t.Fatalf("trial %d: IOR (%v, %v), oracle (%v, %v)\np=%v q=%v obs=%v",
+				trial, dS, dE, wantS, wantE, p, sc.q, sc.obstacles)
+		}
+	}
+}
+
+// IOR must not load obstacles beyond its stabilization bound: with a
+// distant obstacle cluster, NOE stays at the near cluster's size.
+func TestIORLoadsOnlyRelevantObstacles(t *testing.T) {
+	near := []geom.Rect{geom.R(4, 2, 6, 4)}
+	var far []geom.Rect
+	for i := 0; i < 20; i++ {
+		far = append(far, geom.R(900+float64(i)*4, 900, 902+float64(i)*4, 904))
+	}
+	sc := scene{
+		points:    []geom.Point{geom.Pt(5, 8)},
+		obstacles: append(append([]geom.Rect{}, near...), far...),
+		q:         geom.Seg(geom.Pt(0, 0), geom.Pt(10, 0)),
+	}
+	e := sc.engine(Options{}, false)
+	_, m := e.CONN(sc.q)
+	if m.NOE > 3 {
+		t.Fatalf("NOE = %d; IOR pulled obstacles from the far cluster", m.NOE)
+	}
+}
+
+// computeCPL's distance function must equal the exact obstructed distance
+// from the point to every sampled query position (after IOR has loaded the
+// relevant obstacles).
+func TestCPLCDistancesMatchOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(503))
+	for trial := 0; trial < 40; trial++ {
+		sc := randScene(r, 1, 1+r.Intn(8), 100)
+		e := sc.engine(Options{}, false)
+		qs := e.newQueryState(sc.q)
+		p := sc.points[0]
+		pNode := qs.vg.AddPoint(p, visgraph.KindTransient)
+		qs.ior(pNode)
+		cpl := qs.computeCPL(pNode)
+		qs.vg.RemovePoint(pNode)
+
+		// Structural invariants (Definition 9): sorted, contiguous, covers q.
+		if len(cpl) == 0 || cpl[0].Span.Lo > 1e-9 || cpl[len(cpl)-1].Span.Hi < 1-1e-9 {
+			t.Fatalf("trial %d: CPL does not cover q: %+v", trial, cpl)
+		}
+		for i := 1; i < len(cpl); i++ {
+			if math.Abs(cpl[i].Span.Lo-cpl[i-1].Span.Hi) > 1e-9 {
+				t.Fatalf("trial %d: CPL not contiguous: %+v", trial, cpl)
+			}
+		}
+		for k := 0; k <= 80; k++ {
+			tt := float64(k) / 80
+			want := visgraph.BruteObstructedDist(p, sc.q.At(tt), sc.obstacles)
+			got := cplDistAt(sc.q, cpl, tt)
+			if math.IsInf(want, 1) != math.IsInf(got, 1) {
+				t.Fatalf("trial %d t=%v: reachability mismatch got=%v want=%v", trial, tt, got, want)
+			}
+			nearBoundary := false
+			for _, ce := range cpl {
+				if math.Abs(tt-ce.Span.Lo) < 1e-4 || math.Abs(tt-ce.Span.Hi) < 1e-4 {
+					nearBoundary = true
+				}
+			}
+			if !nearBoundary && !math.IsInf(want, 1) && math.Abs(got-want) > 1e-5*(1+want) {
+				t.Fatalf("trial %d t=%v: CPL dist %v, oracle %v\np=%v q=%v obs=%v cpl=%+v",
+					trial, tt, got, want, p, sc.q, sc.obstacles, cpl)
+			}
+		}
+	}
+}
+
+// Without obstacles, the CPL must collapse to the point itself over all of q.
+func TestCPLCNoObstacles(t *testing.T) {
+	sc := scene{points: []geom.Point{geom.Pt(5, 7)}, q: geom.Seg(geom.Pt(0, 0), geom.Pt(10, 0))}
+	e := sc.engine(Options{}, false)
+	qs := e.newQueryState(sc.q)
+	pNode := qs.vg.AddPoint(sc.points[0], visgraph.KindTransient)
+	qs.ior(pNode)
+	cpl := qs.computeCPL(pNode)
+	if len(cpl) != 1 || !cpl[0].Valid || !cpl[0].Fn.CP.Eq(sc.points[0]) || cpl[0].Fn.Base != 0 {
+		t.Fatalf("CPL = %+v, want the point itself over [0,1]", cpl)
+	}
+}
+
+// A Figure 3 style configuration: the point sees only a prefix of q
+// directly; the rest is served via obstacle corners with positive base
+// distances.
+func TestCPLCFigure3Structure(t *testing.T) {
+	// p above, two obstacles shadowing the right part of q.
+	p := geom.Pt(2, 10)
+	obstacles := []geom.Rect{geom.R(4, 4, 6, 8), geom.R(7, 2, 9, 6)}
+	q := geom.Seg(geom.Pt(0, 0), geom.Pt(12, 0))
+	sc := scene{points: []geom.Point{p}, obstacles: obstacles, q: q}
+	e := sc.engine(Options{}, false)
+	qs := e.newQueryState(q)
+	pNode := qs.vg.AddPoint(p, visgraph.KindTransient)
+	qs.ior(pNode)
+	cpl := qs.computeCPL(pNode)
+
+	if len(cpl) < 2 {
+		t.Fatalf("expected a multi-entry CPL, got %+v", cpl)
+	}
+	// First entry: direct visibility (control point = p, base 0).
+	if !cpl[0].Fn.CP.Eq(p) || cpl[0].Fn.Base != 0 {
+		t.Fatalf("first entry should be p itself: %+v", cpl[0])
+	}
+	// Later entries: control points are obstacle corners with positive base.
+	foundCorner := false
+	for _, ce := range cpl[1:] {
+		if !ce.Valid {
+			continue
+		}
+		if ce.Fn.Base <= 0 {
+			t.Fatalf("non-direct entry with zero base: %+v", ce)
+		}
+		for _, o := range obstacles {
+			for _, c := range o.Vertices() {
+				if ce.Fn.CP.Eq(c) {
+					foundCorner = true
+				}
+			}
+		}
+	}
+	if !foundCorner {
+		t.Fatalf("no obstacle-corner control point in CPL: %+v", cpl)
+	}
+}
+
+// The Lemma 2 termination must actually prune: on a large scene only a
+// small fraction of the points may be evaluated.
+func TestLemma2Prunes(t *testing.T) {
+	r := rand.New(rand.NewSource(507))
+	sc := randScene(r, 400, 10, 1000)
+	e := sc.engine(Options{}, false)
+	_, m := e.CONN(sc.q)
+	if m.NPE >= len(sc.points)/2 {
+		t.Fatalf("NPE = %d of %d; Lemma 2 pruning ineffective", m.NPE, len(sc.points))
+	}
+}
+
+// Lemma 7's CPLMAX bound must not change answers but must reduce work: the
+// test asserts equal CPLs with and without it on random scenes.
+func TestLemma7PreservesCPL(t *testing.T) {
+	r := rand.New(rand.NewSource(509))
+	for trial := 0; trial < 25; trial++ {
+		sc := randScene(r, 1, 1+r.Intn(8), 100)
+		p := sc.points[0]
+		build := func(opts Options) CPL {
+			e := sc.engine(opts, false)
+			qs := e.newQueryState(sc.q)
+			pNode := qs.vg.AddPoint(p, visgraph.KindTransient)
+			qs.ior(pNode)
+			return qs.computeCPL(pNode)
+		}
+		with := build(Options{})
+		without := build(Options{DisableLemma7: true})
+		for k := 0; k <= 60; k++ {
+			tt := float64(k) / 60
+			a, b := cplDistAt(sc.q, with, tt), cplDistAt(sc.q, without, tt)
+			if math.IsInf(a, 1) != math.IsInf(b, 1) {
+				t.Fatalf("trial %d t=%v: reachability differs with Lemma 7", trial, tt)
+			}
+			if !math.IsInf(a, 1) && math.Abs(a-b) > 1e-6*(1+a) {
+				t.Fatalf("trial %d t=%v: %v vs %v", trial, tt, a, b)
+			}
+		}
+	}
+}
+
+// The visible-region cache must invalidate when obstacles arrive.
+func TestVisibleRegionCacheInvalidation(t *testing.T) {
+	sc := scene{
+		points:    []geom.Point{geom.Pt(5, 10)},
+		obstacles: []geom.Rect{geom.R(4, 4, 6, 6)},
+		q:         geom.Seg(geom.Pt(0, 0), geom.Pt(10, 0)),
+	}
+	e := sc.engine(Options{}, false)
+	qs := e.newQueryState(sc.q)
+	// Anchor S sees everything initially (no obstacles loaded yet).
+	vr0 := qs.visibleRegion(qs.sID)
+	if !vr0.Covers() {
+		t.Fatalf("pre-obstacle VR = %v", vr0)
+	}
+	// Load the obstacle; S's region over q is unchanged (obstacle above the
+	// segment), but the viewpoint p at (5,10) is now shadowed.
+	qs.addObstacleToVG(sc.obstacles[0])
+	pNode := qs.vg.AddPoint(sc.points[0], visgraph.KindTransient)
+	vrP := qs.visibleRegion(pNode)
+	if vrP.Covers() {
+		t.Fatalf("post-obstacle VR of shadowed viewpoint covers q: %v", vrP)
+	}
+	if got := qs.visibleRegion(qs.sID); !got.Covers() {
+		t.Fatalf("anchor VR after invalidation = %v", got)
+	}
+}
+
+// One-tree point source: points must come out in ascending mindist order
+// even when interleaved with obstacle pulls.
+func TestOneTreePointOrdering(t *testing.T) {
+	r := rand.New(rand.NewSource(511))
+	sc := randScene(r, 40, 15, 100)
+	e := sc.engine(Options{}, true)
+	qs := e.newQueryState(sc.q)
+	prev := -1.0
+	seen := 0
+	for {
+		bound, ok := qs.peekPointBound()
+		if !ok {
+			break
+		}
+		item, key, ok2 := qs.nextPoint()
+		if !ok2 {
+			t.Fatal("peek said point available, next disagreed")
+		}
+		if key < bound-1e-9 || key < prev-1e-9 {
+			t.Fatalf("point order violated: key=%v bound=%v prev=%v", key, bound, prev)
+		}
+		if want := sc.q.DistToPoint(item.Point()); math.Abs(want-key) > 1e-9 {
+			t.Fatalf("key %v != exact mindist %v", key, want)
+		}
+		prev = key
+		seen++
+	}
+	if seen != len(sc.points) {
+		t.Fatalf("drained %d of %d points", seen, len(sc.points))
+	}
+}
+
+// ObstructedDistance: symmetric and matches the oracle.
+func TestObstructedDistanceEngine(t *testing.T) {
+	r := rand.New(rand.NewSource(513))
+	for trial := 0; trial < 30; trial++ {
+		sc := randScene(r, 2, 1+r.Intn(8), 100)
+		e := sc.engine(Options{}, false)
+		a, b := sc.points[0], sc.points[1]
+		got := e.ObstructedDistance(a, b)
+		rev := e.ObstructedDistance(b, a)
+		want := visgraph.BruteObstructedDist(a, b, sc.obstacles)
+		if math.Abs(got-want) > 1e-6*(1+want) || math.Abs(got-rev) > 1e-6*(1+got) {
+			t.Fatalf("trial %d: dist %v (rev %v), oracle %v", trial, got, rev, want)
+		}
+	}
+}
+
+// A query segment that crosses an obstacle interior: the covered stretch is
+// unreachable, the rest still gets exact answers.
+func TestCONNQueryThroughObstacle(t *testing.T) {
+	sc := scene{
+		points:    []geom.Point{geom.Pt(1, 5), geom.Pt(9, 5)},
+		obstacles: []geom.Rect{geom.R(4, -1, 6, 1)},
+		q:         geom.Seg(geom.Pt(0, 0), geom.Pt(10, 0)),
+	}
+	e := sc.engine(Options{}, false)
+	res, _ := e.CONN(sc.q)
+	mid, ok := res.OwnerAt(0.5)
+	if !ok || mid.PID != NoOwner {
+		t.Fatalf("interior stretch should be unreachable: %+v", res.Tuples)
+	}
+	l, _ := res.OwnerAt(0.1)
+	rr, _ := res.OwnerAt(0.9)
+	if l.PID != 0 || rr.PID != 1 {
+		t.Fatalf("outer owners wrong: %+v", res.Tuples)
+	}
+}
+
+// DisableVGReuse cannot rewind the shared heap in one-tree mode; the
+// combination must panic loudly rather than compute wrong answers.
+func TestVGReuseAblationOneTreePanics(t *testing.T) {
+	sc := scene{
+		points: []geom.Point{geom.Pt(5, 5), geom.Pt(8, 8)},
+		q:      geom.Seg(geom.Pt(0, 0), geom.Pt(10, 0)),
+	}
+	e := sc.engine(Options{DisableVGReuse: true}, true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("one-tree + DisableVGReuse did not panic")
+		}
+	}()
+	e.CONN(sc.q)
+}

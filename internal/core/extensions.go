@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"connquery/internal/geom"
+	"connquery/internal/stats"
+	"connquery/internal/visgraph"
+)
+
+// TrajectoryResult is the answer of a trajectory CONN query: one CONN
+// result per polyline leg, in order.
+type TrajectoryResult struct {
+	Waypoints []geom.Point
+	Legs      []*Result
+}
+
+// TrajectoryCONN answers the paper's first future-work extension (§6):
+// retrieve the obstructed NN of every point on a moving trajectory
+// consisting of several consecutive line segments. Each leg runs the
+// single-segment CONN algorithm; metrics are accumulated across legs.
+//
+// Degenerate legs (repeated waypoints) are skipped.
+func (e *Engine) TrajectoryCONN(waypoints []geom.Point) (*TrajectoryResult, stats.QueryMetrics) {
+	res := &TrajectoryResult{Waypoints: append([]geom.Point(nil), waypoints...)}
+	var agg stats.QueryMetrics
+	start := time.Now()
+	for i := 1; i < len(waypoints); i++ {
+		leg := geom.Seg(waypoints[i-1], waypoints[i])
+		if leg.Degenerate() {
+			continue
+		}
+		r, m := e.CONN(leg)
+		res.Legs = append(res.Legs, r)
+		agg.FaultsData += m.FaultsData
+		agg.FaultsObst += m.FaultsObst
+		agg.NPE += m.NPE
+		agg.NOE += m.NOE
+		if m.SVG > agg.SVG {
+			agg.SVG = m.SVG
+		}
+	}
+	agg.CPU = time.Since(start)
+	return res, agg
+}
+
+// OwnerAt returns the tuple covering fractional position t of the whole
+// trajectory (t in [0,1] is arc-length parameterized across legs).
+func (tr *TrajectoryResult) OwnerAt(t float64) (Tuple, bool) {
+	if len(tr.Legs) == 0 {
+		return Tuple{}, false
+	}
+	total := 0.0
+	lens := make([]float64, len(tr.Legs))
+	for i, leg := range tr.Legs {
+		lens[i] = leg.Q.Length()
+		total += lens[i]
+	}
+	if total == 0 {
+		return Tuple{}, false
+	}
+	target := t * total
+	for i, leg := range tr.Legs {
+		if target <= lens[i] || i == len(tr.Legs)-1 {
+			lt := target / lens[i]
+			if lt > 1 {
+				lt = 1
+			}
+			return leg.OwnerAt(lt)
+		}
+		target -= lens[i]
+	}
+	return Tuple{}, false
+}
+
+// ObstructedRange answers an obstructed range query (Zhang et al., EDBT
+// 2004, one of the §2.3 query family): all data points whose obstructed
+// distance to center is at most radius, sorted ascending. The best-first
+// scan over Euclidean mindist (a lower bound of the obstructed distance)
+// terminates as soon as the bound exceeds the radius.
+func (e *Engine) ObstructedRange(center geom.Point, radius float64) ([]Neighbor, stats.QueryMetrics) {
+	start := time.Now()
+	qs := e.newQueryState(geom.Seg(center, center))
+	var out []Neighbor
+	for {
+		bound, ok := qs.peekPointBound()
+		if !ok || bound > radius {
+			break
+		}
+		item, _, _ := qs.nextPoint()
+		p := item.Point()
+		qs.npe++
+		pNode := qs.vg.AddPoint(p, visgraph.KindTransient)
+		dS, _ := qs.ior(pNode)
+		qs.vg.RemovePoint(pNode)
+		if !math.IsInf(dS, 1) && dS <= radius {
+			out = append(out, Neighbor{PID: item.ID, P: p, Dist: dS})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	m := stats.QueryMetrics{NPE: qs.npe, NOE: qs.noe, SVG: qs.svgSize(), CPU: time.Since(start)}
+	return out, m
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"connquery/internal/geom"
+)
+
+// FuzzSplitPieces feeds arbitrary distance-function pairs to the quadratic
+// solver and checks the structural guarantees of Theorem 1: at most three
+// pieces, full coverage of the span, and midpoint ownership consistent with
+// direct evaluation.
+func FuzzSplitPieces(f *testing.F) {
+	f.Add(0.0, 0.0, 10.0, 0.0, 3.0, 2.0, 0.0, 7.0, 2.0, 0.0)
+	f.Add(0.0, 0.0, 10.0, 0.0, 5.0, 1.0, 0.0, 5.0, 9.0, 0.0)
+	f.Add(0.0, 0.0, 10.0, 0.0, 5.0, 1.0, 0.0, 5.0, 1000.0, -996.0)
+	f.Fuzz(func(t *testing.T, qax, qay, qbx, qby, ux, uy, du, vx, vy, dv float64) {
+		for _, v := range []float64{qax, qay, qbx, qby, ux, uy, du, vx, vy, dv} {
+			if math.IsNaN(v) || math.Abs(v) > 1e5 {
+				t.Skip()
+			}
+		}
+		q := geom.Seg(geom.Pt(qax, qay), geom.Pt(qbx, qby))
+		f1 := distFn{CP: geom.Pt(ux, uy), Base: du}
+		f2 := distFn{CP: geom.Pt(vx, vy), Base: dv}
+		span := geom.Span{Lo: 0, Hi: 1}
+		pieces := splitPieces(q, span, f1, f2, false)
+
+		if len(pieces) == 0 || len(pieces) > 3 {
+			t.Fatalf("%d pieces (Theorem 1 allows 1..3)", len(pieces))
+		}
+		if pieces[0].Span.Lo != 0 || pieces[len(pieces)-1].Span.Hi != 1 {
+			t.Fatalf("pieces do not cover span: %+v", pieces)
+		}
+		for i := 1; i < len(pieces); i++ {
+			if math.Abs(pieces[i].Span.Lo-pieces[i-1].Span.Hi) > 1e-12 {
+				t.Fatalf("gap between pieces: %+v", pieces)
+			}
+		}
+		for _, pc := range pieces {
+			mid := pc.Span.Mid()
+			g := f1.eval(q, mid) - f2.eval(q, mid)
+			scale := 1 + math.Abs(f1.eval(q, mid)) + math.Abs(f2.eval(q, mid))
+			if math.Abs(g) < 1e-4*scale {
+				continue // genuine near-tie: either owner acceptable
+			}
+			if (g < 0) != pc.FirstWins {
+				t.Fatalf("midpoint ownership wrong at %v: g=%v pieces=%+v", mid, g, pieces)
+			}
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"connquery/internal/geom"
+	"connquery/internal/rtree"
+)
+
+// The CONN answer must be independent of point insertion order: shuffling
+// the data set (hence the R-tree layout and the best-first tie-breaking)
+// may permute PIDs but not the answer's geometry.
+func TestCONNInsertionOrderInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(821))
+	for trial := 0; trial < 15; trial++ {
+		sc := randScene(r, 5+r.Intn(20), 1+r.Intn(6), 100)
+		base := sc.engine(Options{}, false)
+		want, _ := base.CONN(sc.q)
+
+		// Shuffled copy: same points, different IDs and tree shape.
+		perm := r.Perm(len(sc.points))
+		data := rtree.New(rtree.Options{PageSize: 256})
+		shuffled := make([]geom.Point, len(sc.points))
+		for newID, oldID := range perm {
+			shuffled[newID] = sc.points[oldID]
+			data.Insert(rtree.PointItem(int32(newID), sc.points[oldID]))
+		}
+		obst := rtree.New(rtree.Options{PageSize: 256})
+		for i, o := range sc.obstacles {
+			obst.Insert(rtree.ObstacleItem(int32(i), o))
+		}
+		eng := &Engine{Data: data, Obst: obst, Obstacles: sc.obstacles}
+		got, _ := eng.CONN(sc.q)
+
+		// Compare by owner location at samples (PIDs are permuted).
+		for s := 0; s <= 60; s++ {
+			tt := float64(s) / 60
+			a, _ := want.OwnerAt(tt)
+			b, _ := got.OwnerAt(tt)
+			if (a.PID == NoOwner) != (b.PID == NoOwner) {
+				t.Fatalf("trial %d t=%v: reachability differs", trial, tt)
+			}
+			if a.PID == NoOwner {
+				continue
+			}
+			if a.P.Eq(b.P) {
+				continue
+			}
+			// Different owner points are fine only at ties / split points.
+			nearSplit := false
+			for _, res := range []*Result{want, got} {
+				for _, sp := range res.SplitPoints() {
+					if math.Abs(tt-sp) < 1e-4 {
+						nearSplit = true
+					}
+				}
+			}
+			if nearSplit {
+				continue
+			}
+			da := geomBrute(a.P, sc, tt)
+			db := geomBrute(b.P, sc, tt)
+			if math.Abs(da-db) > 1e-6*(1+da) {
+				t.Fatalf("trial %d t=%v: owners %v vs %v with dists %v vs %v",
+					trial, tt, a.P, b.P, da, db)
+			}
+		}
+	}
+}
+
+func geomBrute(p geom.Point, sc scene, tt float64) float64 {
+	return BruteCONNDistanceAt([]geom.Point{p}, sc.obstacles, sc.q, tt)
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"connquery/internal/geom"
+	"connquery/internal/rtree"
+	"connquery/internal/stats"
+)
+
+// This file implements the remaining members of the obstructed query family
+// of Zhang, Papadias, Mouratidis & Zhu (EDBT 2004) — the foundational work
+// the paper's §2.3 builds on. They share the incremental machinery: the
+// Euclidean distance lower-bounds the obstructed distance, so best-first
+// scans over the R-tree prune exactly as in the CONN search.
+
+// JoinPair is one result of an obstructed e-distance join or semi-join:
+// data point PID is within Dist (obstructed) of query point QIdx.
+type JoinPair struct {
+	QIdx int   // index into the query point slice
+	PID  int32 // data point ID
+	P    geom.Point
+	Dist float64 // obstructed distance
+}
+
+// EDistanceJoin returns every (query point, data point) pair whose
+// obstructed distance is at most e, sorted by (QIdx, Dist). Each query
+// point runs an obstructed range query; the local visibility graphs are
+// per-query-point (their search ranges rarely overlap enough to share).
+func (eng *Engine) EDistanceJoin(queries []geom.Point, e float64) ([]JoinPair, stats.QueryMetrics) {
+	start := time.Now()
+	var agg stats.QueryMetrics
+	var out []JoinPair
+	for qi, qp := range queries {
+		nbrs, m := eng.ObstructedRange(qp, e)
+		agg.NPE += m.NPE
+		agg.NOE += m.NOE
+		if m.SVG > agg.SVG {
+			agg.SVG = m.SVG
+		}
+		for _, n := range nbrs {
+			out = append(out, JoinPair{QIdx: qi, PID: n.PID, P: n.P, Dist: n.Dist})
+		}
+	}
+	agg.CPU = time.Since(start)
+	return out, agg
+}
+
+// ClosestPair returns the (query point, data point) pair with the smallest
+// obstructed distance. Query points are processed in ascending order of
+// their Euclidean distance to the nearest data point (a lower bound on
+// their best obstructed pair), so once that bound exceeds the best pair
+// found the scan stops.
+func (eng *Engine) ClosestPair(queries []geom.Point) (JoinPair, stats.QueryMetrics) {
+	start := time.Now()
+	var agg stats.QueryMetrics
+
+	// Lower bounds: Euclidean NN distance per query point.
+	type qb struct {
+		qi    int
+		bound float64
+	}
+	bounds := make([]qb, len(queries))
+	for qi, qp := range queries {
+		bounds[qi] = qb{qi, eng.euclideanNNDist(qp)}
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i].bound < bounds[j].bound })
+
+	best := JoinPair{QIdx: -1, PID: NoOwner, Dist: math.Inf(1)}
+	for _, b := range bounds {
+		if b.bound >= best.Dist {
+			break // no remaining query point can beat the best pair
+		}
+		nbrs, m := eng.ONN(queries[b.qi], 1)
+		agg.NPE += m.NPE
+		agg.NOE += m.NOE
+		if m.SVG > agg.SVG {
+			agg.SVG = m.SVG
+		}
+		if len(nbrs) > 0 && nbrs[0].Dist < best.Dist {
+			best = JoinPair{QIdx: b.qi, PID: nbrs[0].PID, P: nbrs[0].P, Dist: nbrs[0].Dist}
+		}
+	}
+	agg.CPU = time.Since(start)
+	return best, agg
+}
+
+// DistanceSemiJoin returns, for each query point, its obstructed nearest
+// data point, sorted ascending by distance (Zhang et al.'s distance
+// semi-join with k = 1 per query object).
+func (eng *Engine) DistanceSemiJoin(queries []geom.Point) ([]JoinPair, stats.QueryMetrics) {
+	start := time.Now()
+	var agg stats.QueryMetrics
+	out := make([]JoinPair, 0, len(queries))
+	for qi, qp := range queries {
+		nbrs, m := eng.ONN(qp, 1)
+		agg.NPE += m.NPE
+		agg.NOE += m.NOE
+		if m.SVG > agg.SVG {
+			agg.SVG = m.SVG
+		}
+		if len(nbrs) > 0 {
+			out = append(out, JoinPair{QIdx: qi, PID: nbrs[0].PID, P: nbrs[0].P, Dist: nbrs[0].Dist})
+		} else {
+			out = append(out, JoinPair{QIdx: qi, PID: NoOwner, Dist: math.Inf(1)})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	agg.CPU = time.Since(start)
+	return out, agg
+}
+
+// euclideanNNDist returns the Euclidean distance from p to the nearest data
+// point (the cheap lower bound used by ClosestPair).
+func (eng *Engine) euclideanNNDist(p geom.Point) float64 {
+	tree := eng.Data
+	if eng.OneTree() {
+		tree = eng.Unified
+	}
+	it := tree.NewNearestIter(rtree.PointTarget{P: p})
+	for {
+		item, d, ok := it.Next()
+		if !ok {
+			return math.Inf(1)
+		}
+		if item.Kind == rtree.KindPoint {
+			return d
+		}
+	}
+}
+
+// VisibleKNN returns the k data points nearest to p in Euclidean terms
+// among those *visible* from p (Nutanong et al., DASFAA 2007 — the VkNN
+// query of §2.3, which uses obstacles for occlusion rather than detours).
+func (eng *Engine) VisibleKNN(p geom.Point, k int) ([]Neighbor, stats.QueryMetrics) {
+	if k < 1 {
+		k = 1
+	}
+	start := time.Now()
+	qs := eng.newQueryState(geom.Seg(p, p))
+
+	var best []Neighbor
+	kth := func() float64 {
+		if len(best) < k {
+			return math.Inf(1)
+		}
+		return best[len(best)-1].Dist
+	}
+	for {
+		bound, ok := qs.peekPointBound()
+		if !ok || bound >= kth() {
+			break
+		}
+		item, d, _ := qs.nextPoint()
+		cand := item.Point()
+		qs.npe++
+		// Load every obstacle that could occlude the sight line p-cand:
+		// any blocker intersects the segment, hence has mindist(o, p) <= d.
+		qs.loadObstaclesUpTo(d)
+		qs.loadedUpTo = math.Max(qs.loadedUpTo, d)
+		if !qs.vg.Visible(p, cand) {
+			continue
+		}
+		best = append(best, Neighbor{PID: item.ID, P: cand, Dist: d})
+		sort.SliceStable(best, func(i, j int) bool { return best[i].Dist < best[j].Dist })
+		if len(best) > k {
+			best = best[:k]
+		}
+	}
+	m := stats.QueryMetrics{NPE: qs.npe, NOE: qs.noe, SVG: qs.svgSize(), CPU: time.Since(start)}
+	return best, m
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"connquery/internal/geom"
+	"connquery/internal/visgraph"
+)
+
+// Lemma 4 / Theorem 2: after IOR stabilizes for a point p, every obstacle
+// with mindist(o, q) <= max(|SP(p,S)|, |SP(p,E)|) must have been inserted
+// into the local visibility graph — that is exactly the set that can affect
+// obstructed distances from p to any point of q.
+func TestLemma4AllRelevantObstaclesLoaded(t *testing.T) {
+	r := rand.New(rand.NewSource(831))
+	for trial := 0; trial < 30; trial++ {
+		sc := randScene(r, 1, 2+r.Intn(10), 100)
+		e := sc.engine(Options{}, false)
+		qs := e.newQueryState(sc.q)
+		pNode := qs.vg.AddPoint(sc.points[0], visgraph.KindTransient)
+		dS, dE := qs.ior(pNode)
+		if math.IsInf(math.Max(dS, dE), 1) {
+			continue
+		}
+		bound := math.Max(dS, dE)
+
+		loaded := map[geom.Rect]bool{}
+		for _, o := range qs.vg.Obstacles() {
+			loaded[o] = true
+		}
+		for _, o := range sc.obstacles {
+			if o.DistToSegment(sc.q) <= bound-1e-9 && !loaded[o] {
+				t.Fatalf("trial %d: obstacle %v (mindist %v <= bound %v) not loaded",
+					trial, o, o.DistToSegment(sc.q), bound)
+			}
+		}
+	}
+}
+
+// The shared local VG must make the obstacle source single-pass: evaluating
+// many points never re-loads an obstacle (NOE never exceeds |O|).
+func TestIORSinglePassOverObstacles(t *testing.T) {
+	r := rand.New(rand.NewSource(833))
+	for trial := 0; trial < 10; trial++ {
+		sc := randScene(r, 20+r.Intn(20), 2+r.Intn(10), 100)
+		e := sc.engine(Options{}, false)
+		_, m := e.CONN(sc.q)
+		if m.NOE > len(sc.obstacles) {
+			t.Fatalf("trial %d: NOE %d exceeds |O| %d — an obstacle was loaded twice",
+				trial, m.NOE, len(sc.obstacles))
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"connquery/internal/geom"
+	"connquery/internal/interval"
+)
+
+// rlu is Algorithm 3 (Result List Update). It merges a freshly computed
+// control point list for data point (pid, p) into the current result list.
+// Both inputs partition [0, 1], so a two-pointer sweep produces the atomic
+// cells on which exactly one RL entry and one CPL entry apply; each cell is
+// then resolved by the Lemma 1 endpoint-dominance shortcut or the quadratic
+// Split function.
+func (qs *queryState) rlu(rl []ResultEntry, pid int32, p geom.Point, cpl CPL) []ResultEntry {
+	q := qs.q
+	out := make([]ResultEntry, 0, len(rl)+len(cpl))
+	i, j := 0, 0
+	cursor := 0.0
+	for i < len(rl) && j < len(cpl) {
+		hi := math.Min(rl[i].Span.Hi, cpl[j].Span.Hi)
+		cell := geom.Span{Lo: cursor, Hi: hi}
+		if !cell.Empty() {
+			out = append(out, qs.resolveCell(q, cell, rl[i], pid, p, cpl[j])...)
+		}
+		cursor = hi
+		if rl[i].Span.Hi <= hi+interval.Eps {
+			i++
+		}
+		if cpl[j].Span.Hi <= hi+interval.Eps {
+			j++
+		}
+	}
+	// Either list may end fractionally early from span arithmetic; keep any
+	// residual old entries untouched.
+	for ; i < len(rl); i++ {
+		cell := geom.Span{Lo: cursor, Hi: rl[i].Span.Hi}
+		if !cell.Empty() {
+			e := rl[i]
+			e.Span = cell
+			out = append(out, e)
+		}
+		cursor = rl[i].Span.Hi
+	}
+	return normalizeRL(out)
+}
+
+// resolveCell decides ownership of one atomic cell between the incumbent RL
+// entry and the candidate's CPL entry.
+func (qs *queryState) resolveCell(q geom.Segment, cell geom.Span, old ResultEntry, pid int32, p geom.Point, ce CPLEntry) []ResultEntry {
+	// Candidate unreachable here: incumbent survives (even ∅).
+	if !ce.Valid {
+		old.Span = cell
+		return []ResultEntry{old}
+	}
+	cand := ResultEntry{PID: pid, P: p, Fn: ce.Fn, Span: cell}
+	// Empty incumbent: the candidate takes the cell outright.
+	if old.PID == NoOwner {
+		return []ResultEntry{cand}
+	}
+	// Lemma 1 shortcut: when the incumbent's control point is no farther
+	// from q's supporting line than the candidate's and the incumbent wins
+	// at both cell endpoints, it wins the whole cell (the superlevel set
+	// {Y >= d} of the unimodal difference function is an interval).
+	if !qs.eng.Opts.DisableLemma1 {
+		if q.DistPerp(ce.Fn.CP) >= q.DistPerp(old.Fn.CP)-geom.Eps &&
+			old.Fn.eval(q, cell.Lo) <= cand.Fn.eval(q, cell.Lo) &&
+			old.Fn.eval(q, cell.Hi) <= cand.Fn.eval(q, cell.Hi) {
+			old.Span = cell
+			return []ResultEntry{old}
+		}
+	}
+	var out []ResultEntry
+	for _, pc := range splitPieces(q, cell, old.Fn, cand.Fn, qs.eng.Opts.UseBisectionSolver) {
+		if pc.FirstWins {
+			out = append(out, ResultEntry{PID: old.PID, P: old.P, Fn: old.Fn, Span: pc.Span})
+		} else {
+			out = append(out, ResultEntry{PID: pid, P: p, Fn: ce.Fn, Span: pc.Span})
+		}
+	}
+	return out
+}
+
+// normalizeRL sorts by span start and merges adjacent entries with the same
+// owner and control point (footnote 6).
+func normalizeRL(rl []ResultEntry) []ResultEntry {
+	sort.Slice(rl, func(i, j int) bool { return rl[i].Span.Lo < rl[j].Span.Lo })
+	out := rl[:0]
+	for _, e := range rl {
+		if e.Span.Empty() {
+			continue
+		}
+		if n := len(out); n > 0 && sameRLOwner(out[n-1], e) && e.Span.Lo-out[n-1].Span.Hi <= interval.Eps {
+			out[n-1].Span.Hi = e.Span.Hi
+		} else {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func sameRLOwner(a, b ResultEntry) bool {
+	if a.PID != b.PID {
+		return false
+	}
+	if a.PID == NoOwner {
+		return true
+	}
+	return a.Fn.CP.Eq(b.Fn.CP) && math.Abs(a.Fn.Base-b.Fn.Base) <= geom.Eps
+}
+
+// rlMax is Lemma 2's pruning distance RLMAX: the maximum over RL entries of
+// the owner's obstructed distance at the entry's endpoints, +Inf while any
+// interval is still unowned.
+func rlMax(q geom.Segment, rl []ResultEntry) float64 {
+	m := 0.0
+	for _, e := range rl {
+		if e.PID == NoOwner {
+			return math.Inf(1)
+		}
+		m = math.Max(m, math.Max(e.Fn.eval(q, e.Span.Lo), e.Fn.eval(q, e.Span.Hi)))
+	}
+	return m
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"connquery/internal/geom"
+	"connquery/internal/visgraph"
+)
+
+// sealedScene walls one point into a box of overlapping obstacles far from
+// the query segment, leaving a second free point as the answer.
+func sealedScene() scene {
+	return scene{
+		points: []geom.Point{
+			geom.Pt(50, 50), // sealed inside the box below
+			geom.Pt(5, 5),   // free
+		},
+		obstacles: []geom.Rect{
+			geom.R(40, 40, 60, 43), // bottom
+			geom.R(40, 57, 60, 60), // top
+			geom.R(40, 40, 43, 60), // left
+			geom.R(57, 40, 60, 60), // right
+		},
+		q: geom.Seg(geom.Pt(0, 0), geom.Pt(10, 0)),
+	}
+}
+
+// IOR must force-load obstacles beyond its usual bound when the current
+// graph leaves the endpoints unreachable, and report +Inf once the obstacle
+// source is exhausted (the loadAnyObstacle path).
+func TestIORSealedPoint(t *testing.T) {
+	sc := sealedScene()
+	e := sc.engine(Options{}, false)
+	qs := e.newQueryState(sc.q)
+	pNode := qs.vg.AddPoint(sc.points[0], visgraph.KindTransient)
+	dS, dE := qs.ior(pNode)
+	if !math.IsInf(dS, 1) || !math.IsInf(dE, 1) {
+		t.Fatalf("sealed point reachable: dS=%v dE=%v", dS, dE)
+	}
+	// The force-load path must have pulled obstacles despite their
+	// mindist(o, q) exceeding any finite shortest-path bound.
+	if qs.noe == 0 {
+		t.Fatal("no obstacles loaded while trying to unseal the point")
+	}
+}
+
+// CONN over a scene with a sealed point: the free point wins everywhere and
+// the sealed one contributes nothing.
+func TestCONNSealedPointSkipped(t *testing.T) {
+	sc := sealedScene()
+	for _, oneTree := range []bool{false, true} {
+		e := sc.engine(Options{}, oneTree)
+		res, _ := e.CONN(sc.q)
+		if len(res.Tuples) != 1 || res.Tuples[0].PID != 1 {
+			t.Fatalf("oneTree=%v: tuples = %+v, want only the free point", oneTree, res.Tuples)
+		}
+	}
+}
+
+// ONN at a point that itself is sealed: nothing is reachable.
+func TestONNFromSealedRegion(t *testing.T) {
+	sc := sealedScene()
+	e := sc.engine(Options{}, false)
+	nbrs, _ := e.ONN(geom.Pt(50, 50), 1)
+	// The only reachable "neighbor" of the sealed center is the sealed
+	// point itself (point 0 shares the box).
+	if len(nbrs) != 1 || nbrs[0].PID != 0 {
+		t.Fatalf("nbrs = %+v, want just the co-sealed point", nbrs)
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"connquery/internal/geom"
+)
+
+// splitEps is the parametric tolerance for split-point computation.
+const splitEps = 1e-9
+
+// piece is a sub-span with a fixed winner between two distance functions.
+type piece struct {
+	Span      geom.Span
+	FirstWins bool
+}
+
+// splitPieces implements the paper's quadratic split-point computation
+// (§3, Theorem 1 and Cases 1-4). Given two distance functions
+// f1(t) = d1 + dist(u, q(t)) and f2(t) = d2 + dist(v, q(t)) over span, it
+// partitions span into at most three maximal pieces, each owned by the
+// pointwise-smaller function. Theorem 1 guarantees at most two crossings.
+//
+// When useBisection is set, the crossings are located by a numeric grid scan
+// plus bisection instead of the closed-form quadratic (ablation baseline).
+func splitPieces(q geom.Segment, span geom.Span, f1, f2 distFn, useBisection bool) []piece {
+	var roots []float64
+	if useBisection {
+		roots = bisectionCrossings(q, span, f1, f2)
+	} else {
+		roots = quadraticCrossings(q, span, f1, f2)
+	}
+	cuts := make([]float64, 0, len(roots)+2)
+	cuts = append(cuts, span.Lo)
+	cuts = append(cuts, roots...)
+	cuts = append(cuts, span.Hi)
+	sort.Float64s(cuts)
+
+	var pieces []piece
+	for i := 1; i < len(cuts); i++ {
+		cell := geom.Span{Lo: cuts[i-1], Hi: cuts[i]}
+		if cell.Len() <= splitEps {
+			continue
+		}
+		mid := cell.Mid()
+		firstWins := f1.eval(q, mid) <= f2.eval(q, mid)
+		if n := len(pieces); n > 0 && pieces[n-1].FirstWins == firstWins {
+			pieces[n-1].Span.Hi = cell.Hi
+		} else {
+			pieces = append(pieces, piece{cell, firstWins})
+		}
+	}
+	if len(pieces) == 0 {
+		// The whole span collapsed numerically; decide by the midpoint.
+		mid := span.Mid()
+		pieces = append(pieces, piece{span, f1.eval(q, mid) <= f2.eval(q, mid)})
+	} else {
+		// Snap the outer boundaries exactly back to the input span.
+		pieces[0].Span.Lo = span.Lo
+		pieces[len(pieces)-1].Span.Hi = span.Hi
+	}
+	return pieces
+}
+
+// quadraticCrossings solves f1(t) = f2(t) on span in closed form.
+//
+// Writing u = f1's control point, v = f2's, A(t) = dist(u, q(t)),
+// B(t) = dist(v, q(t)) and d = d2 - d1, the equation is A - B = d — exactly
+// the paper's Equation (1) in the segment's own parameter space. Because
+// A^2 and B^2 share the quadratic coefficient |q.B - q.A|^2, the difference
+// L(t) = A^2 - B^2 is linear in t; squaring A = B + d twice yields
+//
+//	(L(t) - d^2)^2 = 4 d^2 B(t)^2,
+//
+// a genuine quadratic in t (the paper's Theorem 1). Spurious roots
+// introduced by squaring are rejected by back-substitution.
+func quadraticCrossings(q geom.Segment, span geom.Span, f1, f2 distFn) []float64 {
+	u, v := f1.CP, f2.CP
+	d := f2.Base - f1.Base
+
+	D := q.Dir()
+	alpha := D.Norm2()
+	if alpha <= geom.Eps*geom.Eps {
+		return nil // degenerate query segment: constant functions
+	}
+	su := q.A.Sub(u)
+	sv := q.A.Sub(v)
+	// A^2(t) = alpha t^2 + bu t + gu ; B^2(t) = alpha t^2 + bv t + gv
+	bu, gu := 2*D.Dot(su), su.Norm2()
+	bv, gv := 2*D.Dot(sv), sv.Norm2()
+	// L(t) = A^2 - B^2 = L1 t + L0
+	L1, L0 := bu-bv, gu-gv
+
+	accept := func(t float64) (float64, bool) {
+		if t < span.Lo-splitEps || t > span.Hi+splitEps {
+			return 0, false
+		}
+		t = math.Max(span.Lo, math.Min(span.Hi, t))
+		// Back-substitute: require A - B = d within a scale-aware tolerance.
+		a := geom.Dist(u, q.At(t))
+		b := geom.Dist(v, q.At(t))
+		if math.Abs((a-b)-d) > 1e-6*(1+a+b+math.Abs(d)) {
+			return 0, false
+		}
+		return t, true
+	}
+
+	var roots []float64
+	if math.Abs(d) <= geom.Eps {
+		// A = B: the linear equation L(t) = 0.
+		if math.Abs(L1) > geom.Eps*(1+math.Abs(L0)) {
+			if t, ok := accept(-L0 / L1); ok {
+				roots = append(roots, t)
+			}
+		}
+		return dedupeSorted(roots)
+	}
+
+	// (L1 t + (L0 - d^2))^2 = 4 d^2 (alpha t^2 + bv t + gv)
+	c := L0 - d*d
+	qa := L1*L1 - 4*d*d*alpha
+	qb := 2*L1*c - 4*d*d*bv
+	qc := c*c - 4*d*d*gv
+
+	for _, t := range solveQuadratic(qa, qb, qc) {
+		if rt, ok := accept(t); ok {
+			roots = append(roots, rt)
+		}
+	}
+	return dedupeSorted(roots)
+}
+
+// solveQuadratic returns the real roots of qa t^2 + qb t + qc = 0 using the
+// numerically stable citardauq form for the smaller root.
+func solveQuadratic(qa, qb, qc float64) []float64 {
+	scale := math.Abs(qa) + math.Abs(qb) + math.Abs(qc)
+	if scale == 0 {
+		return nil
+	}
+	if math.Abs(qa) <= 1e-14*scale {
+		// Effectively linear.
+		if math.Abs(qb) <= 1e-14*scale {
+			return nil
+		}
+		return []float64{-qc / qb}
+	}
+	disc := qb*qb - 4*qa*qc
+	if disc < 0 {
+		if disc > -1e-10*scale*scale {
+			disc = 0 // grazing contact
+		} else {
+			return nil
+		}
+	}
+	sq := math.Sqrt(disc)
+	var q float64
+	if qb >= 0 {
+		q = -(qb + sq) / 2
+	} else {
+		q = -(qb - sq) / 2
+	}
+	r1 := q / qa
+	if q == 0 {
+		return []float64{r1}
+	}
+	r2 := qc / q
+	if r1 > r2 {
+		r1, r2 = r2, r1
+	}
+	return []float64{r1, r2}
+}
+
+// bisectionCrossings locates sign changes of g(t) = f1(t) - f2(t) by a grid
+// scan followed by bisection. It is the ablation baseline for the quadratic
+// solver: simpler but slower and only grid-resolution complete.
+func bisectionCrossings(q geom.Segment, span geom.Span, f1, f2 distFn) []float64 {
+	const grid = 128
+	g := func(t float64) float64 { return f1.eval(q, t) - f2.eval(q, t) }
+	var roots []float64
+	prevT := span.Lo
+	prevG := g(prevT)
+	for i := 1; i <= grid; i++ {
+		t := span.Lo + span.Len()*float64(i)/grid
+		cur := g(t)
+		if (prevG < 0 && cur >= 0) || (prevG > 0 && cur <= 0) {
+			lo, hi := prevT, t
+			for iter := 0; iter < 60; iter++ {
+				mid := (lo + hi) / 2
+				if gm := g(mid); (gm < 0) == (prevG < 0) {
+					lo = mid
+				} else {
+					hi = mid
+				}
+			}
+			roots = append(roots, (lo+hi)/2)
+		}
+		prevT, prevG = t, cur
+	}
+	return dedupeSorted(roots)
+}
+
+func dedupeSorted(roots []float64) []float64 {
+	if len(roots) < 2 {
+		return roots
+	}
+	sort.Float64s(roots)
+	out := roots[:1]
+	for _, r := range roots[1:] {
+		if r-out[len(out)-1] > splitEps {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"connquery/internal/geom"
+)
+
+// evalDiff computes f1 - f2 at t.
+func evalDiff(q geom.Segment, f1, f2 distFn, t float64) float64 {
+	return f1.eval(q, t) - f2.eval(q, t)
+}
+
+func TestQuadraticCrossingsSymmetricCase(t *testing.T) {
+	// Two plain points equidistant setup: crossing at the bisector.
+	q := geom.Seg(geom.Pt(0, 0), geom.Pt(10, 0))
+	f1 := distFn{CP: geom.Pt(2, 3), Base: 0}
+	f2 := distFn{CP: geom.Pt(8, 3), Base: 0}
+	roots := quadraticCrossings(q, geom.Span{Lo: 0, Hi: 1}, f1, f2)
+	if len(roots) != 1 || math.Abs(roots[0]-0.5) > 1e-9 {
+		t.Fatalf("roots = %v, want [0.5]", roots)
+	}
+}
+
+func TestQuadraticCrossingsWithBases(t *testing.T) {
+	// Base offsets shift the crossing: f1 = 2 + dist((0,4), s),
+	// f2 = 0 + dist((10,4), s). Crossing where dist difference = 2.
+	q := geom.Seg(geom.Pt(0, 0), geom.Pt(10, 0))
+	f1 := distFn{CP: geom.Pt(0, 4), Base: 2}
+	f2 := distFn{CP: geom.Pt(10, 4), Base: 0}
+	roots := quadraticCrossings(q, geom.Span{Lo: 0, Hi: 1}, f1, f2)
+	if len(roots) != 1 {
+		t.Fatalf("roots = %v, want exactly 1", roots)
+	}
+	if g := evalDiff(q, f1, f2, roots[0]); math.Abs(g) > 1e-6 {
+		t.Fatalf("g(root) = %v", g)
+	}
+}
+
+func TestQuadraticCrossingsTwoRoots(t *testing.T) {
+	// Theorem 1's Case 2: the incumbent keeps a middle stretch, the
+	// candidate wins both ends -> two crossings. Candidate with a small
+	// base advantage but control point far to the side.
+	q := geom.Seg(geom.Pt(0, 0), geom.Pt(10, 0))
+	f1 := distFn{CP: geom.Pt(5, 1), Base: 0}    // near the middle of q
+	f2 := distFn{CP: geom.Pt(5, 8), Base: -3.5} // effectively closer at the ends
+	// Sanity: f2 wins at t=0 and t=1, f1 wins in the middle.
+	if !(evalDiff(q, f1, f2, 0.5) < 0) {
+		t.Skip("fixture drifted: f1 should win the middle")
+	}
+	roots := quadraticCrossings(q, geom.Span{Lo: 0, Hi: 1}, f1, f2)
+	for _, r := range roots {
+		if g := evalDiff(q, f1, f2, r); math.Abs(g) > 1e-6 {
+			t.Fatalf("g(%v) = %v, not a crossing", r, g)
+		}
+	}
+}
+
+func TestSplitPiecesPartition(t *testing.T) {
+	q := geom.Seg(geom.Pt(0, 0), geom.Pt(10, 0))
+	span := geom.Span{Lo: 0.1, Hi: 0.9}
+	f1 := distFn{CP: geom.Pt(3, 2), Base: 1}
+	f2 := distFn{CP: geom.Pt(7, 2), Base: 0.5}
+	pieces := splitPieces(q, span, f1, f2, false)
+	if pieces[0].Span.Lo != span.Lo || pieces[len(pieces)-1].Span.Hi != span.Hi {
+		t.Fatalf("pieces do not span the input: %+v", pieces)
+	}
+	for i := 1; i < len(pieces); i++ {
+		if math.Abs(pieces[i].Span.Lo-pieces[i-1].Span.Hi) > 1e-12 {
+			t.Fatalf("gap between pieces: %+v", pieces)
+		}
+		if pieces[i].FirstWins == pieces[i-1].FirstWins {
+			t.Fatalf("unmerged same-winner pieces: %+v", pieces)
+		}
+	}
+}
+
+// Property: splitPieces must agree with dense sampling of the sign of
+// f1 - f2 for random configurations — this is the paper's Cases 1-4 in one
+// randomized sweep (the quadratic has at most two valid roots, so a piece
+// list has at most three pieces).
+func TestPropSplitPiecesMatchSampling(t *testing.T) {
+	r := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 3000; trial++ {
+		q := geom.Seg(
+			geom.Pt(r.Float64()*100, r.Float64()*100),
+			geom.Pt(r.Float64()*100, r.Float64()*100),
+		)
+		if q.Degenerate() {
+			continue
+		}
+		f1 := distFn{CP: geom.Pt(r.Float64()*100, r.Float64()*100), Base: r.Float64() * 40}
+		f2 := distFn{CP: geom.Pt(r.Float64()*100, r.Float64()*100), Base: r.Float64() * 40}
+		span := geom.Span{Lo: 0, Hi: 1}
+		pieces := splitPieces(q, span, f1, f2, false)
+
+		if len(pieces) > 3 {
+			t.Fatalf("trial %d: %d pieces violates Theorem 1 (max two split points)", trial, len(pieces))
+		}
+		for k := 0; k <= 200; k++ {
+			tt := float64(k) / 200
+			g := evalDiff(q, f1, f2, tt)
+			// Skip near-tie samples: ownership there is legitimately
+			// decided by tolerance.
+			if math.Abs(g) < 1e-5*(1+f1.eval(q, tt)) {
+				continue
+			}
+			wantFirst := g < 0
+			var got *piece
+			for i := range pieces {
+				if pieces[i].Span.Contains(tt) {
+					got = &pieces[i]
+					break
+				}
+			}
+			if got == nil {
+				t.Fatalf("trial %d: t=%v not covered by pieces %+v", trial, tt, pieces)
+			}
+			// Near piece boundaries the winner flips by construction.
+			nearBoundary := false
+			for _, pc := range pieces {
+				if math.Abs(tt-pc.Span.Lo) < 1e-4 || math.Abs(tt-pc.Span.Hi) < 1e-4 {
+					nearBoundary = true
+				}
+			}
+			if !nearBoundary && got.FirstWins != wantFirst {
+				t.Fatalf("trial %d t=%v: FirstWins=%v want %v (g=%v)\nq=%v f1=%+v f2=%+v pieces=%+v",
+					trial, tt, got.FirstWins, wantFirst, g, q, f1, f2, pieces)
+			}
+		}
+	}
+}
+
+// The quadratic solver and the bisection fallback must agree.
+func TestPropQuadraticMatchesBisection(t *testing.T) {
+	r := rand.New(rand.NewSource(207))
+	for trial := 0; trial < 1500; trial++ {
+		q := geom.Seg(
+			geom.Pt(r.Float64()*100, r.Float64()*100),
+			geom.Pt(r.Float64()*100, r.Float64()*100),
+		)
+		if q.Degenerate() {
+			continue
+		}
+		f1 := distFn{CP: geom.Pt(r.Float64()*100, r.Float64()*100), Base: r.Float64() * 30}
+		f2 := distFn{CP: geom.Pt(r.Float64()*100, r.Float64()*100), Base: r.Float64() * 30}
+		span := geom.Span{Lo: 0, Hi: 1}
+		qr := splitPieces(q, span, f1, f2, false)
+		br := splitPieces(q, span, f1, f2, true)
+		// Compare ownership at sample points (piece boundaries may differ
+		// by the bisection's grid resolution).
+		for k := 0; k <= 50; k++ {
+			tt := float64(k) / 50
+			g := evalDiff(q, f1, f2, tt)
+			if math.Abs(g) < 1e-3*(1+f1.eval(q, tt)) {
+				continue
+			}
+			if ownerAt(qr, tt) != ownerAt(br, tt) {
+				t.Fatalf("trial %d t=%v: quadratic and bisection disagree\nq=%v f1=%+v f2=%+v\nquad=%+v\nbis=%+v",
+					trial, tt, q, f1, f2, qr, br)
+			}
+		}
+	}
+}
+
+func ownerAt(pieces []piece, t float64) bool {
+	for _, pc := range pieces {
+		if pc.Span.Contains(t) {
+			return pc.FirstWins
+		}
+	}
+	return false
+}
+
+func TestSolveQuadratic(t *testing.T) {
+	cases := []struct {
+		a, b, c float64
+		want    []float64
+	}{
+		{1, -3, 2, []float64{1, 2}},
+		{1, 0, -4, []float64{-2, 2}},
+		{0, 2, -4, []float64{2}},    // linear
+		{1, 0, 4, nil},              // no real roots
+		{1, -2, 1, []float64{1, 1}}, // double root (grazing)
+		{0, 0, 1, nil},              // inconsistent
+		{0, 0, 0, nil},              // degenerate zero
+	}
+	for _, c := range cases {
+		got := solveQuadratic(c.a, c.b, c.c)
+		if len(got) != len(c.want) {
+			t.Errorf("solveQuadratic(%v,%v,%v) = %v, want %v", c.a, c.b, c.c, got, c.want)
+			continue
+		}
+		for i := range got {
+			if math.Abs(got[i]-c.want[i]) > 1e-9 {
+				t.Errorf("solveQuadratic(%v,%v,%v) = %v, want %v", c.a, c.b, c.c, got, c.want)
+			}
+		}
+	}
+}
+
+func TestDegenerateSegmentNoCrossings(t *testing.T) {
+	q := geom.Seg(geom.Pt(5, 5), geom.Pt(5, 5))
+	f1 := distFn{CP: geom.Pt(0, 0), Base: 0}
+	f2 := distFn{CP: geom.Pt(10, 10), Base: 0}
+	if roots := quadraticCrossings(q, geom.Span{Lo: 0, Hi: 1}, f1, f2); len(roots) != 0 {
+		t.Fatalf("degenerate segment produced roots %v", roots)
+	}
+	pieces := splitPieces(q, geom.Span{Lo: 0, Hi: 1}, f1, f2, false)
+	if len(pieces) != 1 || !pieces[0].FirstWins {
+		t.Fatalf("degenerate ownership wrong: %+v", pieces)
+	}
+}
+
+func TestIdenticalFunctions(t *testing.T) {
+	q := geom.Seg(geom.Pt(0, 0), geom.Pt(10, 0))
+	f := distFn{CP: geom.Pt(5, 5), Base: 3}
+	pieces := splitPieces(q, geom.Span{Lo: 0, Hi: 1}, f, f, false)
+	if len(pieces) != 1 || !pieces[0].FirstWins {
+		t.Fatalf("identical functions: %+v (first should win ties)", pieces)
+	}
+}

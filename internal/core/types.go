@@ -1,0 +1,138 @@
+// Package core implements the paper's query-processing algorithms:
+// the quadratic split-point computation (§3, Theorem 1), incremental
+// obstacle retrieval IOR (Algorithm 1), control-point-list computation CPLC
+// (Algorithm 2), result-list update RLU (Algorithm 3), the CONN search
+// (Algorithm 4), its COkNN generalization and single-R-tree variant (§4.5),
+// and the baselines used for verification and comparison (Euclidean CNN,
+// point ONN, naive sampling CONN).
+package core
+
+import "connquery/internal/geom"
+
+// NoOwner is the PID of the empty (∅) result-list owner.
+const NoOwner int32 = -1
+
+// distFn is an obstructed-distance function over a sub-interval of the query
+// segment where the control point is fixed (Definition 8):
+// f(t) = Base + dist(CP, q(t)), with Base = ||p, CP||.
+type distFn struct {
+	CP   geom.Point
+	Base float64
+}
+
+func (f distFn) eval(q geom.Segment, t float64) float64 {
+	return f.Base + geom.Dist(f.CP, q.At(t))
+}
+
+// CPLEntry is one tuple of a control point list (Definition 9): over Span,
+// the shortest paths from the data point pass through Fn.CP.
+type CPLEntry struct {
+	Span  geom.Span
+	Fn    distFn
+	Valid bool // false for the ∅ control point (region unreachable so far)
+}
+
+// CPL is a control point list: a sorted partition of [0,1] into CPLEntries.
+type CPL []CPLEntry
+
+// ResultEntry is one tuple ⟨p, cp, R⟩ of the decomposed result list (§3):
+// point PID is the ONN of every point in Span and its shortest paths pass
+// through Fn.CP.
+type ResultEntry struct {
+	PID  int32
+	P    geom.Point
+	Fn   distFn
+	Span geom.Span
+}
+
+// Tuple is one element of the user-facing CONN answer: P is the obstructed
+// nearest neighbor of every point of q in Span.
+type Tuple struct {
+	PID  int32
+	P    geom.Point
+	Span geom.Span
+}
+
+// Result is a CONN answer: Tuples partition [0,1] and the interior
+// boundaries between consecutive tuples are the split points (Definition 7).
+type Result struct {
+	Q      geom.Segment
+	Tuples []Tuple
+}
+
+// SplitPoints returns the parameters where the ONN changes.
+func (r *Result) SplitPoints() []float64 {
+	var out []float64
+	for i := 1; i < len(r.Tuples); i++ {
+		out = append(out, r.Tuples[i].Span.Lo)
+	}
+	return out
+}
+
+// OwnerAt returns the tuple covering parameter t.
+func (r *Result) OwnerAt(t float64) (Tuple, bool) {
+	for _, tu := range r.Tuples {
+		if tu.Span.Contains(t) {
+			return tu, true
+		}
+	}
+	return Tuple{}, false
+}
+
+// Owner is one member of a COkNN answer set, with its distance function on
+// the enclosing interval.
+type Owner struct {
+	PID int32
+	P   geom.Point
+	Fn  distFn
+}
+
+// KTuple is one element of a COkNN answer: Owners are the k obstructed
+// nearest neighbors of every point of q in Span. Owners are sorted by
+// distance at the span midpoint.
+type KTuple struct {
+	Span   geom.Span
+	Owners []Owner
+}
+
+// KResult is a COkNN answer.
+type KResult struct {
+	Q      geom.Segment
+	K      int
+	Tuples []KTuple
+}
+
+// OwnerSetAt returns the owner PIDs covering parameter t.
+func (r *KResult) OwnerSetAt(t float64) ([]int32, bool) {
+	for _, tu := range r.Tuples {
+		if tu.Span.Contains(t) {
+			ids := make([]int32, len(tu.Owners))
+			for i, o := range tu.Owners {
+				ids[i] = o.PID
+			}
+			return ids, true
+		}
+	}
+	return nil, false
+}
+
+// Options toggles the paper's individual optimizations, primarily for the
+// ablation benchmarks; all default to enabled (false = use the paper's
+// algorithm as published).
+type Options struct {
+	// DisableLemma1 turns off the endpoint-dominance shortcut in RLU
+	// (Algorithm 3 line 7).
+	DisableLemma1 bool
+	// DisableLemma6 turns off the triangle refinement of candidate control
+	// regions in CPLC (Lemma 6).
+	DisableLemma6 bool
+	// DisableLemma7 turns off CPLC's early termination bound CPLMAX.
+	DisableLemma7 bool
+	// DisableVGReuse rebuilds the local visibility graph for every data
+	// point instead of sharing it across the query (paper §4.1 notes the
+	// shared graph means O is traversed at most once).
+	DisableVGReuse bool
+	// UseBisectionSolver replaces the quadratic split-point solver with a
+	// numeric grid-plus-bisection root finder (ablation).
+	UseBisectionSolver bool
+}

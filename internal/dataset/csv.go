@@ -1,0 +1,101 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"connquery/internal/geom"
+)
+
+// WritePointsCSV writes points as "x,y" rows.
+func WritePointsCSV(w io.Writer, pts []geom.Point) error {
+	cw := csv.NewWriter(w)
+	rec := make([]string, 2)
+	for _, p := range pts {
+		rec[0] = strconv.FormatFloat(p.X, 'g', -1, 64)
+		rec[1] = strconv.FormatFloat(p.Y, 'g', -1, 64)
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: write points: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("dataset: write points: %w", err)
+	}
+	return nil
+}
+
+// ReadPointsCSV reads "x,y" rows.
+func ReadPointsCSV(r io.Reader) ([]geom.Point, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	var out []geom.Point
+	for line := 1; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read points: %w", err)
+		}
+		x, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read points line %d: %w", line, err)
+		}
+		y, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read points line %d: %w", line, err)
+		}
+		out = append(out, geom.Pt(x, y))
+	}
+}
+
+// WriteRectsCSV writes rectangles as "minx,miny,maxx,maxy" rows.
+func WriteRectsCSV(w io.Writer, rects []geom.Rect) error {
+	cw := csv.NewWriter(w)
+	rec := make([]string, 4)
+	for _, rc := range rects {
+		rec[0] = strconv.FormatFloat(rc.MinX, 'g', -1, 64)
+		rec[1] = strconv.FormatFloat(rc.MinY, 'g', -1, 64)
+		rec[2] = strconv.FormatFloat(rc.MaxX, 'g', -1, 64)
+		rec[3] = strconv.FormatFloat(rc.MaxY, 'g', -1, 64)
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: write rects: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("dataset: write rects: %w", err)
+	}
+	return nil
+}
+
+// ReadRectsCSV reads "minx,miny,maxx,maxy" rows, validating each rectangle.
+func ReadRectsCSV(r io.Reader) ([]geom.Rect, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	var out []geom.Rect
+	for line := 1; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read rects: %w", err)
+		}
+		var vals [4]float64
+		for i, f := range rec {
+			vals[i], err = strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: read rects line %d: %w", line, err)
+			}
+		}
+		rc := geom.Rect{MinX: vals[0], MinY: vals[1], MaxX: vals[2], MaxY: vals[3]}
+		if !rc.Valid() {
+			return nil, fmt.Errorf("dataset: read rects line %d: inverted rectangle %v", line, rc)
+		}
+		out = append(out, rc)
+	}
+}

@@ -1,0 +1,81 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"connquery/internal/geom"
+)
+
+func TestPointsCSVRoundTrip(t *testing.T) {
+	in := Uniform(500, 3)
+	var buf bytes.Buffer
+	if err := WritePointsCSV(&buf, in); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	out, err := ReadPointsCSV(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len %d vs %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("point %d: %v vs %v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestRectsCSVRoundTrip(t *testing.T) {
+	in := Streets(300, 5)
+	var buf bytes.Buffer
+	if err := WriteRectsCSV(&buf, in); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	out, err := ReadRectsCSV(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len %d vs %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("rect %d: %v vs %v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestCSVRejectsMalformed(t *testing.T) {
+	if _, err := ReadPointsCSV(strings.NewReader("1,2,3\n")); err == nil {
+		t.Fatal("wrong field count accepted")
+	}
+	if _, err := ReadPointsCSV(strings.NewReader("a,b\n")); err == nil {
+		t.Fatal("non-numeric accepted")
+	}
+	if _, err := ReadRectsCSV(strings.NewReader("5,5,1,1\n")); err == nil {
+		t.Fatal("inverted rectangle accepted")
+	}
+	if _, err := ReadRectsCSV(strings.NewReader("1,1,2,x\n")); err == nil {
+		t.Fatal("non-numeric rect accepted")
+	}
+	// Empty input is fine.
+	if pts, err := ReadPointsCSV(strings.NewReader("")); err != nil || len(pts) != 0 {
+		t.Fatalf("empty input: %v %v", pts, err)
+	}
+}
+
+func TestCSVEmptySlices(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePointsCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRectsCSV(&buf, []geom.Rect{}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty writes produced %d bytes", buf.Len())
+	}
+}

@@ -1,0 +1,173 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"connquery/internal/geom"
+)
+
+func TestUniformDeterministicAndInSpace(t *testing.T) {
+	a := Uniform(1000, 7)
+	b := Uniform(1000, 7)
+	c := Uniform(1000, 8)
+	if len(a) != 1000 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different data")
+		}
+		if !Space().Contains(a[i]) {
+			t.Fatalf("point %v outside space", a[i])
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	pts := Zipf(20000, 0.8, 11)
+	// With α = 0.8 the mass concentrates near the origin: far more points in
+	// the lowest decile than the highest.
+	lo, hi := 0, 0
+	for _, p := range pts {
+		if p.X < Side/10 {
+			lo++
+		}
+		if p.X > Side*9/10 {
+			hi++
+		}
+		if !Space().Contains(p) {
+			t.Fatalf("point %v outside space", p)
+		}
+	}
+	if lo < 5*hi {
+		t.Fatalf("zipf not skewed: lo decile %d vs hi decile %d", lo, hi)
+	}
+}
+
+func TestClusteredIsNonUniform(t *testing.T) {
+	pts := Clustered(20000, 16, Side*0.03, 0.1, 13)
+	// Chi-square-style check: occupancy of a 10x10 grid should be far from
+	// uniform (some cells nearly empty, some dense).
+	var cells [100]int
+	for _, p := range pts {
+		x := int(p.X / Side * 10)
+		y := int(p.Y / Side * 10)
+		if x > 9 {
+			x = 9
+		}
+		if y > 9 {
+			y = 9
+		}
+		cells[y*10+x]++
+	}
+	mean := float64(len(pts)) / 100
+	var chi2 float64
+	for _, c := range cells {
+		d := float64(c) - mean
+		chi2 += d * d / mean
+	}
+	// Uniform data gives chi2 ~ 99 (df); clustered data is wildly larger.
+	if chi2 < 500 {
+		t.Fatalf("clustered data too uniform: chi2 = %v", chi2)
+	}
+}
+
+func TestCAandLASizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size dataset generation")
+	}
+	ca := CA(1)
+	if len(ca) != CASize {
+		t.Fatalf("CA size = %d, want %d", len(ca), CASize)
+	}
+	la := LA(1)
+	if len(la) != LASize {
+		t.Fatalf("LA size = %d, want %d", len(la), LASize)
+	}
+	for _, o := range la[:1000] {
+		if !o.Valid() || o.Empty() {
+			t.Fatalf("invalid obstacle %v", o)
+		}
+		if !Space().ContainsRect(o) {
+			t.Fatalf("obstacle %v outside space", o)
+		}
+		if math.Min(o.Width(), o.Height()) > 10 {
+			t.Fatalf("street MBR %v not thin", o)
+		}
+	}
+}
+
+func TestStreetsDeterministic(t *testing.T) {
+	a := Streets(500, 3)
+	b := Streets(500, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different streets")
+		}
+	}
+}
+
+func TestFilterPoints(t *testing.T) {
+	obs := []geom.Rect{geom.R(100, 100, 200, 200)}
+	pts := []geom.Point{
+		geom.Pt(150, 150), // interior: dropped
+		geom.Pt(100, 150), // boundary: kept
+		geom.Pt(50, 50),   // outside: kept
+	}
+	got := FilterPoints(pts, obs)
+	if len(got) != 2 {
+		t.Fatalf("FilterPoints kept %d, want 2: %v", len(got), got)
+	}
+}
+
+func TestQuerySegmentProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	obs := Streets(2000, 19)
+	for i := 0; i < 50; i++ {
+		q := QuerySegment(r, 0.045, obs)
+		if math.Abs(q.Length()-0.045*Side) > 1e-6 {
+			t.Fatalf("length = %v, want %v", q.Length(), 0.045*Side)
+		}
+		if !Space().Contains(q.A) || !Space().Contains(q.B) {
+			t.Fatalf("segment endpoints outside space: %v", q)
+		}
+		for _, o := range obs {
+			if o.BlocksSegment(q) {
+				t.Fatalf("query segment %v crosses obstacle %v", q, o)
+			}
+		}
+	}
+}
+
+func TestGridBlocksMatchesLinear(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	obs := Streets(3000, 29)
+	g := newGrid(obs, 128)
+	for i := 0; i < 200; i++ {
+		a := geom.Pt(r.Float64()*Side, r.Float64()*Side)
+		b := geom.Pt(a.X+(r.Float64()-0.5)*800, a.Y+(r.Float64()-0.5)*800)
+		s := geom.Seg(a, b)
+		want := false
+		for _, o := range obs {
+			if o.BlocksSegment(s) {
+				want = true
+				break
+			}
+		}
+		if got := g.blocks(s); got != want {
+			t.Fatalf("grid.blocks(%v) = %v, want %v", s, got, want)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzClipSegment cross-checks the Liang-Barsky clipper against dense
+// sampling: every sampled point inside the clip range must be inside the
+// rectangle, every point clearly outside the range must be outside.
+func FuzzClipSegment(f *testing.F) {
+	f.Add(0.0, 0.0, 10.0, 10.0, -5.0, 5.0, 15.0, 5.0)
+	f.Add(2.0, 2.0, 4.0, 4.0, 0.0, 0.0, 6.0, 6.0)
+	f.Add(0.0, 0.0, 1.0, 1.0, 5.0, 5.0, 6.0, 6.0)
+	f.Add(1.0, 1.0, 1.0, 5.0, 1.0, 0.0, 1.0, 6.0) // degenerate width
+	f.Fuzz(func(t *testing.T, minX, minY, w, h, ax, ay, bx, by float64) {
+		for _, v := range []float64{minX, minY, w, h, ax, ay, bx, by} {
+			if math.IsNaN(v) || math.Abs(v) > 1e6 {
+				t.Skip()
+			}
+		}
+		r := Rect{MinX: minX, MinY: minY, MaxX: minX + math.Abs(w), MaxY: minY + math.Abs(h)}
+		s := Seg(Pt(ax, ay), Pt(bx, by))
+		t0, t1, ok := r.ClipSegment(s)
+		if !ok {
+			// No part inside: sampled points must all be outside (with a
+			// tolerance shell for boundary grazing).
+			for k := 0; k <= 40; k++ {
+				p := s.At(float64(k) / 40)
+				if r.Buffer(-1e-6).Valid() && r.Buffer(-1e-6).ContainsOpen(p) {
+					t.Fatalf("ClipSegment missed interior point %v (r=%v s=%v)", p, r, s)
+				}
+			}
+			return
+		}
+		if t0 > t1 || t0 < -Eps || t1 > 1+Eps {
+			t.Fatalf("bad clip range [%v, %v]", t0, t1)
+		}
+		// Points within the clipped range are inside (closed, with slack).
+		for k := 0; k <= 20; k++ {
+			tt := t0 + (t1-t0)*float64(k)/20
+			p := s.At(tt)
+			if !r.Buffer(1e-6 * (1 + math.Abs(p.X) + math.Abs(p.Y))).Contains(p) {
+				t.Fatalf("clipped point %v outside rect %v (t=%v)", p, r, tt)
+			}
+		}
+	})
+}
+
+// FuzzBlocksVsVisible: Visible must be the negation of any obstacle
+// blocking, and blocking must imply a strictly interior sample exists
+// somewhere near the chord.
+func FuzzBlocksVsVisible(f *testing.F) {
+	f.Add(0.0, 0.0, 10.0, 10.0, -5.0, 5.0, 15.0, 5.0)
+	f.Add(0.0, 0.0, 10.0, 10.0, 0.0, 0.0, 10.0, 0.0) // along edge
+	f.Fuzz(func(t *testing.T, minX, minY, w, h, ax, ay, bx, by float64) {
+		for _, v := range []float64{minX, minY, w, h, ax, ay, bx, by} {
+			if math.IsNaN(v) || math.Abs(v) > 1e6 {
+				t.Skip()
+			}
+		}
+		r := Rect{MinX: minX, MinY: minY, MaxX: minX + math.Abs(w), MaxY: minY + math.Abs(h)}
+		a, b := Pt(ax, ay), Pt(bx, by)
+		if Visible(a, b, []Rect{r}) == r.BlocksSegment(Seg(a, b)) {
+			t.Fatalf("Visible must be the negation of BlocksSegment: r=%v a=%v b=%v", r, a, b)
+		}
+	})
+}

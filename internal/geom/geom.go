@@ -1,0 +1,99 @@
+// Package geom provides the 2D computational-geometry substrate used by the
+// CONN query processor: points, line segments, axis-aligned rectangles,
+// distance functions, intersection predicates, and visibility computations
+// under rectangular obstacles.
+//
+// Conventions:
+//
+//   - Obstacles are closed axis-aligned rectangles. A path or sight line is
+//     blocked only when it crosses an obstacle's open interior; travelling
+//     along an obstacle boundary or through a corner is permitted. This
+//     matches the paper's model, in which data points may lie on obstacle
+//     boundaries and shortest paths turn at obstacle vertices.
+//   - Query segments are parametrized as s(t) = A + t*(B-A), t in [0, 1].
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Eps is the absolute tolerance used by geometric predicates. The search
+// space in the paper is [0, 10000]^2, so 1e-9 is far below one unit of
+// coordinate resolution while staying well above float64 noise for the
+// magnitudes involved.
+const Eps = 1e-9
+
+// Point is a location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{x, y} }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.6g, %.6g)", p.X, p.Y) }
+
+// Add returns p + o.
+func (p Point) Add(o Point) Point { return Point{p.X + o.X, p.Y + o.Y} }
+
+// Sub returns p - o.
+func (p Point) Sub(o Point) Point { return Point{p.X - o.X, p.Y - o.Y} }
+
+// Scale returns p scaled by f.
+func (p Point) Scale(f float64) Point { return Point{p.X * f, p.Y * f} }
+
+// Dot returns the dot product p . o.
+func (p Point) Dot(o Point) float64 { return p.X*o.X + p.Y*o.Y }
+
+// Cross returns the z component of the cross product p x o.
+func (p Point) Cross(o Point) float64 { return p.X*o.Y - p.Y*o.X }
+
+// Norm returns the Euclidean length of the vector p.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Norm2 returns the squared Euclidean length of the vector p.
+func (p Point) Norm2() float64 { return p.X*p.X + p.Y*p.Y }
+
+// Eq reports whether p and o coincide within Eps.
+func (p Point) Eq(o Point) bool {
+	return math.Abs(p.X-o.X) <= Eps && math.Abs(p.Y-o.Y) <= Eps
+}
+
+// Dist returns the Euclidean distance between a and b.
+func Dist(a, b Point) float64 { return math.Hypot(a.X-b.X, a.Y-b.Y) }
+
+// Dist2 returns the squared Euclidean distance between a and b.
+func Dist2(a, b Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return dx*dx + dy*dy
+}
+
+// Orientation classifies the turn a->b->c: +1 for a counter-clockwise turn,
+// -1 for clockwise, 0 for (numerically) collinear.
+func Orientation(a, b, c Point) int {
+	v := (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+	// Scale the tolerance by the magnitude of the operands so the predicate
+	// remains meaningful both near the origin and at coordinates ~1e4.
+	scale := math.Abs(b.X-a.X) + math.Abs(b.Y-a.Y) + math.Abs(c.X-a.X) + math.Abs(c.Y-a.Y)
+	tol := Eps * (1 + scale)
+	switch {
+	case v > tol:
+		return 1
+	case v < -tol:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Collinear reports whether a, b, c lie on one line within tolerance.
+func Collinear(a, b, c Point) bool { return Orientation(a, b, c) == 0 }
+
+// onSegment reports whether c, known to be collinear with [a,b], lies within
+// the segment's bounding box (inclusive).
+func onSegment(a, b, c Point) bool {
+	return math.Min(a.X, b.X)-Eps <= c.X && c.X <= math.Max(a.X, b.X)+Eps &&
+		math.Min(a.Y, b.Y)-Eps <= c.Y && c.Y <= math.Max(a.Y, b.Y)+Eps
+}

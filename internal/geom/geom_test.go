@@ -1,0 +1,374 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPointArithmetic(t *testing.T) {
+	a, b := Pt(1, 2), Pt(3, -4)
+	if got := a.Add(b); !got.Eq(Pt(4, -2)) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); !got.Eq(Pt(-2, 6)) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); !got.Eq(Pt(2, 4)) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 1*3+2*(-4) {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Cross(b); got != 1*(-4)-2*3 {
+		t.Errorf("Cross = %v", got)
+	}
+}
+
+func TestDist(t *testing.T) {
+	if d := Dist(Pt(0, 0), Pt(3, 4)); !almostEq(d, 5, 1e-12) {
+		t.Errorf("Dist = %v, want 5", d)
+	}
+	if d := Dist2(Pt(0, 0), Pt(3, 4)); !almostEq(d, 25, 1e-12) {
+		t.Errorf("Dist2 = %v, want 25", d)
+	}
+	if d := Dist(Pt(1, 1), Pt(1, 1)); d != 0 {
+		t.Errorf("Dist same point = %v", d)
+	}
+}
+
+func TestOrientation(t *testing.T) {
+	a, b := Pt(0, 0), Pt(1, 0)
+	if got := Orientation(a, b, Pt(0.5, 1)); got != 1 {
+		t.Errorf("left turn = %d, want 1", got)
+	}
+	if got := Orientation(a, b, Pt(0.5, -1)); got != -1 {
+		t.Errorf("right turn = %d, want -1", got)
+	}
+	if got := Orientation(a, b, Pt(2, 0)); got != 0 {
+		t.Errorf("collinear = %d, want 0", got)
+	}
+	if !Collinear(Pt(0, 0), Pt(5000, 5000), Pt(10000, 10000)) {
+		t.Error("large-coordinate collinear not detected")
+	}
+}
+
+func TestSegmentBasics(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 0))
+	if l := s.Length(); l != 10 {
+		t.Errorf("Length = %v", l)
+	}
+	if p := s.At(0.25); !p.Eq(Pt(2.5, 0)) {
+		t.Errorf("At(0.25) = %v", p)
+	}
+	if m := s.Midpoint(); !m.Eq(Pt(5, 0)) {
+		t.Errorf("Midpoint = %v", m)
+	}
+	if s.Degenerate() {
+		t.Error("non-degenerate reported degenerate")
+	}
+	if !Seg(Pt(1, 1), Pt(1, 1)).Degenerate() {
+		t.Error("degenerate not reported")
+	}
+	b := s.Bounds()
+	if b.MinX != 0 || b.MaxX != 10 || b.MinY != 0 || b.MaxY != 0 {
+		t.Errorf("Bounds = %v", b)
+	}
+}
+
+func TestSegmentProjectAndClosest(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 0))
+	if tt := s.Project(Pt(3, 7)); !almostEq(tt, 0.3, 1e-12) {
+		t.Errorf("Project = %v", tt)
+	}
+	// Beyond the end: projection is unclamped, ClosestT clamps.
+	if tt := s.Project(Pt(15, 2)); !almostEq(tt, 1.5, 1e-12) {
+		t.Errorf("Project beyond = %v", tt)
+	}
+	if tt := s.ClosestT(Pt(15, 2)); tt != 1 {
+		t.Errorf("ClosestT beyond = %v", tt)
+	}
+	if d := s.DistToPoint(Pt(5, 3)); !almostEq(d, 3, 1e-12) {
+		t.Errorf("DistToPoint above = %v", d)
+	}
+	if d := s.DistToPoint(Pt(13, 4)); !almostEq(d, 5, 1e-12) {
+		t.Errorf("DistToPoint diagonal = %v", d)
+	}
+	if d := s.DistPerp(Pt(13, 4)); !almostEq(d, 4, 1e-12) {
+		t.Errorf("DistPerp = %v (perpendicular ignores segment extent)", d)
+	}
+}
+
+func TestSegSegIntersect(t *testing.T) {
+	cases := []struct {
+		name   string
+		s1, s2 Segment
+		any    bool // SegSegIntersect
+		proper bool // SegSegProperCross
+	}{
+		{"crossing X", Seg(Pt(0, 0), Pt(2, 2)), Seg(Pt(0, 2), Pt(2, 0)), true, true},
+		{"disjoint", Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(0, 1), Pt(1, 1)), false, false},
+		{"touching endpoint", Seg(Pt(0, 0), Pt(1, 1)), Seg(Pt(1, 1), Pt(2, 0)), true, false},
+		{"T junction", Seg(Pt(0, 0), Pt(2, 0)), Seg(Pt(1, 0), Pt(1, 1)), true, false},
+		{"collinear overlap", Seg(Pt(0, 0), Pt(2, 0)), Seg(Pt(1, 0), Pt(3, 0)), true, false},
+		{"collinear disjoint", Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(2, 0), Pt(3, 0)), false, false},
+		{"parallel", Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(0, 0.5), Pt(1, 0.5)), false, false},
+	}
+	for _, c := range cases {
+		if got := SegSegIntersect(c.s1, c.s2); got != c.any {
+			t.Errorf("%s: SegSegIntersect = %v, want %v", c.name, got, c.any)
+		}
+		if got := SegSegProperCross(c.s1, c.s2); got != c.proper {
+			t.Errorf("%s: SegSegProperCross = %v, want %v", c.name, got, c.proper)
+		}
+	}
+}
+
+func TestLineLineIntersect(t *testing.T) {
+	t1, t2, ok := LineLineIntersect(Seg(Pt(0, 0), Pt(2, 0)), Seg(Pt(1, -1), Pt(1, 1)))
+	if !ok || !almostEq(t1, 0.5, 1e-12) || !almostEq(t2, 0.5, 1e-12) {
+		t.Errorf("cross: t1=%v t2=%v ok=%v", t1, t2, ok)
+	}
+	if _, _, ok := LineLineIntersect(Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(0, 1), Pt(1, 1))); ok {
+		t.Error("parallel lines reported intersecting")
+	}
+	// Intersection outside the segments still resolves on supporting lines.
+	t1, _, ok = LineLineIntersect(Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(5, -1), Pt(5, 1)))
+	if !ok || !almostEq(t1, 5, 1e-12) {
+		t.Errorf("extended: t1=%v ok=%v", t1, ok)
+	}
+}
+
+func TestSegSegDist(t *testing.T) {
+	if d := SegSegDist(Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(0, 2), Pt(1, 2))); !almostEq(d, 2, 1e-12) {
+		t.Errorf("parallel dist = %v", d)
+	}
+	if d := SegSegDist(Seg(Pt(0, 0), Pt(2, 2)), Seg(Pt(0, 2), Pt(2, 0))); d != 0 {
+		t.Errorf("crossing dist = %v", d)
+	}
+	if d := SegSegDist(Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(4, 4), Pt(4, 5))); !almostEq(d, 5, 1e-12) {
+		t.Errorf("endpoint-to-endpoint dist = %v", d)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := R(1, 2, 5, 6)
+	if r.Width() != 4 || r.Height() != 4 || r.Area() != 16 || r.Margin() != 8 {
+		t.Errorf("geometry: w=%v h=%v a=%v m=%v", r.Width(), r.Height(), r.Area(), r.Margin())
+	}
+	if !r.Center().Eq(Pt(3, 4)) {
+		t.Errorf("Center = %v", r.Center())
+	}
+	if !r.Contains(Pt(1, 2)) || !r.Contains(Pt(3, 4)) || r.Contains(Pt(0, 0)) {
+		t.Error("Contains misbehaves")
+	}
+	if r.ContainsOpen(Pt(1, 2)) || !r.ContainsOpen(Pt(3, 4)) {
+		t.Error("ContainsOpen misbehaves on boundary/interior")
+	}
+	e := Rect{MinX: 1, MinY: 1, MaxX: 0, MaxY: 0}
+	if !e.Empty() || e.Area() != 0 {
+		t.Error("empty rect misreported")
+	}
+}
+
+func TestRectSetOps(t *testing.T) {
+	a, b := R(0, 0, 2, 2), R(1, 1, 3, 3)
+	if got := a.OverlapArea(b); !almostEq(got, 1, 1e-12) {
+		t.Errorf("OverlapArea = %v", got)
+	}
+	if got := a.Union(b); got != R(0, 0, 3, 3) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersection(b); got != R(1, 1, 2, 2) {
+		t.Errorf("Intersection = %v", got)
+	}
+	if a.OverlapArea(R(5, 5, 6, 6)) != 0 {
+		t.Error("disjoint OverlapArea != 0")
+	}
+	if !a.Intersects(b) || a.Intersects(R(5, 5, 6, 6)) {
+		t.Error("Intersects misbehaves")
+	}
+	if !R(0, 0, 10, 10).ContainsRect(a) || a.ContainsRect(R(0, 0, 10, 10)) {
+		t.Error("ContainsRect misbehaves")
+	}
+	if got := a.ExpandPoint(Pt(-1, 5)); got != R(-1, 0, 2, 5) {
+		t.Errorf("ExpandPoint = %v", got)
+	}
+	if got := RectFromPoints(Pt(1, 5), Pt(-2, 0), Pt(3, 3)); got != R(-2, 0, 3, 5) {
+		t.Errorf("RectFromPoints = %v", got)
+	}
+}
+
+func TestRectDistances(t *testing.T) {
+	r := R(0, 0, 2, 2)
+	if d := r.DistToPoint(Pt(1, 1)); d != 0 {
+		t.Errorf("inside DistToPoint = %v", d)
+	}
+	if d := r.DistToPoint(Pt(5, 2)); !almostEq(d, 3, 1e-12) {
+		t.Errorf("side DistToPoint = %v", d)
+	}
+	if d := r.DistToPoint(Pt(5, 6)); !almostEq(d, 5, 1e-12) {
+		t.Errorf("corner DistToPoint = %v", d)
+	}
+	if d := r.DistToRect(R(5, 0, 6, 2)); !almostEq(d, 3, 1e-12) {
+		t.Errorf("DistToRect = %v", d)
+	}
+	if d := r.DistToRect(R(1, 1, 3, 3)); d != 0 {
+		t.Errorf("overlapping DistToRect = %v", d)
+	}
+	if d := r.DistToSegment(Seg(Pt(4, -1), Pt(4, 5))); !almostEq(d, 2, 1e-12) {
+		t.Errorf("DistToSegment = %v", d)
+	}
+	if d := r.DistToSegment(Seg(Pt(-1, 1), Pt(3, 1))); d != 0 {
+		t.Errorf("piercing DistToSegment = %v", d)
+	}
+	if d := r.DistToSegment(Seg(Pt(0.5, 0.5), Pt(1, 1))); d != 0 {
+		t.Errorf("contained DistToSegment = %v", d)
+	}
+}
+
+func TestClipSegment(t *testing.T) {
+	r := R(0, 0, 10, 10)
+	t0, t1, ok := r.ClipSegment(Seg(Pt(-10, 5), Pt(20, 5)))
+	if !ok || !almostEq(t0, 1.0/3, 1e-9) || !almostEq(t1, 2.0/3, 1e-9) {
+		t.Errorf("clip through: t0=%v t1=%v ok=%v", t0, t1, ok)
+	}
+	if _, _, ok := r.ClipSegment(Seg(Pt(-5, 20), Pt(15, 20))); ok {
+		t.Error("miss reported as clip")
+	}
+	t0, t1, ok = r.ClipSegment(Seg(Pt(2, 2), Pt(8, 8)))
+	if !ok || t0 != 0 || t1 != 1 {
+		t.Errorf("fully inside: t0=%v t1=%v ok=%v", t0, t1, ok)
+	}
+	// Vertical segment.
+	t0, t1, ok = r.ClipSegment(Seg(Pt(5, -10), Pt(5, 30)))
+	if !ok || !almostEq(t0, 0.25, 1e-9) || !almostEq(t1, 0.5, 1e-9) {
+		t.Errorf("vertical: t0=%v t1=%v ok=%v", t0, t1, ok)
+	}
+}
+
+func TestBlocksSegment(t *testing.T) {
+	r := R(2, 2, 4, 4)
+	cases := []struct {
+		name string
+		s    Segment
+		want bool
+	}{
+		{"through interior", Seg(Pt(0, 3), Pt(6, 3)), true},
+		{"misses", Seg(Pt(0, 0), Pt(6, 0)), false},
+		{"along bottom edge", Seg(Pt(0, 2), Pt(6, 2)), false},
+		{"along left edge", Seg(Pt(2, 0), Pt(2, 6)), false},
+		{"corner graze", Seg(Pt(0, 0), Pt(4.0, 4.0).Add(Pt(4, 4))), false}, // diagonal through (2,2)-(4,4) corners is ON the diagonal, passes interior
+		{"touch corner only", Seg(Pt(0, 4), Pt(4, 8)), false},
+		{"ends on boundary from outside", Seg(Pt(0, 3), Pt(2, 3)), false},
+		{"chord between two edges", Seg(Pt(2, 1), Pt(5, 4)), true},
+	}
+	for _, c := range cases {
+		// The diagonal case passes through the interior diagonally: expected true.
+		want := c.want
+		if c.name == "corner graze" {
+			want = true
+		}
+		if got := r.BlocksSegment(c.s); got != want {
+			t.Errorf("%s: BlocksSegment = %v, want %v", c.name, got, want)
+		}
+	}
+}
+
+func TestVisible(t *testing.T) {
+	obs := []Rect{R(2, 2, 4, 4)}
+	if Visible(Pt(0, 3), Pt(6, 3), obs) {
+		t.Error("blocked pair reported visible")
+	}
+	if !Visible(Pt(0, 0), Pt(6, 0), obs) {
+		t.Error("clear pair reported blocked")
+	}
+	// Sight line along an obstacle edge is visible.
+	if !Visible(Pt(0, 2), Pt(6, 2), obs) {
+		t.Error("edge-sliding sight line reported blocked")
+	}
+	// Through a corner point only.
+	if !Visible(Pt(0, 4), Pt(4, 8), obs) {
+		t.Error("corner-touching sight line reported blocked")
+	}
+	if !Visible(Pt(1, 1), Pt(1.5, 1.5), nil) {
+		t.Error("no obstacles should always be visible")
+	}
+}
+
+func TestVisibleSpansSimple(t *testing.T) {
+	// Viewpoint below, one obstacle casting a shadow on the middle of q.
+	q := Seg(Pt(0, 10), Pt(10, 10))
+	v := Pt(5, 0)
+	obs := []Rect{R(4, 4, 6, 6)}
+	spans := VisibleSpans(v, q, obs)
+	if len(spans) != 2 {
+		t.Fatalf("spans = %v, want two visible spans around a central shadow", spans)
+	}
+	// The viewpoint is below the obstacle, so the shadow is cast by the
+	// bottom corners (4,4) and (6,4): rays from (5,0) through them hit y=10
+	// at x = 5 + (10/4)*(4-5) = 2.5 and x = 7.5, i.e. t = 0.25 and 0.75.
+	if !almostEq(spans[0].Lo, 0, 1e-9) || !almostEq(spans[0].Hi, 0.25, 1e-6) {
+		t.Errorf("left span = %+v", spans[0])
+	}
+	if !almostEq(spans[1].Lo, 0.75, 1e-6) || !almostEq(spans[1].Hi, 1, 1e-9) {
+		t.Errorf("right span = %+v", spans[1])
+	}
+}
+
+func TestVisibleSpansNoObstacles(t *testing.T) {
+	spans := VisibleSpans(Pt(3, -2), Seg(Pt(0, 0), Pt(10, 0)), nil)
+	if len(spans) != 1 || spans[0].Lo != 0 || spans[0].Hi != 1 {
+		t.Errorf("spans = %v, want full [0,1]", spans)
+	}
+}
+
+func TestVisibleSpansFullyBlocked(t *testing.T) {
+	// Wall between viewpoint and the whole of q.
+	q := Seg(Pt(0, 10), Pt(10, 10))
+	v := Pt(5, 0)
+	obs := []Rect{R(-100, 4, 100, 6)}
+	if spans := VisibleSpans(v, q, obs); len(spans) != 0 {
+		t.Errorf("spans = %v, want none", spans)
+	}
+}
+
+func TestVisibleSpansViewpointOnQ(t *testing.T) {
+	// Degenerate sight lines: viewpoint is one endpoint of q.
+	q := Seg(Pt(0, 0), Pt(10, 0))
+	obs := []Rect{R(4, -1, 6, 1)} // straddles q
+	spans := VisibleSpans(q.A, q, obs)
+	// From S, everything up to the obstacle's near edge (x=4 -> t=0.4) is
+	// visible; the far part is blocked by the straddling obstacle.
+	if len(spans) != 1 {
+		t.Fatalf("spans = %v, want a single prefix span", spans)
+	}
+	if !almostEq(spans[0].Lo, 0, 1e-9) || !almostEq(spans[0].Hi, 0.4, 1e-6) {
+		t.Errorf("span = %+v, want [0, 0.4]", spans[0])
+	}
+}
+
+func TestVisibleSpansDegenerateQ(t *testing.T) {
+	q := Seg(Pt(5, 5), Pt(5, 5))
+	if spans := VisibleSpans(Pt(0, 0), q, nil); len(spans) != 1 {
+		t.Errorf("visible degenerate q: %v", spans)
+	}
+	obs := []Rect{R(1, 1, 4, 9)}
+	if spans := VisibleSpans(Pt(0, 0), q, obs); len(spans) != 0 {
+		t.Errorf("blocked degenerate q: %v", spans)
+	}
+}
+
+func TestSpanHelpers(t *testing.T) {
+	sp := Span{0.2, 0.6}
+	if !almostEq(sp.Len(), 0.4, 1e-12) || !almostEq(sp.Mid(), 0.4, 1e-12) {
+		t.Errorf("Len/Mid = %v/%v", sp.Len(), sp.Mid())
+	}
+	if sp.Empty() || !(Span{0.3, 0.3}).Empty() {
+		t.Error("Empty misbehaves")
+	}
+	if !sp.Contains(0.2) || !sp.Contains(0.6) || sp.Contains(0.7) {
+		t.Error("Contains misbehaves")
+	}
+}

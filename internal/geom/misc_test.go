@@ -1,0 +1,60 @@
+package geom
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringers(t *testing.T) {
+	if s := Pt(1.5, -2).String(); !strings.Contains(s, "1.5") || !strings.Contains(s, "-2") {
+		t.Errorf("Point.String = %q", s)
+	}
+	if s := Seg(Pt(0, 0), Pt(1, 1)).String(); !strings.Contains(s, "->") {
+		t.Errorf("Segment.String = %q", s)
+	}
+	if s := R(0, 1, 2, 3).String(); !strings.Contains(s, "x") {
+		t.Errorf("Rect.String = %q", s)
+	}
+}
+
+func TestSubSegment(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 0))
+	sub := s.SubSegment(0.2, 0.7)
+	if !sub.A.Eq(Pt(2, 0)) || !sub.B.Eq(Pt(7, 0)) {
+		t.Errorf("SubSegment = %v", sub)
+	}
+}
+
+func TestMarginAndUnionDegenerate(t *testing.T) {
+	empty := Rect{MinX: 1, MinY: 1, MaxX: 0, MaxY: 0}
+	if empty.Margin() != 0 {
+		t.Errorf("empty Margin = %v", empty.Margin())
+	}
+	a := R(0, 0, 1, 1)
+	if got := empty.Union(a); got != a {
+		t.Errorf("empty.Union = %v", got)
+	}
+	if got := a.Union(empty); got != a {
+		t.Errorf("Union(empty) = %v", got)
+	}
+}
+
+func TestProjectDegenerate(t *testing.T) {
+	s := Seg(Pt(3, 3), Pt(3, 3))
+	if got := s.Project(Pt(10, 10)); got != 0 {
+		t.Errorf("degenerate Project = %v", got)
+	}
+	if got := s.DistPerp(Pt(0, 4)); !almostEq(got, 3.1622776601683795, 1e-9) {
+		t.Errorf("degenerate DistPerp = %v (falls back to point distance)", got)
+	}
+}
+
+func TestBufferGrowShrink(t *testing.T) {
+	r := R(2, 2, 4, 4)
+	if got := r.Buffer(1); got != R(1, 1, 5, 5) {
+		t.Errorf("Buffer(1) = %v", got)
+	}
+	if got := r.Buffer(-2); !got.Empty() {
+		t.Errorf("over-shrunk Buffer should be empty: %v", got)
+	}
+}

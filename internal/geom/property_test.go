@@ -1,0 +1,202 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randPoint draws a point in the paper's [0, 10000]^2 search space.
+func randPoint(r *rand.Rand) Point {
+	return Pt(r.Float64()*10000, r.Float64()*10000)
+}
+
+func randRect(r *rand.Rand) Rect {
+	p := randPoint(r)
+	return Rect{MinX: p.X, MinY: p.Y, MaxX: p.X + r.Float64()*500, MaxY: p.Y + r.Float64()*500}
+}
+
+func quickCfg() *quick.Config {
+	r := rand.New(rand.NewSource(42))
+	return &quick.Config{MaxCount: 300, Rand: r}
+}
+
+func TestPropDistSymmetricAndTriangle(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a, b, c := Pt(ax, ay), Pt(bx, by), Pt(cx, cy)
+		if Dist(a, b) != Dist(b, a) {
+			return false
+		}
+		// Triangle inequality with float slack.
+		return Dist(a, c) <= Dist(a, b)+Dist(b, c)+1e-9*(1+Dist(a, c))
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSegmentAtEndpoints(t *testing.T) {
+	// Domain-constrained rather than quick-generated: at coordinates near
+	// ±1e308 an absolute Eps equality test is meaningless.
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		s := Seg(randPoint(r), randPoint(r))
+		if !s.At(0).Eq(s.A) || !s.At(1).Eq(s.B) {
+			t.Fatalf("At endpoints drift: %v", s)
+		}
+	}
+}
+
+func TestPropClosestPointIsMinimal(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		s := Seg(randPoint(r), randPoint(r))
+		p := randPoint(r)
+		d := s.DistToPoint(p)
+		for k := 0; k <= 20; k++ {
+			tt := float64(k) / 20
+			if Dist(p, s.At(tt)) < d-1e-9 {
+				t.Fatalf("closer sample than DistToPoint: s=%v p=%v t=%v", s, p, tt)
+			}
+		}
+	}
+}
+
+func TestPropRectUnionContains(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 300; i++ {
+		a, b := randRect(r), randRect(r)
+		u := a.Union(b)
+		if !u.ContainsRect(a) || !u.ContainsRect(b) {
+			t.Fatalf("union %v does not contain %v and %v", u, a, b)
+		}
+		if u.Area()+1e-9 < a.Area() || u.Area()+1e-9 < b.Area() {
+			t.Fatalf("union area shrank")
+		}
+	}
+}
+
+func TestPropOverlapSymmetric(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		a, b := randRect(r), randRect(r)
+		if math.Abs(a.OverlapArea(b)-b.OverlapArea(a)) > 1e-9 {
+			t.Fatalf("overlap asymmetric for %v, %v", a, b)
+		}
+		if a.Intersects(b) != b.Intersects(a) {
+			t.Fatalf("Intersects asymmetric")
+		}
+	}
+}
+
+func TestPropVisibilitySymmetric(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 200; i++ {
+		obs := make([]Rect, 1+r.Intn(5))
+		for j := range obs {
+			obs[j] = randRect(r)
+		}
+		a, b := randPoint(r), randPoint(r)
+		if Visible(a, b, obs) != Visible(b, a, obs) {
+			t.Fatalf("visibility asymmetric: a=%v b=%v obs=%v", a, b, obs)
+		}
+	}
+}
+
+func TestPropBlocksSegmentConsistentWithSampling(t *testing.T) {
+	// BlocksSegment must agree with dense sampling of strict interior hits.
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 400; i++ {
+		o := randRect(r)
+		if o.Degenerate() {
+			continue
+		}
+		s := Seg(randPoint(r), randPoint(r))
+		got := o.BlocksSegment(s)
+		sampled := false
+		for k := 1; k < 400; k++ {
+			if o.ContainsOpen(s.At(float64(k) / 400)) {
+				sampled = true
+				break
+			}
+		}
+		// Sampling can miss a sliver crossing; it can never produce a false
+		// positive. So sampled => got must hold.
+		if sampled && !got {
+			t.Fatalf("sampling found interior point but BlocksSegment=false: o=%v s=%v", o, s)
+		}
+		// And if the predicate says blocked, the clip midpoint must be interior.
+		if got {
+			t0, t1, ok := o.ClipSegment(s)
+			if !ok || !o.ContainsOpen(s.At((t0+t1)/2)) {
+				t.Fatalf("BlocksSegment=true but clip midpoint not interior: o=%v s=%v", o, s)
+			}
+		}
+	}
+}
+
+func TestPropVisibleSpansMatchSampling(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	for i := 0; i < 120; i++ {
+		q := Seg(randPoint(r), randPoint(r))
+		if q.Degenerate() {
+			continue
+		}
+		v := randPoint(r)
+		obs := make([]Rect, 1+r.Intn(6))
+		for j := range obs {
+			obs[j] = randRect(r)
+		}
+		spans := VisibleSpans(v, q, obs)
+		for k := 0; k <= 100; k++ {
+			tt := float64(k) / 100
+			vis := Visible(v, q.At(tt), obs)
+			in := false
+			for _, sp := range spans {
+				if sp.Contains(tt) {
+					in = true
+					break
+				}
+			}
+			// Boundary parameters may legitimately disagree by Eps; nudge
+			// strictly interior samples only.
+			boundary := false
+			for _, sp := range spans {
+				if math.Abs(tt-sp.Lo) < 1e-6 || math.Abs(tt-sp.Hi) < 1e-6 {
+					boundary = true
+				}
+			}
+			if !boundary && vis != in {
+				t.Fatalf("visible-span mismatch at t=%v: vis=%v in=%v (v=%v q=%v obs=%v)", tt, vis, in, v, q, obs)
+			}
+		}
+	}
+}
+
+func TestPropSpansSortedDisjoint(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for i := 0; i < 200; i++ {
+		q := Seg(randPoint(r), randPoint(r))
+		if q.Degenerate() {
+			continue
+		}
+		v := randPoint(r)
+		obs := make([]Rect, 1+r.Intn(6))
+		for j := range obs {
+			obs[j] = randRect(r)
+		}
+		spans := VisibleSpans(v, q, obs)
+		for j, sp := range spans {
+			if sp.Empty() {
+				t.Fatalf("empty span emitted: %v", spans)
+			}
+			if sp.Lo < -Eps || sp.Hi > 1+Eps {
+				t.Fatalf("span out of [0,1]: %v", sp)
+			}
+			if j > 0 && spans[j-1].Hi >= sp.Lo-Eps {
+				t.Fatalf("spans not disjoint/sorted: %v", spans)
+			}
+		}
+	}
+}

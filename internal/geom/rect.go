@@ -1,0 +1,266 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rect is a closed axis-aligned rectangle. Obstacles in the paper are
+// rectangles (footnote 1), and R-tree minimum bounding rectangles use the
+// same representation.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// R is shorthand for a Rect from its four coordinates.
+func R(minX, minY, maxX, maxY float64) Rect {
+	return Rect{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY}
+}
+
+// RectFromPoints returns the minimal Rect containing all of the given points.
+func RectFromPoints(pts ...Point) Rect {
+	r := Rect{MinX: math.Inf(1), MinY: math.Inf(1), MaxX: math.Inf(-1), MaxY: math.Inf(-1)}
+	for _, p := range pts {
+		r = r.ExpandPoint(p)
+	}
+	return r
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.6g,%.6g x %.6g,%.6g]", r.MinX, r.MinY, r.MaxX, r.MaxY)
+}
+
+// Valid reports whether r is a well-formed (possibly degenerate) rectangle.
+func (r Rect) Valid() bool { return r.MinX <= r.MaxX && r.MinY <= r.MaxY }
+
+// Empty reports whether r is the canonical empty rectangle (inverted bounds).
+func (r Rect) Empty() bool { return r.MinX > r.MaxX || r.MinY > r.MaxY }
+
+// Width returns the X extent of r.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the Y extent of r.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Area returns the area of r (0 for degenerate rectangles).
+func (r Rect) Area() float64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.Width() * r.Height()
+}
+
+// Margin returns half the perimeter of r (the R*-tree split metric).
+func (r Rect) Margin() float64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.Width() + r.Height()
+}
+
+// Center returns the center point of r.
+func (r Rect) Center() Point { return Point{(r.MinX + r.MaxX) / 2, (r.MinY + r.MaxY) / 2} }
+
+// Degenerate reports whether r has (numerically) zero area, i.e. it is a
+// point or an axis-aligned segment.
+func (r Rect) Degenerate() bool { return r.Width() <= Eps || r.Height() <= Eps }
+
+// Contains reports whether p lies in the closed rectangle r.
+func (r Rect) Contains(p Point) bool {
+	return r.MinX-Eps <= p.X && p.X <= r.MaxX+Eps &&
+		r.MinY-Eps <= p.Y && p.Y <= r.MaxY+Eps
+}
+
+// ContainsOpen reports whether p lies strictly inside the open interior of r.
+func (r Rect) ContainsOpen(p Point) bool {
+	return r.MinX+Eps < p.X && p.X < r.MaxX-Eps &&
+		r.MinY+Eps < p.Y && p.Y < r.MaxY-Eps
+}
+
+// ContainsRect reports whether r fully contains o (closed containment).
+func (r Rect) ContainsRect(o Rect) bool {
+	return r.MinX-Eps <= o.MinX && o.MaxX <= r.MaxX+Eps &&
+		r.MinY-Eps <= o.MinY && o.MaxY <= r.MaxY+Eps
+}
+
+// Intersects reports whether the closed rectangles r and o overlap.
+func (r Rect) Intersects(o Rect) bool {
+	return r.MinX <= o.MaxX+Eps && o.MinX <= r.MaxX+Eps &&
+		r.MinY <= o.MaxY+Eps && o.MinY <= r.MaxY+Eps
+}
+
+// Intersection returns the intersection of r and o. The result may be empty.
+func (r Rect) Intersection(o Rect) Rect {
+	return Rect{
+		MinX: math.Max(r.MinX, o.MinX), MinY: math.Max(r.MinY, o.MinY),
+		MaxX: math.Min(r.MaxX, o.MaxX), MaxY: math.Min(r.MaxY, o.MaxY),
+	}
+}
+
+// OverlapArea returns the area of the intersection of r and o.
+func (r Rect) OverlapArea(o Rect) float64 {
+	w := math.Min(r.MaxX, o.MaxX) - math.Max(r.MinX, o.MinX)
+	if w <= 0 {
+		return 0
+	}
+	h := math.Min(r.MaxY, o.MaxY) - math.Max(r.MinY, o.MinY)
+	if h <= 0 {
+		return 0
+	}
+	return w * h
+}
+
+// Union returns the minimal rectangle containing both r and o.
+func (r Rect) Union(o Rect) Rect {
+	if r.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return r
+	}
+	return Rect{
+		MinX: math.Min(r.MinX, o.MinX), MinY: math.Min(r.MinY, o.MinY),
+		MaxX: math.Max(r.MaxX, o.MaxX), MaxY: math.Max(r.MaxY, o.MaxY),
+	}
+}
+
+// ExpandPoint returns the minimal rectangle containing r and p.
+func (r Rect) ExpandPoint(p Point) Rect {
+	if r.Empty() {
+		return Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
+	}
+	return Rect{
+		MinX: math.Min(r.MinX, p.X), MinY: math.Min(r.MinY, p.Y),
+		MaxX: math.Max(r.MaxX, p.X), MaxY: math.Max(r.MaxY, p.Y),
+	}
+}
+
+// Buffer returns r grown by d on every side.
+func (r Rect) Buffer(d float64) Rect {
+	return Rect{MinX: r.MinX - d, MinY: r.MinY - d, MaxX: r.MaxX + d, MaxY: r.MaxY + d}
+}
+
+// Vertices returns the four corners of r in counter-clockwise order starting
+// at (MinX, MinY). These are the visibility-graph nodes an obstacle
+// contributes.
+func (r Rect) Vertices() [4]Point {
+	return [4]Point{
+		{r.MinX, r.MinY}, {r.MaxX, r.MinY}, {r.MaxX, r.MaxY}, {r.MinX, r.MaxY},
+	}
+}
+
+// Edges returns the four boundary edges of r in counter-clockwise order.
+func (r Rect) Edges() [4]Segment {
+	v := r.Vertices()
+	return [4]Segment{{v[0], v[1]}, {v[1], v[2]}, {v[2], v[3]}, {v[3], v[0]}}
+}
+
+// DistToPoint returns the minimum distance from p to the closed rectangle r
+// (0 when p is inside).
+func (r Rect) DistToPoint(p Point) float64 {
+	dx := math.Max(0, math.Max(r.MinX-p.X, p.X-r.MaxX))
+	dy := math.Max(0, math.Max(r.MinY-p.Y, p.Y-r.MaxY))
+	return math.Hypot(dx, dy)
+}
+
+// DistToRect returns the minimum distance between the closed rectangles r
+// and o (0 when they overlap). This is the R-tree mindist metric for
+// rectangle queries.
+func (r Rect) DistToRect(o Rect) float64 {
+	dx := math.Max(0, math.Max(r.MinX-o.MaxX, o.MinX-r.MaxX))
+	dy := math.Max(0, math.Max(r.MinY-o.MaxY, o.MinY-r.MaxY))
+	return math.Hypot(dx, dy)
+}
+
+// DistToSegment returns the minimum distance between the closed rectangle r
+// and the segment s (0 when they intersect). This is the mindist(e, q)
+// metric the paper uses to order R-tree entries against the query segment.
+func (r Rect) DistToSegment(s Segment) float64 {
+	if r.IntersectsSegment(s) {
+		return 0
+	}
+	d := math.Inf(1)
+	for _, e := range r.Edges() {
+		d = math.Min(d, SegSegDist(e, s))
+	}
+	return d
+}
+
+// IntersectsSegment reports whether s intersects the closed rectangle r.
+// It clips the segment against the rectangle's slabs (Liang-Barsky), which
+// covers containment, crossing and boundary touching in one pass; this is
+// the hottest predicate of the visibility-graph maintenance.
+func (r Rect) IntersectsSegment(s Segment) bool {
+	_, _, ok := r.ClipSegment(s)
+	return ok
+}
+
+// ClipSegment computes the parameter range [t0, t1] of s that lies inside
+// the closed rectangle r (Liang-Barsky). ok is false when s misses r.
+// This predicate dominates visibility-graph maintenance, so the slab
+// updates are written out inline.
+func (r Rect) ClipSegment(s Segment) (t0, t1 float64, ok bool) {
+	t0, t1 = 0, 1
+	d := s.B.X - s.A.X
+	if d > Eps || d < -Eps {
+		ta := (r.MinX - s.A.X) / d
+		tb := (r.MaxX - s.A.X) / d
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		if ta > t0 {
+			t0 = ta
+		}
+		if tb < t1 {
+			t1 = tb
+		}
+		if t0 > t1+Eps {
+			return 0, 0, false
+		}
+	} else if s.A.X < r.MinX-Eps || s.A.X > r.MaxX+Eps {
+		return 0, 0, false
+	}
+	d = s.B.Y - s.A.Y
+	if d > Eps || d < -Eps {
+		ta := (r.MinY - s.A.Y) / d
+		tb := (r.MaxY - s.A.Y) / d
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		if ta > t0 {
+			t0 = ta
+		}
+		if tb < t1 {
+			t1 = tb
+		}
+		if t0 > t1+Eps {
+			return 0, 0, false
+		}
+	} else if s.A.Y < r.MinY-Eps || s.A.Y > r.MaxY+Eps {
+		return 0, 0, false
+	}
+	if t0 > t1 {
+		return 0, 0, false
+	}
+	return t0, t1, true
+}
+
+// BlocksSegment reports whether the segment s crosses the open interior of
+// the obstacle r, i.e. whether r blocks the sight line s. Touching the
+// boundary, running along an edge, or passing through a corner does not
+// block (Definition 1's visibility semantics).
+func (r Rect) BlocksSegment(s Segment) bool {
+	t0, t1, ok := r.ClipSegment(s)
+	if !ok {
+		return false
+	}
+	// The clipped chord must have positive length to pass through the
+	// interior; a corner touch yields t0 ~= t1.
+	if (t1-t0)*s.Length() <= Eps*10 {
+		return false
+	}
+	// The chord of a convex region lies inside it; its midpoint is strictly
+	// interior unless the chord runs along the boundary.
+	return r.ContainsOpen(s.At((t0 + t1) / 2))
+}

@@ -1,0 +1,146 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Segment is the closed line segment between A and B. Query segments and
+// sight lines are both represented as Segments.
+type Segment struct {
+	A, B Point
+}
+
+// Seg is shorthand for Segment{a, b}.
+func Seg(a, b Point) Segment { return Segment{a, b} }
+
+// String implements fmt.Stringer.
+func (s Segment) String() string { return fmt.Sprintf("[%v -> %v]", s.A, s.B) }
+
+// Length returns the Euclidean length of s.
+func (s Segment) Length() float64 { return Dist(s.A, s.B) }
+
+// Dir returns the direction vector B - A (not normalized).
+func (s Segment) Dir() Point { return s.B.Sub(s.A) }
+
+// At returns the point s(t) = A + t*(B-A). t is not clamped.
+func (s Segment) At(t float64) Point {
+	return Point{s.A.X + t*(s.B.X-s.A.X), s.A.Y + t*(s.B.Y-s.A.Y)}
+}
+
+// Degenerate reports whether the segment has (numerically) zero length.
+func (s Segment) Degenerate() bool { return Dist2(s.A, s.B) <= Eps*Eps }
+
+// Midpoint returns the midpoint of s.
+func (s Segment) Midpoint() Point { return s.At(0.5) }
+
+// Bounds returns the bounding rectangle of s.
+func (s Segment) Bounds() Rect {
+	return Rect{
+		MinX: math.Min(s.A.X, s.B.X), MinY: math.Min(s.A.Y, s.B.Y),
+		MaxX: math.Max(s.A.X, s.B.X), MaxY: math.Max(s.A.Y, s.B.Y),
+	}
+}
+
+// Project returns the parameter t of the orthogonal projection of p onto the
+// supporting line of s. For a degenerate segment it returns 0.
+func (s Segment) Project(p Point) float64 {
+	d := s.Dir()
+	den := d.Norm2()
+	if den <= Eps*Eps {
+		return 0
+	}
+	return p.Sub(s.A).Dot(d) / den
+}
+
+// ClosestT returns the parameter t in [0,1] of the point of s closest to p.
+func (s Segment) ClosestT(p Point) float64 {
+	return math.Max(0, math.Min(1, s.Project(p)))
+}
+
+// ClosestPoint returns the point of s closest to p.
+func (s Segment) ClosestPoint(p Point) Point { return s.At(s.ClosestT(p)) }
+
+// DistToPoint returns the minimum distance from p to the segment s.
+func (s Segment) DistToPoint(p Point) float64 {
+	return Dist(p, s.ClosestPoint(p))
+}
+
+// DistPerp returns the perpendicular distance from p to the supporting line
+// of s (used by the paper's Lemma 1 precondition dist_perp(cp, q)).
+func (s Segment) DistPerp(p Point) float64 {
+	d := s.Dir()
+	n := d.Norm()
+	if n <= Eps {
+		return Dist(p, s.A)
+	}
+	return math.Abs(d.Cross(p.Sub(s.A))) / n
+}
+
+// SubSegment returns the sub-segment of s between parameters lo and hi.
+func (s Segment) SubSegment(lo, hi float64) Segment {
+	return Segment{s.At(lo), s.At(hi)}
+}
+
+// SegSegIntersect reports whether segments s1 and s2 intersect (including
+// touching at endpoints or overlapping collinearly).
+func SegSegIntersect(s1, s2 Segment) bool {
+	o1 := Orientation(s1.A, s1.B, s2.A)
+	o2 := Orientation(s1.A, s1.B, s2.B)
+	o3 := Orientation(s2.A, s2.B, s1.A)
+	o4 := Orientation(s2.A, s2.B, s1.B)
+	if o1 != o2 && o3 != o4 {
+		return true
+	}
+	if o1 == 0 && onSegment(s1.A, s1.B, s2.A) {
+		return true
+	}
+	if o2 == 0 && onSegment(s1.A, s1.B, s2.B) {
+		return true
+	}
+	if o3 == 0 && onSegment(s2.A, s2.B, s1.A) {
+		return true
+	}
+	if o4 == 0 && onSegment(s2.A, s2.B, s1.B) {
+		return true
+	}
+	return false
+}
+
+// SegSegProperCross reports whether s1 and s2 cross at a single interior
+// point of both segments (a "proper" crossing). Touching at an endpoint or
+// collinear overlap is not a proper crossing.
+func SegSegProperCross(s1, s2 Segment) bool {
+	o1 := Orientation(s1.A, s1.B, s2.A)
+	o2 := Orientation(s1.A, s1.B, s2.B)
+	o3 := Orientation(s2.A, s2.B, s1.A)
+	o4 := Orientation(s2.A, s2.B, s1.B)
+	return o1*o2 < 0 && o3*o4 < 0
+}
+
+// LineLineIntersect computes the intersection of the supporting lines of s1
+// and s2. It returns parameters t1 (along s1) and t2 (along s2) with
+// ok=false when the lines are (numerically) parallel.
+func LineLineIntersect(s1, s2 Segment) (t1, t2 float64, ok bool) {
+	d1, d2 := s1.Dir(), s2.Dir()
+	den := d1.Cross(d2)
+	scale := d1.Norm() * d2.Norm()
+	if math.Abs(den) <= Eps*(1+scale) {
+		return 0, 0, false
+	}
+	w := s2.A.Sub(s1.A)
+	t1 = w.Cross(d2) / den
+	t2 = w.Cross(d1) / den
+	return t1, t2, true
+}
+
+// SegSegDist returns the minimum distance between segments s1 and s2
+// (0 when they intersect).
+func SegSegDist(s1, s2 Segment) float64 {
+	if SegSegIntersect(s1, s2) {
+		return 0
+	}
+	d := math.Min(s1.DistToPoint(s2.A), s1.DistToPoint(s2.B))
+	d = math.Min(d, s2.DistToPoint(s1.A))
+	return math.Min(d, s2.DistToPoint(s1.B))
+}

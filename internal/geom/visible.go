@@ -1,0 +1,103 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// Visible reports whether points a and b are visible to each other under the
+// given rectangular obstacles (Definition 1): the open segment between them
+// must not cross any obstacle's open interior.
+func Visible(a, b Point, obstacles []Rect) bool {
+	s := Segment{a, b}
+	for _, o := range obstacles {
+		if o.BlocksSegment(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// Span is a closed sub-interval [Lo, Hi] of the query-segment parameter
+// space t in [0, 1].
+type Span struct {
+	Lo, Hi float64
+}
+
+// Len returns the parametric length of the span.
+func (sp Span) Len() float64 { return sp.Hi - sp.Lo }
+
+// Empty reports whether the span has (numerically) zero or negative length.
+func (sp Span) Empty() bool { return sp.Hi-sp.Lo <= Eps }
+
+// Mid returns the span midpoint parameter.
+func (sp Span) Mid() float64 { return (sp.Lo + sp.Hi) / 2 }
+
+// Contains reports whether t lies in the closed span.
+func (sp Span) Contains(t float64) bool { return sp.Lo-Eps <= t && t <= sp.Hi+Eps }
+
+// VisibleSpans computes the visible region VR(v, q) of viewpoint v over the
+// query segment q under the given obstacles (Definition 2), as a sorted list
+// of disjoint parameter spans.
+//
+// Method: the visibility of q's points from v changes only where the sight
+// line grazes an obstacle vertex or where q itself crosses an obstacle
+// boundary. We collect those candidate parameters, subdivide [0,1], and
+// decide each cell by an exact midpoint visibility test. This is exact and
+// O(V log V + V*C) for V vertices and C candidate cells, which is fast for
+// the small local visibility graphs the algorithm maintains.
+func VisibleSpans(v Point, q Segment, obstacles []Rect) []Span {
+	if q.Degenerate() {
+		if Visible(v, q.A, obstacles) {
+			return []Span{{0, 1}}
+		}
+		return nil
+	}
+	cuts := make([]float64, 0, 4*len(obstacles)+2)
+	cuts = append(cuts, 0, 1)
+	for _, o := range obstacles {
+		for _, w := range o.Vertices() {
+			// Sight ray from v through the obstacle corner w, extended to the
+			// supporting line of q.
+			ray := Segment{v, w}
+			if ray.Degenerate() {
+				continue
+			}
+			tRay, tQ, ok := LineLineIntersect(ray, q)
+			if !ok {
+				continue
+			}
+			// Only forward intersections can shadow q.
+			if tRay < -Eps {
+				continue
+			}
+			if tQ > -Eps && tQ < 1+Eps {
+				cuts = append(cuts, clamp01(tQ))
+			}
+		}
+		// Where q itself enters/leaves the obstacle, visibility flips too.
+		if t0, t1, ok := o.ClipSegment(q); ok {
+			cuts = append(cuts, clamp01(t0), clamp01(t1))
+		}
+	}
+	sort.Float64s(cuts)
+	spans := make([]Span, 0, 8)
+	prev := cuts[0]
+	for _, c := range cuts[1:] {
+		if c-prev <= Eps {
+			continue
+		}
+		cell := Span{prev, c}
+		if Visible(v, q.At(cell.Mid()), obstacles) {
+			if n := len(spans); n > 0 && cell.Lo-spans[n-1].Hi <= Eps {
+				spans[n-1].Hi = cell.Hi
+			} else {
+				spans = append(spans, cell)
+			}
+		}
+		prev = c
+	}
+	return spans
+}
+
+func clamp01(t float64) float64 { return math.Max(0, math.Min(1, t)) }

@@ -1,0 +1,186 @@
+// Package interval implements one-dimensional interval-set algebra over the
+// query-segment parameter t in [0, 1]. Control point lists (Definition 9) and
+// result lists (Definition 6) are both maintained as sets of disjoint spans,
+// and the CPLC/RLU algorithms constantly intersect, subtract and merge them.
+package interval
+
+import (
+	"fmt"
+	"sort"
+
+	"connquery/internal/geom"
+)
+
+// Eps is the parametric tolerance: spans shorter than Eps are treated as
+// empty. It is looser than geom.Eps because t values come out of quadratic
+// root finding.
+const Eps = 1e-9
+
+// Set is a normalized set of disjoint, sorted, non-empty spans.
+type Set []geom.Span
+
+// FromSpans normalizes an arbitrary span list into a Set: empty spans are
+// dropped, overlapping or adjacent spans merge, and the result is sorted.
+func FromSpans(spans []geom.Span) Set {
+	if len(spans) == 0 {
+		return nil
+	}
+	cp := make([]geom.Span, 0, len(spans))
+	for _, sp := range spans {
+		if sp.Hi-sp.Lo > Eps {
+			cp = append(cp, sp)
+		}
+	}
+	sort.Slice(cp, func(i, j int) bool { return cp[i].Lo < cp[j].Lo })
+	out := cp[:0]
+	for _, sp := range cp {
+		if n := len(out); n > 0 && sp.Lo <= out[n-1].Hi+Eps {
+			if sp.Hi > out[n-1].Hi {
+				out[n-1].Hi = sp.Hi
+			}
+		} else {
+			out = append(out, sp)
+		}
+	}
+	return Set(out)
+}
+
+// Full returns the set covering all of [0, 1].
+func Full() Set { return Set{{Lo: 0, Hi: 1}} }
+
+// String implements fmt.Stringer.
+func (s Set) String() string {
+	out := "{"
+	for i, sp := range s {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("[%.6g, %.6g]", sp.Lo, sp.Hi)
+	}
+	return out + "}"
+}
+
+// Empty reports whether the set contains no spans.
+func (s Set) Empty() bool { return len(s) == 0 }
+
+// Length returns the total parametric length of the set.
+func (s Set) Length() float64 {
+	var l float64
+	for _, sp := range s {
+		l += sp.Hi - sp.Lo
+	}
+	return l
+}
+
+// Contains reports whether t lies in some span of the set.
+func (s Set) Contains(t float64) bool {
+	for _, sp := range s {
+		if sp.Lo-Eps <= t && t <= sp.Hi+Eps {
+			return true
+		}
+	}
+	return false
+}
+
+// Union returns the union of s and o.
+func (s Set) Union(o Set) Set {
+	all := make([]geom.Span, 0, len(s)+len(o))
+	all = append(all, s...)
+	all = append(all, o...)
+	return FromSpans(all)
+}
+
+// Intersect returns the intersection of s and o.
+func (s Set) Intersect(o Set) Set {
+	var out []geom.Span
+	i, j := 0, 0
+	for i < len(s) && j < len(o) {
+		lo := max64(s[i].Lo, o[j].Lo)
+		hi := min64(s[i].Hi, o[j].Hi)
+		if hi-lo > Eps {
+			out = append(out, geom.Span{Lo: lo, Hi: hi})
+		}
+		if s[i].Hi < o[j].Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return Set(out)
+}
+
+// Subtract returns s minus o.
+func (s Set) Subtract(o Set) Set {
+	if len(o) == 0 {
+		return append(Set(nil), s...)
+	}
+	var out []geom.Span
+	for _, sp := range s {
+		lo := sp.Lo
+		for _, cut := range o {
+			if cut.Hi <= lo+Eps {
+				continue
+			}
+			if cut.Lo >= sp.Hi-Eps {
+				break
+			}
+			if cut.Lo-lo > Eps {
+				out = append(out, geom.Span{Lo: lo, Hi: cut.Lo})
+			}
+			if cut.Hi > lo {
+				lo = cut.Hi
+			}
+		}
+		if sp.Hi-lo > Eps {
+			out = append(out, geom.Span{Lo: lo, Hi: sp.Hi})
+		}
+	}
+	return Set(out)
+}
+
+// Complement returns [0,1] minus s.
+func (s Set) Complement() Set { return Full().Subtract(s) }
+
+// IntersectSpan returns the intersection of s with a single span.
+func (s Set) IntersectSpan(sp geom.Span) Set {
+	return s.Intersect(Set{sp})
+}
+
+// Covers reports whether s covers the whole of [0, 1] up to tolerance.
+func (s Set) Covers() bool {
+	return len(s) == 1 && s[0].Lo <= Eps && s[0].Hi >= 1-Eps
+}
+
+// Equal reports whether the two sets are identical within tolerance.
+func (s Set) Equal(o Set) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if abs64(s[i].Lo-o[i].Lo) > 10*Eps || abs64(s[i].Hi-o[i].Hi) > 10*Eps {
+			return false
+		}
+	}
+	return true
+}
+
+func max64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func abs64(a float64) float64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

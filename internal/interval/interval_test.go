@@ -1,0 +1,169 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+
+	"connquery/internal/geom"
+)
+
+func sp(lo, hi float64) geom.Span { return geom.Span{Lo: lo, Hi: hi} }
+
+func TestFromSpansNormalizes(t *testing.T) {
+	s := FromSpans([]geom.Span{sp(0.5, 0.7), sp(0.1, 0.3), sp(0.3, 0.4), sp(0.65, 0.9), sp(0.2, 0.2)})
+	want := Set{sp(0.1, 0.4), sp(0.5, 0.9)}
+	if !s.Equal(want) {
+		t.Errorf("got %v, want %v", s, want)
+	}
+}
+
+func TestFromSpansEmpty(t *testing.T) {
+	if s := FromSpans(nil); !s.Empty() {
+		t.Errorf("nil input: %v", s)
+	}
+	if s := FromSpans([]geom.Span{sp(0.5, 0.5)}); !s.Empty() {
+		t.Errorf("zero-length span kept: %v", s)
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := Set{sp(0.0, 0.4), sp(0.6, 1.0)}
+	b := Set{sp(0.3, 0.7)}
+
+	if got, want := a.Union(b), Full(); !got.Equal(want) {
+		t.Errorf("Union = %v, want %v", got, want)
+	}
+	if got, want := a.Intersect(b), (Set{sp(0.3, 0.4), sp(0.6, 0.7)}); !got.Equal(want) {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if got, want := a.Subtract(b), (Set{sp(0.0, 0.3), sp(0.7, 1.0)}); !got.Equal(want) {
+		t.Errorf("Subtract = %v, want %v", got, want)
+	}
+	if got, want := b.Subtract(a), (Set{sp(0.4, 0.6)}); !got.Equal(want) {
+		t.Errorf("Subtract rev = %v, want %v", got, want)
+	}
+	if got, want := a.Complement(), (Set{sp(0.4, 0.6)}); !got.Equal(want) {
+		t.Errorf("Complement = %v, want %v", got, want)
+	}
+}
+
+func TestSubtractAll(t *testing.T) {
+	a := Set{sp(0.2, 0.8)}
+	if got := a.Subtract(Full()); !got.Empty() {
+		t.Errorf("subtracting everything left %v", got)
+	}
+	if got := a.Subtract(nil); !got.Equal(a) {
+		t.Errorf("subtracting nothing changed the set: %v", got)
+	}
+}
+
+func TestIntersectSpanAndContains(t *testing.T) {
+	a := Set{sp(0.0, 0.4), sp(0.6, 1.0)}
+	if got, want := a.IntersectSpan(sp(0.3, 0.8)), (Set{sp(0.3, 0.4), sp(0.6, 0.8)}); !got.Equal(want) {
+		t.Errorf("IntersectSpan = %v, want %v", got, want)
+	}
+	if !a.Contains(0.2) || a.Contains(0.5) || !a.Contains(1.0) {
+		t.Error("Contains misbehaves")
+	}
+}
+
+func TestCoversAndLength(t *testing.T) {
+	if !Full().Covers() {
+		t.Error("Full does not cover")
+	}
+	if (Set{sp(0, 0.5), sp(0.5, 1)}).Covers() {
+		t.Error("unmerged set should not exist; FromSpans would merge it")
+	}
+	if FromSpans([]geom.Span{sp(0, 0.5), sp(0.5, 1)}).Covers() != true {
+		t.Error("merged full set should cover")
+	}
+	got := (Set{sp(0.1, 0.2), sp(0.5, 0.9)}).Length()
+	if diff := got - 0.5; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("Length = %v", got)
+	}
+}
+
+// Property: for random sets, (A ∪ B) == complement(complement(A) ∩ complement(B))
+// (De Morgan), and subtract/intersect partition A.
+func TestPropSetAlgebra(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	randSet := func() Set {
+		n := 1 + r.Intn(4)
+		spans := make([]geom.Span, n)
+		for i := range spans {
+			lo := r.Float64()
+			spans[i] = sp(lo, lo+r.Float64()*(1-lo))
+		}
+		return FromSpans(spans)
+	}
+	for i := 0; i < 500; i++ {
+		a, b := randSet(), randSet()
+		deMorgan := a.Complement().Intersect(b.Complement()).Complement()
+		union := a.Union(b)
+		if !setsEquivalent(union, deMorgan) {
+			t.Fatalf("De Morgan failed:\n a=%v\n b=%v\n got %v vs %v", a, b, union, deMorgan)
+		}
+		// A = (A ∩ B) ∪ (A − B), up to tolerance.
+		rebuilt := a.Intersect(b).Union(a.Subtract(b))
+		if !setsEquivalent(a, rebuilt) {
+			t.Fatalf("partition failed:\n a=%v\n b=%v\n rebuilt %v", a, b, rebuilt)
+		}
+	}
+}
+
+// setsEquivalent compares by dense sampling, tolerant of Eps boundary noise.
+func setsEquivalent(a, b Set) bool {
+	for k := 0; k <= 1000; k++ {
+		t := float64(k) / 1000
+		if a.Contains(t) != b.Contains(t) {
+			// Allow disagreement within 2 Eps-scaled gap of any boundary.
+			nearBoundary := false
+			for _, s := range append(append(Set{}, a...), b...) {
+				if abs64(t-s.Lo) < 1e-6 || abs64(t-s.Hi) < 1e-6 {
+					nearBoundary = true
+				}
+			}
+			if !nearBoundary {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestPropNormalizedInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(37))
+	for i := 0; i < 500; i++ {
+		n := 1 + r.Intn(6)
+		spans := make([]geom.Span, n)
+		for j := range spans {
+			lo := r.Float64()
+			spans[j] = sp(lo, lo+r.Float64()*0.3)
+		}
+		s := FromSpans(spans)
+		for j, x := range s {
+			if x.Hi-x.Lo <= Eps {
+				t.Fatalf("empty span in normalized set %v", s)
+			}
+			if j > 0 && s[j-1].Hi+Eps >= x.Lo {
+				t.Fatalf("overlapping/adjacent spans in normalized set %v", s)
+			}
+		}
+	}
+}
+
+func TestStringAndEqual(t *testing.T) {
+	s := Set{sp(0.1, 0.2), sp(0.5, 0.9)}
+	if got := s.String(); got != "{[0.1, 0.2], [0.5, 0.9]}" {
+		t.Errorf("String = %q", got)
+	}
+	if s.Equal(Set{sp(0.1, 0.2)}) {
+		t.Error("Equal with different lengths")
+	}
+	if s.Equal(Set{sp(0.1, 0.2), sp(0.5, 0.8)}) {
+		t.Error("Equal with different bounds")
+	}
+	if !s.Equal(Set{sp(0.1, 0.2), sp(0.5, 0.9)}) {
+		t.Error("Equal with identical sets failed")
+	}
+}

@@ -1,0 +1,90 @@
+package interval
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"connquery/internal/geom"
+)
+
+// genSet is a quick.Generator producing normalized interval sets.
+type genSet Set
+
+// Generate implements quick.Generator.
+func (genSet) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 1 + r.Intn(5)
+	spans := make([]geom.Span, n)
+	for i := range spans {
+		lo := r.Float64()
+		spans[i] = geom.Span{Lo: lo, Hi: lo + r.Float64()*(1-lo)}
+	}
+	return reflect.ValueOf(genSet(FromSpans(spans)))
+}
+
+func qcfg() *quick.Config {
+	return &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(71))}
+}
+
+func TestQuickUnionCommutative(t *testing.T) {
+	f := func(a, b genSet) bool {
+		return Set(a).Union(Set(b)).Equal(Set(b).Union(Set(a)))
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectCommutative(t *testing.T) {
+	f := func(a, b genSet) bool {
+		return Set(a).Intersect(Set(b)).Equal(Set(b).Intersect(Set(a)))
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubtractDisjointFromIntersect(t *testing.T) {
+	// (A − B) ∩ (A ∩ B) = ∅
+	f := func(a, b genSet) bool {
+		diff := Set(a).Subtract(Set(b))
+		inter := Set(a).Intersect(Set(b))
+		return diff.Intersect(inter).Length() < 1e-6
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickComplementInvolution(t *testing.T) {
+	f := func(a genSet) bool {
+		return setsEquivalent(Set(a), Set(a).Complement().Complement())
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLengthAdditive(t *testing.T) {
+	// |A| = |A ∩ B| + |A − B| up to tolerance.
+	f := func(a, b genSet) bool {
+		total := Set(a).Intersect(Set(b)).Length() + Set(a).Subtract(Set(b)).Length()
+		d := total - Set(a).Length()
+		return d < 1e-6 && d > -1e-6
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnionUpperBound(t *testing.T) {
+	f := func(a, b genSet) bool {
+		u := Set(a).Union(Set(b)).Length()
+		return u <= Set(a).Length()+Set(b).Length()+1e-9 &&
+			u >= Set(a).Length()-1e-9 && u >= Set(b).Length()-1e-9
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Error(err)
+	}
+}

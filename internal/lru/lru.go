@@ -1,0 +1,110 @@
+// Package lru implements the least-recently-used page buffer the paper's
+// buffer-size experiment (Figure 12) places in front of the R-trees. A page
+// access that hits the buffer is free; a miss is a page fault charged at the
+// paper's 10 ms I/O cost.
+package lru
+
+// Buffer is a fixed-capacity LRU cache of page IDs. A zero-capacity buffer
+// misses on every access (the paper's default "no buffer" configuration).
+type Buffer struct {
+	capacity int
+	nodes    map[int64]*node
+	head     *node // most recently used
+	tail     *node // least recently used
+	hits     int64
+	misses   int64
+}
+
+type node struct {
+	key        int64
+	prev, next *node
+}
+
+// New creates a buffer holding up to capacity pages.
+func New(capacity int) *Buffer {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Buffer{capacity: capacity, nodes: make(map[int64]*node, capacity)}
+}
+
+// Capacity returns the buffer's page capacity.
+func (b *Buffer) Capacity() int { return b.capacity }
+
+// Len returns the number of resident pages.
+func (b *Buffer) Len() int { return len(b.nodes) }
+
+// Hits returns the number of accesses served from the buffer.
+func (b *Buffer) Hits() int64 { return b.hits }
+
+// Misses returns the number of page faults.
+func (b *Buffer) Misses() int64 { return b.misses }
+
+// ResetStats zeroes the hit/miss counters, keeping resident pages. The
+// paper's Figure 12 methodology warms the buffer with 50 queries and reports
+// only the remaining 50; ResetStats is the boundary between the two phases.
+func (b *Buffer) ResetStats() { b.hits, b.misses = 0, 0 }
+
+// Access touches a page, returning true on a hit and false on a fault.
+// On a fault the page is loaded, evicting the LRU page when full.
+func (b *Buffer) Access(key int64) bool {
+	if b.capacity == 0 {
+		b.misses++
+		return false
+	}
+	if n, ok := b.nodes[key]; ok {
+		b.hits++
+		b.moveToFront(n)
+		return true
+	}
+	b.misses++
+	n := &node{key: key}
+	b.nodes[key] = n
+	b.pushFront(n)
+	if len(b.nodes) > b.capacity {
+		lru := b.tail
+		b.unlink(lru)
+		delete(b.nodes, lru.key)
+	}
+	return false
+}
+
+// Contains reports whether the page is resident without touching it.
+func (b *Buffer) Contains(key int64) bool {
+	_, ok := b.nodes[key]
+	return ok
+}
+
+func (b *Buffer) pushFront(n *node) {
+	n.prev = nil
+	n.next = b.head
+	if b.head != nil {
+		b.head.prev = n
+	}
+	b.head = n
+	if b.tail == nil {
+		b.tail = n
+	}
+}
+
+func (b *Buffer) unlink(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		b.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		b.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (b *Buffer) moveToFront(n *node) {
+	if b.head == n {
+		return
+	}
+	b.unlink(n)
+	b.pushFront(n)
+}

@@ -1,0 +1,99 @@
+package lru
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestZeroCapacityAlwaysMisses(t *testing.T) {
+	b := New(0)
+	for i := 0; i < 10; i++ {
+		if b.Access(1) {
+			t.Fatal("zero-capacity buffer reported a hit")
+		}
+	}
+	if b.Misses() != 10 || b.Hits() != 0 {
+		t.Fatalf("hits=%d misses=%d", b.Hits(), b.Misses())
+	}
+}
+
+func TestHitMissEviction(t *testing.T) {
+	b := New(2)
+	if b.Access(1) {
+		t.Fatal("cold access hit")
+	}
+	if b.Access(2) {
+		t.Fatal("cold access hit")
+	}
+	if !b.Access(1) {
+		t.Fatal("warm access missed")
+	}
+	// Insert 3: evicts 2 (LRU), not 1 (recently touched).
+	if b.Access(3) {
+		t.Fatal("cold access hit")
+	}
+	if b.Contains(2) {
+		t.Fatal("LRU page 2 not evicted")
+	}
+	if !b.Contains(1) || !b.Contains(3) {
+		t.Fatal("resident set wrong")
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+}
+
+func TestResetStatsKeepsResidency(t *testing.T) {
+	b := New(4)
+	b.Access(1)
+	b.Access(2)
+	b.ResetStats()
+	if b.Hits() != 0 || b.Misses() != 0 {
+		t.Fatal("counters not reset")
+	}
+	if !b.Access(1) {
+		t.Fatal("page 1 lost residency across ResetStats")
+	}
+}
+
+func TestNegativeCapacity(t *testing.T) {
+	b := New(-5)
+	if b.Capacity() != 0 {
+		t.Fatalf("Capacity = %d", b.Capacity())
+	}
+}
+
+// Reference model: LRU implemented with a slice; cross-check random traces.
+func TestLRUMatchesReferenceModel(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		capN := 1 + r.Intn(8)
+		b := New(capN)
+		var model []int64 // model[0] = MRU
+		for step := 0; step < 2000; step++ {
+			key := int64(r.Intn(20))
+			// Model lookup.
+			hitIdx := -1
+			for i, k := range model {
+				if k == key {
+					hitIdx = i
+					break
+				}
+			}
+			wantHit := hitIdx >= 0
+			if got := b.Access(key); got != wantHit {
+				t.Fatalf("trial %d step %d key %d: hit=%v want %v", trial, step, key, got, wantHit)
+			}
+			if wantHit {
+				model = append(model[:hitIdx], model[hitIdx+1:]...)
+			}
+			model = append([]int64{key}, model...)
+			if len(model) > capN {
+				model = model[:capN]
+			}
+			if b.Len() != len(model) {
+				t.Fatalf("Len mismatch: %d vs %d", b.Len(), len(model))
+			}
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package minheap provides a typed binary min-heap keyed by float64.
+// It backs the best-first R-tree traversals (entries ordered by mindist to
+// the query segment) and Dijkstra's algorithm over the local visibility
+// graph. Ties are broken by insertion order so traversals are deterministic.
+package minheap
+
+// Heap is a binary min-heap of values of type T ordered by a float64 key.
+// The zero value is an empty heap ready to use.
+type Heap[T any] struct {
+	keys []float64
+	seqs []uint64
+	vals []T
+	seq  uint64
+}
+
+// Len returns the number of elements in the heap.
+func (h *Heap[T]) Len() int { return len(h.keys) }
+
+// Empty reports whether the heap has no elements.
+func (h *Heap[T]) Empty() bool { return len(h.keys) == 0 }
+
+// Push inserts v with the given key.
+func (h *Heap[T]) Push(key float64, v T) {
+	h.keys = append(h.keys, key)
+	h.seqs = append(h.seqs, h.seq)
+	h.vals = append(h.vals, v)
+	h.seq++
+	h.up(len(h.keys) - 1)
+}
+
+// Peek returns the minimum element without removing it.
+// It panics when the heap is empty.
+func (h *Heap[T]) Peek() (key float64, v T) {
+	return h.keys[0], h.vals[0]
+}
+
+// PeekKey returns the minimum key without removing it.
+// It panics when the heap is empty.
+func (h *Heap[T]) PeekKey() float64 { return h.keys[0] }
+
+// Pop removes and returns the minimum element.
+// It panics when the heap is empty.
+func (h *Heap[T]) Pop() (key float64, v T) {
+	key, v = h.keys[0], h.vals[0]
+	n := len(h.keys) - 1
+	h.keys[0], h.seqs[0], h.vals[0] = h.keys[n], h.seqs[n], h.vals[n]
+	var zero T
+	h.vals[n] = zero // release reference for GC
+	h.keys, h.seqs, h.vals = h.keys[:n], h.seqs[:n], h.vals[:n]
+	if n > 0 {
+		h.down(0)
+	}
+	return key, v
+}
+
+// Reset empties the heap, retaining allocated capacity.
+func (h *Heap[T]) Reset() {
+	var zero T
+	for i := range h.vals {
+		h.vals[i] = zero
+	}
+	h.keys, h.seqs, h.vals = h.keys[:0], h.seqs[:0], h.vals[:0]
+	h.seq = 0
+}
+
+func (h *Heap[T]) less(i, j int) bool {
+	if h.keys[i] != h.keys[j] {
+		return h.keys[i] < h.keys[j]
+	}
+	return h.seqs[i] < h.seqs[j]
+}
+
+func (h *Heap[T]) swap(i, j int) {
+	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+	h.seqs[i], h.seqs[j] = h.seqs[j], h.seqs[i]
+	h.vals[i], h.vals[j] = h.vals[j], h.vals[i]
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.keys)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,116 @@
+package minheap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHeapOrder(t *testing.T) {
+	var h Heap[string]
+	h.Push(3, "c")
+	h.Push(1, "a")
+	h.Push(2, "b")
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	if k, v := h.Peek(); k != 1 || v != "a" {
+		t.Fatalf("Peek = %v %q", k, v)
+	}
+	want := []string{"a", "b", "c"}
+	for _, w := range want {
+		if _, v := h.Pop(); v != w {
+			t.Fatalf("Pop = %q, want %q", v, w)
+		}
+	}
+	if !h.Empty() {
+		t.Fatal("heap not empty after draining")
+	}
+}
+
+func TestHeapTieBreakFIFO(t *testing.T) {
+	var h Heap[int]
+	for i := 0; i < 10; i++ {
+		h.Push(7, i)
+	}
+	for i := 0; i < 10; i++ {
+		if _, v := h.Pop(); v != i {
+			t.Fatalf("tie-break order broken: got %d want %d", v, i)
+		}
+	}
+}
+
+func TestHeapReset(t *testing.T) {
+	var h Heap[int]
+	h.Push(1, 1)
+	h.Push(2, 2)
+	h.Reset()
+	if !h.Empty() {
+		t.Fatal("Reset did not empty heap")
+	}
+	h.Push(5, 50)
+	if k, v := h.Pop(); k != 5 || v != 50 {
+		t.Fatalf("heap unusable after Reset: %v %v", k, v)
+	}
+}
+
+func TestHeapRandomAgainstSort(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(500)
+		keys := make([]float64, n)
+		var h Heap[int]
+		for i := range keys {
+			keys[i] = float64(r.Intn(100)) // duplicates likely
+			h.Push(keys[i], i)
+		}
+		sort.Float64s(keys)
+		for i := 0; i < n; i++ {
+			k, _ := h.Pop()
+			if k != keys[i] {
+				t.Fatalf("trial %d: pop %d = %v, want %v", trial, i, k, keys[i])
+			}
+		}
+	}
+}
+
+func TestHeapInterleavedPushPop(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	var h Heap[float64]
+	last := -1.0
+	live := 0
+	for i := 0; i < 5000; i++ {
+		if h.Empty() || r.Float64() < 0.6 {
+			k := r.Float64() * 100
+			h.Push(k, k)
+			live++
+		} else {
+			k, v := h.Pop()
+			live--
+			if k != v {
+				t.Fatal("key/value mismatch")
+			}
+			_ = last
+			last = k
+		}
+		if h.Len() != live {
+			t.Fatalf("Len = %d, want %d", h.Len(), live)
+		}
+	}
+}
+
+func BenchmarkHeapPushPop(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	keys := make([]float64, 1024)
+	for i := range keys {
+		keys[i] = r.Float64()
+	}
+	b.ResetTimer()
+	var h Heap[int]
+	for i := 0; i < b.N; i++ {
+		h.Push(keys[i%1024], i)
+		if h.Len() > 512 {
+			h.Pop()
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+)
+
+// BulkLoad builds the tree from scratch using Sort-Tile-Recursive (STR)
+// packing (Leutenegger, Lopez & Edgington, ICDE 1997). Existing contents are
+// discarded. STR yields near-full leaves and low overlap, which is how the
+// experiment harness builds the large P and O indexes quickly; subsequent
+// Insert/Delete calls maintain R*-tree semantics.
+func (t *Tree) BulkLoad(items []Item) {
+	t.root = t.newNode(true)
+	t.height = 1
+	t.size = 0
+	if len(items) == 0 {
+		return
+	}
+
+	entries := make([]entry, len(items))
+	for i, it := range items {
+		entries[i] = entry{rect: it.Rect, item: it}
+	}
+	level := t.packLevel(entries, true)
+	for len(level) > 1 {
+		parentEntries := make([]entry, len(level))
+		for i, n := range level {
+			parentEntries[i] = entry{rect: n.mbr(), child: n}
+		}
+		level = t.packLevel(parentEntries, false)
+		t.height++
+	}
+	t.root = level[0]
+	t.size = len(items)
+}
+
+// packLevel tiles entries into nodes of up to maxEntries each using STR.
+func (t *Tree) packLevel(entries []entry, leaf bool) []*node {
+	cap := t.maxEntries
+	n := len(entries)
+	nodeCount := int(math.Ceil(float64(n) / float64(cap)))
+	sliceCount := int(math.Ceil(math.Sqrt(float64(nodeCount))))
+	sliceSize := sliceCount * cap
+
+	sort.SliceStable(entries, func(i, j int) bool {
+		return entries[i].rect.Center().X < entries[j].rect.Center().X
+	})
+
+	var nodes []*node
+	for start := 0; start < n; start += sliceSize {
+		end := start + sliceSize
+		if end > n {
+			end = n
+		}
+		slice := entries[start:end]
+		sort.SliceStable(slice, func(i, j int) bool {
+			return slice[i].rect.Center().Y < slice[j].rect.Center().Y
+		})
+		for s := 0; s < len(slice); s += cap {
+			e := s + cap
+			if e > len(slice) {
+				e = len(slice)
+			}
+			nd := t.newNode(leaf)
+			nd.entries = append([]entry(nil), slice[s:e]...)
+			nodes = append(nodes, nd)
+		}
+	}
+	// Every node except the level's last is packed to exactly cap entries
+	// (non-final slices have sliceCount*cap entries, and within a slice only
+	// the trailing node can be short). When the last node underflows, steal
+	// from its predecessor so the R*-tree minimum-fill invariant holds for
+	// every non-root node; a lone node is fine — it becomes the root.
+	if last := len(nodes) - 1; last > 0 && len(nodes[last].entries) < t.minEntries {
+		prev, tail := nodes[last-1], nodes[last]
+		need := t.minEntries - len(tail.entries)
+		moveFrom := len(prev.entries) - need
+		tail.entries = append(append([]entry(nil), prev.entries[moveFrom:]...), tail.entries...)
+		prev.entries = prev.entries[:moveFrom]
+	}
+	return nodes
+}

@@ -1,0 +1,109 @@
+package rtree
+
+import "connquery/internal/geom"
+
+// Delete removes the item with the given ID and rectangle. It reports
+// whether a matching item was found. Underflowing nodes are dissolved and
+// their remaining entries reinserted (the classic condense-tree step).
+func (t *Tree) Delete(it Item) bool {
+	path, idx := t.findLeaf(t.root, nil, it)
+	if path == nil {
+		return false
+	}
+	leaf := path[len(path)-1]
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.size--
+	t.condense(path)
+	// Shrink the root when it has a single child and is not a leaf.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+		t.height--
+	}
+	return true
+}
+
+func (t *Tree) findLeaf(n *node, path []*node, it Item) ([]*node, int) {
+	t.visit(n)
+	path = append(path, n)
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.item.ID == it.ID && e.item.Kind == it.Kind && rectsEq(e.rect, it.Rect) {
+				return path, i
+			}
+		}
+		return nil, 0
+	}
+	for _, e := range n.entries {
+		if e.rect.ContainsRect(it.Rect) {
+			if p, i := t.findLeaf(e.child, path, it); p != nil {
+				return p, i
+			}
+		}
+	}
+	return nil, 0
+}
+
+func rectsEq(a, b geom.Rect) bool {
+	return a.MinX == b.MinX && a.MinY == b.MinY && a.MaxX == b.MaxX && a.MaxY == b.MaxY
+}
+
+// condense walks the deletion path bottom-up, removing underflowing nodes
+// and collecting their entries for reinsertion at the appropriate level.
+func (t *Tree) condense(path []*node) {
+	type orphan struct {
+		e     entry
+		level int
+	}
+	var orphans []orphan
+	for i := len(path) - 1; i >= 1; i-- {
+		n, parent := path[i], path[i-1]
+		if len(n.entries) < t.minEntries {
+			// Remove n from its parent and orphan its entries.
+			for j := range parent.entries {
+				if parent.entries[j].child == n {
+					parent.entries = append(parent.entries[:j], parent.entries[j+1:]...)
+					break
+				}
+			}
+			lvl := t.height - i
+			for _, e := range n.entries {
+				orphans = append(orphans, orphan{e, lvl})
+			}
+		} else {
+			// Tighten the parent's MBR for n.
+			for j := range parent.entries {
+				if parent.entries[j].child == n {
+					parent.entries[j].rect = n.mbr()
+					break
+				}
+			}
+		}
+	}
+	for _, o := range orphans {
+		reinserted := make([]bool, t.height+1)
+		if o.level == 1 {
+			t.insertAtLevel(o.e, 1, reinserted)
+		} else {
+			// Subtree reinsertion at its original level; if the tree has
+			// shrunk below that level, reinsert the subtree's items.
+			if o.level < t.height {
+				t.insertAtLevel(o.e, o.level, reinserted)
+			} else {
+				t.reinsertSubtreeItems(o.e.child)
+			}
+		}
+	}
+}
+
+func (t *Tree) reinsertSubtreeItems(n *node) {
+	if n.leaf {
+		for _, e := range n.entries {
+			reinserted := make([]bool, t.height+1)
+			t.insertAtLevel(entry{rect: e.rect, item: e.item}, 1, reinserted)
+		}
+		return
+	}
+	for _, e := range n.entries {
+		t.reinsertSubtreeItems(e.child)
+	}
+}

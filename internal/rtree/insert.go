@@ -1,0 +1,288 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"connquery/internal/geom"
+)
+
+// Insert adds one item using the R*-tree insertion algorithm (ChooseSubtree,
+// forced reinsertion on first overflow per level, R*-split otherwise).
+func (t *Tree) Insert(it Item) {
+	// reinserted[level] records whether forced reinsertion already ran at
+	// that level during this insertion (the R* "first overflow" rule).
+	reinserted := make([]bool, t.height+1)
+	t.insertAtLevel(entry{rect: it.Rect, item: it}, 1, reinserted)
+	t.size++
+}
+
+// insertAtLevel places e so that it ends up at the given level
+// (1 = leaf level). Reinsertion uses higher levels for orphaned subtrees.
+func (t *Tree) insertAtLevel(e entry, level int, reinserted []bool) {
+	leafPath := t.choosePath(e.rect, level)
+	n := leafPath[len(leafPath)-1]
+	n.entries = append(n.entries, e)
+	t.adjustPath(leafPath, e.rect)
+	if len(n.entries) > t.maxEntries {
+		t.overflowTreatment(leafPath, level, reinserted)
+	}
+}
+
+// choosePath descends from the root to the node at the target level
+// (counted from the leaves, leaf = 1), returning the visited path.
+func (t *Tree) choosePath(r geom.Rect, level int) []*node {
+	path := make([]*node, 0, t.height)
+	n := t.root
+	depth := t.height
+	for {
+		t.visit(n)
+		path = append(path, n)
+		if depth == level {
+			return path
+		}
+		var idx int
+		if depth == level+1 {
+			// Children are at the target level: minimize overlap enlargement
+			// (the R* leaf-level rule).
+			idx = chooseLeastOverlap(n.entries, r)
+		} else {
+			idx = chooseLeastEnlargement(n.entries, r)
+		}
+		n = n.entries[idx].child
+		depth--
+	}
+}
+
+// adjustPath grows the parent entries' MBRs along the insertion path.
+func (t *Tree) adjustPath(path []*node, r geom.Rect) {
+	for i := len(path) - 2; i >= 0; i-- {
+		parent, child := path[i], path[i+1]
+		for j := range parent.entries {
+			if parent.entries[j].child == child {
+				parent.entries[j].rect = parent.entries[j].rect.Union(r)
+				break
+			}
+		}
+	}
+}
+
+// recomputePathMBRs recomputes exact MBRs bottom-up along a path (needed
+// after removals during reinsert/split).
+func (t *Tree) recomputePathMBRs(path []*node) {
+	for i := len(path) - 2; i >= 0; i-- {
+		parent, child := path[i], path[i+1]
+		for j := range parent.entries {
+			if parent.entries[j].child == child {
+				parent.entries[j].rect = child.mbr()
+				break
+			}
+		}
+	}
+}
+
+func (t *Tree) overflowTreatment(path []*node, level int, reinserted []bool) {
+	n := path[len(path)-1]
+	isRoot := n == t.root
+	if !isRoot && level < len(reinserted) && !reinserted[level] {
+		reinserted[level] = true
+		t.reinsert(path, level, reinserted)
+		return
+	}
+	t.splitNode(path, level, reinserted)
+}
+
+// reinsert removes the p entries whose centers are farthest from the node's
+// MBR center and re-inserts them (far-first, the R* "close reinsert" uses
+// near-first; far-first empirically performs similarly and matches the
+// original paper's alternative; we keep far-first for determinism).
+func (t *Tree) reinsert(path []*node, level int, reinserted []bool) {
+	n := path[len(path)-1]
+	center := n.mbr().Center()
+	type distEntry struct {
+		d float64
+		e entry
+	}
+	des := make([]distEntry, len(n.entries))
+	for i, e := range n.entries {
+		des[i] = distEntry{geom.Dist2(e.rect.Center(), center), e}
+	}
+	sort.SliceStable(des, func(i, j int) bool { return des[i].d > des[j].d })
+	p := int(math.Ceil(reinsertFraction * float64(len(des))))
+	if p < 1 {
+		p = 1
+	}
+	removed := make([]entry, p)
+	for i := 0; i < p; i++ {
+		removed[i] = des[i].e
+	}
+	n.entries = n.entries[:0]
+	for i := p; i < len(des); i++ {
+		n.entries = append(n.entries, des[i].e)
+	}
+	t.recomputePathMBRs(path)
+	for _, e := range removed {
+		t.insertAtLevel(e, level, reinserted)
+	}
+}
+
+// splitNode splits the overflowing node at the end of path using the
+// R*-split (axis by minimum margin sum, distribution by minimum overlap).
+func (t *Tree) splitNode(path []*node, level int, reinserted []bool) {
+	n := path[len(path)-1]
+	left, right := t.rstarSplit(n)
+
+	if n == t.root {
+		newRoot := t.newNode(false)
+		newRoot.entries = []entry{
+			{rect: left.mbr(), child: left},
+			{rect: right.mbr(), child: right},
+		}
+		t.root = newRoot
+		t.height++
+		return
+	}
+
+	parent := path[len(path)-2]
+	// Replace the parent entry for n with left; append right.
+	for j := range parent.entries {
+		if parent.entries[j].child == n {
+			parent.entries[j] = entry{rect: left.mbr(), child: left}
+			break
+		}
+	}
+	parent.entries = append(parent.entries, entry{rect: right.mbr(), child: right})
+	t.recomputePathMBRs(path[:len(path)-1])
+	if len(parent.entries) > t.maxEntries {
+		t.overflowTreatment(path[:len(path)-1], level+1, reinserted)
+	}
+}
+
+// rstarSplit distributes n's entries into two new nodes per the R*-split.
+// n's page is reused as the left node to keep page IDs stable.
+func (t *Tree) rstarSplit(n *node) (left, right *node) {
+	entries := n.entries
+	axis := chooseSplitAxis(entries, t.minEntries)
+	k := chooseSplitIndex(entries, axis, t.minEntries)
+
+	sortEntriesByAxis(entries, axis)
+	leftEntries := append([]entry(nil), entries[:k]...)
+	rightEntries := append([]entry(nil), entries[k:]...)
+
+	n.entries = leftEntries
+	right = t.newNode(n.leaf)
+	right.entries = rightEntries
+	return n, right
+}
+
+// chooseSplitAxis returns 0..3 encoding (axis, sort-by-lower/upper) with the
+// minimal margin sum over all legal distributions.
+func chooseSplitAxis(entries []entry, minEntries int) int {
+	best, bestMargin := 0, math.Inf(1)
+	tmp := append([]entry(nil), entries...)
+	for axis := 0; axis < 4; axis++ {
+		sortEntriesByAxis(tmp, axis)
+		margin := 0.0
+		for k := minEntries; k <= len(tmp)-minEntries; k++ {
+			margin += mbrOf(tmp[:k]).Margin() + mbrOf(tmp[k:]).Margin()
+		}
+		if margin < bestMargin {
+			bestMargin = margin
+			best = axis
+		}
+	}
+	return best
+}
+
+// chooseSplitIndex returns the split position k minimizing overlap area
+// (ties by combined area) along the chosen axis.
+func chooseSplitIndex(entries []entry, axis, minEntries int) int {
+	tmp := append([]entry(nil), entries...)
+	sortEntriesByAxis(tmp, axis)
+	bestK, bestOverlap, bestArea := minEntries, math.Inf(1), math.Inf(1)
+	for k := minEntries; k <= len(tmp)-minEntries; k++ {
+		l, r := mbrOf(tmp[:k]), mbrOf(tmp[k:])
+		ov := l.OverlapArea(r)
+		area := l.Area() + r.Area()
+		if ov < bestOverlap || (ov == bestOverlap && area < bestArea) {
+			bestK, bestOverlap, bestArea = k, ov, area
+		}
+	}
+	return bestK
+}
+
+func sortEntriesByAxis(entries []entry, axis int) {
+	sort.SliceStable(entries, func(i, j int) bool {
+		a, b := entries[i].rect, entries[j].rect
+		switch axis {
+		case 0:
+			if a.MinX != b.MinX {
+				return a.MinX < b.MinX
+			}
+			return a.MaxX < b.MaxX
+		case 1:
+			if a.MaxX != b.MaxX {
+				return a.MaxX < b.MaxX
+			}
+			return a.MinX < b.MinX
+		case 2:
+			if a.MinY != b.MinY {
+				return a.MinY < b.MinY
+			}
+			return a.MaxY < b.MaxY
+		default:
+			if a.MaxY != b.MaxY {
+				return a.MaxY < b.MaxY
+			}
+			return a.MinY < b.MinY
+		}
+	})
+}
+
+func mbrOf(entries []entry) geom.Rect {
+	r := geom.Rect{MinX: 1, MinY: 1, MaxX: 0, MaxY: 0}
+	for _, e := range entries {
+		r = r.Union(e.rect)
+	}
+	return r
+}
+
+// chooseLeastEnlargement picks the entry needing minimal area enlargement to
+// include r (ties by smaller area).
+func chooseLeastEnlargement(entries []entry, r geom.Rect) int {
+	best, bestEnl, bestArea := 0, math.Inf(1), math.Inf(1)
+	for i, e := range entries {
+		area := e.rect.Area()
+		enl := e.rect.Union(r).Area() - area
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+// chooseLeastOverlap picks the entry whose enlargement to include r causes
+// the minimal increase of overlap with sibling entries (ties by enlargement,
+// then area) — the R* rule for the level above the leaves.
+func chooseLeastOverlap(entries []entry, r geom.Rect) int {
+	best := 0
+	bestOv, bestEnl, bestArea := math.Inf(1), math.Inf(1), math.Inf(1)
+	for i, e := range entries {
+		grown := e.rect.Union(r)
+		var ovBefore, ovAfter float64
+		for j, s := range entries {
+			if i == j {
+				continue
+			}
+			ovBefore += e.rect.OverlapArea(s.rect)
+			ovAfter += grown.OverlapArea(s.rect)
+		}
+		dOv := ovAfter - ovBefore
+		enl := grown.Area() - e.rect.Area()
+		area := e.rect.Area()
+		if dOv < bestOv || (dOv == bestOv && (enl < bestEnl || (enl == bestEnl && area < bestArea))) {
+			best, bestOv, bestEnl, bestArea = i, dOv, enl, area
+		}
+	}
+	return best
+}

@@ -1,0 +1,116 @@
+package rtree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"connquery/internal/geom"
+)
+
+// genItems is a quick.Generator producing a random item batch in the
+// paper's coordinate domain.
+type genItems []Item
+
+// Generate implements quick.Generator.
+func (genItems) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 1 + r.Intn(400)
+	items := make([]Item, n)
+	for i := range items {
+		if r.Intn(2) == 0 {
+			items[i] = PointItem(int32(i), geom.Pt(r.Float64()*10000, r.Float64()*10000))
+		} else {
+			lo := geom.Pt(r.Float64()*10000, r.Float64()*10000)
+			items[i] = ObstacleItem(int32(i), geom.R(lo.X, lo.Y, lo.X+r.Float64()*300, lo.Y+r.Float64()*300))
+		}
+	}
+	return reflect.ValueOf(genItems(items))
+}
+
+type genWindow geom.Rect
+
+// Generate implements quick.Generator.
+func (genWindow) Generate(r *rand.Rand, size int) reflect.Value {
+	lo := geom.Pt(r.Float64()*10000, r.Float64()*10000)
+	return reflect.ValueOf(genWindow(geom.R(lo.X, lo.Y, lo.X+r.Float64()*4000, lo.Y+r.Float64()*4000)))
+}
+
+func qcfg() *quick.Config {
+	return &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(83))}
+}
+
+// Window search over a bulk-loaded tree must equal a linear scan.
+func TestQuickSearchEqualsLinearScan(t *testing.T) {
+	f := func(items genItems, w genWindow) bool {
+		tr := New(Options{PageSize: 512})
+		tr.BulkLoad(items)
+		got := map[int32]Kind{}
+		tr.Search(geom.Rect(w), func(it Item) bool {
+			got[it.ID] = it.Kind
+			return true
+		})
+		for _, it := range items {
+			_, in := got[it.ID]
+			if in != it.Rect.Intersects(geom.Rect(w)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// The nearest iterator must produce exactly the stored items, in
+// non-decreasing distance order, regardless of the input batch.
+func TestQuickNearestIterTotalOrder(t *testing.T) {
+	f := func(items genItems) bool {
+		tr := New(Options{PageSize: 512})
+		tr.BulkLoad(items)
+		q := geom.Seg(geom.Pt(2500, 2500), geom.Pt(7500, 6000))
+		it := tr.NewNearestIter(SegmentTarget{q})
+		prev := -1.0
+		count := 0
+		for {
+			_, d, ok := it.Next()
+			if !ok {
+				break
+			}
+			if d < prev-1e-9 {
+				return false
+			}
+			prev = d
+			count++
+		}
+		return count == len(items)
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Insert-built and bulk-loaded trees must hold invariants for any batch.
+func TestQuickInvariantsBothBuilds(t *testing.T) {
+	f := func(items genItems) bool {
+		bulk := New(Options{PageSize: 512})
+		bulk.BulkLoad(items)
+		if err := bulk.CheckInvariants(); err != nil {
+			t.Logf("bulk: %v", err)
+			return false
+		}
+		incr := New(Options{PageSize: 512})
+		for _, it := range items {
+			incr.Insert(it)
+		}
+		if err := incr.CheckInvariants(); err != nil {
+			t.Logf("incr: %v", err)
+			return false
+		}
+		return bulk.Size() == incr.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(89))}); err != nil {
+		t.Error(err)
+	}
+}

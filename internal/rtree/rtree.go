@@ -1,0 +1,223 @@
+// Package rtree implements the R*-tree of Beckmann, Kriegel, Schneider and
+// Seeger (SIGMOD 1990), the disk-based spatial index the paper uses for both
+// the data set P and the obstacle set O. The implementation is in-memory but
+// models disk behaviour the way the paper's experiments do: nodes have a
+// page-size-derived fanout (4 KB pages by default) and every node visit is
+// counted as one page access, optionally filtered through an LRU buffer.
+//
+// Supported operations: one-by-one R*-insertion with forced reinsertion,
+// deletion with tree condensation, window search, incremental best-first
+// nearest-neighbour traversal ordered by mindist to a query segment or
+// point (Hjaltason & Samet style), and STR bulk loading.
+package rtree
+
+import (
+	"fmt"
+
+	"connquery/internal/geom"
+)
+
+// Kind distinguishes what a leaf item represents. The single-R-tree variant
+// of the CONN algorithm (paper §4.5) stores data points and obstacles in one
+// tree and dispatches on this tag.
+type Kind uint8
+
+const (
+	// KindPoint marks a data point of P.
+	KindPoint Kind = iota
+	// KindObstacle marks an obstacle of O.
+	KindObstacle
+)
+
+// Item is one spatial object stored at the leaf level.
+type Item struct {
+	Rect geom.Rect
+	ID   int32
+	Kind Kind
+}
+
+// PointItem builds an Item for a data point.
+func PointItem(id int32, p geom.Point) Item {
+	return Item{Rect: geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}, ID: id, Kind: KindPoint}
+}
+
+// ObstacleItem builds an Item for a rectangular obstacle.
+func ObstacleItem(id int32, r geom.Rect) Item {
+	return Item{Rect: r, ID: id, Kind: KindObstacle}
+}
+
+// Point returns the point an Item of KindPoint represents.
+func (it Item) Point() geom.Point { return geom.Point{X: it.Rect.MinX, Y: it.Rect.MinY} }
+
+// entrySize is the modelled on-disk footprint of one node entry:
+// an MBR (4 float64 = 32 bytes) plus a child pointer or object ID (8 bytes).
+const entrySize = 40
+
+// DefaultPageSize is the paper's experimental page size.
+const DefaultPageSize = 4096
+
+// reinsertFraction is the R*-tree forced-reinsertion share (30%).
+const reinsertFraction = 0.3
+
+// Options configures a Tree.
+type Options struct {
+	// PageSize in bytes; determines the fanout. Defaults to DefaultPageSize.
+	PageSize int
+	// Access receives every simulated page (node) access. May be nil.
+	Access AccessRecorder
+}
+
+// AccessRecorder observes node accesses. Implementations count I/O and/or
+// run an LRU buffer in front of the "disk".
+type AccessRecorder interface {
+	// RecordAccess is invoked with the node's stable page ID.
+	RecordAccess(pageID int64)
+}
+
+// Tree is an R*-tree. Not safe for concurrent mutation; concurrent readers
+// are safe once loading is complete.
+type Tree struct {
+	root       *node
+	height     int // number of levels; 1 = root is a leaf
+	size       int
+	maxEntries int
+	minEntries int
+	access     AccessRecorder
+	nextPageID int64
+}
+
+type node struct {
+	pageID  int64
+	leaf    bool
+	entries []entry
+}
+
+type entry struct {
+	rect  geom.Rect
+	child *node // nil at leaf level
+	item  Item  // valid at leaf level
+}
+
+// New creates an empty tree.
+func New(opts Options) *Tree {
+	ps := opts.PageSize
+	if ps <= 0 {
+		ps = DefaultPageSize
+	}
+	m := ps / entrySize
+	if m < 4 {
+		m = 4
+	}
+	t := &Tree{
+		maxEntries: m,
+		minEntries: maxInt(2, int(float64(m)*0.4)),
+		access:     opts.Access,
+	}
+	t.root = t.newNode(true)
+	t.height = 1
+	return t
+}
+
+// SetAccessRecorder replaces the access recorder (e.g. to attach an LRU
+// buffer after bulk loading so the load itself is not charged).
+func (t *Tree) SetAccessRecorder(a AccessRecorder) { t.access = a }
+
+// View returns a read-only handle over the same nodes with its own access
+// recorder. Views let concurrent readers keep independent I/O accounting
+// while sharing the index. Mutating a view (Insert/Delete/BulkLoad) is a
+// programming error: the underlying nodes are shared.
+func (t *Tree) View(a AccessRecorder) *Tree {
+	cp := *t
+	cp.access = a
+	return &cp
+}
+
+// Size returns the number of stored items.
+func (t *Tree) Size() int { return t.size }
+
+// Height returns the number of levels (1 when the root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Fanout returns the maximum number of entries per node.
+func (t *Tree) Fanout() int { return t.maxEntries }
+
+// NumNodes returns the number of allocated nodes (pages).
+func (t *Tree) NumNodes() int { return int(t.nextPageID) }
+
+// Bounds returns the MBR of all stored items (empty rect when empty).
+func (t *Tree) Bounds() geom.Rect {
+	if t.size == 0 {
+		return geom.Rect{MinX: 1, MinY: 1, MaxX: 0, MaxY: 0}
+	}
+	return t.root.mbr()
+}
+
+func (t *Tree) newNode(leaf bool) *node {
+	n := &node{pageID: t.nextPageID, leaf: leaf}
+	t.nextPageID++
+	return n
+}
+
+func (t *Tree) visit(n *node) {
+	if t.access != nil {
+		t.access.RecordAccess(n.pageID)
+	}
+}
+
+func (n *node) mbr() geom.Rect {
+	r := geom.Rect{MinX: 1, MinY: 1, MaxX: 0, MaxY: 0} // canonical empty
+	for _, e := range n.entries {
+		r = r.Union(e.rect)
+	}
+	return r
+}
+
+// CheckInvariants validates structural invariants; it is used by tests and
+// returns a descriptive error on the first violation found.
+func (t *Tree) CheckInvariants() error {
+	count, err := t.check(t.root, t.height, true)
+	if err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("size mismatch: counted %d, recorded %d", count, t.size)
+	}
+	return nil
+}
+
+func (t *Tree) check(n *node, levelsLeft int, isRoot bool) (int, error) {
+	if n.leaf != (levelsLeft == 1) {
+		return 0, fmt.Errorf("leaf flag inconsistent with height at page %d", n.pageID)
+	}
+	if len(n.entries) > t.maxEntries {
+		return 0, fmt.Errorf("page %d overflows: %d entries", n.pageID, len(n.entries))
+	}
+	if !isRoot && len(n.entries) < t.minEntries {
+		return 0, fmt.Errorf("page %d underflows: %d entries", n.pageID, len(n.entries))
+	}
+	if n.leaf {
+		return len(n.entries), nil
+	}
+	total := 0
+	for _, e := range n.entries {
+		if e.child == nil {
+			return 0, fmt.Errorf("nil child in internal page %d", n.pageID)
+		}
+		if !e.rect.ContainsRect(e.child.mbr()) {
+			return 0, fmt.Errorf("entry MBR %v does not cover child MBR %v", e.rect, e.child.mbr())
+		}
+		c, err := t.check(e.child, levelsLeft-1, false)
+		if err != nil {
+			return 0, err
+		}
+		total += c
+	}
+	return total, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

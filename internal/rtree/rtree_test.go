@@ -1,0 +1,385 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"connquery/internal/geom"
+)
+
+func randPoints(r *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(r.Float64()*10000, r.Float64()*10000)
+	}
+	return pts
+}
+
+func buildPointTree(t *testing.T, pts []geom.Point, bulk bool) *Tree {
+	t.Helper()
+	tr := New(Options{})
+	if bulk {
+		items := make([]Item, len(pts))
+		for i, p := range pts {
+			items[i] = PointItem(int32(i), p)
+		}
+		tr.BulkLoad(items)
+	} else {
+		for i, p := range pts {
+			tr.Insert(PointItem(int32(i), p))
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	return tr
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(Options{})
+	if tr.Size() != 0 || tr.Height() != 1 {
+		t.Fatalf("size=%d height=%d", tr.Size(), tr.Height())
+	}
+	tr.Search(geom.R(0, 0, 1, 1), func(Item) bool { t.Fatal("item in empty tree"); return true })
+	it := tr.NewNearestIter(PointTarget{geom.Pt(0, 0)})
+	if _, _, ok := it.Next(); ok {
+		t.Fatal("Next on empty tree returned an item")
+	}
+	if _, ok := it.PeekDist(); ok {
+		t.Fatal("PeekDist on empty tree returned a bound")
+	}
+}
+
+func TestFanoutFromPageSize(t *testing.T) {
+	tr := New(Options{PageSize: 4096})
+	if got := tr.Fanout(); got != 4096/entrySize {
+		t.Fatalf("fanout = %d, want %d", got, 4096/entrySize)
+	}
+	small := New(Options{PageSize: 64})
+	if small.Fanout() < 4 {
+		t.Fatalf("tiny page fanout = %d, want >= 4", small.Fanout())
+	}
+}
+
+func TestInsertSearchRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	pts := randPoints(r, 2000)
+	tr := buildPointTree(t, pts, false)
+	if tr.Size() != 2000 {
+		t.Fatalf("Size = %d", tr.Size())
+	}
+	w := geom.R(2000, 2000, 5000, 5000)
+	got := map[int32]bool{}
+	tr.Search(w, func(it Item) bool { got[it.ID] = true; return true })
+	for i, p := range pts {
+		want := w.Contains(p)
+		if got[int32(i)] != want {
+			t.Fatalf("point %d (%v): in result %v, want %v", i, p, got[int32(i)], want)
+		}
+	}
+}
+
+func TestBulkLoadMatchesInsertResults(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	pts := randPoints(r, 3000)
+	bulk := buildPointTree(t, pts, true)
+	incr := buildPointTree(t, pts, false)
+	for trial := 0; trial < 20; trial++ {
+		c := geom.Pt(r.Float64()*10000, r.Float64()*10000)
+		w := geom.R(c.X, c.Y, c.X+r.Float64()*2000, c.Y+r.Float64()*2000)
+		a, b := map[int32]bool{}, map[int32]bool{}
+		bulk.Search(w, func(it Item) bool { a[it.ID] = true; return true })
+		incr.Search(w, func(it Item) bool { b[it.ID] = true; return true })
+		if len(a) != len(b) {
+			t.Fatalf("window %v: bulk %d vs incr %d results", w, len(a), len(b))
+		}
+		for id := range a {
+			if !b[id] {
+				t.Fatalf("window %v: id %d only in bulk tree", w, id)
+			}
+		}
+	}
+}
+
+func TestBulkLoadSmall(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 50, 102, 103, 500} {
+		r := rand.New(rand.NewSource(int64(n)))
+		pts := randPoints(r, n)
+		tr := buildPointTree(t, pts, true)
+		if tr.Size() != n {
+			t.Fatalf("n=%d: Size = %d", n, tr.Size())
+		}
+		count := 0
+		tr.All(func(Item) bool { count++; return true })
+		if count != n {
+			t.Fatalf("n=%d: All visited %d", n, count)
+		}
+	}
+}
+
+func TestNearestIterOrderedAndComplete(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pts := randPoints(r, 1500)
+	tr := buildPointTree(t, pts, true)
+	q := geom.Seg(geom.Pt(1000, 1000), geom.Pt(4000, 2500))
+
+	// Ground truth: sort by exact distance to the segment.
+	type pd struct {
+		id int32
+		d  float64
+	}
+	want := make([]pd, len(pts))
+	for i, p := range pts {
+		want[i] = pd{int32(i), q.DistToPoint(p)}
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i].d < want[j].d })
+
+	it := tr.NewNearestIter(SegmentTarget{q})
+	prev := -1.0
+	n := 0
+	for {
+		item, d, ok := it.Next()
+		if !ok {
+			break
+		}
+		if d < prev-1e-9 {
+			t.Fatalf("distance order violated: %v after %v", d, prev)
+		}
+		prev = d
+		if got := q.DistToPoint(item.Point()); got != d {
+			// Leaf entries are points, so mindist(rect, q) == dist(point, q).
+			if diff := got - d; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("distance mismatch for %d: %v vs %v", item.ID, got, d)
+			}
+		}
+		if diff := d - want[n].d; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("rank %d: dist %v, want %v", n, d, want[n].d)
+		}
+		n++
+	}
+	if n != len(pts) {
+		t.Fatalf("iterator yielded %d of %d items", n, len(pts))
+	}
+}
+
+func TestPeekDistLowerBound(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	pts := randPoints(r, 800)
+	tr := buildPointTree(t, pts, true)
+	target := PointTarget{geom.Pt(5000, 5000)}
+	it := tr.NewNearestIter(target)
+	for {
+		bound, ok := it.PeekDist()
+		if !ok {
+			break
+		}
+		_, d, ok2 := it.Next()
+		if !ok2 {
+			t.Fatal("PeekDist said more items but Next disagreed")
+		}
+		if d < bound-1e-9 {
+			t.Fatalf("PeekDist %v exceeded actual next dist %v", bound, d)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	pts := randPoints(r, 1200)
+	tr := buildPointTree(t, pts, false)
+
+	// Delete a random half.
+	perm := r.Perm(len(pts))
+	deleted := map[int32]bool{}
+	for _, i := range perm[:600] {
+		if !tr.Delete(PointItem(int32(i), pts[i])) {
+			t.Fatalf("Delete(%d) not found", i)
+		}
+		deleted[int32(i)] = true
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after delete: %v", err)
+	}
+	if tr.Size() != 600 {
+		t.Fatalf("Size = %d", tr.Size())
+	}
+	// Deleting again fails.
+	if tr.Delete(PointItem(int32(perm[0]), pts[perm[0]])) {
+		t.Fatal("double delete succeeded")
+	}
+	// Remaining points all present.
+	found := map[int32]bool{}
+	tr.All(func(it Item) bool { found[it.ID] = true; return true })
+	for i := range pts {
+		want := !deleted[int32(i)]
+		if found[int32(i)] != want {
+			t.Fatalf("point %d presence = %v, want %v", i, found[int32(i)], want)
+		}
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	pts := randPoints(r, 300)
+	tr := buildPointTree(t, pts, false)
+	for i, p := range pts {
+		if !tr.Delete(PointItem(int32(i), p)) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tr.Size() != 0 {
+		t.Fatalf("Size = %d after deleting all", tr.Size())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+func TestRectangleItemsAndSegmentSearch(t *testing.T) {
+	tr := New(Options{})
+	rects := []geom.Rect{
+		geom.R(0, 0, 10, 10),
+		geom.R(20, 20, 30, 30),
+		geom.R(50, 0, 60, 100),
+		geom.R(5, 40, 15, 50),
+	}
+	for i, rc := range rects {
+		tr.Insert(ObstacleItem(int32(i), rc))
+	}
+	// Segment passing through rects 0 and 2 only.
+	s := geom.Seg(geom.Pt(-5, 5), geom.Pt(70, 5))
+	got := map[int32]bool{}
+	tr.SearchSegment(s, func(it Item) bool { got[it.ID] = true; return true })
+	if !got[0] || !got[2] || got[1] || got[3] {
+		t.Fatalf("SearchSegment hit set = %v", got)
+	}
+}
+
+func TestAccessCounting(t *testing.T) {
+	counter := &countRecorder{}
+	tr := New(Options{Access: counter})
+	r := rand.New(rand.NewSource(7))
+	for i, p := range randPoints(r, 500) {
+		tr.Insert(PointItem(int32(i), p))
+	}
+	insertAccesses := counter.n
+	if insertAccesses == 0 {
+		t.Fatal("inserts recorded no page accesses")
+	}
+	counter.n = 0
+	tr.Search(geom.R(0, 0, 10000, 10000), func(Item) bool { return true })
+	if counter.n != int64(tr.NumNodes())-int64(deadNodes(tr)) && counter.n <= 0 {
+		t.Fatalf("full search accesses = %d", counter.n)
+	}
+	counter.n = 0
+	tr.Search(geom.R(0, 0, 1, 1), func(Item) bool { return true })
+	if counter.n < 1 || counter.n > int64(tr.Height()*4) {
+		t.Fatalf("tiny window accesses = %d, expected around tree height", counter.n)
+	}
+}
+
+// deadNodes estimates nodes allocated but no longer referenced (after
+// splits the old pages are reused, so this is 0; kept for clarity).
+func deadNodes(*Tree) int { return 0 }
+
+type countRecorder struct{ n int64 }
+
+func (c *countRecorder) RecordAccess(int64) { c.n++ }
+
+func TestPropInsertManyInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 5; trial++ {
+		tr := New(Options{PageSize: 256}) // small fanout stresses splits
+		n := 200 + r.Intn(800)
+		pts := randPoints(r, n)
+		for i, p := range pts {
+			tr.Insert(PointItem(int32(i), p))
+			if i%97 == 0 {
+				if err := tr.CheckInvariants(); err != nil {
+					t.Fatalf("trial %d after %d inserts: %v", trial, i+1, err)
+				}
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestPropMixedInsertDelete(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	tr := New(Options{PageSize: 256})
+	live := map[int32]geom.Point{}
+	next := int32(0)
+	for step := 0; step < 3000; step++ {
+		if len(live) == 0 || r.Float64() < 0.6 {
+			p := geom.Pt(r.Float64()*10000, r.Float64()*10000)
+			tr.Insert(PointItem(next, p))
+			live[next] = p
+			next++
+		} else {
+			// Delete a random live point.
+			var id int32
+			for k := range live {
+				id = k
+				break
+			}
+			if !tr.Delete(PointItem(id, live[id])) {
+				t.Fatalf("step %d: delete %d failed", step, id)
+			}
+			delete(live, id)
+		}
+		if step%211 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			if tr.Size() != len(live) {
+				t.Fatalf("step %d: size %d vs model %d", step, tr.Size(), len(live))
+			}
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	r := rand.New(rand.NewSource(10))
+	pts := randPoints(r, b.N+1)
+	tr := New(Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(PointItem(int32(i), pts[i]))
+	}
+}
+
+func BenchmarkBulkLoad10k(b *testing.B) {
+	r := rand.New(rand.NewSource(11))
+	pts := randPoints(r, 10000)
+	items := make([]Item, len(pts))
+	for i, p := range pts {
+		items[i] = PointItem(int32(i), p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := New(Options{})
+		tr.BulkLoad(items)
+	}
+}
+
+func BenchmarkNearestIterSegment(b *testing.B) {
+	r := rand.New(rand.NewSource(12))
+	pts := randPoints(r, 50000)
+	items := make([]Item, len(pts))
+	for i, p := range pts {
+		items[i] = PointItem(int32(i), p)
+	}
+	tr := New(Options{})
+	tr.BulkLoad(items)
+	q := geom.Seg(geom.Pt(3000, 3000), geom.Pt(3450, 3000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := tr.NewNearestIter(SegmentTarget{q})
+		for k := 0; k < 20; k++ {
+			it.Next()
+		}
+	}
+}

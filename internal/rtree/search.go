@@ -1,0 +1,159 @@
+package rtree
+
+import (
+	"connquery/internal/geom"
+	"connquery/internal/minheap"
+)
+
+// Search invokes fn for every stored item whose rectangle intersects w.
+// Traversal stops early when fn returns false.
+func (t *Tree) Search(w geom.Rect, fn func(Item) bool) {
+	if t.size == 0 {
+		return
+	}
+	t.searchNode(t.root, w, fn)
+}
+
+func (t *Tree) searchNode(n *node, w geom.Rect, fn func(Item) bool) bool {
+	t.visit(n)
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !e.rect.Intersects(w) {
+			continue
+		}
+		if n.leaf {
+			if !fn(e.item) {
+				return false
+			}
+		} else if !t.searchNode(e.child, w, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchSegment invokes fn for every stored item whose rectangle intersects
+// the segment s (exact, not just MBR-of-segment). Used by the visibility
+// graph to find obstacles blocking a candidate sight line.
+func (t *Tree) SearchSegment(s geom.Segment, fn func(Item) bool) {
+	if t.size == 0 {
+		return
+	}
+	t.searchSegNode(t.root, s, fn)
+}
+
+func (t *Tree) searchSegNode(n *node, s geom.Segment, fn func(Item) bool) bool {
+	t.visit(n)
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !e.rect.IntersectsSegment(s) {
+			continue
+		}
+		if n.leaf {
+			if !fn(e.item) {
+				return false
+			}
+		} else if !t.searchSegNode(e.child, s, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// All invokes fn for every stored item.
+func (t *Tree) All(fn func(Item) bool) {
+	if t.size == 0 {
+		return
+	}
+	t.searchNode(t.root, t.root.mbr(), fn)
+}
+
+// DistanceTarget is anything entries can be distance-ordered against.
+// The paper orders candidates by mindist to the query line segment; point
+// queries (the ONN baseline) use a degenerate target.
+type DistanceTarget interface {
+	// DistToRect returns the minimum distance from the target to r.
+	DistToRect(r geom.Rect) float64
+}
+
+// SegmentTarget orders by mindist(rect, segment) — the paper's metric.
+type SegmentTarget struct{ Seg geom.Segment }
+
+// DistToRect implements DistanceTarget.
+func (s SegmentTarget) DistToRect(r geom.Rect) float64 { return r.DistToSegment(s.Seg) }
+
+// PointTarget orders by mindist(rect, point).
+type PointTarget struct{ P geom.Point }
+
+// DistToRect implements DistanceTarget.
+func (p PointTarget) DistToRect(r geom.Rect) float64 { return r.DistToPoint(p.P) }
+
+// NearestIter is an incremental best-first traversal (Hjaltason & Samet,
+// TODS 1999) producing stored items in non-decreasing distance order from a
+// target. It is the engine behind Algorithm 4's data-point ordering and
+// Algorithm 1's obstacle heap Ho.
+type NearestIter struct {
+	t      *Tree
+	target DistanceTarget
+	heap   minheap.Heap[entry]
+}
+
+// NewNearestIter starts a best-first traversal of t ordered by distance to
+// target.
+func (t *Tree) NewNearestIter(target DistanceTarget) *NearestIter {
+	it := &NearestIter{t: t, target: target}
+	if t.size > 0 {
+		it.heap.Push(target.DistToRect(t.root.mbr()), entry{child: t.root})
+	}
+	return it
+}
+
+// Next returns the next item in distance order. ok is false when the tree is
+// exhausted.
+func (it *NearestIter) Next() (item Item, dist float64, ok bool) {
+	for !it.heap.Empty() {
+		d, e := it.heap.Pop()
+		if e.child == nil {
+			return e.item, d, true
+		}
+		n := e.child
+		it.t.visit(n)
+		for _, ce := range n.entries {
+			cd := it.target.DistToRect(ce.rect)
+			if n.leaf {
+				it.heap.Push(cd, entry{item: ce.item})
+			} else {
+				it.heap.Push(cd, entry{child: ce.child})
+			}
+		}
+	}
+	return Item{}, 0, false
+}
+
+// PeekDist returns the lower bound on the distance of the next item, or
+// ok=false when exhausted. Algorithm 4's Lemma 2 check compares this bound
+// against RLMAX without popping.
+func (it *NearestIter) PeekDist() (float64, bool) {
+	for !it.heap.Empty() {
+		d, e := it.heap.Peek()
+		if e.child == nil {
+			return d, true
+		}
+		// Expand internal nodes until an item is at the top; the popped
+		// bound is still valid because children are pushed with their own
+		// (>=) distances.
+		it.heap.Pop()
+		n := e.child
+		it.t.visit(n)
+		for _, ce := range n.entries {
+			cd := it.target.DistToRect(ce.rect)
+			if n.leaf {
+				it.heap.Push(cd, entry{item: ce.item})
+			} else {
+				it.heap.Push(cd, entry{child: ce.child})
+			}
+		}
+		_ = d
+	}
+	return 0, false
+}

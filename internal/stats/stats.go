@@ -1,0 +1,132 @@
+// Package stats collects the performance metrics the paper reports in §5:
+// I/O cost (page accesses, optionally filtered through an LRU buffer), CPU
+// time, total query cost with the paper's 10 ms-per-page-fault charge, the
+// number of data points evaluated (NPE), the number of obstacles evaluated
+// (NOE), and the visibility-graph size |SVG|.
+package stats
+
+import (
+	"fmt"
+	"time"
+
+	"connquery/internal/lru"
+)
+
+// IOChargePerFault is the paper's simulated I/O cost per page fault.
+const IOChargePerFault = 10 * time.Millisecond
+
+// PageCounter counts page accesses and faults; it implements
+// rtree.AccessRecorder. With a nil Buffer every access faults (the paper's
+// default zero-buffer configuration).
+type PageCounter struct {
+	Accesses int64
+	Faults   int64
+	Buffer   *lru.Buffer
+}
+
+// RecordAccess registers one page access.
+func (c *PageCounter) RecordAccess(pageID int64) {
+	c.Accesses++
+	if c.Buffer != nil {
+		if !c.Buffer.Access(pageID) {
+			c.Faults++
+		}
+		return
+	}
+	c.Faults++
+}
+
+// Reset zeroes the counters (buffer residency is left untouched).
+func (c *PageCounter) Reset() { c.Accesses, c.Faults = 0, 0 }
+
+// QueryMetrics captures one query's cost profile.
+type QueryMetrics struct {
+	FaultsData int64         // page faults on the data R-tree
+	FaultsObst int64         // page faults on the obstacle R-tree
+	NPE        int           // number of data points evaluated
+	NOE        int           // number of obstacles evaluated (inserted into VG)
+	SVG        int           // visibility graph size (corner vertices)
+	CPU        time.Duration // wall-clock compute time
+}
+
+// Faults returns the total page faults across both trees.
+func (m QueryMetrics) Faults() int64 { return m.FaultsData + m.FaultsObst }
+
+// IOTime returns the simulated I/O time.
+func (m QueryMetrics) IOTime() time.Duration {
+	return time.Duration(m.Faults()) * IOChargePerFault
+}
+
+// TotalCost returns the paper's "query cost": I/O time plus CPU time.
+func (m QueryMetrics) TotalCost() time.Duration { return m.IOTime() + m.CPU }
+
+// String implements fmt.Stringer.
+func (m QueryMetrics) String() string {
+	return fmt.Sprintf("io=%v cpu=%v total=%v npe=%d noe=%d svg=%d",
+		m.IOTime(), m.CPU, m.TotalCost(), m.NPE, m.NOE, m.SVG)
+}
+
+// Aggregate accumulates metrics over a query workload and reports means,
+// matching the paper's "run 100 queries, report the average" methodology.
+type Aggregate struct {
+	N          int
+	FaultsData int64
+	FaultsObst int64
+	NPE        int64
+	NOE        int64
+	SVG        int64
+	CPU        time.Duration
+}
+
+// Add accumulates one query's metrics.
+func (a *Aggregate) Add(m QueryMetrics) {
+	a.N++
+	a.FaultsData += m.FaultsData
+	a.FaultsObst += m.FaultsObst
+	a.NPE += int64(m.NPE)
+	a.NOE += int64(m.NOE)
+	a.SVG += int64(m.SVG)
+	a.CPU += m.CPU
+}
+
+// Mean returns the per-query average metrics. N must be > 0.
+func (a *Aggregate) Mean() MeanMetrics {
+	n := float64(a.N)
+	return MeanMetrics{
+		N:          a.N,
+		FaultsData: float64(a.FaultsData) / n,
+		FaultsObst: float64(a.FaultsObst) / n,
+		NPE:        float64(a.NPE) / n,
+		NOE:        float64(a.NOE) / n,
+		SVG:        float64(a.SVG) / n,
+		CPU:        time.Duration(float64(a.CPU) / n),
+	}
+}
+
+// MeanMetrics is the per-query average of an Aggregate.
+type MeanMetrics struct {
+	N          int
+	FaultsData float64
+	FaultsObst float64
+	NPE        float64
+	NOE        float64
+	SVG        float64
+	CPU        time.Duration
+}
+
+// Faults returns mean total page faults.
+func (m MeanMetrics) Faults() float64 { return m.FaultsData + m.FaultsObst }
+
+// IOTime returns mean simulated I/O time.
+func (m MeanMetrics) IOTime() time.Duration {
+	return time.Duration(m.Faults() * float64(IOChargePerFault))
+}
+
+// TotalCost returns mean query cost (I/O + CPU).
+func (m MeanMetrics) TotalCost() time.Duration { return m.IOTime() + m.CPU }
+
+// String implements fmt.Stringer.
+func (m MeanMetrics) String() string {
+	return fmt.Sprintf("n=%d io=%v cpu=%v total=%v npe=%.1f noe=%.1f svg=%.1f",
+		m.N, m.IOTime(), m.CPU, m.TotalCost(), m.NPE, m.NOE, m.SVG)
+}

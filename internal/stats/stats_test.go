@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"connquery/internal/lru"
+)
+
+func TestPageCounterNoBuffer(t *testing.T) {
+	c := &PageCounter{}
+	for i := 0; i < 5; i++ {
+		c.RecordAccess(1) // same page every time: still all faults
+	}
+	if c.Accesses != 5 || c.Faults != 5 {
+		t.Fatalf("accesses=%d faults=%d", c.Accesses, c.Faults)
+	}
+	c.Reset()
+	if c.Accesses != 0 || c.Faults != 0 {
+		t.Fatal("Reset did not zero counters")
+	}
+}
+
+func TestPageCounterWithBuffer(t *testing.T) {
+	c := &PageCounter{Buffer: lru.New(2)}
+	c.RecordAccess(1) // fault
+	c.RecordAccess(1) // hit
+	c.RecordAccess(2) // fault
+	c.RecordAccess(1) // hit
+	if c.Accesses != 4 || c.Faults != 2 {
+		t.Fatalf("accesses=%d faults=%d", c.Accesses, c.Faults)
+	}
+}
+
+func TestQueryMetricsCostModel(t *testing.T) {
+	m := QueryMetrics{FaultsData: 3, FaultsObst: 2, CPU: 7 * time.Millisecond}
+	if m.Faults() != 5 {
+		t.Fatalf("Faults = %d", m.Faults())
+	}
+	if m.IOTime() != 50*time.Millisecond {
+		t.Fatalf("IOTime = %v (10ms per fault)", m.IOTime())
+	}
+	if m.TotalCost() != 57*time.Millisecond {
+		t.Fatalf("TotalCost = %v", m.TotalCost())
+	}
+	s := m.String()
+	if !strings.Contains(s, "io=50ms") || !strings.Contains(s, "cpu=7ms") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestAggregateMean(t *testing.T) {
+	var a Aggregate
+	a.Add(QueryMetrics{FaultsData: 2, FaultsObst: 4, NPE: 10, NOE: 20, SVG: 100, CPU: 10 * time.Millisecond})
+	a.Add(QueryMetrics{FaultsData: 4, FaultsObst: 8, NPE: 30, NOE: 40, SVG: 300, CPU: 30 * time.Millisecond})
+	m := a.Mean()
+	if m.N != 2 {
+		t.Fatalf("N = %d", m.N)
+	}
+	if m.FaultsData != 3 || m.FaultsObst != 6 || m.Faults() != 9 {
+		t.Fatalf("fault means: %v %v", m.FaultsData, m.FaultsObst)
+	}
+	if m.NPE != 20 || m.NOE != 30 || m.SVG != 200 {
+		t.Fatalf("NPE/NOE/SVG means: %v %v %v", m.NPE, m.NOE, m.SVG)
+	}
+	if m.CPU != 20*time.Millisecond {
+		t.Fatalf("CPU mean = %v", m.CPU)
+	}
+	if m.IOTime() != 90*time.Millisecond || m.TotalCost() != 110*time.Millisecond {
+		t.Fatalf("IOTime=%v TotalCost=%v", m.IOTime(), m.TotalCost())
+	}
+	if s := m.String(); !strings.Contains(s, "n=2") {
+		t.Fatalf("String = %q", s)
+	}
+}

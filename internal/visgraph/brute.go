@@ -1,0 +1,58 @@
+package visgraph
+
+import (
+	"math"
+
+	"connquery/internal/geom"
+	"connquery/internal/minheap"
+)
+
+// BruteObstructedDist computes the exact obstructed distance between a and b
+// over the full obstacle set by building the complete visibility graph and
+// running Dijkstra. It is O(n^2 * m) and exists as the ground-truth oracle
+// for tests and the naive baseline — the CONN algorithms never call it.
+func BruteObstructedDist(a, b geom.Point, obstacles []geom.Rect) float64 {
+	if geom.Visible(a, b, obstacles) {
+		return geom.Dist(a, b)
+	}
+	pts := make([]geom.Point, 0, 4*len(obstacles)+2)
+	pts = append(pts, a, b)
+	for _, o := range obstacles {
+		v := o.Vertices()
+		pts = append(pts, v[0], v[1], v[2], v[3])
+	}
+	n := len(pts)
+	adj := make([][]edgeTo, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if geom.Visible(pts[i], pts[j], obstacles) {
+				w := geom.Dist(pts[i], pts[j])
+				adj[i] = append(adj[i], edgeTo{NodeID(j), w})
+				adj[j] = append(adj[j], edgeTo{NodeID(i), w})
+			}
+		}
+	}
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	var h minheap.Heap[NodeID]
+	dist[0] = 0
+	h.Push(0, 0)
+	for !h.Empty() {
+		d, u := h.Pop()
+		if d > dist[u] {
+			continue
+		}
+		if u == 1 {
+			return d
+		}
+		for _, e := range adj[u] {
+			if nd := d + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				h.Push(nd, e.to)
+			}
+		}
+	}
+	return math.Inf(1)
+}

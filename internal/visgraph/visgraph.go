@@ -1,0 +1,321 @@
+// Package visgraph implements the *local* visibility graph at the heart of
+// the paper's obstructed-distance machinery (§2.4, §4.1). Nodes are obstacle
+// corners plus transient query/data points; two nodes share an edge iff the
+// straight segment between them does not cross any inserted obstacle's open
+// interior. The graph is built incrementally: the IOR algorithm inserts
+// obstacles in ascending mindist-to-q order, and each insertion both
+// invalidates the existing edges it blocks and links its four corners into
+// the graph. Obstructed distances are shortest paths in this graph
+// (Dijkstra), which de Berg et al. prove contain only visibility edges.
+package visgraph
+
+import (
+	"math"
+
+	"connquery/internal/geom"
+	"connquery/internal/minheap"
+	"connquery/internal/rtree"
+)
+
+// NodeID identifies a graph node. IDs of removed transient nodes are
+// recycled.
+type NodeID int32
+
+// Invalid is the NodeID returned for "no node" (e.g. Dijkstra predecessors
+// of unreachable nodes).
+const Invalid NodeID = -1
+
+// NodeKind classifies graph nodes.
+type NodeKind uint8
+
+const (
+	// KindCorner is an obstacle corner vertex.
+	KindCorner NodeKind = iota
+	// KindAnchor is a persistent query-segment endpoint (S or E).
+	KindAnchor
+	// KindTransient is a temporarily inserted data point.
+	KindTransient
+)
+
+type edgeTo struct {
+	to NodeID
+	w  float64
+}
+
+// Graph is a local visibility graph. Not safe for concurrent use.
+type Graph struct {
+	pts   []geom.Point
+	kinds []NodeKind
+	alive []bool
+	adj   [][]edgeTo
+	free  []NodeID
+
+	obstacles []geom.Rect
+	obsIndex  *rtree.Tree
+	version   int
+
+	// scratch buffers reused across Dijkstra runs
+	dist []float64
+	prev []NodeID
+	seen []bool
+}
+
+// New creates an empty graph.
+func New() *Graph {
+	return &Graph{obsIndex: rtree.New(rtree.Options{})}
+}
+
+// NumNodes returns the number of live nodes (the paper's |SVG| metric when
+// only corner and anchor nodes are present).
+func (g *Graph) NumNodes() int {
+	n := 0
+	for _, a := range g.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// NumCornerNodes returns the number of obstacle-corner nodes, the |SVG|
+// figure reported by the paper (4 x number of obstacles inserted).
+func (g *Graph) NumCornerNodes() int {
+	n := 0
+	for i, a := range g.alive {
+		if a && g.kinds[i] == KindCorner {
+			n++
+		}
+	}
+	return n
+}
+
+// NumObstacles returns the number of inserted obstacles.
+func (g *Graph) NumObstacles() int { return len(g.obstacles) }
+
+// Obstacles returns the inserted obstacle rectangles. The slice is shared;
+// callers must not modify it.
+func (g *Graph) Obstacles() []geom.Rect { return g.obstacles }
+
+// Version increments whenever the obstacle set changes; callers use it to
+// invalidate cached visibility regions.
+func (g *Graph) Version() int { return g.version }
+
+// Point returns the location of node id.
+func (g *Graph) Point(id NodeID) geom.Point { return g.pts[id] }
+
+// Kind returns the node classification of id.
+func (g *Graph) Kind(id NodeID) NodeKind { return g.kinds[id] }
+
+// Visible reports whether the segment a-b is unobstructed by any inserted
+// obstacle. The obstacle R-tree prunes the candidate set.
+func (g *Graph) Visible(a, b geom.Point) bool {
+	s := geom.Seg(a, b)
+	ok := true
+	g.obsIndex.SearchSegment(s, func(it rtree.Item) bool {
+		if g.obstacles[it.ID].BlocksSegment(s) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// ObstaclesNear returns the inserted obstacles whose rectangles intersect w.
+// The core algorithm uses this to bound the obstacle set passed to
+// visible-region computation.
+func (g *Graph) ObstaclesNear(w geom.Rect) []geom.Rect {
+	var out []geom.Rect
+	g.obsIndex.Search(w, func(it rtree.Item) bool {
+		out = append(out, g.obstacles[it.ID])
+		return true
+	})
+	return out
+}
+
+// AddPoint inserts a node at p with the given kind and connects it to every
+// visible live node. It returns the new node's ID.
+func (g *Graph) AddPoint(p geom.Point, kind NodeKind) NodeID {
+	id := g.allocNode(p, kind)
+	for other := range g.pts {
+		oid := NodeID(other)
+		if oid == id || !g.alive[other] {
+			continue
+		}
+		if g.Visible(p, g.pts[other]) {
+			w := geom.Dist(p, g.pts[other])
+			g.adj[id] = append(g.adj[id], edgeTo{oid, w})
+			g.adj[other] = append(g.adj[other], edgeTo{id, w})
+		}
+	}
+	return id
+}
+
+// RemovePoint deletes a transient node and all its edges; the slot is
+// recycled. Removing anchors or corner nodes is a programming error.
+func (g *Graph) RemovePoint(id NodeID) {
+	if g.kinds[id] != KindTransient {
+		panic("visgraph: RemovePoint on non-transient node")
+	}
+	for _, e := range g.adj[id] {
+		nbr := g.adj[e.to]
+		for i := range nbr {
+			if nbr[i].to == id {
+				nbr[i] = nbr[len(nbr)-1]
+				g.adj[e.to] = nbr[:len(nbr)-1]
+				break
+			}
+		}
+	}
+	g.adj[id] = g.adj[id][:0]
+	g.alive[id] = false
+	g.free = append(g.free, id)
+}
+
+// AddObstacle inserts a rectangular obstacle: existing edges crossing its
+// interior are removed, then its four corners join the graph. Corner nodes
+// are permanent for the life of the graph.
+func (g *Graph) AddObstacle(r geom.Rect) {
+	// 1. Invalidate blocked edges. The bounding-box reject handles the vast
+	// majority of edges (far from the new obstacle) without divisions.
+	for u := range g.adj {
+		if !g.alive[u] {
+			continue
+		}
+		pu := g.pts[u]
+		kept := g.adj[u][:0]
+		for _, e := range g.adj[u] {
+			pv := g.pts[e.to]
+			if (pu.X <= r.MinX && pv.X <= r.MinX) || (pu.X >= r.MaxX && pv.X >= r.MaxX) ||
+				(pu.Y <= r.MinY && pv.Y <= r.MinY) || (pu.Y >= r.MaxY && pv.Y >= r.MaxY) {
+				kept = append(kept, e) // edge cannot enter the open interior
+				continue
+			}
+			if r.BlocksSegment(geom.Segment{A: pu, B: pv}) {
+				continue
+			}
+			kept = append(kept, e)
+		}
+		g.adj[u] = kept
+	}
+	// 2. Register the obstacle before linking corners so corner-corner
+	// visibility accounts for the new interior too.
+	oid := int32(len(g.obstacles))
+	g.obstacles = append(g.obstacles, r)
+	g.obsIndex.Insert(rtree.ObstacleItem(oid, r))
+	g.version++
+	// 3. Link the corners.
+	for _, c := range r.Vertices() {
+		g.AddPoint(c, KindCorner)
+	}
+}
+
+// allocNode reserves a node slot (recycling freed ones).
+func (g *Graph) allocNode(p geom.Point, kind NodeKind) NodeID {
+	if n := len(g.free); n > 0 {
+		id := g.free[n-1]
+		g.free = g.free[:n-1]
+		g.pts[id] = p
+		g.kinds[id] = kind
+		g.alive[id] = true
+		g.adj[id] = g.adj[id][:0]
+		return id
+	}
+	id := NodeID(len(g.pts))
+	g.pts = append(g.pts, p)
+	g.kinds = append(g.kinds, kind)
+	g.alive = append(g.alive, true)
+	g.adj = append(g.adj, nil)
+	return id
+}
+
+// ShortestPaths runs Dijkstra from src and returns distance and predecessor
+// slices indexed by NodeID. Unreachable nodes have +Inf distance and Invalid
+// predecessor. The returned slices are scratch buffers owned by the graph
+// and are overwritten by the next call.
+func (g *Graph) ShortestPaths(src NodeID) (dist []float64, prev []NodeID) {
+	n := len(g.pts)
+	if cap(g.dist) < n {
+		g.dist = make([]float64, n)
+		g.prev = make([]NodeID, n)
+		g.seen = make([]bool, n)
+	}
+	g.dist, g.prev, g.seen = g.dist[:n], g.prev[:n], g.seen[:n]
+	for i := 0; i < n; i++ {
+		g.dist[i] = math.Inf(1)
+		g.prev[i] = Invalid
+		g.seen[i] = false
+	}
+	var h minheap.Heap[NodeID]
+	g.dist[src] = 0
+	h.Push(0, src)
+	for !h.Empty() {
+		d, u := h.Pop()
+		if g.seen[u] || d > g.dist[u] {
+			continue
+		}
+		g.seen[u] = true
+		for _, e := range g.adj[u] {
+			if nd := d + e.w; nd < g.dist[e.to] {
+				g.dist[e.to] = nd
+				g.prev[e.to] = u
+				h.Push(nd, e.to)
+			}
+		}
+	}
+	return g.dist, g.prev
+}
+
+// PathTo reconstructs the node sequence src..dst from a predecessor slice
+// returned by ShortestPaths(src). It returns nil when dst is unreachable.
+func PathTo(prev []NodeID, src, dst NodeID) []NodeID {
+	if src == dst {
+		return []NodeID{src}
+	}
+	if prev[dst] == Invalid {
+		return nil
+	}
+	var rev []NodeID
+	for at := dst; at != Invalid; at = prev[at] {
+		rev = append(rev, at)
+		if at == src {
+			break
+		}
+	}
+	if rev[len(rev)-1] != src {
+		return nil
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Distance runs a targeted Dijkstra from src with early exit at dst and
+// returns the shortest obstructed distance (+Inf if unreachable).
+func (g *Graph) Distance(src, dst NodeID) float64 {
+	n := len(g.pts)
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	var h minheap.Heap[NodeID]
+	dist[src] = 0
+	h.Push(0, src)
+	for !h.Empty() {
+		d, u := h.Pop()
+		if d > dist[u] {
+			continue
+		}
+		if u == dst {
+			return d
+		}
+		for _, e := range g.adj[u] {
+			if nd := d + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				h.Push(nd, e.to)
+			}
+		}
+	}
+	return math.Inf(1)
+}

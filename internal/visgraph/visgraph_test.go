@@ -1,0 +1,277 @@
+package visgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"connquery/internal/geom"
+)
+
+func TestEmptyGraphDirectVisibility(t *testing.T) {
+	g := New()
+	a := g.AddPoint(geom.Pt(0, 0), KindAnchor)
+	b := g.AddPoint(geom.Pt(3, 4), KindAnchor)
+	if d := g.Distance(a, b); math.Abs(d-5) > 1e-9 {
+		t.Fatalf("Distance = %v, want 5", d)
+	}
+	dist, prev := g.ShortestPaths(a)
+	if math.Abs(dist[b]-5) > 1e-9 {
+		t.Fatalf("ShortestPaths dist = %v", dist[b])
+	}
+	if path := PathTo(prev, a, b); len(path) != 2 || path[0] != a || path[1] != b {
+		t.Fatalf("path = %v", path)
+	}
+}
+
+func TestSingleObstacleDetour(t *testing.T) {
+	// Wall between (0,5) and (10,5): must route around a corner.
+	g := New()
+	a := g.AddPoint(geom.Pt(5, 0), KindAnchor)
+	b := g.AddPoint(geom.Pt(5, 10), KindAnchor)
+	g.AddObstacle(geom.R(2, 4, 8, 6))
+	got := g.Distance(a, b)
+	// Shortest detour goes around x=2 or x=8 corner: via (2,4),(2,6) (or 8,*).
+	want := geom.Dist(geom.Pt(5, 0), geom.Pt(2, 4)) + 2 + geom.Dist(geom.Pt(2, 6), geom.Pt(5, 10))
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Distance = %v, want %v", got, want)
+	}
+	// And it must exceed the Euclidean distance.
+	if got <= 10 {
+		t.Fatalf("detour %v not longer than straight line", got)
+	}
+}
+
+func TestAddObstacleInvalidatesEdges(t *testing.T) {
+	g := New()
+	a := g.AddPoint(geom.Pt(0, 5), KindAnchor)
+	b := g.AddPoint(geom.Pt(10, 5), KindAnchor)
+	if d := g.Distance(a, b); math.Abs(d-10) > 1e-9 {
+		t.Fatalf("pre-obstacle Distance = %v", d)
+	}
+	g.AddObstacle(geom.R(4, 0, 6, 10))
+	d := g.Distance(a, b)
+	want := geom.Dist(geom.Pt(0, 5), geom.Pt(4, 0)) + 2 + geom.Dist(geom.Pt(6, 0), geom.Pt(10, 5))
+	if math.Abs(d-want) > 1e-9 {
+		t.Fatalf("post-obstacle Distance = %v, want %v", d, want)
+	}
+}
+
+func TestTransientPointLifecycle(t *testing.T) {
+	g := New()
+	g.AddPoint(geom.Pt(0, 0), KindAnchor)
+	g.AddObstacle(geom.R(3, 3, 5, 5))
+	before := g.NumNodes()
+	p := g.AddPoint(geom.Pt(9, 9), KindTransient)
+	if g.NumNodes() != before+1 {
+		t.Fatalf("NumNodes after add = %d", g.NumNodes())
+	}
+	g.RemovePoint(p)
+	if g.NumNodes() != before {
+		t.Fatalf("NumNodes after remove = %d", g.NumNodes())
+	}
+	// No dangling edges referencing the removed node.
+	for u, edges := range g.adj {
+		if !g.alive[u] {
+			continue
+		}
+		for _, e := range edges {
+			if e.to == p {
+				t.Fatalf("dangling edge %d -> removed %d", u, p)
+			}
+		}
+	}
+	// Slot is recycled.
+	p2 := g.AddPoint(geom.Pt(1, 1), KindTransient)
+	if p2 != p {
+		t.Fatalf("slot not recycled: got %d want %d", p2, p)
+	}
+}
+
+func TestVersionBumpsOnObstacle(t *testing.T) {
+	g := New()
+	v0 := g.Version()
+	g.AddPoint(geom.Pt(0, 0), KindAnchor)
+	if g.Version() != v0 {
+		t.Fatal("AddPoint changed version")
+	}
+	g.AddObstacle(geom.R(1, 1, 2, 2))
+	if g.Version() != v0+1 {
+		t.Fatal("AddObstacle did not bump version")
+	}
+}
+
+func TestCornerCounting(t *testing.T) {
+	g := New()
+	g.AddPoint(geom.Pt(0, 0), KindAnchor)
+	g.AddPoint(geom.Pt(1, 1), KindTransient)
+	g.AddObstacle(geom.R(2, 2, 3, 3))
+	g.AddObstacle(geom.R(5, 5, 6, 6))
+	if got := g.NumCornerNodes(); got != 8 {
+		t.Fatalf("NumCornerNodes = %d, want 8", got)
+	}
+	if got := g.NumObstacles(); got != 2 {
+		t.Fatalf("NumObstacles = %d", got)
+	}
+}
+
+func TestObstaclesNear(t *testing.T) {
+	g := New()
+	g.AddObstacle(geom.R(0, 0, 1, 1))
+	g.AddObstacle(geom.R(100, 100, 101, 101))
+	near := g.ObstaclesNear(geom.R(-1, -1, 2, 2))
+	if len(near) != 1 || near[0] != geom.R(0, 0, 1, 1) {
+		t.Fatalf("ObstaclesNear = %v", near)
+	}
+}
+
+func TestUnreachableNode(t *testing.T) {
+	g := New()
+	a := g.AddPoint(geom.Pt(0, 0), KindAnchor)
+	// Fully enclose point b inside a box of four wall obstacles. The walls
+	// must overlap (not merely touch): travelling along shared boundaries is
+	// legal under the open-interior blocking semantics, so abutting walls
+	// would leave a walkable seam.
+	b := g.AddPoint(geom.Pt(50, 50), KindAnchor)
+	g.AddObstacle(geom.R(40, 40, 60, 43)) // bottom
+	g.AddObstacle(geom.R(40, 57, 60, 60)) // top
+	g.AddObstacle(geom.R(40, 40, 43, 60)) // left
+	g.AddObstacle(geom.R(57, 40, 60, 60)) // right
+	if d := g.Distance(a, b); !math.IsInf(d, 1) {
+		t.Fatalf("enclosed point reachable: %v", d)
+	}
+	dist, prev := g.ShortestPaths(a)
+	if !math.IsInf(dist[b], 1) || PathTo(prev, a, b) != nil {
+		t.Fatal("ShortestPaths disagrees about unreachability")
+	}
+}
+
+// The incremental graph must agree with the brute-force oracle on random
+// obstacle fields.
+func TestIncrementalMatchesBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 40; trial++ {
+		nObs := 1 + r.Intn(8)
+		obstacles := make([]geom.Rect, 0, nObs)
+		g := New()
+		a := geom.Pt(r.Float64()*100, r.Float64()*100)
+		b := geom.Pt(r.Float64()*100, r.Float64()*100)
+		na := g.AddPoint(a, KindAnchor)
+		nb := g.AddPoint(b, KindAnchor)
+		for i := 0; i < nObs; i++ {
+			lo := geom.Pt(r.Float64()*100, r.Float64()*100)
+			o := geom.R(lo.X, lo.Y, lo.X+1+r.Float64()*20, lo.Y+1+r.Float64()*20)
+			// Keep endpoints outside obstacle interiors so distances exist.
+			if o.ContainsOpen(a) || o.ContainsOpen(b) {
+				continue
+			}
+			obstacles = append(obstacles, o)
+			g.AddObstacle(o)
+		}
+		got := g.Distance(na, nb)
+		want := BruteObstructedDist(a, b, obstacles)
+		if math.IsInf(want, 1) != math.IsInf(got, 1) {
+			t.Fatalf("trial %d: reachability mismatch got=%v want=%v", trial, got, want)
+		}
+		if !math.IsInf(want, 1) && math.Abs(got-want) > 1e-6*(1+want) {
+			t.Fatalf("trial %d: dist %v, want %v (a=%v b=%v obs=%v)", trial, got, want, a, b, obstacles)
+		}
+	}
+}
+
+// Obstructed distance is always >= Euclidean (paper's mindist lower bound).
+func TestPropObstructedAtLeastEuclidean(t *testing.T) {
+	r := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 60; trial++ {
+		g := New()
+		a := geom.Pt(r.Float64()*100, r.Float64()*100)
+		b := geom.Pt(r.Float64()*100, r.Float64()*100)
+		na := g.AddPoint(a, KindAnchor)
+		nb := g.AddPoint(b, KindAnchor)
+		for i := 0; i < 5; i++ {
+			lo := geom.Pt(r.Float64()*100, r.Float64()*100)
+			o := geom.R(lo.X, lo.Y, lo.X+r.Float64()*15, lo.Y+r.Float64()*15)
+			if o.ContainsOpen(a) || o.ContainsOpen(b) {
+				continue
+			}
+			g.AddObstacle(o)
+		}
+		d := g.Distance(na, nb)
+		if d < geom.Dist(a, b)-1e-9 {
+			t.Fatalf("obstructed %v < euclidean %v", d, geom.Dist(a, b))
+		}
+	}
+}
+
+// Path reconstruction: consecutive path nodes must be mutually visible and
+// the summed length must equal the reported distance.
+func TestPathConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(107))
+	for trial := 0; trial < 30; trial++ {
+		g := New()
+		a := geom.Pt(r.Float64()*100, r.Float64()*100)
+		b := geom.Pt(r.Float64()*100, r.Float64()*100)
+		na := g.AddPoint(a, KindAnchor)
+		nb := g.AddPoint(b, KindAnchor)
+		for i := 0; i < 6; i++ {
+			lo := geom.Pt(r.Float64()*100, r.Float64()*100)
+			o := geom.R(lo.X, lo.Y, lo.X+r.Float64()*18, lo.Y+r.Float64()*18)
+			if o.ContainsOpen(a) || o.ContainsOpen(b) {
+				continue
+			}
+			g.AddObstacle(o)
+		}
+		dist, prev := g.ShortestPaths(na)
+		if math.IsInf(dist[nb], 1) {
+			continue
+		}
+		path := PathTo(prev, na, nb)
+		if path == nil {
+			t.Fatalf("trial %d: nil path for reachable node", trial)
+		}
+		total := 0.0
+		for i := 1; i < len(path); i++ {
+			p0, p1 := g.Point(path[i-1]), g.Point(path[i])
+			if !g.Visible(p0, p1) {
+				t.Fatalf("trial %d: path hop %v-%v not visible", trial, p0, p1)
+			}
+			total += geom.Dist(p0, p1)
+		}
+		if math.Abs(total-dist[nb]) > 1e-6*(1+total) {
+			t.Fatalf("trial %d: path length %v != dist %v", trial, total, dist[nb])
+		}
+	}
+}
+
+func BenchmarkAddObstacle(b *testing.B) {
+	r := rand.New(rand.NewSource(109))
+	rects := make([]geom.Rect, 256)
+	for i := range rects {
+		lo := geom.Pt(r.Float64()*10000, r.Float64()*10000)
+		rects[i] = geom.R(lo.X, lo.Y, lo.X+50, lo.Y+50)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := New()
+		g.AddPoint(geom.Pt(0, 0), KindAnchor)
+		g.AddPoint(geom.Pt(10000, 10000), KindAnchor)
+		for _, rc := range rects[:64] {
+			g.AddObstacle(rc)
+		}
+	}
+}
+
+func BenchmarkDijkstra256Obstacles(b *testing.B) {
+	r := rand.New(rand.NewSource(111))
+	g := New()
+	src := g.AddPoint(geom.Pt(0, 0), KindAnchor)
+	g.AddPoint(geom.Pt(10000, 10000), KindAnchor)
+	for i := 0; i < 256; i++ {
+		lo := geom.Pt(r.Float64()*10000, r.Float64()*10000)
+		g.AddObstacle(geom.R(lo.X, lo.Y, lo.X+40, lo.Y+40))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ShortestPaths(src)
+	}
+}

@@ -1,0 +1,83 @@
+package connquery
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEDistanceJoinPublic(t *testing.T) {
+	db := smallDB(t)
+	queries := []Point{Pt(12, 12), Pt(92, 12)}
+	pairs, _, err := db.EDistanceJoin(queries, 5)
+	if err != nil {
+		t.Fatalf("EDistanceJoin: %v", err)
+	}
+	// Each query point is within ~3 units of exactly one data point.
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %+v, want 2", pairs)
+	}
+	seen := map[int]int32{}
+	for _, pr := range pairs {
+		seen[pr.QIdx] = pr.PID
+	}
+	if seen[0] != 0 || seen[1] != 2 {
+		t.Fatalf("pair owners = %v", seen)
+	}
+	if _, _, err := db.EDistanceJoin(queries, -1); err == nil {
+		t.Fatal("negative e accepted")
+	}
+}
+
+func TestClosestPairPublic(t *testing.T) {
+	db := smallDB(t)
+	pair, _ := db.ClosestPair([]Point{Pt(11, 11), Pt(70, 70)})
+	if pair.QIdx != 0 || pair.PID != 0 {
+		t.Fatalf("pair = %+v, want q0 with point 0", pair)
+	}
+	if math.Abs(pair.Dist-math.Sqrt2) > 1e-9 {
+		t.Fatalf("dist = %v, want sqrt(2)", pair.Dist)
+	}
+	empty, _ := db.ClosestPair(nil)
+	if empty.QIdx != -1 {
+		t.Fatalf("empty query set: %+v", empty)
+	}
+}
+
+func TestDistanceSemiJoinPublic(t *testing.T) {
+	db := smallDB(t)
+	pairs, _ := db.DistanceSemiJoin([]Point{Pt(11, 11), Pt(89, 11), Pt(50, 89)})
+	if len(pairs) != 3 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].Dist < pairs[i-1].Dist {
+			t.Fatal("not sorted by distance")
+		}
+	}
+}
+
+func TestVisibleKNNPublic(t *testing.T) {
+	// Obstacle occludes point 1 from the query position; VkNN must skip it
+	// even though it is Euclidean-nearest.
+	points := []Point{Pt(50, 70), Pt(50, 30)}
+	obstacles := []Rect{R(40, 35, 60, 45)} // between (50,50) and point 1
+	db, err := Open(points, obstacles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbrs, _, err := db.VisibleKNN(Pt(50, 50), 1)
+	if err != nil || len(nbrs) != 1 {
+		t.Fatalf("VisibleKNN: %v %v", nbrs, err)
+	}
+	if nbrs[0].PID != 0 {
+		t.Fatalf("VkNN returned occluded point: %+v", nbrs)
+	}
+	// With k=2, only one point is visible at all.
+	nbrs, _, _ = db.VisibleKNN(Pt(50, 50), 2)
+	if len(nbrs) != 1 {
+		t.Fatalf("k=2 returned %d visible points, want 1", len(nbrs))
+	}
+	if _, _, err := db.VisibleKNN(Pt(0, 0), 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}

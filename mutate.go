@@ -1,0 +1,108 @@
+package connquery
+
+import (
+	"fmt"
+	"math"
+
+	"connquery/internal/rtree"
+)
+
+// Mutation support. The R*-tree handles inserts and deletes natively; the
+// DB layers ID management and the point/obstacle validity rules on top.
+// Mutations must not run concurrently with queries or other mutations
+// (same rule as any single-writer index); clones see mutations because the
+// R-tree nodes are shared, so re-Clone after mutating.
+
+func validCoord(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func validPoint(p Point) bool { return validCoord(p.X) && validCoord(p.Y) }
+
+func validRect(r Rect) bool {
+	return validCoord(r.MinX) && validCoord(r.MinY) &&
+		validCoord(r.MaxX) && validCoord(r.MaxY) && r.Valid()
+}
+
+// InsertPoint adds a data point and returns its PID. The point must not lie
+// strictly inside any obstacle.
+func (db *DB) InsertPoint(p Point) (int32, error) {
+	if !validPoint(p) {
+		return 0, fmt.Errorf("connquery: invalid point %v", p)
+	}
+	for _, o := range db.obstaclesNear(p) {
+		if o.ContainsOpen(p) {
+			return 0, fmt.Errorf("connquery: point %v lies strictly inside obstacle %v", p, o)
+		}
+	}
+	pid := int32(len(db.points))
+	db.points = append(db.points, p)
+	db.tree(rtree.KindPoint).Insert(rtree.PointItem(pid, p))
+	return pid, nil
+}
+
+// DeletePoint removes the point with the given PID. It reports whether the
+// point existed (deleting twice returns false).
+func (db *DB) DeletePoint(pid int32) bool {
+	if pid < 0 || int(pid) >= len(db.points) || db.deletedPts[pid] {
+		return false
+	}
+	if !db.tree(rtree.KindPoint).Delete(rtree.PointItem(pid, db.points[pid])) {
+		return false
+	}
+	if db.deletedPts == nil {
+		db.deletedPts = make(map[int32]bool)
+	}
+	db.deletedPts[pid] = true
+	return true
+}
+
+// InsertObstacle adds an obstacle and returns its ID. No existing data
+// point may lie strictly inside it.
+func (db *DB) InsertObstacle(r Rect) (int32, error) {
+	if !validRect(r) {
+		return 0, fmt.Errorf("connquery: invalid obstacle %v", r)
+	}
+	var blocked *int32
+	db.tree(rtree.KindPoint).Search(r, func(it rtree.Item) bool {
+		if it.Kind == rtree.KindPoint && r.ContainsOpen(it.Point()) {
+			id := it.ID
+			blocked = &id
+			return false
+		}
+		return true
+	})
+	if blocked != nil {
+		return 0, fmt.Errorf("connquery: obstacle %v would swallow point %d", r, *blocked)
+	}
+	oid := int32(len(db.obstacles))
+	db.obstacles = append(db.obstacles, r)
+	db.eng.Obstacles = db.obstacles
+	db.tree(rtree.KindObstacle).Insert(rtree.ObstacleItem(oid, r))
+	return oid, nil
+}
+
+// DeleteObstacle removes the obstacle with the given ID. It reports whether
+// the obstacle existed.
+func (db *DB) DeleteObstacle(oid int32) bool {
+	if oid < 0 || int(oid) >= len(db.obstacles) || db.deletedObs[oid] {
+		return false
+	}
+	if !db.tree(rtree.KindObstacle).Delete(rtree.ObstacleItem(oid, db.obstacles[oid])) {
+		return false
+	}
+	if db.deletedObs == nil {
+		db.deletedObs = make(map[int32]bool)
+	}
+	db.deletedObs[oid] = true
+	return true
+}
+
+// tree returns the index holding items of the given kind.
+func (db *DB) tree(kind rtree.Kind) *rtree.Tree {
+	if db.eng.OneTree() {
+		return db.eng.Unified
+	}
+	if kind == rtree.KindPoint {
+		return db.eng.Data
+	}
+	return db.eng.Obst
+}

@@ -1,0 +1,154 @@
+package connquery
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestInsertPointChangesAnswers(t *testing.T) {
+	db := smallDB(t)
+	q := Seg(Pt(0, 0), Pt(100, 0))
+	before, _, _ := db.CONN(q)
+
+	pid, err := db.InsertPoint(Pt(50, 2))
+	if err != nil {
+		t.Fatalf("InsertPoint: %v", err)
+	}
+	after, _, _ := db.CONN(q)
+	mid, _ := after.OwnerAt(0.5)
+	if mid.PID != pid {
+		t.Fatalf("new point does not own the middle: %+v", after.Tuples)
+	}
+	if len(after.Tuples) <= len(before.Tuples) {
+		t.Fatalf("answer unchanged after insert: %d vs %d tuples", len(after.Tuples), len(before.Tuples))
+	}
+	if db.NumPoints() != 5 {
+		t.Fatalf("NumPoints = %d", db.NumPoints())
+	}
+}
+
+func TestDeletePointRemovesFromAnswers(t *testing.T) {
+	db := smallDB(t)
+	q := Seg(Pt(0, 0), Pt(100, 0))
+	if !db.DeletePoint(0) {
+		t.Fatal("DeletePoint(0) failed")
+	}
+	if db.DeletePoint(0) {
+		t.Fatal("double delete succeeded")
+	}
+	if db.DeletePoint(99) {
+		t.Fatal("deleting unknown PID succeeded")
+	}
+	res, _, _ := db.CONN(q)
+	for _, tup := range res.Tuples {
+		if tup.PID == 0 {
+			t.Fatalf("deleted point still in answer: %+v", res.Tuples)
+		}
+	}
+	if _, ok := db.PointByID(0); ok {
+		t.Fatal("PointByID returned a deleted point")
+	}
+	if db.NumPoints() != 3 {
+		t.Fatalf("NumPoints = %d", db.NumPoints())
+	}
+}
+
+func TestInsertPointValidation(t *testing.T) {
+	db := smallDB(t)
+	if _, err := db.InsertPoint(Pt(50, 30)); err == nil {
+		t.Fatal("point inside obstacle accepted")
+	}
+	if _, err := db.InsertPoint(Pt(math.NaN(), 0)); err == nil {
+		t.Fatal("NaN point accepted")
+	}
+	// Boundary is fine.
+	if _, err := db.InsertPoint(Pt(40, 30)); err != nil {
+		t.Fatalf("boundary point rejected: %v", err)
+	}
+}
+
+func TestInsertObstacleChangesDistances(t *testing.T) {
+	db := smallDB(t)
+	a, b := Pt(20, 60), Pt(80, 60)
+	before := db.ObstructedDist(a, b)
+	oid, err := db.InsertObstacle(R(45, 50, 55, 70))
+	if err != nil {
+		t.Fatalf("InsertObstacle: %v", err)
+	}
+	after := db.ObstructedDist(a, b)
+	if after <= before {
+		t.Fatalf("new wall did not lengthen the path: %v vs %v", after, before)
+	}
+	if !db.DeleteObstacle(oid) {
+		t.Fatal("DeleteObstacle failed")
+	}
+	if db.DeleteObstacle(oid) {
+		t.Fatal("double obstacle delete succeeded")
+	}
+	restored := db.ObstructedDist(a, b)
+	if math.Abs(restored-before) > 1e-9 {
+		t.Fatalf("distance not restored after delete: %v vs %v", restored, before)
+	}
+}
+
+func TestInsertObstacleValidation(t *testing.T) {
+	db := smallDB(t)
+	// Would swallow point 1 at (50,50).
+	if _, err := db.InsertObstacle(R(45, 45, 55, 55)); err == nil {
+		t.Fatal("obstacle swallowing a point accepted")
+	}
+	if _, err := db.InsertObstacle(Rect{MinX: 5, MinY: 5, MaxX: 1, MaxY: 1}); err == nil {
+		t.Fatal("inverted obstacle accepted")
+	}
+	if db.NumObstacles() != 1 {
+		t.Fatalf("NumObstacles = %d after rejected inserts", db.NumObstacles())
+	}
+}
+
+func TestOpenRejectsNonFinite(t *testing.T) {
+	if _, err := Open([]Point{Pt(math.Inf(1), 0)}, nil); err == nil {
+		t.Fatal("infinite coordinate accepted")
+	}
+	if _, err := Open([]Point{Pt(0, 0)}, []Rect{{MinX: math.NaN(), MaxX: 1, MaxY: 1}}); err == nil {
+		t.Fatal("NaN obstacle accepted")
+	}
+}
+
+func TestSaveSkipsDeleted(t *testing.T) {
+	db := smallDB(t)
+	db.DeletePoint(1)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.NumPoints() != 3 || db2.NumObstacles() != 1 {
+		t.Fatalf("reloaded sizes: %d points, %d obstacles", db2.NumPoints(), db2.NumObstacles())
+	}
+	// The deleted (50,50) point must be gone.
+	for pid := int32(0); int(pid) < 3; pid++ {
+		if p, _ := db2.PointByID(pid); p == Pt(50, 50) {
+			t.Fatal("deleted point survived the snapshot")
+		}
+	}
+}
+
+func TestMutationOneTreeMode(t *testing.T) {
+	db := smallDB(t, WithOneTree())
+	pid, err := db.InsertPoint(Pt(50, 2))
+	if err != nil {
+		t.Fatalf("InsertPoint: %v", err)
+	}
+	res, _, _ := db.CONN(Seg(Pt(0, 0), Pt(100, 0)))
+	mid, _ := res.OwnerAt(0.5)
+	if mid.PID != pid {
+		t.Fatalf("one-tree insert ignored: %+v", res.Tuples)
+	}
+	if !db.DeletePoint(pid) {
+		t.Fatal("one-tree delete failed")
+	}
+}

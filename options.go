@@ -1,0 +1,71 @@
+package connquery
+
+import "connquery/internal/core"
+
+// config holds DB construction parameters.
+type config struct {
+	pageSize    int
+	bufferPages int
+	oneTree     bool
+	tuning      core.Options
+}
+
+func defaultConfig() config {
+	return config{pageSize: 4096}
+}
+
+// Option configures Open.
+type Option func(*config)
+
+// WithPageSize sets the simulated disk page size in bytes, which determines
+// the R-tree fanout. The paper uses 4 KB (the default).
+func WithPageSize(bytes int) Option {
+	return func(c *config) { c.pageSize = bytes }
+}
+
+// WithBufferPages installs an LRU page buffer of the given capacity in front
+// of each R-tree (the paper's Figure 12 experiment). Zero (the default)
+// means every page access is charged as a fault.
+func WithBufferPages(pages int) Option {
+	return func(c *config) { c.bufferPages = pages }
+}
+
+// WithOneTree indexes data points and obstacles in a single unified R-tree
+// (the paper's §4.5 variant, evaluated in Figure 13) instead of the default
+// two separate trees.
+func WithOneTree() Option {
+	return func(c *config) { c.oneTree = true }
+}
+
+// Tuning toggles individual algorithmic optimizations, primarily for
+// ablation studies. The zero value is the full algorithm as published.
+type Tuning struct {
+	// DisableLemma1 turns off the endpoint-dominance shortcut in the
+	// result-list update.
+	DisableLemma1 bool
+	// DisableLemma6 turns off the triangle refinement of candidate control
+	// regions in control-point-list computation.
+	DisableLemma6 bool
+	// DisableLemma7 turns off the CPLMAX early-termination bound in
+	// control-point-list computation.
+	DisableLemma7 bool
+	// DisableVGReuse rebuilds the local visibility graph for every data
+	// point instead of sharing it across the whole query.
+	DisableVGReuse bool
+	// UseBisectionSolver replaces the closed-form quadratic split-point
+	// solver with a numeric grid-plus-bisection root finder.
+	UseBisectionSolver bool
+}
+
+// WithTuning applies ablation switches.
+func WithTuning(t Tuning) Option {
+	return func(c *config) {
+		c.tuning = core.Options{
+			DisableLemma1:      t.DisableLemma1,
+			DisableLemma6:      t.DisableLemma6,
+			DisableLemma7:      t.DisableLemma7,
+			DisableVGReuse:     t.DisableVGReuse,
+			UseBisectionSolver: t.UseBisectionSolver,
+		}
+	}
+}

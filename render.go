@@ -1,0 +1,107 @@
+package connquery
+
+import (
+	"math"
+	"strings"
+)
+
+// RenderScene draws the database's obstacles and points, a query segment,
+// and optionally a CONN result onto a character grid, for terminal
+// inspection and documentation. Obstacles render as '#', data points as
+// their PID's last decimal digit, the query segment as '-' with 'S'/'E'
+// endpoints, and split points as '|'. The viewport is the bounding box of
+// everything drawn, padded 5%.
+func (db *DB) RenderScene(q Segment, res *Result, width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	// Viewport.
+	box := q.Bounds()
+	for pid, p := range db.points {
+		if db.deletedPts[int32(pid)] {
+			continue
+		}
+		box = box.ExpandPoint(p)
+	}
+	for oid, o := range db.obstacles {
+		if db.deletedObs[int32(oid)] {
+			continue
+		}
+		box = box.Union(o)
+	}
+	box = box.Buffer(math.Max(box.Width(), box.Height()) * 0.05)
+	if box.Width() <= 0 || box.Height() <= 0 {
+		box = box.Buffer(1)
+	}
+
+	grid := make([][]byte, height)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", width))
+	}
+	toCell := func(p Point) (int, int) {
+		cx := int((p.X - box.MinX) / box.Width() * float64(width-1))
+		cy := int((box.MaxY - p.Y) / box.Height() * float64(height-1))
+		return clampInt(cx, 0, width-1), clampInt(cy, 0, height-1)
+	}
+
+	// Obstacles.
+	for oid, o := range db.obstacles {
+		if db.deletedObs[int32(oid)] {
+			continue
+		}
+		x0, y1 := toCell(Point{X: o.MinX, Y: o.MinY})
+		x1, y0 := toCell(Point{X: o.MaxX, Y: o.MaxY})
+		for y := y0; y <= y1; y++ {
+			for x := x0; x <= x1; x++ {
+				grid[y][x] = '#'
+			}
+		}
+	}
+	// Query segment.
+	steps := 4 * width
+	for i := 0; i <= steps; i++ {
+		x, y := toCell(q.At(float64(i) / float64(steps)))
+		if grid[y][x] == ' ' || grid[y][x] == '#' {
+			grid[y][x] = '-'
+		}
+	}
+	// Split points.
+	if res != nil {
+		for _, t := range res.SplitPoints() {
+			x, y := toCell(q.At(t))
+			grid[y][x] = '|'
+		}
+	}
+	sx, sy := toCell(q.A)
+	grid[sy][sx] = 'S'
+	ex, ey := toCell(q.B)
+	grid[ey][ex] = 'E'
+	// Points (drawn last so they stay visible).
+	for pid, p := range db.points {
+		if db.deletedPts[int32(pid)] {
+			continue
+		}
+		x, y := toCell(p)
+		grid[y][x] = byte('0' + pid%10)
+	}
+
+	var b strings.Builder
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

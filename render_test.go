@@ -1,0 +1,56 @@
+package connquery
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderSceneBasics(t *testing.T) {
+	db := smallDB(t)
+	q := Seg(Pt(0, 0), Pt(100, 0))
+	res, _, err := db.CONN(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := db.RenderScene(q, res, 60, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 20 {
+		t.Fatalf("rendered %d lines, want 20", len(lines))
+	}
+	for i, l := range lines {
+		if len(l) != 60 {
+			t.Fatalf("line %d has width %d, want 60", i, len(l))
+		}
+	}
+	for _, want := range []string{"S", "E", "#", "-", "|"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered scene missing %q:\n%s", want, out)
+		}
+	}
+	// All four point digits appear.
+	for _, d := range []string{"0", "1", "2", "3"} {
+		if !strings.Contains(out, d) {
+			t.Fatalf("point digit %s missing:\n%s", d, out)
+		}
+	}
+}
+
+func TestRenderSceneWithoutResult(t *testing.T) {
+	db := smallDB(t)
+	out := db.RenderScene(Seg(Pt(0, 0), Pt(100, 100)), nil, 40, 10)
+	if strings.Contains(out, "|") {
+		t.Fatal("split markers rendered without a result")
+	}
+	if !strings.Contains(out, "S") || !strings.Contains(out, "E") {
+		t.Fatal("endpoints missing")
+	}
+}
+
+func TestRenderSceneTinyDimensionsClamped(t *testing.T) {
+	db := smallDB(t)
+	out := db.RenderScene(Seg(Pt(0, 0), Pt(1, 1)), nil, 1, 1)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 || len(lines[0]) != 8 {
+		t.Fatalf("minimum dimensions not enforced: %dx%d", len(lines[0]), len(lines))
+	}
+}
