@@ -4,8 +4,9 @@ package connquery
 // Each benchmark iteration executes one full COkNN query (or the figure's
 // specific variant) over the paper's workload at a reduced dataset scale so
 // `go test -bench=.` completes on a laptop; `cmd/connbench` runs the same
-// sweeps at arbitrary scale with tabular output, and EXPERIMENTS.md records
-// the paper-vs-measured comparison.
+// sweeps at arbitrary scale with tabular output, and its -json mode tracks
+// the hot path's trajectory in BENCH_*.json (BENCH_baseline.json pins the
+// pre-optimization numbers — see README.md).
 
 import (
 	"fmt"
@@ -149,6 +150,63 @@ func BenchmarkPublicAPI_CONN(b *testing.B) {
 		if _, _, err := db.CONN(queries[i%len(queries)]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCONNBatch measures the parallel batch API at several worker
+// counts over a fixed query set; near-linear scaling to 4 workers is the
+// target on the Table 2 default workload.
+func BenchmarkCONNBatch(b *testing.B) {
+	w := workload("CL", 1)
+	db, err := Open(w.Points, w.Obstacles)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	queries := make([]Segment, 32)
+	for i := range queries {
+		queries[i] = dataset.QuerySegment(rng, 0.045, w.Obstacles)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := db.CONNBatch(queries, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestDefaultCellQueryAllocBudget is the allocation guardrail for the query
+// hot path: a warm default-cell CONN query must stay within budget. The
+// post-optimization steady state is ~1.4k allocations; the budget leaves
+// slack for workload drift while still catching a regression to the
+// pre-optimization profile (tens of thousands).
+func TestDefaultCellQueryAllocBudget(t *testing.T) {
+	const budget = 2500
+	w := workload("CL", 1)
+	db, err := Open(w.Points, w.Obstacles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	queries := make([]Segment, 8)
+	for i := range queries {
+		queries[i] = dataset.QuerySegment(rng, 0.045, w.Obstacles)
+	}
+	for _, q := range queries { // warm the engine's pooled query state
+		if _, _, err := db.CONN(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	avg := testing.AllocsPerRun(20, func() {
+		db.CONN(queries[i%len(queries)])
+		i++
+	})
+	if avg > budget {
+		t.Errorf("warm default-cell CONN query: %.0f allocs, budget %d", avg, budget)
 	}
 }
 

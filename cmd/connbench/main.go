@@ -1,14 +1,21 @@
 // Command connbench regenerates the paper's evaluation figures (Gao &
-// Zheng, SIGMOD 2009, §5) as printed tables.
+// Zheng, SIGMOD 2009, §5) as printed tables, and measures the query hot
+// path into machine-readable BENCH_*.json records.
 //
 // Usage:
 //
 //	connbench [-fig all|9|10|11|12|13|ablations] [-scale 0.1] [-queries 100] [-seed 2009]
+//	connbench -json <dir> [-scale 0.1] [-queries 100] [-seed 2009]
 //
 // -scale 1 reproduces the paper's full dataset cardinalities (|CA| = 60,344
 // points, |LA| = 131,461 obstacles); the default 0.1 runs the whole suite in
-// minutes while preserving every curve's shape. See EXPERIMENTS.md for the
-// recorded outputs and the paper-vs-measured comparison.
+// minutes while preserving every curve's shape.
+//
+// -json runs the Table 2 default cell (CL, k = 5, ql = 4.5%) and writes
+// BENCH_table2_defaults.json (ns/op, bytes/op, allocs/op, NPE, NOE, |SVG|)
+// into the given directory instead of printing figures; the repository's
+// BENCH_baseline.json pins the pre-optimization numbers in the same schema
+// (see README.md).
 package main
 
 import (
@@ -26,10 +33,23 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "dataset cardinality scale (1 = the paper's sizes)")
 	queries := flag.Int("queries", 100, "queries per experiment cell")
 	seed := flag.Int64("seed", 2009, "workload seed")
+	jsonDir := flag.String("json", "", "measure the Table 2 default cell and write BENCH_*.json into this directory instead of printing figures")
 	flag.Parse()
 
 	cfg := bench.Config{Scale: *scale, Queries: *queries, Seed: *seed}
 	out := os.Stdout
+
+	if *jsonDir != "" {
+		res := bench.MeasureTable2Defaults(cfg)
+		path, err := bench.WriteJSON(*jsonDir, res)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "connbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(out, "%s: %.2f ms/op, %.0f allocs/op, NPE %.1f, NOE %.1f, |SVG| %.1f\n",
+			path, res.NsPerOp/1e6, res.AllocsPerOp, res.NPE, res.NOE, res.SVG)
+		return
+	}
 
 	runners := map[string]func(){
 		"9":         func() { bench.Fig9(out, cfg) },

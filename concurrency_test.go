@@ -6,6 +6,102 @@ import (
 	"testing"
 )
 
+// batchFixture builds a mid-size database plus a set of valid query
+// segments for the batch tests.
+func batchFixture(t *testing.T, nQueries int) (*DB, []Segment) {
+	t.Helper()
+	r := rand.New(rand.NewSource(701))
+	points := make([]Point, 600)
+	for i := range points {
+		points[i] = Pt(r.Float64()*5000, r.Float64()*5000)
+	}
+	obstacles := make([]Rect, 100)
+	for i := range obstacles {
+		lo := Pt(r.Float64()*5000, r.Float64()*5000)
+		obstacles[i] = R(lo.X, lo.Y, lo.X+40, lo.Y+30)
+	}
+	pts := points[:0]
+	for _, p := range points {
+		free := true
+		for _, o := range obstacles {
+			if o.ContainsOpen(p) {
+				free = false
+			}
+		}
+		if free {
+			pts = append(pts, p)
+		}
+	}
+	db, err := Open(pts, obstacles, WithBufferPages(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]Segment, nQueries)
+	for i := range queries {
+		a := Pt(r.Float64()*5000, r.Float64()*5000)
+		queries[i] = Seg(a, Pt(a.X+150+r.Float64()*100, a.Y+100))
+	}
+	return db, queries
+}
+
+// TestCONNBatchMatchesSequential races a CONNBatch worker pool (under the
+// race detector in CI) and requires exact agreement with the sequential
+// answers at every worker count.
+func TestCONNBatchMatchesSequential(t *testing.T) {
+	db, queries := batchFixture(t, 12)
+	want := make([]*Result, len(queries))
+	wantM := make([]Metrics, len(queries))
+	for i, q := range queries {
+		res, m, err := db.CONN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i], wantM[i] = res, m
+	}
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		got, ms, err := db.CONNBatch(queries, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(queries) || len(ms) != len(queries) {
+			t.Fatalf("workers=%d: %d results, %d metrics, want %d", workers, len(got), len(ms), len(queries))
+		}
+		for i := range queries {
+			if len(got[i].Tuples) != len(want[i].Tuples) {
+				t.Fatalf("workers=%d query %d: %d tuples, want %d", workers, i, len(got[i].Tuples), len(want[i].Tuples))
+			}
+			for j, tu := range got[i].Tuples {
+				w := want[i].Tuples[j]
+				if tu.PID != w.PID || tu.Span != w.Span {
+					t.Fatalf("workers=%d query %d tuple %d: got {%d %v}, want {%d %v}",
+						workers, i, j, tu.PID, tu.Span, w.PID, w.Span)
+				}
+			}
+			// The algorithmic metrics are deterministic per query, so batch
+			// workers must report exactly the sequential values (page faults
+			// depend on per-worker buffer state and are not compared).
+			if ms[i].NPE != wantM[i].NPE || ms[i].NOE != wantM[i].NOE || ms[i].SVG != wantM[i].SVG {
+				t.Fatalf("workers=%d query %d: metrics NPE/NOE/SVG = %d/%d/%d, want %d/%d/%d",
+					workers, i, ms[i].NPE, ms[i].NOE, ms[i].SVG, wantM[i].NPE, wantM[i].NOE, wantM[i].SVG)
+			}
+		}
+	}
+}
+
+// TestCONNBatchEdgeCases covers the empty batch and validation failures.
+func TestCONNBatchEdgeCases(t *testing.T) {
+	db, queries := batchFixture(t, 2)
+	res, ms, err := db.CONNBatch(nil, 4)
+	if err != nil || len(res) != 0 || len(ms) != 0 {
+		t.Fatalf("empty batch: res=%v ms=%v err=%v", res, ms, err)
+	}
+	bad := append([]Segment{}, queries...)
+	bad = append(bad, Seg(Pt(1, 1), Pt(1, 1))) // degenerate
+	if _, _, err := db.CONNBatch(bad, 4); err == nil {
+		t.Fatal("degenerate query in batch must fail validation")
+	}
+}
+
 func TestCloneProducesSameAnswers(t *testing.T) {
 	db := smallDB(t)
 	clone := db.Clone()

@@ -272,6 +272,23 @@ func (db *DB) CONN(q Segment) (*Result, Metrics, error) {
 	return res, m, nil
 }
 
+// CONNBatch answers a slice of CONN queries concurrently on a bounded
+// worker pool and returns results and metrics in input order. Each worker
+// queries through its own Clone — indexes are shared, page-fault counters
+// and the optional LRU buffer are per worker, and per-query scratch (the
+// local visibility graph, Dijkstra state, caches) is reused across all the
+// queries a worker processes. workers <= 0 selects GOMAXPROCS. All queries
+// are validated before any work starts.
+func (db *DB) CONNBatch(queries []Segment, workers int) ([]*Result, []Metrics, error) {
+	for i, q := range queries {
+		if err := db.validateQuery(q); err != nil {
+			return nil, nil, fmt.Errorf("connquery: batch query %d: %w", i, err)
+		}
+	}
+	results, metrics := core.RunCONNBatch(func() *core.Engine { return db.Clone().eng }, queries, workers)
+	return results, metrics, nil
+}
+
 // COKNN answers a continuous obstructed k-nearest-neighbor query (k >= 1).
 func (db *DB) COKNN(q Segment, k int) (*KResult, Metrics, error) {
 	if err := db.validateQuery(q); err != nil {

@@ -1,0 +1,3 @@
+module connquery
+
+go 1.24

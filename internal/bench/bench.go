@@ -8,8 +8,9 @@
 // The cardinalities scale linearly with the Scale parameter: Scale = 1
 // reproduces the paper's full |CA| = 60,344 and |LA| = 131,461; the default
 // harness scale of 0.1 keeps a full figure sweep within laptop-minutes. The
-// shape of every reported curve is preserved across scales (see
-// EXPERIMENTS.md).
+// shape of every reported curve is preserved across scales. Machine-readable
+// hot-path measurements are emitted as BENCH_*.json (see json.go and
+// `connbench -json`).
 package bench
 
 import (

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"connquery/internal/dataset"
+	"connquery/internal/geom"
+	"connquery/internal/stats"
+)
+
+// BenchResult is one machine-readable benchmark record, emitted as
+// BENCH_<name>.json. The repository tracks the query hot path's trajectory
+// through these files: BENCH_baseline.json pins the numbers before the
+// targeted-search overhaul, and `connbench -json` regenerates a current
+// measurement in the same schema.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Tool        string  `json:"tool"` // what produced the numbers and how
+	Scale       float64 `json:"scale"`
+	Queries     int     `json:"queries"`
+	K           int     `json:"k"`
+	QL          float64 `json:"ql"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	NPE         float64 `json:"npe"`
+	NOE         float64 `json:"noe"`
+	SVG         float64 `json:"svg"`
+	Timestamp   string  `json:"timestamp"`
+}
+
+// MeasureTable2Defaults times the paper's default parameter cell (CL, k = 5,
+// ql = 4.5%, |P|/|O| = 1, no buffer). One op is one COkNN query against a
+// prebuilt engine — index construction is excluded, so the number isolates
+// the query hot path this schema exists to track.
+func MeasureTable2Defaults(cfg Config) BenchResult {
+	cfg = cfg.norm()
+	w := BuildWorkload("CL", cfg.Scale, DefaultRatio, cfg.Seed)
+	eng, _ := buildEngine(w, RunConfig{}.withDefaults())
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	queries := make([]geom.Segment, cfg.Queries)
+	for i := range queries {
+		queries[i] = dataset.QuerySegment(rng, DefaultQL, w.Obstacles)
+	}
+	// Warm the engine's pooled query state so steady-state costs are
+	// measured, then snapshot allocator counters around the timed loop.
+	eng.COKNN(queries[0], DefaultK)
+
+	var agg stats.Aggregate
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for _, q := range queries {
+		_, m := eng.COKNN(q, DefaultK)
+		agg.Add(m)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	mean := agg.Mean()
+	ops := float64(len(queries))
+	return BenchResult{
+		Name:        "table2_defaults",
+		Tool:        "connbench -json (one op = one COkNN query, index build excluded)",
+		Scale:       cfg.Scale,
+		Queries:     cfg.Queries,
+		K:           DefaultK,
+		QL:          DefaultQL,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / ops,
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / ops,
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / ops,
+		NPE:         mean.NPE,
+		NOE:         mean.NOE,
+		SVG:         mean.SVG,
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// WriteJSON writes r to dir/BENCH_<name>.json and returns the path.
+func WriteJSON(dir string, r BenchResult) (string, error) {
+	path := filepath.Join(dir, "BENCH_"+r.Name+".json")
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

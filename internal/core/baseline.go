@@ -33,6 +33,7 @@ func (e *Engine) ONN(pt geom.Point, k int) ([]Neighbor, stats.QueryMetrics) {
 	}
 	start := time.Now()
 	qs := e.newQueryState(geom.Seg(pt, pt))
+	defer e.release(qs)
 
 	var best []Neighbor // sorted ascending by Dist, length <= k
 	kth := func() float64 {
@@ -76,6 +77,7 @@ func (e *Engine) ONN(pt geom.Point, k int) ([]Neighbor, stats.QueryMetrics) {
 func (e *Engine) CNN(q geom.Segment) (*Result, stats.QueryMetrics) {
 	start := time.Now()
 	qs := e.newQueryState(q)
+	defer e.release(qs)
 	rl := []ResultEntry{{PID: NoOwner, Span: geom.Span{Lo: 0, Hi: 1}}}
 	for {
 		bound, ok := qs.peekPointBound()

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"connquery/internal/geom"
+	"connquery/internal/stats"
+)
+
+// cloneView returns an engine over the same immutable indexes with fresh
+// page-fault counters and a fresh query-state pool, so one batch worker can
+// query independently of its siblings. R-tree nodes, obstacle storage and
+// options are shared; per-query mutable state is not.
+func (e *Engine) cloneView() *Engine {
+	cp := &Engine{Obstacles: e.Obstacles, Opts: e.Opts}
+	if e.OneTree() {
+		c := &stats.PageCounter{}
+		cp.Unified = e.Unified.View(c)
+		cp.DataCounter = c
+		return cp
+	}
+	dc, oc := &stats.PageCounter{}, &stats.PageCounter{}
+	cp.Data = e.Data.View(dc)
+	cp.Obst = e.Obst.View(oc)
+	cp.DataCounter, cp.ObstCounter = dc, oc
+	return cp
+}
+
+// CONNBatch answers a slice of CONN queries on a bounded worker pool and
+// returns the per-query results and metrics in input order. Each worker owns
+// an engine view (shared indexes, private counters) and a private query
+// state, which it reuses across every query it processes — the same warm
+// visibility-graph and Dijkstra buffers a sequential loop would enjoy.
+// workers <= 0 selects GOMAXPROCS. Page faults are counted per worker
+// without an LRU buffer; callers that model buffered I/O should use the
+// public DB.CONNBatch, whose workers carry per-clone buffers.
+func (e *Engine) CONNBatch(queries []geom.Segment, workers int) ([]*Result, []stats.QueryMetrics) {
+	return RunCONNBatch(e.cloneView, queries, workers)
+}
+
+// RunCONNBatch is the worker pool shared by Engine.CONNBatch and the public
+// DB.CONNBatch: newWorker builds one independent engine per worker (shared
+// immutable indexes, private mutable state), and queries are handed out by
+// an atomic cursor so workers stay busy regardless of per-query cost skew.
+func RunCONNBatch(newWorker func() *Engine, queries []geom.Segment, workers int) ([]*Result, []stats.QueryMetrics) {
+	n := len(queries)
+	results := make([]*Result, n)
+	metrics := make([]stats.QueryMetrics, n)
+	if n == 0 {
+		return results, metrics
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			we := newWorker()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				results[i], metrics[i] = we.CONN(queries[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results, metrics
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"connquery/internal/geom"
+)
+
+// TestEngineCONNBatchMatchesSequential exercises the engine-level batch API
+// (including cloneView) in both tree modes against sequential CONN.
+func TestEngineCONNBatchMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	sc := randScene(r, 60, 25, 1000)
+	queries := make([]geom.Segment, 10)
+	for i := range queries {
+		s2 := randScene(r, 1, 0, 1000) // reuse the generator's segment logic
+		queries[i] = s2.q
+	}
+	for _, oneTree := range []bool{false, true} {
+		eng := sc.engine(Options{}, oneTree)
+		want := make([]*Result, len(queries))
+		for i, q := range queries {
+			want[i], _ = eng.CONN(q)
+		}
+		for _, workers := range []int{0, 1, 3} {
+			res, ms := eng.CONNBatch(queries, workers)
+			if len(res) != len(queries) || len(ms) != len(queries) {
+				t.Fatalf("oneTree=%v workers=%d: %d results, %d metrics", oneTree, workers, len(res), len(ms))
+			}
+			for i := range queries {
+				if len(res[i].Tuples) != len(want[i].Tuples) {
+					t.Fatalf("oneTree=%v workers=%d query %d: %d tuples, want %d",
+						oneTree, workers, i, len(res[i].Tuples), len(want[i].Tuples))
+				}
+				for j := range res[i].Tuples {
+					if res[i].Tuples[j].PID != want[i].Tuples[j].PID ||
+						res[i].Tuples[j].Span != want[i].Tuples[j].Span {
+						t.Fatalf("oneTree=%v workers=%d query %d tuple %d differs",
+							oneTree, workers, i, j)
+					}
+				}
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"slices"
 	"sort"
 	"time"
 
@@ -38,6 +39,7 @@ func (e *Engine) COKNN(q geom.Segment, k int) (*KResult, stats.QueryMetrics) {
 	}
 
 	qs := e.newQueryState(q)
+	defer e.release(qs)
 	kl := []kEntry{{Span: geom.Span{Lo: 0, Hi: 1}}}
 
 	for {
@@ -119,13 +121,14 @@ func (qs *queryState) resolveKCell(q geom.Segment, cell geom.Span, old kEntry, p
 	// owners ∪ {cand}. Within each sub-cell the ranking of all k+1 distance
 	// functions is fixed, so the k-set is decided by a midpoint evaluation.
 	all := append(append([]Owner(nil), old.Owners...), cand)
-	cuts := []float64{cell.Lo, cell.Hi}
+	cuts := append(qs.cutScratch[:0], cell.Lo, cell.Hi)
 	for a := 0; a < len(all); a++ {
 		for b := a + 1; b < len(all); b++ {
-			cuts = append(cuts, quadraticCrossings(q, cell, all[a].Fn, all[b].Fn)...)
+			cuts = appendQuadraticCrossings(cuts, q, cell, all[a].Fn, all[b].Fn)
 		}
 	}
 	sort.Float64s(cuts)
+	qs.cutScratch = cuts[:0]
 	var out []kEntry
 	for i := 1; i < len(cuts); i++ {
 		sub := geom.Span{Lo: cuts[i-1], Hi: cuts[i]}
@@ -134,8 +137,15 @@ func (qs *queryState) resolveKCell(q geom.Segment, cell geom.Span, old kEntry, p
 		}
 		mid := sub.Mid()
 		ranked := append([]Owner(nil), all...)
-		sort.SliceStable(ranked, func(a, b int) bool {
-			return ranked[a].Fn.eval(q, mid) < ranked[b].Fn.eval(q, mid)
+		slices.SortStableFunc(ranked, func(a, b Owner) int {
+			da, db := a.Fn.eval(q, mid), b.Fn.eval(q, mid)
+			switch {
+			case da < db:
+				return -1
+			case da > db:
+				return 1
+			}
+			return 0
 		})
 		out = append(out, kEntry{Span: sub, Owners: ranked[:k]})
 	}
@@ -167,7 +177,15 @@ func rlkMax(q geom.Segment, kl []kEntry, k int) float64 {
 // normalizeKL merges adjacent entries whose owner lists are identical
 // (same PIDs and same distance functions).
 func normalizeKL(kl []kEntry) []kEntry {
-	sort.Slice(kl, func(i, j int) bool { return kl[i].Span.Lo < kl[j].Span.Lo })
+	slices.SortFunc(kl, func(a, b kEntry) int {
+		switch {
+		case a.Span.Lo < b.Span.Lo:
+			return -1
+		case a.Span.Lo > b.Span.Lo:
+			return 1
+		}
+		return 0
+	})
 	out := kl[:0]
 	for _, e := range kl {
 		if e.Span.Empty() {

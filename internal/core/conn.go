@@ -24,6 +24,7 @@ func (e *Engine) CONN(q geom.Segment) (*Result, stats.QueryMetrics) {
 	}
 
 	qs := e.newQueryState(q)
+	defer e.release(qs)
 	rl := []ResultEntry{{PID: NoOwner, Span: geom.Span{Lo: 0, Hi: 1}}}
 
 	for {

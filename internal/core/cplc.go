@@ -2,7 +2,7 @@ package core
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"connquery/internal/geom"
 	"connquery/internal/interval"
@@ -11,71 +11,80 @@ import (
 
 // computeCPL is Algorithm 2 (Control Point List Computation). It traverses
 // the local visibility graph from the transient node pNode in ascending
-// obstructed distance (a full Dijkstra, then ordered scan), and for each
-// node v considers it as a candidate control point over the part of q it can
-// serve: its visible region minus its Dijkstra predecessor's visible region
-// (Lemma 5). Candidates are folded into the control point list with the
-// quadratic Split function; Lemma 7's CPLMAX bound terminates the scan.
+// obstructed distance, and for each node v considers it as a candidate
+// control point over the part of q it can serve: its visible region minus
+// its Dijkstra predecessor's visible region (Lemma 5). Candidates are folded
+// into the control point list with the quadratic Split function; Lemma 7's
+// CPLMAX bound terminates the scan.
+//
+// Instead of a full Dijkstra followed by a sort, the scan resumes IOR's
+// final search for pNode (the graph is unchanged between IOR's convergence
+// and this call, which the search's validity check asserts): Dijkstra
+// already settles nodes in ascending distance, so candidates are consumed
+// as they settle — in batches of equal distance sorted by NodeID, exactly
+// the (distance, id) order the sorted scan used — and nodes beyond Lemma
+// 7's cutoff are never settled at all.
 //
 // IOR must have run for pNode first so that every obstacle in SR(p, q) is in
 // the graph; Theorem 2 then guarantees the true shortest path to any point
 // of q only turns at loaded vertices, so the produced CPL is exact.
 func (qs *queryState) computeCPL(pNode visgraph.NodeID) CPL {
-	dist, prev := qs.vg.ShortestPaths(pNode)
-
-	type cand struct {
-		id visgraph.NodeID
-		d  float64
+	s := qs.search
+	if s == nil || !s.Valid() || s.Src() != pNode {
+		s = qs.vg.NewSearch(pNode)
+		qs.search = s
 	}
-	order := make([]cand, 0, len(dist))
-	for i, d := range dist {
-		if !math.IsInf(d, 1) && qs.vg.Kind(visgraph.NodeID(i)) != visgraph.KindAnchor {
-			order = append(order, cand{visgraph.NodeID(i), d})
-		}
+	cpl := append(qs.cplScratch[:0], CPLEntry{Span: geom.Span{Lo: 0, Hi: 1}})
+	done := func() CPL {
+		qs.cplScratch = cpl[:0] // keep the buffer; hand out a private copy
+		out := make(CPL, len(cpl))
+		copy(out, cpl)
+		return out
 	}
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].d != order[j].d {
-			return order[i].d < order[j].d
+	for {
+		batch := s.SettleBatch()
+		if batch == nil {
+			return done() // reachable component exhausted
 		}
-		return order[i].id < order[j].id
-	})
-
-	cpl := CPL{{Span: geom.Span{Lo: 0, Hi: 1}}}
-	for _, c := range order {
-		if !qs.eng.Opts.DisableLemma7 && c.d >= cplMax(qs.q, cpl) {
-			break // Lemma 7: no farther node can enter the CPL
-		}
-		var region interval.Set
-		if c.id == pNode {
-			region = qs.visibleRegion(c.id)
-		} else {
-			region = qs.visibleRegion(c.id)
-			if u := prev[c.id]; u != visgraph.Invalid {
-				// Lemma 5: v cannot control any interval its predecessor
-				// also sees.
-				uRegion := qs.visibleRegion(u)
-				region = region.Subtract(uRegion)
-				if !qs.eng.Opts.DisableLemma6 {
-					region = refineLemma6(qs.q, region, uRegion,
-						qs.vg.Point(u), qs.vg.Point(c.id))
+		for _, id := range batch {
+			if qs.vg.Kind(id) == visgraph.KindAnchor {
+				continue
+			}
+			d := s.Dist(id)
+			if !qs.eng.Opts.DisableLemma7 && d >= cplMax(qs.q, cpl) {
+				return done() // Lemma 7: no farther node can enter the CPL
+			}
+			region := qs.visibleRegion(id)
+			if id != pNode {
+				if u := s.Prev(id); u != visgraph.Invalid {
+					// Lemma 5: v cannot control any interval its predecessor
+					// also sees.
+					uRegion := qs.visibleRegion(u)
+					region = region.Subtract(uRegion)
+					if !qs.eng.Opts.DisableLemma6 {
+						region = refineLemma6(qs.q, region, uRegion,
+							qs.vg.Point(u), qs.vg.Point(id))
+					}
 				}
 			}
+			if region.Empty() {
+				continue
+			}
+			fn := distFn{CP: qs.vg.Point(id), Base: d}
+			cpl = qs.mergeCandidateCPL(cpl, region, fn)
 		}
-		if region.Empty() {
-			continue
-		}
-		fn := distFn{CP: qs.vg.Point(c.id), Base: c.d}
-		cpl = mergeCandidateCPL(qs.q, cpl, region, fn, qs.eng.Opts.UseBisectionSolver)
 	}
-	return cpl
 }
 
 // mergeCandidateCPL folds a candidate control point (fn over region) into
 // the list: inside the region, each entry either adopts the candidate (∅
 // entries, Algorithm 2 lines 11-12) or is split against it (lines 13-14);
-// outside, entries are untouched.
-func mergeCandidateCPL(q geom.Segment, cpl CPL, region interval.Set, fn distFn, bisect bool) CPL {
-	out := make(CPL, 0, len(cpl)+2)
+// outside, entries are untouched. The result is built in a scratch buffer
+// that ping-pongs with the input: it stays valid only until the following
+// mergeCandidateCPL call on this query state.
+func (qs *queryState) mergeCandidateCPL(cpl CPL, region interval.Set, fn distFn) CPL {
+	q := qs.q
+	out := qs.cplMergeScratch[:0]
 	for _, e := range cpl {
 		inter := region.IntersectSpan(e.Span)
 		if inter.Empty() {
@@ -91,7 +100,9 @@ func mergeCandidateCPL(q geom.Segment, cpl CPL, region interval.Set, fn distFn, 
 				out = append(out, CPLEntry{Span: sp, Fn: fn, Valid: true})
 				continue
 			}
-			for _, pc := range splitPieces(q, sp, e.Fn, fn, bisect) {
+			pieces := appendSplitPieces(qs.pieceScratch[:0], q, sp, e.Fn, fn, qs.eng.Opts.UseBisectionSolver)
+			qs.pieceScratch = pieces[:0]
+			for _, pc := range pieces {
 				if pc.FirstWins {
 					out = append(out, CPLEntry{Span: pc.Span, Fn: e.Fn, Valid: true})
 				} else {
@@ -100,6 +111,7 @@ func mergeCandidateCPL(q geom.Segment, cpl CPL, region interval.Set, fn distFn, 
 			}
 		}
 	}
+	qs.cplMergeScratch = cpl[:0] // the input buffer backs the next merge
 	return normalizeCPL(out)
 }
 
@@ -143,7 +155,15 @@ func pointInTriangle(p, a, b, c geom.Point) bool {
 // normalizeCPL sorts entries and merges adjacent entries with identical
 // owners (footnote 6's merge rule).
 func normalizeCPL(cpl CPL) CPL {
-	sort.Slice(cpl, func(i, j int) bool { return cpl[i].Span.Lo < cpl[j].Span.Lo })
+	slices.SortFunc(cpl, func(a, b CPLEntry) int {
+		switch {
+		case a.Span.Lo < b.Span.Lo:
+			return -1
+		case a.Span.Lo > b.Span.Lo:
+			return 1
+		}
+		return 0
+	})
 	out := cpl[:0]
 	for _, e := range cpl {
 		if e.Span.Empty() {

@@ -14,6 +14,7 @@ func (e *Engine) ObstructedDistance(a, b geom.Point) float64 {
 		return 0
 	}
 	qs := e.newQueryState(geom.Seg(a, b))
+	defer e.release(qs)
 	pNode := qs.vg.AddPoint(a, visgraph.KindTransient)
 	_, dE := qs.ior(pNode)
 	return dE

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sync"
 
 	"connquery/internal/geom"
 	"connquery/internal/interval"
@@ -30,6 +31,10 @@ type Engine struct {
 	// snapshots around each query. In one-tree mode only DataCounter is used.
 	DataCounter *stats.PageCounter
 	ObstCounter *stats.PageCounter
+
+	// qsPool recycles per-query state (the local visibility graph, Dijkstra
+	// scratch, caches) across queries on this engine.
+	qsPool sync.Pool
 }
 
 // OneTree reports whether the engine runs in the single-R-tree mode.
@@ -60,14 +65,35 @@ type queryState struct {
 
 	vrCache   map[visgraph.NodeID]interval.Set
 	vrVersion int
+
+	// search is IOR's final Dijkstra state for the current transient point;
+	// CPLC resumes it (validity-checked) instead of re-running from scratch.
+	search *visgraph.Search
+
+	// Scratch buffers recycled across the per-point pipeline.
+	pieceScratch    []piece     // splitPieces output
+	cutScratch      []float64   // COkNN pairwise-crossing cuts
+	spanScratch     []geom.Span // VisibleSpans output
+	rayScratch      []float64   // VisibleSpans candidate cut parameters
+	cplScratch      CPL         // computeCPL working list
+	cplMergeScratch CPL         // mergeCandidateCPL ping-pong partner
 }
 
 func (e *Engine) newQueryState(q geom.Segment) *queryState {
-	qs := &queryState{
-		eng:     e,
-		q:       q,
-		vrCache: make(map[visgraph.NodeID]interval.Set),
+	qs, _ := e.qsPool.Get().(*queryState)
+	if qs == nil {
+		qs = &queryState{
+			vg:      visgraph.New(),
+			vrCache: make(map[visgraph.NodeID]interval.Set),
+		}
 	}
+	qs.eng = e
+	qs.q = q
+	qs.npe, qs.noe, qs.svgs = 0, 0, 0
+	qs.loadedUpTo = 0
+	qs.search = nil
+	qs.ptIter, qs.obstIter, qs.unifIter = nil, nil, nil
+	qs.pending.Reset()
 	qs.resetVG()
 	if e.OneTree() {
 		qs.unifIter = e.Unified.NewNearestIter(rtree.SegmentTarget{Seg: q})
@@ -78,14 +104,20 @@ func (e *Engine) newQueryState(q geom.Segment) *queryState {
 	return qs
 }
 
+// release returns a query state to the engine's pool so the next query on
+// this engine reuses its visibility graph, Dijkstra scratch and caches. The
+// caller must not touch qs afterwards.
+func (e *Engine) release(qs *queryState) { e.qsPool.Put(qs) }
+
 // resetVG (re)initializes the local visibility graph to just the two anchor
 // endpoints of q (paper §1: "Initially, the local visibility graph only
-// contains two endpoints of a given query line segment").
+// contains two endpoints of a given query line segment"), retaining the
+// graph's allocated capacity.
 func (qs *queryState) resetVG() {
-	qs.vg = visgraph.New()
+	qs.vg.Reset()
 	qs.sID = qs.vg.AddPoint(qs.q.A, visgraph.KindAnchor)
 	qs.eID = qs.vg.AddPoint(qs.q.B, visgraph.KindAnchor)
-	qs.vrCache = make(map[visgraph.NodeID]interval.Set)
+	clear(qs.vrCache)
 	qs.vrVersion = qs.vg.Version()
 }
 
@@ -164,18 +196,12 @@ func (qs *queryState) peekPointBound() (float64, bool) {
 		return qs.ptIter.PeekDist()
 	}
 	for {
-		if !qs.pending.Empty() {
-			pk := qs.pending.PeekKey()
-			if bound, ok := qs.unifIter.PeekDist(); !ok || pk <= bound {
-				return pk, true
-			}
-		}
 		bound, ok := qs.unifIter.PeekDist()
-		if !ok {
-			if qs.pending.Empty() {
-				return 0, false
-			}
+		if !qs.pending.Empty() && (!ok || qs.pending.PeekKey() <= bound) {
 			return qs.pending.PeekKey(), true
+		}
+		if !ok {
+			return 0, false
 		}
 		item, key, _ := qs.unifIter.Next()
 		if item.Kind == rtree.KindObstacle {
@@ -184,7 +210,6 @@ func (qs *queryState) peekPointBound() (float64, bool) {
 			continue
 		}
 		qs.pending.Push(key, item)
-		_ = bound
 	}
 }
 
@@ -208,8 +233,14 @@ func (qs *queryState) nextPoint() (rtree.Item, float64, bool) {
 // and E (+Inf when p is sealed off from q by obstacles).
 func (qs *queryState) ior(pNode visgraph.NodeID) (dS, dE float64) {
 	for {
-		dist, _ := qs.vg.ShortestPaths(pNode)
-		dS, dE = dist[qs.sID], dist[qs.eID]
+		// Multi-target Dijkstra: stop as soon as both anchors are settled
+		// instead of settling the whole graph. The search (heap included) is
+		// kept so CPLC can resume it for the same source when the graph has
+		// not changed since.
+		s := qs.vg.NewSearch(pNode)
+		s.SettleTargets(qs.sID, qs.eID)
+		qs.search = s
+		dS, dE = s.Dist(qs.sID), s.Dist(qs.eID)
 		dp := math.Max(dS, dE)
 		if math.IsInf(dp, 1) {
 			// The graph loaded so far seals p off; more obstacles may open a
@@ -235,7 +266,7 @@ func (qs *queryState) ior(pNode visgraph.NodeID) (dS, dE float64) {
 // cached because their IDs are recycled.
 func (qs *queryState) visibleRegion(id visgraph.NodeID) interval.Set {
 	if v := qs.vg.Version(); v != qs.vrVersion {
-		qs.vrCache = make(map[visgraph.NodeID]interval.Set)
+		clear(qs.vrCache) // keep the buckets; this runs once per loaded obstacle
 		qs.vrVersion = v
 	}
 	transient := qs.vg.Kind(id) == visgraph.KindTransient
@@ -247,7 +278,10 @@ func (qs *queryState) visibleRegion(id visgraph.NodeID) interval.Set {
 	p := qs.vg.Point(id)
 	bb := geom.RectFromPoints(p, qs.q.A, qs.q.B)
 	obs := qs.vg.ObstaclesNear(bb)
-	s := interval.FromSpans(geom.VisibleSpans(p, qs.q, obs))
+	var spans []geom.Span
+	spans, qs.rayScratch = geom.VisibleSpansInto(qs.spanScratch, qs.rayScratch, p, qs.q, obs)
+	qs.spanScratch = spans
+	s := interval.FromSpans(spans) // FromSpans copies, so the scratch is safe
 	if !transient {
 		qs.vrCache[id] = s
 	}

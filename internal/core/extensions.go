@@ -83,6 +83,7 @@ func (tr *TrajectoryResult) OwnerAt(t float64) (Tuple, bool) {
 func (e *Engine) ObstructedRange(center geom.Point, radius float64) ([]Neighbor, stats.QueryMetrics) {
 	start := time.Now()
 	qs := e.newQueryState(geom.Seg(center, center))
+	defer e.release(qs)
 	var out []Neighbor
 	for {
 		bound, ok := qs.peekPointBound()

@@ -140,6 +140,7 @@ func (eng *Engine) VisibleKNN(p geom.Point, k int) ([]Neighbor, stats.QueryMetri
 	}
 	start := time.Now()
 	qs := eng.newQueryState(geom.Seg(p, p))
+	defer eng.release(qs)
 
 	var best []Neighbor
 	kth := func() float64 {

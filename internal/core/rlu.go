@@ -2,7 +2,7 @@ package core
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"connquery/internal/geom"
 	"connquery/internal/interval"
@@ -73,7 +73,9 @@ func (qs *queryState) resolveCell(q geom.Segment, cell geom.Span, old ResultEntr
 		}
 	}
 	var out []ResultEntry
-	for _, pc := range splitPieces(q, cell, old.Fn, cand.Fn, qs.eng.Opts.UseBisectionSolver) {
+	pieces := appendSplitPieces(qs.pieceScratch[:0], q, cell, old.Fn, cand.Fn, qs.eng.Opts.UseBisectionSolver)
+	qs.pieceScratch = pieces[:0]
+	for _, pc := range pieces {
 		if pc.FirstWins {
 			out = append(out, ResultEntry{PID: old.PID, P: old.P, Fn: old.Fn, Span: pc.Span})
 		} else {
@@ -86,7 +88,15 @@ func (qs *queryState) resolveCell(q geom.Segment, cell geom.Span, old ResultEntr
 // normalizeRL sorts by span start and merges adjacent entries with the same
 // owner and control point (footnote 6).
 func normalizeRL(rl []ResultEntry) []ResultEntry {
-	sort.Slice(rl, func(i, j int) bool { return rl[i].Span.Lo < rl[j].Span.Lo })
+	slices.SortFunc(rl, func(a, b ResultEntry) int {
+		switch {
+		case a.Span.Lo < b.Span.Lo:
+			return -1
+		case a.Span.Lo > b.Span.Lo:
+			return 1
+		}
+		return 0
+	})
 	out := rl[:0]
 	for _, e := range rl {
 		if e.Span.Empty() {

@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"sort"
 
 	"connquery/internal/geom"
 )
@@ -25,19 +24,25 @@ type piece struct {
 // When useBisection is set, the crossings are located by a numeric grid scan
 // plus bisection instead of the closed-form quadratic (ablation baseline).
 func splitPieces(q geom.Segment, span geom.Span, f1, f2 distFn, useBisection bool) []piece {
-	var roots []float64
-	if useBisection {
-		roots = bisectionCrossings(q, span, f1, f2)
-	} else {
-		roots = quadraticCrossings(q, span, f1, f2)
-	}
-	cuts := make([]float64, 0, len(roots)+2)
-	cuts = append(cuts, span.Lo)
-	cuts = append(cuts, roots...)
-	cuts = append(cuts, span.Hi)
-	sort.Float64s(cuts)
+	return appendSplitPieces(nil, q, span, f1, f2, useBisection)
+}
 
-	var pieces []piece
+// appendSplitPieces is splitPieces appending into dst, so hot callers can
+// recycle a scratch buffer. The result aliases dst's storage when it fits.
+func appendSplitPieces(dst []piece, q geom.Segment, span geom.Span, f1, f2 distFn, useBisection bool) []piece {
+	var cutsArr [8]float64 // 2 endpoints + Theorem 1's <= 2 roots, with room
+	cuts := append(cutsArr[:0], span.Lo)
+	if useBisection {
+		cuts = appendBisectionCrossings(cuts, q, span, f1, f2)
+	} else {
+		cuts = appendQuadraticCrossings(cuts, q, span, f1, f2)
+	}
+	cuts = append(cuts, span.Hi)
+	// cuts is sorted by construction: span.Lo leads, the appended crossings
+	// arrive sorted and clamped into [span.Lo, span.Hi], and span.Hi closes.
+
+	base := len(dst)
+	pieces := dst
 	for i := 1; i < len(cuts); i++ {
 		cell := geom.Span{Lo: cuts[i-1], Hi: cuts[i]}
 		if cell.Len() <= splitEps {
@@ -45,19 +50,19 @@ func splitPieces(q geom.Segment, span geom.Span, f1, f2 distFn, useBisection boo
 		}
 		mid := cell.Mid()
 		firstWins := f1.eval(q, mid) <= f2.eval(q, mid)
-		if n := len(pieces); n > 0 && pieces[n-1].FirstWins == firstWins {
+		if n := len(pieces); n > base && pieces[n-1].FirstWins == firstWins {
 			pieces[n-1].Span.Hi = cell.Hi
 		} else {
 			pieces = append(pieces, piece{cell, firstWins})
 		}
 	}
-	if len(pieces) == 0 {
+	if len(pieces) == base {
 		// The whole span collapsed numerically; decide by the midpoint.
 		mid := span.Mid()
 		pieces = append(pieces, piece{span, f1.eval(q, mid) <= f2.eval(q, mid)})
 	} else {
 		// Snap the outer boundaries exactly back to the input span.
-		pieces[0].Span.Lo = span.Lo
+		pieces[base].Span.Lo = span.Lo
 		pieces[len(pieces)-1].Span.Hi = span.Hi
 	}
 	return pieces
@@ -76,13 +81,19 @@ func splitPieces(q geom.Segment, span geom.Span, f1, f2 distFn, useBisection boo
 // a genuine quadratic in t (the paper's Theorem 1). Spurious roots
 // introduced by squaring are rejected by back-substitution.
 func quadraticCrossings(q geom.Segment, span geom.Span, f1, f2 distFn) []float64 {
+	return appendQuadraticCrossings(nil, q, span, f1, f2)
+}
+
+// appendQuadraticCrossings appends the (sorted, deduplicated) crossings to
+// dst and returns dst. It never appends more than two roots (Theorem 1).
+func appendQuadraticCrossings(dst []float64, q geom.Segment, span geom.Span, f1, f2 distFn) []float64 {
 	u, v := f1.CP, f2.CP
 	d := f2.Base - f1.Base
 
 	D := q.Dir()
 	alpha := D.Norm2()
 	if alpha <= geom.Eps*geom.Eps {
-		return nil // degenerate query segment: constant functions
+		return dst // degenerate query segment: constant functions
 	}
 	su := q.A.Sub(u)
 	sv := q.A.Sub(v)
@@ -106,15 +117,14 @@ func quadraticCrossings(q geom.Segment, span geom.Span, f1, f2 distFn) []float64
 		return t, true
 	}
 
-	var roots []float64
 	if math.Abs(d) <= geom.Eps {
 		// A = B: the linear equation L(t) = 0.
 		if math.Abs(L1) > geom.Eps*(1+math.Abs(L0)) {
 			if t, ok := accept(-L0 / L1); ok {
-				roots = append(roots, t)
+				dst = append(dst, t)
 			}
 		}
-		return dedupeSorted(roots)
+		return dst
 	}
 
 	// (L1 t + (L0 - d^2))^2 = 4 d^2 (alpha t^2 + bv t + gv)
@@ -123,34 +133,43 @@ func quadraticCrossings(q geom.Segment, span geom.Span, f1, f2 distFn) []float64
 	qb := 2*L1*c - 4*d*d*bv
 	qc := c*c - 4*d*d*gv
 
-	for _, t := range solveQuadratic(qa, qb, qc) {
+	rr, n := solveQuadratic(qa, qb, qc)
+	base := len(dst)
+	for _, t := range rr[:n] {
 		if rt, ok := accept(t); ok {
-			roots = append(roots, rt)
+			// Roots arrive sorted; drop a second root within splitEps of the
+			// first (the old dedupeSorted rule).
+			if len(dst) > base && rt-dst[len(dst)-1] <= splitEps {
+				continue
+			}
+			dst = append(dst, rt)
 		}
 	}
-	return dedupeSorted(roots)
+	return dst
 }
 
-// solveQuadratic returns the real roots of qa t^2 + qb t + qc = 0 using the
-// numerically stable citardauq form for the smaller root.
-func solveQuadratic(qa, qb, qc float64) []float64 {
+// solveQuadratic returns the real roots of qa t^2 + qb t + qc = 0 (sorted,
+// n of them) using the numerically stable citardauq form for the smaller
+// root.
+func solveQuadratic(qa, qb, qc float64) (roots [2]float64, n int) {
 	scale := math.Abs(qa) + math.Abs(qb) + math.Abs(qc)
 	if scale == 0 {
-		return nil
+		return roots, 0
 	}
 	if math.Abs(qa) <= 1e-14*scale {
 		// Effectively linear.
 		if math.Abs(qb) <= 1e-14*scale {
-			return nil
+			return roots, 0
 		}
-		return []float64{-qc / qb}
+		roots[0] = -qc / qb
+		return roots, 1
 	}
 	disc := qb*qb - 4*qa*qc
 	if disc < 0 {
 		if disc > -1e-10*scale*scale {
 			disc = 0 // grazing contact
 		} else {
-			return nil
+			return roots, 0
 		}
 	}
 	sq := math.Sqrt(disc)
@@ -162,22 +181,25 @@ func solveQuadratic(qa, qb, qc float64) []float64 {
 	}
 	r1 := q / qa
 	if q == 0 {
-		return []float64{r1}
+		roots[0] = r1
+		return roots, 1
 	}
 	r2 := qc / q
 	if r1 > r2 {
 		r1, r2 = r2, r1
 	}
-	return []float64{r1, r2}
+	roots[0], roots[1] = r1, r2
+	return roots, 2
 }
 
-// bisectionCrossings locates sign changes of g(t) = f1(t) - f2(t) by a grid
-// scan followed by bisection. It is the ablation baseline for the quadratic
-// solver: simpler but slower and only grid-resolution complete.
-func bisectionCrossings(q geom.Segment, span geom.Span, f1, f2 distFn) []float64 {
+// appendBisectionCrossings locates sign changes of g(t) = f1(t) - f2(t) by a
+// grid scan followed by bisection, appending the (sorted, deduplicated)
+// roots to dst. It is the ablation baseline for the quadratic solver:
+// simpler but slower and only grid-resolution complete.
+func appendBisectionCrossings(dst []float64, q geom.Segment, span geom.Span, f1, f2 distFn) []float64 {
 	const grid = 128
 	g := func(t float64) float64 { return f1.eval(q, t) - f2.eval(q, t) }
-	var roots []float64
+	base := len(dst)
 	prevT := span.Lo
 	prevG := g(prevT)
 	for i := 1; i <= grid; i++ {
@@ -193,23 +215,11 @@ func bisectionCrossings(q geom.Segment, span geom.Span, f1, f2 distFn) []float64
 					hi = mid
 				}
 			}
-			roots = append(roots, (lo+hi)/2)
+			if r := (lo + hi) / 2; len(dst) == base || r-dst[len(dst)-1] > splitEps {
+				dst = append(dst, r)
+			}
 		}
 		prevT, prevG = t, cur
 	}
-	return dedupeSorted(roots)
-}
-
-func dedupeSorted(roots []float64) []float64 {
-	if len(roots) < 2 {
-		return roots
-	}
-	sort.Float64s(roots)
-	out := roots[:1]
-	for _, r := range roots[1:] {
-		if r-out[len(out)-1] > splitEps {
-			out = append(out, r)
-		}
-	}
-	return out
+	return dst
 }

@@ -188,7 +188,8 @@ func TestSolveQuadratic(t *testing.T) {
 		{0, 0, 0, nil},              // degenerate zero
 	}
 	for _, c := range cases {
-		got := solveQuadratic(c.a, c.b, c.c)
+		rr, n := solveQuadratic(c.a, c.b, c.c)
+		got := rr[:n]
 		if len(got) != len(c.want) {
 			t.Errorf("solveQuadratic(%v,%v,%v) = %v, want %v", c.a, c.b, c.c, got, c.want)
 			continue

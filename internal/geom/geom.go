@@ -61,8 +61,18 @@ func (p Point) Eq(o Point) bool {
 	return math.Abs(p.X-o.X) <= Eps && math.Abs(p.Y-o.Y) <= Eps
 }
 
-// Dist returns the Euclidean distance between a and b.
-func Dist(a, b Point) float64 { return math.Hypot(a.X-b.X, a.Y-b.Y) }
+// Dist returns the Euclidean distance between a and b. The straightforward
+// sqrt-of-squares is substantially cheaper than math.Hypot on this package's
+// hottest call; the overflow Hypot guards against (coordinates beyond
+// ~1e154, far outside any workspace) is detected and routed to Hypot.
+func Dist(a, b Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	d2 := dx*dx + dy*dy
+	if math.IsInf(d2, 1) {
+		return math.Hypot(dx, dy)
+	}
+	return math.Sqrt(d2)
+}
 
 // Dist2 returns the squared Euclidean distance between a and b.
 func Dist2(a, b Point) float64 {

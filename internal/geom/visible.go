@@ -47,14 +47,23 @@ func (sp Span) Contains(t float64) bool { return sp.Lo-Eps <= t && t <= sp.Hi+Ep
 // O(V log V + V*C) for V vertices and C candidate cells, which is fast for
 // the small local visibility graphs the algorithm maintains.
 func VisibleSpans(v Point, q Segment, obstacles []Rect) []Span {
+	spans, _ := VisibleSpansInto(nil, nil, v, q, obstacles)
+	return spans
+}
+
+// VisibleSpansInto is VisibleSpans with caller-provided scratch: the result
+// is built in spans (aliasing its storage) and cuts holds the intermediate
+// candidate parameters. It returns the result and the possibly grown cuts
+// buffer so callers can recycle both across calls.
+func VisibleSpansInto(spans []Span, cuts []float64, v Point, q Segment, obstacles []Rect) ([]Span, []float64) {
+	spans = spans[:0]
 	if q.Degenerate() {
 		if Visible(v, q.A, obstacles) {
-			return []Span{{0, 1}}
+			return append(spans, Span{0, 1}), cuts
 		}
-		return nil
+		return spans, cuts
 	}
-	cuts := make([]float64, 0, 4*len(obstacles)+2)
-	cuts = append(cuts, 0, 1)
+	cuts = append(cuts[:0], 0, 1)
 	for _, o := range obstacles {
 		for _, w := range o.Vertices() {
 			// Sight ray from v through the obstacle corner w, extended to the
@@ -81,7 +90,6 @@ func VisibleSpans(v Point, q Segment, obstacles []Rect) []Span {
 		}
 	}
 	sort.Float64s(cuts)
-	spans := make([]Span, 0, 8)
 	prev := cuts[0]
 	for _, c := range cuts[1:] {
 		if c-prev <= Eps {
@@ -97,7 +105,7 @@ func VisibleSpans(v Point, q Segment, obstacles []Rect) []Span {
 		}
 		prev = c
 	}
-	return spans
+	return spans, cuts
 }
 
 func clamp01(t float64) float64 { return math.Max(0, math.Min(1, t)) }

@@ -6,7 +6,7 @@ package interval
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"connquery/internal/geom"
 )
@@ -31,7 +31,15 @@ func FromSpans(spans []geom.Span) Set {
 			cp = append(cp, sp)
 		}
 	}
-	sort.Slice(cp, func(i, j int) bool { return cp[i].Lo < cp[j].Lo })
+	slices.SortFunc(cp, func(a, b geom.Span) int {
+		switch {
+		case a.Lo < b.Lo:
+			return -1
+		case a.Lo > b.Lo:
+			return 1
+		}
+		return 0
+	})
 	out := cp[:0]
 	for _, sp := range cp {
 		if n := len(out); n > 0 && sp.Lo <= out[n-1].Hi+Eps {

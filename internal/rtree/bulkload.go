@@ -2,7 +2,7 @@ package rtree
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
 // BulkLoad builds the tree from scratch using Sort-Tile-Recursive (STR)
@@ -43,8 +43,14 @@ func (t *Tree) packLevel(entries []entry, leaf bool) []*node {
 	sliceCount := int(math.Ceil(math.Sqrt(float64(nodeCount))))
 	sliceSize := sliceCount * cap
 
-	sort.SliceStable(entries, func(i, j int) bool {
-		return entries[i].rect.Center().X < entries[j].rect.Center().X
+	slices.SortStableFunc(entries, func(a, b entry) int {
+		switch ax, bx := a.rect.Center().X, b.rect.Center().X; {
+		case ax < bx:
+			return -1
+		case ax > bx:
+			return 1
+		}
+		return 0
 	})
 
 	var nodes []*node
@@ -54,8 +60,14 @@ func (t *Tree) packLevel(entries []entry, leaf bool) []*node {
 			end = n
 		}
 		slice := entries[start:end]
-		sort.SliceStable(slice, func(i, j int) bool {
-			return slice[i].rect.Center().Y < slice[j].rect.Center().Y
+		slices.SortStableFunc(slice, func(a, b entry) int {
+			switch ay, by := a.rect.Center().Y, b.rect.Center().Y; {
+			case ay < by:
+				return -1
+			case ay > by:
+				return 1
+			}
+			return 0
 		})
 		for s := 0; s < len(slice); s += cap {
 			e := s + cap

@@ -2,7 +2,7 @@ package rtree
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"connquery/internal/geom"
 )
@@ -107,7 +107,15 @@ func (t *Tree) reinsert(path []*node, level int, reinserted []bool) {
 	for i, e := range n.entries {
 		des[i] = distEntry{geom.Dist2(e.rect.Center(), center), e}
 	}
-	sort.SliceStable(des, func(i, j int) bool { return des[i].d > des[j].d })
+	slices.SortStableFunc(des, func(a, b distEntry) int {
+		switch {
+		case a.d > b.d:
+			return -1
+		case a.d < b.d:
+			return 1
+		}
+		return 0
+	})
 	p := int(math.Ceil(reinsertFraction * float64(len(des))))
 	if p < 1 {
 		p = 1
@@ -212,30 +220,29 @@ func chooseSplitIndex(entries []entry, axis, minEntries int) int {
 }
 
 func sortEntriesByAxis(entries []entry, axis int) {
-	sort.SliceStable(entries, func(i, j int) bool {
-		a, b := entries[i].rect, entries[j].rect
+	slices.SortStableFunc(entries, func(ea, eb entry) int {
+		a, b := ea.rect, eb.rect
+		var p, s float64 // primary and secondary keys (a - b)
 		switch axis {
 		case 0:
-			if a.MinX != b.MinX {
-				return a.MinX < b.MinX
-			}
-			return a.MaxX < b.MaxX
+			p, s = a.MinX-b.MinX, a.MaxX-b.MaxX
 		case 1:
-			if a.MaxX != b.MaxX {
-				return a.MaxX < b.MaxX
-			}
-			return a.MinX < b.MinX
+			p, s = a.MaxX-b.MaxX, a.MinX-b.MinX
 		case 2:
-			if a.MinY != b.MinY {
-				return a.MinY < b.MinY
-			}
-			return a.MaxY < b.MaxY
+			p, s = a.MinY-b.MinY, a.MaxY-b.MaxY
 		default:
-			if a.MaxY != b.MaxY {
-				return a.MaxY < b.MaxY
-			}
-			return a.MinY < b.MinY
+			p, s = a.MaxY-b.MaxY, a.MinY-b.MinY
 		}
+		if p == 0 {
+			p = s
+		}
+		switch {
+		case p < 0:
+			return -1
+		case p > 0:
+			return 1
+		}
+		return 0
 	})
 }
 

@@ -1,0 +1,172 @@
+package visgraph
+
+import (
+	"math"
+
+	"connquery/internal/geom"
+)
+
+// occIndex is an angular occlusion index over the inserted obstacle set as
+// seen from one viewpoint p. AddPoint rebuilds it once per insertion and
+// then screens every candidate node v against it: an obstacle o can block
+// the sight line p-v only if
+//
+//  1. the direction of v from p lies inside o's angular extent from p (any
+//     interior crossing point is a point of o on the ray to v, so its angle
+//     is the ray's angle and falls inside the extent of o's corners), and
+//  2. mindist(p, o) <= |pv| (the crossing point lies on the segment, so it
+//     is no farther than v).
+//
+// Both conditions are evaluated with a widening epsilon, so the surviving
+// candidate set is a superset of the true blockers and the exact
+// BlocksSegment test still decides; the screened-out obstacles provably
+// cannot block. Obstacles whose closed rectangle contains p (where the
+// angular extent is undefined or spans the whole circle) are kept in an
+// always-test list. All storage is recycled between builds.
+//
+// Directions are measured with a pseudo-angle — a cheap monotone bijection
+// of atan2 onto (-2, 2] — so containment tests are exact in pseudo space
+// and no trigonometry runs on the hot path.
+type occIndex struct {
+	centers    []float64 // pseudo-angle interval center per entry
+	halfWidths []float64 // pseudo-angle interval half-width (padded) per entry
+	minDist2   []float64 // squared mindist(p, obstacle) per entry
+	obs        []int32   // obstacle index per entry
+	always     []int32   // obstacles tested unconditionally
+	buckets    [occBuckets][]int32
+	p          geom.Point
+}
+
+// occBuckets partitions the pseudo-angle range into equal arcs; each bucket
+// lists the entries whose (padded) interval overlaps the arc, so a candidate
+// consults exactly one bucket.
+const occBuckets = 64
+
+// occAngEps widens every pseudo-angle interval. Corner and candidate
+// directions use the same exact float map, so only a few ulps of slack are
+// needed; this is many orders of magnitude more generous.
+const occAngEps = 1e-9
+
+// pseudoAngle maps direction (dx, dy) to (-2, 2], strictly increasing in the
+// true angle atan2(dy, dx). (dx, dy) == (0, 0) is the caller's problem.
+func pseudoAngle(dx, dy float64) float64 {
+	p := dx / (math.Abs(dx) + math.Abs(dy))
+	if dy < 0 {
+		return p - 1 // (-2, 0)
+	}
+	return 1 - p // [0, 2]
+}
+
+// normPseudo wraps a pseudo-angle difference into (-2, 2]. Inputs are
+// bounded by one wrap, so at most one correction applies.
+func normPseudo(a float64) float64 {
+	if a > 2 {
+		return a - 4
+	}
+	if a <= -2 {
+		return a + 4
+	}
+	return a
+}
+
+// bucketOf maps a pseudo-angle to its bucket index.
+func bucketOf(a float64) int {
+	b := int((normPseudo(a) + 2) * (occBuckets / 4.0))
+	if b < 0 {
+		b = 0
+	} else if b >= occBuckets {
+		b = occBuckets - 1
+	}
+	return b
+}
+
+// build indexes the obstacle set as seen from p.
+func (oi *occIndex) build(p geom.Point, obstacles []geom.Rect) {
+	oi.p = p
+	oi.centers = oi.centers[:0]
+	oi.halfWidths = oi.halfWidths[:0]
+	oi.minDist2 = oi.minDist2[:0]
+	oi.obs = oi.obs[:0]
+	oi.always = oi.always[:0]
+	for b := range oi.buckets {
+		oi.buckets[b] = oi.buckets[b][:0]
+	}
+	for i, r := range obstacles {
+		if r.Contains(p) {
+			oi.always = append(oi.always, int32(i))
+			continue
+		}
+		// p lies strictly outside the closed rectangle, so a separating axis
+		// exists and the corner directions span less than half the circle.
+		// Map them into a window centered on the direction to the rectangle's
+		// center; no wraparound is possible inside that window.
+		ref := pseudoAngle((r.MinX+r.MaxX)/2-p.X, (r.MinY+r.MaxY)/2-p.Y)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, c := range r.Vertices() {
+			a := pseudoAngle(c.X-p.X, c.Y-p.Y)
+			// Shift a into (ref-2, ref+2].
+			if a-ref > 2 {
+				a -= 4
+			} else if a-ref <= -2 {
+				a += 4
+			}
+			lo = math.Min(lo, a)
+			hi = math.Max(hi, a)
+		}
+		if hi-lo >= 2-1e-9 { // defensive: p numerically on the boundary
+			oi.always = append(oi.always, int32(i))
+			continue
+		}
+		lo -= occAngEps
+		hi += occAngEps
+		entry := int32(len(oi.obs))
+		oi.centers = append(oi.centers, normPseudo((lo+hi)/2))
+		oi.halfWidths = append(oi.halfWidths, (hi-lo)/2)
+		md := r.DistToPoint(p)
+		oi.minDist2 = append(oi.minDist2, md*md)
+		oi.obs = append(oi.obs, int32(i))
+		b0 := bucketOf(lo)
+		steps := (bucketOf(hi) - b0 + occBuckets) % occBuckets
+		for s := 0; s <= steps; s++ {
+			b := (b0 + s) % occBuckets
+			oi.buckets[b] = append(oi.buckets[b], entry)
+		}
+	}
+}
+
+// blocked reports whether any obstacle blocks the sight line s (s.A must be
+// the build viewpoint). Exact: it returns BlocksSegment's verdict for every
+// obstacle that survives the conservative angular and distance screens.
+func (oi *occIndex) blocked(s geom.Segment, obstacles []geom.Rect) bool {
+	for _, i := range oi.always {
+		if obstacles[i].BlocksSegment(s) {
+			return true
+		}
+	}
+	if len(oi.obs) == 0 {
+		return false
+	}
+	dx, dy := s.B.X-s.A.X, s.B.Y-s.A.Y
+	d2 := dx*dx + dy*dy
+	if d2 == 0 {
+		// Coincident endpoints: only an obstacle containing the point could
+		// "block", and those are all in the always list.
+		return false
+	}
+	theta := pseudoAngle(dx, dy)
+	for _, e := range oi.buckets[bucketOf(theta)] {
+		// A blocker's crossing point lies on the segment, so its distance —
+		// at least mindist(p, o) — cannot exceed |pv|. The relative slack
+		// keeps borderline (grazing) obstacles in the exact test.
+		if oi.minDist2[e] > d2*(1+1e-9)+1e-18 {
+			continue
+		}
+		if math.Abs(normPseudo(theta-oi.centers[e])) > oi.halfWidths[e] {
+			continue
+		}
+		if obstacles[oi.obs[e]].BlocksSegment(s) {
+			return true
+		}
+	}
+	return false
+}

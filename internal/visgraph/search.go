@@ -1,0 +1,178 @@
+package visgraph
+
+import (
+	"math"
+	"slices"
+
+	"connquery/internal/minheap"
+)
+
+// Search is a resumable Dijkstra traversal of the graph from a fixed source.
+// Unlike ShortestPaths, which settles every reachable node, a Search settles
+// nodes lazily: SettleTargets stops as soon as a requested set of nodes has
+// final distances (the IOR loop only ever reads the two anchor distances),
+// and SettleBatch hands out further nodes in ascending-distance order one
+// equivalence class at a time (CPLC consumes exactly that order and usually
+// stops early via Lemma 7). Because the heap is kept between calls, resuming
+// a search performs the identical pop/relax sequence a full Dijkstra would,
+// so distances and predecessors are bit-for-bit the same.
+//
+// A Search is owned by its Graph (NewSearch recycles one shared instance and
+// its buffers) and is invalidated by any graph mutation; use Valid to check.
+type Search struct {
+	g         *Graph
+	src       NodeID
+	mutations uint64
+
+	h    minheap.Heap[NodeID]
+	dist []float64
+	prev []NodeID
+	done []bool
+
+	settled  []NodeID // nodes in settle order (non-decreasing distance)
+	consumed int      // prefix of settled already handed out by SettleBatch
+}
+
+// NewSearch starts a Dijkstra traversal from src. The returned Search is the
+// graph's single recycled instance: starting a new search (or calling
+// ShortestPaths) invalidates the previous one.
+func (g *Graph) NewSearch(src NodeID) *Search {
+	s := &g.search
+	s.g = g
+	s.src = src
+	s.mutations = g.mutations
+	n := len(g.pts)
+	if cap(s.dist) < n {
+		s.dist = make([]float64, n)
+		s.prev = make([]NodeID, n)
+		s.done = make([]bool, n)
+	}
+	s.dist, s.prev, s.done = s.dist[:n], s.prev[:n], s.done[:n]
+	for i := 0; i < n; i++ {
+		s.dist[i] = math.Inf(1)
+		s.prev[i] = Invalid
+		s.done[i] = false
+	}
+	s.h.Reset()
+	s.settled = s.settled[:0]
+	s.consumed = 0
+	s.dist[src] = 0
+	s.h.Push(0, src)
+	return s
+}
+
+// Valid reports whether the graph is unchanged since the search started.
+// Any AddPoint, RemovePoint, AddObstacle or Reset invalidates the search.
+func (s *Search) Valid() bool { return s.g != nil && s.mutations == s.g.mutations }
+
+// Src returns the source node of the search.
+func (s *Search) Src() NodeID { return s.src }
+
+// Dist returns the distance of id from the source. It is final (the true
+// shortest distance) once id has been settled; +Inf otherwise.
+func (s *Search) Dist(id NodeID) float64 { return s.dist[id] }
+
+// Prev returns the Dijkstra predecessor of id (final once id is settled).
+func (s *Search) Prev(id NodeID) NodeID { return s.prev[id] }
+
+// Settled reports whether id has been settled (its distance is final).
+func (s *Search) Settled(id NodeID) bool { return s.done[id] }
+
+// settleOne settles the next-nearest unsettled node. ok is false when the
+// reachable component is exhausted.
+func (s *Search) settleOne() (u NodeID, d float64, ok bool) {
+	for !s.h.Empty() {
+		d, u = s.h.Pop()
+		if s.done[u] || d > s.dist[u] {
+			continue // stale heap entry
+		}
+		s.done[u] = true
+		s.settled = append(s.settled, u)
+		for _, e := range s.g.adj[u] {
+			if nd := d + e.w; nd < s.dist[e.to] {
+				s.dist[e.to] = nd
+				s.prev[e.to] = u
+				s.h.Push(nd, e.to)
+			}
+		}
+		return u, d, true
+	}
+	return Invalid, 0, false
+}
+
+// peekFresh returns the key of the next non-stale heap entry, discarding
+// stale ones. ok is false when the heap is effectively empty.
+func (s *Search) peekFresh() (float64, bool) {
+	for !s.h.Empty() {
+		k, u := s.h.Peek()
+		if s.done[u] || k > s.dist[u] {
+			s.h.Pop()
+			continue
+		}
+		return k, true
+	}
+	return 0, false
+}
+
+// SettleTargets runs the search until every target is settled, then stops.
+// Targets disconnected from the source keep +Inf distance (the search runs
+// the whole component before concluding that, exactly like a full Dijkstra).
+func (s *Search) SettleTargets(targets ...NodeID) {
+	for _, t := range targets {
+		for !s.done[t] {
+			if _, _, ok := s.settleOne(); !ok {
+				return // component exhausted; t is unreachable
+			}
+		}
+	}
+}
+
+// SettleAll settles every reachable node, making the search equivalent to a
+// completed ShortestPaths run.
+func (s *Search) SettleAll() {
+	for {
+		if _, _, ok := s.settleOne(); !ok {
+			return
+		}
+	}
+}
+
+// SettleBatch settles and returns the next group of nodes that share the
+// same exact distance, sorted by NodeID, resuming where the previous batch
+// (or SettleTargets) left off. It returns nil when the reachable component
+// is exhausted. Consuming batches yields every reachable node exactly once
+// in ascending (distance, NodeID) order — the deterministic order CPLC's
+// candidate scan requires — without settling nodes beyond the ones consumed.
+// The returned slice aliases internal storage and is valid until the next
+// SettleBatch call.
+func (s *Search) SettleBatch() []NodeID {
+	if s.consumed == len(s.settled) {
+		if _, _, ok := s.settleOne(); !ok {
+			return nil
+		}
+	}
+	d := s.dist[s.settled[s.consumed]]
+	// The settle sequence is non-decreasing in distance, so the equivalence
+	// class of d is contiguous: extend over already-settled ties, then drain
+	// any remaining ties still in the heap.
+	j := s.consumed + 1
+	for j < len(s.settled) && s.dist[s.settled[j]] == d {
+		j++
+	}
+	if j == len(s.settled) {
+		for {
+			k, ok := s.peekFresh()
+			if !ok || k != d {
+				break
+			}
+			s.settleOne()
+			j++
+		}
+	}
+	batch := s.settled[s.consumed:j]
+	s.consumed = j
+	if len(batch) > 1 {
+		slices.Sort(batch)
+	}
+	return batch
+}

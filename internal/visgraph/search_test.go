@@ -1,0 +1,263 @@
+package visgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"connquery/internal/geom"
+)
+
+// randomGraph builds a graph with nObs random obstacles and nPts extra
+// random free nodes, returning the graph and every live node ID.
+func randomGraph(rng *rand.Rand, nObs, nPts int) (*Graph, []NodeID) {
+	g := New()
+	for i := 0; i < nObs; i++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		g.AddObstacle(geom.R(x, y, x+5+rng.Float64()*60, y+5+rng.Float64()*40))
+	}
+	for i := 0; i < nPts; i++ {
+		g.AddPoint(geom.Pt(rng.Float64()*1000, rng.Float64()*1000), KindAnchor)
+	}
+	var ids []NodeID
+	for i := range g.pts {
+		if g.alive[i] {
+			ids = append(ids, NodeID(i))
+		}
+	}
+	return g, ids
+}
+
+// naiveDijkstra is an independent O(n^2) reference implementation over the
+// graph's adjacency (no heap, no early exit).
+func naiveDijkstra(g *Graph, src NodeID) []float64 {
+	n := len(g.pts)
+	dist := make([]float64, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	for {
+		u, best := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !done[i] && dist[i] < best {
+				u, best = i, dist[i]
+			}
+		}
+		if u < 0 {
+			return dist
+		}
+		done[u] = true
+		for _, e := range g.adj[u] {
+			if nd := best + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+			}
+		}
+	}
+}
+
+// TestSearchMatchesNaiveDijkstra checks SettleAll against an independent
+// O(n^2) Dijkstra on randomized graphs.
+func TestSearchMatchesNaiveDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		g, ids := randomGraph(rng, 3+rng.Intn(8), 2+rng.Intn(4))
+		src := ids[rng.Intn(len(ids))]
+		want := naiveDijkstra(g, src)
+		s := g.NewSearch(src)
+		s.SettleAll()
+		for _, id := range ids {
+			if got := s.Dist(id); math.Abs(got-want[id]) > 1e-9 &&
+				!(math.IsInf(got, 1) && math.IsInf(want[id], 1)) {
+				t.Fatalf("trial %d: dist[%d] = %v, want %v", trial, id, got, want[id])
+			}
+		}
+	}
+}
+
+// TestSettleTargetsEarlyExit checks that the multi-target early exit leaves
+// the target distances identical to a full run, settles the targets, and
+// that resuming the same search later still completes correctly.
+func TestSettleTargetsEarlyExit(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 20; trial++ {
+		g, ids := randomGraph(rng, 3+rng.Intn(8), 3+rng.Intn(4))
+		src := ids[rng.Intn(len(ids))]
+		t1 := ids[rng.Intn(len(ids))]
+		t2 := ids[rng.Intn(len(ids))]
+		want := naiveDijkstra(g, src)
+
+		s := g.NewSearch(src)
+		s.SettleTargets(t1, t2)
+		for _, tgt := range []NodeID{t1, t2} {
+			got := s.Dist(tgt)
+			if math.IsInf(want[tgt], 1) {
+				if !math.IsInf(got, 1) {
+					t.Fatalf("trial %d: target %d reachable (%v), want unreachable", trial, tgt, got)
+				}
+				continue
+			}
+			if !s.Settled(tgt) {
+				t.Fatalf("trial %d: target %d not settled", trial, tgt)
+			}
+			if math.Abs(got-want[tgt]) > 1e-9 {
+				t.Fatalf("trial %d: target %d dist %v, want %v", trial, tgt, got, want[tgt])
+			}
+		}
+		// Resuming must produce the same distances as a from-scratch run.
+		s.SettleAll()
+		for _, id := range ids {
+			if got := s.Dist(id); math.Abs(got-want[id]) > 1e-9 &&
+				!(math.IsInf(got, 1) && math.IsInf(want[id], 1)) {
+				t.Fatalf("trial %d: after resume dist[%d] = %v, want %v", trial, id, got, want[id])
+			}
+		}
+	}
+}
+
+// TestSettleBatchOrder checks that consuming batches yields every reachable
+// node exactly once in ascending (distance, NodeID) order — the order CPLC
+// relies on — including when a SettleTargets call already ran first.
+func TestSettleBatchOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 20; trial++ {
+		g, ids := randomGraph(rng, 3+rng.Intn(8), 3+rng.Intn(4))
+		src := ids[rng.Intn(len(ids))]
+		s := g.NewSearch(src)
+		if trial%2 == 0 { // half the trials resume after a targeted phase
+			s.SettleTargets(ids[rng.Intn(len(ids))])
+		}
+		seen := map[NodeID]bool{}
+		lastD := math.Inf(-1)
+		lastID := NodeID(-1)
+		count := 0
+		for {
+			batch := s.SettleBatch()
+			if batch == nil {
+				break
+			}
+			for _, id := range batch {
+				d := s.Dist(id)
+				if d < lastD {
+					t.Fatalf("trial %d: distance went backwards: %v after %v", trial, d, lastD)
+				}
+				if d == lastD && id <= lastID {
+					t.Fatalf("trial %d: tie not in id order: %d after %d", trial, id, lastID)
+				}
+				if seen[id] {
+					t.Fatalf("trial %d: node %d settled twice", trial, id)
+				}
+				seen[id] = true
+				lastD, lastID = d, id
+				count++
+			}
+		}
+		want := naiveDijkstra(g, src)
+		reachable := 0
+		for _, id := range ids {
+			if !math.IsInf(want[id], 1) {
+				reachable++
+				if !seen[id] {
+					t.Fatalf("trial %d: reachable node %d never surfaced", trial, id)
+				}
+			}
+		}
+		if count != reachable {
+			t.Fatalf("trial %d: surfaced %d nodes, want %d", trial, count, reachable)
+		}
+	}
+}
+
+// TestSearchInvalidation checks that any mutation invalidates a search.
+func TestSearchInvalidation(t *testing.T) {
+	g := New()
+	a := g.AddPoint(geom.Pt(0, 0), KindAnchor)
+	g.AddPoint(geom.Pt(10, 0), KindAnchor)
+	s := g.NewSearch(a)
+	if !s.Valid() {
+		t.Fatal("fresh search invalid")
+	}
+	p := g.AddPoint(geom.Pt(5, 5), KindTransient)
+	if s.Valid() {
+		t.Fatal("search still valid after AddPoint")
+	}
+	s = g.NewSearch(a)
+	g.RemovePoint(p)
+	if s.Valid() {
+		t.Fatal("search still valid after RemovePoint")
+	}
+	s = g.NewSearch(a)
+	g.AddObstacle(geom.R(2, 2, 4, 4))
+	if s.Valid() {
+		t.Fatal("search still valid after AddObstacle")
+	}
+	s = g.NewSearch(a)
+	g.Reset()
+	if s.Valid() {
+		t.Fatal("search still valid after Reset")
+	}
+}
+
+// TestAddPointMatchesBruteVisibility cross-checks the occlusion-index
+// candidate pruning in AddPoint: the inserted node's edge set must be
+// exactly the brute-force visibility set.
+func TestAddPointMatchesBruteVisibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 30; trial++ {
+		g, ids := randomGraph(rng, 2+rng.Intn(10), 1+rng.Intn(3))
+		var p geom.Point
+		switch trial % 3 {
+		case 0: // free point
+			p = geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		case 1: // on an obstacle boundary (points may sit on boundaries)
+			o := g.obstacles[rng.Intn(len(g.obstacles))]
+			p = geom.Pt(o.MinX+rng.Float64()*(o.MaxX-o.MinX), o.MinY)
+		default: // coincident with an existing corner
+			p = g.pts[ids[rng.Intn(len(ids))]]
+		}
+		id := g.AddPoint(p, KindTransient)
+		got := map[NodeID]bool{}
+		for _, e := range g.adj[id] {
+			got[e.to] = true
+		}
+		for _, other := range ids {
+			want := geom.Visible(p, g.pts[other], g.obstacles)
+			if got[other] != want {
+				t.Fatalf("trial %d: edge %v->%v = %v, want %v (p=%v, q=%v)",
+					trial, id, other, got[other], want, p, g.pts[other])
+			}
+		}
+		g.RemovePoint(id)
+	}
+}
+
+// TestGraphReset checks that a Reset graph behaves like a fresh one while
+// recycling storage.
+func TestGraphReset(t *testing.T) {
+	g := New()
+	g.AddObstacle(geom.R(10, 10, 20, 20))
+	a := g.AddPoint(geom.Pt(0, 15), KindAnchor)
+	b := g.AddPoint(geom.Pt(30, 15), KindAnchor)
+	dBlocked := g.Distance(a, b)
+	if dBlocked <= 30 {
+		t.Fatalf("expected detour > 30, got %v", dBlocked)
+	}
+	v := g.Version()
+	g.Reset()
+	if g.NumNodes() != 0 || g.NumObstacles() != 0 {
+		t.Fatalf("reset graph not empty: %d nodes, %d obstacles", g.NumNodes(), g.NumObstacles())
+	}
+	if g.Version() == v {
+		t.Fatal("Reset must change the version")
+	}
+	a = g.AddPoint(geom.Pt(0, 15), KindAnchor)
+	b = g.AddPoint(geom.Pt(30, 15), KindAnchor)
+	if d := g.Distance(a, b); math.Abs(d-30) > 1e-9 {
+		t.Fatalf("distance after reset = %v, want 30", d)
+	}
+	g.AddObstacle(geom.R(10, 10, 20, 20))
+	if d := g.Distance(a, b); math.Abs(d-dBlocked) > 1e-9 {
+		t.Fatalf("distance after reset+re-add = %v, want %v", d, dBlocked)
+	}
+}

@@ -10,10 +10,7 @@
 package visgraph
 
 import (
-	"math"
-
 	"connquery/internal/geom"
-	"connquery/internal/minheap"
 	"connquery/internal/rtree"
 )
 
@@ -48,21 +45,50 @@ type Graph struct {
 	kinds []NodeKind
 	alive []bool
 	adj   [][]edgeTo
-	free  []NodeID
+	// adjBox[u] is a conservative bounding box of u and every neighbor it has
+	// (ever had, until recomputed): the MBR of every edge segment incident to
+	// u is contained in it, so AddObstacle can skip u's whole adjacency list
+	// when the box misses the new obstacle.
+	adjBox []geom.Rect
+	free   []NodeID
 
 	obstacles []geom.Rect
 	obsIndex  *rtree.Tree
 	version   int
+	// mutations counts every structural change (nodes, edges, obstacles,
+	// resets); a Search snapshot is valid only while it is unchanged.
+	mutations uint64
 
-	// scratch buffers reused across Dijkstra runs
-	dist []float64
-	prev []NodeID
-	seen []bool
+	// search is the recycled Dijkstra state handed out by NewSearch.
+	search Search
+	// occ is the recycled angular occlusion index used by AddPoint.
+	occ occIndex
+	// obsScratch backs ObstaclesNear results between calls.
+	obsScratch []geom.Rect
 }
 
 // New creates an empty graph.
 func New() *Graph {
 	return &Graph{obsIndex: rtree.New(rtree.Options{})}
+}
+
+// Reset empties the graph for reuse, retaining node, adjacency and search
+// buffer capacity so a pooled graph answers subsequent queries with few
+// allocations. All node IDs and outstanding Searches are invalidated.
+func (g *Graph) Reset() {
+	g.pts = g.pts[:0]
+	g.kinds = g.kinds[:0]
+	g.alive = g.alive[:0]
+	g.adjBox = g.adjBox[:0]
+	g.free = g.free[:0]
+	g.obstacles = g.obstacles[:0]
+	g.obsIndex = rtree.New(rtree.Options{})
+	// Shrink the outer adjacency slice but keep both its backing array and
+	// every inner slice's capacity: allocNode re-extends within capacity and
+	// reuses the retired per-node edge storage.
+	g.adj = g.adj[:0]
+	g.version++
+	g.mutations++
 }
 
 // NumNodes returns the number of live nodes (the paper's |SVG| metric when
@@ -123,30 +149,49 @@ func (g *Graph) Visible(a, b geom.Point) bool {
 
 // ObstaclesNear returns the inserted obstacles whose rectangles intersect w.
 // The core algorithm uses this to bound the obstacle set passed to
-// visible-region computation.
+// visible-region computation. The returned slice is a scratch buffer owned
+// by the graph and is overwritten by the next call.
 func (g *Graph) ObstaclesNear(w geom.Rect) []geom.Rect {
-	var out []geom.Rect
+	out := g.obsScratch[:0]
 	g.obsIndex.Search(w, func(it rtree.Item) bool {
 		out = append(out, g.obstacles[it.ID])
 		return true
 	})
+	g.obsScratch = out
 	return out
 }
 
 // AddPoint inserts a node at p with the given kind and connects it to every
 // visible live node. It returns the new node's ID.
+//
+// Candidate pruning: instead of running an obstacle-index search per
+// candidate node, AddPoint builds an angular occlusion index of the current
+// obstacle set around p once, and each candidate first consults it — only
+// obstacles whose angular interval contains the candidate's direction and
+// whose minimum distance does not exceed the candidate's are ever tested
+// exactly. Candidates outside every occluder's cone connect with no exact
+// test at all. The index is conservative, so the resulting edge set is
+// identical to the brute-force scan.
 func (g *Graph) AddPoint(p geom.Point, kind NodeKind) NodeID {
 	id := g.allocNode(p, kind)
+	g.mutations++
+	g.occ.build(p, g.obstacles)
+	s := geom.Segment{A: p}
 	for other := range g.pts {
 		oid := NodeID(other)
 		if oid == id || !g.alive[other] {
 			continue
 		}
-		if g.Visible(p, g.pts[other]) {
-			w := geom.Dist(p, g.pts[other])
-			g.adj[id] = append(g.adj[id], edgeTo{oid, w})
-			g.adj[other] = append(g.adj[other], edgeTo{id, w})
+		q := g.pts[other]
+		s.B = q
+		if g.occ.blocked(s, g.obstacles) {
+			continue
 		}
+		w := geom.Dist(p, q)
+		g.adj[id] = append(g.adj[id], edgeTo{oid, w})
+		g.adj[other] = append(g.adj[other], edgeTo{id, w})
+		g.adjBox[id] = expandRect(g.adjBox[id], q)
+		g.adjBox[other] = expandRect(g.adjBox[other], p)
 	}
 	return id
 }
@@ -157,6 +202,7 @@ func (g *Graph) RemovePoint(id NodeID) {
 	if g.kinds[id] != KindTransient {
 		panic("visgraph: RemovePoint on non-transient node")
 	}
+	g.mutations++
 	for _, e := range g.adj[id] {
 		nbr := g.adj[e.to]
 		for i := range nbr {
@@ -176,27 +222,42 @@ func (g *Graph) RemovePoint(id NodeID) {
 // interior are removed, then its four corners join the graph. Corner nodes
 // are permanent for the life of the graph.
 func (g *Graph) AddObstacle(r geom.Rect) {
-	// 1. Invalidate blocked edges. The bounding-box reject handles the vast
-	// majority of edges (far from the new obstacle) without divisions.
+	g.mutations++
+	// 1. Invalidate blocked edges. Nodes whose adjacency bounding box misses
+	// the obstacle are skipped wholesale; for the rest, the per-edge
+	// bounding-box reject handles most surviving edges without divisions,
+	// and lists that lose no edge are left untouched (no writes at all).
 	for u := range g.adj {
-		if !g.alive[u] {
+		list := g.adj[u]
+		if len(list) == 0 || !g.alive[u] || !g.adjBox[u].Intersects(r) {
 			continue
 		}
 		pu := g.pts[u]
-		kept := g.adj[u][:0]
-		for _, e := range g.adj[u] {
+		w := 0
+		removed := false
+		for _, e := range list {
 			pv := g.pts[e.to]
 			if (pu.X <= r.MinX && pv.X <= r.MinX) || (pu.X >= r.MaxX && pv.X >= r.MaxX) ||
 				(pu.Y <= r.MinY && pv.Y <= r.MinY) || (pu.Y >= r.MaxY && pv.Y >= r.MaxY) {
-				kept = append(kept, e) // edge cannot enter the open interior
+				// Edge cannot enter the open interior.
+			} else if r.BlocksSegment(geom.Segment{A: pu, B: pv}) {
+				removed = true
 				continue
 			}
-			if r.BlocksSegment(geom.Segment{A: pu, B: pv}) {
-				continue
+			if removed {
+				list[w] = e
 			}
-			kept = append(kept, e)
+			w++
 		}
-		g.adj[u] = kept
+		if removed {
+			g.adj[u] = list[:w]
+			// Shrunk lists get an exact adjacency box again.
+			box := geom.Rect{MinX: pu.X, MinY: pu.Y, MaxX: pu.X, MaxY: pu.Y}
+			for _, e := range list[:w] {
+				box = expandRect(box, g.pts[e.to])
+			}
+			g.adjBox[u] = box
+		}
 	}
 	// 2. Register the obstacle before linking corners so corner-corner
 	// visibility accounts for the new interior too.
@@ -210,6 +271,25 @@ func (g *Graph) AddObstacle(r geom.Rect) {
 	}
 }
 
+// expandRect grows r to cover p. Unlike geom.Rect.ExpandPoint it assumes r
+// is non-empty and compiles to four branches — it runs once per visibility
+// edge.
+func expandRect(r geom.Rect, p geom.Point) geom.Rect {
+	if p.X < r.MinX {
+		r.MinX = p.X
+	}
+	if p.X > r.MaxX {
+		r.MaxX = p.X
+	}
+	if p.Y < r.MinY {
+		r.MinY = p.Y
+	}
+	if p.Y > r.MaxY {
+		r.MaxY = p.Y
+	}
+	return r
+}
+
 // allocNode reserves a node slot (recycling freed ones).
 func (g *Graph) allocNode(p geom.Point, kind NodeKind) NodeID {
 	if n := len(g.free); n > 0 {
@@ -219,51 +299,32 @@ func (g *Graph) allocNode(p geom.Point, kind NodeKind) NodeID {
 		g.kinds[id] = kind
 		g.alive[id] = true
 		g.adj[id] = g.adj[id][:0]
+		g.adjBox[id] = geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
 		return id
 	}
 	id := NodeID(len(g.pts))
 	g.pts = append(g.pts, p)
 	g.kinds = append(g.kinds, kind)
 	g.alive = append(g.alive, true)
-	g.adj = append(g.adj, nil)
+	g.adjBox = append(g.adjBox, geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y})
+	if len(g.adj) < cap(g.adj) {
+		// Re-extend over a slot retired by Reset, reusing its edge storage.
+		g.adj = g.adj[:len(g.adj)+1]
+		g.adj[id] = g.adj[id][:0]
+	} else {
+		g.adj = append(g.adj, nil)
+	}
 	return id
 }
 
 // ShortestPaths runs Dijkstra from src and returns distance and predecessor
 // slices indexed by NodeID. Unreachable nodes have +Inf distance and Invalid
 // predecessor. The returned slices are scratch buffers owned by the graph
-// and are overwritten by the next call.
+// and are overwritten by the next call (or the next NewSearch).
 func (g *Graph) ShortestPaths(src NodeID) (dist []float64, prev []NodeID) {
-	n := len(g.pts)
-	if cap(g.dist) < n {
-		g.dist = make([]float64, n)
-		g.prev = make([]NodeID, n)
-		g.seen = make([]bool, n)
-	}
-	g.dist, g.prev, g.seen = g.dist[:n], g.prev[:n], g.seen[:n]
-	for i := 0; i < n; i++ {
-		g.dist[i] = math.Inf(1)
-		g.prev[i] = Invalid
-		g.seen[i] = false
-	}
-	var h minheap.Heap[NodeID]
-	g.dist[src] = 0
-	h.Push(0, src)
-	for !h.Empty() {
-		d, u := h.Pop()
-		if g.seen[u] || d > g.dist[u] {
-			continue
-		}
-		g.seen[u] = true
-		for _, e := range g.adj[u] {
-			if nd := d + e.w; nd < g.dist[e.to] {
-				g.dist[e.to] = nd
-				g.prev[e.to] = u
-				h.Push(nd, e.to)
-			}
-		}
-	}
-	return g.dist, g.prev
+	s := g.NewSearch(src)
+	s.SettleAll()
+	return s.dist, s.prev
 }
 
 // PathTo reconstructs the node sequence src..dst from a predecessor slice
@@ -291,31 +352,12 @@ func PathTo(prev []NodeID, src, dst NodeID) []NodeID {
 	return rev
 }
 
-// Distance runs a targeted Dijkstra from src with early exit at dst and
-// returns the shortest obstructed distance (+Inf if unreachable).
+// Distance runs a targeted Dijkstra from src that stops as soon as dst is
+// settled and returns the shortest obstructed distance (+Inf if
+// unreachable). It reuses the graph's search scratch, so it allocates only
+// on graph growth.
 func (g *Graph) Distance(src, dst NodeID) float64 {
-	n := len(g.pts)
-	dist := make([]float64, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-	}
-	var h minheap.Heap[NodeID]
-	dist[src] = 0
-	h.Push(0, src)
-	for !h.Empty() {
-		d, u := h.Pop()
-		if d > dist[u] {
-			continue
-		}
-		if u == dst {
-			return d
-		}
-		for _, e := range g.adj[u] {
-			if nd := d + e.w; nd < dist[e.to] {
-				dist[e.to] = nd
-				h.Push(nd, e.to)
-			}
-		}
-	}
-	return math.Inf(1)
+	s := g.NewSearch(src)
+	s.SettleTargets(dst)
+	return s.dist[dst]
 }
