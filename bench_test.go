@@ -11,7 +11,9 @@ package connquery
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
+	"time"
 
 	"connquery/internal/bench"
 	"connquery/internal/core"
@@ -258,4 +260,84 @@ func BenchmarkNaiveVsCONN(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkMutateUnderLoad measures the MVCC write path — one op is one
+// mutation (rotating insert-point / insert-obstacle / delete-point /
+// delete-obstacle), i.e. one copy-on-write R*-tree path copy plus an atomic
+// version publication — while two background readers continuously answer
+// CONN queries on live snapshots. After the timed loop the result is
+// written to BENCH_mutation.json through the internal/bench machinery, so
+// the mutation path's trajectory is tracked alongside the query path's.
+func BenchmarkMutateUnderLoad(b *testing.B) {
+	w := workload("CL", 1)
+	db, err := Open(w.Points, w.Obstacles)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rq := rand.New(rand.NewSource(41))
+	queries := make([]geom.Segment, 8)
+	for i := range queries {
+		queries[i] = dataset.QuerySegment(rq, 0.045, w.Obstacles)
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			for i := g; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, _, err := db.CONN(queries[i%len(queries)]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	side := dataset.Side
+	mr := rand.New(rand.NewSource(42))
+	nextPID := int32(len(w.Points))
+	nextOID := int32(len(w.Obstacles))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		switch i % 4 {
+		case 0:
+			if _, err := db.InsertPoint(Pt(mr.Float64()*side, mr.Float64()*side)); err == nil {
+				nextPID++
+			}
+		case 1:
+			lo := Pt(mr.Float64()*side*0.95, mr.Float64()*side*0.95)
+			if _, err := db.InsertObstacle(R(lo.X, lo.Y, lo.X+5+mr.Float64()*40, lo.Y+4+mr.Float64()*25)); err == nil {
+				nextOID++
+			}
+		case 2:
+			db.DeletePoint(int32(mr.Intn(int(nextPID))))
+		case 3:
+			db.DeleteObstacle(int32(mr.Intn(int(nextOID))))
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	readers.Wait()
+
+	res := bench.BenchResult{
+		Name:      "mutation",
+		Tool:      "go test -bench BenchmarkMutateUnderLoad (one op = one mutation with 2 concurrent CONN readers)",
+		Scale:     benchScale,
+		Queries:   len(queries),
+		K:         1,
+		QL:        0.045,
+		NsPerOp:   float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	if _, err := bench.WriteJSON(".", res); err != nil {
+		b.Fatalf("writing BENCH_mutation.json: %v", err)
+	}
 }

@@ -1,6 +1,8 @@
 package connquery
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
@@ -215,5 +217,194 @@ func TestConcurrentClones(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+// --- MVCC stress: mutations racing live queries -------------------------
+
+// checkPartition asserts a CONN answer is a contiguous partition of [0,1].
+func checkPartition(t *testing.T, res *Result) bool {
+	t.Helper()
+	if len(res.Tuples) == 0 {
+		t.Error("empty result")
+		return false
+	}
+	if res.Tuples[0].Span.Lo != 0 || res.Tuples[len(res.Tuples)-1].Span.Hi != 1 {
+		t.Errorf("result does not span [0,1]: %+v", res.Tuples)
+		return false
+	}
+	for i := 1; i < len(res.Tuples); i++ {
+		if res.Tuples[i].Span.Lo != res.Tuples[i-1].Span.Hi {
+			t.Errorf("gap between tuples %d and %d: %+v", i-1, i, res.Tuples)
+			return false
+		}
+	}
+	return true
+}
+
+// sameAnswer compares two CONN answers structurally: identical owner
+// coordinates (PIDs differ after compaction) and split positions up to a
+// tiny numeric tolerance.
+func sameAnswer(t *testing.T, label string, got, want *Result) bool {
+	t.Helper()
+	if len(got.Tuples) != len(want.Tuples) {
+		t.Errorf("%s: %d tuples, want %d\n got: %+v\nwant: %+v", label, len(got.Tuples), len(want.Tuples), got.Tuples, want.Tuples)
+		return false
+	}
+	const tol = 1e-9
+	for i := range got.Tuples {
+		g, w := got.Tuples[i], want.Tuples[i]
+		if (g.PID == NoOwner) != (w.PID == NoOwner) {
+			t.Errorf("%s tuple %d: owner/no-owner mismatch: %+v vs %+v", label, i, g, w)
+			return false
+		}
+		if g.PID != NoOwner && g.P != w.P {
+			t.Errorf("%s tuple %d: owner %v, want %v", label, i, g.P, w.P)
+			return false
+		}
+		if math.Abs(g.Span.Lo-w.Span.Lo) > tol || math.Abs(g.Span.Hi-w.Span.Hi) > tol {
+			t.Errorf("%s tuple %d: span %+v, want %+v", label, i, g.Span, w.Span)
+			return false
+		}
+	}
+	return true
+}
+
+// TestMutateUnderConcurrentQueries drives a single writer through a few
+// hundred random mutations while (a) readers hammer CONN on the live handle
+// and (b) snapshot verifiers pin a clone, query it, and require the answers
+// to be identical to a fresh Open of exactly the point/obstacle sets that
+// clone observed. Run with -race in CI, this is the proof of the MVCC
+// contract: queries never see a half-applied mutation and every snapshot is
+// a real, reconstructible version of the database.
+func TestMutateUnderConcurrentQueries(t *testing.T) {
+	r := rand.New(rand.NewSource(1701))
+	points := make([]Point, 0, 150)
+	obstacles := make([]Rect, 0, 25)
+	for i := 0; i < 25; i++ {
+		lo := Pt(r.Float64()*950, r.Float64()*950)
+		obstacles = append(obstacles, R(lo.X, lo.Y, lo.X+10+r.Float64()*30, lo.Y+8+r.Float64()*20))
+	}
+free:
+	for len(points) < 150 {
+		p := Pt(r.Float64()*1000, r.Float64()*1000)
+		for _, o := range obstacles {
+			if o.ContainsOpen(p) {
+				continue free
+			}
+		}
+		points = append(points, p)
+	}
+	db, err := Open(points, obstacles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]Segment, 5)
+	for i := range queries {
+		a := Pt(r.Float64()*800, r.Float64()*800)
+		queries[i] = Seg(a, Pt(a.X+120+r.Float64()*80, a.Y+90))
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// The single writer: every kind of mutation, validation failures ignored.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		wr := rand.New(rand.NewSource(1702))
+		for i := 0; i < 250; i++ {
+			switch wr.Intn(4) {
+			case 0:
+				db.InsertPoint(Pt(wr.Float64()*1000, wr.Float64()*1000))
+			case 1:
+				lo := Pt(wr.Float64()*950, wr.Float64()*950)
+				db.InsertObstacle(R(lo.X, lo.Y, lo.X+5+wr.Float64()*25, lo.Y+5+wr.Float64()*15))
+			case 2:
+				db.DeletePoint(int32(wr.Intn(250)))
+			case 3:
+				db.DeleteObstacle(int32(wr.Intn(60)))
+			}
+		}
+	}()
+
+	// Live readers on the mutating handle: every answer must still be a
+	// well-formed partition (and, under -race, data-race free).
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, q := range queries {
+					res, _, err := db.CONN(q)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if !checkPartition(t, res) {
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Snapshot verifiers: pin a clone mid-mutation, then rebuild that exact
+	// version from scratch and demand identical answers.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 5; round++ {
+				c := db.Clone()
+				fresh, err := Open(c.Points(), c.Obstacles())
+				if err != nil {
+					t.Errorf("verifier %d round %d: reopen version %d: %v", g, round, c.Version(), err)
+					return
+				}
+				for qi, q := range queries {
+					a, _, err := c.CONN(q)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					b, _, err := fresh.CONN(q)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if !sameAnswer(t, fmt.Sprintf("verifier %d round %d version %d query %d", g, round, c.Version(), qi), a, b) {
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Batches pin one version for all workers: a batch racing the writer
+	// must agree with a sequential pass over a clone taken at the same time
+	// whenever the version did not change mid-setup (cheap final check, run
+	// after the writer is done so it is deterministic).
+	want := make([]*Result, len(queries))
+	for i, q := range queries {
+		if want[i], _, err = db.CONN(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _, err := db.CONNBatch(queries, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range queries {
+		if !sameAnswer(t, fmt.Sprintf("final batch query %d", i), got[i], want[i]) {
+			return
+		}
 	}
 }

@@ -25,11 +25,18 @@
 // configurable page size and optional LRU buffer, and reports the paper's
 // cost metrics (page faults, CPU time, points/obstacles evaluated,
 // visibility-graph size) with every query.
+//
+// The database is mutable with snapshot isolation: insertions and deletions
+// publish immutable copy-on-write MVCC versions, so queries (and clones)
+// always read one consistent snapshot while a single writer advances the
+// version chain — see the DB type's concurrency contract.
 package connquery
 
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"connquery/internal/core"
 	"connquery/internal/geom"
@@ -79,25 +86,68 @@ func R(minX, minY, maxX, maxY float64) Rect { return geom.R(minX, minY, maxX, ma
 // Seg builds a Segment.
 func Seg(a, b Point) Segment { return geom.Seg(a, b) }
 
-// DB is an immutable snapshot database over a point set and an obstacle set,
-// ready to answer CONN-family queries. A DB is safe for concurrent reads
-// only when metrics collection is not shared (each goroutine should use its
-// own DB or external synchronization; the page-fault counters and LRU buffer
-// are per-DB mutable state).
-type DB struct {
-	eng        *core.Engine
-	points     []Point
-	obstacles  []Rect
+// version is one immutable MVCC snapshot of the database: point and
+// obstacle storage, the tombstone sets, and an engine over this version's
+// R-tree roots. Once published through DB.cur a version is never modified;
+// mutations build a successor (sharing all untouched structure) and swap the
+// pointer. Every query loads the pointer exactly once, so it observes one
+// consistent version end to end.
+type version struct {
+	epoch      uint64
+	points     []Point // PID-indexed; append-only along a version chain
+	obstacles  []Rect  // OID-indexed; append-only along a version chain
 	deletedPts map[int32]bool
 	deletedObs map[int32]bool
-	dataBuf    *lru.Buffer
-	obstBuf    *lru.Buffer
-	cfg        config
+	eng        *core.Engine
 }
+
+// DB answers CONN-family queries over a point set and an obstacle set and
+// supports mutations with snapshot isolation (multi-version concurrency
+// control).
+//
+// Concurrency contract:
+//
+//   - Mutations (InsertPoint, DeletePoint, InsertObstacle, DeleteObstacle)
+//     serialize on an internal lock and may run concurrently with any
+//     queries on this DB or its clones: each mutation publishes a new
+//     immutable version via an atomic pointer swap, and every query reads
+//     the version that was current when it started.
+//   - Queries on one DB handle may run concurrently with each other and
+//     with the writer when no LRU buffer is configured (the default). The
+//     page-fault counters are shared per handle, so concurrent queries
+//     contaminate each other's per-query fault metrics (answers are
+//     unaffected); use one Clone per goroutine for clean metrics. With
+//     WithBufferPages the LRU buffer is unsynchronized shared state: give
+//     each querying goroutine its own Clone.
+//   - Clone pins the version current at call time: later mutations of the
+//     parent are invisible to the clone, and the clone may itself be
+//     mutated, forking an independent history.
+type DB struct {
+	cur atomic.Pointer[version]
+
+	// Writer state. mu serializes mutations on this handle; readers never
+	// take it. ownPts/ownObs record whether this handle exclusively owns the
+	// spare capacity of the latest version's storage slices (false on
+	// clones, which share the parent's arrays until their first append).
+	mu     sync.Mutex
+	ownPts bool
+	ownObs bool
+
+	states  *core.StatePool
+	dataBuf *lru.Buffer
+	obstBuf *lru.Buffer
+	cfg     config
+}
+
+// current returns the snapshot a query should run against.
+func (db *DB) current() *version { return db.cur.Load() }
 
 // Open builds a DB over the given points and obstacles. Points may lie on
 // obstacle boundaries but not strictly inside; violations are reported as an
-// error. Obstacle rectangles must be well-formed (Min <= Max).
+// error. Obstacle rectangles must be well-formed with strictly positive
+// width and height (degenerate rectangles have no blocking interior and
+// their coincident edges break occlusion assumptions; InsertObstacle
+// enforces the same rule).
 func Open(points []Point, obstacles []Rect, opts ...Option) (*DB, error) {
 	cfg := defaultConfig()
 	for _, o := range opts {
@@ -113,13 +163,19 @@ func Open(points []Point, obstacles []Rect, opts ...Option) (*DB, error) {
 	}
 	for i, o := range obstacles {
 		if !validRect(o) {
-			return nil, fmt.Errorf("connquery: obstacle %d is malformed: %v", i, o)
+			return nil, fmt.Errorf("connquery: obstacle %d is malformed: %v (must be finite with positive width and height)", i, o)
 		}
 	}
 	db := &DB{
+		cfg:    cfg,
+		states: core.NewStatePool(),
+		ownPts: true,
+		ownObs: true,
+	}
+	v := &version{
+		epoch:     1,
 		points:    append([]Point(nil), points...),
 		obstacles: append([]Rect(nil), obstacles...),
-		cfg:       cfg,
 	}
 
 	pointItems := make([]rtree.Item, len(points))
@@ -131,7 +187,7 @@ func Open(points []Point, obstacles []Rect, opts ...Option) (*DB, error) {
 		obstItems[i] = rtree.ObstacleItem(int32(i), o)
 	}
 
-	eng := &core.Engine{Obstacles: db.obstacles, Opts: cfg.tuning}
+	eng := &core.Engine{Obstacles: v.obstacles, Opts: cfg.tuning, Epoch: v.epoch, States: db.states}
 	if cfg.oneTree {
 		uni := rtree.New(rtree.Options{PageSize: cfg.pageSize})
 		uni.BulkLoad(append(pointItems, obstItems...))
@@ -160,85 +216,153 @@ func Open(points []Point, obstacles []Rect, opts ...Option) (*DB, error) {
 		eng.Data, eng.Obst = data, obst
 		eng.DataCounter, eng.ObstCounter = dc, oc
 	}
-	db.eng = eng
+	v.eng = eng
 
 	// Validate point placement using the freshly built obstacle index.
 	for i, p := range points {
-		for _, o := range db.obstaclesNear(p) {
+		for _, o := range v.obstaclesNear(p) {
 			if o.ContainsOpen(p) {
 				return nil, fmt.Errorf("connquery: point %d (%v) lies strictly inside obstacle %v", i, p, o)
 			}
 		}
 	}
+	db.cur.Store(v)
 	return db, nil
 }
 
-func (db *DB) obstaclesNear(p Point) []Rect {
+// obstaclesNear returns the obstacles whose rectangles contain (or touch) p.
+// The lookup runs through an unrecorded view so validation reads never
+// perturb I/O accounting or the (unsynchronized) LRU buffer.
+func (v *version) obstaclesNear(p Point) []Rect {
 	var out []Rect
 	w := geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
-	search := func(t *rtree.Tree) {
-		t.Search(w, func(it rtree.Item) bool {
-			if it.Kind == rtree.KindObstacle {
-				out = append(out, db.obstacles[it.ID])
-			}
-			return true
-		})
+	v.obstTree().View(nil).Search(w, func(it rtree.Item) bool {
+		if it.Kind == rtree.KindObstacle {
+			out = append(out, v.obstacles[it.ID])
+		}
+		return true
+	})
+	return out
+}
+
+// obstTree returns the tree holding obstacle items.
+func (v *version) obstTree() *rtree.Tree {
+	if v.eng.OneTree() {
+		return v.eng.Unified
 	}
-	if db.eng.OneTree() {
-		search(db.eng.Unified)
-	} else {
-		search(db.eng.Obst)
+	return v.eng.Obst
+}
+
+// pointTree returns the tree holding point items.
+func (v *version) pointTree() *rtree.Tree {
+	if v.eng.OneTree() {
+		return v.eng.Unified
+	}
+	return v.eng.Data
+}
+
+// NumPoints returns the size of the data set P (excluding deleted points).
+func (db *DB) NumPoints() int {
+	v := db.current()
+	return len(v.points) - len(v.deletedPts)
+}
+
+// NumObstacles returns the size of the obstacle set O (excluding deleted
+// obstacles).
+func (db *DB) NumObstacles() int {
+	v := db.current()
+	return len(v.obstacles) - len(v.deletedObs)
+}
+
+// Version returns the database's snapshot epoch. It starts at 1 and
+// increases by one with every successful mutation; clones report the epoch
+// of the version they pinned.
+func (db *DB) Version() uint64 { return db.current().epoch }
+
+// PointByID returns the data point with the given result PID.
+func (db *DB) PointByID(pid int32) (Point, bool) {
+	v := db.current()
+	if pid < 0 || int(pid) >= len(v.points) || v.deletedPts[pid] {
+		return Point{}, false
+	}
+	return v.points[pid], true
+}
+
+// Points returns the live (non-deleted) data points of the current snapshot.
+// The slice is freshly allocated and compact: its indexes are NOT PIDs when
+// points have been deleted.
+func (db *DB) Points() []Point {
+	v := db.current()
+	out := make([]Point, 0, len(v.points)-len(v.deletedPts))
+	for pid, p := range v.points {
+		if !v.deletedPts[int32(pid)] {
+			out = append(out, p)
+		}
 	}
 	return out
 }
 
-// NumPoints returns the size of the data set P (excluding deleted points).
-func (db *DB) NumPoints() int { return len(db.points) - len(db.deletedPts) }
-
-// NumObstacles returns the size of the obstacle set O (excluding deleted
-// obstacles).
-func (db *DB) NumObstacles() int { return len(db.obstacles) - len(db.deletedObs) }
-
-// PointByID returns the data point with the given result PID.
-func (db *DB) PointByID(pid int32) (Point, bool) {
-	if pid < 0 || int(pid) >= len(db.points) || db.deletedPts[pid] {
-		return Point{}, false
+// Obstacles returns the live (non-deleted) obstacles of the current
+// snapshot. The slice is freshly allocated and compact.
+func (db *DB) Obstacles() []Rect {
+	v := db.current()
+	out := make([]Rect, 0, len(v.obstacles)-len(v.deletedObs))
+	for oid, o := range v.obstacles {
+		if !v.deletedObs[int32(oid)] {
+			out = append(out, o)
+		}
 	}
-	return db.points[pid], true
+	return out
 }
 
-// Clone returns an independent query handle over the same indexes: the
-// R-tree nodes, points and obstacles are shared (they are immutable after
-// Open), while page-fault counters and the optional LRU buffer are fresh
-// per clone. Use one clone per goroutine for concurrent querying.
-func (db *DB) Clone() *DB {
-	cp := &DB{
-		points:    db.points,
-		obstacles: db.obstacles,
-		cfg:       db.cfg,
-	}
-	eng := &core.Engine{Obstacles: db.obstacles, Opts: db.cfg.tuning}
-	if db.eng.OneTree() {
+// viewEngine builds a read engine over v's indexes with fresh page-fault
+// counters and optional fresh LRU buffers. states may be nil, giving the
+// engine a private query-state pool.
+func viewEngine(v *version, cfg config, states *core.StatePool) (eng *core.Engine, dataBuf, obstBuf *lru.Buffer) {
+	eng = &core.Engine{Obstacles: v.obstacles, Opts: cfg.tuning, Epoch: v.epoch, States: states}
+	if v.eng.OneTree() {
 		c := &stats.PageCounter{}
-		if db.cfg.bufferPages > 0 {
-			cp.dataBuf = lru.New(db.cfg.bufferPages)
-			c.Buffer = cp.dataBuf
+		if cfg.bufferPages > 0 {
+			dataBuf = lru.New(cfg.bufferPages)
+			c.Buffer = dataBuf
 		}
-		eng.Unified = db.eng.Unified.View(c)
+		eng.Unified = v.eng.Unified.View(c)
 		eng.DataCounter = c
-	} else {
-		dc, oc := &stats.PageCounter{}, &stats.PageCounter{}
-		if db.cfg.bufferPages > 0 {
-			cp.dataBuf = lru.New(db.cfg.bufferPages)
-			cp.obstBuf = lru.New(db.cfg.bufferPages)
-			dc.Buffer = cp.dataBuf
-			oc.Buffer = cp.obstBuf
-		}
-		eng.Data = db.eng.Data.View(dc)
-		eng.Obst = db.eng.Obst.View(oc)
-		eng.DataCounter, eng.ObstCounter = dc, oc
+		return eng, dataBuf, nil
 	}
-	cp.eng = eng
+	dc, oc := &stats.PageCounter{}, &stats.PageCounter{}
+	if cfg.bufferPages > 0 {
+		dataBuf = lru.New(cfg.bufferPages)
+		obstBuf = lru.New(cfg.bufferPages)
+		dc.Buffer = dataBuf
+		oc.Buffer = obstBuf
+	}
+	eng.Data = v.eng.Data.View(dc)
+	eng.Obst = v.eng.Obst.View(oc)
+	eng.DataCounter, eng.ObstCounter = dc, oc
+	return eng, dataBuf, obstBuf
+}
+
+// Clone returns an independent query handle pinned to the current snapshot:
+// R-tree nodes, point/obstacle storage and tombstones are shared with this
+// version, while page-fault counters and the optional LRU buffer are fresh
+// per clone. Later mutations of the parent are invisible to the clone (and
+// vice versa: a mutated clone forks its own version chain), so a clone is a
+// stable, fully consistent view. Use one clone per goroutine when you need
+// uncontaminated per-query metrics or a buffered configuration.
+func (db *DB) Clone() *DB {
+	v := db.current()
+	cp := &DB{cfg: db.cfg, states: core.NewStatePool()}
+	eng, dataBuf, obstBuf := viewEngine(v, db.cfg, cp.states)
+	cp.dataBuf, cp.obstBuf = dataBuf, obstBuf
+	cp.cur.Store(&version{
+		epoch:      v.epoch,
+		points:     v.points,
+		obstacles:  v.obstacles,
+		deletedPts: v.deletedPts,
+		deletedObs: v.deletedObs,
+		eng:        eng,
+	})
 	return cp
 }
 
@@ -268,24 +392,30 @@ func (db *DB) CONN(q Segment) (*Result, Metrics, error) {
 	if err := db.validateQuery(q); err != nil {
 		return nil, Metrics{}, err
 	}
-	res, m := db.eng.CONN(q)
+	res, m := db.current().eng.CONN(q)
 	return res, m, nil
 }
 
 // CONNBatch answers a slice of CONN queries concurrently on a bounded
-// worker pool and returns results and metrics in input order. Each worker
-// queries through its own Clone — indexes are shared, page-fault counters
-// and the optional LRU buffer are per worker, and per-query scratch (the
-// local visibility graph, Dijkstra state, caches) is reused across all the
-// queries a worker processes. workers <= 0 selects GOMAXPROCS. All queries
-// are validated before any work starts.
+// worker pool and returns results and metrics in input order. The snapshot
+// current when the call starts is pinned for the whole batch, so every
+// worker answers from the same version even while mutations continue. Each
+// worker queries through its own engine view — indexes are shared,
+// page-fault counters and the optional LRU buffer are per worker, and
+// per-query scratch (the local visibility graph, Dijkstra state, caches) is
+// reused across all the queries a worker processes. workers <= 0 selects
+// GOMAXPROCS. All queries are validated before any work starts.
 func (db *DB) CONNBatch(queries []Segment, workers int) ([]*Result, []Metrics, error) {
 	for i, q := range queries {
 		if err := db.validateQuery(q); err != nil {
 			return nil, nil, fmt.Errorf("connquery: batch query %d: %w", i, err)
 		}
 	}
-	results, metrics := core.RunCONNBatch(func() *core.Engine { return db.Clone().eng }, queries, workers)
+	v := db.current()
+	results, metrics := core.RunCONNBatch(func() *core.Engine {
+		eng, _, _ := viewEngine(v, db.cfg, nil)
+		return eng
+	}, queries, workers)
 	return results, metrics, nil
 }
 
@@ -297,7 +427,7 @@ func (db *DB) COKNN(q Segment, k int) (*KResult, Metrics, error) {
 	if k < 1 {
 		return nil, Metrics{}, fmt.Errorf("connquery: k must be >= 1, got %d", k)
 	}
-	res, m := db.eng.COKNN(q, k)
+	res, m := db.current().eng.COKNN(q, k)
 	return res, m, nil
 }
 
@@ -306,7 +436,7 @@ func (db *DB) ONN(p Point, k int) ([]Neighbor, Metrics, error) {
 	if k < 1 {
 		return nil, Metrics{}, fmt.Errorf("connquery: k must be >= 1, got %d", k)
 	}
-	nbrs, m := db.eng.ONN(p, k)
+	nbrs, m := db.current().eng.ONN(p, k)
 	return nbrs, m, nil
 }
 
@@ -316,7 +446,7 @@ func (db *DB) CNN(q Segment) (*Result, Metrics, error) {
 	if err := db.validateQuery(q); err != nil {
 		return nil, Metrics{}, err
 	}
-	res, m := db.eng.CNN(q)
+	res, m := db.current().eng.CNN(q)
 	return res, m, nil
 }
 
@@ -327,7 +457,7 @@ func (db *DB) NaiveCONN(q Segment, samples int) (*Result, Metrics, error) {
 	if err := db.validateQuery(q); err != nil {
 		return nil, Metrics{}, err
 	}
-	res, m := db.eng.NaiveCONN(q, samples)
+	res, m := db.current().eng.NaiveCONN(q, samples)
 	return res, m, nil
 }
 
@@ -341,7 +471,7 @@ func (db *DB) EDistanceJoin(queries []Point, e float64) ([]JoinPair, Metrics, er
 	if e < 0 {
 		return nil, Metrics{}, fmt.Errorf("connquery: negative join distance %v", e)
 	}
-	pairs, m := db.eng.EDistanceJoin(queries, e)
+	pairs, m := db.current().eng.EDistanceJoin(queries, e)
 	return pairs, m, nil
 }
 
@@ -349,14 +479,14 @@ func (db *DB) EDistanceJoin(queries []Point, e float64) ([]JoinPair, Metrics, er
 // obstructed distance. With no query points the returned pair has
 // QIdx == -1 and infinite distance.
 func (db *DB) ClosestPair(queries []Point) (JoinPair, Metrics) {
-	pair, m := db.eng.ClosestPair(queries)
+	pair, m := db.current().eng.ClosestPair(queries)
 	return pair, m
 }
 
 // DistanceSemiJoin returns, for each query point, its obstructed nearest
 // data point, sorted ascending by distance.
 func (db *DB) DistanceSemiJoin(queries []Point) ([]JoinPair, Metrics) {
-	pairs, m := db.eng.DistanceSemiJoin(queries)
+	pairs, m := db.current().eng.DistanceSemiJoin(queries)
 	return pairs, m
 }
 
@@ -367,7 +497,7 @@ func (db *DB) VisibleKNN(p Point, k int) ([]Neighbor, Metrics, error) {
 	if k < 1 {
 		return nil, Metrics{}, fmt.Errorf("connquery: k must be >= 1, got %d", k)
 	}
-	nbrs, m := db.eng.VisibleKNN(p, k)
+	nbrs, m := db.current().eng.VisibleKNN(p, k)
 	return nbrs, m, nil
 }
 
@@ -381,7 +511,7 @@ func (db *DB) TrajectoryCONN(waypoints []Point) (*TrajectoryResult, Metrics, err
 	if len(waypoints) < 2 {
 		return nil, Metrics{}, errors.New("connquery: trajectory needs at least two waypoints")
 	}
-	res, m := db.eng.TrajectoryCONN(waypoints)
+	res, m := db.current().eng.TrajectoryCONN(waypoints)
 	if len(res.Legs) == 0 {
 		return nil, Metrics{}, errors.New("connquery: all trajectory legs are degenerate")
 	}
@@ -395,7 +525,7 @@ func (db *DB) ObstructedRange(center Point, radius float64) ([]Neighbor, Metrics
 	if radius < 0 {
 		return nil, Metrics{}, fmt.Errorf("connquery: negative radius %v", radius)
 	}
-	nbrs, m := db.eng.ObstructedRange(center, radius)
+	nbrs, m := db.current().eng.ObstructedRange(center, radius)
 	return nbrs, m, nil
 }
 
@@ -404,5 +534,5 @@ func (db *DB) ObstructedRange(center Point, radius float64) ([]Neighbor, Metrics
 // same incremental obstacle retrieval as the queries, so only obstacles near
 // the pair are examined.
 func (db *DB) ObstructedDist(a, b Point) float64 {
-	return db.eng.ObstructedDistance(a, b)
+	return db.current().eng.ObstructedDistance(a, b)
 }

@@ -10,11 +10,12 @@ import (
 )
 
 // cloneView returns an engine over the same immutable indexes with fresh
-// page-fault counters and a fresh query-state pool, so one batch worker can
-// query independently of its siblings. R-tree nodes, obstacle storage and
-// options are shared; per-query mutable state is not.
+// page-fault counters and a fresh (private) query-state pool, so one batch
+// worker can query independently of its siblings. R-tree nodes, obstacle
+// storage, options and the snapshot epoch are shared; per-query mutable
+// state is not.
 func (e *Engine) cloneView() *Engine {
-	cp := &Engine{Obstacles: e.Obstacles, Opts: e.Opts}
+	cp := &Engine{Obstacles: e.Obstacles, Opts: e.Opts, Epoch: e.Epoch}
 	if e.OneTree() {
 		c := &stats.PageCounter{}
 		cp.Unified = e.Unified.View(c)

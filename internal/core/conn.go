@@ -17,10 +17,10 @@ func (e *Engine) CONN(q geom.Segment) (*Result, stats.QueryMetrics) {
 	start := time.Now()
 	var snapD, snapO int64
 	if e.DataCounter != nil {
-		snapD = e.DataCounter.Faults
+		snapD = e.DataCounter.Faults()
 	}
 	if e.ObstCounter != nil {
-		snapO = e.ObstCounter.Faults
+		snapO = e.ObstCounter.Faults()
 	}
 
 	qs := e.newQueryState(q)
@@ -45,10 +45,10 @@ func (e *Engine) CONN(q geom.Segment) (*Result, stats.QueryMetrics) {
 		CPU: time.Since(start),
 	}
 	if e.DataCounter != nil {
-		m.FaultsData = e.DataCounter.Faults - snapD
+		m.FaultsData = e.DataCounter.Faults() - snapD
 	}
 	if e.ObstCounter != nil {
-		m.FaultsObst = e.ObstCounter.Faults - snapO
+		m.FaultsObst = e.ObstCounter.Faults() - snapO
 	}
 	return &Result{Q: q, Tuples: finalizeRL(rl)}, m
 }

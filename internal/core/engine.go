@@ -27,15 +27,35 @@ type Engine struct {
 	// Opts toggles individual optimizations (ablation switches).
 	Opts Options
 
+	// Epoch identifies the snapshot version this engine reads. Pooled query
+	// states remember the epoch they last served; on mismatch their cached
+	// geometry-derived structures (visibility graph, visible-region cache,
+	// Dijkstra scratch) are discarded rather than reused, so an engine over a
+	// new MVCC version never serves another version's stale geometry.
+	Epoch uint64
+
+	// States, when set, is a query-state pool shared across the engines of
+	// successive snapshot versions, keeping scratch buffers warm over
+	// mutations. When nil the engine pools privately (the pre-MVCC behavior,
+	// used by batch workers and directly constructed engines).
+	States *StatePool
+
 	// DataCounter and ObstCounter, when set, are consulted for page-fault
 	// snapshots around each query. In one-tree mode only DataCounter is used.
 	DataCounter *stats.PageCounter
 	ObstCounter *stats.PageCounter
 
 	// qsPool recycles per-query state (the local visibility graph, Dijkstra
-	// scratch, caches) across queries on this engine.
+	// scratch, caches) across queries on this engine when States is nil.
 	qsPool sync.Pool
 }
+
+// StatePool pools query states across the engines of an MVCC version chain.
+// It is safe for concurrent use.
+type StatePool struct{ p sync.Pool }
+
+// NewStatePool returns an empty pool.
+func NewStatePool() *StatePool { return &StatePool{} }
 
 // OneTree reports whether the engine runs in the single-R-tree mode.
 func (e *Engine) OneTree() bool { return e.Unified != nil }
@@ -44,14 +64,15 @@ func (e *Engine) OneTree() bool { return e.Unified != nil }
 // graph shared across all evaluated data points, the obstacle source, and
 // the visible-region cache.
 type queryState struct {
-	eng  *Engine
-	q    geom.Segment
-	vg   *visgraph.Graph
-	sID  visgraph.NodeID
-	eID  visgraph.NodeID
-	npe  int
-	noe  int
-	svgs int // peak corner-node count, for DisableVGReuse accounting
+	eng   *Engine
+	epoch uint64 // Engine.Epoch this state last served
+	q     geom.Segment
+	vg    *visgraph.Graph
+	sID   visgraph.NodeID
+	eID   visgraph.NodeID
+	npe   int
+	noe   int
+	svgs  int // peak corner-node count, for DisableVGReuse accounting
 
 	loadedUpTo float64
 
@@ -80,13 +101,29 @@ type queryState struct {
 }
 
 func (e *Engine) newQueryState(q geom.Segment) *queryState {
-	qs, _ := e.qsPool.Get().(*queryState)
-	if qs == nil {
+	var qs *queryState
+	if e.States != nil {
+		qs, _ = e.States.p.Get().(*queryState)
+	} else {
+		qs, _ = e.qsPool.Get().(*queryState)
+	}
+	switch {
+	case qs == nil:
 		qs = &queryState{
 			vg:      visgraph.New(),
 			vrCache: make(map[visgraph.NodeID]interval.Set),
 		}
+	case qs.epoch != e.Epoch:
+		// The snapshot advanced since this state last ran: its visibility
+		// graph and caches were built against another version's geometry, so
+		// drop them outright instead of trusting a capacity-retaining reset.
+		qs.vg = visgraph.New()
+		qs.vrCache = make(map[visgraph.NodeID]interval.Set)
+		qs.pieceScratch, qs.cutScratch = nil, nil
+		qs.spanScratch, qs.rayScratch = nil, nil
+		qs.cplScratch, qs.cplMergeScratch = nil, nil
 	}
+	qs.epoch = e.Epoch
 	qs.eng = e
 	qs.q = q
 	qs.npe, qs.noe, qs.svgs = 0, 0, 0
@@ -104,10 +141,23 @@ func (e *Engine) newQueryState(q geom.Segment) *queryState {
 	return qs
 }
 
-// release returns a query state to the engine's pool so the next query on
-// this engine reuses its visibility graph, Dijkstra scratch and caches. The
-// caller must not touch qs afterwards.
-func (e *Engine) release(qs *queryState) { e.qsPool.Put(qs) }
+// release returns a query state to the engine's pool (or the shared
+// cross-version pool) so the next query reuses its visibility graph,
+// Dijkstra scratch and caches. The caller must not touch qs afterwards.
+func (e *Engine) release(qs *queryState) {
+	// Do not pin this version's engine or trees in the pool: drop every
+	// reference into the snapshot (iterators and the Dijkstra search hold
+	// R-tree nodes alive) so retired MVCC versions can be collected.
+	qs.eng = nil
+	qs.ptIter, qs.obstIter, qs.unifIter = nil, nil, nil
+	qs.search = nil
+	qs.pending.Reset()
+	if e.States != nil {
+		e.States.p.Put(qs)
+		return
+	}
+	e.qsPool.Put(qs)
+}
 
 // resetVG (re)initializes the local visibility graph to just the two anchor
 // endpoints of q (paper §1: "Initially, the local visibility graph only

@@ -1,0 +1,179 @@
+package rtree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"connquery/internal/geom"
+)
+
+// collect returns every stored item keyed by "kind/id" for set comparison.
+func collect(t *testing.T, tr *Tree) map[string]Item {
+	t.Helper()
+	out := make(map[string]Item, tr.Size())
+	tr.All(func(it Item) bool {
+		out[fmt.Sprintf("%d/%d", it.Kind, it.ID)] = it
+		return true
+	})
+	if len(out) != tr.Size() {
+		t.Fatalf("All visited %d items, Size reports %d", len(out), tr.Size())
+	}
+	return out
+}
+
+func sameItems(t *testing.T, got, want map[string]Item, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d items, want %d", label, len(got), len(want))
+	}
+	for k, w := range want {
+		g, ok := got[k]
+		if !ok || g.Rect != w.Rect {
+			t.Fatalf("%s: item %s = %+v, want %+v", label, k, g, w)
+		}
+	}
+}
+
+// TestCloneCOWIsolation mutates a COW clone heavily and checks that the
+// original tree is bit-for-bit unaffected while the clone matches an
+// identically mutated in-place reference tree.
+func TestCloneCOWIsolation(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	base := New(Options{PageSize: 256}) // small fanout: deep tree, many splits
+	ref := New(Options{PageSize: 256})
+	items := make([]Item, 400)
+	for i := range items {
+		p := geom.Pt(r.Float64()*1000, r.Float64()*1000)
+		items[i] = PointItem(int32(i), p)
+		base.Insert(items[i])
+		ref.Insert(items[i])
+	}
+	before := collect(t, base)
+
+	cow := base.CloneCOW()
+	// Interleave inserts and deletes on the clone and the reference.
+	next := int32(len(items))
+	for i := 0; i < 300; i++ {
+		if i%3 != 0 {
+			it := PointItem(next, geom.Pt(r.Float64()*1000, r.Float64()*1000))
+			next++
+			cow.Insert(it)
+			ref.Insert(it)
+		} else {
+			victim := items[r.Intn(len(items))]
+			if cow.Delete(victim) != ref.Delete(victim) {
+				t.Fatalf("delete divergence on %+v", victim)
+			}
+		}
+	}
+
+	if err := base.CheckInvariants(); err != nil {
+		t.Fatalf("original invariants after COW mutations: %v", err)
+	}
+	if err := cow.CheckInvariants(); err != nil {
+		t.Fatalf("clone invariants: %v", err)
+	}
+	sameItems(t, collect(t, base), before, "original after clone mutations")
+	sameItems(t, collect(t, cow), collect(t, ref), "clone vs in-place reference")
+	if cow.Size() != ref.Size() || cow.Height() != ref.Height() {
+		t.Fatalf("clone size/height %d/%d, reference %d/%d", cow.Size(), cow.Height(), ref.Size(), ref.Height())
+	}
+}
+
+// TestCloneCOWChainAndFork advances a chain of versions and forks it,
+// verifying every retained version still answers window queries exactly.
+func TestCloneCOWChainAndFork(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	cur := New(Options{PageSize: 256})
+	for i := 0; i < 120; i++ {
+		cur.Insert(PointItem(int32(i), geom.Pt(r.Float64()*100, r.Float64()*100)))
+	}
+	type snap struct {
+		tree *Tree
+		want map[string]Item
+	}
+	snaps := []snap{{cur, collect(t, cur)}}
+	next := int32(120)
+	for v := 0; v < 8; v++ {
+		cur = cur.CloneCOW()
+		for i := 0; i < 25; i++ {
+			cur.Insert(PointItem(next, geom.Pt(r.Float64()*100, r.Float64()*100)))
+			next++
+		}
+		// Delete a few known survivors.
+		var victims []Item
+		cur.All(func(it Item) bool {
+			if it.ID%7 == int32(v) {
+				victims = append(victims, it)
+			}
+			return len(victims) < 5
+		})
+		for _, it := range victims {
+			if !cur.Delete(it) {
+				t.Fatalf("version %d: failed to delete live item %+v", v, it)
+			}
+		}
+		snaps = append(snaps, snap{cur, collect(t, cur)})
+	}
+	// Fork the middle version twice and mutate both forks differently.
+	mid := snaps[4].tree
+	fa, fb := mid.CloneCOW(), mid.CloneCOW()
+	for i := 0; i < 40; i++ {
+		fa.Insert(PointItem(next, geom.Pt(r.Float64()*100, r.Float64()*100)))
+		next++
+		fb.Insert(ObstacleItem(next, geom.R(r.Float64()*90, r.Float64()*90, r.Float64()*90+5, r.Float64()*90+5)))
+		next++
+	}
+	if err := fa.CheckInvariants(); err != nil {
+		t.Fatalf("fork A invariants: %v", err)
+	}
+	if err := fb.CheckInvariants(); err != nil {
+		t.Fatalf("fork B invariants: %v", err)
+	}
+	// Every snapshot must be unchanged by all later mutations and forks.
+	for i, s := range snaps {
+		if err := s.tree.CheckInvariants(); err != nil {
+			t.Fatalf("version %d invariants: %v", i, err)
+		}
+		sameItems(t, collect(t, s.tree), s.want, fmt.Sprintf("version %d", i))
+	}
+}
+
+// TestCloneCOWConcurrentReads mutates a clone while readers traverse the
+// original from other goroutines; run under -race this proves writers never
+// touch shared nodes.
+func TestCloneCOWConcurrentReads(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	base := New(Options{PageSize: 512})
+	for i := 0; i < 500; i++ {
+		base.Insert(PointItem(int32(i), geom.Pt(r.Float64()*1000, r.Float64()*1000)))
+	}
+	want := base.Size()
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				n := 0
+				base.Search(geom.R(0, 0, 1000, 1000), func(Item) bool { n++; return true })
+				if n != want {
+					t.Errorf("reader saw %d items, want %d", n, want)
+					return
+				}
+			}
+		}()
+	}
+	cow := base.CloneCOW()
+	next := int32(500)
+	for i := 0; i < 400; i++ {
+		cow.Insert(PointItem(next, geom.Pt(r.Float64()*1000, r.Float64()*1000)))
+		next++
+		if i%4 == 0 {
+			cow.Delete(PointItem(int32(i), geom.Pt(0, 0))) // mostly misses; exercises findLeaf on shared nodes
+		}
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}

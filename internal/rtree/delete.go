@@ -10,6 +10,9 @@ func (t *Tree) Delete(it Item) bool {
 	if path == nil {
 		return false
 	}
+	// The search may have traversed shared nodes; make the whole path
+	// writable before condensation mutates it (no-op on in-place trees).
+	path = t.shadowPath(path)
 	leaf := path[len(path)-1]
 	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
 	t.size--

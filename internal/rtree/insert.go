@@ -30,10 +30,12 @@ func (t *Tree) insertAtLevel(e entry, level int, reinserted []bool) {
 }
 
 // choosePath descends from the root to the node at the target level
-// (counted from the leaves, leaf = 1), returning the visited path.
+// (counted from the leaves, leaf = 1), returning the visited path. Every
+// node on the path is made writable (shadow-copied under a CloneCOW handle)
+// up front: the caller will at minimum grow its MBR via adjustPath.
 func (t *Tree) choosePath(r geom.Rect, level int) []*node {
 	path := make([]*node, 0, t.height)
-	n := t.root
+	n := t.shadowRoot()
 	depth := t.height
 	for {
 		t.visit(n)
@@ -49,7 +51,7 @@ func (t *Tree) choosePath(r geom.Rect, level int) []*node {
 		} else {
 			idx = chooseLeastEnlargement(n.entries, r)
 		}
-		n = n.entries[idx].child
+		n = t.shadowChild(n, idx)
 		depth--
 	}
 }

@@ -8,7 +8,10 @@
 // Supported operations: one-by-one R*-insertion with forced reinsertion,
 // deletion with tree condensation, window search, incremental best-first
 // nearest-neighbour traversal ordered by mindist to a query segment or
-// point (Hjaltason & Samet style), and STR bulk loading.
+// point (Hjaltason & Samet style), and STR bulk loading. Mutations can also
+// run copy-on-write against a CloneCOW handle, which path-copies every node
+// it would modify so older handles keep reading immutable snapshots — the
+// substrate for the public API's MVCC versioning.
 package rtree
 
 import (
@@ -75,7 +78,10 @@ type AccessRecorder interface {
 }
 
 // Tree is an R*-tree. Not safe for concurrent mutation; concurrent readers
-// are safe once loading is complete.
+// are safe once loading is complete. For readers that must stay consistent
+// while a writer advances the index, mutate a CloneCOW handle instead of the
+// shared tree: the clone path-copies every node it would modify, so the
+// original handle keeps answering from an unchanged snapshot.
 type Tree struct {
 	root       *node
 	height     int // number of levels; 1 = root is a leaf
@@ -84,11 +90,18 @@ type Tree struct {
 	minEntries int
 	access     AccessRecorder
 	nextPageID int64
+	// cowEpoch is the shadowing generation of this handle. Nodes whose epoch
+	// differs are owned by an ancestor (or published) version and are copied
+	// before any modification; nodes with a matching epoch were created by
+	// this handle and may be written in place. A freshly built tree has
+	// epoch 0 everywhere, so plain Insert/Delete stay fully in place.
+	cowEpoch uint64
 }
 
 type node struct {
 	pageID  int64
 	leaf    bool
+	epoch   uint64
 	entries []entry
 }
 
@@ -123,9 +136,11 @@ func New(opts Options) *Tree {
 func (t *Tree) SetAccessRecorder(a AccessRecorder) { t.access = a }
 
 // View returns a read-only handle over the same nodes with its own access
-// recorder. Views let concurrent readers keep independent I/O accounting
-// while sharing the index. Mutating a view (Insert/Delete/BulkLoad) is a
-// programming error: the underlying nodes are shared.
+// recorder (nil suppresses accounting entirely). Views let concurrent
+// readers keep independent I/O accounting while sharing the index.
+// Mutating a view in place (Insert/Delete/BulkLoad) is a programming
+// error — the underlying nodes are shared; take a CloneCOW of the view to
+// mutate safely.
 func (t *Tree) View(a AccessRecorder) *Tree {
 	cp := *t
 	cp.access = a
@@ -153,9 +168,91 @@ func (t *Tree) Bounds() geom.Rect {
 }
 
 func (t *Tree) newNode(leaf bool) *node {
-	n := &node{pageID: t.nextPageID, leaf: leaf}
+	n := &node{pageID: t.nextPageID, leaf: leaf, epoch: t.cowEpoch}
 	t.nextPageID++
 	return n
+}
+
+// CloneCOW returns a mutable copy-on-write handle over the same nodes.
+// Insert and Delete on the clone shadow-copy (path-copy) every node they
+// would modify, so the receiver — and every older handle in the chain —
+// keeps reading its own unchanged snapshot. Untouched subtrees stay shared.
+//
+// Contract: once a CloneCOW handle has been taken, the receiver must be
+// treated as immutable (mutate only the newest handle in a chain). Clones of
+// the same tree may diverge independently; their private nodes are never
+// reachable from one another. Shadow copies are charged to the access
+// recorder like any other node write and receive fresh page IDs, so NumNodes
+// counts historical (shadowed-out) pages too on mutated lineages.
+func (t *Tree) CloneCOW() *Tree {
+	cp := *t
+	cp.cowEpoch = t.cowEpoch + 1
+	return &cp
+}
+
+// shadow returns a node guaranteed writable by this handle: n itself when
+// this handle created it, otherwise a fresh copy with this handle's epoch.
+// The caller must re-link the copy into its (already writable) parent.
+func (t *Tree) shadow(n *node) *node {
+	if n.epoch == t.cowEpoch {
+		return n
+	}
+	cp := t.newNode(n.leaf)
+	cp.entries = append(make([]entry, 0, len(n.entries)+1), n.entries...)
+	return cp
+}
+
+// shadowRoot makes the root writable, re-rooting the tree at the copy.
+func (t *Tree) shadowRoot() *node {
+	if t.root.epoch != t.cowEpoch {
+		t.root = t.shadow(t.root)
+	}
+	return t.root
+}
+
+// shadowChild makes parent's idx-th child writable and re-links it. The
+// parent must already be writable.
+func (t *Tree) shadowChild(parent *node, idx int) *node {
+	c := parent.entries[idx].child
+	if c.epoch != t.cowEpoch {
+		c = t.shadow(c)
+		parent.entries[idx].child = c
+	}
+	return c
+}
+
+// shadowPath rewrites a root-to-node path (as returned by findLeaf) so every
+// node on it is writable, re-linking copies top-down. Entry indexes into the
+// path's nodes remain valid because shadowing preserves entry order.
+func (t *Tree) shadowPath(path []*node) []*node {
+	allOwned := true
+	for _, n := range path {
+		if n.epoch != t.cowEpoch {
+			allOwned = false
+			break
+		}
+	}
+	if allOwned {
+		return path
+	}
+	out := make([]*node, len(path))
+	out[0] = t.shadowRoot()
+	for i := 1; i < len(path); i++ {
+		parent := out[i-1]
+		for j := range parent.entries {
+			if parent.entries[j].child == path[i] {
+				out[i] = t.shadowChild(parent, j)
+				break
+			}
+		}
+		if out[i] == nil {
+			// path[i] was already shadowed earlier in this walk (identical
+			// pointer replaced); find the copy by position is impossible, so
+			// this indicates a caller bug.
+			panic("rtree: shadowPath lost track of a path node")
+		}
+	}
+	return out
 }
 
 func (t *Tree) visit(n *node) {

@@ -7,6 +7,7 @@ package stats
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"connquery/internal/lru"
@@ -17,27 +18,39 @@ const IOChargePerFault = 10 * time.Millisecond
 
 // PageCounter counts page accesses and faults; it implements
 // rtree.AccessRecorder. With a nil Buffer every access faults (the paper's
-// default zero-buffer configuration).
+// default zero-buffer configuration). The counters are atomic so queries can
+// run concurrently with an MVCC writer (or with each other) without data
+// races; the optional LRU Buffer is NOT concurrency-safe and callers sharing
+// a buffered counter across goroutines must externally synchronize.
 type PageCounter struct {
-	Accesses int64
-	Faults   int64
+	accesses atomic.Int64
+	faults   atomic.Int64
 	Buffer   *lru.Buffer
 }
 
 // RecordAccess registers one page access.
 func (c *PageCounter) RecordAccess(pageID int64) {
-	c.Accesses++
+	c.accesses.Add(1)
 	if c.Buffer != nil {
 		if !c.Buffer.Access(pageID) {
-			c.Faults++
+			c.faults.Add(1)
 		}
 		return
 	}
-	c.Faults++
+	c.faults.Add(1)
 }
 
+// Accesses returns the number of page accesses recorded so far.
+func (c *PageCounter) Accesses() int64 { return c.accesses.Load() }
+
+// Faults returns the number of page faults recorded so far.
+func (c *PageCounter) Faults() int64 { return c.faults.Load() }
+
 // Reset zeroes the counters (buffer residency is left untouched).
-func (c *PageCounter) Reset() { c.Accesses, c.Faults = 0, 0 }
+func (c *PageCounter) Reset() {
+	c.accesses.Store(0)
+	c.faults.Store(0)
+}
 
 // QueryMetrics captures one query's cost profile.
 type QueryMetrics struct {

@@ -13,11 +13,11 @@ func TestPageCounterNoBuffer(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		c.RecordAccess(1) // same page every time: still all faults
 	}
-	if c.Accesses != 5 || c.Faults != 5 {
-		t.Fatalf("accesses=%d faults=%d", c.Accesses, c.Faults)
+	if c.Accesses() != 5 || c.Faults() != 5 {
+		t.Fatalf("accesses=%d faults=%d", c.Accesses(), c.Faults())
 	}
 	c.Reset()
-	if c.Accesses != 0 || c.Faults != 0 {
+	if c.Accesses() != 0 || c.Faults() != 0 {
 		t.Fatal("Reset did not zero counters")
 	}
 }
@@ -28,8 +28,8 @@ func TestPageCounterWithBuffer(t *testing.T) {
 	c.RecordAccess(1) // hit
 	c.RecordAccess(2) // fault
 	c.RecordAccess(1) // hit
-	if c.Accesses != 4 || c.Faults != 2 {
-		t.Fatalf("accesses=%d faults=%d", c.Accesses, c.Faults)
+	if c.Accesses() != 4 || c.Faults() != 2 {
+		t.Fatalf("accesses=%d faults=%d", c.Accesses(), c.Faults())
 	}
 }
 

@@ -4,65 +4,186 @@ import (
 	"fmt"
 	"math"
 
+	"connquery/internal/core"
 	"connquery/internal/rtree"
 )
 
-// Mutation support. The R*-tree handles inserts and deletes natively; the
-// DB layers ID management and the point/obstacle validity rules on top.
-// Mutations must not run concurrently with queries or other mutations
-// (same rule as any single-writer index); clones see mutations because the
-// R-tree nodes are shared, so re-Clone after mutating.
+// Mutation support with snapshot isolation. Every mutation serializes on the
+// DB's writer lock, builds a new immutable version from the current one —
+// copy-on-write R*-tree (only the nodes on the touched root-to-leaf paths
+// are duplicated), shared point/obstacle storage, copy-on-write tombstone
+// maps — and publishes it with a single atomic pointer swap. Queries load
+// the version pointer once at their start, so they always see one
+// consistent snapshot: mutations may run concurrently with any number of
+// queries on this DB or its clones, and clones pinned to older versions
+// keep answering from exactly the state they captured.
+//
+// PIDs and OIDs are never reused: storage is append-only along a version
+// chain and deletions only set tombstones, so result PIDs from any version
+// remain meaningful.
 
 func validCoord(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 func validPoint(p Point) bool { return validCoord(p.X) && validCoord(p.Y) }
 
+// validRect accepts only well-formed, non-degenerate obstacles: both sides
+// must have strictly positive extent. Zero-area rectangles have an empty
+// open interior, so they could never block anything, yet their coincident
+// edges and corners violate the occlusion code's assumption that edge
+// endpoints are distinct. Open and InsertObstacle share this predicate, so
+// they accept exactly the same obstacle set.
 func validRect(r Rect) bool {
 	return validCoord(r.MinX) && validCoord(r.MinY) &&
-		validCoord(r.MaxX) && validCoord(r.MaxY) && r.Valid()
+		validCoord(r.MaxX) && validCoord(r.MaxY) &&
+		r.MinX < r.MaxX && r.MinY < r.MaxY
+}
+
+// grownCopy returns a copy of s with spare capacity for future appends.
+func grownCopy[T any](s []T) []T {
+	c := 2 * len(s)
+	if c < 8 {
+		c = 8
+	}
+	out := make([]T, len(s), c)
+	copy(out, s)
+	return out
+}
+
+// cloneTombs copies a tombstone map and adds one entry. The published map is
+// never modified in place: versions share it until the next deletion. The
+// full copy makes each delete O(total deletions); acceptable while
+// deletions are rare relative to queries — a per-version overlay chain (or
+// compaction once tombstones dominate) is the upgrade path if delete-heavy
+// workloads appear.
+func cloneTombs(m map[int32]bool, add int32) map[int32]bool {
+	nm := make(map[int32]bool, len(m)+1)
+	for k := range m {
+		nm[k] = true
+	}
+	nm[add] = true
+	return nm
+}
+
+// beginVersion starts a successor of v sharing all of its structure. The
+// caller overwrites the fields it changes and must publish via db.publish.
+func beginVersion(v *version) *version {
+	return &version{
+		epoch:      v.epoch + 1,
+		points:     v.points,
+		obstacles:  v.obstacles,
+		deletedPts: v.deletedPts,
+		deletedObs: v.deletedObs,
+	}
+}
+
+// publish makes nv the DB's current version. Callers hold db.mu.
+func (db *DB) publish(nv *version) { db.cur.Store(nv) }
+
+// mutateTree builds nv's engine from v's: the tree holding items of the
+// given kind is copy-on-write cloned and mutated by fn, the other tree
+// handle is shared untouched. I/O accounting is detached while fn runs —
+// structural page writes are not part of the paper's query cost model, and
+// skipping the recorder keeps the writer off the (unsynchronized) LRU
+// buffer while readers use it. Counters, options and the shared query-state
+// pool carry over so metrics and warm scratch survive across versions.
+// mutateTree returns fn's verdict; on false the caller must discard nv.
+func (db *DB) mutateTree(v, nv *version, kind rtree.Kind, fn func(*rtree.Tree) bool) bool {
+	old := v.eng
+	eng := &core.Engine{
+		Obstacles:   nv.obstacles,
+		Opts:        db.cfg.tuning,
+		Epoch:       nv.epoch,
+		States:      db.states,
+		DataCounter: old.DataCounter,
+		ObstCounter: old.ObstCounter,
+	}
+	cow := func(t *rtree.Tree, rec rtree.AccessRecorder) (*rtree.Tree, bool) {
+		nt := t.CloneCOW()
+		nt.SetAccessRecorder(nil)
+		ok := fn(nt)
+		nt.SetAccessRecorder(rec)
+		return nt, ok
+	}
+	var ok bool
+	switch {
+	case old.OneTree():
+		eng.Unified, ok = cow(old.Unified, old.DataCounter)
+	case kind == rtree.KindPoint:
+		eng.Data, ok = cow(old.Data, old.DataCounter)
+		eng.Obst = old.Obst
+	default:
+		eng.Obst, ok = cow(old.Obst, old.ObstCounter)
+		eng.Data = old.Data
+	}
+	nv.eng = eng
+	return ok
 }
 
 // InsertPoint adds a data point and returns its PID. The point must not lie
-// strictly inside any obstacle.
+// strictly inside any obstacle. The insertion becomes visible to queries
+// that start after InsertPoint returns; in-flight queries and existing
+// clones keep their snapshot.
 func (db *DB) InsertPoint(p Point) (int32, error) {
 	if !validPoint(p) {
 		return 0, fmt.Errorf("connquery: invalid point %v", p)
 	}
-	for _, o := range db.obstaclesNear(p) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	v := db.current()
+	for _, o := range v.obstaclesNear(p) {
 		if o.ContainsOpen(p) {
 			return 0, fmt.Errorf("connquery: point %v lies strictly inside obstacle %v", p, o)
 		}
 	}
-	pid := int32(len(db.points))
-	db.points = append(db.points, p)
-	db.tree(rtree.KindPoint).Insert(rtree.PointItem(pid, p))
+	pid := int32(len(v.points))
+	nv := beginVersion(v)
+	if !db.ownPts {
+		nv.points = grownCopy(v.points)
+		db.ownPts = true
+	}
+	// Appending in place is safe even while older versions are being read:
+	// they only ever index their own shorter prefix of the shared array.
+	nv.points = append(nv.points, p)
+	db.mutateTree(v, nv, rtree.KindPoint, func(t *rtree.Tree) bool {
+		t.Insert(rtree.PointItem(pid, p))
+		return true
+	})
+	db.publish(nv)
 	return pid, nil
 }
 
 // DeletePoint removes the point with the given PID. It reports whether the
 // point existed (deleting twice returns false).
 func (db *DB) DeletePoint(pid int32) bool {
-	if pid < 0 || int(pid) >= len(db.points) || db.deletedPts[pid] {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	v := db.current()
+	if pid < 0 || int(pid) >= len(v.points) || v.deletedPts[pid] {
 		return false
 	}
-	if !db.tree(rtree.KindPoint).Delete(rtree.PointItem(pid, db.points[pid])) {
+	nv := beginVersion(v)
+	nv.deletedPts = cloneTombs(v.deletedPts, pid)
+	if !db.mutateTree(v, nv, rtree.KindPoint, func(t *rtree.Tree) bool {
+		return t.Delete(rtree.PointItem(pid, v.points[pid]))
+	}) {
 		return false
 	}
-	if db.deletedPts == nil {
-		db.deletedPts = make(map[int32]bool)
-	}
-	db.deletedPts[pid] = true
+	db.publish(nv)
 	return true
 }
 
-// InsertObstacle adds an obstacle and returns its ID. No existing data
-// point may lie strictly inside it.
+// InsertObstacle adds an obstacle and returns its ID. The rectangle must
+// have strictly positive width and height (the same rule Open enforces) and
+// no existing data point may lie strictly inside it.
 func (db *DB) InsertObstacle(r Rect) (int32, error) {
 	if !validRect(r) {
-		return 0, fmt.Errorf("connquery: invalid obstacle %v", r)
+		return 0, fmt.Errorf("connquery: invalid obstacle %v (must be finite with positive width and height)", r)
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	v := db.current()
 	var blocked *int32
-	db.tree(rtree.KindPoint).Search(r, func(it rtree.Item) bool {
+	v.pointTree().View(nil).Search(r, func(it rtree.Item) bool {
 		if it.Kind == rtree.KindPoint && r.ContainsOpen(it.Point()) {
 			id := it.ID
 			blocked = &id
@@ -73,36 +194,37 @@ func (db *DB) InsertObstacle(r Rect) (int32, error) {
 	if blocked != nil {
 		return 0, fmt.Errorf("connquery: obstacle %v would swallow point %d", r, *blocked)
 	}
-	oid := int32(len(db.obstacles))
-	db.obstacles = append(db.obstacles, r)
-	db.eng.Obstacles = db.obstacles
-	db.tree(rtree.KindObstacle).Insert(rtree.ObstacleItem(oid, r))
+	oid := int32(len(v.obstacles))
+	nv := beginVersion(v)
+	if !db.ownObs {
+		nv.obstacles = grownCopy(v.obstacles)
+		db.ownObs = true
+	}
+	nv.obstacles = append(nv.obstacles, r)
+	db.mutateTree(v, nv, rtree.KindObstacle, func(t *rtree.Tree) bool {
+		t.Insert(rtree.ObstacleItem(oid, r))
+		return true
+	})
+	db.publish(nv)
 	return oid, nil
 }
 
 // DeleteObstacle removes the obstacle with the given ID. It reports whether
 // the obstacle existed.
 func (db *DB) DeleteObstacle(oid int32) bool {
-	if oid < 0 || int(oid) >= len(db.obstacles) || db.deletedObs[oid] {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	v := db.current()
+	if oid < 0 || int(oid) >= len(v.obstacles) || v.deletedObs[oid] {
 		return false
 	}
-	if !db.tree(rtree.KindObstacle).Delete(rtree.ObstacleItem(oid, db.obstacles[oid])) {
+	nv := beginVersion(v)
+	nv.deletedObs = cloneTombs(v.deletedObs, oid)
+	if !db.mutateTree(v, nv, rtree.KindObstacle, func(t *rtree.Tree) bool {
+		return t.Delete(rtree.ObstacleItem(oid, v.obstacles[oid]))
+	}) {
 		return false
 	}
-	if db.deletedObs == nil {
-		db.deletedObs = make(map[int32]bool)
-	}
-	db.deletedObs[oid] = true
+	db.publish(nv)
 	return true
-}
-
-// tree returns the index holding items of the given kind.
-func (db *DB) tree(kind rtree.Kind) *rtree.Tree {
-	if db.eng.OneTree() {
-		return db.eng.Unified
-	}
-	if kind == rtree.KindPoint {
-		return db.eng.Data
-	}
-	return db.eng.Obst
 }

@@ -12,6 +12,7 @@ import (
 // endpoints, and split points as '|'. The viewport is the bounding box of
 // everything drawn, padded 5%.
 func (db *DB) RenderScene(q Segment, res *Result, width, height int) string {
+	v := db.current()
 	if width < 8 {
 		width = 8
 	}
@@ -20,14 +21,14 @@ func (db *DB) RenderScene(q Segment, res *Result, width, height int) string {
 	}
 	// Viewport.
 	box := q.Bounds()
-	for pid, p := range db.points {
-		if db.deletedPts[int32(pid)] {
+	for pid, p := range v.points {
+		if v.deletedPts[int32(pid)] {
 			continue
 		}
 		box = box.ExpandPoint(p)
 	}
-	for oid, o := range db.obstacles {
-		if db.deletedObs[int32(oid)] {
+	for oid, o := range v.obstacles {
+		if v.deletedObs[int32(oid)] {
 			continue
 		}
 		box = box.Union(o)
@@ -48,8 +49,8 @@ func (db *DB) RenderScene(q Segment, res *Result, width, height int) string {
 	}
 
 	// Obstacles.
-	for oid, o := range db.obstacles {
-		if db.deletedObs[int32(oid)] {
+	for oid, o := range v.obstacles {
+		if v.deletedObs[int32(oid)] {
 			continue
 		}
 		x0, y1 := toCell(Point{X: o.MinX, Y: o.MinY})
@@ -80,8 +81,8 @@ func (db *DB) RenderScene(q Segment, res *Result, width, height int) string {
 	ex, ey := toCell(q.B)
 	grid[ey][ex] = 'E'
 	// Points (drawn last so they stay visible).
-	for pid, p := range db.points {
-		if db.deletedPts[int32(pid)] {
+	for pid, p := range v.points {
+		if v.deletedPts[int32(pid)] {
 			continue
 		}
 		x, y := toCell(p)

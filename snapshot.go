@@ -23,9 +23,12 @@ import (
 var snapshotMagic = [8]byte{'C', 'O', 'N', 'N', 'Q', 'v', '1', '\n'}
 
 // Save writes the database's point and obstacle sets to w in the snapshot
-// format. Construction options (page size, buffers, one-tree) are runtime
-// configuration and are not persisted; pass them to Load.
+// format. The version current when Save starts is pinned for the whole
+// write, so a snapshot taken under concurrent mutation is still internally
+// consistent. Construction options (page size, buffers, one-tree) are
+// runtime configuration and are not persisted; pass them to Load.
 func (db *DB) Save(w io.Writer) error {
+	v := db.current()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(snapshotMagic[:]); err != nil {
 		return fmt.Errorf("connquery: save: %w", err)
@@ -36,11 +39,11 @@ func (db *DB) Save(w io.Writer) error {
 	}
 	// Deleted objects are dropped from the snapshot; PIDs are therefore
 	// compacted on load.
-	if err := writeU64(uint64(db.NumPoints())); err != nil {
+	if err := writeU64(uint64(len(v.points) - len(v.deletedPts))); err != nil {
 		return fmt.Errorf("connquery: save: %w", err)
 	}
-	for pid, p := range db.points {
-		if db.deletedPts[int32(pid)] {
+	for pid, p := range v.points {
+		if v.deletedPts[int32(pid)] {
 			continue
 		}
 		if err := writeF64(p.X); err != nil {
@@ -50,11 +53,11 @@ func (db *DB) Save(w io.Writer) error {
 			return fmt.Errorf("connquery: save: %w", err)
 		}
 	}
-	if err := writeU64(uint64(db.NumObstacles())); err != nil {
+	if err := writeU64(uint64(len(v.obstacles) - len(v.deletedObs))); err != nil {
 		return fmt.Errorf("connquery: save: %w", err)
 	}
-	for oid, o := range db.obstacles {
-		if db.deletedObs[int32(oid)] {
+	for oid, o := range v.obstacles {
+		if v.deletedObs[int32(oid)] {
 			continue
 		}
 		for _, v := range [4]float64{o.MinX, o.MinY, o.MaxX, o.MaxY} {
