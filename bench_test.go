@@ -9,6 +9,7 @@ package connquery
 // pre-optimization numbers — see README.md).
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -147,9 +148,10 @@ func BenchmarkPublicAPI_CONN(b *testing.B) {
 	for i := range queries {
 		queries[i] = dataset.QuerySegment(rng, 0.045, w.Obstacles)
 	}
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := db.CONN(queries[i%len(queries)]); err != nil {
+		if _, _, err := Run(ctx, db, CONNRequest{Seg: queries[i%len(queries)]}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -171,8 +173,9 @@ func BenchmarkCONNBatch(b *testing.B) {
 	}
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			ctx := context.Background()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := db.CONNBatch(queries, workers); err != nil {
+				if _, err := db.Exec(ctx, CONNBatchRequest{Segs: queries}, WithWorkers(workers)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -197,14 +200,15 @@ func TestDefaultCellQueryAllocBudget(t *testing.T) {
 	for i := range queries {
 		queries[i] = dataset.QuerySegment(rng, 0.045, w.Obstacles)
 	}
+	ctx := context.Background()
 	for _, q := range queries { // warm the engine's pooled query state
-		if _, _, err := db.CONN(q); err != nil {
+		if _, _, err := Run(ctx, db, CONNRequest{Seg: q}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	i := 0
 	avg := testing.AllocsPerRun(20, func() {
-		db.CONN(queries[i%len(queries)])
+		db.Exec(ctx, CONNRequest{Seg: queries[i%len(queries)]})
 		i++
 	})
 	if avg > budget {
@@ -231,7 +235,7 @@ func BenchmarkObstructedDist(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := pairs[i%len(pairs)]
-		db.ObstructedDist(p[0], p[1])
+		runDist(db, p[0], p[1])
 	}
 }
 
@@ -246,16 +250,17 @@ func BenchmarkNaiveVsCONN(b *testing.B) {
 	}
 	rng := rand.New(rand.NewSource(11))
 	q := dataset.QuerySegment(rng, 0.015, w.Obstacles)
+	ctx := context.Background()
 	b.Run("CONN", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := db.CONN(q); err != nil {
+			if _, _, err := Run(ctx, db, CONNRequest{Seg: q}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("Naive64", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := db.NaiveCONN(q, 64); err != nil {
+			if _, _, err := Run(ctx, db, NaiveCONNRequest{Seg: q, Samples: 64}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -293,7 +298,7 @@ func BenchmarkMutateUnderLoad(b *testing.B) {
 					return
 				default:
 				}
-				if _, _, err := db.CONN(queries[i%len(queries)]); err != nil {
+				if _, _, err := Run(context.Background(), db, CONNRequest{Seg: queries[i%len(queries)]}); err != nil {
 					b.Error(err)
 					return
 				}

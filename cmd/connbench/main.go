@@ -5,27 +5,35 @@
 // Usage:
 //
 //	connbench [-fig all|9|10|11|12|13|ablations] [-scale 0.1] [-queries 100] [-seed 2009]
-//	connbench -json <dir> [-scale 0.1] [-queries 100] [-seed 2009]
+//	connbench -json <dir> [-baseline BENCH_table2_defaults.json] [-max-regress 0.10]
 //
 // -scale 1 reproduces the paper's full dataset cardinalities (|CA| = 60,344
 // points, |LA| = 131,461 obstacles); the default 0.1 runs the whole suite in
 // minutes while preserving every curve's shape.
 //
-// -json runs the Table 2 default cell (CL, k = 5, ql = 4.5%) and writes
-// BENCH_table2_defaults.json (ns/op, bytes/op, allocs/op, NPE, NOE, |SVG|)
-// into the given directory instead of printing figures; the repository's
-// BENCH_baseline.json pins the pre-optimization numbers in the same schema
-// (see README.md).
+// -json runs the Table 2 default cell (CL, k = 5, ql = 4.5%) through the
+// public request API — one op is one COkNNRequest answered by DB.Exec on a
+// prebuilt database — and writes BENCH_table2_defaults.json (ns/op,
+// bytes/op, allocs/op, NPE, NOE, |SVG|) into the given directory instead of
+// printing figures. With -baseline the fresh measurement is compared
+// against a pinned record: the run fails (exit 1) when ns/op regresses by
+// more than -max-regress, or when the machine-independent NPE/NOE/|SVG|
+// metrics deviate at all — the CI regression gate.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 	"time"
 
+	"connquery"
 	"connquery/internal/bench"
+	"connquery/internal/geom"
+	"connquery/internal/stats"
 )
 
 func main() {
@@ -33,14 +41,16 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "dataset cardinality scale (1 = the paper's sizes)")
 	queries := flag.Int("queries", 100, "queries per experiment cell")
 	seed := flag.Int64("seed", 2009, "workload seed")
-	jsonDir := flag.String("json", "", "measure the Table 2 default cell and write BENCH_*.json into this directory instead of printing figures")
+	jsonDir := flag.String("json", "", "measure the Table 2 default cell via the public Exec API and write BENCH_*.json into this directory instead of printing figures")
+	baseline := flag.String("baseline", "", "with -json: compare against this pinned BENCH_*.json record and fail on regression")
+	maxRegress := flag.Float64("max-regress", 0.10, "with -baseline: maximum tolerated ns/op regression (0.10 = 10%)")
 	flag.Parse()
 
 	cfg := bench.Config{Scale: *scale, Queries: *queries, Seed: *seed}
 	out := os.Stdout
 
 	if *jsonDir != "" {
-		res := bench.MeasureTable2Defaults(cfg)
+		res := measureTable2Exec(cfg)
 		path, err := bench.WriteJSON(*jsonDir, res)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "connbench:", err)
@@ -48,6 +58,12 @@ func main() {
 		}
 		fmt.Fprintf(out, "%s: %.2f ms/op, %.0f allocs/op, NPE %.1f, NOE %.1f, |SVG| %.1f\n",
 			path, res.NsPerOp/1e6, res.AllocsPerOp, res.NPE, res.NOE, res.SVG)
+		if *baseline != "" {
+			if err := compareBaseline(out, res, *baseline, *maxRegress); err != nil {
+				fmt.Fprintln(os.Stderr, "connbench:", err)
+				os.Exit(1)
+			}
+		}
 		return
 	}
 
@@ -76,4 +92,62 @@ func main() {
 		r()
 	}
 	fmt.Fprintf(out, "completed in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// measureTable2Exec measures the Table 2 default cell end to end through
+// the public request API: the same workload, query stream and accounting as
+// the engine-level measurement, with DB.Exec answering one COkNNRequest per
+// op. Keeping the two paths comparable in one schema is what lets the
+// baseline gate catch a regression introduced anywhere between the public
+// surface and the engine.
+func measureTable2Exec(cfg bench.Config) bench.BenchResult {
+	ctx := context.Background()
+	return bench.MeasureTable2With(cfg,
+		"connbench -json (one op = one COkNNRequest via DB.Exec, index build excluded)",
+		func(w bench.Workload) func(q geom.Segment) stats.QueryMetrics {
+			db, err := connquery.Open(w.Points, w.Obstacles)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "connbench:", err)
+				os.Exit(1)
+			}
+			return func(q geom.Segment) stats.QueryMetrics {
+				ans, err := db.Exec(ctx, connquery.COkNNRequest{Seg: q, K: bench.DefaultK})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "connbench:", err)
+					os.Exit(1)
+				}
+				return ans.Metrics()
+			}
+		})
+}
+
+// compareBaseline enforces the regression gate against a pinned record.
+func compareBaseline(out *os.File, cur bench.BenchResult, path string, maxRegress float64) error {
+	base, err := bench.ReadJSON(path)
+	if err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	ratio := cur.NsPerOp / base.NsPerOp
+	fmt.Fprintf(out, "baseline %s: %.2f ms/op -> %.2f ms/op (%+.1f%%)\n",
+		path, base.NsPerOp/1e6, cur.NsPerOp/1e6, (ratio-1)*100)
+	// Comparing runs of different workloads is meaningless in both halves
+	// of the gate, so a parameter mismatch is an error, not a silent skip.
+	if cur.Scale != base.Scale || cur.Queries != base.Queries || cur.Seed != base.Seed || cur.K != base.K || cur.QL != base.QL {
+		return fmt.Errorf("workload parameters do not match the baseline (scale %g vs %g, queries %d vs %d, seed %d vs %d): re-pin the record or align the flags",
+			cur.Scale, base.Scale, cur.Queries, base.Queries, cur.Seed, base.Seed)
+	}
+	// The workload metrics are machine-independent: with matching
+	// parameters, any deviation is an algorithmic change, not noise. The
+	// ns/op half of the gate IS machine-dependent — re-pin the record when
+	// the reference hardware changes.
+	const tol = 1e-9
+	if math.Abs(cur.NPE-base.NPE) > tol || math.Abs(cur.NOE-base.NOE) > tol || math.Abs(cur.SVG-base.SVG) > tol {
+		return fmt.Errorf("workload metrics deviate from baseline: NPE %.2f vs %.2f, NOE %.2f vs %.2f, |SVG| %.2f vs %.2f",
+			cur.NPE, base.NPE, cur.NOE, base.NOE, cur.SVG, base.SVG)
+	}
+	if ratio > 1+maxRegress {
+		return fmt.Errorf("ns/op regressed %.1f%% (limit %.0f%%): %.2f ms/op vs baseline %.2f ms/op",
+			(ratio-1)*100, maxRegress*100, cur.NsPerOp/1e6, base.NsPerOp/1e6)
+	}
+	return nil
 }

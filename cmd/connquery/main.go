@@ -10,10 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -38,6 +40,7 @@ func main() {
 	pointFlag := flag.String("point", "", "query point as x,y (for -algo onn)")
 	oneTree := flag.Bool("onetree", false, "index points and obstacles in one R-tree")
 	buffer := flag.Int("buffer", 0, "LRU buffer pages per tree")
+	timeout := flag.Duration("timeout", 0, "abort the query after this duration (0 = no deadline)")
 	pointsCSV := flag.String("points-csv", "", "load data points from a CSV file (x,y rows) instead of generating them")
 	obstaclesCSV := flag.String("obstacles-csv", "", "load obstacles from a CSV file (minx,miny,maxx,maxy rows)")
 	flag.Parse()
@@ -73,55 +76,60 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// One execution path for every algorithm: build the Request, Exec it.
+	// Ctrl-C (or -timeout) aborts mid-query via context cancellation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var req connquery.Request
 	switch strings.ToLower(*algo) {
 	case "onn":
 		p, err := parsePoint(*pointFlag)
 		if err != nil {
 			log.Fatalf("-point: %v", err)
 		}
-		nbrs, m, err := db.ONN(p, *k)
-		if err != nil {
-			log.Fatal(err)
-		}
-		for i, n := range nbrs {
-			fmt.Printf("%d. point %d at %v, obstructed distance %.2f\n", i+1, n.PID, n.P, n.Dist)
-		}
-		fmt.Printf("metrics: %v\n", m)
-	case "conn", "cnn", "naive":
+		req = connquery.ONNRequest{P: p, K: *k}
+	case "conn", "cnn", "naive", "coknn":
 		q, err := parseSegment(*queryFlag)
 		if err != nil {
 			log.Fatalf("-query: %v", err)
 		}
-		var res *connquery.Result
-		var m connquery.Metrics
 		switch strings.ToLower(*algo) {
 		case "conn":
-			res, m, err = db.CONN(q)
+			req = connquery.CONNRequest{Seg: q}
 		case "cnn":
-			res, m, err = db.CNN(q)
+			req = connquery.CNNRequest{Seg: q}
+		case "naive":
+			req = connquery.NaiveCONNRequest{Seg: q, Samples: *samples}
 		default:
-			res, m, err = db.NaiveCONN(q, *samples)
+			req = connquery.COkNNRequest{Seg: q, K: *k}
 		}
-		if err != nil {
-			log.Fatal(err)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -algo %q\n", *algo)
+		os.Exit(2)
+	}
+
+	ans, err := db.Exec(ctx, req)
+	if err != nil {
+		log.Fatalf("%s: %v", req.Kind(), err)
+	}
+	// Dispatch on the request, not the payload: an empty []Neighbor answer
+	// is nil and must not fall through to the *Result branch.
+	switch req.(type) {
+	case connquery.ONNRequest:
+		if len(ans.Neighbors()) == 0 {
+			fmt.Println("no reachable data point")
 		}
-		for _, tup := range res.Tuples {
-			if tup.PID == connquery.NoOwner {
-				fmt.Printf("t [%.4f, %.4f]: unreachable\n", tup.Span.Lo, tup.Span.Hi)
-				continue
-			}
-			fmt.Printf("t [%.4f, %.4f]: point %d at %v\n", tup.Span.Lo, tup.Span.Hi, tup.PID, tup.P)
+		for i, n := range ans.Neighbors() {
+			fmt.Printf("%d. point %d at %v, obstructed distance %.2f\n", i+1, n.PID, n.P, n.Dist)
 		}
-		fmt.Printf("%d tuples, %d split points\nmetrics: %v\n", len(res.Tuples), len(res.SplitPoints()), m)
-	case "coknn":
-		q, err := parseSegment(*queryFlag)
-		if err != nil {
-			log.Fatalf("-query: %v", err)
-		}
-		res, m, err := db.COKNN(q, *k)
-		if err != nil {
-			log.Fatal(err)
-		}
+	case connquery.COkNNRequest:
+		res := ans.KResult()
 		for _, tup := range res.Tuples {
 			ids := make([]int32, len(tup.Owners))
 			for i, o := range tup.Owners {
@@ -129,11 +137,19 @@ func main() {
 			}
 			fmt.Printf("t [%.4f, %.4f]: points %v\n", tup.Span.Lo, tup.Span.Hi, ids)
 		}
-		fmt.Printf("%d tuples\nmetrics: %v\n", len(res.Tuples), m)
+		fmt.Printf("%d tuples\n", len(res.Tuples))
 	default:
-		fmt.Fprintf(os.Stderr, "unknown -algo %q\n", *algo)
-		os.Exit(2)
+		res := ans.Result()
+		for _, tup := range res.Tuples {
+			if tup.PID == connquery.NoOwner {
+				fmt.Printf("t [%.4f, %.4f]: unreachable\n", tup.Span.Lo, tup.Span.Hi)
+				continue
+			}
+			fmt.Printf("t [%.4f, %.4f]: point %d at %v\n", tup.Span.Lo, tup.Span.Hi, tup.PID, tup.P)
+		}
+		fmt.Printf("%d tuples, %d split points\n", len(res.Tuples), len(res.SplitPoints()))
 	}
+	fmt.Printf("metrics: %v\n", ans.Metrics())
 }
 
 func parsePoint(s string) (connquery.Point, error) {

@@ -1,6 +1,7 @@
 package connquery
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -54,17 +55,18 @@ func TestCONNBatchMatchesSequential(t *testing.T) {
 	want := make([]*Result, len(queries))
 	wantM := make([]Metrics, len(queries))
 	for i, q := range queries {
-		res, m, err := db.CONN(q)
+		res, m, err := Run(context.Background(), db, CONNRequest{Seg: q})
 		if err != nil {
 			t.Fatal(err)
 		}
 		want[i], wantM[i] = res, m
 	}
 	for _, workers := range []int{0, 1, 2, 4, 16} {
-		got, ms, err := db.CONNBatch(queries, workers)
+		ans, err := db.Exec(context.Background(), CONNBatchRequest{Segs: queries}, WithWorkers(workers))
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
+		got, ms := ans.Results(), ans.ItemMetrics()
 		if len(got) != len(queries) || len(ms) != len(queries) {
 			t.Fatalf("workers=%d: %d results, %d metrics, want %d", workers, len(got), len(ms), len(queries))
 		}
@@ -93,13 +95,13 @@ func TestCONNBatchMatchesSequential(t *testing.T) {
 // TestCONNBatchEdgeCases covers the empty batch and validation failures.
 func TestCONNBatchEdgeCases(t *testing.T) {
 	db, queries := batchFixture(t, 2)
-	res, ms, err := db.CONNBatch(nil, 4)
-	if err != nil || len(res) != 0 || len(ms) != 0 {
-		t.Fatalf("empty batch: res=%v ms=%v err=%v", res, ms, err)
+	ans, err := db.Exec(context.Background(), CONNBatchRequest{}, WithWorkers(4))
+	if err != nil || len(ans.Results()) != 0 || len(ans.ItemMetrics()) != 0 {
+		t.Fatalf("empty batch: ans=%v err=%v", ans, err)
 	}
 	bad := append([]Segment{}, queries...)
 	bad = append(bad, Seg(Pt(1, 1), Pt(1, 1))) // degenerate
-	if _, _, err := db.CONNBatch(bad, 4); err == nil {
+	if _, err := db.Exec(context.Background(), CONNBatchRequest{Segs: bad}, WithWorkers(4)); err == nil {
 		t.Fatal("degenerate query in batch must fail validation")
 	}
 }
@@ -108,11 +110,11 @@ func TestCloneProducesSameAnswers(t *testing.T) {
 	db := smallDB(t)
 	clone := db.Clone()
 	q := Seg(Pt(0, 0), Pt(100, 0))
-	a, _, err := db.CONN(q)
+	a, _, err := Run(context.Background(), db, CONNRequest{Seg: q})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := clone.CONN(q)
+	b, _, err := Run(context.Background(), clone, CONNRequest{Seg: q})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +179,7 @@ func TestConcurrentClones(t *testing.T) {
 	}
 	want := make([][]int32, len(queries))
 	for i, q := range queries {
-		res, _, err := db.CONN(q)
+		res, _, err := Run(context.Background(), db, CONNRequest{Seg: q})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -195,7 +197,7 @@ func TestConcurrentClones(t *testing.T) {
 			defer wg.Done()
 			clone := db.Clone()
 			for i, q := range queries {
-				res, _, err := clone.CONN(q)
+				res, _, err := Run(context.Background(), clone, CONNRequest{Seg: q})
 				if err != nil {
 					errs <- err
 					return
@@ -342,7 +344,7 @@ free:
 				default:
 				}
 				for _, q := range queries {
-					res, _, err := db.CONN(q)
+					res, _, err := Run(context.Background(), db, CONNRequest{Seg: q})
 					if err != nil {
 						t.Error(err)
 						return
@@ -369,12 +371,12 @@ free:
 					return
 				}
 				for qi, q := range queries {
-					a, _, err := c.CONN(q)
+					a, _, err := Run(context.Background(), c, CONNRequest{Seg: q})
 					if err != nil {
 						t.Error(err)
 						return
 					}
-					b, _, err := fresh.CONN(q)
+					b, _, err := Run(context.Background(), fresh, CONNRequest{Seg: q})
 					if err != nil {
 						t.Error(err)
 						return
@@ -394,17 +396,48 @@ free:
 	// after the writer is done so it is deterministic).
 	want := make([]*Result, len(queries))
 	for i, q := range queries {
-		if want[i], _, err = db.CONN(q); err != nil {
+		if want[i], _, err = Run(context.Background(), db, CONNRequest{Seg: q}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	got, _, err := db.CONNBatch(queries, 4)
+	batch, err := db.Exec(context.Background(), CONNBatchRequest{Segs: queries}, WithWorkers(4))
 	if err != nil {
 		t.Fatal(err)
 	}
+	got := batch.Results()
 	for i := range queries {
 		if !sameAnswer(t, fmt.Sprintf("final batch query %d", i), got[i], want[i]) {
 			return
 		}
+	}
+}
+
+// TestBufferedHandleConcurrentQueries pins the LRU-footgun fix: a buffered
+// handle may serve concurrent queries — and ResetBufferStats may race them —
+// without corrupting the buffer or the hit/miss counters (run under -race
+// in CI; before the buffer was internally locked this was documented as
+// unsupported and corrupted metrics silently).
+func TestBufferedHandleConcurrentQueries(t *testing.T) {
+	db, queries := batchFixture(t, 6) // WithBufferPages(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if _, _, err := Run(context.Background(), db, CONNRequest{Seg: queries[(g+i)%len(queries)]}); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%3 == 0 {
+					db.ResetBufferStats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// The buffer still answers sanely after the storm.
+	if _, _, err := Run(context.Background(), db, CONNRequest{Seg: queries[0]}); err != nil {
+		t.Fatal(err)
 	}
 }

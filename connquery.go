@@ -9,27 +9,53 @@
 // the exact split positions where the answer changes. COkNN generalizes the
 // answer to the k nearest points per position.
 //
-// Basic usage:
+// # Requests and Exec
+//
+// Every query is a first-class request value executed through one path:
 //
 //	db, err := connquery.Open(points, obstacles)
 //	if err != nil { ... }
-//	res, metrics, err := db.CONN(connquery.Seg(start, end))
+//	res, metrics, err := connquery.Run(ctx, db, connquery.CONNRequest{Seg: connquery.Seg(start, end)})
 //	if err != nil { ... }
 //	for _, tup := range res.Tuples {
 //	    fmt.Println(tup.P, "owns", res.Q.SubSegment(tup.Span.Lo, tup.Span.Hi))
 //	}
 //	fmt.Println("cost:", metrics.TotalCost())
 //
+// Run is the statically typed helper over DB.Exec, which returns an Answer
+// carrying the payload, the query Metrics and the MVCC epoch it ran
+// against. The request family covers the paper and its related work:
+// CONNRequest, COkNNRequest, ONNRequest, CNNRequest, NaiveCONNRequest,
+// RangeRequest, TrajectoryRequest, CONNBatchRequest, EDistanceJoinRequest,
+// DistanceSemiJoinRequest, ClosestPairRequest, VisibleKNNRequest and
+// DistanceRequest.
+//
+// Per-call QueryOptions subsume what used to require dedicated methods:
+// AtVersion/AtSnapshot pin a query to an explicitly pinned MVCC version
+// (DB.Snapshot returns the pin handle), WithQueryTuning overrides the
+// ablation switches for one call, and WithWorkers runs a multi-item request
+// on a bounded worker pool. The ctx passed to Exec is polled inside the
+// query hot loops (the Dijkstra settle loop, incremental obstacle
+// retrieval, the control-point scan), so cancellation and deadlines abort
+// even a single stuck query promptly with ctx.Err().
+//
+// # Watching continuous queries under updates
+//
+// The database is mutable with snapshot isolation: mutations publish
+// immutable copy-on-write MVCC versions while queries read one consistent
+// snapshot end to end. DB.Watch subscribes a request to that version chain:
+// every committed mutation re-executes the request against the freshly
+// published version (coalescing bursts) and delivers the revised Answer
+// with its epoch and the delta against the previous answer — the live
+// variant of the paper's continuous queries.
+//
+// # Cost model
+//
 // The library indexes P and O with R*-trees (two separate trees by default,
 // or a single unified tree with WithOneTree), models page I/O with a
 // configurable page size and optional LRU buffer, and reports the paper's
 // cost metrics (page faults, CPU time, points/obstacles evaluated,
 // visibility-graph size) with every query.
-//
-// The database is mutable with snapshot isolation: insertions and deletions
-// publish immutable copy-on-write MVCC versions, so queries (and clones)
-// always read one consistent snapshot while a single writer advances the
-// version chain — see the DB type's concurrency contract.
 package connquery
 
 import (
@@ -70,8 +96,14 @@ type (
 	KTuple = core.KTuple
 	// Neighbor is one answer of a point ONN query.
 	Neighbor = core.Neighbor
+	// Owner is one member of a COkNN answer set.
+	Owner = core.Owner
 	// Metrics reports one query's cost profile.
 	Metrics = stats.QueryMetrics
+	// JoinPair is one result of an obstructed join query.
+	JoinPair = core.JoinPair
+	// TrajectoryResult is a per-leg CONN answer over a polyline trajectory.
+	TrajectoryResult = core.TrajectoryResult
 )
 
 // NoOwner marks intervals with no reachable data point.
@@ -113,15 +145,16 @@ type version struct {
 //     immutable version via an atomic pointer swap, and every query reads
 //     the version that was current when it started.
 //   - Queries on one DB handle may run concurrently with each other and
-//     with the writer when no LRU buffer is configured (the default). The
+//     with the writer. The optional LRU buffer (WithBufferPages) locks
+//     internally, so buffered handles are concurrency-safe too; the
 //     page-fault counters are shared per handle, so concurrent queries
-//     contaminate each other's per-query fault metrics (answers are
-//     unaffected); use one Clone per goroutine for clean metrics. With
-//     WithBufferPages the LRU buffer is unsynchronized shared state: give
-//     each querying goroutine its own Clone.
+//     contaminate each other's per-query fault metrics (answers and the
+//     NPE/NOE/SVG metrics are unaffected) — use one Clone per goroutine, or
+//     CONNBatchRequest's per-worker views, for clean fault accounting.
 //   - Clone pins the version current at call time: later mutations of the
 //     parent are invisible to the clone, and the clone may itself be
-//     mutated, forking an independent history.
+//     mutated, forking an independent history. DB.Snapshot pins a version
+//     without creating a new handle, for AtSnapshot/AtVersion queries.
 type DB struct {
 	cur atomic.Pointer[version]
 
@@ -137,6 +170,12 @@ type DB struct {
 	dataBuf *lru.Buffer
 	obstBuf *lru.Buffer
 	cfg     config
+
+	// pins holds the versions kept alive by unreleased Snapshot handles.
+	pins pinSet
+
+	// watch holds the live Watch subscriptions notified on every publish.
+	watch watchSet
 }
 
 // current returns the snapshot a query should run against.
@@ -155,6 +194,13 @@ func Open(points []Point, obstacles []Rect, opts ...Option) (*DB, error) {
 	}
 	if len(points) == 0 {
 		return nil, errors.New("connquery: no data points")
+	}
+	if cfg.tuning.DisableVGReuse && cfg.oneTree {
+		// The ablation rewinds the obstacle iterator per evaluated point,
+		// which the unified-tree source cannot do without re-consuming data
+		// points; reject the combination here rather than panicking (or
+		// erroring) on the first query.
+		return nil, errors.New("connquery: DisableVGReuse is incompatible with WithOneTree")
 	}
 	for i, p := range points {
 		if !validPoint(p) {
@@ -232,7 +278,7 @@ func Open(points []Point, obstacles []Rect, opts ...Option) (*DB, error) {
 
 // obstaclesNear returns the obstacles whose rectangles contain (or touch) p.
 // The lookup runs through an unrecorded view so validation reads never
-// perturb I/O accounting or the (unsynchronized) LRU buffer.
+// perturb I/O accounting or the LRU buffer.
 func (v *version) obstaclesNear(p Point) []Rect {
 	var out []Rect
 	w := geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
@@ -349,7 +395,8 @@ func viewEngine(v *version, cfg config, states *core.StatePool) (eng *core.Engin
 // per clone. Later mutations of the parent are invisible to the clone (and
 // vice versa: a mutated clone forks its own version chain), so a clone is a
 // stable, fully consistent view. Use one clone per goroutine when you need
-// uncontaminated per-query metrics or a buffered configuration.
+// uncontaminated per-query fault metrics. Snapshot pins and Watch
+// subscriptions do not carry over to the clone.
 func (db *DB) Clone() *DB {
 	v := db.current()
 	cp := &DB{cfg: db.cfg, states: core.NewStatePool()}
@@ -368,6 +415,8 @@ func (db *DB) Clone() *DB {
 
 // ResetBufferStats zeroes the LRU hit/miss counters while keeping resident
 // pages, the boundary between the paper's warm-up and measurement phases.
+// The buffers lock internally, so it is safe to call while queries run;
+// in-flight queries simply split their counts across the two phases.
 func (db *DB) ResetBufferStats() {
 	if db.dataBuf != nil {
 		db.dataBuf.ResetStats()
@@ -375,164 +424,4 @@ func (db *DB) ResetBufferStats() {
 	if db.obstBuf != nil {
 		db.obstBuf.ResetStats()
 	}
-}
-
-// validateQuery rejects unusable query segments.
-func (db *DB) validateQuery(q Segment) error {
-	if q.Degenerate() {
-		return errors.New("connquery: query segment is degenerate (use ONN for point queries)")
-	}
-	return nil
-}
-
-// CONN answers a continuous obstructed nearest neighbor query over q: the
-// returned tuples partition q and each names the data point that is the
-// obstructed NN of every position in its interval.
-func (db *DB) CONN(q Segment) (*Result, Metrics, error) {
-	if err := db.validateQuery(q); err != nil {
-		return nil, Metrics{}, err
-	}
-	res, m := db.current().eng.CONN(q)
-	return res, m, nil
-}
-
-// CONNBatch answers a slice of CONN queries concurrently on a bounded
-// worker pool and returns results and metrics in input order. The snapshot
-// current when the call starts is pinned for the whole batch, so every
-// worker answers from the same version even while mutations continue. Each
-// worker queries through its own engine view — indexes are shared,
-// page-fault counters and the optional LRU buffer are per worker, and
-// per-query scratch (the local visibility graph, Dijkstra state, caches) is
-// reused across all the queries a worker processes. workers <= 0 selects
-// GOMAXPROCS. All queries are validated before any work starts.
-func (db *DB) CONNBatch(queries []Segment, workers int) ([]*Result, []Metrics, error) {
-	for i, q := range queries {
-		if err := db.validateQuery(q); err != nil {
-			return nil, nil, fmt.Errorf("connquery: batch query %d: %w", i, err)
-		}
-	}
-	v := db.current()
-	results, metrics := core.RunCONNBatch(func() *core.Engine {
-		eng, _, _ := viewEngine(v, db.cfg, nil)
-		return eng
-	}, queries, workers)
-	return results, metrics, nil
-}
-
-// COKNN answers a continuous obstructed k-nearest-neighbor query (k >= 1).
-func (db *DB) COKNN(q Segment, k int) (*KResult, Metrics, error) {
-	if err := db.validateQuery(q); err != nil {
-		return nil, Metrics{}, err
-	}
-	if k < 1 {
-		return nil, Metrics{}, fmt.Errorf("connquery: k must be >= 1, got %d", k)
-	}
-	res, m := db.current().eng.COKNN(q, k)
-	return res, m, nil
-}
-
-// ONN answers a snapshot obstructed k-nearest-neighbor query at a point.
-func (db *DB) ONN(p Point, k int) ([]Neighbor, Metrics, error) {
-	if k < 1 {
-		return nil, Metrics{}, fmt.Errorf("connquery: k must be >= 1, got %d", k)
-	}
-	nbrs, m := db.current().eng.ONN(p, k)
-	return nbrs, m, nil
-}
-
-// CNN answers a classical Euclidean continuous nearest neighbor query,
-// ignoring obstacles — the baseline the paper contrasts in Figure 1.
-func (db *DB) CNN(q Segment) (*Result, Metrics, error) {
-	if err := db.validateQuery(q); err != nil {
-		return nil, Metrics{}, err
-	}
-	res, m := db.current().eng.CNN(q)
-	return res, m, nil
-}
-
-// NaiveCONN answers CONN by sampling: an ONN query at samples+1 evenly
-// spaced positions. Approximate and slow by design; it is the baseline the
-// paper's introduction rules out.
-func (db *DB) NaiveCONN(q Segment, samples int) (*Result, Metrics, error) {
-	if err := db.validateQuery(q); err != nil {
-		return nil, Metrics{}, err
-	}
-	res, m := db.current().eng.NaiveCONN(q, samples)
-	return res, m, nil
-}
-
-// JoinPair is one result of an obstructed join query.
-type JoinPair = core.JoinPair
-
-// EDistanceJoin returns every (query point, data point) pair whose
-// obstructed distance is at most e (the obstructed e-distance join of
-// Zhang et al., EDBT 2004).
-func (db *DB) EDistanceJoin(queries []Point, e float64) ([]JoinPair, Metrics, error) {
-	if e < 0 {
-		return nil, Metrics{}, fmt.Errorf("connquery: negative join distance %v", e)
-	}
-	pairs, m := db.current().eng.EDistanceJoin(queries, e)
-	return pairs, m, nil
-}
-
-// ClosestPair returns the (query point, data point) pair with the smallest
-// obstructed distance. With no query points the returned pair has
-// QIdx == -1 and infinite distance.
-func (db *DB) ClosestPair(queries []Point) (JoinPair, Metrics) {
-	pair, m := db.current().eng.ClosestPair(queries)
-	return pair, m
-}
-
-// DistanceSemiJoin returns, for each query point, its obstructed nearest
-// data point, sorted ascending by distance.
-func (db *DB) DistanceSemiJoin(queries []Point) ([]JoinPair, Metrics) {
-	pairs, m := db.current().eng.DistanceSemiJoin(queries)
-	return pairs, m
-}
-
-// VisibleKNN returns the k nearest data points (Euclidean) among those
-// visible from p — obstacles occlude rather than detour (the VkNN query of
-// Nutanong et al., DASFAA 2007).
-func (db *DB) VisibleKNN(p Point, k int) ([]Neighbor, Metrics, error) {
-	if k < 1 {
-		return nil, Metrics{}, fmt.Errorf("connquery: k must be >= 1, got %d", k)
-	}
-	nbrs, m := db.current().eng.VisibleKNN(p, k)
-	return nbrs, m, nil
-}
-
-// TrajectoryResult is a per-leg CONN answer over a polyline trajectory.
-type TrajectoryResult = core.TrajectoryResult
-
-// TrajectoryCONN answers a CONN query over a polyline trajectory (the
-// paper's §6 trajectory extension): the obstructed NN of every point on
-// every leg. Degenerate legs are skipped.
-func (db *DB) TrajectoryCONN(waypoints []Point) (*TrajectoryResult, Metrics, error) {
-	if len(waypoints) < 2 {
-		return nil, Metrics{}, errors.New("connquery: trajectory needs at least two waypoints")
-	}
-	res, m := db.current().eng.TrajectoryCONN(waypoints)
-	if len(res.Legs) == 0 {
-		return nil, Metrics{}, errors.New("connquery: all trajectory legs are degenerate")
-	}
-	return res, m, nil
-}
-
-// ObstructedRange returns every data point whose obstructed distance to
-// center is at most radius, sorted ascending (the obstructed range query of
-// Zhang et al., EDBT 2004).
-func (db *DB) ObstructedRange(center Point, radius float64) ([]Neighbor, Metrics, error) {
-	if radius < 0 {
-		return nil, Metrics{}, fmt.Errorf("connquery: negative radius %v", radius)
-	}
-	nbrs, m := db.current().eng.ObstructedRange(center, radius)
-	return nbrs, m, nil
-}
-
-// ObstructedDist returns the exact obstructed distance between two free
-// points under the DB's obstacle set, +Inf when no path exists. It uses the
-// same incremental obstacle retrieval as the queries, so only obstacles near
-// the pair are examined.
-func (db *DB) ObstructedDist(a, b Point) float64 {
-	return db.current().eng.ObstructedDistance(a, b)
 }

@@ -1,6 +1,7 @@
 package connquery
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -36,13 +37,13 @@ func TestOpenValidation(t *testing.T) {
 
 func TestQueryValidation(t *testing.T) {
 	db := smallDB(t)
-	if _, _, err := db.CONN(Seg(Pt(1, 1), Pt(1, 1))); err == nil {
+	if _, _, err := Run(context.Background(), db, CONNRequest{Seg: Seg(Pt(1, 1), Pt(1, 1))}); err == nil {
 		t.Fatal("degenerate CONN accepted")
 	}
-	if _, _, err := db.COKNN(Seg(Pt(0, 0), Pt(1, 0)), 0); err == nil {
+	if _, _, err := Run(context.Background(), db, COkNNRequest{Seg: Seg(Pt(0, 0), Pt(1, 0)), K: 0}); err == nil {
 		t.Fatal("k=0 accepted")
 	}
-	if _, _, err := db.ONN(Pt(0, 0), 0); err == nil {
+	if _, _, err := Run(context.Background(), db, ONNRequest{P: Pt(0, 0), K: 0}); err == nil {
 		t.Fatal("ONN k=0 accepted")
 	}
 }
@@ -50,7 +51,7 @@ func TestQueryValidation(t *testing.T) {
 func TestCONNBasic(t *testing.T) {
 	db := smallDB(t)
 	q := Seg(Pt(0, 0), Pt(100, 0))
-	res, m, err := db.CONN(q)
+	res, m, err := Run(context.Background(), db, CONNRequest{Seg: q})
 	if err != nil {
 		t.Fatalf("CONN: %v", err)
 	}
@@ -67,11 +68,11 @@ func TestCONNBasic(t *testing.T) {
 	}
 }
 
-func TestCOKNNBasic(t *testing.T) {
+func TestCOkNNBasic(t *testing.T) {
 	db := smallDB(t)
-	res, _, err := db.COKNN(Seg(Pt(0, 0), Pt(100, 0)), 2)
+	res, _, err := Run(context.Background(), db, COkNNRequest{Seg: Seg(Pt(0, 0), Pt(100, 0)), K: 2})
 	if err != nil {
-		t.Fatalf("COKNN: %v", err)
+		t.Fatalf("COkNN: %v", err)
 	}
 	for _, tu := range res.Tuples {
 		if len(tu.Owners) != 2 {
@@ -82,20 +83,20 @@ func TestCOKNNBasic(t *testing.T) {
 
 func TestONNAndObstructedDist(t *testing.T) {
 	db := smallDB(t)
-	nbrs, _, err := db.ONN(Pt(50, 0), 1)
+	nbrs, _, err := Run(context.Background(), db, ONNRequest{P: Pt(50, 0), K: 1})
 	if err != nil || len(nbrs) != 1 {
 		t.Fatalf("ONN: %v %v", nbrs, err)
 	}
 	// (50,50) is straight above but blocked by the obstacle; its obstructed
 	// distance must exceed the Euclidean 50.
-	d := db.ObstructedDist(Pt(50, 0), Pt(50, 50))
+	d := runDist(db, Pt(50, 0), Pt(50, 50))
 	if d <= 50 {
 		t.Fatalf("ObstructedDist through obstacle = %v, want > 50", d)
 	}
-	if got := db.ObstructedDist(Pt(1, 1), Pt(1, 1)); got != 0 {
+	if got := runDist(db, Pt(1, 1), Pt(1, 1)); got != 0 {
 		t.Fatalf("self distance = %v", got)
 	}
-	if got, want := db.ObstructedDist(Pt(0, 0), Pt(3, 4)), 5.0; math.Abs(got-want) > 1e-9 {
+	if got, want := runDist(db, Pt(0, 0), Pt(3, 4)), 5.0; math.Abs(got-want) > 1e-9 {
 		t.Fatalf("free-space distance = %v, want %v", got, want)
 	}
 }
@@ -103,11 +104,11 @@ func TestONNAndObstructedDist(t *testing.T) {
 func TestNaiveCONNPublic(t *testing.T) {
 	db := smallDB(t)
 	q := Seg(Pt(0, 0), Pt(100, 0))
-	exact, _, err := db.CONN(q)
+	exact, _, err := Run(context.Background(), db, CONNRequest{Seg: q})
 	if err != nil {
 		t.Fatal(err)
 	}
-	naive, _, err := db.NaiveCONN(q, 200)
+	naive, _, err := Run(context.Background(), db, NaiveCONNRequest{Seg: q, Samples: 200})
 	if err != nil {
 		t.Fatalf("NaiveCONN: %v", err)
 	}
@@ -126,7 +127,7 @@ func TestNaiveCONNPublic(t *testing.T) {
 			t.Fatalf("t=%v: exact %d vs naive %d", tt, a.PID, b.PID)
 		}
 	}
-	if _, _, err := db.NaiveCONN(Seg(Pt(0, 0), Pt(0, 0)), 10); err == nil {
+	if _, _, err := Run(context.Background(), db, NaiveCONNRequest{Seg: Seg(Pt(0, 0), Pt(0, 0)), Samples: 10}); err == nil {
 		t.Fatal("degenerate naive query accepted")
 	}
 }
@@ -134,7 +135,7 @@ func TestNaiveCONNPublic(t *testing.T) {
 func TestCNNIgnoresObstacles(t *testing.T) {
 	db := smallDB(t)
 	q := Seg(Pt(0, 60), Pt(100, 60))
-	cnn, _, err := db.CNN(q)
+	cnn, _, err := Run(context.Background(), db, CNNRequest{Seg: q})
 	if err != nil {
 		t.Fatalf("CNN: %v", err)
 	}
@@ -181,8 +182,8 @@ func TestOneTreeOptionMatchesTwoTree(t *testing.T) {
 			t.Skip("fixture drifted: q crosses an obstacle")
 		}
 	}
-	r2, _, _ := two.CONN(q)
-	r1, _, _ := one.CONN(q)
+	r2, _, _ := Run(context.Background(), two, CONNRequest{Seg: q})
+	r1, _, _ := Run(context.Background(), one, CONNRequest{Seg: q})
 	if len(r1.Tuples) != len(r2.Tuples) {
 		t.Fatalf("1T %d tuples vs 2T %d", len(r1.Tuples), len(r2.Tuples))
 	}
@@ -222,12 +223,12 @@ func TestBufferReducesFaults(t *testing.T) {
 
 	var coldFaults, warmFaults int64
 	for i := 0; i < 5; i++ {
-		_, m, err := cold.CONN(q)
+		_, m, err := Run(context.Background(), cold, CONNRequest{Seg: q})
 		if err != nil {
 			t.Fatal(err)
 		}
 		coldFaults += m.Faults()
-		_, m2, err := warm.CONN(q)
+		_, m2, err := Run(context.Background(), warm, CONNRequest{Seg: q})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -237,7 +238,7 @@ func TestBufferReducesFaults(t *testing.T) {
 		t.Fatalf("buffer did not reduce faults: warm=%d cold=%d", warmFaults, coldFaults)
 	}
 	warm.ResetBufferStats() // must not panic and must keep working
-	if _, _, err := warm.CONN(q); err != nil {
+	if _, _, err := Run(context.Background(), warm, CONNRequest{Seg: q}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -266,7 +267,7 @@ func TestTuningOptionsProduceSameAnswers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, _, _ := base.CONN(q)
+	want, _, _ := Run(context.Background(), base, CONNRequest{Seg: q})
 	for _, tun := range []Tuning{
 		{DisableLemma1: true},
 		{DisableLemma7: true},
@@ -277,7 +278,7 @@ func TestTuningOptionsProduceSameAnswers(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, _, _ := db.CONN(q)
+		got, _, _ := Run(context.Background(), db, CONNRequest{Seg: q})
 		if len(got.Tuples) != len(want.Tuples) {
 			t.Fatalf("tuning %+v changed the answer: %+v vs %+v", tun, got.Tuples, want.Tuples)
 		}

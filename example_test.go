@@ -1,12 +1,13 @@
 package connquery_test
 
 import (
+	"context"
 	"fmt"
 
 	"connquery"
 )
 
-// The basic CONN workflow: open a database, query a segment, walk the
+// The basic CONN workflow: open a database, execute a request, walk the
 // answer intervals.
 func ExampleOpen() {
 	points := []connquery.Point{
@@ -21,7 +22,8 @@ func ExampleOpen() {
 		fmt.Println("open:", err)
 		return
 	}
-	res, _, err := db.CONN(connquery.Seg(connquery.Pt(0, 0), connquery.Pt(100, 0)))
+	req := connquery.CONNRequest{Seg: connquery.Seg(connquery.Pt(0, 0), connquery.Pt(100, 0))}
+	res, _, err := connquery.Run(context.Background(), db, req)
 	if err != nil {
 		fmt.Println("query:", err)
 		return
@@ -34,8 +36,9 @@ func ExampleOpen() {
 	// t in [0.50, 1.00]: point 1
 }
 
-// Obstacles lengthen the obstructed distance beyond the Euclidean one.
-func ExampleDB_ObstructedDist() {
+// Exec is the untyped path: the Answer carries the payload, the metrics
+// and the MVCC epoch the query ran against.
+func ExampleDB_Exec() {
 	db, err := connquery.Open(
 		[]connquery.Point{connquery.Pt(0, 0)},
 		[]connquery.Rect{connquery.R(-10, 4, 10, 6)}, // wall
@@ -44,16 +47,20 @@ func ExampleDB_ObstructedDist() {
 		fmt.Println("open:", err)
 		return
 	}
-	euclid := 10.0
-	obstructed := db.ObstructedDist(connquery.Pt(0, 0), connquery.Pt(0, 10))
-	fmt.Printf("euclidean %.0f, obstructed %.1f\n", euclid, obstructed)
+	ans, err := db.Exec(context.Background(),
+		connquery.DistanceRequest{A: connquery.Pt(0, 0), B: connquery.Pt(0, 10)})
+	if err != nil {
+		fmt.Println("query:", err)
+		return
+	}
 	// The shortest route rounds the wall's end: (0,0)->(10,4)->(10,6)->(0,10).
+	fmt.Printf("epoch %d, obstructed %.1f\n", ans.Epoch(), ans.Distance())
 	// Output:
-	// euclidean 10, obstructed 23.5
+	// epoch 1, obstructed 23.5
 }
 
 // COkNN returns the k nearest points per interval.
-func ExampleDB_COKNN() {
+func ExampleCOkNNRequest() {
 	db, err := connquery.Open(
 		[]connquery.Point{connquery.Pt(25, 10), connquery.Pt(75, 10), connquery.Pt(50, 30)},
 		nil,
@@ -62,7 +69,8 @@ func ExampleDB_COKNN() {
 		fmt.Println("open:", err)
 		return
 	}
-	res, _, err := db.COKNN(connquery.Seg(connquery.Pt(0, 0), connquery.Pt(100, 0)), 2)
+	req := connquery.COkNNRequest{Seg: connquery.Seg(connquery.Pt(0, 0), connquery.Pt(100, 0)), K: 2}
+	res, _, err := connquery.Run(context.Background(), db, req)
 	if err != nil {
 		fmt.Println("query:", err)
 		return

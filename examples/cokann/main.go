@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -57,7 +58,8 @@ func main() {
 	}
 	street := connquery.Seg(connquery.Pt(0, 400), connquery.Pt(900, 400))
 
-	res, m, err := db.COKNN(street, 3)
+	ctx := context.Background()
+	res, m, err := connquery.Run(ctx, db, connquery.COkNNRequest{Seg: street, K: 3})
 	if err != nil {
 		log.Fatalf("coknn: %v", err)
 	}
@@ -75,7 +77,7 @@ func main() {
 	fmt.Println("Scaling with k (the Figure 10 effect):")
 	fmt.Println("   k  intervals  NPE  NOE  |SVG|       CPU")
 	for _, k := range []int{1, 3, 5, 7, 9} {
-		res, m, err := db.COKNN(street, k)
+		res, m, err := connquery.Run(ctx, db, connquery.COkNNRequest{Seg: street, K: k})
 		if err != nil {
 			log.Fatalf("coknn k=%d: %v", k, err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,16 +39,17 @@ func main() {
 	}
 
 	// The I-95 stretch from S to E.
+	ctx := context.Background()
 	q := connquery.Seg(connquery.Pt(2, 32), connquery.Pt(98, 34))
 
-	cnn, _, err := db.CNN(q)
+	cnn, _, err := connquery.Run(ctx, db, connquery.CNNRequest{Seg: q})
 	if err != nil {
 		log.Fatalf("cnn: %v", err)
 	}
 	fmt.Println("CNN (straight-line distances, Figure 1a):")
 	printTuples(cnn, names, q)
 
-	conn, m, err := db.CONN(q)
+	conn, m, err := connquery.Run(ctx, db, connquery.CONNRequest{Seg: q})
 	if err != nil {
 		log.Fatalf("conn: %v", err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,18 +41,25 @@ func main() {
 		connquery.Pt(800, 280), // east side
 	}
 
+	ctx := context.Background()
 	fmt.Println("Truck-to-dock assignment (obstructed distance semi-join):")
-	pairs, _ := db.DistanceSemiJoin(trucks)
+	pairs, _, err := connquery.Run(ctx, db, connquery.DistanceSemiJoinRequest{Queries: trucks})
+	if err != nil {
+		log.Fatalf("semi-join: %v", err)
+	}
 	for _, pr := range pairs {
 		fmt.Printf("  truck %d -> dock %d, %.0f m of driving\n", pr.QIdx, pr.PID, pr.Dist)
 	}
 
-	best, _ := db.ClosestPair(trucks)
+	best, _, err := connquery.Run(ctx, db, connquery.ClosestPairRequest{Queries: trucks})
+	if err != nil {
+		log.Fatalf("closest pair: %v", err)
+	}
 	fmt.Printf("\nFastest single dispatch: truck %d to dock %d (%.0f m)\n",
 		best.QIdx, best.PID, best.Dist)
 
 	fmt.Println("\nDocks within 400 m of driving per truck (e-distance join):")
-	joined, _, err := db.EDistanceJoin(trucks, 400)
+	joined, _, err := connquery.Run(ctx, db, connquery.EDistanceJoinRequest{Queries: trucks, E: 400})
 	if err != nil {
 		log.Fatalf("join: %v", err)
 	}
@@ -62,7 +70,7 @@ func main() {
 	// Line-of-sight check: which docks can the dispatcher at the gate
 	// actually see (obstacles occlude rather than detour)?
 	gate := connquery.Pt(440, 30)
-	visible, _, err := db.VisibleKNN(gate, 3)
+	visible, _, err := connquery.Run(ctx, db, connquery.VisibleKNNRequest{P: gate, K: 3})
 	if err != nil {
 		log.Fatalf("vknn: %v", err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,9 +29,11 @@ func main() {
 		log.Fatalf("open: %v", err)
 	}
 
-	// The client moves left to right along y = 50.
+	// The client moves left to right along y = 50. Every query is a
+	// request value answered by Exec (Run is its statically typed helper).
+	ctx := context.Background()
 	q := connquery.Seg(connquery.Pt(0, 50), connquery.Pt(100, 50))
-	res, metrics, err := db.CONN(q)
+	res, metrics, err := connquery.Run(ctx, db, connquery.CONNRequest{Seg: q})
 	if err != nil {
 		log.Fatalf("query: %v", err)
 	}
@@ -55,7 +58,7 @@ func main() {
 
 	// Contrast with the Euclidean answer: the building changes the winner
 	// in the middle of the route.
-	cnn, _, err := db.CNN(q)
+	cnn, _, err := connquery.Run(ctx, db, connquery.CNNRequest{Seg: q})
 	if err != nil {
 		log.Fatalf("cnn: %v", err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -54,7 +55,8 @@ func main() {
 	// The excavation route crosses the site through the cleared corridor.
 	route := connquery.Seg(connquery.Pt(0, 250), connquery.Pt(500, 250))
 
-	res, m, err := db.CONN(route)
+	ctx := context.Background()
+	res, m, err := connquery.Run(ctx, db, connquery.CONNRequest{Seg: route})
 	if err != nil {
 		log.Fatalf("conn: %v", err)
 	}
@@ -67,14 +69,14 @@ func main() {
 				tup.Span.Lo*route.Length(), tup.Span.Hi*route.Length())
 			continue
 		}
-		dm := db.ObstructedDist(route.At(tup.Span.Mid()), tup.P)
+		dm, _, _ := connquery.Run(ctx, db, connquery.DistanceRequest{A: route.At(tup.Span.Mid()), B: tup.P})
 		fmt.Printf("  %6.1f m .. %6.1f m: survivor %2d at %v (≈%.0f m around rubble from %v..%v)\n",
 			tup.Span.Lo*route.Length(), tup.Span.Hi*route.Length(), tup.PID, tup.P, dm, from, to)
 	}
 
 	// Staging decision: the three nearest survivors per stretch lets teams
 	// pre-position supplies — a COkNN query.
-	k3, _, err := db.COKNN(route, 3)
+	k3, _, err := connquery.Run(ctx, db, connquery.COkNNRequest{Seg: route, K: 3})
 	if err != nil {
 		log.Fatalf("coknn: %v", err)
 	}

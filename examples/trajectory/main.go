@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -62,7 +63,10 @@ func main() {
 		connquery.Pt(60, 60),
 	}
 
-	tr, m, err := db.TrajectoryCONN(route)
+	// The multi-leg trajectory is one request; WithWorkers answers the
+	// legs concurrently on a bounded pool pinned to one snapshot.
+	ctx := context.Background()
+	tr, m, err := connquery.Run(ctx, db, connquery.TrajectoryRequest{Waypoints: route}, connquery.WithWorkers(2))
 	if err != nil {
 		log.Fatalf("trajectory: %v", err)
 	}
@@ -81,7 +85,7 @@ func main() {
 
 	fmt.Println("Phones within a 150 m walk of each waypoint:")
 	for i, w := range route[:len(route)-1] {
-		nbrs, _, err := db.ObstructedRange(w, 150)
+		nbrs, _, err := connquery.Run(ctx, db, connquery.RangeRequest{Center: w, Radius: 150})
 		if err != nil {
 			log.Fatalf("range: %v", err)
 		}

@@ -1,0 +1,94 @@
+// Command watch demonstrates the live side of the paper's continuous
+// queries: a dispatcher watches "nearest ambulance for every point of the
+// highway" while the fleet and the road situation keep changing. DB.Watch
+// subscribes a CONNRequest to the database's MVCC version chain — every
+// committed mutation re-executes the query against the freshly published
+// snapshot and delivers the revised answer, its epoch, and exactly which
+// stretches of the highway changed hands.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"connquery"
+)
+
+func main() {
+	// Three ambulances on call and one hospital campus in the way.
+	ambulances := []connquery.Point{
+		connquery.Pt(10, 70), // 0: north-west
+		connquery.Pt(50, 15), // 1: south, mid-route
+		connquery.Pt(90, 65), // 2: north-east
+	}
+	campus := []connquery.Rect{connquery.R(40, 45, 60, 70)}
+	db, err := connquery.Open(ambulances, campus)
+	if err != nil {
+		log.Fatalf("open: %v", err)
+	}
+
+	// The watched route: the highway along y = 40.
+	highway := connquery.Seg(connquery.Pt(0, 40), connquery.Pt(100, 40))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	updates, err := db.Watch(ctx, connquery.CONNRequest{Seg: highway})
+	if err != nil {
+		log.Fatalf("watch: %v", err)
+	}
+
+	// The fleet evolves: a new ambulance comes on call near the middle,
+	// a road closure appears, and the north-west unit goes off duty.
+	mutate := []func() string{
+		func() string {
+			pid, err := db.InsertPoint(connquery.Pt(52, 38))
+			if err != nil {
+				log.Fatalf("insert: %v", err)
+			}
+			return fmt.Sprintf("ambulance %d comes on call at (52, 38)", pid)
+		},
+		func() string {
+			if _, err := db.InsertObstacle(connquery.R(20, 35, 30, 60)); err != nil {
+				log.Fatalf("insert obstacle: %v", err)
+			}
+			return "road closure between the highway and the north-west unit"
+		},
+		func() string {
+			db.DeletePoint(0)
+			return "ambulance 0 goes off duty"
+		},
+	}
+
+	// Drain one update per mutation. Reading the channel between mutations
+	// makes the demo deterministic; under bursty writers, intermediate
+	// epochs coalesce and only the freshest answer is delivered.
+	report := func(what string) {
+		u := <-updates
+		if u.Err != nil {
+			log.Fatalf("watch update: %v", u.Err)
+		}
+		fmt.Printf("— %s (epoch %d)\n", what, u.Epoch)
+		for _, tup := range u.Answer.Result().Tuples {
+			owner := "unreachable"
+			if tup.PID != connquery.NoOwner {
+				owner = fmt.Sprintf("ambulance %d", tup.PID)
+			}
+			fmt.Printf("    %5.1f .. %5.1f: %s\n",
+				tup.Span.Lo*highway.Length(), tup.Span.Hi*highway.Length(), owner)
+		}
+		if len(u.Delta.ChangedSpans) == 0 {
+			fmt.Println("    (assignment unchanged)")
+			return
+		}
+		for _, sp := range u.Delta.ChangedSpans {
+			fmt.Printf("    changed hands: %5.1f .. %5.1f\n",
+				sp.Lo*highway.Length(), sp.Hi*highway.Length())
+		}
+	}
+
+	report("initial assignment")
+	for _, m := range mutate {
+		report(m())
+	}
+}

@@ -1,13 +1,14 @@
 package connquery
 
 import (
+	"context"
 	"math"
 	"testing"
 )
 
 func TestTrajectoryCONNPublic(t *testing.T) {
 	db := smallDB(t)
-	tr, m, err := db.TrajectoryCONN([]Point{Pt(0, 0), Pt(100, 0), Pt(100, 100)})
+	tr, m, err := Run(context.Background(), db, TrajectoryRequest{Waypoints: []Point{Pt(0, 0), Pt(100, 0), Pt(100, 100)}})
 	if err != nil {
 		t.Fatalf("TrajectoryCONN: %v", err)
 	}
@@ -17,10 +18,10 @@ func TestTrajectoryCONNPublic(t *testing.T) {
 	if m.NPE == 0 {
 		t.Fatal("metrics empty")
 	}
-	if _, _, err := db.TrajectoryCONN([]Point{Pt(0, 0)}); err == nil {
+	if _, _, err := Run(context.Background(), db, TrajectoryRequest{Waypoints: []Point{Pt(0, 0)}}); err == nil {
 		t.Fatal("single-waypoint trajectory accepted")
 	}
-	if _, _, err := db.TrajectoryCONN([]Point{Pt(0, 0), Pt(0, 0)}); err == nil {
+	if _, _, err := Run(context.Background(), db, TrajectoryRequest{Waypoints: []Point{Pt(0, 0), Pt(0, 0)}}); err == nil {
 		t.Fatal("all-degenerate trajectory accepted")
 	}
 }
@@ -28,7 +29,7 @@ func TestTrajectoryCONNPublic(t *testing.T) {
 func TestObstructedRangePublic(t *testing.T) {
 	db := smallDB(t)
 	// Radius reaching points 0 and 2 from the segment start area.
-	nbrs, _, err := db.ObstructedRange(Pt(10, 0), 15)
+	nbrs, _, err := Run(context.Background(), db, RangeRequest{Center: Pt(10, 0), Radius: 15})
 	if err != nil {
 		t.Fatalf("ObstructedRange: %v", err)
 	}
@@ -38,11 +39,11 @@ func TestObstructedRangePublic(t *testing.T) {
 	if math.Abs(nbrs[0].Dist-10) > 1e-9 {
 		t.Fatalf("dist = %v, want 10", nbrs[0].Dist)
 	}
-	all, _, err := db.ObstructedRange(Pt(50, 50), 1e6)
+	all, _, err := Run(context.Background(), db, RangeRequest{Center: Pt(50, 50), Radius: 1e6})
 	if err != nil || len(all) != db.NumPoints() {
 		t.Fatalf("huge radius returned %d of %d (%v)", len(all), db.NumPoints(), err)
 	}
-	if _, _, err := db.ObstructedRange(Pt(0, 0), -1); err == nil {
+	if _, _, err := Run(context.Background(), db, RangeRequest{Center: Pt(0, 0), Radius: -1}); err == nil {
 		t.Fatal("negative radius accepted")
 	}
 }
@@ -57,10 +58,10 @@ func TestObstructedRangeRespectsWalls(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Euclidean distance is 10, but the wall forces a ~100+ unit detour.
-	if nbrs, _, _ := db.ObstructedRange(Pt(0, 0), 20); len(nbrs) != 0 {
+	if nbrs, _, _ := Run(context.Background(), db, RangeRequest{Center: Pt(0, 0), Radius: 20}); len(nbrs) != 0 {
 		t.Fatalf("wall ignored: %+v", nbrs)
 	}
-	if nbrs, _, _ := db.ObstructedRange(Pt(0, 0), 200); len(nbrs) != 1 {
+	if nbrs, _, _ := Run(context.Background(), db, RangeRequest{Center: Pt(0, 0), Radius: 200}); len(nbrs) != 1 {
 		t.Fatal("detour radius missed the point")
 	}
 }

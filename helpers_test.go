@@ -1,0 +1,10 @@
+package connquery
+
+import "context"
+
+// runDist is the request-based obstructed-distance probe the tests use in
+// expressions (DistanceRequest cannot error without a cancellable context).
+func runDist(db *DB, a, b Point) float64 {
+	d, _, _ := Run(context.Background(), db, DistanceRequest{A: a, B: b})
+	return d
+}

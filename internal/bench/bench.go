@@ -121,7 +121,7 @@ func Run(w Workload, cfg RunConfig) Cell {
 		if cfg.UseCONN {
 			_, m = eng.CONN(q)
 		} else {
-			_, m = eng.COKNN(q, cfg.K)
+			_, m = eng.COkNN(q, cfg.K)
 		}
 		if i >= cfg.WarmUp {
 			agg.Add(m)

@@ -23,6 +23,7 @@ type BenchResult struct {
 	Tool        string  `json:"tool"` // what produced the numbers and how
 	Scale       float64 `json:"scale"`
 	Queries     int     `json:"queries"`
+	Seed        int64   `json:"seed"`
 	K           int     `json:"k"`
 	QL          float64 `json:"ql"`
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -39,17 +40,37 @@ type BenchResult struct {
 // prebuilt engine — index construction is excluded, so the number isolates
 // the query hot path this schema exists to track.
 func MeasureTable2Defaults(cfg Config) BenchResult {
+	return MeasureTable2With(cfg,
+		"connbench -json (one op = one COkNN query, index build excluded)",
+		func(w Workload) func(q geom.Segment) stats.QueryMetrics {
+			eng, _ := buildEngine(w, RunConfig{}.withDefaults())
+			return func(q geom.Segment) stats.QueryMetrics {
+				_, m := eng.COkNN(q, DefaultK)
+				return m
+			}
+		})
+}
+
+// MeasureTable2With measures the Table 2 default cell's query workload
+// through an arbitrary runner: open builds the query executor over the
+// prepared workload (an engine, a public DB, a request pipeline, ...), and
+// the returned closure answers one COkNN-cell query and reports its
+// metrics. The workload, query stream, warm-up and allocator accounting are
+// identical to MeasureTable2Defaults, so records produced through different
+// runners are directly comparable — cmd/connbench uses this to measure the
+// public Exec path against the engine-level pinned record.
+func MeasureTable2With(cfg Config, tool string, open func(w Workload) func(q geom.Segment) stats.QueryMetrics) BenchResult {
 	cfg = cfg.norm()
 	w := BuildWorkload("CL", cfg.Scale, DefaultRatio, cfg.Seed)
-	eng, _ := buildEngine(w, RunConfig{}.withDefaults())
+	run := open(w)
 	rng := rand.New(rand.NewSource(cfg.Seed + 7))
 	queries := make([]geom.Segment, cfg.Queries)
 	for i := range queries {
 		queries[i] = dataset.QuerySegment(rng, DefaultQL, w.Obstacles)
 	}
-	// Warm the engine's pooled query state so steady-state costs are
-	// measured, then snapshot allocator counters around the timed loop.
-	eng.COKNN(queries[0], DefaultK)
+	// Warm the pooled query state so steady-state costs are measured, then
+	// snapshot allocator counters around the timed loop.
+	run(queries[0])
 
 	var agg stats.Aggregate
 	runtime.GC()
@@ -57,8 +78,7 @@ func MeasureTable2Defaults(cfg Config) BenchResult {
 	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	for _, q := range queries {
-		_, m := eng.COKNN(q, DefaultK)
-		agg.Add(m)
+		agg.Add(run(q))
 	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&m1)
@@ -67,9 +87,10 @@ func MeasureTable2Defaults(cfg Config) BenchResult {
 	ops := float64(len(queries))
 	return BenchResult{
 		Name:        "table2_defaults",
-		Tool:        "connbench -json (one op = one COkNN query, index build excluded)",
+		Tool:        tool,
 		Scale:       cfg.Scale,
 		Queries:     cfg.Queries,
+		Seed:        cfg.Seed,
 		K:           DefaultK,
 		QL:          DefaultQL,
 		NsPerOp:     float64(elapsed.Nanoseconds()) / ops,
@@ -80,6 +101,19 @@ func MeasureTable2Defaults(cfg Config) BenchResult {
 		SVG:         mean.SVG,
 		Timestamp:   time.Now().UTC().Format(time.RFC3339),
 	}
+}
+
+// ReadJSON loads a BenchResult record (e.g. a pinned baseline) from path.
+func ReadJSON(path string) (BenchResult, error) {
+	var r BenchResult
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, err
+	}
+	return r, nil
 }
 
 // WriteJSON writes r to dir/BENCH_<name>.json and returns the path.

@@ -43,6 +43,7 @@ func (e *Engine) ONN(pt geom.Point, k int) ([]Neighbor, stats.QueryMetrics) {
 		return best[len(best)-1].Dist
 	}
 	for {
+		qs.poll()
 		bound, ok := qs.peekPointBound()
 		if !ok || bound >= kth() {
 			break
@@ -80,6 +81,7 @@ func (e *Engine) CNN(q geom.Segment) (*Result, stats.QueryMetrics) {
 	defer e.release(qs)
 	rl := []ResultEntry{{PID: NoOwner, Span: geom.Span{Lo: 0, Hi: 1}}}
 	for {
+		qs.poll()
 		bound, ok := qs.peekPointBound()
 		if !ok || bound >= rlMax(q, rl) {
 			break

@@ -1,0 +1,18 @@
+package core
+
+import "connquery/internal/visgraph"
+
+// Aborted is the panic payload that carries a cancelled query's error out of
+// the engine. It is raised only when Engine.Cancel is installed, so direct
+// engine users (the bench harness, tests) never see it; the public Exec path
+// recovers it and returns the carried error (typically ctx.Err()).
+type Aborted = visgraph.Aborted
+
+// poll is the core-side cancellation checkpoint, called from the IOR growth
+// loop, the CPLC candidate-batch loop and every best-first point scan. It
+// delegates to the visibility graph's installed check (a single nil
+// comparison when no cancellation is configured) and panics with Aborted
+// when the check reports an error. The Dijkstra settle loop polls the same
+// check internally, so deep searches abort without reaching these
+// checkpoints.
+func (qs *queryState) poll() { qs.vg.Poll() }

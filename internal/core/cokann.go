@@ -20,12 +20,12 @@ type kEntry struct {
 	Owners []Owner
 }
 
-// COKNN answers a continuous obstructed k-nearest-neighbor query (§4.5).
+// COkNN answers a continuous obstructed k-nearest-neighbor query (§4.5).
 // The outer loop is Algorithm 4's best-first scan with the generalized
 // pruning bound RLMAX_k = max_i maxodist(ONNS_i, R_i endpoints); the inner
 // merge maintains the exact k-level of the candidate distance envelope using
 // the same quadratic crossing machinery as the k = 1 Split function.
-func (e *Engine) COKNN(q geom.Segment, k int) (*KResult, stats.QueryMetrics) {
+func (e *Engine) COkNN(q geom.Segment, k int) (*KResult, stats.QueryMetrics) {
 	if k < 1 {
 		k = 1
 	}
@@ -43,6 +43,7 @@ func (e *Engine) COKNN(q geom.Segment, k int) (*KResult, stats.QueryMetrics) {
 	kl := []kEntry{{Span: geom.Span{Lo: 0, Hi: 1}}}
 
 	for {
+		qs.poll()
 		bound, ok := qs.peekPointBound()
 		if !ok || bound >= rlkMax(q, kl, k) {
 			break

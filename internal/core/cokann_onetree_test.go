@@ -9,15 +9,15 @@ import (
 )
 
 // COkNN must give identical answers in one-tree and two-tree modes.
-func TestCOKNNOneTreeMatchesTwoTree(t *testing.T) {
+func TestCOkNNOneTreeMatchesTwoTree(t *testing.T) {
 	r := rand.New(rand.NewSource(811))
 	for trial := 0; trial < 15; trial++ {
 		k := 1 + r.Intn(3)
 		sc := randScene(r, k+3+r.Intn(15), 1+r.Intn(7), 100)
 		two := sc.engine(Options{}, false)
 		one := sc.engine(Options{}, true)
-		r2, _ := two.COKNN(sc.q, k)
-		r1, _ := one.COKNN(sc.q, k)
+		r2, _ := two.COkNN(sc.q, k)
+		r1, _ := one.COkNN(sc.q, k)
 		for s := 0; s <= 40; s++ {
 			tt := float64(s) / 40
 			ids1, ok1 := r1.OwnerSetAt(tt)

@@ -28,6 +28,7 @@ func (e *Engine) CONN(q geom.Segment) (*Result, stats.QueryMetrics) {
 	rl := []ResultEntry{{PID: NoOwner, Span: geom.Span{Lo: 0, Hi: 1}}}
 
 	for {
+		qs.poll()
 		bound, ok := qs.peekPointBound()
 		if !ok || bound >= rlMax(q, rl) {
 			break // Lemma 2 (or P exhausted)

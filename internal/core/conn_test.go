@@ -258,13 +258,13 @@ func TestCONNAblationsAgree(t *testing.T) {
 	}
 }
 
-func TestCOKNNMatchesOracle(t *testing.T) {
+func TestCOkNNMatchesOracle(t *testing.T) {
 	r := rand.New(rand.NewSource(313))
 	for trial := 0; trial < 15; trial++ {
 		k := 1 + r.Intn(3)
 		sc := randScene(r, k+2+r.Intn(12), 1+r.Intn(6), 100)
 		e := sc.engine(Options{}, false)
-		res, _ := e.COKNN(sc.q, k)
+		res, _ := e.COkNN(sc.q, k)
 		for s := 0; s <= 40; s++ {
 			tt := float64(s) / 40
 			want := BruteKDistancesAt(sc.points, sc.obstacles, sc.q, tt, k)
@@ -302,13 +302,13 @@ func TestCOKNNMatchesOracle(t *testing.T) {
 	}
 }
 
-func TestCOKNNK1MatchesCONN(t *testing.T) {
+func TestCOkNNK1MatchesCONN(t *testing.T) {
 	r := rand.New(rand.NewSource(317))
 	for trial := 0; trial < 20; trial++ {
 		sc := randScene(r, 2+r.Intn(15), 1+r.Intn(6), 100)
 		e := sc.engine(Options{}, false)
 		conn, _ := e.CONN(sc.q)
-		k1, _ := e.COKNN(sc.q, 1)
+		k1, _ := e.COkNN(sc.q, 1)
 		// Compare owners at samples (tuple boundaries may differ slightly).
 		for s := 0; s <= 50; s++ {
 			tt := float64(s) / 50
@@ -343,7 +343,7 @@ func TestCOKNNK1MatchesCONN(t *testing.T) {
 						continue
 					}
 				}
-				t.Fatalf("trial %d t=%v: CONN owner %d vs COKNN(1) %v", trial, tt, a.PID, ids)
+				t.Fatalf("trial %d t=%v: CONN owner %d vs COkNN(1) %v", trial, tt, a.PID, ids)
 			}
 		}
 	}

@@ -42,11 +42,13 @@ func (qs *queryState) computeCPL(pNode visgraph.NodeID) CPL {
 		return out
 	}
 	for {
+		qs.poll()
 		batch := s.SettleBatch()
 		if batch == nil {
 			return done() // reachable component exhausted
 		}
 		for _, id := range batch {
+			qs.poll() // visible-region computation per candidate is costly
 			if qs.vg.Kind(id) == visgraph.KindAnchor {
 				continue
 			}

@@ -40,6 +40,16 @@ type Engine struct {
 	// used by batch workers and directly constructed engines).
 	States *StatePool
 
+	// Cancel, when set, is polled from the query hot loops (the Dijkstra
+	// settle loop, IOR growth, CPLC candidate batches, and every best-first
+	// point scan). A non-nil return aborts the in-flight query by panicking
+	// with visgraph.Aborted carrying the returned error; the caller that
+	// installed Cancel must recover it (see Aborted). Because an Engine may
+	// serve concurrent queries, per-query cancellation requires a per-query
+	// engine view — the public package builds one shallow view per Exec when
+	// a context can fire.
+	Cancel func() error
+
 	// DataCounter and ObstCounter, when set, are consulted for page-fault
 	// snapshots around each query. In one-tree mode only DataCounter is used.
 	DataCounter *stats.PageCounter
@@ -126,6 +136,7 @@ func (e *Engine) newQueryState(q geom.Segment) *queryState {
 	qs.epoch = e.Epoch
 	qs.eng = e
 	qs.q = q
+	qs.vg.SetCheck(e.Cancel)
 	qs.npe, qs.noe, qs.svgs = 0, 0, 0
 	qs.loadedUpTo = 0
 	qs.search = nil
@@ -151,6 +162,7 @@ func (e *Engine) release(qs *queryState) {
 	qs.eng = nil
 	qs.ptIter, qs.obstIter, qs.unifIter = nil, nil, nil
 	qs.search = nil
+	qs.vg.SetCheck(nil) // do not keep a context closure alive in the pool
 	qs.pending.Reset()
 	if e.States != nil {
 		e.States.p.Put(qs)
@@ -172,7 +184,11 @@ func (qs *queryState) resetVG() {
 }
 
 // addObstacleToVG inserts one obstacle into the local graph, tracking NOE.
+// Each insertion touches every node's adjacency (edge invalidation plus
+// four corner AddPoints), so this is also a cancellation checkpoint: one
+// IOR round may load thousands of obstacles back to back.
 func (qs *queryState) addObstacleToVG(r geom.Rect) {
+	qs.poll()
 	qs.vg.AddObstacle(r)
 	qs.noe++
 }
@@ -283,6 +299,7 @@ func (qs *queryState) nextPoint() (rtree.Item, float64, bool) {
 // and E (+Inf when p is sealed off from q by obstacles).
 func (qs *queryState) ior(pNode visgraph.NodeID) (dS, dE float64) {
 	for {
+		qs.poll()
 		// Multi-target Dijkstra: stop as soon as both anchors are settled
 		// instead of settling the whole graph. The search (heap included) is
 		// kept so CPLC can resume it for the same source when the graph has

@@ -86,6 +86,7 @@ func (e *Engine) ObstructedRange(center geom.Point, radius float64) ([]Neighbor,
 	defer e.release(qs)
 	var out []Neighbor
 	for {
+		qs.poll()
 		bound, ok := qs.peekPointBound()
 		if !ok || bound > radius {
 			break

@@ -150,6 +150,7 @@ func (eng *Engine) VisibleKNN(p geom.Point, k int) ([]Neighbor, stats.QueryMetri
 		return best[len(best)-1].Dist
 	}
 	for {
+		qs.poll()
 		bound, ok := qs.peekPointBound()
 		if !ok || bound >= kth() {
 			break

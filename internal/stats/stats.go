@@ -18,10 +18,12 @@ const IOChargePerFault = 10 * time.Millisecond
 
 // PageCounter counts page accesses and faults; it implements
 // rtree.AccessRecorder. With a nil Buffer every access faults (the paper's
-// default zero-buffer configuration). The counters are atomic so queries can
-// run concurrently with an MVCC writer (or with each other) without data
-// races; the optional LRU Buffer is NOT concurrency-safe and callers sharing
-// a buffered counter across goroutines must externally synchronize.
+// default zero-buffer configuration). The counters are atomic and the
+// optional LRU Buffer locks internally, so queries can run concurrently
+// with an MVCC writer (or with each other) without data races; concurrent
+// queries sharing one counter still contaminate each other's *per-query*
+// fault deltas, so callers wanting clean per-query metrics should use a
+// private counter (a clone or batch-worker view).
 type PageCounter struct {
 	accesses atomic.Int64
 	faults   atomic.Int64

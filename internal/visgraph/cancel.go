@@ -1,0 +1,34 @@
+package visgraph
+
+// Aborted is the panic payload that carries a cancellation out of the query
+// machinery. The hot paths (the Dijkstra settle loop here, the IOR/CPLC
+// loops in internal/core) poll an installed check function and panic with
+// Aborted when it reports an error; the public query entry point recovers
+// the panic and returns the carried error. Using a panic keeps every
+// intermediate signature free of error plumbing while still unwinding
+// promptly from arbitrarily deep in the algorithms.
+type Aborted struct{ Err error }
+
+// SetCheck installs (or, with nil, removes) the cancellation poll consulted
+// by Poll and by the Dijkstra settle loop. The check must be cheap — it runs
+// every pollInterval settled nodes — and must return a non-nil error exactly
+// when the current query should abort.
+func (g *Graph) SetCheck(check func() error) { g.check = check }
+
+// Poll consults the installed cancellation check, panicking with Aborted
+// when it reports an error. With no check installed it is a single nil
+// comparison, so callers can poll unconditionally in loops.
+func (g *Graph) Poll() {
+	if g.check == nil {
+		return
+	}
+	if err := g.check(); err != nil {
+		panic(Aborted{Err: err})
+	}
+}
+
+// pollInterval is how many settled nodes the Dijkstra loop processes between
+// cancellation polls: small enough that even adversarial graphs abort within
+// microseconds of cancellation, large enough that the check never shows up
+// in profiles.
+const pollInterval = 64

@@ -31,6 +31,7 @@ type Search struct {
 
 	settled  []NodeID // nodes in settle order (non-decreasing distance)
 	consumed int      // prefix of settled already handed out by SettleBatch
+	polls    int      // settles since the last cancellation poll
 }
 
 // NewSearch starts a Dijkstra traversal from src. The returned Search is the
@@ -81,6 +82,12 @@ func (s *Search) Settled(id NodeID) bool { return s.done[id] }
 // settleOne settles the next-nearest unsettled node. ok is false when the
 // reachable component is exhausted.
 func (s *Search) settleOne() (u NodeID, d float64, ok bool) {
+	if s.g.check != nil {
+		if s.polls++; s.polls >= pollInterval {
+			s.polls = 0
+			s.g.Poll()
+		}
+	}
 	for !s.h.Empty() {
 		d, u = s.h.Pop()
 		if s.done[u] || d > s.dist[u] {

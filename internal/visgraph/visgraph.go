@@ -59,6 +59,10 @@ type Graph struct {
 	// resets); a Search snapshot is valid only while it is unchanged.
 	mutations uint64
 
+	// check, when set, is the cancellation poll consulted by Poll and by the
+	// Dijkstra settle loop (see cancel.go).
+	check func() error
+
 	// search is the recycled Dijkstra state handed out by NewSearch.
 	search Search
 	// occ is the recycled angular occlusion index used by AddPoint.

@@ -1,6 +1,7 @@
 package connquery
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -8,7 +9,7 @@ import (
 func TestEDistanceJoinPublic(t *testing.T) {
 	db := smallDB(t)
 	queries := []Point{Pt(12, 12), Pt(92, 12)}
-	pairs, _, err := db.EDistanceJoin(queries, 5)
+	pairs, _, err := Run(context.Background(), db, EDistanceJoinRequest{Queries: queries, E: 5})
 	if err != nil {
 		t.Fatalf("EDistanceJoin: %v", err)
 	}
@@ -23,21 +24,21 @@ func TestEDistanceJoinPublic(t *testing.T) {
 	if seen[0] != 0 || seen[1] != 2 {
 		t.Fatalf("pair owners = %v", seen)
 	}
-	if _, _, err := db.EDistanceJoin(queries, -1); err == nil {
+	if _, _, err := Run(context.Background(), db, EDistanceJoinRequest{Queries: queries, E: -1}); err == nil {
 		t.Fatal("negative e accepted")
 	}
 }
 
 func TestClosestPairPublic(t *testing.T) {
 	db := smallDB(t)
-	pair, _ := db.ClosestPair([]Point{Pt(11, 11), Pt(70, 70)})
+	pair, _, _ := Run(context.Background(), db, ClosestPairRequest{Queries: []Point{Pt(11, 11), Pt(70, 70)}})
 	if pair.QIdx != 0 || pair.PID != 0 {
 		t.Fatalf("pair = %+v, want q0 with point 0", pair)
 	}
 	if math.Abs(pair.Dist-math.Sqrt2) > 1e-9 {
 		t.Fatalf("dist = %v, want sqrt(2)", pair.Dist)
 	}
-	empty, _ := db.ClosestPair(nil)
+	empty, _, _ := Run(context.Background(), db, ClosestPairRequest{Queries: nil})
 	if empty.QIdx != -1 {
 		t.Fatalf("empty query set: %+v", empty)
 	}
@@ -45,7 +46,7 @@ func TestClosestPairPublic(t *testing.T) {
 
 func TestDistanceSemiJoinPublic(t *testing.T) {
 	db := smallDB(t)
-	pairs, _ := db.DistanceSemiJoin([]Point{Pt(11, 11), Pt(89, 11), Pt(50, 89)})
+	pairs, _, _ := Run(context.Background(), db, DistanceSemiJoinRequest{Queries: []Point{Pt(11, 11), Pt(89, 11), Pt(50, 89)}})
 	if len(pairs) != 3 {
 		t.Fatalf("pairs = %d", len(pairs))
 	}
@@ -65,7 +66,7 @@ func TestVisibleKNNPublic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nbrs, _, err := db.VisibleKNN(Pt(50, 50), 1)
+	nbrs, _, err := Run(context.Background(), db, VisibleKNNRequest{P: Pt(50, 50), K: 1})
 	if err != nil || len(nbrs) != 1 {
 		t.Fatalf("VisibleKNN: %v %v", nbrs, err)
 	}
@@ -73,11 +74,11 @@ func TestVisibleKNNPublic(t *testing.T) {
 		t.Fatalf("VkNN returned occluded point: %+v", nbrs)
 	}
 	// With k=2, only one point is visible at all.
-	nbrs, _, _ = db.VisibleKNN(Pt(50, 50), 2)
+	nbrs, _, _ = Run(context.Background(), db, VisibleKNNRequest{P: Pt(50, 50), K: 2})
 	if len(nbrs) != 1 {
 		t.Fatalf("k=2 returned %d visible points, want 1", len(nbrs))
 	}
-	if _, _, err := db.VisibleKNN(Pt(0, 0), 0); err == nil {
+	if _, _, err := Run(context.Background(), db, VisibleKNNRequest{P: Pt(0, 0), K: 0}); err == nil {
 		t.Fatal("k=0 accepted")
 	}
 }

@@ -1,0 +1,152 @@
+package connquery
+
+import "context"
+
+// Legacy query surface. Every method in this file is a thin shim over the
+// request-based path (DB.Exec / Run with a concrete Request value) and is
+// kept for source compatibility: the shims execute with a background
+// context against the current version, exactly as the pre-request API did.
+// New code should build a Request and call Exec (or the typed Run helper),
+// which additionally offers context cancellation, version pinning
+// (AtVersion/AtSnapshot), per-call tuning and worker pooling.
+
+// CONN answers a continuous obstructed nearest neighbor query over q: the
+// returned tuples partition q and each names the data point that is the
+// obstructed NN of every position in its interval.
+//
+// Deprecated: use Run(ctx, db, CONNRequest{Seg: q}) or DB.Exec.
+func (db *DB) CONN(q Segment) (*Result, Metrics, error) {
+	return Run(context.Background(), db, CONNRequest{Seg: q})
+}
+
+// CONNBatch answers a slice of CONN queries concurrently on a bounded
+// worker pool and returns results and metrics in input order. The snapshot
+// current when the call starts is pinned for the whole batch. workers <= 0
+// selects GOMAXPROCS.
+//
+// Deprecated: use DB.Exec with CONNBatchRequest and WithWorkers; per-query
+// metrics are available via Answer.ItemMetrics.
+func (db *DB) CONNBatch(queries []Segment, workers int) ([]*Result, []Metrics, error) {
+	ans, err := db.Exec(context.Background(), CONNBatchRequest{Segs: queries}, WithWorkers(workers))
+	if err != nil {
+		return nil, nil, err
+	}
+	return ans.Results(), ans.ItemMetrics(), nil
+}
+
+// COkNN answers a continuous obstructed k-nearest-neighbor query (k >= 1).
+//
+// Deprecated: use Run(ctx, db, COkNNRequest{Seg: q, K: k}) or DB.Exec.
+func (db *DB) COkNN(q Segment, k int) (*KResult, Metrics, error) {
+	return Run(context.Background(), db, COkNNRequest{Seg: q, K: k})
+}
+
+// COKNN answers a continuous obstructed k-nearest-neighbor query (k >= 1).
+//
+// Deprecated: the query is spelled COkNN in the paper; use DB.COkNN, or
+// better, Run with COkNNRequest.
+func (db *DB) COKNN(q Segment, k int) (*KResult, Metrics, error) {
+	return db.COkNN(q, k)
+}
+
+// ONN answers a snapshot obstructed k-nearest-neighbor query at a point.
+//
+// Deprecated: use Run(ctx, db, ONNRequest{P: p, K: k}) or DB.Exec.
+func (db *DB) ONN(p Point, k int) ([]Neighbor, Metrics, error) {
+	return Run(context.Background(), db, ONNRequest{P: p, K: k})
+}
+
+// CNN answers a classical Euclidean continuous nearest neighbor query,
+// ignoring obstacles — the baseline the paper contrasts in Figure 1.
+//
+// Deprecated: use Run(ctx, db, CNNRequest{Seg: q}) or DB.Exec.
+func (db *DB) CNN(q Segment) (*Result, Metrics, error) {
+	return Run(context.Background(), db, CNNRequest{Seg: q})
+}
+
+// NaiveCONN answers CONN by sampling: an ONN query at samples+1 evenly
+// spaced positions. Approximate and slow by design; it is the baseline the
+// paper's introduction rules out.
+//
+// Deprecated: use Run(ctx, db, NaiveCONNRequest{Seg: q, Samples: samples}).
+func (db *DB) NaiveCONN(q Segment, samples int) (*Result, Metrics, error) {
+	return Run(context.Background(), db, NaiveCONNRequest{Seg: q, Samples: samples})
+}
+
+// EDistanceJoin returns every (query point, data point) pair whose
+// obstructed distance is at most e (the obstructed e-distance join of
+// Zhang et al., EDBT 2004).
+//
+// Deprecated: use Run(ctx, db, EDistanceJoinRequest{Queries: queries, E: e}).
+func (db *DB) EDistanceJoin(queries []Point, e float64) ([]JoinPair, Metrics, error) {
+	return Run(context.Background(), db, EDistanceJoinRequest{Queries: queries, E: e})
+}
+
+// ClosestPair returns the (query point, data point) pair with the smallest
+// obstructed distance. With no query points the returned pair has
+// QIdx == -1 and infinite distance.
+//
+// Deprecated: use Run(ctx, db, ClosestPairRequest{Queries: queries}).
+func (db *DB) ClosestPair(queries []Point) (JoinPair, Metrics) {
+	pair, m, err := Run(context.Background(), db, ClosestPairRequest{Queries: queries})
+	if err != nil {
+		// The request has no validation and the context cannot fire, so any
+		// error is programmer misuse; the legacy signature cannot report it,
+		// and returning a zero pair would read as a real answer.
+		panic(err)
+	}
+	return pair, m
+}
+
+// DistanceSemiJoin returns, for each query point, its obstructed nearest
+// data point, sorted ascending by distance.
+//
+// Deprecated: use Run(ctx, db, DistanceSemiJoinRequest{Queries: queries}).
+func (db *DB) DistanceSemiJoin(queries []Point) ([]JoinPair, Metrics) {
+	pairs, m, err := Run(context.Background(), db, DistanceSemiJoinRequest{Queries: queries})
+	if err != nil {
+		panic(err) // see ClosestPair: unreportable and otherwise silent
+	}
+	return pairs, m
+}
+
+// VisibleKNN returns the k nearest data points (Euclidean) among those
+// visible from p — obstacles occlude rather than detour (the VkNN query of
+// Nutanong et al., DASFAA 2007).
+//
+// Deprecated: use Run(ctx, db, VisibleKNNRequest{P: p, K: k}).
+func (db *DB) VisibleKNN(p Point, k int) ([]Neighbor, Metrics, error) {
+	return Run(context.Background(), db, VisibleKNNRequest{P: p, K: k})
+}
+
+// TrajectoryCONN answers a CONN query over a polyline trajectory (the
+// paper's §6 trajectory extension): the obstructed NN of every point on
+// every leg. Degenerate legs are skipped.
+//
+// Deprecated: use Run(ctx, db, TrajectoryRequest{Waypoints: waypoints}).
+func (db *DB) TrajectoryCONN(waypoints []Point) (*TrajectoryResult, Metrics, error) {
+	return Run(context.Background(), db, TrajectoryRequest{Waypoints: waypoints})
+}
+
+// ObstructedRange returns every data point whose obstructed distance to
+// center is at most radius, sorted ascending (the obstructed range query of
+// Zhang et al., EDBT 2004).
+//
+// Deprecated: use Run(ctx, db, RangeRequest{Center: center, Radius: radius}).
+func (db *DB) ObstructedRange(center Point, radius float64) ([]Neighbor, Metrics, error) {
+	return Run(context.Background(), db, RangeRequest{Center: center, Radius: radius})
+}
+
+// ObstructedDist returns the exact obstructed distance between two free
+// points under the DB's obstacle set, +Inf when no path exists. It uses the
+// same incremental obstacle retrieval as the queries, so only obstacles near
+// the pair are examined.
+//
+// Deprecated: use Run(ctx, db, DistanceRequest{A: a, B: b}).
+func (db *DB) ObstructedDist(a, b Point) float64 {
+	d, _, err := Run(context.Background(), db, DistanceRequest{A: a, B: b})
+	if err != nil {
+		panic(err) // see ClosestPair: a silent 0 would read as "reachable"
+	}
+	return d
+}

@@ -1,0 +1,58 @@
+package connquery
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLegacyShims exercises every deprecated method once: each is a thin
+// wrapper over Exec, so this pins that the old surface keeps working (and
+// keeps compiling) while call sites migrate.
+func TestLegacyShims(t *testing.T) {
+	db := smallDB(t)
+	q := Seg(Pt(0, 0), Pt(100, 0))
+
+	if res, m, err := db.CONN(q); err != nil || len(res.Tuples) == 0 || m.NPE == 0 {
+		t.Fatalf("CONN shim: %v %v", res, err)
+	}
+	if res, _, err := db.COkNN(q, 2); err != nil || len(res.Tuples) == 0 {
+		t.Fatalf("COkNN shim: %v %v", res, err)
+	}
+	if res, _, err := db.COKNN(q, 2); err != nil || len(res.Tuples) == 0 {
+		t.Fatalf("COKNN alias shim: %v %v", res, err)
+	}
+	if nbrs, _, err := db.ONN(Pt(50, 0), 2); err != nil || len(nbrs) != 2 {
+		t.Fatalf("ONN shim: %v %v", nbrs, err)
+	}
+	if res, _, err := db.CNN(q); err != nil || len(res.Tuples) == 0 {
+		t.Fatalf("CNN shim: %v %v", res, err)
+	}
+	if res, _, err := db.NaiveCONN(q, 16); err != nil || len(res.Tuples) == 0 {
+		t.Fatalf("NaiveCONN shim: %v %v", res, err)
+	}
+	results, ms, err := db.CONNBatch([]Segment{q, q}, 2)
+	if err != nil || len(results) != 2 || len(ms) != 2 {
+		t.Fatalf("CONNBatch shim: %v %v %v", results, ms, err)
+	}
+	if pairs, _, err := db.EDistanceJoin([]Point{Pt(12, 12)}, 5); err != nil || len(pairs) != 1 {
+		t.Fatalf("EDistanceJoin shim: %v %v", pairs, err)
+	}
+	if pair, _ := db.ClosestPair([]Point{Pt(11, 11)}); pair.PID != 0 {
+		t.Fatalf("ClosestPair shim: %+v", pair)
+	}
+	if pairs, _ := db.DistanceSemiJoin([]Point{Pt(11, 11)}); len(pairs) != 1 {
+		t.Fatalf("DistanceSemiJoin shim: %v", pairs)
+	}
+	if nbrs, _, err := db.VisibleKNN(Pt(50, 60), 1); err != nil || len(nbrs) != 1 {
+		t.Fatalf("VisibleKNN shim: %v %v", nbrs, err)
+	}
+	if tr, _, err := db.TrajectoryCONN([]Point{Pt(0, 0), Pt(100, 0), Pt(100, 100)}); err != nil || len(tr.Legs) != 2 {
+		t.Fatalf("TrajectoryCONN shim: %v %v", tr, err)
+	}
+	if nbrs, _, err := db.ObstructedRange(Pt(10, 0), 15); err != nil || len(nbrs) != 1 {
+		t.Fatalf("ObstructedRange shim: %v %v", nbrs, err)
+	}
+	if d := db.ObstructedDist(Pt(0, 0), Pt(3, 4)); math.Abs(d-5) > 1e-9 {
+		t.Fatalf("ObstructedDist shim: %v", d)
+	}
+}

@@ -76,8 +76,14 @@ func beginVersion(v *version) *version {
 	}
 }
 
-// publish makes nv the DB's current version. Callers hold db.mu.
-func (db *DB) publish(nv *version) { db.cur.Store(nv) }
+// publish makes nv the DB's current version and wakes every Watch
+// subscription so it re-executes against the fresh version. Callers hold
+// db.mu, so publishes (and therefore watcher wake-ups) are ordered;
+// wake-ups are non-blocking and coalesce per watcher.
+func (db *DB) publish(nv *version) {
+	db.cur.Store(nv)
+	db.watch.notifyAll()
+}
 
 // mutateTree builds nv's engine from v's: the tree holding items of the
 // given kind is copy-on-write cloned and mutated by fn, the other tree

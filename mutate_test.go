@@ -2,6 +2,7 @@ package connquery
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 )
@@ -9,13 +10,13 @@ import (
 func TestInsertPointChangesAnswers(t *testing.T) {
 	db := smallDB(t)
 	q := Seg(Pt(0, 0), Pt(100, 0))
-	before, _, _ := db.CONN(q)
+	before, _, _ := Run(context.Background(), db, CONNRequest{Seg: q})
 
 	pid, err := db.InsertPoint(Pt(50, 2))
 	if err != nil {
 		t.Fatalf("InsertPoint: %v", err)
 	}
-	after, _, _ := db.CONN(q)
+	after, _, _ := Run(context.Background(), db, CONNRequest{Seg: q})
 	mid, _ := after.OwnerAt(0.5)
 	if mid.PID != pid {
 		t.Fatalf("new point does not own the middle: %+v", after.Tuples)
@@ -40,7 +41,7 @@ func TestDeletePointRemovesFromAnswers(t *testing.T) {
 	if db.DeletePoint(99) {
 		t.Fatal("deleting unknown PID succeeded")
 	}
-	res, _, _ := db.CONN(q)
+	res, _, _ := Run(context.Background(), db, CONNRequest{Seg: q})
 	for _, tup := range res.Tuples {
 		if tup.PID == 0 {
 			t.Fatalf("deleted point still in answer: %+v", res.Tuples)
@@ -71,12 +72,12 @@ func TestInsertPointValidation(t *testing.T) {
 func TestInsertObstacleChangesDistances(t *testing.T) {
 	db := smallDB(t)
 	a, b := Pt(20, 60), Pt(80, 60)
-	before := db.ObstructedDist(a, b)
+	before := runDist(db, a, b)
 	oid, err := db.InsertObstacle(R(45, 50, 55, 70))
 	if err != nil {
 		t.Fatalf("InsertObstacle: %v", err)
 	}
-	after := db.ObstructedDist(a, b)
+	after := runDist(db, a, b)
 	if after <= before {
 		t.Fatalf("new wall did not lengthen the path: %v vs %v", after, before)
 	}
@@ -86,7 +87,7 @@ func TestInsertObstacleChangesDistances(t *testing.T) {
 	if db.DeleteObstacle(oid) {
 		t.Fatal("double obstacle delete succeeded")
 	}
-	restored := db.ObstructedDist(a, b)
+	restored := runDist(db, a, b)
 	if math.Abs(restored-before) > 1e-9 {
 		t.Fatalf("distance not restored after delete: %v vs %v", restored, before)
 	}
@@ -143,7 +144,7 @@ func TestMutationOneTreeMode(t *testing.T) {
 	if err != nil {
 		t.Fatalf("InsertPoint: %v", err)
 	}
-	res, _, _ := db.CONN(Seg(Pt(0, 0), Pt(100, 0)))
+	res, _, _ := Run(context.Background(), db, CONNRequest{Seg: Seg(Pt(0, 0), Pt(100, 0))})
 	mid, _ := res.OwnerAt(0.5)
 	if mid.PID != pid {
 		t.Fatalf("one-tree insert ignored: %+v", res.Tuples)
@@ -192,7 +193,7 @@ func TestCloneSharesTombstones(t *testing.T) {
 func TestCloneSnapshotIsolation(t *testing.T) {
 	db := smallDB(t)
 	q := Seg(Pt(0, 0), Pt(100, 0))
-	before, _, err := db.CONN(q)
+	before, _, err := Run(context.Background(), db, CONNRequest{Seg: q})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestCloneSnapshotIsolation(t *testing.T) {
 
 	// The clone must answer exactly as before the mutations — previously
 	// this panicked with an out-of-range obstacle ID.
-	after, _, err := clone.CONN(q)
+	after, _, err := Run(context.Background(), clone, CONNRequest{Seg: q})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +235,7 @@ func TestCloneSnapshotIsolation(t *testing.T) {
 	if db.NumPoints() != 4 || db.NumObstacles() != 2 {
 		t.Fatalf("parent sizes: %d points, %d obstacles", db.NumPoints(), db.NumObstacles())
 	}
-	parentRes, _, err := db.CONN(q)
+	parentRes, _, err := Run(context.Background(), db, CONNRequest{Seg: q})
 	if err != nil {
 		t.Fatal(err)
 	}

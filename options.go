@@ -57,15 +57,19 @@ type Tuning struct {
 	UseBisectionSolver bool
 }
 
-// WithTuning applies ablation switches.
-func WithTuning(t Tuning) Option {
-	return func(c *config) {
-		c.tuning = core.Options{
-			DisableLemma1:      t.DisableLemma1,
-			DisableLemma6:      t.DisableLemma6,
-			DisableLemma7:      t.DisableLemma7,
-			DisableVGReuse:     t.DisableVGReuse,
-			UseBisectionSolver: t.UseBisectionSolver,
-		}
+// toCore maps the public ablation switches onto the engine's options.
+func (t Tuning) toCore() core.Options {
+	return core.Options{
+		DisableLemma1:      t.DisableLemma1,
+		DisableLemma6:      t.DisableLemma6,
+		DisableLemma7:      t.DisableLemma7,
+		DisableVGReuse:     t.DisableVGReuse,
+		UseBisectionSolver: t.UseBisectionSolver,
 	}
+}
+
+// WithTuning applies ablation switches to every query on the handle;
+// WithQueryTuning overrides them for a single Exec call.
+func WithTuning(t Tuning) Option {
+	return func(c *config) { c.tuning = t.toCore() }
 }

@@ -1,0 +1,109 @@
+package connquery
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Snapshot is an explicit pin on one immutable MVCC version. While at least
+// one unreleased Snapshot holds an epoch, AtVersion(epoch) can resolve it
+// and AtSnapshot can query it directly, no matter how far the live version
+// chain has advanced. Release drops the pin; once every Snapshot of an
+// epoch is released (and the live version has moved on), the version
+// becomes collectible and AtVersion for it fails with ErrVersionNotPinned.
+//
+// A Snapshot is cheap — it copies nothing — and is safe for concurrent use;
+// Release is idempotent.
+type Snapshot struct {
+	db       *DB
+	v        *version
+	released atomic.Bool
+}
+
+// pinSet tracks the versions kept alive by unreleased Snapshots of one DB
+// handle, refcounted per epoch.
+type pinSet struct {
+	mu   sync.Mutex
+	byEp map[uint64]*pinEntry
+}
+
+type pinEntry struct {
+	v    *version
+	refs int
+}
+
+// Snapshot pins the version that is current at call time and returns its
+// handle. The caller owns the pin and should Release it when done; a
+// forgotten pin costs only the retained memory of that version's
+// copy-on-write deltas.
+func (db *DB) Snapshot() *Snapshot {
+	v := db.current()
+	db.pins.mu.Lock()
+	defer db.pins.mu.Unlock()
+	if db.pins.byEp == nil {
+		db.pins.byEp = make(map[uint64]*pinEntry)
+	}
+	if e, ok := db.pins.byEp[v.epoch]; ok {
+		e.refs++
+	} else {
+		db.pins.byEp[v.epoch] = &pinEntry{v: v, refs: 1}
+	}
+	return &Snapshot{db: db, v: v}
+}
+
+// Epoch returns the pinned version's epoch.
+func (s *Snapshot) Epoch() uint64 { return s.v.epoch }
+
+// Released reports whether Release has run.
+func (s *Snapshot) Released() bool { return s.released.Load() }
+
+// Release drops the pin. Idempotent; concurrent calls release exactly once.
+// Queries already running against the snapshot are unaffected (they hold
+// the version directly); new AtSnapshot/AtVersion calls for it fail once
+// the last pin on the epoch is gone.
+func (s *Snapshot) Release() {
+	if s.released.Swap(true) {
+		return
+	}
+	ps := &s.db.pins
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if e, ok := ps.byEp[s.v.epoch]; ok {
+		if e.refs--; e.refs <= 0 {
+			delete(ps.byEp, s.v.epoch)
+		}
+	}
+}
+
+// pinned resolves the snapshot for a query on db, rejecting released and
+// foreign handles.
+func (s *Snapshot) pinned(db *DB) (*version, error) {
+	if s == nil {
+		return nil, errors.New("connquery: AtSnapshot(nil)")
+	}
+	if s.db != db {
+		return nil, ErrForeignSnapshot
+	}
+	if s.released.Load() {
+		return nil, ErrSnapshotReleased
+	}
+	return s.v, nil
+}
+
+// versionAt resolves an epoch to a pinned-alive version: the current
+// version always qualifies, and any epoch held by an unreleased Snapshot of
+// this handle does too.
+func (db *DB) versionAt(epoch uint64) (*version, error) {
+	cur := db.current()
+	if epoch == cur.epoch {
+		return cur, nil
+	}
+	db.pins.mu.Lock()
+	defer db.pins.mu.Unlock()
+	if e, ok := db.pins.byEp[epoch]; ok {
+		return e.v, nil
+	}
+	return nil, fmt.Errorf("%w: epoch %d (current %d; pin versions with DB.Snapshot)", ErrVersionNotPinned, epoch, cur.epoch)
+}

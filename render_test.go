@@ -1,6 +1,7 @@
 package connquery
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -8,7 +9,7 @@ import (
 func TestRenderSceneBasics(t *testing.T) {
 	db := smallDB(t)
 	q := Seg(Pt(0, 0), Pt(100, 0))
-	res, _, err := db.CONN(q)
+	res, _, err := Run(context.Background(), db, CONNRequest{Seg: q})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package connquery
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"path/filepath"
 	"testing"
@@ -50,11 +51,11 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 
 	// Same answers before and after the round trip.
 	q := Seg(Pt(1000, 5000), Pt(1450, 5000))
-	a, _, err := db.CONN(q)
+	a, _, err := Run(context.Background(), db, CONNRequest{Seg: q})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := db2.CONN(q)
+	b, _, err := Run(context.Background(), db2, CONNRequest{Seg: q})
 	if err != nil {
 		t.Fatal(err)
 	}

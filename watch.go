@@ -1,0 +1,346 @@
+package connquery
+
+import (
+	"context"
+	"math"
+	"sync"
+)
+
+// Watch support: the paper's queries are *continuous* along a segment; a
+// watch makes them continuous along the time axis too. Every committed
+// mutation notifies the registered watchers, each of which re-executes its
+// Request against the freshly published MVCC version and delivers the
+// revised Answer together with the delta against the previous one. Because
+// a watcher re-reads the current version when it wakes, bursts of mutations
+// coalesce: under write load a watcher skips intermediate epochs instead of
+// queueing stale work, and delivered epochs are strictly increasing.
+
+// Update is one delivery of a watched request: the answer re-computed at
+// Epoch, and how it differs from the previously delivered answer.
+type Update struct {
+	// Epoch is the MVCC version the answer was computed against. Across the
+	// updates of one watch, epochs are strictly increasing (intermediate
+	// epochs may be skipped under write bursts).
+	Epoch uint64
+	// Answer is the re-executed request's answer.
+	Answer *Answer
+	// Delta describes the change against the previous update (for the first
+	// update, against nothing: Changed is true).
+	Delta Delta
+	// Err is non-nil when re-execution failed; the channel closes after an
+	// errored update. Context cancellation closes the channel without one.
+	Err error
+}
+
+// Delta summarizes how a watched answer changed between two epochs.
+type Delta struct {
+	// Changed reports whether the answer payload differs at all.
+	Changed bool
+	// ChangedSpans lists, for continuous answers (CONN/CNN/COkNN), the
+	// sub-intervals of the query segment whose owner (set) changed. Nil for
+	// non-continuous payloads; for those, Changed is the whole delta.
+	ChangedSpans []Span
+}
+
+// watchSet is a DB's registry of live watch subscriptions.
+type watchSet struct {
+	mu   sync.Mutex
+	subs map[uint64]chan struct{}
+	seq  uint64
+}
+
+// notifyAll wakes every watcher. Sends are non-blocking: each watcher's
+// wake channel has capacity one, so a watcher that is already flagged (or
+// mid-execution) simply coalesces this publish into its next wake-up.
+func (ws *watchSet) notifyAll() {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	for _, ch := range ws.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (ws *watchSet) add() (id uint64, wake chan struct{}) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if ws.subs == nil {
+		ws.subs = make(map[uint64]chan struct{})
+	}
+	ws.seq++
+	id = ws.seq
+	wake = make(chan struct{}, 1)
+	ws.subs[id] = wake
+	return id, wake
+}
+
+func (ws *watchSet) remove(id uint64) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	delete(ws.subs, id)
+}
+
+// Watch subscribes req to the database's version chain and returns a
+// channel of revised answers. The first Update carries the answer at the
+// version current when Watch is called; each subsequent one is delivered
+// after a mutation commits, re-executed against the then-freshest version.
+// The channel is unbuffered from the caller's perspective: a slow consumer
+// exerts backpressure and intermediate epochs coalesce rather than queue.
+//
+// The watch runs until ctx is cancelled (the channel is then closed) or an
+// execution fails (one errored Update, then close). WithQueryTuning and
+// WithWorkers apply to every re-execution; pinning options
+// (AtVersion/AtSnapshot) are rejected with ErrPinnedWatch, since a watch
+// follows the live chain by definition.
+func (db *DB) Watch(ctx context.Context, req Request, opts ...QueryOption) (<-chan Update, error) {
+	if req == nil {
+		return nil, ErrNilRequest
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var xo execOptions
+	for _, o := range opts {
+		o(&xo)
+	}
+	if xo.pinned() {
+		return nil, ErrPinnedWatch
+	}
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	out := make(chan Update)
+	id, wake := db.watch.add()
+	go db.watchLoop(ctx, req, &xo, out, wake, id)
+	return out, nil
+}
+
+// watchLoop is the per-subscription goroutine: execute at the current
+// version, deliver, sleep until the next publish (or ctx), repeat.
+func (db *DB) watchLoop(ctx context.Context, req Request, xo *execOptions, out chan<- Update, wake <-chan struct{}, id uint64) {
+	defer close(out)
+	defer db.watch.remove(id)
+	var prev *Answer
+	for {
+		v := db.current()
+		if prev == nil || v.epoch > prev.epoch {
+			ans, err := db.execAt(ctx, req, v, xo)
+			if err != nil {
+				if ctx.Err() != nil {
+					return // cancelled mid-execution: close without an errored update
+				}
+				select {
+				case out <- Update{Epoch: v.epoch, Err: err}:
+				case <-ctx.Done():
+				}
+				return
+			}
+			select {
+			case out <- Update{Epoch: v.epoch, Answer: ans, Delta: answerDelta(prev, ans)}:
+			case <-ctx.Done():
+				return
+			}
+			prev = ans
+		}
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// answerDelta computes the change between two consecutive answers of the
+// same request.
+func answerDelta(prev, cur *Answer) Delta {
+	if prev == nil {
+		return Delta{Changed: true, ChangedSpans: changedSpans(nil, cur)}
+	}
+	if spans := changedSpans(prev, cur); spans != nil || isContinuous(cur.value) {
+		return Delta{Changed: len(spans) > 0, ChangedSpans: spans}
+	}
+	return Delta{Changed: !answersEqual(prev.value, cur.value)}
+}
+
+func isContinuous(v any) bool {
+	switch v.(type) {
+	case *Result, *KResult:
+		return true
+	}
+	return false
+}
+
+// changedSpans returns the merged sub-intervals of [0,1] where the owner
+// (set) of a continuous answer differs between prev and cur. A nil prev
+// means everything changed. Non-continuous payloads return nil.
+func changedSpans(prev, cur *Answer) []Span {
+	switch c := cur.value.(type) {
+	case *Result:
+		if prev == nil {
+			return []Span{{Lo: 0, Hi: 1}}
+		}
+		p, _ := prev.value.(*Result)
+		if p == nil {
+			return []Span{{Lo: 0, Hi: 1}}
+		}
+		return diffPartition(len(p.Tuples), len(c.Tuples),
+			func(i int) Span { return p.Tuples[i].Span },
+			func(j int) Span { return c.Tuples[j].Span },
+			func(i, j int) bool { return p.Tuples[i].PID == c.Tuples[j].PID })
+	case *KResult:
+		if prev == nil {
+			return []Span{{Lo: 0, Hi: 1}}
+		}
+		p, _ := prev.value.(*KResult)
+		if p == nil {
+			return []Span{{Lo: 0, Hi: 1}}
+		}
+		return diffPartition(len(p.Tuples), len(c.Tuples),
+			func(i int) Span { return p.Tuples[i].Span },
+			func(j int) Span { return c.Tuples[j].Span },
+			func(i, j int) bool { return sameOwnerIDs(p.Tuples[i].Owners, c.Tuples[j].Owners) })
+	}
+	return nil
+}
+
+// diffPartition walks two partitions of [0,1] in lockstep and collects the
+// cells where same reports a differing owner, merging adjacent cells.
+func diffPartition(n, m int, spanA, spanB func(int) Span, same func(i, j int) bool) []Span {
+	var out []Span
+	i, j := 0, 0
+	lo := 0.0
+	for i < n && j < m {
+		hi := math.Min(spanA(i).Hi, spanB(j).Hi)
+		if !same(i, j) && hi > lo {
+			if k := len(out); k > 0 && out[k-1].Hi >= lo {
+				out[k-1].Hi = hi
+			} else {
+				out = append(out, Span{Lo: lo, Hi: hi})
+			}
+		}
+		lo = hi
+		if spanA(i).Hi <= hi {
+			i++
+		}
+		if spanB(j).Hi <= hi {
+			j++
+		}
+	}
+	return out
+}
+
+func sameOwnerIDs(a, b []Owner) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	// Owner lists are sorted by distance at the span midpoint; treat them as
+	// sets for delta purposes.
+	for _, oa := range a {
+		found := false
+		for _, ob := range b {
+			if oa.PID == ob.PID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// answersEqual reports exact (bit-identical) equality for every answer
+// payload kind.
+func answersEqual(a, b any) bool {
+	switch x := a.(type) {
+	case *Result:
+		y, ok := b.(*Result)
+		return ok && resultsEqual(x, y)
+	case *KResult:
+		y, ok := b.(*KResult)
+		if !ok || x.K != y.K || len(x.Tuples) != len(y.Tuples) {
+			return false
+		}
+		for i := range x.Tuples {
+			if x.Tuples[i].Span != y.Tuples[i].Span || len(x.Tuples[i].Owners) != len(y.Tuples[i].Owners) {
+				return false
+			}
+			for o := range x.Tuples[i].Owners {
+				if x.Tuples[i].Owners[o].PID != y.Tuples[i].Owners[o].PID ||
+					x.Tuples[i].Owners[o].P != y.Tuples[i].Owners[o].P {
+					return false
+				}
+			}
+		}
+		return true
+	case []Neighbor:
+		y, ok := b.([]Neighbor)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	case []JoinPair:
+		y, ok := b.([]JoinPair)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	case JoinPair:
+		y, ok := b.(JoinPair)
+		return ok && x == y
+	case *TrajectoryResult:
+		y, ok := b.(*TrajectoryResult)
+		if !ok || len(x.Legs) != len(y.Legs) {
+			return false
+		}
+		for i := range x.Legs {
+			if !resultsEqual(x.Legs[i], y.Legs[i]) {
+				return false
+			}
+		}
+		return true
+	case []*Result:
+		y, ok := b.([]*Result)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if !resultsEqual(x[i], y[i]) {
+				return false
+			}
+		}
+		return true
+	case float64:
+		y, ok := b.(float64)
+		return ok && (x == y || (math.IsInf(x, 1) && math.IsInf(y, 1)))
+	}
+	return false
+}
+
+func resultsEqual(a, b *Result) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if len(a.Tuples) != len(b.Tuples) {
+		return false
+	}
+	for i := range a.Tuples {
+		if a.Tuples[i] != b.Tuples[i] {
+			return false
+		}
+	}
+	return true
+}

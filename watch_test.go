@@ -1,0 +1,264 @@
+package connquery
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWatchBasic drives a watch through a deterministic mutation sequence
+// and checks the delivery contract: an initial answer, one re-execution per
+// (non-coalesced) publish, correct epochs and deltas, channel closed on
+// cancel.
+func TestWatchBasic(t *testing.T) {
+	db := smallDB(t)
+	q := Seg(Pt(0, 0), Pt(100, 0))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ch, err := db.Watch(ctx, CONNRequest{Seg: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := <-ch
+	if first.Err != nil || first.Epoch != 1 || !first.Delta.Changed {
+		t.Fatalf("first update: %+v", first)
+	}
+	want, _, _ := Run(ctx, db, CONNRequest{Seg: q}, AtVersion(1))
+	if !resultsEqual(first.Answer.Result(), want) {
+		t.Fatalf("initial watch answer differs from Exec")
+	}
+
+	// A mutation that changes the answer mid-segment.
+	pid, err := db.InsertPoint(Pt(50, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := <-ch
+	if u.Err != nil || u.Epoch != 2 {
+		t.Fatalf("update after insert: %+v", u)
+	}
+	if own, _ := u.Answer.Result().OwnerAt(0.5); own.PID != pid {
+		t.Fatalf("watched answer missed the insert: %+v", u.Answer.Result().Tuples)
+	}
+	if !u.Delta.Changed || len(u.Delta.ChangedSpans) == 0 {
+		t.Fatalf("delta missing: %+v", u.Delta)
+	}
+	for _, sp := range u.Delta.ChangedSpans {
+		if !sp.Contains(0.5) && sp.Hi < 0.5 && sp.Lo > 0.5 {
+			t.Fatalf("changed span misses the takeover point: %+v", u.Delta.ChangedSpans)
+		}
+	}
+
+	// A mutation far away: the answer is recomputed but unchanged.
+	if _, err := db.InsertObstacle(R(900, 900, 950, 950)); err != nil {
+		t.Fatal(err)
+	}
+	u = <-ch
+	if u.Err != nil || u.Epoch != 3 {
+		t.Fatalf("update after remote insert: %+v", u)
+	}
+	if u.Delta.Changed || len(u.Delta.ChangedSpans) != 0 {
+		t.Fatalf("remote mutation flagged a change: %+v", u.Delta)
+	}
+
+	cancel()
+	for range ch { // drain until close
+	}
+
+	// Option and request validation.
+	if _, err := db.Watch(context.Background(), nil); !errors.Is(err, ErrNilRequest) {
+		t.Fatalf("nil request: %v", err)
+	}
+	if _, err := db.Watch(context.Background(), CONNRequest{Seg: q}, AtVersion(1)); !errors.Is(err, ErrPinnedWatch) {
+		t.Fatalf("pinned watch: %v", err)
+	}
+	if _, err := db.Watch(context.Background(), CONNRequest{Seg: Seg(Pt(1, 1), Pt(1, 1))}); err == nil {
+		t.Fatal("degenerate watched request accepted")
+	}
+}
+
+// TestWatchUnderMutationRace is the satellite guarantee, run under -race in
+// CI: a live writer mutates while a watcher follows; delivered epochs must
+// be strictly increasing and every delivered answer bit-identical to a
+// fresh Exec pinned to that same epoch.
+func TestWatchUnderMutationRace(t *testing.T) {
+	r := rand.New(rand.NewSource(4711))
+	points := make([]Point, 0, 120)
+	obstacles := make([]Rect, 0, 20)
+	for i := 0; i < 20; i++ {
+		lo := Pt(r.Float64()*900, r.Float64()*900)
+		obstacles = append(obstacles, R(lo.X, lo.Y, lo.X+10+r.Float64()*30, lo.Y+8+r.Float64()*20))
+	}
+free:
+	for len(points) < 120 {
+		p := Pt(r.Float64()*1000, r.Float64()*1000)
+		for _, o := range obstacles {
+			if o.ContainsOpen(p) {
+				continue free
+			}
+		}
+		points = append(points, p)
+	}
+	db, err := Open(points, obstacles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Seg(Pt(100, 480), Pt(800, 520))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Pin every epoch the writer will create, so each watched answer can be
+	// re-derived later at exactly its version.
+	snaps := map[uint64]*Snapshot{1: db.Snapshot()}
+	var snapMu sync.Mutex
+
+	ch, err := db.Watch(ctx, CONNRequest{Seg: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var upMu sync.Mutex
+	var updates []Update
+	collected := make(chan struct{})
+	go func() {
+		defer close(collected)
+		for u := range ch {
+			upMu.Lock()
+			updates = append(updates, u)
+			upMu.Unlock()
+		}
+	}()
+
+	const mutations = 60
+	wr := rand.New(rand.NewSource(4712))
+	for i := 0; i < mutations; i++ {
+		switch wr.Intn(4) {
+		case 0:
+			db.InsertPoint(Pt(wr.Float64()*1000, wr.Float64()*1000))
+		case 1:
+			lo := Pt(wr.Float64()*950, wr.Float64()*950)
+			db.InsertObstacle(R(lo.X, lo.Y, lo.X+5+wr.Float64()*25, lo.Y+5+wr.Float64()*15))
+		case 2:
+			db.DeletePoint(int32(wr.Intn(200)))
+		case 3:
+			db.DeleteObstacle(int32(wr.Intn(40)))
+		}
+		// The single writer snapshots after each mutation, so every epoch in
+		// the chain stays pinned-alive for the verification pass.
+		s := db.Snapshot()
+		snapMu.Lock()
+		snaps[s.Epoch()] = s
+		snapMu.Unlock()
+	}
+
+	// Wait until the watcher has caught up with the final epoch (bursts
+	// coalesce, so intermediate epochs may be skipped — but the last one
+	// must arrive), then stop the watch.
+	final := db.Version()
+	deadline := time.After(60 * time.Second)
+	for {
+		upMu.Lock()
+		n := len(updates)
+		var last uint64
+		if n > 0 {
+			last = updates[n-1].Epoch
+		}
+		upMu.Unlock()
+		if last == final {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("watcher never reached the final epoch %d (last %d)", final, last)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	cancel()
+	<-collected
+
+	// Verify: strictly increasing epochs, every answer bit-identical to a
+	// fresh Exec pinned at that epoch.
+	if len(updates) == 0 {
+		t.Fatal("no updates delivered")
+	}
+	prevEpoch := uint64(0)
+	for i, u := range updates {
+		if u.Err != nil {
+			t.Fatalf("update %d errored: %v", i, u.Err)
+		}
+		if u.Epoch <= prevEpoch {
+			t.Fatalf("epochs not monotone: %d after %d", u.Epoch, prevEpoch)
+		}
+		prevEpoch = u.Epoch
+		snap, ok := snaps[u.Epoch]
+		if !ok {
+			t.Fatalf("update %d at epoch %d: no snapshot pinned", i, u.Epoch)
+		}
+		fresh, _, err := Run(context.Background(), db, CONNRequest{Seg: q}, AtSnapshot(snap))
+		if err != nil {
+			t.Fatalf("fresh Exec at epoch %d: %v", u.Epoch, err)
+		}
+		got := u.Answer.Result()
+		if !resultsEqual(got, fresh) {
+			t.Fatalf("epoch %d: watched answer differs from fresh Exec\nwatch: %+v\nfresh: %+v",
+				u.Epoch, got.Tuples, fresh.Tuples)
+		}
+	}
+	for _, s := range snaps {
+		s.Release()
+	}
+}
+
+// TestWatchWriterConcurrent runs the watcher against a concurrent writer
+// goroutine (not lockstep) — the coalescing path — under -race.
+func TestWatchWriterConcurrent(t *testing.T) {
+	db := smallDB(t)
+	q := Seg(Pt(0, 0), Pt(100, 0))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ch, err := db.Watch(ctx, COkNNRequest{Seg: q, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wr := rand.New(rand.NewSource(99))
+		for i := 0; i < 150; i++ {
+			if wr.Intn(2) == 0 {
+				db.InsertPoint(Pt(wr.Float64()*100, wr.Float64()*100))
+			} else {
+				db.DeletePoint(int32(wr.Intn(int(db.Version()))))
+			}
+		}
+	}()
+	wg.Wait()
+
+	// The writer is done: the watcher's pending wake guarantees an update
+	// at the final epoch arrives (bursts in between coalesce arbitrarily).
+	final := db.Version()
+	prev := uint64(0)
+	for u := range ch {
+		if u.Err != nil {
+			t.Fatalf("update errored: %v", u.Err)
+		}
+		if u.Epoch <= prev {
+			t.Fatalf("epochs not monotone: %d after %d", u.Epoch, prev)
+		}
+		prev = u.Epoch
+		if u.Epoch == final {
+			break
+		}
+	}
+	cancel()
+	for range ch {
+	}
+}
