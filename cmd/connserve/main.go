@@ -1,0 +1,165 @@
+// Command connserve serves a connquery database over HTTP/JSON: the full
+// typed-request surface on POST /v1/exec, live continuous queries as
+// NDJSON/SSE streams on GET /v1/watch, MVCC mutations and snapshot pins,
+// and a /v1/stats counters endpoint (see the server package for the wire
+// contract and ARCHITECTURE.md for how the service sits on the engine).
+//
+// The dataset comes from one of three sources, checked in this order: a
+// binary snapshot written by DB.Save (-load), a CSV pair (-points-csv +
+// -obstacles-csv, the conngen format), or a generated paper workload
+// (-workload/-scale/-ratio/-seed, the default).
+//
+//	connserve -addr :8080 -workload CL -scale 0.02
+//	connserve -load city.snap -request-timeout 5s -snapshot-ttl 2m
+//
+// Then, for example:
+//
+//	curl -s localhost:8080/v1/exec -d '{"kind":"CONN","seg":{"a":{"x":100,"y":100},"b":{"x":9000,"y":100}}}'
+//	curl -sN -G localhost:8080/v1/watch --data-urlencode 'request={"kind":"CONN","seg":{"a":{"x":100,"y":100},"b":{"x":9000,"y":100}}}'
+//
+// On SIGINT/SIGTERM the process shuts down gracefully: the listener stops
+// accepting, watch streams are terminated, and in-flight execs drain
+// (bounded by -shutdown-grace) before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"connquery"
+	"connquery/internal/bench"
+	"connquery/internal/dataset"
+	"connquery/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("connserve: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	load := flag.String("load", "", "boot from a binary snapshot written by DB.Save")
+	pointsCSV := flag.String("points-csv", "", "load data points from a CSV file (x,y rows)")
+	obstaclesCSV := flag.String("obstacles-csv", "", "load obstacles from a CSV file (minx,miny,maxx,maxy rows)")
+	workload := flag.String("workload", "CL", "generated dataset combination: CL, UL or ZL")
+	scale := flag.Float64("scale", 0.02, "generated dataset cardinality scale (1 = the paper's sizes)")
+	ratio := flag.Float64("ratio", 1, "|P|/|O| ratio for UL/ZL")
+	seed := flag.Int64("seed", 2009, "workload seed")
+	oneTree := flag.Bool("onetree", false, "index points and obstacles in one R-tree")
+	buffer := flag.Int("buffer", 0, "LRU buffer pages per tree")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-exec execution cap (0 = none)")
+	snapTTL := flag.Duration("snapshot-ttl", server.DefaultSnapshotTTL, "idle lifetime of server-held snapshot pins")
+	grace := flag.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight requests on shutdown")
+	flag.Parse()
+
+	var opts []connquery.Option
+	if *oneTree {
+		opts = append(opts, connquery.WithOneTree())
+	}
+	if *buffer > 0 {
+		opts = append(opts, connquery.WithBufferPages(*buffer))
+	}
+
+	db, source, err := openDB(*load, *pointsCSV, *obstaclesCSV, *workload, *scale, *ratio, *seed, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %s: %d points, %d obstacles (epoch %d)", source, db.NumPoints(), db.NumObstacles(), db.Version())
+
+	srv, err := server.New(server.Config{
+		DB:             db,
+		RequestTimeout: *reqTimeout,
+		SnapshotTTL:    *snapTTL,
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	log.Printf("listening on http://%s", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-stop:
+		log.Printf("received %v, draining (grace %v)", sig, *grace)
+	case err := <-serveErr:
+		log.Fatal(err)
+	}
+
+	// Graceful shutdown: stop accepting, end the watch streams (srv.Close
+	// closes their server-side gate and waits for in-flight execs), and let
+	// Shutdown drain the remaining connections within the grace window.
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	done := make(chan struct{})
+	go func() { srv.Close(); close(done) }()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	<-done
+	log.Printf("bye")
+}
+
+// openDB resolves the configured dataset source.
+func openDB(load, pointsCSV, obstaclesCSV, workload string, scale, ratio float64, seed int64, opts []connquery.Option) (*connquery.DB, string, error) {
+	switch {
+	case load != "":
+		db, err := connquery.LoadFile(load, opts...)
+		if err != nil {
+			return nil, "", err
+		}
+		return db, fmt.Sprintf("snapshot %s", load), nil
+	case pointsCSV != "" || obstaclesCSV != "":
+		if pointsCSV == "" || obstaclesCSV == "" {
+			return nil, "", errors.New("-points-csv and -obstacles-csv must be given together")
+		}
+		pts, err := readCSV(pointsCSV, dataset.ReadPointsCSV)
+		if err != nil {
+			return nil, "", err
+		}
+		obs, err := readCSV(obstaclesCSV, dataset.ReadRectsCSV)
+		if err != nil {
+			return nil, "", err
+		}
+		db, err := connquery.Open(dataset.FilterPoints(pts, obs), obs, opts...)
+		if err != nil {
+			return nil, "", err
+		}
+		return db, fmt.Sprintf("csv %s + %s", pointsCSV, obstaclesCSV), nil
+	default:
+		w := bench.BuildWorkload(strings.ToUpper(workload), scale, ratio, seed)
+		db, err := connquery.Open(w.Points, w.Obstacles, opts...)
+		if err != nil {
+			return nil, "", err
+		}
+		return db, fmt.Sprintf("workload %s scale %g", w.Name, scale), nil
+	}
+}
+
+func readCSV[T any](path string, read func(r io.Reader) ([]T, error)) ([]T, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return read(f)
+}

@@ -59,6 +59,120 @@ func ExampleDB_Exec() {
 	// epoch 1, obstructed 23.5
 }
 
+// Run is the generic, statically typed face of Exec: the answer's type is
+// inferred from the request value (each request type implements
+// TypedRequest for exactly one payload type), so call sites get *Result,
+// []Neighbor, float64, ... without assertions. Exec returns the same data
+// untyped inside an Answer; Run is Exec plus the assertion.
+func ExampleRun() {
+	db, err := connquery.Open(
+		[]connquery.Point{connquery.Pt(10, 0), connquery.Pt(90, 0)},
+		nil,
+	)
+	if err != nil {
+		fmt.Println("open:", err)
+		return
+	}
+	ctx := context.Background()
+	q := connquery.Seg(connquery.Pt(0, 0), connquery.Pt(100, 0))
+
+	// CONNRequest → *Result: res.Tuples without a type assertion.
+	res, _, err := connquery.Run(ctx, db, connquery.CONNRequest{Seg: q})
+	if err != nil {
+		fmt.Println("conn:", err)
+		return
+	}
+	fmt.Printf("%d tuples, split at %.2f\n", len(res.Tuples), res.SplitPoints()[0])
+
+	// ONNRequest → []Neighbor from the same helper.
+	nbrs, _, err := connquery.Run(ctx, db, connquery.ONNRequest{P: connquery.Pt(0, 0), K: 1})
+	if err != nil {
+		fmt.Println("onn:", err)
+		return
+	}
+	fmt.Printf("nearest of (0,0): point %d at distance %.0f\n", nbrs[0].PID, nbrs[0].Dist)
+	// Output:
+	// 2 tuples, split at 0.50
+	// nearest of (0,0): point 0 at distance 10
+}
+
+// Watch subscribes a request to the MVCC version chain: the first update
+// carries the answer at the current version, then every committed
+// mutation re-executes the request and delivers the revised answer with
+// the sub-spans whose owner changed.
+func ExampleDB_Watch() {
+	db, err := connquery.Open(
+		[]connquery.Point{connquery.Pt(10, 0), connquery.Pt(90, 0)},
+		nil,
+	)
+	if err != nil {
+		fmt.Println("open:", err)
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	q := connquery.Seg(connquery.Pt(0, 0), connquery.Pt(100, 0))
+	updates, err := db.Watch(ctx, connquery.CONNRequest{Seg: q})
+	if err != nil {
+		fmt.Println("watch:", err)
+		return
+	}
+	u := <-updates
+	fmt.Printf("epoch %d: %d tuples\n", u.Epoch, len(u.Answer.Result().Tuples))
+
+	// A new point in the middle wins the central stretch of the segment.
+	if _, err := db.InsertPoint(connquery.Pt(40, 0)); err != nil {
+		fmt.Println("insert:", err)
+		return
+	}
+	u = <-updates
+	spans := u.Delta.ChangedSpans
+	fmt.Printf("epoch %d: %d tuples, owner changed on [%.2f, %.2f]\n",
+		u.Epoch, len(u.Answer.Result().Tuples), spans[0].Lo, spans[0].Hi)
+	// Output:
+	// epoch 1: 2 tuples
+	// epoch 2: 3 tuples, owner changed on [0.25, 0.65]
+}
+
+// Snapshot pins the current MVCC version so later queries can keep
+// reading it — via AtSnapshot or AtVersion — no matter how far the live
+// chain advances.
+func ExampleDB_Snapshot() {
+	db, err := connquery.Open(
+		[]connquery.Point{connquery.Pt(10, 0), connquery.Pt(90, 0)},
+		nil,
+	)
+	if err != nil {
+		fmt.Println("open:", err)
+		return
+	}
+	ctx := context.Background()
+	q := connquery.Seg(connquery.Pt(0, 0), connquery.Pt(100, 0))
+
+	snap := db.Snapshot()
+	defer snap.Release()
+	if _, err := db.InsertPoint(connquery.Pt(40, 0)); err != nil {
+		fmt.Println("insert:", err)
+		return
+	}
+
+	old, err := db.Exec(ctx, connquery.CONNRequest{Seg: q}, connquery.AtSnapshot(snap))
+	if err != nil {
+		fmt.Println("pinned:", err)
+		return
+	}
+	live, err := db.Exec(ctx, connquery.CONNRequest{Seg: q})
+	if err != nil {
+		fmt.Println("live:", err)
+		return
+	}
+	fmt.Printf("pinned epoch %d: %d tuples\n", old.Epoch(), len(old.Result().Tuples))
+	fmt.Printf("live epoch %d: %d tuples\n", live.Epoch(), len(live.Result().Tuples))
+	// Output:
+	// pinned epoch 1: 2 tuples
+	// live epoch 2: 3 tuples
+}
+
 // COkNN returns the k nearest points per interval.
 func ExampleCOkNNRequest() {
 	db, err := connquery.Open(

@@ -1,0 +1,23 @@
+// Package core implements the paper's query-processing algorithms:
+// the quadratic split-point computation (§3, Theorem 1), incremental
+// obstacle retrieval IOR (Algorithm 1), control-point-list computation
+// CPLC (Algorithm 2), result-list update RLU (Algorithm 3), the CONN
+// search (Algorithm 4), its COkNN generalization and single-R-tree variant
+// (§4.5), and the baselines used for verification and comparison
+// (Euclidean CNN, point ONN, naive sampling CONN), plus the related-work
+// extensions (trajectory CONN, obstructed range, distance joins, visible
+// kNN).
+//
+// Engine is the execution context: the R-trees over P and O (or one
+// unified tree), the obstacle storage, the ablation Options, the MVCC
+// epoch it reads, an optional cross-version StatePool of warm per-query
+// scratch (visibility graph, Dijkstra state, CPL/split buffers), and an
+// optional Cancel hook polled from the hot loops. Engines are cheap
+// views: the public layer builds per-call and per-worker views sharing
+// the immutable trees while isolating counters, tuning and cancellation.
+//
+// Every query method returns its answer together with the paper's
+// stats.QueryMetrics (page faults, NPE, NOE, |SVG|, CPU). Aborted is the
+// cancellation panic payload; it crosses this package untouched and only
+// the public Exec layer recovers it.
+package core

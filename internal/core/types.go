@@ -1,10 +1,3 @@
-// Package core implements the paper's query-processing algorithms:
-// the quadratic split-point computation (§3, Theorem 1), incremental
-// obstacle retrieval IOR (Algorithm 1), control-point-list computation CPLC
-// (Algorithm 2), result-list update RLU (Algorithm 3), the CONN search
-// (Algorithm 4), its COkNN generalization and single-R-tree variant (§4.5),
-// and the baselines used for verification and comparison (Euclidean CNN,
-// point ONN, naive sampling CONN).
 package core
 
 import "connquery/internal/geom"

@@ -1,15 +1,3 @@
-// Package dataset generates the experimental workloads of the paper's §5.1.
-//
-// The paper evaluates on two real datasets from rtreeportal.org — CA (60,344
-// California location points) and LA (131,461 MBRs of Los Angeles streets) —
-// plus Uniform and Zipf(α=0.8) synthetic point sets, all normalized to a
-// [0, 10000] x [0, 10000] space. The real files are not redistributable and
-// the portal is unreachable offline, so CA and LA are replaced by synthetic
-// surrogates that preserve the properties the experiments exercise (see
-// DESIGN.md §4): CA's clustered, non-uniform point distribution and LA's
-// dense field of small, thin, axis-aligned street rectangles.
-//
-// All generators are deterministic in their seed.
 package dataset
 
 import (

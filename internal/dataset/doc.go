@@ -1,0 +1,18 @@
+// Package dataset generates the experimental workloads of the paper's
+// §5.1 and reads/writes their CSV interchange format.
+//
+// The paper evaluates on two real datasets from rtreeportal.org — CA
+// (60,344 California location points) and LA (131,461 MBRs of Los Angeles
+// streets) — plus Uniform and Zipf(α=0.8) synthetic point sets, all
+// normalized to a [0, 10000] x [0, 10000] space. The real files are not
+// redistributable and the portal is unreachable offline, so CA and LA are
+// replaced by synthetic surrogates that preserve the properties the
+// experiments exercise: CA's clustered, non-uniform point distribution
+// (Clustered) and LA's dense field of small, thin, axis-aligned street
+// rectangles (Streets).
+//
+// All generators are deterministic in their seed. FilterPoints drops
+// points that fall strictly inside an obstacle (the library rejects such
+// inputs); the CSV helpers (ReadPointsCSV, WriteRectsCSV, ...) define the
+// format cmd/conngen writes and cmd/connquery/connserve read.
+package dataset

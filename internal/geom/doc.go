@@ -1,0 +1,24 @@
+// Package geom provides the 2D computational-geometry substrate used by the
+// CONN query processor: points, line segments, axis-aligned rectangles,
+// distance functions, intersection predicates, and visibility computations
+// under rectangular obstacles.
+//
+// Conventions:
+//
+//   - Obstacles are closed axis-aligned rectangles. A path or sight line is
+//     blocked only when it crosses an obstacle's open interior; travelling
+//     along an obstacle boundary or through a corner is permitted. This
+//     matches the paper's model, in which data points may lie on obstacle
+//     boundaries and shortest paths turn at obstacle vertices.
+//   - Query segments are parametrized as s(t) = A + t*(B-A), t in [0, 1].
+//     Span values are sub-intervals of that parameter range; every answer
+//     interval the engine reports is a Span.
+//   - Predicates use the absolute tolerance Eps (1e-9), chosen for the
+//     paper's [0, 10000]^2 search space: far below one unit of coordinate
+//     resolution, far above float64 noise at those magnitudes.
+//
+// The layers above rely on the exactness guarantees here: BlocksSegment is
+// the single source of truth for "does this obstacle occlude this sight
+// line", and VisibleSpan computes the portion of a query segment a point
+// can see, which CPLC turns into control regions.
+package geom

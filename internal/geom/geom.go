@@ -1,16 +1,3 @@
-// Package geom provides the 2D computational-geometry substrate used by the
-// CONN query processor: points, line segments, axis-aligned rectangles,
-// distance functions, intersection predicates, and visibility computations
-// under rectangular obstacles.
-//
-// Conventions:
-//
-//   - Obstacles are closed axis-aligned rectangles. A path or sight line is
-//     blocked only when it crosses an obstacle's open interior; travelling
-//     along an obstacle boundary or through a corner is permitted. This
-//     matches the paper's model, in which data points may lie on obstacle
-//     boundaries and shortest paths turn at obstacle vertices.
-//   - Query segments are parametrized as s(t) = A + t*(B-A), t in [0, 1].
 package geom
 
 import (

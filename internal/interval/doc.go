@@ -1,0 +1,8 @@
+// Package interval implements one-dimensional interval-set algebra over the
+// query-segment parameter t in [0, 1]. Control point lists (the paper's
+// Definition 9) and result lists (Definition 6) are both maintained as sets
+// of disjoint spans, and the CPLC/RLU algorithms constantly intersect,
+// subtract and merge them; this package supplies those primitives with the
+// same Eps tolerance the geometric predicates use, so degenerate slivers
+// collapse instead of accumulating.
+package interval

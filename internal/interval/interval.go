@@ -1,7 +1,3 @@
-// Package interval implements one-dimensional interval-set algebra over the
-// query-segment parameter t in [0, 1]. Control point lists (Definition 9) and
-// result lists (Definition 6) are both maintained as sets of disjoint spans,
-// and the CPLC/RLU algorithms constantly intersect, subtract and merge them.
 package interval
 
 import (

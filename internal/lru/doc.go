@@ -1,0 +1,10 @@
+// Package lru implements the least-recently-used page buffer the paper's
+// buffer-size experiment (Figure 12) places in front of the R-trees. A page
+// access that hits the buffer is free; a miss is a page fault charged at
+// the paper's 10 ms I/O cost.
+//
+// Buffer locks internally, so one buffer may be shared by concurrent
+// queries and by ResetStats (the warm-up/measurement boundary) without
+// external synchronization; hit/miss counters are part of the same
+// critical section, so their sums stay consistent with residency.
+package lru

@@ -1,7 +1,3 @@
-// Package lru implements the least-recently-used page buffer the paper's
-// buffer-size experiment (Figure 12) places in front of the R-trees. A page
-// access that hits the buffer is free; a miss is a page fault charged at the
-// paper's 10 ms I/O cost.
 package lru
 
 import "sync"

@@ -1,0 +1,7 @@
+// Package minheap provides a typed binary min-heap keyed by float64.
+// It backs the best-first R-tree traversals (entries ordered by mindist to
+// the query segment) and Dijkstra's algorithm over the local visibility
+// graph. Ties are broken by insertion order so traversals are
+// deterministic — a property the paper-figure regression tests and the
+// bit-identical serving tests depend on.
+package minheap

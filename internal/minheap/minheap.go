@@ -1,7 +1,3 @@
-// Package minheap provides a typed binary min-heap keyed by float64.
-// It backs the best-first R-tree traversals (entries ordered by mindist to
-// the query segment) and Dijkstra's algorithm over the local visibility
-// graph. Ties are broken by insertion order so traversals are deterministic.
 package minheap
 
 // Heap is a binary min-heap of values of type T ordered by a float64 key.

@@ -1,0 +1,25 @@
+// Package rtree implements the R*-tree of Beckmann, Kriegel, Schneider and
+// Seeger (SIGMOD 1990), the disk-based spatial index the paper uses for
+// both the data set P and the obstacle set O. The implementation is
+// in-memory but models disk behaviour the way the paper's experiments do:
+// nodes have a page-size-derived fanout (4 KB pages by default) and every
+// node visit is counted as one page access through an AccessRecorder,
+// optionally filtered through an LRU buffer.
+//
+// Supported operations: one-by-one R*-insertion with forced reinsertion,
+// deletion with tree condensation, window search, incremental best-first
+// nearest-neighbour traversal ordered by mindist to a query segment or
+// point (Hjaltason & Samet style), and STR bulk loading. Items carry a
+// Kind tag (point vs obstacle) so a single unified tree can serve the
+// paper's §4.5 one-tree variant.
+//
+// Two handle variants matter to the layers above:
+//
+//   - View returns a read-only handle over the same nodes with its own
+//     AccessRecorder, giving concurrent readers private page accounting.
+//   - CloneCOW returns a copy-on-write handle: Insert/Delete shadow-copy
+//     (path-copy) every node they would modify, so older handles keep
+//     reading immutable snapshots. This is the substrate for the public
+//     API's MVCC versioning; epochs on nodes make in-place mutation safe
+//     when a node already belongs to the writing clone.
+package rtree

@@ -1,17 +1,3 @@
-// Package rtree implements the R*-tree of Beckmann, Kriegel, Schneider and
-// Seeger (SIGMOD 1990), the disk-based spatial index the paper uses for both
-// the data set P and the obstacle set O. The implementation is in-memory but
-// models disk behaviour the way the paper's experiments do: nodes have a
-// page-size-derived fanout (4 KB pages by default) and every node visit is
-// counted as one page access, optionally filtered through an LRU buffer.
-//
-// Supported operations: one-by-one R*-insertion with forced reinsertion,
-// deletion with tree condensation, window search, incremental best-first
-// nearest-neighbour traversal ordered by mindist to a query segment or
-// point (Hjaltason & Samet style), and STR bulk loading. Mutations can also
-// run copy-on-write against a CloneCOW handle, which path-copies every node
-// it would modify so older handles keep reading immutable snapshots — the
-// substrate for the public API's MVCC versioning.
 package rtree
 
 import (

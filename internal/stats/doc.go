@@ -1,0 +1,14 @@
+// Package stats collects the performance metrics the paper reports in §5:
+// I/O cost (page accesses, optionally filtered through an LRU buffer), CPU
+// time, total query cost with the paper's 10 ms-per-page-fault charge, the
+// number of data points evaluated (NPE), the number of obstacles evaluated
+// (NOE), and the visibility-graph size |SVG|.
+//
+// PageCounter implements rtree.AccessRecorder with atomic counters, so an
+// MVCC writer and any number of concurrent readers can share one counter
+// without races; per-query metrics are deltas around a query, so callers
+// wanting uncontaminated fault numbers use a private counter (a clone or
+// batch-worker view). QueryMetrics is the per-query record the public API
+// re-exports as connquery.Metrics; Aggregate implements the paper's
+// "run 100 queries, report the average" methodology.
+package stats

@@ -1,8 +1,3 @@
-// Package stats collects the performance metrics the paper reports in §5:
-// I/O cost (page accesses, optionally filtered through an LRU buffer), CPU
-// time, total query cost with the paper's 10 ms-per-page-fault charge, the
-// number of data points evaluated (NPE), the number of obstacles evaluated
-// (NOE), and the visibility-graph size |SVG|.
 package stats
 
 import (

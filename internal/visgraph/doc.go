@@ -1,0 +1,25 @@
+// Package visgraph implements the *local* visibility graph at the heart of
+// the paper's obstructed-distance machinery (§2.4, §4.1). Nodes are
+// obstacle corners plus transient query/data points; two nodes share an
+// edge iff the straight segment between them does not cross any inserted
+// obstacle's open interior. The graph is built incrementally: the IOR
+// algorithm inserts obstacles in ascending mindist-to-q order, and each
+// insertion both invalidates the existing edges it blocks and links its
+// four corners into the graph. Obstructed distances are shortest paths in
+// this graph (Dijkstra), which de Berg et al. prove contain only
+// visibility edges.
+//
+// The hot-path machinery the core engine drives:
+//
+//   - AddPoint prunes candidate edges by angular occlusion (pseudo-angle
+//     interval + mindist screen) before the exact BlocksSegment test.
+//   - Search is a resumable multi-target Dijkstra: CONN's IOR phase exits
+//     early at the query's two anchor nodes, and CPLC resumes the same
+//     search, consuming settle batches in (dist, id) order so nodes pruned
+//     by Lemma 7 are never settled at all.
+//   - The search polls an installed cancellation hook every few dozen
+//     settles and aborts by panicking with Aborted, which only the public
+//     Exec layer recovers.
+//   - Reset retains allocated capacity so pooled query states stay
+//     allocation-free across queries.
+package visgraph

@@ -1,12 +1,3 @@
-// Package visgraph implements the *local* visibility graph at the heart of
-// the paper's obstructed-distance machinery (§2.4, §4.1). Nodes are obstacle
-// corners plus transient query/data points; two nodes share an edge iff the
-// straight segment between them does not cross any inserted obstacle's open
-// interior. The graph is built incrementally: the IOR algorithm inserts
-// obstacles in ascending mindist-to-q order, and each insertion both
-// invalidates the existing edges it blocks and links its four corners into
-// the graph. Obstructed distances are shortest paths in this graph
-// (Dijkstra), which de Berg et al. prove contain only visibility edges.
 package visgraph
 
 import (

@@ -9,6 +9,25 @@ import "context"
 // New code should build a Request and call Exec (or the typed Run helper),
 // which additionally offers context cancellation, version pinning
 // (AtVersion/AtSnapshot), per-call tuning and worker pooling.
+//
+// Deprecation policy for this file:
+//
+//   - Every shim carries a "Deprecated:" marker naming the exact
+//     replacement request type and, where options are involved, the exact
+//     QueryOption. Tooling (gopls, staticcheck) surfaces the marker at
+//     call sites; the README's migration table mirrors it.
+//   - A shim is one statement: build the request, call Run/Exec. Behavior
+//     changes happen in the request's run method, never here, so a shim's
+//     documented semantics cannot drift from Exec's (the doc comments
+//     below describe the request's behavior and are corrected whenever
+//     the request changes).
+//   - Shims whose legacy signature cannot report an error (ClosestPair,
+//     DistanceSemiJoin, ObstructedDist) panic on one; with a background
+//     context and valid inputs no error path is reachable, so a panic
+//     there is programmer misuse, not an operational failure.
+//   - Shims are never removed within a module major version; newly
+//     deprecated surface moves to this file with the same treatment
+//     (COKNN, the pre-rename spelling, is the template).
 
 // CONN answers a continuous obstructed nearest neighbor query over q: the
 // returned tuples partition q and each names the data point that is the
@@ -24,8 +43,8 @@ func (db *DB) CONN(q Segment) (*Result, Metrics, error) {
 // current when the call starts is pinned for the whole batch. workers <= 0
 // selects GOMAXPROCS.
 //
-// Deprecated: use DB.Exec with CONNBatchRequest and WithWorkers; per-query
-// metrics are available via Answer.ItemMetrics.
+// Deprecated: use DB.Exec with CONNBatchRequest and WithWorkers(workers);
+// per-query metrics are available via Answer.ItemMetrics.
 func (db *DB) CONNBatch(queries []Segment, workers int) ([]*Result, []Metrics, error) {
 	ans, err := db.Exec(context.Background(), CONNBatchRequest{Segs: queries}, WithWorkers(workers))
 	if err != nil {
@@ -44,12 +63,14 @@ func (db *DB) COkNN(q Segment, k int) (*KResult, Metrics, error) {
 // COKNN answers a continuous obstructed k-nearest-neighbor query (k >= 1).
 //
 // Deprecated: the query is spelled COkNN in the paper; use DB.COkNN, or
-// better, Run with COkNNRequest.
+// better, Run(ctx, db, COkNNRequest{Seg: q, K: k}).
 func (db *DB) COKNN(q Segment, k int) (*KResult, Metrics, error) {
 	return db.COkNN(q, k)
 }
 
-// ONN answers a snapshot obstructed k-nearest-neighbor query at a point.
+// ONN answers a snapshot obstructed k-nearest-neighbor query at a point
+// (k >= 1). Only reachable data points are returned, so fewer than k
+// neighbors may come back.
 //
 // Deprecated: use Run(ctx, db, ONNRequest{P: p, K: k}) or DB.Exec.
 func (db *DB) ONN(p Point, k int) ([]Neighbor, Metrics, error) {
@@ -68,16 +89,18 @@ func (db *DB) CNN(q Segment) (*Result, Metrics, error) {
 // spaced positions. Approximate and slow by design; it is the baseline the
 // paper's introduction rules out.
 //
-// Deprecated: use Run(ctx, db, NaiveCONNRequest{Seg: q, Samples: samples}).
+// Deprecated: use Run(ctx, db, NaiveCONNRequest{Seg: q, Samples: samples})
+// or DB.Exec.
 func (db *DB) NaiveCONN(q Segment, samples int) (*Result, Metrics, error) {
 	return Run(context.Background(), db, NaiveCONNRequest{Seg: q, Samples: samples})
 }
 
 // EDistanceJoin returns every (query point, data point) pair whose
 // obstructed distance is at most e (the obstructed e-distance join of
-// Zhang et al., EDBT 2004).
+// Zhang et al., EDBT 2004), sorted by (query index, distance).
 //
-// Deprecated: use Run(ctx, db, EDistanceJoinRequest{Queries: queries, E: e}).
+// Deprecated: use Run(ctx, db, EDistanceJoinRequest{Queries: queries, E: e})
+// or DB.Exec.
 func (db *DB) EDistanceJoin(queries []Point, e float64) ([]JoinPair, Metrics, error) {
 	return Run(context.Background(), db, EDistanceJoinRequest{Queries: queries, E: e})
 }
@@ -86,7 +109,8 @@ func (db *DB) EDistanceJoin(queries []Point, e float64) ([]JoinPair, Metrics, er
 // obstructed distance. With no query points the returned pair has
 // QIdx == -1 and infinite distance.
 //
-// Deprecated: use Run(ctx, db, ClosestPairRequest{Queries: queries}).
+// Deprecated: use Run(ctx, db, ClosestPairRequest{Queries: queries}) or
+// DB.Exec.
 func (db *DB) ClosestPair(queries []Point) (JoinPair, Metrics) {
 	pair, m, err := Run(context.Background(), db, ClosestPairRequest{Queries: queries})
 	if err != nil {
@@ -99,9 +123,12 @@ func (db *DB) ClosestPair(queries []Point) (JoinPair, Metrics) {
 }
 
 // DistanceSemiJoin returns, for each query point, its obstructed nearest
-// data point, sorted ascending by distance.
+// data point, sorted ascending by distance. A query point with no
+// reachable data point yields a pair with PID == NoOwner and infinite
+// distance.
 //
-// Deprecated: use Run(ctx, db, DistanceSemiJoinRequest{Queries: queries}).
+// Deprecated: use Run(ctx, db, DistanceSemiJoinRequest{Queries: queries})
+// or DB.Exec.
 func (db *DB) DistanceSemiJoin(queries []Point) ([]JoinPair, Metrics) {
 	pairs, m, err := Run(context.Background(), db, DistanceSemiJoinRequest{Queries: queries})
 	if err != nil {
@@ -110,39 +137,42 @@ func (db *DB) DistanceSemiJoin(queries []Point) ([]JoinPair, Metrics) {
 	return pairs, m
 }
 
-// VisibleKNN returns the k nearest data points (Euclidean) among those
-// visible from p — obstacles occlude rather than detour (the VkNN query of
-// Nutanong et al., DASFAA 2007).
+// VisibleKNN returns the k nearest data points (Euclidean, k >= 1) among
+// those visible from p — obstacles occlude rather than detour (the VkNN
+// query of Nutanong et al., DASFAA 2007).
 //
-// Deprecated: use Run(ctx, db, VisibleKNNRequest{P: p, K: k}).
+// Deprecated: use Run(ctx, db, VisibleKNNRequest{P: p, K: k}) or DB.Exec.
 func (db *DB) VisibleKNN(p Point, k int) ([]Neighbor, Metrics, error) {
 	return Run(context.Background(), db, VisibleKNNRequest{P: p, K: k})
 }
 
 // TrajectoryCONN answers a CONN query over a polyline trajectory (the
 // paper's §6 trajectory extension): the obstructed NN of every point on
-// every leg. Degenerate legs are skipped.
+// every leg. Degenerate legs are skipped; it is an error when fewer than
+// two waypoints are given or every leg is degenerate.
 //
-// Deprecated: use Run(ctx, db, TrajectoryRequest{Waypoints: waypoints}).
+// Deprecated: use Run(ctx, db, TrajectoryRequest{Waypoints: waypoints}) or
+// DB.Exec.
 func (db *DB) TrajectoryCONN(waypoints []Point) (*TrajectoryResult, Metrics, error) {
 	return Run(context.Background(), db, TrajectoryRequest{Waypoints: waypoints})
 }
 
 // ObstructedRange returns every data point whose obstructed distance to
-// center is at most radius, sorted ascending (the obstructed range query of
-// Zhang et al., EDBT 2004).
+// center is at most radius, sorted ascending (the obstructed range query
+// of Zhang et al., EDBT 2004).
 //
-// Deprecated: use Run(ctx, db, RangeRequest{Center: center, Radius: radius}).
+// Deprecated: use Run(ctx, db, RangeRequest{Center: center, Radius: radius})
+// or DB.Exec.
 func (db *DB) ObstructedRange(center Point, radius float64) ([]Neighbor, Metrics, error) {
 	return Run(context.Background(), db, RangeRequest{Center: center, Radius: radius})
 }
 
 // ObstructedDist returns the exact obstructed distance between two free
-// points under the DB's obstacle set, +Inf when no path exists. It uses the
-// same incremental obstacle retrieval as the queries, so only obstacles near
-// the pair are examined.
+// points under the DB's obstacle set, +Inf when no path exists. It uses
+// the same incremental obstacle retrieval as the queries, so only
+// obstacles near the pair are examined.
 //
-// Deprecated: use Run(ctx, db, DistanceRequest{A: a, B: b}).
+// Deprecated: use Run(ctx, db, DistanceRequest{A: a, B: b}) or DB.Exec.
 func (db *DB) ObstructedDist(a, b Point) float64 {
 	d, _, err := Run(context.Background(), db, DistanceRequest{A: a, B: b})
 	if err != nil {

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Mutation endpoints. Each call serializes through the library's MVCC
+// writer: it publishes a new immutable version, wakes every watch, and
+// returns the epoch observed right after the commit. Object IDs are never
+// reused, so a PID/OID stays valid across any later mutations.
+
+// insertPointBody is the body of POST /v1/points.
+type insertPointBody struct {
+	P Point `json:"p"`
+}
+
+// insertObstacleBody is the body of POST /v1/obstacles.
+type insertObstacleBody struct {
+	Rect Rect `json:"rect"`
+}
+
+// handleInsertPoint serves POST /v1/points.
+func (s *Server) handleInsertPoint(w http.ResponseWriter, r *http.Request) {
+	defer s.track()()
+	var body insertPointBody
+	if err := decodeBody(w, r, &body); err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	pid, err := s.db.InsertPoint(body.P.lib())
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.stats.mutations.Add(1)
+	writeJSON(w, http.StatusOK, MutateResponse{PID: &pid, Epoch: s.db.Version()})
+}
+
+// handleInsertObstacle serves POST /v1/obstacles.
+func (s *Server) handleInsertObstacle(w http.ResponseWriter, r *http.Request) {
+	defer s.track()()
+	var body insertObstacleBody
+	if err := decodeBody(w, r, &body); err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	oid, err := s.db.InsertObstacle(body.Rect.lib())
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.stats.mutations.Add(1)
+	writeJSON(w, http.StatusOK, MutateResponse{OID: &oid, Epoch: s.db.Version()})
+}
+
+// pathID parses the {id} path segment as an object ID.
+func pathID(r *http.Request) (int32, error) {
+	raw := r.PathValue("id")
+	id, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad id %q: %w", raw, err)
+	}
+	return int32(id), nil
+}
+
+// handleDeletePoint serves DELETE /v1/points/{id}. Deleting an unknown or
+// already-deleted PID is 404; the body reports deleted: false.
+func (s *Server) handleDeletePoint(w http.ResponseWriter, r *http.Request) {
+	defer s.track()()
+	pid, err := pathID(r)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	deleted := s.db.DeletePoint(pid)
+	status := http.StatusOK
+	if deleted {
+		s.stats.mutations.Add(1)
+	} else {
+		status = http.StatusNotFound
+	}
+	writeJSON(w, status, MutateResponse{Deleted: &deleted, Epoch: s.db.Version()})
+}
+
+// handleDeleteObstacle serves DELETE /v1/obstacles/{id}.
+func (s *Server) handleDeleteObstacle(w http.ResponseWriter, r *http.Request) {
+	defer s.track()()
+	oid, err := pathID(r)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	deleted := s.db.DeleteObstacle(oid)
+	status := http.StatusOK
+	if deleted {
+		s.stats.mutations.Add(1)
+	} else {
+		status = http.StatusNotFound
+	}
+	writeJSON(w, status, MutateResponse{Deleted: &deleted, Epoch: s.db.Version()})
+}

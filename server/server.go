@@ -1,0 +1,255 @@
+// Package server exposes a connquery database over HTTP/JSON: the full
+// typed-request surface through one generic POST /v1/exec endpoint, live
+// continuous queries as NDJSON/SSE streams on GET /v1/watch, the MVCC
+// mutation and snapshot-pinning API, and a /v1/stats counters endpoint.
+//
+// The package is a thin, faithful shell over the library's single
+// execution path: every HTTP query decodes into the same Request values
+// DB.Exec takes, runs against one consistent MVCC snapshot, and encodes
+// the Answer (payload + the paper's cost metrics + epoch) with a shared,
+// exactly-round-tripping wire codec. Client disconnects propagate as
+// context cancellation into the query hot loops, so an abandoned request
+// stops consuming CPU promptly.
+//
+// Routes:
+//
+//	POST   /v1/exec            execute one request (ExecRequest → ExecResponse)
+//	GET    /v1/watch           stream re-executed answers on every commit
+//	POST   /v1/watch           same, request envelope in the body
+//	POST   /v1/points          insert a data point
+//	DELETE /v1/points/{id}     delete a data point
+//	POST   /v1/obstacles       insert an obstacle
+//	DELETE /v1/obstacles/{id}  delete an obstacle
+//	POST   /v1/snapshots       pin the current MVCC version (TTL-guarded)
+//	GET    /v1/snapshots       list live pins
+//	DELETE /v1/snapshots/{id}  release a pin
+//	GET    /v1/stats           dataset shape + serving counters
+//
+// Construct a Server with New, mount Handler on any http.Server, and Close
+// the Server on shutdown: Close releases every server-held snapshot pin,
+// terminates the watch streams (so http.Server.Shutdown can finish), and
+// waits for in-flight execs to drain.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"connquery"
+)
+
+// Config parameterizes New.
+type Config struct {
+	// DB is the database to serve. Required.
+	DB *connquery.DB
+
+	// RequestTimeout caps the execution time of every /v1/exec call; a
+	// request's timeout_ms may only tighten it. 0 means no server-side
+	// cap. Watch streams are exempt — they are long-lived by design, and
+	// their envelope's timeout_ms bounds the whole stream instead.
+	RequestTimeout time.Duration
+
+	// SnapshotTTL bounds how long an idle POST /v1/snapshots pin survives:
+	// the deadline slides on every use, and the janitor releases expired
+	// pins so an abandoned client cannot pin an MVCC version forever.
+	// 0 selects the default of 5 minutes.
+	SnapshotTTL time.Duration
+
+	// Logf, when set, receives one line per served error (decode failures,
+	// failed execs). nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// DefaultSnapshotTTL is the pin lifetime used when Config.SnapshotTTL is 0.
+const DefaultSnapshotTTL = 5 * time.Minute
+
+// Server serves one connquery.DB over HTTP. Create it with New; it is safe
+// for concurrent use by any number of connections.
+type Server struct {
+	db  *connquery.DB
+	cfg Config
+	mux *http.ServeMux
+
+	start time.Time
+	stats counters
+	snaps snapRegistry
+
+	closed    chan struct{} // closed by Close: ends watch streams
+	closeOnce sync.Once
+	inflight  sync.WaitGroup
+}
+
+// counters aggregates the serving statistics surfaced by /v1/stats.
+type counters struct {
+	execs        atomic.Int64
+	execErrors   atomic.Int64
+	watchesOpen  atomic.Int64
+	watchUpdates atomic.Int64
+	mutations    atomic.Int64
+	inflight     atomic.Int64
+	npe          atomic.Int64
+	noe          atomic.Int64
+	svgPeak      atomic.Int64
+
+	mu     sync.Mutex
+	byKind map[string]int64
+}
+
+// record folds one successful execution into the counters.
+func (c *counters) record(kind string, m connquery.Metrics) {
+	c.execs.Add(1)
+	c.npe.Add(int64(m.NPE))
+	c.noe.Add(int64(m.NOE))
+	for {
+		cur := c.svgPeak.Load()
+		if int64(m.SVG) <= cur || c.svgPeak.CompareAndSwap(cur, int64(m.SVG)) {
+			break
+		}
+	}
+	c.mu.Lock()
+	if c.byKind == nil {
+		c.byKind = make(map[string]int64)
+	}
+	c.byKind[kind]++
+	c.mu.Unlock()
+}
+
+// New builds a Server over cfg.DB and starts the snapshot janitor.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("server: Config.DB is required")
+	}
+	if cfg.SnapshotTTL <= 0 {
+		cfg.SnapshotTTL = DefaultSnapshotTTL
+	}
+	s := &Server{
+		db:     cfg.DB,
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+		closed: make(chan struct{}),
+	}
+	s.mux.HandleFunc("POST /v1/exec", s.handleExec)
+	s.mux.HandleFunc("GET /v1/watch", s.handleWatch)
+	s.mux.HandleFunc("POST /v1/watch", s.handleWatch)
+	s.mux.HandleFunc("POST /v1/points", s.handleInsertPoint)
+	s.mux.HandleFunc("DELETE /v1/points/{id}", s.handleDeletePoint)
+	s.mux.HandleFunc("POST /v1/obstacles", s.handleInsertObstacle)
+	s.mux.HandleFunc("DELETE /v1/obstacles/{id}", s.handleDeleteObstacle)
+	s.mux.HandleFunc("POST /v1/snapshots", s.handleCreateSnapshot)
+	s.mux.HandleFunc("GET /v1/snapshots", s.handleListSnapshots)
+	s.mux.HandleFunc("DELETE /v1/snapshots/{id}", s.handleDeleteSnapshot)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.snaps.start(s)
+	return s, nil
+}
+
+// Handler returns the HTTP handler serving the /v1 API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close shuts the server side of the API down: the snapshot janitor stops
+// and every server-held pin is released, open watch streams terminate (so
+// a surrounding http.Server.Shutdown is not wedged by them), and Close
+// blocks until in-flight exec and mutation handlers have drained.
+// The Server must not serve new requests after Close.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.snaps.stop()
+	})
+	s.inflight.Wait()
+}
+
+// logf logs one line through cfg.Logf when configured.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// track registers one in-flight request handler for Close draining and
+// the stats gauge. The returned func must be deferred.
+func (s *Server) track() func() {
+	s.inflight.Add(1)
+	s.stats.inflight.Add(1)
+	return func() {
+		s.stats.inflight.Add(-1)
+		s.inflight.Done()
+	}
+}
+
+// writeJSON writes v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the connection is the only failure mode here
+}
+
+// writeErr writes the error envelope and logs it.
+func (s *Server) writeErr(w http.ResponseWriter, status int, err error) {
+	s.logf("http %d: %v", status, err)
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// statusOf maps an Exec/Watch error onto an HTTP status: expired or
+// foreign MVCC pins are 410 Gone, an exceeded per-request deadline is 504,
+// and everything else Exec reports is a request defect (validation), 400.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, connquery.ErrSnapshotReleased),
+		errors.Is(err, connquery.ErrVersionNotPinned),
+		errors.Is(err, connquery.ErrForeignSnapshot):
+		return http.StatusGone
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// maxBodyBytes bounds every JSON request body: large enough for any sane
+// batch or join request, small enough that one connection cannot buffer
+// the server into the ground.
+const maxBodyBytes = 8 << 20
+
+// decodeBody strictly decodes a JSON request body into v, capped at
+// maxBodyBytes.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// handleStats serves GET /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	byKind := make(map[string]int64)
+	s.stats.mu.Lock()
+	for k, v := range s.stats.byKind {
+		byKind[k] = v
+	}
+	s.stats.mu.Unlock()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Epoch:         s.db.Version(),
+		Points:        s.db.NumPoints(),
+		Obstacles:     s.db.NumObstacles(),
+		UptimeMS:      time.Since(s.start).Milliseconds(),
+		Execs:         s.stats.execs.Load(),
+		ExecErrors:    s.stats.execErrors.Load(),
+		ExecsByKind:   byKind,
+		ExecsInFlight: s.stats.inflight.Load(),
+		WatchesOpen:   s.stats.watchesOpen.Load(),
+		WatchUpdates:  s.stats.watchUpdates.Load(),
+		Mutations:     s.stats.mutations.Load(),
+		SnapshotsOpen: s.snaps.count(),
+		NPETotal:      s.stats.npe.Load(),
+		NOETotal:      s.stats.noe.Load(),
+		SVGPeak:       s.stats.svgPeak.Load(),
+	})
+}

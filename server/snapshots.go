@@ -1,0 +1,210 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"connquery"
+)
+
+// Server-held MVCC pins. POST /v1/snapshots pins the current version with
+// DB.Snapshot and hands back an opaque id; exec requests reference it via
+// the envelope's snapshot field to query that frozen version no matter how
+// far the live chain advances. Because an HTTP client can vanish without
+// releasing, every pin carries a sliding TTL deadline (touched by every
+// use) and a janitor goroutine releases expired pins — an abandoned client
+// can delay garbage of one version by at most the TTL, never forever.
+
+// serverSnap is one registered pin.
+type serverSnap struct {
+	id       uint64
+	snap     *connquery.Snapshot
+	ttl      time.Duration
+	deadline time.Time
+	leases   int  // in-flight execs using the pin
+	doomed   bool // released as soon as the last lease drops
+}
+
+// snapRegistry owns the pins and the janitor.
+type snapRegistry struct {
+	mu   sync.Mutex
+	byID map[uint64]*serverSnap
+	seq  uint64
+	ttl  time.Duration
+	quit chan struct{}
+	done chan struct{}
+}
+
+// start initializes the registry from the server config and launches the
+// janitor.
+func (sr *snapRegistry) start(s *Server) {
+	sr.byID = make(map[uint64]*serverSnap)
+	sr.ttl = s.cfg.SnapshotTTL
+	sr.quit = make(chan struct{})
+	sr.done = make(chan struct{})
+	interval := sr.ttl / 4
+	if interval > time.Second {
+		interval = time.Second
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	go func() {
+		defer close(sr.done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				sr.sweep(time.Now())
+			case <-sr.quit:
+				return
+			}
+		}
+	}()
+}
+
+// stop terminates the janitor and releases every remaining pin. Releasing
+// under in-flight queries is safe: a query that already resolved its
+// version keeps it; one that has not yet resolved gets a clean
+// ErrSnapshotReleased.
+func (sr *snapRegistry) stop() {
+	close(sr.quit)
+	<-sr.done
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	for id, e := range sr.byID {
+		e.snap.Release()
+		delete(sr.byID, id)
+	}
+}
+
+// sweep releases pins whose deadline passed. Leased pins are skipped — the
+// lease slid their deadline anyway — so a pin is never yanked out from
+// under an exec that is about to resolve it.
+func (sr *snapRegistry) sweep(now time.Time) {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	for id, e := range sr.byID {
+		if e.leases == 0 && now.After(e.deadline) {
+			e.snap.Release()
+			delete(sr.byID, id)
+		}
+	}
+}
+
+// create pins the current version.
+func (sr *snapRegistry) create(db *connquery.DB) *serverSnap {
+	snap := db.Snapshot()
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	sr.seq++
+	e := &serverSnap{id: sr.seq, snap: snap, ttl: sr.ttl, deadline: time.Now().Add(sr.ttl)}
+	sr.byID[e.id] = e
+	return e
+}
+
+// lease hands the pin to one exec call: the TTL deadline slides, and the
+// janitor and DELETE leave the pin alive until the returned func runs.
+func (sr *snapRegistry) lease(id uint64) (*connquery.Snapshot, func(), error) {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	e, ok := sr.byID[id]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: unknown or expired server snapshot %d", connquery.ErrSnapshotReleased, id)
+	}
+	e.leases++
+	e.deadline = time.Now().Add(e.ttl)
+	release := func() {
+		sr.mu.Lock()
+		defer sr.mu.Unlock()
+		e.leases--
+		e.deadline = time.Now().Add(e.ttl)
+		if e.doomed && e.leases == 0 {
+			e.snap.Release()
+			delete(sr.byID, e.id)
+		}
+	}
+	return e.snap, release, nil
+}
+
+// drop releases the pin with the given id (deferred past in-flight
+// leases). It reports whether the id existed.
+func (sr *snapRegistry) drop(id uint64) bool {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	e, ok := sr.byID[id]
+	if !ok {
+		return false
+	}
+	if e.leases > 0 {
+		e.doomed = true
+		return true
+	}
+	e.snap.Release()
+	delete(sr.byID, id)
+	return true
+}
+
+// count returns the number of live pins.
+func (sr *snapRegistry) count() int {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	return len(sr.byID)
+}
+
+// list snapshots for GET /v1/snapshots, ordered by id.
+func (sr *snapRegistry) list() []SnapshotResponse {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	out := make([]SnapshotResponse, 0, len(sr.byID))
+	for _, e := range sr.byID {
+		out = append(out, snapshotResponse(e))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func snapshotResponse(e *serverSnap) SnapshotResponse {
+	return SnapshotResponse{
+		ID:        e.id,
+		Epoch:     e.snap.Epoch(),
+		ExpiresAt: e.deadline.UTC().Format(time.RFC3339Nano),
+	}
+}
+
+// handleCreateSnapshot serves POST /v1/snapshots.
+func (s *Server) handleCreateSnapshot(w http.ResponseWriter, r *http.Request) {
+	defer s.track()()
+	e := s.snaps.create(s.db)
+	s.snaps.mu.Lock()
+	resp := snapshotResponse(e)
+	s.snaps.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleListSnapshots serves GET /v1/snapshots.
+func (s *Server) handleListSnapshots(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.snaps.list())
+}
+
+// handleDeleteSnapshot serves DELETE /v1/snapshots/{id}.
+func (s *Server) handleDeleteSnapshot(w http.ResponseWriter, r *http.Request) {
+	defer s.track()()
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad snapshot id %q: %w", r.PathValue("id"), err))
+		return
+	}
+	if !s.snaps.drop(id) {
+		s.writeErr(w, http.StatusNotFound, fmt.Errorf("unknown server snapshot %d", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Released bool `json:"released"`
+	}{true})
+}

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"connquery"
+)
+
+// handleWatch serves GET and POST /v1/watch: it subscribes the decoded
+// request to the database's MVCC version chain and streams one WatchUpdate
+// per delivered answer — the first at the version current when the watch
+// starts, then one whenever a mutation commits (write bursts coalesce;
+// epochs are strictly increasing).
+//
+// The envelope arrives either as the request body or, for GET (curl -G
+// --data-urlencode), as the "request" query parameter. Two envelope fields
+// are watch-specific: limit closes the stream after that many updates, and
+// timeout_ms bounds the total stream lifetime (the server's RequestTimeout
+// does not apply — a watch is long-lived by design). Pinning options are
+// rejected: a watch follows the live chain by definition.
+//
+// Framing is NDJSON (application/x-ndjson, one update per line) unless the
+// client sends Accept: text/event-stream, which selects SSE ("data: "
+// prefixed events). Either way the stream ends when the client disconnects
+// (cancelling any in-flight re-execution), the limit or deadline is
+// reached, a re-execution fails (one final update carrying error), or the
+// server closes.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	env, err := watchEnvelope(w, r)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := env.ToRequest()
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	opts, err := env.watchOptions()
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+
+	ctx := r.Context()
+	if env.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(env.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	updates, err := s.db.Watch(ctx, req, opts...)
+	if err != nil {
+		s.writeErr(w, statusOf(err), err)
+		return
+	}
+
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	s.stats.watchesOpen.Add(1)
+	defer s.stats.watchesOpen.Add(-1)
+
+	sent := 0
+	for {
+		select {
+		case u, ok := <-updates:
+			if !ok {
+				return // ctx cancelled (client gone / deadline) — library closed the stream
+			}
+			if !s.writeUpdate(w, flusher, sse, u) {
+				return
+			}
+			if u.Err != nil {
+				return // errored update is terminal, mirroring DB.Watch
+			}
+			s.stats.watchUpdates.Add(1)
+			if sent++; env.Limit > 0 && sent >= env.Limit {
+				return
+			}
+		case <-s.closed:
+			return // server shutdown: release the connection so Shutdown drains
+		}
+	}
+}
+
+// writeUpdate emits one frame; false means the connection is dead.
+func (s *Server) writeUpdate(w http.ResponseWriter, flusher http.Flusher, sse bool, u connquery.Update) bool {
+	wu := WatchUpdate{Epoch: u.Epoch, Changed: u.Delta.Changed}
+	if u.Err != nil {
+		wu.Error = u.Err.Error()
+	} else {
+		wu.Answer = EncodeAnswer(u.Answer)
+		if n := len(u.Delta.ChangedSpans); n > 0 {
+			wu.ChangedSpans = make([]Span, n)
+			for i, sp := range u.Delta.ChangedSpans {
+				wu.ChangedSpans[i] = wireSpan(sp)
+			}
+		}
+	}
+	line, err := json.Marshal(wu)
+	if err != nil {
+		s.logf("watch: marshal: %v", err)
+		return false
+	}
+	if sse {
+		_, err = fmt.Fprintf(w, "data: %s\n\n", line)
+	} else {
+		_, err = fmt.Fprintf(w, "%s\n", line)
+	}
+	if err != nil {
+		return false
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	return true
+}
+
+// watchEnvelope extracts the ExecRequest envelope from a watch request:
+// the "request" query parameter when present, else the JSON body.
+func watchEnvelope(w http.ResponseWriter, r *http.Request) (*ExecRequest, error) {
+	var env ExecRequest
+	if raw := r.URL.Query().Get("request"); raw != "" {
+		dec := json.NewDecoder(strings.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&env); err != nil {
+			return nil, fmt.Errorf("request parameter: %w", err)
+		}
+		return &env, nil
+	}
+	if r.Body == nil || r.ContentLength == 0 {
+		return nil, fmt.Errorf("missing watch request (body or ?request= JSON envelope)")
+	}
+	if err := decodeBody(w, r, &env); err != nil {
+		return nil, err
+	}
+	return &env, nil
+}

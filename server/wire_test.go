@@ -1,0 +1,96 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"connquery"
+)
+
+// TestFloatInfRoundTrip: the one non-finite value the engine produces must
+// survive JSON in both directions.
+func TestFloatInfRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1.5, math.Inf(1), math.Inf(-1), 0.1 + 0.2} {
+		b, err := json.Marshal(Float(v))
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var back Float
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if float64(back) != v {
+			t.Fatalf("round trip %v -> %s -> %v", v, b, float64(back))
+		}
+	}
+}
+
+// TestDistanceInfOverWire: an unreachable pair's +Inf distance encodes and
+// decodes through the full answer envelope.
+func TestDistanceInfOverWire(t *testing.T) {
+	// A point sealed in a box of overlapping obstacles is unreachable from
+	// outside (overlap matters: boundary travel through touching corners is
+	// legal in the paper's model).
+	db, err := connquery.Open(
+		[]connquery.Point{connquery.Pt(50, 50)},
+		[]connquery.Rect{
+			connquery.R(40, 40, 60, 43), connquery.R(40, 57, 60, 60),
+			connquery.R(40, 40, 43, 60), connquery.R(57, 40, 60, 60),
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := db.Exec(context.Background(),
+		connquery.DistanceRequest{A: connquery.Pt(0, 0), B: connquery.Pt(50, 50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(ans.Distance(), 1) {
+		t.Fatalf("sealed point should be unreachable, got %v", ans.Distance())
+	}
+	b, err := json.Marshal(EncodeAnswer(ans))
+	if err != nil {
+		t.Fatalf("marshal answer with +Inf: %v", err)
+	}
+	var back ExecResponse
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Distance == nil || !math.IsInf(float64(*back.Distance), 1) {
+		t.Fatalf("distance did not survive the wire: %s", b)
+	}
+}
+
+// TestToRequestValidation: missing or unknown fields fail with clear errors.
+func TestToRequestValidation(t *testing.T) {
+	cases := []ExecRequest{
+		{},
+		{Kind: "bogus"},
+		{Kind: "CONN"},                        // missing seg
+		{Kind: "ONN"},                         // missing p
+		{Kind: "ObstructedDist", A: &Point{}}, // missing b
+		{Kind: "CONNBatch"},                   // missing segs
+		{Kind: "EDistanceJoin", E: 1},         // missing queries
+		{Kind: "TrajectoryCONN"},              // missing waypoints
+		{Kind: "ObstructedRange", Radius: 1},  // missing center
+	}
+	for _, env := range cases {
+		if _, err := env.ToRequest(); err == nil {
+			t.Errorf("ToRequest(%+v) accepted an invalid envelope", env)
+		}
+	}
+	// Kind matching is case-insensitive and every library kind string maps.
+	ok := []ExecRequest{
+		{Kind: "conn", Seg: &Segment{B: Point{X: 1}}},
+		{Kind: "COkNN", Seg: &Segment{B: Point{X: 1}}, K: 1},
+		{Kind: "ClosestPair"}, // queries may legitimately be empty
+	}
+	for _, env := range ok {
+		if _, err := env.ToRequest(); err != nil {
+			t.Errorf("ToRequest(%+v): %v", env, err)
+		}
+	}
+}
