@@ -139,7 +139,7 @@ func BenchmarkAblationSolver(b *testing.B) {
 // the public API on a mid-size database.
 func BenchmarkPublicAPI_CONN(b *testing.B) {
 	w := workload("CL", 1)
-	db, err := Open(w.Points, w.Obstacles)
+	db, err := Open(w.Points, w.Obstacles, WithAnswerCache(0)) // measure the execution path, not cache hits
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -162,7 +162,7 @@ func BenchmarkPublicAPI_CONN(b *testing.B) {
 // target on the Table 2 default workload.
 func BenchmarkCONNBatch(b *testing.B) {
 	w := workload("CL", 1)
-	db, err := Open(w.Points, w.Obstacles)
+	db, err := Open(w.Points, w.Obstacles, WithAnswerCache(0)) // measure the execution path, not cache hits
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func BenchmarkCONNBatch(b *testing.B) {
 func TestDefaultCellQueryAllocBudget(t *testing.T) {
 	const budget = 2500
 	w := workload("CL", 1)
-	db, err := Open(w.Points, w.Obstacles)
+	db, err := Open(w.Points, w.Obstacles, WithAnswerCache(0)) // measure the execution path, not cache hits
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +220,7 @@ func TestDefaultCellQueryAllocBudget(t *testing.T) {
 // via incremental obstacle retrieval.
 func BenchmarkObstructedDist(b *testing.B) {
 	w := workload("CL", 1)
-	db, err := Open(w.Points, w.Obstacles)
+	db, err := Open(w.Points, w.Obstacles, WithAnswerCache(0)) // measure the execution path, not cache hits
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func BenchmarkObstructedDist(b *testing.B) {
 // many ONN probes to even approximate the split points).
 func BenchmarkNaiveVsCONN(b *testing.B) {
 	w := workload("CL", 1)
-	db, err := Open(w.Points, w.Obstacles)
+	db, err := Open(w.Points, w.Obstacles, WithAnswerCache(0)) // measure the execution path, not cache hits
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 //
 //	connbench [-fig all|9|10|11|12|13|ablations] [-scale 0.1] [-queries 100] [-seed 2009]
 //	connbench -json <dir> [-baseline BENCH_table2_defaults.json] [-max-regress 0.10]
+//	connbench -cache-json <dir> [-cache-baseline BENCH_cache.json] [-max-regress 0.50]
 //
 // -scale 1 reproduces the paper's full dataset cardinalities (|CA| = 60,344
 // points, |LA| = 131,461 obstacles); the default 0.1 runs the whole suite in
@@ -19,6 +20,15 @@
 // against a pinned record: the run fails (exit 1) when ns/op regresses by
 // more than -max-regress, or when the machine-independent NPE/NOE/|SVG|
 // metrics deviate at all — the CI regression gate.
+//
+// -cache-json measures answer-cache effectiveness on the same cell: the
+// query stream once with the cache bypassed (uncached ns/op) and once
+// answered entirely from the warm cache (warm ns/op, hit rate), written as
+// BENCH_cache.json. The gate always enforces the bench.MinCacheSpeedup
+// warm-speedup floor and a full warm hit rate; with -cache-baseline the
+// warm ns/op additionally obeys -max-regress against the pinned record
+// (the warm path is sub-microsecond, so CI uses a looser tolerance than
+// the uncached gate) and the hit rate may never drop.
 package main
 
 import (
@@ -43,7 +53,9 @@ func main() {
 	seed := flag.Int64("seed", 2009, "workload seed")
 	jsonDir := flag.String("json", "", "measure the Table 2 default cell via the public Exec API and write BENCH_*.json into this directory instead of printing figures")
 	baseline := flag.String("baseline", "", "with -json: compare against this pinned BENCH_*.json record and fail on regression")
-	maxRegress := flag.Float64("max-regress", 0.10, "with -baseline: maximum tolerated ns/op regression (0.10 = 10%)")
+	maxRegress := flag.Float64("max-regress", 0.10, "with -baseline/-cache-baseline: maximum tolerated ns/op regression (0.10 = 10%)")
+	cacheDir := flag.String("cache-json", "", "measure answer-cache effectiveness on the Table 2 cell (uncached vs warm-cache ns/op, hit rate) and write BENCH_cache.json into this directory")
+	cacheBaseline := flag.String("cache-baseline", "", "with -cache-json: compare against this pinned BENCH_cache.json record and fail on regression")
 	flag.Parse()
 
 	cfg := bench.Config{Scale: *scale, Queries: *queries, Seed: *seed}
@@ -63,6 +75,22 @@ func main() {
 				fmt.Fprintln(os.Stderr, "connbench:", err)
 				os.Exit(1)
 			}
+		}
+		return
+	}
+
+	if *cacheDir != "" {
+		res := measureCacheExec(cfg)
+		path, err := bench.WriteCacheJSON(*cacheDir, res)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "connbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(out, "%s: uncached %.2f ms/op, warm %.4f ms/op, speedup %.0fx, hit rate %.3f\n",
+			path, res.UncachedNsPerOp/1e6, res.WarmNsPerOp/1e6, res.Speedup, res.HitRate)
+		if err := gateCache(out, res, *cacheBaseline, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, "connbench:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -105,7 +133,10 @@ func measureTable2Exec(cfg bench.Config) bench.BenchResult {
 	return bench.MeasureTable2With(cfg,
 		"connbench -json (one op = one COkNNRequest via DB.Exec, index build excluded)",
 		func(w bench.Workload) func(q geom.Segment) stats.QueryMetrics {
-			db, err := connquery.Open(w.Points, w.Obstacles)
+			// The answer cache is disabled so this record keeps measuring the
+			// execution path the pinned baseline pinned; the cached path has
+			// its own record (BENCH_cache.json, -cache-json).
+			db, err := connquery.Open(w.Points, w.Obstacles, connquery.WithAnswerCache(0))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "connbench:", err)
 				os.Exit(1)
@@ -119,6 +150,116 @@ func measureTable2Exec(cfg bench.Config) bench.BenchResult {
 				return ans.Metrics()
 			}
 		})
+}
+
+// measureCacheExec measures answer-cache effectiveness on the Table 2
+// default cell: the same workload and query stream as the -json record,
+// first with the cache bypassed per call (uncached ns/op), then answered
+// entirely from the warm cache (warm ns/op, averaged over enough rounds
+// that the sub-microsecond hit path is measured stably). The warm pass's
+// hit rate comes from the library's own cache counters.
+func measureCacheExec(cfg bench.Config) bench.CacheBenchResult {
+	ctx := context.Background()
+	// The shared stream builder guarantees this record measures exactly the
+	// query stream of the BENCH_table2_defaults.json record.
+	w, queries, ncfg := bench.Table2Stream(cfg)
+	cfg = ncfg
+	db, err := connquery.Open(w.Points, w.Obstacles)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "connbench:", err)
+		os.Exit(1)
+	}
+	run := func(q geom.Segment, opts ...connquery.QueryOption) {
+		if _, err := db.Exec(ctx, connquery.COkNNRequest{Seg: q, K: bench.DefaultK}, opts...); err != nil {
+			fmt.Fprintln(os.Stderr, "connbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	// Uncached pass: every op executes the engine (warm pooled query state,
+	// same accounting as the -json record).
+	run(queries[0], connquery.WithNoCache())
+	start := time.Now()
+	for _, q := range queries {
+		run(q, connquery.WithNoCache())
+	}
+	uncachedNs := float64(time.Since(start).Nanoseconds()) / float64(len(queries))
+
+	// Populate, then measure the warm pass over enough rounds for a stable
+	// per-hit number.
+	for _, q := range queries {
+		run(q)
+	}
+	rounds := 5000 / len(queries)
+	if rounds < 1 {
+		rounds = 1
+	}
+	before := db.CacheStats()
+	start = time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, q := range queries {
+			run(q)
+		}
+	}
+	warmNs := float64(time.Since(start).Nanoseconds()) / float64(rounds*len(queries))
+	after := db.CacheStats()
+	lookups := float64(after.Hits - before.Hits + after.Misses - before.Misses)
+	hitRate := 0.0
+	if lookups > 0 {
+		hitRate = float64(after.Hits-before.Hits) / lookups
+	}
+
+	return bench.CacheBenchResult{
+		Name:            "cache",
+		Tool:            "connbench -cache-json (one op = one COkNNRequest via DB.Exec; uncached = WithNoCache, warm = repeated over a populated cache)",
+		Scale:           cfg.Scale,
+		Queries:         cfg.Queries,
+		Seed:            cfg.Seed,
+		K:               bench.DefaultK,
+		QL:              bench.DefaultQL,
+		UncachedNsPerOp: uncachedNs,
+		WarmNsPerOp:     warmNs,
+		Speedup:         uncachedNs / warmNs,
+		HitRate:         hitRate,
+		WarmRounds:      rounds,
+		Timestamp:       time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// gateCache enforces the cache-effectiveness gate: the hard
+// MinCacheSpeedup floor and full warm hit rate always apply; with a pinned
+// baseline, parameters must match, the hit rate may not drop, and the warm
+// ns/op may not regress by more than maxRegress.
+func gateCache(out *os.File, cur bench.CacheBenchResult, baselinePath string, maxRegress float64) error {
+	if cur.Speedup < bench.MinCacheSpeedup {
+		return fmt.Errorf("warm-cache speedup %.1fx is below the %.0fx floor (uncached %.2f ms/op, warm %.4f ms/op)",
+			cur.Speedup, bench.MinCacheSpeedup, cur.UncachedNsPerOp/1e6, cur.WarmNsPerOp/1e6)
+	}
+	if cur.HitRate < 1 {
+		return fmt.Errorf("warm pass hit rate %.3f < 1: repeated requests failed to hit", cur.HitRate)
+	}
+	if baselinePath == "" {
+		return nil
+	}
+	base, err := bench.ReadCacheJSON(baselinePath)
+	if err != nil {
+		return fmt.Errorf("cache baseline %s: %w", baselinePath, err)
+	}
+	ratio := cur.WarmNsPerOp / base.WarmNsPerOp
+	fmt.Fprintf(out, "cache baseline %s: warm %.4f ms/op -> %.4f ms/op (%+.1f%%), speedup %.0fx -> %.0fx\n",
+		baselinePath, base.WarmNsPerOp/1e6, cur.WarmNsPerOp/1e6, (ratio-1)*100, base.Speedup, cur.Speedup)
+	if cur.Scale != base.Scale || cur.Queries != base.Queries || cur.Seed != base.Seed || cur.K != base.K || cur.QL != base.QL {
+		return fmt.Errorf("workload parameters do not match the cache baseline (scale %g vs %g, queries %d vs %d, seed %d vs %d): re-pin the record or align the flags",
+			cur.Scale, base.Scale, cur.Queries, base.Queries, cur.Seed, base.Seed)
+	}
+	if cur.HitRate < base.HitRate {
+		return fmt.Errorf("hit rate dropped: %.3f vs baseline %.3f", cur.HitRate, base.HitRate)
+	}
+	if ratio > 1+maxRegress {
+		return fmt.Errorf("warm ns/op regressed %.1f%% (limit %.0f%%): %.4f ms/op vs baseline %.4f ms/op",
+			(ratio-1)*100, maxRegress*100, cur.WarmNsPerOp/1e6, base.WarmNsPerOp/1e6)
+	}
+	return nil
 }
 
 // compareBaseline enforces the regression gate against a pinned record.

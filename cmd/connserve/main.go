@@ -57,6 +57,8 @@ func main() {
 	seed := flag.Int64("seed", 2009, "workload seed")
 	oneTree := flag.Bool("onetree", false, "index points and obstacles in one R-tree")
 	buffer := flag.Int("buffer", 0, "LRU buffer pages per tree")
+	cacheBytes := flag.Int64("cache-bytes", connquery.DefaultAnswerCacheBytes,
+		"answer cache budget in bytes (0 disables; hits/promotions surface in /v1/stats)")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-exec execution cap (0 = none)")
 	snapTTL := flag.Duration("snapshot-ttl", server.DefaultSnapshotTTL, "idle lifetime of server-held snapshot pins")
 	grace := flag.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight requests on shutdown")
@@ -69,6 +71,7 @@ func main() {
 	if *buffer > 0 {
 		opts = append(opts, connquery.WithBufferPages(*buffer))
 	}
+	opts = append(opts, connquery.WithAnswerCache(*cacheBytes))
 
 	db, source, err := openDB(*load, *pointsCSV, *obstaclesCSV, *workload, *scale, *ratio, *seed, opts)
 	if err != nil {

@@ -64,6 +64,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"connquery/internal/anscache"
 	"connquery/internal/core"
 	"connquery/internal/geom"
 	"connquery/internal/lru"
@@ -171,6 +172,12 @@ type DB struct {
 	obstBuf *lru.Buffer
 	cfg     config
 
+	// cache is the answer cache (nil when disabled): Exec keys executions by
+	// canonical request fingerprint and epoch, mutations invalidate only the
+	// entries whose impact region they touch (promoting the rest to the new
+	// epoch), and Watch serves promoted answers without re-executing.
+	cache *anscache.Cache
+
 	// pins holds the versions kept alive by unreleased Snapshot handles.
 	pins pinSet
 
@@ -217,6 +224,7 @@ func Open(points []Point, obstacles []Rect, opts ...Option) (*DB, error) {
 		states: core.NewStatePool(),
 		ownPts: true,
 		ownObs: true,
+		cache:  anscache.New(cfg.cacheBytes),
 	}
 	v := &version{
 		epoch:     1,
@@ -399,7 +407,10 @@ func viewEngine(v *version, cfg config, states *core.StatePool) (eng *core.Engin
 // subscriptions do not carry over to the clone.
 func (db *DB) Clone() *DB {
 	v := db.current()
-	cp := &DB{cfg: db.cfg, states: core.NewStatePool()}
+	// The clone starts with an empty answer cache of the same budget: it may
+	// fork its own mutation history, so sharing entries (or their promotion
+	// stream) with the parent would be unsound.
+	cp := &DB{cfg: db.cfg, states: core.NewStatePool(), cache: anscache.New(db.cfg.cacheBytes)}
 	eng, dataBuf, obstBuf := viewEngine(v, db.cfg, cp.states)
 	cp.dataBuf, cp.obstBuf = dataBuf, obstBuf
 	cp.cur.Store(&version{

@@ -221,14 +221,16 @@ func TestBufferReducesFaults(t *testing.T) {
 	warm, _ := Open(pts, obstacles, WithBufferPages(256))
 	q := Seg(Pt(2000, 5000), Pt(2450, 5000))
 
+	// WithNoCache: the loop repeats one query to measure fresh per-run fault
+	// metrics, which an answer-cache hit would replay instead of re-counting.
 	var coldFaults, warmFaults int64
 	for i := 0; i < 5; i++ {
-		_, m, err := Run(context.Background(), cold, CONNRequest{Seg: q})
+		_, m, err := Run(context.Background(), cold, CONNRequest{Seg: q}, WithNoCache())
 		if err != nil {
 			t.Fatal(err)
 		}
 		coldFaults += m.Faults()
-		_, m2, err := Run(context.Background(), warm, CONNRequest{Seg: q})
+		_, m2, err := Run(context.Background(), warm, CONNRequest{Seg: q}, WithNoCache())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// CacheBenchResult is the machine-readable record of the answer-cache
+// effectiveness bench (BENCH_cache.json): the Table 2 default cell measured
+// uncached and again with a warm cache, the speedup between the two, and
+// the warm pass's hit rate. Produced by `connbench -cache-json`; the
+// -cache-baseline flag gates regressions against a pinned record the same
+// way -baseline gates the uncached cell. HitRate is machine-independent
+// (every warm-pass op repeats a cached request and must hit) and is
+// compared exactly; Speedup has a hard floor of MinCacheSpeedup and its
+// ns/op halves obey -max-regress.
+type CacheBenchResult struct {
+	Name    string  `json:"name"`
+	Tool    string  `json:"tool"`
+	Scale   float64 `json:"scale"`
+	Queries int     `json:"queries"`
+	Seed    int64   `json:"seed"`
+	K       int     `json:"k"`
+	QL      float64 `json:"ql"`
+	// UncachedNsPerOp is one COkNN-cell query via Exec with the cache
+	// bypassed; WarmNsPerOp is the same query stream answered entirely from
+	// the cache (measured over WarmRounds passes).
+	UncachedNsPerOp float64 `json:"uncached_ns_per_op"`
+	WarmNsPerOp     float64 `json:"warm_ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+	HitRate         float64 `json:"hit_rate"`
+	WarmRounds      int     `json:"warm_rounds"`
+	Timestamp       string  `json:"timestamp"`
+}
+
+// MinCacheSpeedup is the hard acceptance floor for warm-cache speedup on
+// the repeated Table 2 cell: whatever the hardware, serving a repeat from
+// the cache must beat re-executing the engine by at least this factor.
+const MinCacheSpeedup = 10.0
+
+// ReadCacheJSON loads a pinned CacheBenchResult record.
+func ReadCacheJSON(path string) (CacheBenchResult, error) {
+	var r CacheBenchResult
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// WriteCacheJSON writes r to dir/BENCH_<name>.json and returns the path.
+func WriteCacheJSON(dir string, r CacheBenchResult) (string, error) {
+	path := filepath.Join(dir, "BENCH_"+r.Name+".json")
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

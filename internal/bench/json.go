@@ -60,14 +60,8 @@ func MeasureTable2Defaults(cfg Config) BenchResult {
 // runners are directly comparable — cmd/connbench uses this to measure the
 // public Exec path against the engine-level pinned record.
 func MeasureTable2With(cfg Config, tool string, open func(w Workload) func(q geom.Segment) stats.QueryMetrics) BenchResult {
-	cfg = cfg.norm()
-	w := BuildWorkload("CL", cfg.Scale, DefaultRatio, cfg.Seed)
+	w, queries, cfg := Table2Stream(cfg)
 	run := open(w)
-	rng := rand.New(rand.NewSource(cfg.Seed + 7))
-	queries := make([]geom.Segment, cfg.Queries)
-	for i := range queries {
-		queries[i] = dataset.QuerySegment(rng, DefaultQL, w.Obstacles)
-	}
 	// Warm the pooled query state so steady-state costs are measured, then
 	// snapshot allocator counters around the timed loop.
 	run(queries[0])
@@ -101,6 +95,24 @@ func MeasureTable2With(cfg Config, tool string, open func(w Workload) func(q geo
 		SVG:         mean.SVG,
 		Timestamp:   time.Now().UTC().Format(time.RFC3339),
 	}
+}
+
+// Table2Stream prepares the Table 2 default cell's measurement inputs: the
+// CL workload and the cell's query stream, with cfg's zero fields filled
+// the way every Table 2 record fills them. MeasureTable2With and the
+// cache-effectiveness bench (connbench -cache-json) share this one
+// builder, so their records measure the same query stream by construction
+// and stay comparable. The normalized cfg is returned for the record's
+// parameter fields.
+func Table2Stream(cfg Config) (Workload, []geom.Segment, Config) {
+	cfg = cfg.norm()
+	w := BuildWorkload("CL", cfg.Scale, DefaultRatio, cfg.Seed)
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	queries := make([]geom.Segment, cfg.Queries)
+	for i := range queries {
+		queries[i] = dataset.QuerySegment(rng, DefaultQL, w.Obstacles)
+	}
+	return w, queries, cfg
 }
 
 // ReadJSON loads a BenchResult record (e.g. a pinned baseline) from path.

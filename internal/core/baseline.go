@@ -93,7 +93,7 @@ func (e *Engine) CNN(q geom.Segment) (*Result, stats.QueryMetrics) {
 		rl = qs.rlu(rl, item.ID, p, cpl)
 	}
 	m := stats.QueryMetrics{NPE: qs.npe, CPU: time.Since(start)}
-	return &Result{Q: q, Tuples: finalizeRL(rl)}, m
+	return &Result{Q: q, Tuples: finalizeRL(rl), MaxDist: rlMax(q, rl)}, m
 }
 
 // NaiveCONN is the baseline the paper dismisses in §1: issue an ONN query at
@@ -109,6 +109,7 @@ func (e *Engine) NaiveCONN(q geom.Segment, samples int) (*Result, stats.QueryMet
 	start := time.Now()
 	agg := stats.QueryMetrics{}
 	var tuples []Tuple
+	maxDist := 0.0
 	for i := 0; i <= samples; i++ {
 		t := float64(i) / float64(samples)
 		nbrs, m := e.ONN(q.At(t), 1)
@@ -120,6 +121,9 @@ func (e *Engine) NaiveCONN(q geom.Segment, samples int) (*Result, stats.QueryMet
 		pid, p := NoOwner, geom.Point{}
 		if len(nbrs) > 0 {
 			pid, p = nbrs[0].PID, nbrs[0].P
+			maxDist = math.Max(maxDist, nbrs[0].Dist)
+		} else {
+			maxDist = math.Inf(1)
 		}
 		if n := len(tuples); n > 0 && tuples[n-1].PID == pid {
 			tuples[n-1].Span.Hi = t
@@ -135,7 +139,7 @@ func (e *Engine) NaiveCONN(q geom.Segment, samples int) (*Result, stats.QueryMet
 		tuples[n-1].Span.Hi = 1
 	}
 	agg.CPU = time.Since(start)
-	return &Result{Q: q, Tuples: tuples}, agg
+	return &Result{Q: q, Tuples: tuples, MaxDist: maxDist}, agg
 }
 
 // BruteCONNDistanceAt is the test oracle: the exact obstructed distance from

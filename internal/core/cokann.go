@@ -72,7 +72,7 @@ func (e *Engine) COkNN(q geom.Segment, k int) (*KResult, stats.QueryMetrics) {
 	if e.ObstCounter != nil {
 		m.FaultsObst = e.ObstCounter.Faults() - snapO
 	}
-	return &KResult{Q: q, K: k, Tuples: finalizeKL(q, kl)}, m
+	return &KResult{Q: q, K: k, Tuples: finalizeKL(q, kl), MaxDist: rlkMax(q, kl, k)}, m
 }
 
 // mergeK folds a candidate point's CPL into the k-result list.

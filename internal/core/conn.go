@@ -51,7 +51,7 @@ func (e *Engine) CONN(q geom.Segment) (*Result, stats.QueryMetrics) {
 	if e.ObstCounter != nil {
 		m.FaultsObst = e.ObstCounter.Faults() - snapO
 	}
-	return &Result{Q: q, Tuples: finalizeRL(rl)}, m
+	return &Result{Q: q, Tuples: finalizeRL(rl), MaxDist: rlMax(q, rl)}, m
 }
 
 // maybeResetVG implements the DisableVGReuse ablation: forget everything

@@ -51,6 +51,14 @@ type Tuple struct {
 type Result struct {
 	Q      geom.Segment
 	Tuples []Tuple
+	// MaxDist is the maximum over the query segment of the answer's
+	// obstructed distance (Lemma 2's final RLMAX; the plain Euclidean
+	// maximum for CNN, the worst sample for NaiveCONN), +Inf when any
+	// interval has no reachable owner. A mutation farther than MaxDist from
+	// the segment cannot change this answer — any path it could block or
+	// open is too long to matter — which is what lets the answer cache
+	// derive a conservative spatial impact region from the payload alone.
+	MaxDist float64
 }
 
 // SplitPoints returns the parameters where the ONN changes.
@@ -93,6 +101,10 @@ type KResult struct {
 	Q      geom.Segment
 	K      int
 	Tuples []KTuple
+	// MaxDist is the maximum over the query segment of the k-th owner's
+	// obstructed distance (the §4.5 RLMAX_k bound at termination), +Inf
+	// when any interval has fewer than K owners. See Result.MaxDist.
+	MaxDist float64
 }
 
 // OwnerSetAt returns the owner PIDs covering parameter t.

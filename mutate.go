@@ -85,6 +85,28 @@ func (db *DB) publish(nv *version) {
 	db.watch.notifyAll()
 }
 
+// commit applies one mutation's impact to the answer cache, then publishes.
+// change is the mutation's change box (the inserted/deleted object's own
+// bounds) and points reports whether it touched the point set (vs the
+// obstacle set). Instead of a blanket epoch bump, only cache entries whose
+// conservative impact region intersects the change box are invalidated;
+// every other live entry is promoted to nv's epoch, so hot requests — and
+// Watch subscriptions, which re-resolve through the cache — keep hitting
+// across unrelated writes. Invalidation runs before the version swap (both
+// under db.mu, so mutations apply to the cache in commit order); the
+// ordering is not load-bearing for correctness, because a lookup only hits
+// an entry whose validity range covers the queried epoch, but it means a
+// watcher woken by this publish finds its promoted entry already in place.
+func (db *DB) commit(v, nv *version, change Rect, points bool) {
+	db.cache.Invalidate(v.epoch, nv.epoch, change, points)
+	db.publish(nv)
+}
+
+// pointBox is the change box of a point mutation.
+func pointBox(p Point) Rect {
+	return Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
+}
+
 // mutateTree builds nv's engine from v's: the tree holding items of the
 // given kind is copy-on-write cloned and mutated by fn, the other tree
 // handle is shared untouched. I/O accounting is detached while fn runs —
@@ -154,7 +176,7 @@ func (db *DB) InsertPoint(p Point) (int32, error) {
 		t.Insert(rtree.PointItem(pid, p))
 		return true
 	})
-	db.publish(nv)
+	db.commit(v, nv, pointBox(p), true)
 	return pid, nil
 }
 
@@ -174,7 +196,7 @@ func (db *DB) DeletePoint(pid int32) bool {
 	}) {
 		return false
 	}
-	db.publish(nv)
+	db.commit(v, nv, pointBox(v.points[pid]), true)
 	return true
 }
 
@@ -211,7 +233,7 @@ func (db *DB) InsertObstacle(r Rect) (int32, error) {
 		t.Insert(rtree.ObstacleItem(oid, r))
 		return true
 	})
-	db.publish(nv)
+	db.commit(v, nv, r, false)
 	return oid, nil
 }
 
@@ -231,6 +253,6 @@ func (db *DB) DeleteObstacle(oid int32) bool {
 	}) {
 		return false
 	}
-	db.publish(nv)
+	db.commit(v, nv, v.obstacles[oid], false)
 	return true
 }

@@ -7,11 +7,12 @@ type config struct {
 	pageSize    int
 	bufferPages int
 	oneTree     bool
+	cacheBytes  int64
 	tuning      core.Options
 }
 
 func defaultConfig() config {
-	return config{pageSize: 4096}
+	return config{pageSize: 4096, cacheBytes: DefaultAnswerCacheBytes}
 }
 
 // Option configures Open.
@@ -35,6 +36,18 @@ func WithBufferPages(pages int) Option {
 // two separate trees.
 func WithOneTree() Option {
 	return func(c *config) { c.oneTree = true }
+}
+
+// WithAnswerCache sets the answer cache budget in bytes
+// (DefaultAnswerCacheBytes when the option is absent). Exec serves repeated
+// requests at an unchanged epoch straight from the cache, mutations
+// invalidate only the entries whose spatial impact region they touch, and
+// Watch delivers promoted answers without re-executing. bytes <= 0 disables
+// caching for the handle; WithNoCache bypasses it for a single call.
+// Cached answers share payloads across callers — results must be treated
+// as read-only, which has always been the library's contract.
+func WithAnswerCache(bytes int64) Option {
+	return func(c *config) { c.cacheBytes = bytes }
 }
 
 // Tuning toggles individual algorithmic optimizations, primarily for

@@ -1,0 +1,131 @@
+package connquery
+
+// Regression coverage for the Snapshot.Release / Exec race: once Release
+// has returned, any Exec that starts afterwards — from any goroutine — must
+// deterministically fail with ErrSnapshotReleased, while executions already
+// past version resolution keep their (immutable) version and complete
+// normally. The determinism hangs on Snapshot.released being a
+// sequentially-consistent atomic: the Release side swaps it before
+// returning, so a later pinned() load can never miss it. These tests hammer
+// that edge under the race detector; TestSnapshotReleaseDuringExec also
+// covers the answer-cache path, where a hit must never resurrect a
+// released pin (version resolution runs before the cache lookup).
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestSnapshotReleaseThenExecDeterministic sequences Release strictly
+// before Exec across goroutines, many times: the Exec side must observe the
+// release every single time.
+func TestSnapshotReleaseThenExecDeterministic(t *testing.T) {
+	db := cacheTestDB(t)
+	ctx := context.Background()
+	req := CONNRequest{Seg: Seg(Pt(12, 12), Pt(28, 12))}
+
+	for round := 0; round < 200; round++ {
+		snap := db.Snapshot()
+		released := make(chan struct{})
+		done := make(chan error, 2)
+		for g := 0; g < 2; g++ {
+			go func() {
+				<-released // strict happens-after Release's return
+				_, err := db.Exec(ctx, req, AtSnapshot(snap))
+				done <- err
+			}()
+		}
+		snap.Release()
+		close(released)
+		for g := 0; g < 2; g++ {
+			if err := <-done; !errors.Is(err, ErrSnapshotReleased) {
+				t.Fatalf("round %d: Exec after Release returned %v, want ErrSnapshotReleased", round, err)
+			}
+		}
+	}
+}
+
+// TestSnapshotReleaseDuringExec races Release against in-flight Execs: each
+// call must either complete against the pinned epoch (it resolved the
+// version before the release) or fail with ErrSnapshotReleased — never
+// anything else, and never an answer from a different version. Runs with
+// the cache both hot and bypassed so a hit cannot serve a released pin.
+func TestSnapshotReleaseDuringExec(t *testing.T) {
+	db := cacheTestDB(t)
+	ctx := context.Background()
+	req := COkNNRequest{Seg: Seg(Pt(12, 12), Pt(28, 12)), K: 2}
+	if _, err := db.Exec(ctx, req); err != nil { // warm the cache
+		t.Fatal(err)
+	}
+
+	for round := 0; round < 100; round++ {
+		snap := db.Snapshot()
+		epoch := snap.Epoch()
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				opts := []QueryOption{AtSnapshot(snap)}
+				if g%2 == 1 {
+					opts = append(opts, WithNoCache())
+				}
+				ans, err := db.Exec(ctx, req, opts...)
+				switch {
+				case err == nil:
+					if ans.Epoch() != epoch {
+						t.Errorf("answer at epoch %d, pinned %d", ans.Epoch(), epoch)
+					}
+				case errors.Is(err, ErrSnapshotReleased):
+					// The only acceptable failure.
+				default:
+					t.Errorf("unexpected error: %v", err)
+				}
+			}(g)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			snap.Release()
+		}()
+		close(start)
+		wg.Wait()
+
+		// Determinism after the dust settles: the release has returned, so a
+		// fresh Exec must fail — cached entry or not.
+		if _, err := db.Exec(ctx, req, AtSnapshot(snap)); !errors.Is(err, ErrSnapshotReleased) {
+			t.Fatalf("round %d: post-release Exec returned %v", round, err)
+		}
+	}
+}
+
+// TestVersionUnpinnedAfterRelease covers the AtVersion flavor: once the
+// last Snapshot of an old epoch is released, AtVersion for it must fail
+// with ErrVersionNotPinned even when a cached answer for that epoch is
+// still resident.
+func TestVersionUnpinnedAfterRelease(t *testing.T) {
+	db := cacheTestDB(t)
+	ctx := context.Background()
+	req := CONNRequest{Seg: Seg(Pt(12, 12), Pt(28, 12))}
+
+	snap := db.Snapshot()
+	old := snap.Epoch()
+	if _, err := db.Exec(ctx, req, AtSnapshot(snap)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.InsertPoint(Pt(900, 900)); err != nil { // move the chain on
+		t.Fatal(err)
+	}
+	if ans, err := db.Exec(ctx, req, AtVersion(old)); err != nil || ans.Epoch() != old {
+		t.Fatalf("pinned AtVersion: %v (epoch %v)", err, ans)
+	}
+	snap.Release()
+	if _, err := db.Exec(ctx, req, AtVersion(old)); !errors.Is(err, ErrVersionNotPinned) {
+		t.Fatalf("unpinned AtVersion returned %v, want ErrVersionNotPinned", err)
+	}
+}

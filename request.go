@@ -99,6 +99,7 @@ type execOptions struct {
 	tuning  *Tuning
 	workers int
 	hasWork bool
+	noCache bool
 }
 
 // pinned reports whether the options pin a fixed version.
@@ -127,6 +128,15 @@ func WithQueryTuning(t Tuning) QueryOption {
 	return func(o *execOptions) { o.tuning = &t }
 }
 
+// WithNoCache bypasses the answer cache for this call: the request executes
+// on the engine unconditionally and its answer is not inserted. Use it when
+// a fresh cost profile (Metrics) matters — cache hits replay the metrics of
+// the execution that populated the entry — or to benchmark the uncached
+// path.
+func WithNoCache() QueryOption {
+	return func(o *execOptions) { o.noCache = true }
+}
+
 // WithWorkers runs a multi-item request (CONNBatchRequest,
 // EDistanceJoinRequest, DistanceSemiJoinRequest, TrajectoryRequest) on a
 // bounded pool of n workers, each with its own engine view — shared
@@ -151,6 +161,7 @@ type Answer struct {
 	value   any
 	metrics Metrics
 	items   []Metrics
+	cached  bool
 }
 
 // Request returns the request this answer was produced for.
@@ -158,6 +169,13 @@ func (a *Answer) Request() Request { return a.req }
 
 // Epoch returns the snapshot epoch the query executed against.
 func (a *Answer) Epoch() uint64 { return a.epoch }
+
+// Cached reports whether the answer was served from the answer cache
+// without executing the engine. A cached answer's payload is bit-identical
+// to what a fresh execution at Epoch would produce; its Metrics (and
+// ItemMetrics) are those of the execution that populated the entry, since a
+// hit performs no engine work of its own.
+func (a *Answer) Cached() bool { return a.cached }
 
 // Metrics returns the query's cost profile. For multi-item requests it is
 // the aggregate (summed faults/NPE/NOE, peak SVG, wall-clock CPU).
@@ -222,6 +240,12 @@ type execution struct {
 // are polled inside the query hot loops (the Dijkstra settle loop, IOR
 // growth, the CPLC candidate scan), so even a single stuck query aborts
 // promptly with ctx.Err().
+//
+// Repeats of a request at an unchanged (or promotion-covered) epoch are
+// served from the answer cache without executing the engine; see
+// WithAnswerCache for the contract and WithNoCache for per-call bypass.
+// Answer payloads — cached or not — are shared, immutable values: treat
+// them as read-only.
 func (db *DB) Exec(ctx context.Context, req Request, opts ...QueryOption) (*Answer, error) {
 	if req == nil {
 		return nil, ErrNilRequest
@@ -268,6 +292,20 @@ func (db *DB) execAt(ctx context.Context, req Request, v *version, xo *execOptio
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Consult the answer cache: a hit at this epoch — original or promoted
+	// across mutations whose impact regions missed it — skips the engine
+	// entirely and replays the stored payload and metrics.
+	var fp string
+	useCache := db.cache != nil && !xo.noCache
+	if useCache {
+		var ok bool
+		if fp, ok = requestFingerprint(req, tuning, xo.workers, xo.hasWork); !ok {
+			useCache = false
+		} else if rec, hit := db.cache.Get(fp, v.epoch); hit {
+			ca := rec.(*cachedAnswer)
+			return &Answer{req: req, epoch: v.epoch, value: ca.value, metrics: ca.metrics, items: ca.items, cached: true}, nil
+		}
+	}
 	var cancel func() error
 	if ctx.Done() != nil {
 		cancel = ctx.Err
@@ -294,6 +332,10 @@ func (db *DB) execAt(ctx context.Context, req Request, v *version, xo *execOptio
 	value, m, err := x.guarded(req)
 	if err != nil {
 		return nil, err
+	}
+	if useCache {
+		db.cache.Put(fp, v.epoch, &cachedAnswer{value: value, metrics: m, items: x.items},
+			impactRegion(req, value), answerFootprint(value, x.items))
 	}
 	return &Answer{req: req, epoch: v.epoch, value: value, metrics: m, items: x.items}, nil
 }

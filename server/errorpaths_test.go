@@ -1,0 +1,222 @@
+package server_test
+
+// Error-path coverage the happy-path e2e suite does not reach: malformed
+// /v1/watch envelopes, request bodies over the size cap (413), double
+// release of a server snapshot pin (404 the second time), the no_cache
+// envelope option, and the cache counters surfaced by /v1/stats.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+
+	"connquery/server"
+)
+
+func getStats(t *testing.T, base string) server.StatsResponse {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st server.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestWatchMalformedParams covers every way the watch envelope can be
+// defective: broken JSON, unknown fields, a missing envelope, an unknown
+// kind, missing kind parameters, and pinning options on a watch.
+func TestWatchMalformedParams(t *testing.T) {
+	_, base := newTestServer(t, testDB(t), server.Config{})
+
+	get := func(raw string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/watch?request=" + url.QueryEscape(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	cases := []struct {
+		name string
+		raw  string
+	}{
+		{"broken JSON", `{"kind":"CONN"`},
+		{"unknown field", `{"kind":"CONN","bogus":1}`},
+		{"unknown kind", `{"kind":"NOPE"}`},
+		{"missing kind", `{}`},
+		{"missing parameter", `{"kind":"CONN"}`},
+		{"pinned watch", `{"kind":"CONN","seg":{"a":{"x":0,"y":0},"b":{"x":1,"y":0}},"at_version":1}`},
+		{"pinned watch via snapshot", `{"kind":"CONN","seg":{"a":{"x":0,"y":0},"b":{"x":1,"y":0}},"snapshot":7}`},
+	}
+	for _, tc := range cases {
+		resp := get(tc.raw)
+		body := struct {
+			Error string `json:"error"`
+		}{}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("%s: decoding error body: %v", tc.name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+		if body.Error == "" {
+			t.Errorf("%s: empty error body", tc.name)
+		}
+	}
+
+	// No envelope at all: neither a request parameter nor a body.
+	resp, err := http.Get(base + "/v1/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing envelope: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestOversizedRequestBodies proves the 8 MiB body cap maps to 413 on the
+// exec, watch and mutation endpoints rather than buffering the server into
+// the ground.
+func TestOversizedRequestBodies(t *testing.T) {
+	_, base := newTestServer(t, testDB(t), server.Config{})
+
+	// A syntactically valid envelope over the cap: one giant batch request.
+	var b bytes.Buffer
+	b.WriteString(`{"kind":"CONNBatch","segs":[`)
+	seg := `{"a":{"x":1,"y":2},"b":{"x":3,"y":4}},`
+	for b.Len() < 9<<20 {
+		b.WriteString(seg)
+	}
+	b.WriteString(`{"a":{"x":1,"y":2},"b":{"x":3,"y":4}}]}`)
+	huge := b.Bytes()
+
+	for _, ep := range []string{"/v1/exec", "/v1/watch", "/v1/points", "/v1/obstacles"} {
+		resp, err := http.Post(base+ep, "application/json", bytes.NewReader(huge))
+		if err != nil {
+			t.Fatalf("%s: %v", ep, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s: status %d, want 413", ep, resp.StatusCode)
+		}
+	}
+
+	// A body just under the cap still works.
+	ok, err := http.Post(base+"/v1/exec", "application/json",
+		strings.NewReader(`{"kind":"ONN","p":{"x":0,"y":0},"k":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok.Body.Close()
+	if ok.StatusCode != http.StatusOK {
+		t.Fatalf("small body after oversized ones: status %d", ok.StatusCode)
+	}
+}
+
+// TestSnapshotDoubleDelete pins a version, releases it twice: the first
+// DELETE succeeds, the second is 404 — and an exec naming the dropped pin
+// is 410 Gone.
+func TestSnapshotDoubleDelete(t *testing.T) {
+	_, base := newTestServer(t, testDB(t), server.Config{})
+
+	resp, err := http.Post(base+"/v1/snapshots", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap server.SnapshotResponse
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	del := func() *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/snapshots/%d", base, snap.ID), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		return r
+	}
+	if r := del(); r.StatusCode != http.StatusOK {
+		t.Fatalf("first DELETE: status %d", r.StatusCode)
+	}
+	if r := del(); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("second DELETE: status %d, want 404", r.StatusCode)
+	}
+
+	// The dropped pin is gone for queries too.
+	body := fmt.Sprintf(`{"kind":"ONN","p":{"x":0,"y":0},"k":1,"snapshot":%d}`, snap.ID)
+	r, err := http.Post(base+"/v1/exec", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusGone {
+		t.Fatalf("exec on dropped pin: status %d, want 410", r.StatusCode)
+	}
+}
+
+// TestStatsExposeCacheCounters drives one request three ways — cold,
+// repeated (hit), and with no_cache — and checks the counters /v1/stats
+// reports: hits/misses move as the cache serves, no_cache bypasses, and the
+// NPE total only grows on real executions.
+func TestStatsExposeCacheCounters(t *testing.T) {
+	_, base := newTestServer(t, testDB(t), server.Config{})
+	exec := func(body string) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/exec", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("exec: status %d", resp.StatusCode)
+		}
+	}
+	req := `{"kind":"CONN","seg":{"a":{"x":5,"y":42},"b":{"x":95,"y":42}}}`
+
+	exec(req) // cold: miss + insert
+	st := getStats(t, base)
+	if st.Cache.Misses == 0 || st.Cache.Entries == 0 {
+		t.Fatalf("after cold exec: %+v", st.Cache)
+	}
+	npeAfterCold := st.NPETotal
+
+	exec(req) // hit
+	st = getStats(t, base)
+	if st.Cache.Hits == 0 {
+		t.Fatalf("repeat exec did not hit: %+v", st.Cache)
+	}
+	if st.NPETotal != npeAfterCold {
+		t.Fatalf("a cache hit must not grow the NPE total: %d -> %d", npeAfterCold, st.NPETotal)
+	}
+
+	misses := st.Cache.Misses
+	exec(`{"kind":"CONN","seg":{"a":{"x":5,"y":42},"b":{"x":95,"y":42}},"no_cache":true}`)
+	st = getStats(t, base)
+	if st.Cache.Misses != misses {
+		t.Fatalf("no_cache must bypass the cache, not miss through it: %+v", st.Cache)
+	}
+	if st.NPETotal <= npeAfterCold {
+		t.Fatalf("a bypassed exec is a real execution; NPE must grow: %d", st.NPETotal)
+	}
+	if st.Execs != 3 {
+		t.Fatalf("execs = %d, want 3", st.Execs)
+	}
+}

@@ -17,7 +17,7 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	var env ExecRequest
 	if err := decodeBody(w, r, &env); err != nil {
 		s.stats.execErrors.Add(1)
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, statusOf(err), err) // 413 for an over-cap body, else 400
 		return
 	}
 	req, err := env.ToRequest()
@@ -50,7 +50,7 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, statusOf(err), err)
 		return
 	}
-	s.stats.record(req.Kind(), ans.Metrics())
+	s.stats.record(req.Kind(), ans.Metrics(), ans.Cached())
 	writeJSON(w, http.StatusOK, EncodeAnswer(ans))
 }
 
@@ -76,6 +76,9 @@ func (s *Server) execOptions(env *ExecRequest) (opts []connquery.QueryOption, re
 	if env.Workers != nil {
 		opts = append(opts, connquery.WithWorkers(*env.Workers))
 	}
+	if env.NoCache {
+		opts = append(opts, connquery.WithNoCache())
+	}
 	return opts, release, nil
 }
 
@@ -92,6 +95,9 @@ func (env *ExecRequest) watchOptions() ([]connquery.QueryOption, error) {
 	}
 	if env.Workers != nil {
 		opts = append(opts, connquery.WithWorkers(*env.Workers))
+	}
+	if env.NoCache {
+		opts = append(opts, connquery.WithNoCache())
 	}
 	return opts, nil
 }

@@ -26,7 +26,7 @@ func (s *Server) handleInsertPoint(w http.ResponseWriter, r *http.Request) {
 	defer s.track()()
 	var body insertPointBody
 	if err := decodeBody(w, r, &body); err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, statusOf(err), err)
 		return
 	}
 	pid, err := s.db.InsertPoint(body.P.lib())
@@ -43,7 +43,7 @@ func (s *Server) handleInsertObstacle(w http.ResponseWriter, r *http.Request) {
 	defer s.track()()
 	var body insertObstacleBody
 	if err := decodeBody(w, r, &body); err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, statusOf(err), err)
 		return
 	}
 	oid, err := s.db.InsertObstacle(body.Rect.lib())

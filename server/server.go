@@ -100,15 +100,20 @@ type counters struct {
 	byKind map[string]int64
 }
 
-// record folds one successful execution into the counters.
-func (c *counters) record(kind string, m connquery.Metrics) {
+// record folds one successful execution into the counters. Answer-cache
+// hits count as served execs but replay stored metrics, so their NPE/NOE
+// would double-count engine work the process never repeated — the cost
+// totals only grow on real executions.
+func (c *counters) record(kind string, m connquery.Metrics, cached bool) {
 	c.execs.Add(1)
-	c.npe.Add(int64(m.NPE))
-	c.noe.Add(int64(m.NOE))
-	for {
-		cur := c.svgPeak.Load()
-		if int64(m.SVG) <= cur || c.svgPeak.CompareAndSwap(cur, int64(m.SVG)) {
-			break
+	if !cached {
+		c.npe.Add(int64(m.NPE))
+		c.noe.Add(int64(m.NOE))
+		for {
+			cur := c.svgPeak.Load()
+			if int64(m.SVG) <= cur || c.svgPeak.CompareAndSwap(cur, int64(m.SVG)) {
+				break
+			}
 		}
 	}
 	c.mu.Lock()
@@ -200,8 +205,10 @@ func (s *Server) writeErr(w http.ResponseWriter, status int, err error) {
 
 // statusOf maps an Exec/Watch error onto an HTTP status: expired or
 // foreign MVCC pins are 410 Gone, an exceeded per-request deadline is 504,
-// and everything else Exec reports is a request defect (validation), 400.
+// a body over the maxBodyBytes cap is 413, and everything else Exec
+// reports is a request defect (validation), 400.
 func statusOf(err error) int {
+	var tooLarge *http.MaxBytesError
 	switch {
 	case errors.Is(err, connquery.ErrSnapshotReleased),
 		errors.Is(err, connquery.ErrVersionNotPinned),
@@ -209,6 +216,8 @@ func statusOf(err error) int {
 		return http.StatusGone
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
+	case errors.As(err, &tooLarge):
+		return http.StatusRequestEntityTooLarge
 	default:
 		return http.StatusBadRequest
 	}
@@ -235,6 +244,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		byKind[k] = v
 	}
 	s.stats.mu.Unlock()
+	cs := s.db.CacheStats()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Epoch:         s.db.Version(),
 		Points:        s.db.NumPoints(),
@@ -251,5 +261,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		NPETotal:      s.stats.npe.Load(),
 		NOETotal:      s.stats.noe.Load(),
 		SVGPeak:       s.stats.svgPeak.Load(),
+		Cache: CacheStats{
+			Hits:          cs.Hits,
+			PromotedHits:  cs.PromotedHits,
+			Misses:        cs.Misses,
+			Promotions:    cs.Promotions,
+			Invalidations: cs.Invalidations,
+			Evictions:     cs.Evictions,
+			Sweeps:        cs.Sweeps,
+			Entries:       cs.Entries,
+			Bytes:         cs.Bytes,
+		},
 	})
 }

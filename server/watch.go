@@ -33,7 +33,7 @@ import (
 func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	env, err := watchEnvelope(w, r)
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, statusOf(err), err) // 413 for an over-cap body, else 400
 		return
 	}
 	req, err := env.ToRequest()

@@ -170,9 +170,11 @@ type Tuning struct {
 // onto the library's QueryOptions: at_version/snapshot pin an MVCC version
 // (exec only — a watch follows the live chain by definition), workers pools
 // a multi-item request, tuning overrides the ablation switches for this
-// call, and timeout_ms bounds the execution (capped by the server's
-// configured maximum). limit applies to watches only: the stream closes
-// after that many updates (0 = until disconnect).
+// call, no_cache bypasses the answer cache (a bypassed exec always runs
+// the engine and reports a fresh cost profile), and timeout_ms bounds the
+// execution (capped by the server's configured maximum). limit applies to
+// watches only: the stream closes after that many updates (0 = until
+// disconnect).
 type ExecRequest struct {
 	Kind string `json:"kind"`
 
@@ -206,6 +208,7 @@ type ExecRequest struct {
 	Snapshot  *uint64 `json:"snapshot,omitempty"`
 	Workers   *int    `json:"workers,omitempty"`
 	Tuning    *Tuning `json:"tuning,omitempty"`
+	NoCache   bool    `json:"no_cache,omitempty"`
 	TimeoutMS int64   `json:"timeout_ms,omitempty"`
 	Limit     int     `json:"limit,omitempty"`
 }
@@ -262,9 +265,33 @@ type SnapshotResponse struct {
 	ExpiresAt string `json:"expires_at"` // RFC 3339, sliding: touched on use
 }
 
+// CacheStats is the wire form of connquery.CacheStats: the answer cache's
+// hit/miss/promotion counters and current contents. hits counts execs
+// served without engine work (promoted_hits is the subset served from
+// entries that survived at least one mutation); promotions counts entry
+// validity extensions across mutations, invalidations the entries a
+// mutation's impact region actually touched, evictions the size-bound
+// removals, and sweeps the entries dropped for falling behind the
+// invalidation frontier (cached for a pinned old epoch after the chain
+// moved on). NPE/NOE totals in StatsResponse only grow on real
+// executions, so (execs - hits) relates them to engine work done.
+type CacheStats struct {
+	Hits          int64 `json:"hits"`
+	PromotedHits  int64 `json:"promoted_hits"`
+	Misses        int64 `json:"misses"`
+	Promotions    int64 `json:"promotions"`
+	Invalidations int64 `json:"invalidations"`
+	Evictions     int64 `json:"evictions"`
+	Sweeps        int64 `json:"sweeps"`
+	Entries       int   `json:"entries"`
+	Bytes         int64 `json:"bytes"`
+}
+
 // StatsResponse is the body of GET /v1/stats: the live dataset shape plus
 // cumulative serving counters, including the paper's NPE/NOE/|SVG| cost
-// metrics summed (peak for SVG) over every query this process answered.
+// metrics summed (peak for SVG) over every query this process executed
+// (answer-cache hits replay stored metrics and are excluded from the
+// NPE/NOE totals), and the answer cache's counters.
 type StatsResponse struct {
 	Epoch         uint64           `json:"epoch"`
 	Points        int              `json:"points"`
@@ -281,6 +308,7 @@ type StatsResponse struct {
 	NPETotal      int64            `json:"npe_total"`
 	NOETotal      int64            `json:"noe_total"`
 	SVGPeak       int64            `json:"svg_peak"`
+	Cache         CacheStats       `json:"cache"`
 }
 
 // ---------------------------------------------------------------------------

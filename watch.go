@@ -8,12 +8,22 @@ import (
 
 // Watch support: the paper's queries are *continuous* along a segment; a
 // watch makes them continuous along the time axis too. Every committed
-// mutation notifies the registered watchers, each of which re-executes its
+// mutation notifies the registered watchers, each of which re-resolves its
 // Request against the freshly published MVCC version and delivers the
 // revised Answer together with the delta against the previous one. Because
 // a watcher re-reads the current version when it wakes, bursts of mutations
 // coalesce: under write load a watcher skips intermediate epochs instead of
 // queueing stale work, and delivered epochs are strictly increasing.
+//
+// Re-resolution goes through the answer cache (watchLoop executes via
+// db.execAt, the same path Exec takes): a mutation whose change box missed
+// the watched answer's impact region promoted the cache entry to the new
+// epoch, so the watcher delivers the promoted answer — correct at the new
+// epoch, with Delta.Changed false — without re-executing the engine. Only
+// watchers whose answers a mutation could actually have changed pay for
+// re-execution, turning Watch from re-exec-per-commit into incremental
+// answer maintenance (cf. answering FO+MOD queries under updates by
+// maintenance rather than recomputation).
 
 // Update is one delivery of a watched request: the answer re-computed at
 // Epoch, and how it differs from the previously delivered answer.
