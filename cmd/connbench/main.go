@@ -5,7 +5,8 @@
 // Usage:
 //
 //	connbench [-fig all|9|10|11|12|13|ablations] [-scale 0.1] [-queries 100] [-seed 2009]
-//	connbench -json <dir> [-baseline BENCH_table2_defaults.json] [-max-regress 0.10]
+//	connbench -json <dir> [-baseline BENCH_table2_defaults.json] [-max-regress 0.10] [-workers 1]
+//	connbench -json <dir> -workers 0 -kernel-baseline BENCH_kernel_baseline.json [-min-speedup 4]
 //	connbench -cache-json <dir> [-cache-baseline BENCH_cache.json] [-max-regress 0.50]
 //
 // -scale 1 reproduces the paper's full dataset cardinalities (|CA| = 60,344
@@ -19,7 +20,12 @@
 // printing figures. With -baseline the fresh measurement is compared
 // against a pinned record: the run fails (exit 1) when ns/op regresses by
 // more than -max-regress, or when the machine-independent NPE/NOE/|SVG|
-// metrics deviate at all — the CI regression gate.
+// metrics deviate at all — the CI regression gate. -workers fans each
+// query's inner sight-line batches across that many lanes via WithWorkers
+// (0 = GOMAXPROCS; the answer is bit-identical, only ns/op changes). With
+// -kernel-baseline the run is additionally gated against the pinned
+// pre-kernel record: it must be at least -min-speedup times faster with
+// exactly matching NPE/NOE/|SVG| — the geometry-kernel speedup gate.
 //
 // -cache-json measures answer-cache effectiveness on the same cell: the
 // query stream once with the cache bypassed (uncached ns/op) and once
@@ -37,6 +43,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -56,13 +64,48 @@ func main() {
 	maxRegress := flag.Float64("max-regress", 0.10, "with -baseline/-cache-baseline: maximum tolerated ns/op regression (0.10 = 10%)")
 	cacheDir := flag.String("cache-json", "", "measure answer-cache effectiveness on the Table 2 cell (uncached vs warm-cache ns/op, hit rate) and write BENCH_cache.json into this directory")
 	cacheBaseline := flag.String("cache-baseline", "", "with -cache-json: compare against this pinned BENCH_cache.json record and fail on regression")
+	workers := flag.Int("workers", 1, "with -json: fan each query's inner work across this many lanes via WithWorkers (1 = sequential, 0 = GOMAXPROCS)")
+	kernelBaseline := flag.String("kernel-baseline", "", "with -json: compare against this pinned pre-kernel BENCH_*.json record and fail unless the measured run is at least -min-speedup times faster with exactly matching NPE/NOE/|SVG|")
+	minSpeedup := flag.Float64("min-speedup", 4.0, "with -kernel-baseline: minimum required speedup over the pinned pre-kernel record")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file when the run finishes")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "connbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "connbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		// The profile is written on the way out, after any measurement or
+		// figure sweep, so it reflects the whole run's allocation profile.
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "connbench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "connbench:", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	cfg := bench.Config{Scale: *scale, Queries: *queries, Seed: *seed}
 	out := os.Stdout
 
 	if *jsonDir != "" {
-		res := measureTable2Exec(cfg)
+		res := measureTable2Exec(cfg, *workers)
 		path, err := bench.WriteJSON(*jsonDir, res)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "connbench:", err)
@@ -72,6 +115,12 @@ func main() {
 			path, res.NsPerOp/1e6, res.AllocsPerOp, res.NPE, res.NOE, res.SVG)
 		if *baseline != "" {
 			if err := compareBaseline(out, res, *baseline, *maxRegress); err != nil {
+				fmt.Fprintln(os.Stderr, "connbench:", err)
+				os.Exit(1)
+			}
+		}
+		if *kernelBaseline != "" {
+			if err := gateKernel(out, res, *kernelBaseline, *minSpeedup); err != nil {
 				fmt.Fprintln(os.Stderr, "connbench:", err)
 				os.Exit(1)
 			}
@@ -127,11 +176,18 @@ func main() {
 // the engine-level measurement, with DB.Exec answering one COkNNRequest per
 // op. Keeping the two paths comparable in one schema is what lets the
 // baseline gate catch a regression introduced anywhere between the public
-// surface and the engine.
-func measureTable2Exec(cfg bench.Config) bench.BenchResult {
+// surface and the engine. workers plumbs WithWorkers onto every measured
+// request: 1 omits the option (the default sequential path), anything else
+// fans the intra-query sight-line batches across that many lanes (0 =
+// GOMAXPROCS) — the answer is bit-identical either way, so the pinned
+// NPE/NOE/|SVG| gates apply unchanged.
+func measureTable2Exec(cfg bench.Config, workers int) bench.BenchResult {
 	ctx := context.Background()
-	return bench.MeasureTable2With(cfg,
-		"connbench -json (one op = one COkNNRequest via DB.Exec, index build excluded)",
+	tool := "connbench -json (one op = one COkNNRequest via DB.Exec on the flat-geometry kernel, index build excluded)"
+	if workers != 1 {
+		tool += fmt.Sprintf("; workers=%d", workers)
+	}
+	return bench.MeasureTable2With(cfg, tool,
 		func(w bench.Workload) func(q geom.Segment) stats.QueryMetrics {
 			// The answer cache is disabled so this record keeps measuring the
 			// execution path the pinned baseline pinned; the cached path has
@@ -141,8 +197,12 @@ func measureTable2Exec(cfg bench.Config) bench.BenchResult {
 				fmt.Fprintln(os.Stderr, "connbench:", err)
 				os.Exit(1)
 			}
+			var opts []connquery.QueryOption
+			if workers != 1 {
+				opts = append(opts, connquery.WithWorkers(workers))
+			}
 			return func(q geom.Segment) stats.QueryMetrics {
-				ans, err := db.Exec(ctx, connquery.COkNNRequest{Seg: q, K: bench.DefaultK})
+				ans, err := db.Exec(ctx, connquery.COkNNRequest{Seg: q, K: bench.DefaultK}, opts...)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "connbench:", err)
 					os.Exit(1)
@@ -289,6 +349,39 @@ func compareBaseline(out *os.File, cur bench.BenchResult, path string, maxRegres
 	if ratio > 1+maxRegress {
 		return fmt.Errorf("ns/op regressed %.1f%% (limit %.0f%%): %.2f ms/op vs baseline %.2f ms/op",
 			(ratio-1)*100, maxRegress*100, cur.NsPerOp/1e6, base.NsPerOp/1e6)
+	}
+	return nil
+}
+
+// gateKernel enforces the geometry-kernel speedup gate against the pinned
+// pre-kernel record (BENCH_kernel_baseline.json): on a matching workload the
+// measured run must be at least minSpeedup times faster, and the
+// machine-independent NPE/NOE/|SVG| metrics must match the record exactly —
+// the kernel is a pure execution-strategy change, so any metric deviation
+// means it altered what the algorithm computed, not just how fast. The ns
+// half is machine-dependent like every ns gate in this repo: when the
+// reference hardware changes, re-pin the record rather than loosening the
+// floor.
+func gateKernel(out *os.File, cur bench.BenchResult, path string, minSpeedup float64) error {
+	base, err := bench.ReadJSON(path)
+	if err != nil {
+		return fmt.Errorf("kernel baseline %s: %w", path, err)
+	}
+	if cur.Scale != base.Scale || cur.Queries != base.Queries || cur.Seed != base.Seed || cur.K != base.K || cur.QL != base.QL {
+		return fmt.Errorf("workload parameters do not match the kernel baseline (scale %g vs %g, queries %d vs %d, seed %d vs %d): re-pin the record or align the flags",
+			cur.Scale, base.Scale, cur.Queries, base.Queries, cur.Seed, base.Seed)
+	}
+	const tol = 1e-9
+	if math.Abs(cur.NPE-base.NPE) > tol || math.Abs(cur.NOE-base.NOE) > tol || math.Abs(cur.SVG-base.SVG) > tol {
+		return fmt.Errorf("workload metrics deviate from the kernel baseline: NPE %.2f vs %.2f, NOE %.2f vs %.2f, |SVG| %.2f vs %.2f",
+			cur.NPE, base.NPE, cur.NOE, base.NOE, cur.SVG, base.SVG)
+	}
+	speedup := base.NsPerOp / cur.NsPerOp
+	fmt.Fprintf(out, "kernel baseline %s: %.2f ms/op -> %.2f ms/op (%.2fx, floor %.1fx)\n",
+		path, base.NsPerOp/1e6, cur.NsPerOp/1e6, speedup, minSpeedup)
+	if speedup < minSpeedup {
+		return fmt.Errorf("kernel speedup %.2fx is below the %.1fx floor: %.2f ms/op vs pre-kernel %.2f ms/op",
+			speedup, minSpeedup, cur.NsPerOp/1e6, base.NsPerOp/1e6)
 	}
 	return nil
 }

@@ -31,6 +31,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints, served only on -pprof-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -62,6 +63,7 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-exec execution cap (0 = none)")
 	snapTTL := flag.Duration("snapshot-ttl", server.DefaultSnapshotTTL, "idle lifetime of server-held snapshot pins")
 	grace := flag.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight requests on shutdown")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this extra address (e.g. localhost:6060); off when empty")
 	flag.Parse()
 
 	var opts []connquery.Option
@@ -95,6 +97,16 @@ func main() {
 	}
 	hs := &http.Server{Handler: srv.Handler()}
 	log.Printf("listening on http://%s", ln.Addr())
+
+	// The profiling endpoints live on their own listener (http.DefaultServeMux,
+	// which the blank net/http/pprof import populates) so the query API's
+	// address never exposes them; the flag is off by default.
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			log.Printf("pprof server: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()

@@ -66,6 +66,7 @@ import (
 
 	"connquery/internal/anscache"
 	"connquery/internal/core"
+	"connquery/internal/flatgeom"
 	"connquery/internal/geom"
 	"connquery/internal/lru"
 	"connquery/internal/rtree"
@@ -241,7 +242,13 @@ func Open(points []Point, obstacles []Rect, opts ...Option) (*DB, error) {
 		obstItems[i] = rtree.ObstacleItem(int32(i), o)
 	}
 
-	eng := &core.Engine{Obstacles: v.obstacles, Opts: cfg.tuning, Epoch: v.epoch, States: db.states}
+	eng := &core.Engine{
+		Obstacles: v.obstacles,
+		Kernel:    flatgeom.NewKernel(v.obstacles),
+		Opts:      cfg.tuning,
+		Epoch:     v.epoch,
+		States:    db.states,
+	}
 	if cfg.oneTree {
 		uni := rtree.New(rtree.Options{PageSize: cfg.pageSize})
 		uni.BulkLoad(append(pointItems, obstItems...))
@@ -373,7 +380,13 @@ func (db *DB) Obstacles() []Rect {
 // counters and optional fresh LRU buffers. states may be nil, giving the
 // engine a private query-state pool.
 func viewEngine(v *version, cfg config, states *core.StatePool) (eng *core.Engine, dataBuf, obstBuf *lru.Buffer) {
-	eng = &core.Engine{Obstacles: v.obstacles, Opts: cfg.tuning, Epoch: v.epoch, States: states}
+	eng = &core.Engine{
+		Obstacles: v.obstacles,
+		Kernel:    v.eng.Kernel,
+		Opts:      cfg.tuning,
+		Epoch:     v.epoch,
+		States:    states,
+	}
 	if v.eng.OneTree() {
 		c := &stats.PageCounter{}
 		if cfg.bufferPages > 0 {

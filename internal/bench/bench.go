@@ -8,6 +8,7 @@ import (
 
 	"connquery/internal/core"
 	"connquery/internal/dataset"
+	"connquery/internal/flatgeom"
 	"connquery/internal/geom"
 	"connquery/internal/lru"
 	"connquery/internal/rtree"
@@ -127,7 +128,7 @@ func buildEngine(w Workload, cfg RunConfig) (*core.Engine, []*lru.Buffer) {
 	for i, o := range w.Obstacles {
 		obstItems[i] = rtree.ObstacleItem(int32(i), o)
 	}
-	eng := &core.Engine{Obstacles: w.Obstacles, Opts: cfg.Tuning}
+	eng := &core.Engine{Obstacles: w.Obstacles, Kernel: flatgeom.NewKernel(w.Obstacles), Opts: cfg.Tuning}
 	var bufs []*lru.Buffer
 	if cfg.OneTree {
 		uni := rtree.New(rtree.Options{})

@@ -15,7 +15,10 @@ import (
 // storage, options and the snapshot epoch are shared; per-query mutable
 // state is not.
 func (e *Engine) cloneView() *Engine {
-	cp := &Engine{Obstacles: e.Obstacles, Opts: e.Opts, Epoch: e.Epoch}
+	cp := &Engine{Obstacles: e.Obstacles, Kernel: e.Kernel, Opts: e.Opts, Epoch: e.Epoch}
+	// Batch workers parallelize across queries; nesting an intra-query pool
+	// inside each would oversubscribe the machine for no gain.
+	cp.Opts.Workers = 0
 	if e.OneTree() {
 		c := &stats.PageCounter{}
 		cp.Unified = e.Unified.View(c)

@@ -29,6 +29,11 @@ import (
 // the graph; Theorem 2 then guarantees the true shortest path to any point
 // of q only turns at loaded vertices, so the produced CPL is exact.
 func (qs *queryState) computeCPL(pNode visgraph.NodeID) CPL {
+	if qs.pool != nil {
+		// Same scan with the per-candidate visible regions computed a chunk
+		// ahead on the worker pool; bit-identical output (see parallel.go).
+		return qs.computeCPLPar(pNode)
+	}
 	s := qs.search
 	if s == nil || !s.Valid() || s.Src() != pNode {
 		s = qs.vg.NewSearch(pNode)

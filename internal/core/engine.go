@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 
+	"connquery/internal/flatgeom"
 	"connquery/internal/geom"
 	"connquery/internal/interval"
 	"connquery/internal/minheap"
@@ -24,6 +25,14 @@ type Engine struct {
 	Unified *rtree.Tree
 	// Obstacles holds obstacle rectangles addressed by their R-tree item ID.
 	Obstacles []geom.Rect
+	// Kernel, when set, is the immutable flat-geometry kernel (SoA obstacle
+	// store + static BVH) over Obstacles, shared read-only by every query on
+	// this version. Query states hand it to their visibility graphs, which
+	// then answer sight-line and window queries from the BVH filtered by
+	// per-query loaded-obstacle marks instead of building a per-query R-tree.
+	// Nil engines (tests, ablations) fall back to the per-graph R-tree path;
+	// both paths return identical verdicts.
+	Kernel *flatgeom.Kernel
 	// Opts toggles individual optimizations (ablation switches).
 	Opts Options
 
@@ -94,8 +103,7 @@ type queryState struct {
 	unifIter *rtree.NearestIter
 	pending  minheap.Heap[rtree.Item]
 
-	vrCache   map[visgraph.NodeID]interval.Set
-	vrVersion int
+	vrCache map[visgraph.NodeID]vrEntry
 
 	// search is IOR's final Dijkstra state for the current transient point;
 	// CPLC resumes it (validity-checked) instead of re-running from scratch.
@@ -108,6 +116,16 @@ type queryState struct {
 	rayScratch      []float64   // VisibleSpans candidate cut parameters
 	cplScratch      CPL         // computeCPL working list
 	cplMergeScratch CPL         // mergeCandidateCPL ping-pong partner
+	idScratch       []int32     // loadObstaclesUpTo batch collection
+
+	// pool, when non-nil, is the per-query worker pool (Options.Workers);
+	// it lives for one query — newQueryState starts it, release shuts it
+	// down. The remaining fields are the CPLC prefetch scratch (parallel.go).
+	pool        *visgraph.WorkerPool
+	vrNeed      []visgraph.NodeID
+	vrResults   []vrEntry
+	vrLanes     []vrLaneScratch
+	candScratch []visgraph.NodeID
 }
 
 func (e *Engine) newQueryState(q geom.Segment) *queryState {
@@ -121,14 +139,14 @@ func (e *Engine) newQueryState(q geom.Segment) *queryState {
 	case qs == nil:
 		qs = &queryState{
 			vg:      visgraph.New(),
-			vrCache: make(map[visgraph.NodeID]interval.Set),
+			vrCache: make(map[visgraph.NodeID]vrEntry),
 		}
 	case qs.epoch != e.Epoch:
 		// The snapshot advanced since this state last ran: its visibility
 		// graph and caches were built against another version's geometry, so
 		// drop them outright instead of trusting a capacity-retaining reset.
 		qs.vg = visgraph.New()
-		qs.vrCache = make(map[visgraph.NodeID]interval.Set)
+		qs.vrCache = make(map[visgraph.NodeID]vrEntry)
 		qs.pieceScratch, qs.cutScratch = nil, nil
 		qs.spanScratch, qs.rayScratch = nil, nil
 		qs.cplScratch, qs.cplMergeScratch = nil, nil
@@ -143,6 +161,10 @@ func (e *Engine) newQueryState(q geom.Segment) *queryState {
 	qs.ptIter, qs.obstIter, qs.unifIter = nil, nil, nil
 	qs.pending.Reset()
 	qs.resetVG()
+	if e.Opts.Workers > 1 {
+		qs.pool = visgraph.NewWorkerPool(e.Opts.Workers)
+		qs.vg.SetPool(qs.pool)
+	}
 	if e.OneTree() {
 		qs.unifIter = e.Unified.NewNearestIter(rtree.SegmentTarget{Seg: q})
 	} else {
@@ -163,6 +185,11 @@ func (e *Engine) release(qs *queryState) {
 	qs.ptIter, qs.obstIter, qs.unifIter = nil, nil, nil
 	qs.search = nil
 	qs.vg.SetCheck(nil) // do not keep a context closure alive in the pool
+	if qs.pool != nil {
+		qs.pool.Close()
+		qs.pool = nil
+		qs.vg.SetPool(nil)
+	}
 	qs.pending.Reset()
 	if e.States != nil {
 		e.States.p.Put(qs)
@@ -177,19 +204,26 @@ func (e *Engine) release(qs *queryState) {
 // graph's allocated capacity.
 func (qs *queryState) resetVG() {
 	qs.vg.Reset()
+	if qs.eng.Kernel != nil {
+		qs.vg.SetKernel(qs.eng.Kernel)
+	}
 	qs.sID = qs.vg.AddPoint(qs.q.A, visgraph.KindAnchor)
 	qs.eID = qs.vg.AddPoint(qs.q.B, visgraph.KindAnchor)
 	clear(qs.vrCache)
-	qs.vrVersion = qs.vg.Version()
 }
 
-// addObstacleToVG inserts one obstacle into the local graph, tracking NOE.
-// Each insertion touches every node's adjacency (edge invalidation plus
-// four corner AddPoints), so this is also a cancellation checkpoint: one
-// IOR round may load thousands of obstacles back to back.
-func (qs *queryState) addObstacleToVG(r geom.Rect) {
+// addObstacleToVG inserts the obstacle with the given R-tree item ID into
+// the local graph, tracking NOE. Each insertion touches every node's
+// adjacency (edge invalidation plus four corner AddPoints), so this is also
+// a cancellation checkpoint: one IOR round may load thousands of obstacles
+// back to back.
+func (qs *queryState) addObstacleToVG(id int32) {
 	qs.poll()
-	qs.vg.AddObstacle(r)
+	if qs.eng.Kernel != nil {
+		qs.vg.AddObstacleID(id)
+	} else {
+		qs.vg.AddObstacle(qs.eng.Obstacles[id])
+	}
 	qs.noe++
 }
 
@@ -198,6 +232,11 @@ func (qs *queryState) addObstacleToVG(r geom.Rect) {
 // 6-12) and returns how many were added. In one-tree mode the shared heap
 // also surfaces data points, which are parked for the main loop (§4.5).
 func (qs *queryState) loadObstaclesUpTo(d float64) int {
+	// With a kernel attached the round's obstacles go in as one batch:
+	// visgraph.AddObstacleIDs produces the identical graph with a single
+	// edge-invalidation pass. NOE still counts every obstacle.
+	ids := qs.idScratch[:0]
+	batched := qs.eng.Kernel != nil
 	n := 0
 	if qs.eng.OneTree() {
 		for {
@@ -207,22 +246,38 @@ func (qs *queryState) loadObstaclesUpTo(d float64) int {
 			}
 			item, key, _ := qs.unifIter.Next()
 			if item.Kind == rtree.KindObstacle {
-				qs.addObstacleToVG(qs.eng.Obstacles[item.ID])
+				if batched {
+					qs.poll()
+					ids = append(ids, item.ID)
+					qs.noe++
+				} else {
+					qs.addObstacleToVG(item.ID)
+				}
 				n++
 			} else {
 				qs.pending.Push(key, item)
 			}
 		}
-		return n
-	}
-	for {
-		bound, ok := qs.obstIter.PeekDist()
-		if !ok || bound > d {
-			break
+	} else {
+		for {
+			bound, ok := qs.obstIter.PeekDist()
+			if !ok || bound > d {
+				break
+			}
+			item, _, _ := qs.obstIter.Next()
+			if batched {
+				qs.poll()
+				ids = append(ids, item.ID)
+				qs.noe++
+			} else {
+				qs.addObstacleToVG(item.ID)
+			}
+			n++
 		}
-		item, _, _ := qs.obstIter.Next()
-		qs.addObstacleToVG(qs.eng.Obstacles[item.ID])
-		n++
+	}
+	if batched {
+		qs.vg.AddObstacleIDs(ids)
+		qs.idScratch = ids[:0]
 	}
 	return n
 }
@@ -239,7 +294,7 @@ func (qs *queryState) loadAnyObstacle() bool {
 			}
 			if item.Kind == rtree.KindObstacle {
 				qs.loadedUpTo = math.Max(qs.loadedUpTo, key)
-				qs.addObstacleToVG(qs.eng.Obstacles[item.ID])
+				qs.addObstacleToVG(item.ID)
 				return true
 			}
 			qs.pending.Push(key, item)
@@ -250,7 +305,7 @@ func (qs *queryState) loadAnyObstacle() bool {
 		return false
 	}
 	qs.loadedUpTo = math.Max(qs.loadedUpTo, key)
-	qs.addObstacleToVG(qs.eng.Obstacles[item.ID])
+	qs.addObstacleToVG(item.ID)
 	return true
 }
 
@@ -272,7 +327,7 @@ func (qs *queryState) peekPointBound() (float64, bool) {
 		item, key, _ := qs.unifIter.Next()
 		if item.Kind == rtree.KindObstacle {
 			qs.loadedUpTo = math.Max(qs.loadedUpTo, key)
-			qs.addObstacleToVG(qs.eng.Obstacles[item.ID])
+			qs.addObstacleToVG(item.ID)
 			continue
 		}
 		qs.pending.Push(key, item)
@@ -332,27 +387,53 @@ func (qs *queryState) ior(pNode visgraph.NodeID) (dS, dE float64) {
 // cached per node until the obstacle set changes. Transient nodes are never
 // cached because their IDs are recycled.
 func (qs *queryState) visibleRegion(id visgraph.NodeID) interval.Set {
-	if v := qs.vg.Version(); v != qs.vrVersion {
-		clear(qs.vrCache) // keep the buckets; this runs once per loaded obstacle
-		qs.vrVersion = v
-	}
-	transient := qs.vg.Kind(id) == visgraph.KindTransient
-	if !transient {
-		if s, ok := qs.vrCache[id]; ok {
-			return s
-		}
-	}
 	p := qs.vg.Point(id)
+	all := qs.vg.Obstacles()
+	if s, ok := qs.vrLookup(id, p, all); ok {
+		return s
+	}
 	bb := geom.RectFromPoints(p, qs.q.A, qs.q.B)
 	obs := qs.vg.ObstaclesNear(bb)
 	var spans []geom.Span
 	spans, qs.rayScratch = geom.VisibleSpansInto(qs.spanScratch, qs.rayScratch, p, qs.q, obs)
 	qs.spanScratch = spans
 	s := interval.FromSpans(spans) // FromSpans copies, so the scratch is safe
-	if !transient {
-		qs.vrCache[id] = s
-	}
+	qs.vrCache[id] = vrEntry{set: s, bb: bb, px: p.X, py: p.Y, obsLen: len(all)}
 	return s
+}
+
+// vrLookup consults the visible-region cache for node id at position p
+// against the current obstacle slice. The cached spans stay exact while no
+// obstacle inserted since the entry was (re)validated intersects its
+// window: VisibleSpansInto is a pure, obstacle-order-insensitive function
+// of (p, q, window set), and the window set — ObstaclesNear(bb) — can only
+// change when a new obstacle intersects bb (the obstacle set grows
+// append-only within a query). The watermark advances after each clean
+// check, so every (entry, obstacle) pair is tested at most once. The point
+// check guards recycled transient node IDs.
+func (qs *queryState) vrLookup(id visgraph.NodeID, p geom.Point, all []geom.Rect) (interval.Set, bool) {
+	e, ok := qs.vrCache[id]
+	if !ok || e.px != p.X || e.py != p.Y {
+		return nil, false
+	}
+	for i := e.obsLen; i < len(all); i++ {
+		if all[i].Intersects(e.bb) {
+			return nil, false
+		}
+	}
+	e.obsLen = len(all)
+	qs.vrCache[id] = e
+	return e.set, true
+}
+
+// vrEntry is one cached visible region: the interval set plus the window
+// box, viewpoint and obstacle-count watermark that prove it still exact
+// (see visibleRegion).
+type vrEntry struct {
+	set    interval.Set
+	bb     geom.Rect
+	px, py float64
+	obsLen int
 }
 
 // svgSize returns the |SVG| metric: the number of obstacle-corner vertices

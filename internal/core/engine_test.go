@@ -210,7 +210,7 @@ func TestVisibleRegionCacheInvalidation(t *testing.T) {
 	}
 	// Load the obstacle; S's region over q is unchanged (obstacle above the
 	// segment), but the viewpoint p at (5,10) is now shadowed.
-	qs.addObstacleToVG(sc.obstacles[0])
+	qs.addObstacleToVG(0)
 	pNode := qs.vg.AddPoint(sc.points[0], visgraph.KindTransient)
 	vrP := qs.visibleRegion(pNode)
 	if vrP.Covers() {

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math"
+
+	"connquery/internal/geom"
+	"connquery/internal/interval"
+	"connquery/internal/visgraph"
+)
+
+// cplLookahead is how many CPLC candidates are settled ahead of the merge
+// so their visible regions can be computed on the worker pool. The merge
+// consumes them under the live Lemma 7 bound, so the lookahead only risks
+// computing (and caching) a few regions the sequential scan would never
+// reach — wasted work bounded by one chunk, never a changed answer.
+const cplLookahead = 16
+
+// vrLaneScratch is one pool lane's private buffers for visible-region
+// prefetch.
+type vrLaneScratch struct {
+	obs   []geom.Rect
+	spans []geom.Span
+	cuts  []float64
+}
+
+// computeCPLPar is computeCPL on the worker pool: identical candidate
+// consumption — same (distance, NodeID) order, same live Lemma 7 cutoff,
+// same merges — but candidates are settled a chunk ahead and their visible
+// regions (and their Dijkstra predecessors') are computed concurrently into
+// the cache first, so the serial merge loop finds every region already
+// cached. VisibleSpansInto is pure and each lane uses private scratch, so
+// the cached sets are bit-identical to on-demand computation.
+//
+// The lookahead settles under the bound current at chunk start; cplMax is
+// non-increasing as candidates merge in (folding a candidate can only lower
+// the distance envelope), so the chunk is a superset, in order, of what the
+// sequential scan would consume — and the consume loop re-checks the live
+// bound per candidate, returning at exactly the sequential termination
+// point. Extra settled nodes and prefetched regions are dead weight, not
+// divergence: settling never loads obstacles or points (NPE/NOE/|SVG|
+// untouched) and the cache tolerates unused entries.
+func (qs *queryState) computeCPLPar(pNode visgraph.NodeID) CPL {
+	s := qs.search
+	if s == nil || !s.Valid() || s.Src() != pNode {
+		s = qs.vg.NewSearch(pNode)
+		qs.search = s
+	}
+	cpl := append(qs.cplScratch[:0], CPLEntry{Span: geom.Span{Lo: 0, Hi: 1}})
+	done := func() CPL {
+		qs.cplScratch = cpl[:0]
+		out := make(CPL, len(cpl))
+		copy(out, cpl)
+		return out
+	}
+	for {
+		qs.poll()
+		// Fill the lookahead chunk: whole settle batches, anchors skipped,
+		// stopping once a candidate reaches the conservative bound (every
+		// later candidate is at least as far and terminates too).
+		cands := qs.candScratch[:0]
+		bound := math.Inf(1)
+		if !qs.eng.Opts.DisableLemma7 {
+			bound = cplMax(qs.q, cpl)
+		}
+		exhausted := false
+		for len(cands) < cplLookahead {
+			batch := s.SettleBatch()
+			if batch == nil {
+				exhausted = true
+				break
+			}
+			past := false
+			for _, id := range batch {
+				if qs.vg.Kind(id) == visgraph.KindAnchor {
+					continue
+				}
+				cands = append(cands, id)
+				past = past || s.Dist(id) >= bound
+			}
+			if past {
+				break
+			}
+		}
+		qs.candScratch = cands[:0]
+		if len(cands) == 0 {
+			if exhausted {
+				return done() // reachable component exhausted
+			}
+			continue // batch of anchors only; keep settling
+		}
+		qs.prefetchVRs(cands, pNode, s)
+		// Consume exactly like the sequential scan.
+		for _, id := range cands {
+			qs.poll()
+			d := s.Dist(id)
+			if !qs.eng.Opts.DisableLemma7 && d >= cplMax(qs.q, cpl) {
+				return done() // Lemma 7: no farther node can enter the CPL
+			}
+			region := qs.visibleRegion(id)
+			if id != pNode {
+				if u := s.Prev(id); u != visgraph.Invalid {
+					uRegion := qs.visibleRegion(u)
+					region = region.Subtract(uRegion)
+					if !qs.eng.Opts.DisableLemma6 {
+						region = refineLemma6(qs.q, region, uRegion,
+							qs.vg.Point(u), qs.vg.Point(id))
+					}
+				}
+			}
+			if region.Empty() {
+				continue
+			}
+			fn := distFn{CP: qs.vg.Point(id), Base: d}
+			cpl = qs.mergeCandidateCPL(cpl, region, fn)
+		}
+		if exhausted {
+			return done()
+		}
+	}
+}
+
+// prefetchVRs computes the visible regions of the chunk's candidates and
+// their Dijkstra predecessors on the worker pool and installs them in the
+// cache. Cache-clean nodes are skipped (their watermark advances, exactly
+// as the on-demand lookup would). The graph is quiescent for the whole
+// CPLC scan, so lanes read it freely; each lane owns its scratch and each
+// item its result slot.
+func (qs *queryState) prefetchVRs(cands []visgraph.NodeID, pNode visgraph.NodeID, s *visgraph.Search) {
+	all := qs.vg.Obstacles()
+	need := qs.vrNeed[:0]
+	add := func(id visgraph.NodeID) {
+		if _, ok := qs.vrLookup(id, qs.vg.Point(id), all); ok {
+			return
+		}
+		for _, x := range need {
+			if x == id {
+				return
+			}
+		}
+		need = append(need, id)
+	}
+	for _, id := range cands {
+		add(id)
+		if id != pNode {
+			if u := s.Prev(id); u != visgraph.Invalid {
+				add(u)
+			}
+		}
+	}
+	qs.vrNeed = need[:0]
+	if len(need) < 2 {
+		return // nothing to overlap; the on-demand path computes it
+	}
+	if cap(qs.vrResults) < len(need) {
+		qs.vrResults = make([]vrEntry, len(need))
+	}
+	results := qs.vrResults[:len(need)]
+	for len(qs.vrLanes) < qs.pool.Workers() {
+		qs.vrLanes = append(qs.vrLanes, vrLaneScratch{})
+	}
+	qs.pool.Run(len(need), func(w, i int) {
+		id := need[i]
+		p := qs.vg.Point(id)
+		bb := geom.RectFromPoints(p, qs.q.A, qs.q.B)
+		sc := &qs.vrLanes[w]
+		sc.obs = qs.vg.AppendObstaclesNear(sc.obs[:0], bb)
+		sc.spans, sc.cuts = geom.VisibleSpansInto(sc.spans, sc.cuts, p, qs.q, sc.obs)
+		results[i] = vrEntry{set: interval.FromSpans(sc.spans), bb: bb,
+			px: p.X, py: p.Y, obsLen: len(all)}
+	})
+	for i, id := range need {
+		qs.vrCache[id] = results[i]
+	}
+}

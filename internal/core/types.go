@@ -140,4 +140,13 @@ type Options struct {
 	// UseBisectionSolver replaces the quadratic split-point solver with a
 	// numeric grid-plus-bisection root finder (ablation).
 	UseBisectionSolver bool
+	// Workers, when above 1, fans each query's embarrassingly parallel
+	// inner work — candidate sight-line batches in visibility-graph
+	// obstacle insertion and per-candidate visible-region computation in
+	// CPLC — across that many lanes of a per-query worker pool. Results
+	// (payload and NPE/NOE/|SVG| metrics) are bit-identical to the
+	// sequential path: verdicts are computed by the same code over the same
+	// frozen inputs and applied in the sequential order. 0 or 1 runs
+	// sequentially.
+	Workers int
 }

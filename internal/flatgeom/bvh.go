@@ -1,0 +1,264 @@
+package flatgeom
+
+import "connquery/internal/geom"
+
+// bvhLeafSize bounds the number of obstacles per leaf. Leaves scan their
+// quads linearly from one contiguous slab, so a moderately large leaf beats
+// a deeper tree: 8 quads are 4 cache lines.
+const bvhLeafSize = 8
+
+// bvhNode is one node of the static obstacle BVH, stored in preorder: an
+// internal node's left child is the next node in the array and its right
+// child index is A (B < 0); a leaf covers the quad range [A, A+B).
+type bvhNode struct {
+	minX, minY, maxX, maxY float64
+	a, b                   int32
+}
+
+// BVH is a static bounding-volume hierarchy over an obstacle set, built
+// once per MVCC version and shared read-only across queries and workers.
+// Leaf obstacles live in quads — the flat x0,y0,x1,y1 struct-of-arrays
+// store — reordered so every leaf reads one contiguous slab; ids maps a
+// quad back to the obstacle ID the engine and Marks use.
+type BVH struct {
+	nodes []bvhNode
+	quads []float64 // 4 floats per obstacle, leaf-contiguous order
+	ids   []int32   // ids[i] owns quads[4i : 4i+4]
+}
+
+// NewBVH builds a BVH over obstacles; IDs are the slice indexes.
+func NewBVH(obstacles []geom.Rect) *BVH {
+	n := len(obstacles)
+	b := &BVH{
+		quads: make([]float64, 0, 4*n),
+		ids:   make([]int32, n),
+		nodes: make([]bvhNode, 0, 2*max(n/bvhLeafSize, 1)),
+	}
+	if n == 0 {
+		return b
+	}
+	for i := range b.ids {
+		b.ids[i] = int32(i)
+	}
+	b.build(obstacles, 0, n)
+	for _, id := range b.ids {
+		r := obstacles[id]
+		b.quads = append(b.quads, r.MinX, r.MinY, r.MaxX, r.MaxY)
+	}
+	return b
+}
+
+// build partitions ids[lo:hi] by median split on the longer axis of the
+// subset's bounding box and emits nodes in preorder.
+func (b *BVH) build(obstacles []geom.Rect, lo, hi int) int32 {
+	box := obstacles[b.ids[lo]]
+	for _, id := range b.ids[lo+1 : hi] {
+		r := obstacles[id]
+		if r.MinX < box.MinX {
+			box.MinX = r.MinX
+		}
+		if r.MinY < box.MinY {
+			box.MinY = r.MinY
+		}
+		if r.MaxX > box.MaxX {
+			box.MaxX = r.MaxX
+		}
+		if r.MaxY > box.MaxY {
+			box.MaxY = r.MaxY
+		}
+	}
+	self := int32(len(b.nodes))
+	b.nodes = append(b.nodes, bvhNode{box.MinX, box.MinY, box.MaxX, box.MaxY, 0, 0})
+	if hi-lo <= bvhLeafSize {
+		b.nodes[self].a = int32(lo)
+		b.nodes[self].b = int32(hi - lo)
+		return self
+	}
+	mid := (lo + hi) / 2
+	byX := box.MaxX-box.MinX >= box.MaxY-box.MinY
+	selectNth(obstacles, b.ids[lo:hi], mid-lo, byX)
+	b.build(obstacles, lo, mid)
+	right := b.build(obstacles, mid, hi)
+	b.nodes[self].a = right
+	b.nodes[self].b = -1
+	return self
+}
+
+// centerKey orders obstacles by center coordinate along one axis (doubled,
+// to avoid the halving).
+func centerKey(r geom.Rect, byX bool) float64 {
+	if byX {
+		return r.MinX + r.MaxX
+	}
+	return r.MinY + r.MaxY
+}
+
+// selectNth partially orders ids so ids[:k] hold the k smallest center keys
+// (Hoare quickselect with median-of-three pivots). Allocation-free, which
+// keeps a per-version BVH build at a handful of slab allocations.
+func selectNth(obstacles []geom.Rect, ids []int32, k int, byX bool) {
+	lo, hi := 0, len(ids)-1
+	for lo < hi {
+		// Median-of-three pivot, moved to lo.
+		m := int(uint(lo+hi) >> 1)
+		a, bb, c := centerKey(obstacles[ids[lo]], byX), centerKey(obstacles[ids[m]], byX), centerKey(obstacles[ids[hi]], byX)
+		pi := lo
+		if (a <= bb) == (bb <= c) {
+			pi = m
+		} else if (a <= c) == (c <= bb) {
+			pi = hi
+		}
+		ids[lo], ids[pi] = ids[pi], ids[lo]
+		pivot := centerKey(obstacles[ids[lo]], byX)
+		i, j := lo, hi+1
+		for {
+			for {
+				i++
+				if i > hi || centerKey(obstacles[ids[i]], byX) >= pivot {
+					break
+				}
+			}
+			for {
+				j--
+				if centerKey(obstacles[ids[j]], byX) <= pivot {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			ids[i], ids[j] = ids[j], ids[i]
+		}
+		ids[lo], ids[j] = ids[j], ids[lo]
+		switch {
+		case j == k:
+			return
+		case j < k:
+			lo = j + 1
+		default:
+			hi = j - 1
+		}
+	}
+}
+
+// Blocked reports whether any marked obstacle blocks the sight line
+// (ax, ay)-(bx, by) of length segLen, with geom.BlocksSegLen deciding at
+// the leaves — the verdict is identical to a linear scan over the marked
+// obstacles.
+func (b *BVH) Blocked(m *Marks, ax, ay, bx, by, segLen float64) bool {
+	if len(b.nodes) == 0 {
+		return false
+	}
+	var stack [64]int32
+	top := 0
+	stack[0] = 0
+	for top >= 0 {
+		idx := stack[top]
+		top--
+		nd := &b.nodes[idx]
+		if _, _, ok := geom.ClipSeg(nd.minX, nd.minY, nd.maxX, nd.maxY, ax, ay, bx, by); !ok {
+			continue
+		}
+		if nd.b < 0 {
+			top++
+			stack[top] = nd.a
+			top++
+			stack[top] = idx + 1 // left child follows its parent in preorder
+			continue
+		}
+		qs := b.quads[4*nd.a : 4*(nd.a+nd.b)]
+		ids := b.ids[nd.a : nd.a+nd.b]
+		for i, id := range ids {
+			if !m.Has(id) {
+				continue
+			}
+			q := qs[4*i : 4*i+4 : 4*i+4]
+			if geom.BlocksSegLen(q[0], q[1], q[2], q[3], ax, ay, bx, by, segLen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// AppendBlockers appends the ID of every obstacle in the tree — marked or
+// not — that blocks the sight line (ax, ay)-(bx, by) of length segLen, and
+// returns dst. The set is exactly {id : geom.BlocksSegment verdict true};
+// order follows the BVH leaf layout. Callers cache these full-set lists:
+// because blocking is monotone in the obstacle set, the verdict for any
+// loaded subset is "some listed ID is loaded", no matter which obstacles
+// load later.
+func (b *BVH) AppendBlockers(dst []int32, ax, ay, bx, by, segLen float64) []int32 {
+	if len(b.nodes) == 0 {
+		return dst
+	}
+	var stack [64]int32
+	top := 0
+	stack[0] = 0
+	for top >= 0 {
+		idx := stack[top]
+		top--
+		nd := &b.nodes[idx]
+		if _, _, ok := geom.ClipSeg(nd.minX, nd.minY, nd.maxX, nd.maxY, ax, ay, bx, by); !ok {
+			continue
+		}
+		if nd.b < 0 {
+			top++
+			stack[top] = nd.a
+			top++
+			stack[top] = idx + 1
+			continue
+		}
+		qs := b.quads[4*nd.a : 4*(nd.a+nd.b)]
+		ids := b.ids[nd.a : nd.a+nd.b]
+		for i, id := range ids {
+			q := qs[4*i : 4*i+4 : 4*i+4]
+			if geom.BlocksSegLen(q[0], q[1], q[2], q[3], ax, ay, bx, by, segLen) {
+				dst = append(dst, id)
+			}
+		}
+	}
+	return dst
+}
+
+// AppendIntersecting appends every marked obstacle whose rectangle
+// intersects w (geom.Rect.Intersects semantics, Eps slack included) to dst
+// and returns it. The result set is identical to filtering the marked
+// obstacles linearly; order follows the BVH leaf layout.
+func (b *BVH) AppendIntersecting(dst []geom.Rect, m *Marks, w geom.Rect) []geom.Rect {
+	if len(b.nodes) == 0 {
+		return dst
+	}
+	var stack [64]int32
+	top := 0
+	stack[0] = 0
+	for top >= 0 {
+		idx := stack[top]
+		top--
+		nd := &b.nodes[idx]
+		if !(nd.minX <= w.MaxX+geom.Eps && w.MinX <= nd.maxX+geom.Eps &&
+			nd.minY <= w.MaxY+geom.Eps && w.MinY <= nd.maxY+geom.Eps) {
+			continue
+		}
+		if nd.b < 0 {
+			top++
+			stack[top] = nd.a
+			top++
+			stack[top] = idx + 1
+			continue
+		}
+		qs := b.quads[4*nd.a : 4*(nd.a+nd.b)]
+		ids := b.ids[nd.a : nd.a+nd.b]
+		for i, id := range ids {
+			if !m.Has(id) {
+				continue
+			}
+			q := qs[4*i : 4*i+4 : 4*i+4]
+			if q[0] <= w.MaxX+geom.Eps && w.MinX <= q[2]+geom.Eps &&
+				q[1] <= w.MaxY+geom.Eps && w.MinY <= q[3]+geom.Eps {
+				dst = append(dst, geom.Rect{MinX: q[0], MinY: q[1], MaxX: q[2], MaxY: q[3]})
+			}
+		}
+	}
+	return dst
+}

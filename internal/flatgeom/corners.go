@@ -1,0 +1,83 @@
+package flatgeom
+
+import "connquery/internal/geom"
+
+// cornerTableMaxCorners gates the quadratic corner-pair table: a kernel
+// whose obstacle set contributes more corners than this serves visibility
+// from the BVH alone. 600 corners (150 obstacles) bounds the table at
+// ~360k cells — a few MB and well under 100ms to build once per version —
+// while covering the workload sizes where per-query graph rebuilds dominate.
+const cornerTableMaxCorners = 600
+
+// CornerTable is the precomputed corner-pair visibility certificate of one
+// kernel version: for every ordered pair (i, j) of obstacle corners it
+// stores the IDs of every obstacle in the kernel that blocks the sight
+// line corner(i) -> corner(j), computed over the FULL obstacle set with
+// geom.BlocksSegLen. Corner g of obstacle id has index 4*id + g, matching
+// geom.Rect.Vertices order.
+//
+// Because blocking is monotone in the obstacle set (the AppendBlockers
+// contract), the visibility verdict for any loaded subset is "some listed
+// ID is loaded" — a handful of membership tests against the query's Marks,
+// with no geometry at all. The lists are directed: cell (i, j) is built
+// from the segment corner(i) -> corner(j) with exactly the arguments the
+// sequential BlocksSegLen scan would use in that direction, so subset
+// verdicts are bit-identical to the scan they replace, including any
+// ulp-level direction asymmetry of the underlying predicate.
+type CornerTable struct {
+	n       int
+	offsets []int32 // n*n+1 prefix offsets into ids; cell (i,j) = i*n+j
+	ids     []int32 // concatenated full-set blocker lists
+}
+
+// BlockedPair reports whether any obstacle in m blocks the sight line from
+// corner gi to corner gj. Bit-identical to testing geom.BlocksSegLen for
+// every obstacle in m against that segment.
+func (t *CornerTable) BlockedPair(m *Marks, gi, gj int32) bool {
+	c := int(gi)*t.n + int(gj)
+	for _, id := range t.ids[t.offsets[c]:t.offsets[c+1]] {
+		if m.Has(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// Corners returns the kernel's corner-pair table, building it on first use,
+// or nil when the obstacle set is too large for the quadratic table (see
+// cornerTableMaxCorners). Safe for concurrent use; the table is immutable
+// once built, like the kernel itself.
+func (k *Kernel) Corners() *CornerTable {
+	k.cornersOnce.Do(func() {
+		if n := 4 * len(k.all); n > 0 && n <= cornerTableMaxCorners {
+			k.corners = buildCornerTable(k)
+		}
+	})
+	return k.corners
+}
+
+func buildCornerTable(k *Kernel) *CornerTable {
+	n := 4 * len(k.all)
+	pts := make([]geom.Point, n)
+	for id := range k.all {
+		v := k.all[id].Vertices()
+		copy(pts[4*id:], v[:])
+	}
+	t := &CornerTable{n: n, offsets: make([]int32, n*n+1)}
+	ids := make([]int32, 0, 4*n)
+	for i := 0; i < n; i++ {
+		pi := pts[i]
+		row := i * n
+		for j := 0; j < n; j++ {
+			if j != i {
+				pj := pts[j]
+				dx, dy := pj.X-pi.X, pj.Y-pi.Y
+				ids = k.AppendBlockers(ids, pi.X, pi.Y, pj.X, pj.Y,
+					geom.SegLen(dx, dy, dx*dx+dy*dy))
+			}
+			t.offsets[row+j+1] = int32(len(ids))
+		}
+	}
+	t.ids = ids
+	return t
+}

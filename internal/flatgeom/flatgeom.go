@@ -1,0 +1,54 @@
+// Package flatgeom is the flat-memory geometry kernel behind the query
+// engine's visibility tests. It stores the obstacle set of one MVCC version
+// as struct-of-arrays data — obstacle rectangles flattened into []float64
+// quads, reordered so that each BVH leaf scans a contiguous slab — and
+// serves the two obstacle-set queries the visibility graph issues on its
+// hot path: "does any loaded obstacle block this sight line?" and "which
+// loaded obstacles intersect this window?".
+//
+// A Kernel is immutable and shared read-only by every query (and every
+// batch worker) running against its version: per-query state is reduced to
+// a Marks array recording which obstacles the query has loaded so far,
+// giving O(1) per-query setup where the previous design built and filled a
+// fresh R-tree per query. Obstacle insertions extend a kernel by appending
+// to a small linear tail; the BVH is only rebuilt when the tail outgrows
+// rebuildTail, so mutation-heavy workloads amortize the build.
+//
+// Exactness: BVH traversal prunes with the same Eps-padded predicates as
+// the R-tree it replaces (geom.ClipSeg for sight lines, geom.Rect
+// .Intersects for windows), and leaves decide with the exact
+// geom.BlocksSegLen / Intersects kernels, so verdicts and result sets are
+// identical to a linear scan over the loaded obstacles.
+package flatgeom
+
+// Marks is a generation-stamped membership set over obstacle IDs. Reset is
+// O(1) (a generation bump), so a pooled query can clear its loaded set once
+// per query without touching the array.
+type Marks struct {
+	gen []uint32
+	cur uint32
+}
+
+// Reset empties the set and sizes it for obstacle IDs [0, n).
+func (m *Marks) Reset(n int) {
+	if cap(m.gen) < n {
+		m.gen = make([]uint32, n)
+		m.cur = 1
+		return
+	}
+	m.gen = m.gen[:n]
+	m.cur++
+	if m.cur == 0 { // generation wrap: invalidate every stale stamp
+		clear(m.gen)
+		m.cur = 1
+	}
+}
+
+// Set adds id to the set.
+func (m *Marks) Set(id int32) { m.gen[id] = m.cur }
+
+// Has reports whether id is in the set.
+func (m *Marks) Has(id int32) bool { return m.gen[id] == m.cur }
+
+// Len returns the capacity of the ID space (not the number of set marks).
+func (m *Marks) Len() int { return len(m.gen) }

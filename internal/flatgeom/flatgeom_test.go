@@ -1,0 +1,147 @@
+package flatgeom
+
+import (
+	"math/rand"
+	"testing"
+
+	"connquery/internal/geom"
+)
+
+func randRects(rng *rand.Rand, n int) []geom.Rect {
+	out := make([]geom.Rect, n)
+	for i := range out {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		out[i] = geom.Rect{MinX: x, MinY: y, MaxX: x + rng.Float64()*40 + 0.01, MaxY: y + rng.Float64()*40 + 0.01}
+	}
+	return out
+}
+
+// markSubset marks a random subset and returns the marked obstacles (brute
+// reference set).
+func markSubset(rng *rand.Rand, m *Marks, obstacles []geom.Rect) []geom.Rect {
+	m.Reset(len(obstacles))
+	var loaded []geom.Rect
+	for i, r := range obstacles {
+		if rng.Intn(3) != 0 {
+			m.Set(int32(i))
+			loaded = append(loaded, r)
+		}
+	}
+	return loaded
+}
+
+func TestKernelBlockedMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 30; round++ {
+		obstacles := randRects(rng, rng.Intn(300))
+		base := obstacles
+		if round%3 == 1 && len(obstacles) > 10 { // exercise the linear tail
+			base = obstacles[:len(obstacles)-10]
+		}
+		k := NewKernel(base)
+		if len(base) < len(obstacles) {
+			k = k.Extend(obstacles)
+		}
+		var m Marks
+		loaded := markSubset(rng, &m, obstacles)
+		for i := 0; i < 300; i++ {
+			a := geom.Pt(rng.Float64()*1100-50, rng.Float64()*1100-50)
+			b := geom.Pt(rng.Float64()*1100-50, rng.Float64()*1100-50)
+			s := geom.Seg(a, b)
+			want := false
+			for _, r := range loaded {
+				if r.BlocksSegment(s) {
+					want = true
+					break
+				}
+			}
+			got := k.Blocked(&m, a.X, a.Y, b.X, b.Y, s.Length())
+			if got != want {
+				t.Fatalf("round %d: Blocked(%v)=%v, brute=%v (|O|=%d, tail=%d)",
+					round, s, got, want, len(obstacles), len(obstacles)-k.base)
+			}
+		}
+	}
+}
+
+func TestKernelAppendIntersectingMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for round := 0; round < 30; round++ {
+		obstacles := randRects(rng, rng.Intn(300))
+		k := NewKernel(obstacles)
+		var m Marks
+		loaded := markSubset(rng, &m, obstacles)
+		for i := 0; i < 200; i++ {
+			x, y := rng.Float64()*1000, rng.Float64()*1000
+			w := geom.Rect{MinX: x, MinY: y, MaxX: x + rng.Float64()*200, MaxY: y + rng.Float64()*200}
+			want := map[geom.Rect]int{}
+			for _, r := range loaded {
+				if r.Intersects(w) {
+					want[r]++
+				}
+			}
+			got := k.AppendIntersecting(nil, &m, w)
+			gotSet := map[geom.Rect]int{}
+			for _, r := range got {
+				gotSet[r]++
+			}
+			if len(gotSet) != len(want) {
+				t.Fatalf("round %d: AppendIntersecting(%v) returned %d distinct rects, brute %d",
+					round, w, len(gotSet), len(want))
+			}
+			for r, c := range want {
+				if gotSet[r] != c {
+					t.Fatalf("round %d: rect %v count %d vs brute %d", round, r, gotSet[r], c)
+				}
+			}
+		}
+	}
+}
+
+func TestMarksGenerationReset(t *testing.T) {
+	var m Marks
+	m.Reset(4)
+	m.Set(2)
+	if !m.Has(2) || m.Has(1) {
+		t.Fatal("basic set/has broken")
+	}
+	m.Reset(4)
+	if m.Has(2) {
+		t.Fatal("Reset did not clear marks")
+	}
+	// Force a generation wrap and confirm stale stamps do not resurrect.
+	m.Set(1)
+	m.cur = ^uint32(0)
+	m.gen[3] = m.cur // stale stamp that would collide after wrap
+	m.Reset(4)
+	if m.Has(1) || m.Has(3) {
+		t.Fatal("generation wrap resurrected stale marks")
+	}
+}
+
+func TestKernelExtendShares(t *testing.T) {
+	obstacles := randRects(rand.New(rand.NewSource(9)), 500)
+	k := NewKernel(obstacles[:400])
+	small := k.Extend(obstacles[:420])
+	if small.bvh != k.bvh || small.base != 400 {
+		t.Fatal("small extension should share the BVH")
+	}
+	big := small.Extend(obstacles)
+	if big.bvh == k.bvh || big.base != 500 {
+		t.Fatal("large extension should rebuild the BVH")
+	}
+}
+
+// TestBVHBuildAllocBudget pins the allocation cost of a per-version BVH
+// build: a handful of slab allocations, independent of obstacle count.
+func TestBVHBuildAllocBudget(t *testing.T) {
+	obstacles := randRects(rand.New(rand.NewSource(10)), 2000)
+	allocs := testing.AllocsPerRun(10, func() {
+		NewKernel(obstacles)
+	})
+	// quads + ids + nodes + the Kernel itself; anything beyond ~16 means a
+	// per-obstacle or per-split allocation crept in.
+	if allocs > 16 {
+		t.Fatalf("kernel build allocates %v times; budget is 16", allocs)
+	}
+}

@@ -61,6 +61,17 @@ func Dist(a, b Point) float64 {
 	return math.Sqrt(d2)
 }
 
+// SegLen returns the length of the vector (dx, dy) given d2 = dx*dx + dy*dy.
+// It is bit-identical to Dist between the endpoints that produced (dx, dy),
+// including the overflow fallback, so hot paths that already hold d2 can
+// share one square root with code that calls Dist.
+func SegLen(dx, dy, d2 float64) float64 {
+	if math.IsInf(d2, 1) {
+		return math.Hypot(dx, dy)
+	}
+	return math.Sqrt(d2)
+}
+
 // Dist2 returns the squared Euclidean distance between a and b.
 func Dist2(a, b Point) float64 {
 	dx, dy := a.X-b.X, a.Y-b.Y

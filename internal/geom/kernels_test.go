@@ -1,0 +1,63 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randKernelRect biases toward degenerate and sliver rectangles so the
+// equivalence checks exercise the tolerance branches.
+func randKernelRect(rng *rand.Rand) Rect {
+	x, y := rng.Float64()*100-50, rng.Float64()*100-50
+	var w, h float64
+	switch rng.Intn(4) {
+	case 0:
+		w, h = rng.Float64()*40, rng.Float64()*40
+	case 1:
+		w, h = rng.Float64()*1e-8, rng.Float64()*40
+	case 2:
+		w, h = rng.Float64()*40, rng.Float64()*1e-8
+	default:
+		w, h = 0, 0
+	}
+	return Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h}
+}
+
+func randKernelSegment(rng *rand.Rand, r Rect) Segment {
+	pt := func() Point {
+		switch rng.Intn(3) {
+		case 0: // near or on the rectangle boundary
+			v := r.Vertices()[rng.Intn(4)]
+			return Point{v.X + (rng.Float64()-0.5)*1e-8, v.Y + (rng.Float64()-0.5)*1e-8}
+		case 1: // inside-ish
+			return Point{r.MinX + rng.Float64()*(r.Width()+1e-12), r.MinY + rng.Float64()*(r.Height()+1e-12)}
+		default:
+			return Point{rng.Float64()*120 - 60, rng.Float64()*120 - 60}
+		}
+	}
+	return Segment{A: pt(), B: pt()}
+}
+
+// TestScalarKernelsMatchRectMethods proves the flat-argument kernels return
+// bit-identical verdicts to the Rect methods they were extracted from; the
+// SoA geometry paths rely on this equivalence for exactness.
+func TestScalarKernelsMatchRectMethods(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200000; i++ {
+		r := randKernelRect(rng)
+		s := randKernelSegment(rng, r)
+
+		t0m, t1m, okm := r.ClipSegment(s)
+		t0k, t1k, okk := ClipSeg(r.MinX, r.MinY, r.MaxX, r.MaxY, s.A.X, s.A.Y, s.B.X, s.B.Y)
+		if okm != okk || t0m != t0k || t1m != t1k {
+			t.Fatalf("ClipSeg diverges from ClipSegment for r=%v s=%v: (%v,%v,%v) vs (%v,%v,%v)",
+				r, s, t0m, t1m, okm, t0k, t1k, okk)
+		}
+
+		want := r.BlocksSegment(s)
+		got := BlocksSegLen(r.MinX, r.MinY, r.MaxX, r.MaxY, s.A.X, s.A.Y, s.B.X, s.B.Y, s.Length())
+		if want != got {
+			t.Fatalf("BlocksSegLen diverges from BlocksSegment for r=%v s=%v: %v vs %v", r, s, want, got)
+		}
+	}
+}

@@ -198,33 +198,32 @@ func (r Rect) IntersectsSegment(s Segment) bool {
 
 // ClipSegment computes the parameter range [t0, t1] of s that lies inside
 // the closed rectangle r (Liang-Barsky). ok is false when s misses r.
-// This predicate dominates visibility-graph maintenance, so the slab
-// updates are written out inline.
 func (r Rect) ClipSegment(s Segment) (t0, t1 float64, ok bool) {
-	t0, t1 = 0, 1
-	d := s.B.X - s.A.X
-	if d > Eps || d < -Eps {
-		ta := (r.MinX - s.A.X) / d
-		tb := (r.MaxX - s.A.X) / d
-		if ta > tb {
-			ta, tb = tb, ta
-		}
-		if ta > t0 {
-			t0 = ta
-		}
-		if tb < t1 {
-			t1 = tb
-		}
-		if t0 > t1+Eps {
-			return 0, 0, false
-		}
-	} else if s.A.X < r.MinX-Eps || s.A.X > r.MaxX+Eps {
+	return ClipSeg(r.MinX, r.MinY, r.MaxX, r.MaxY, s.A.X, s.A.Y, s.B.X, s.B.Y)
+}
+
+// ClipSeg is the scalar kernel behind Rect.ClipSegment: it clips the segment
+// (ax, ay)-(bx, by) against the closed rectangle [minX, maxX] x [minY, maxY]
+// (Liang-Barsky). This predicate dominates visibility-graph maintenance, so
+// flat-memory callers (the occlusion index, the obstacle BVH) invoke it on
+// raw coordinates without materializing Rect or Segment values; the slab
+// updates are written out inline.
+func ClipSeg(minX, minY, maxX, maxY, ax, ay, bx, by float64) (t0, t1 float64, ok bool) {
+	// Box-separation fast reject, division-free. It never changes the
+	// verdict: with both endpoints beyond a slab by more than Eps, the slab
+	// pass below either rejects outright (degenerate axis) or drives t0
+	// strictly past 1 while t1 never exceeds 1, so the final t0 > t1 check
+	// rejects. Most sight lines tested against an obstacle set miss most
+	// obstacles, making this the common path.
+	if (ax < minX-Eps && bx < minX-Eps) || (ax > maxX+Eps && bx > maxX+Eps) ||
+		(ay < minY-Eps && by < minY-Eps) || (ay > maxY+Eps && by > maxY+Eps) {
 		return 0, 0, false
 	}
-	d = s.B.Y - s.A.Y
+	t0, t1 = 0, 1
+	d := bx - ax
 	if d > Eps || d < -Eps {
-		ta := (r.MinY - s.A.Y) / d
-		tb := (r.MaxY - s.A.Y) / d
+		ta := (minX - ax) / d
+		tb := (maxX - ax) / d
 		if ta > tb {
 			ta, tb = tb, ta
 		}
@@ -237,7 +236,26 @@ func (r Rect) ClipSegment(s Segment) (t0, t1 float64, ok bool) {
 		if t0 > t1+Eps {
 			return 0, 0, false
 		}
-	} else if s.A.Y < r.MinY-Eps || s.A.Y > r.MaxY+Eps {
+	} else if ax < minX-Eps || ax > maxX+Eps {
+		return 0, 0, false
+	}
+	d = by - ay
+	if d > Eps || d < -Eps {
+		ta := (minY - ay) / d
+		tb := (maxY - ay) / d
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		if ta > t0 {
+			t0 = ta
+		}
+		if tb < t1 {
+			t1 = tb
+		}
+		if t0 > t1+Eps {
+			return 0, 0, false
+		}
+	} else if ay < minY-Eps || ay > maxY+Eps {
 		return 0, 0, false
 	}
 	if t0 > t1 {
@@ -263,4 +281,25 @@ func (r Rect) BlocksSegment(s Segment) bool {
 	// The chord of a convex region lies inside it; its midpoint is strictly
 	// interior unless the chord runs along the boundary.
 	return r.ContainsOpen(s.At((t0 + t1) / 2))
+}
+
+// BlocksSegLen is the scalar kernel behind Rect.BlocksSegment for callers
+// that already know the segment's length: segLen must equal
+// Dist((ax,ay), (bx,by)). Hot loops test one sight line against many
+// obstacles, so hoisting the square root out of the per-obstacle test is
+// worth the extra parameter. The verdict is bit-identical to BlocksSegment
+// because every arithmetic step below mirrors it exactly.
+func BlocksSegLen(minX, minY, maxX, maxY, ax, ay, bx, by, segLen float64) bool {
+	t0, t1, ok := ClipSeg(minX, minY, maxX, maxY, ax, ay, bx, by)
+	if !ok {
+		return false
+	}
+	if (t1-t0)*segLen <= Eps*10 {
+		return false
+	}
+	tm := (t0 + t1) / 2
+	mx := ax + tm*(bx-ax)
+	my := ay + tm*(by-ay)
+	return minX+Eps < mx && mx < maxX-Eps &&
+		minY+Eps < my && my < maxY-Eps
 }

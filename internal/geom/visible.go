@@ -64,23 +64,39 @@ func VisibleSpansInto(spans []Span, cuts []float64, v Point, q Segment, obstacle
 		return spans, cuts
 	}
 	cuts = append(cuts[:0], 0, 1)
+	// The sight-ray intersections below are LineLineIntersect(ray, q) with
+	// the q-dependent factors hoisted out of the vertex loop; every
+	// intermediate is computed with the same operations in the same order,
+	// so the cut parameters are bit-identical to the method calls.
+	qdx, qdy := q.B.X-q.A.X, q.B.Y-q.A.Y
+	qNorm := math.Hypot(qdx, qdy)
+	wvx, wvy := q.A.X-v.X, q.A.Y-v.Y
 	for _, o := range obstacles {
 		for _, w := range o.Vertices() {
 			// Sight ray from v through the obstacle corner w, extended to the
 			// supporting line of q.
-			ray := Segment{v, w}
-			if ray.Degenerate() {
-				continue
+			rdx, rdy := w.X-v.X, w.Y-v.Y
+			if rdx*rdx+rdy*rdy <= Eps*Eps {
+				continue // degenerate ray
 			}
-			tRay, tQ, ok := LineLineIntersect(ray, q)
-			if !ok {
-				continue
+			den := rdx*qdy - rdy*qdx
+			// Parallel pre-screen without the Hypot: |rdx|+|rdy| >= hypot
+			// in real arithmetic, and scaling it up by 1e-6 absorbs the few
+			// ulps of rounding slack in either computation, so the padded
+			// threshold dominates the exact one (FP add/mul are monotone).
+			// A denominator above it can never be classified parallel; only
+			// the rare near-parallel ray pays the exact check below.
+			if ad := math.Abs(den); ad <= Eps*(1+(math.Abs(rdx)+math.Abs(rdy))*1.000001*qNorm) {
+				scale := math.Hypot(rdx, rdy) * qNorm
+				if ad <= Eps*(1+scale) {
+					continue // (numerically) parallel
+				}
 			}
 			// Only forward intersections can shadow q.
-			if tRay < -Eps {
+			if tRay := (wvx*qdy - wvy*qdx) / den; tRay < -Eps {
 				continue
 			}
-			if tQ > -Eps && tQ < 1+Eps {
+			if tQ := (wvx*rdy - wvy*rdx) / den; tQ > -Eps && tQ < 1+Eps {
 				cuts = append(cuts, clamp01(tQ))
 			}
 		}
@@ -96,7 +112,20 @@ func VisibleSpansInto(spans []Span, cuts []float64, v Point, q Segment, obstacle
 			continue
 		}
 		cell := Span{prev, c}
-		if Visible(v, q.At(cell.Mid()), obstacles) {
+		// Exact midpoint visibility test, with the sight line's length
+		// computed once per cell instead of once per obstacle inside
+		// BlocksSegment (geom.SegLen is bit-identical to Segment.Length).
+		m := q.At(cell.Mid())
+		mdx, mdy := m.X-v.X, m.Y-v.Y
+		segLen := SegLen(mdx, mdy, mdx*mdx+mdy*mdy)
+		vis := true
+		for _, o := range obstacles {
+			if BlocksSegLen(o.MinX, o.MinY, o.MaxX, o.MaxY, v.X, v.Y, m.X, m.Y, segLen) {
+				vis = false
+				break
+			}
+		}
+		if vis {
 			if n := len(spans); n > 0 && cell.Lo-spans[n-1].Hi <= Eps {
 				spans[n-1].Hi = cell.Hi
 			} else {

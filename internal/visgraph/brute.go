@@ -27,8 +27,8 @@ func BruteObstructedDist(a, b geom.Point, obstacles []geom.Rect) float64 {
 		for j := i + 1; j < n; j++ {
 			if geom.Visible(pts[i], pts[j], obstacles) {
 				w := geom.Dist(pts[i], pts[j])
-				adj[i] = append(adj[i], edgeTo{NodeID(j), w})
-				adj[j] = append(adj[j], edgeTo{NodeID(i), w})
+				adj[i] = append(adj[i], edgeTo{to: NodeID(j), w: w})
+				adj[j] = append(adj[j], edgeTo{to: NodeID(i), w: w})
 			}
 		}
 	}

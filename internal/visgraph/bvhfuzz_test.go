@@ -1,0 +1,105 @@
+package visgraph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"connquery/internal/flatgeom"
+	"connquery/internal/geom"
+)
+
+// FuzzBVHBlocksSegment is the differential gate on the flat-geometry
+// kernel's screened visibility tests: for randomized obstacle sets, mark
+// subsets and sight lines — grid-snapped often enough that corner touches,
+// edge-running segments and degenerate (zero-length) sight lines occur —
+// the BVH-screened verdicts must agree with the brute per-obstacle
+// geom.Rect.BlocksSegment loop, the same predicate brute.go's ground-truth
+// oracle applies through geom.Visible. Both kernel regimes are exercised:
+// a fresh BVH over the full set, and an Extend-grown kernel whose linear
+// tail (or rebuilt BVH, past the rebuild bound) must not change a verdict.
+func FuzzBVHBlocksSegment(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(8))  // empty obstacle set
+	f.Add(int64(2), uint8(1), uint8(16)) // single obstacle
+	f.Add(int64(2009), uint8(40), uint8(24))
+	f.Add(int64(42), uint8(120), uint8(24)) // tail past the rebuild bound
+	f.Add(int64(7), uint8(255), uint8(32))
+	f.Fuzz(func(t *testing.T, seed int64, nObs, nSegs uint8) {
+		r := rand.New(rand.NewSource(seed))
+		// Grid-snapped coordinates make touching configurations (segment
+		// along an edge, endpoint on a corner, abutting rectangles) likely
+		// instead of measure-zero.
+		coord := func() float64 {
+			if r.Intn(2) == 0 {
+				return float64(r.Intn(40) * 10)
+			}
+			return r.Float64() * 400
+		}
+		obstacles := make([]geom.Rect, nObs)
+		for i := range obstacles {
+			x, y := coord(), coord()
+			w, h := 1+float64(r.Intn(8))*5, 1+float64(r.Intn(8))*5
+			obstacles[i] = geom.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h}
+		}
+
+		full := flatgeom.NewKernel(obstacles)
+		// Extend-grown twin: BVH over a prefix, the rest as linear tail
+		// (rebuilt wholesale when the tail exceeds the rebuild bound).
+		grown := flatgeom.NewKernel(obstacles[:len(obstacles)/2]).Extend(obstacles)
+
+		var marks flatgeom.Marks
+		marks.Reset(len(obstacles))
+		marked := make([]geom.Rect, 0, len(obstacles))
+		for i := range obstacles {
+			if r.Intn(3) > 0 {
+				marks.Set(int32(i))
+				marked = append(marked, obstacles[i])
+			}
+		}
+
+		for s := 0; s < int(nSegs); s++ {
+			a := geom.Point{X: coord(), Y: coord()}
+			b := geom.Point{X: coord(), Y: coord()}
+			if s%8 == 7 {
+				b = a // degenerate sight line
+			}
+			segLen := geom.Dist(a, b)
+			seg := geom.Segment{A: a, B: b}
+
+			want := false
+			for _, o := range marked {
+				if o.BlocksSegment(seg) {
+					want = true
+					break
+				}
+			}
+			if got := full.Blocked(&marks, a.X, a.Y, b.X, b.Y, segLen); got != want {
+				t.Fatalf("seed %d seg %d: Blocked=%v, brute=%v (a=%v b=%v)", seed, s, got, want, a, b)
+			}
+			if got := grown.Blocked(&marks, a.X, a.Y, b.X, b.Y, segLen); got != want {
+				t.Fatalf("seed %d seg %d: Extend-grown Blocked=%v, brute=%v (a=%v b=%v)", seed, s, got, want, a, b)
+			}
+
+			// AppendBlockers covers the whole ID space, marked or not; the
+			// BVH emits in traversal order, so compare as sets.
+			var wantIDs []int32
+			for i, o := range obstacles {
+				if o.BlocksSegment(seg) {
+					wantIDs = append(wantIDs, int32(i))
+				}
+			}
+			for _, k := range []*flatgeom.Kernel{full, grown} {
+				got := k.AppendBlockers(nil, a.X, a.Y, b.X, b.Y, segLen)
+				sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+				if len(got) != len(wantIDs) {
+					t.Fatalf("seed %d seg %d: AppendBlockers returned %d IDs, brute %d", seed, s, len(got), len(wantIDs))
+				}
+				for i := range got {
+					if got[i] != wantIDs[i] {
+						t.Fatalf("seed %d seg %d: AppendBlockers[%d]=%d, brute %d", seed, s, i, got[i], wantIDs[i])
+					}
+				}
+			}
+		}
+	})
+}

@@ -27,20 +27,59 @@ import (
 // Directions are measured with a pseudo-angle — a cheap monotone bijection
 // of atan2 onto (-2, 2] — so containment tests are exact in pseudo space
 // and no trigonometry runs on the hot path.
+//
+// Two layout choices keep the per-candidate screen at a few cache lines.
+// Entries are stored struct-of-records inside each bucket (one contiguous
+// slab per bucket), so a bucket scan streams sequentially instead of
+// gathering from three parallel arrays. And every bucket whose whole arc
+// lies strictly inside some obstacle's angular interval records the
+// nearest such cover: a candidate farther than the cover's farthest corner
+// is provably behind it, so one exact test against the cover usually
+// answers "blocked" without scanning the bucket at all (if that test comes
+// back false — possible only in epsilon-grazing cases — the scan still
+// runs, so the verdict stays exact).
 type occIndex struct {
-	centers    []float64 // pseudo-angle interval center per entry
-	halfWidths []float64 // pseudo-angle interval half-width (padded) per entry
-	minDist2   []float64 // squared mindist(p, obstacle) per entry
-	obs        []int32   // obstacle index per entry
-	always     []int32   // obstacles tested unconditionally
-	buckets    [occBuckets][]int32
-	p          geom.Point
+	buckets [occBuckets][]occEntry
+	far     [occBuckets]occFar
+	always  []occAlways
+	entries int // total bucket entries; 0 means only the always list matters
+	p       geom.Point
+}
+
+// occEntry is one obstacle's screening record, replicated into every bucket
+// its padded angular interval overlaps.
+type occEntry struct {
+	minDist2  float64 // squared mindist(p, obstacle), clamped per axis
+	center    float64 // pseudo-angle interval center
+	halfWidth float64 // pseudo-angle interval half-width (padded)
+	obs       int32   // obstacle index for the exact test
+	_         int32
+}
+
+// occFar is a bucket's nearest full cover: an obstacle whose angular
+// interval contains the bucket's whole arc. dist2 is the squared distance
+// to its farthest corner (+Inf when no obstacle covers the bucket).
+type occFar struct {
+	dist2                  float64
+	minX, minY, maxX, maxY float64
+}
+
+// occAlways is an always-test obstacle (its closed rectangle contains p)
+// with the rectangle inlined and p's boundary sides precomputed: when p
+// lies on a boundary line of the rectangle — corner viewpoints always do —
+// any candidate in the same closed half-plane yields a segment that cannot
+// enter the open interior, so the side compare rejects it exactly.
+type occAlways struct {
+	minX, minY, maxX, maxY float64
+	obs                    int32
+	onMinX, onMaxX         bool
+	onMinY, onMaxY         bool
 }
 
 // occBuckets partitions the pseudo-angle range into equal arcs; each bucket
 // lists the entries whose (padded) interval overlaps the arc, so a candidate
 // consults exactly one bucket.
-const occBuckets = 64
+const occBuckets = 128
 
 // occAngEps widens every pseudo-angle interval. Corner and candidate
 // directions use the same exact float map, so only a few ulps of slack are
@@ -83,90 +122,200 @@ func bucketOf(a float64) int {
 // build indexes the obstacle set as seen from p.
 func (oi *occIndex) build(p geom.Point, obstacles []geom.Rect) {
 	oi.p = p
-	oi.centers = oi.centers[:0]
-	oi.halfWidths = oi.halfWidths[:0]
-	oi.minDist2 = oi.minDist2[:0]
-	oi.obs = oi.obs[:0]
 	oi.always = oi.always[:0]
+	oi.entries = 0
 	for b := range oi.buckets {
 		oi.buckets[b] = oi.buckets[b][:0]
+		oi.far[b].dist2 = math.Inf(1)
 	}
 	for i, r := range obstacles {
 		if r.Contains(p) {
-			oi.always = append(oi.always, int32(i))
+			oi.appendAlways(p, r, int32(i))
 			continue
 		}
 		// p lies strictly outside the closed rectangle, so a separating axis
 		// exists and the corner directions span less than half the circle.
-		// Map them into a window centered on the direction to the rectangle's
-		// center; no wraparound is possible inside that window.
-		ref := pseudoAngle((r.MinX+r.MaxX)/2-p.X, (r.MinY+r.MaxY)/2-p.Y)
-		lo, hi := math.Inf(1), math.Inf(-1)
-		for _, c := range r.Vertices() {
-			a := pseudoAngle(c.X-p.X, c.Y-p.Y)
-			// Shift a into (ref-2, ref+2].
-			if a-ref > 2 {
-				a -= 4
-			} else if a-ref <= -2 {
-				a += 4
+		// The extent's two extreme corners (the silhouette) are determined by
+		// which of the nine plane regions p falls in — edge regions see the
+		// near face's corners, diagonal regions the two corners adjacent to
+		// the nearest one — so only two pseudo-angles are computed per
+		// obstacle. Float rounding can misorder directions within an ulp;
+		// occAngEps dwarfs that, keeping the padded interval conservative.
+		x0, x1 := r.MinX-p.X, r.MaxX-p.X
+		y0, y1 := r.MinY-p.Y, r.MaxY-p.Y
+		var c1x, c1y, c2x, c2y float64
+		switch {
+		case x0 > 0: // p strictly left of the rectangle
+			switch {
+			case y0 > 0: // below
+				c1x, c1y, c2x, c2y = x0, y1, x1, y0
+			case y1 < 0: // above
+				c1x, c1y, c2x, c2y = x0, y0, x1, y1
+			default:
+				c1x, c1y, c2x, c2y = x0, y0, x0, y1
 			}
-			lo = math.Min(lo, a)
-			hi = math.Max(hi, a)
+		case x1 < 0: // p strictly right
+			switch {
+			case y0 > 0:
+				c1x, c1y, c2x, c2y = x0, y0, x1, y1
+			case y1 < 0:
+				c1x, c1y, c2x, c2y = x0, y1, x1, y0
+			default:
+				c1x, c1y, c2x, c2y = x1, y0, x1, y1
+			}
+		default: // p horizontally within the rectangle's x-range
+			switch {
+			case y0 > 0:
+				c1x, c1y, c2x, c2y = x0, y0, x1, y0
+			case y1 < 0:
+				c1x, c1y, c2x, c2y = x0, y1, x1, y1
+			default:
+				// Numerically on the boundary despite the Contains check.
+				oi.appendAlways(p, r, int32(i))
+				continue
+			}
 		}
-		if hi-lo >= 2-1e-9 { // defensive: p numerically on the boundary
-			oi.always = append(oi.always, int32(i))
+		a1 := pseudoAngle(c1x, c1y)
+		d := normPseudo(pseudoAngle(c2x, c2y) - a1)
+		if d >= 2-1e-9 || d <= -(2-1e-9) { // defensive: p numerically on the boundary
+			oi.appendAlways(p, r, int32(i))
 			continue
+		}
+		lo, hi := a1, a1+d
+		if d < 0 {
+			lo, hi = a1+d, a1
 		}
 		lo -= occAngEps
 		hi += occAngEps
-		entry := int32(len(oi.obs))
-		oi.centers = append(oi.centers, normPseudo((lo+hi)/2))
-		oi.halfWidths = append(oi.halfWidths, (hi-lo)/2)
-		md := r.DistToPoint(p)
-		oi.minDist2 = append(oi.minDist2, md*md)
-		oi.obs = append(oi.obs, int32(i))
+		// Squared mindist(p, r), clamped per axis. This is dx*dx+dy*dy rather
+		// than DistToPoint's Hypot squared — they differ by ulps at most,
+		// absorbed by the 1e-9 relative slack in blocked's distance screen, and
+		// the screen stays conservative because the exact test still decides.
+		var ddx, ddy float64
+		if x1 < 0 {
+			ddx = -x1
+		} else if x0 > 0 {
+			ddx = x0
+		}
+		if y1 < 0 {
+			ddy = -y1
+		} else if y0 > 0 {
+			ddy = y0
+		}
+		e := occEntry{
+			minDist2:  ddx*ddx + ddy*ddy,
+			center:    normPseudo((lo + hi) / 2),
+			halfWidth: (hi - lo) / 2,
+			obs:       int32(i),
+		}
+		oi.entries++
+		// The farthest corner maximizes each axis delta independently.
+		maxDist2 := math.Max(x0*x0, x1*x1) + math.Max(y0*y0, y1*y1)
 		b0 := bucketOf(lo)
 		steps := (bucketOf(hi) - b0 + occBuckets) % occBuckets
 		for s := 0; s <= steps; s++ {
 			b := (b0 + s) % occBuckets
-			oi.buckets[b] = append(oi.buckets[b], entry)
+			oi.buckets[b] = append(oi.buckets[b], e)
+			// Strictly interior buckets have their whole arc inside [lo, hi]:
+			// the interval fully covers them, so record the nearest cover.
+			if s > 0 && s < steps && maxDist2 < oi.far[b].dist2 {
+				oi.far[b] = occFar{maxDist2, r.MinX, r.MinY, r.MaxX, r.MaxY}
+			}
 		}
 	}
 }
 
-// blocked reports whether any obstacle blocks the sight line s (s.A must be
-// the build viewpoint). Exact: it returns BlocksSegment's verdict for every
-// obstacle that survives the conservative angular and distance screens.
-func (oi *occIndex) blocked(s geom.Segment, obstacles []geom.Rect) bool {
-	for _, i := range oi.always {
-		if obstacles[i].BlocksSegment(s) {
+func (oi *occIndex) appendAlways(p geom.Point, r geom.Rect, id int32) {
+	oi.always = append(oi.always, occAlways{
+		minX: r.MinX, minY: r.MinY, maxX: r.MaxX, maxY: r.MaxY,
+		obs:    id,
+		onMinX: p.X <= r.MinX, onMaxX: p.X >= r.MaxX,
+		onMinY: p.Y <= r.MinY, onMaxY: p.Y >= r.MaxY,
+	})
+}
+
+// blocked reports whether any obstacle blocks the sight line from the build
+// viewpoint to q, where (dx, dy) = q - viewpoint and d2 = dx*dx + dy*dy.
+// Exact: it returns BlocksSegment's verdict for every obstacle that survives
+// the conservative angular and distance screens.
+//
+// segLen caches the sight line's length across exact tests: callers pass a
+// negative value, the first exact test that needs the length fills in
+// geom.SegLen(dx, dy, d2) — bit-identical to Segment.Length — and callers
+// that go on to need the length (as an edge weight) reuse it, so one square
+// root per candidate is shared between screening and edge construction.
+func (oi *occIndex) blocked(q geom.Point, dx, dy, d2 float64, segLen *float64, obstacles []geom.Rect) bool {
+	p := oi.p
+	for i := range oi.always {
+		a := &oi.always[i]
+		// Same closed half-plane as p along a boundary p sits on: the whole
+		// segment stays on that side, so it cannot enter the open interior.
+		if (a.onMinX && q.X <= a.minX) || (a.onMaxX && q.X >= a.maxX) ||
+			(a.onMinY && q.Y <= a.minY) || (a.onMaxY && q.Y >= a.maxY) {
+			continue
+		}
+		if blocksLazy(a.minX, a.minY, a.maxX, a.maxY, p, q, dx, dy, d2, segLen) {
 			return true
 		}
 	}
-	if len(oi.obs) == 0 {
+	if oi.entries == 0 {
 		return false
 	}
-	dx, dy := s.B.X-s.A.X, s.B.Y-s.A.Y
-	d2 := dx*dx + dy*dy
 	if d2 == 0 {
 		// Coincident endpoints: only an obstacle containing the point could
 		// "block", and those are all in the always list.
 		return false
 	}
 	theta := pseudoAngle(dx, dy)
-	for _, e := range oi.buckets[bucketOf(theta)] {
+	b := bucketOf(theta)
+	if far := &oi.far[b]; d2 > far.dist2 {
+		// The candidate lies strictly beyond every corner of an obstacle whose
+		// angular interval covers this whole bucket, so the sight line crosses
+		// its interior: one exact test almost always settles it. A false here
+		// (epsilon-grazing chord) just falls through to the full scan.
+		if blocksLazy(far.minX, far.minY, far.maxX, far.maxY, p, q, dx, dy, d2, segLen) {
+			return true
+		}
+	}
+	limit := d2*(1+1e-9) + 1e-18
+	bucket := oi.buckets[b]
+	for i := range bucket {
+		e := &bucket[i]
 		// A blocker's crossing point lies on the segment, so its distance —
 		// at least mindist(p, o) — cannot exceed |pv|. The relative slack
 		// keeps borderline (grazing) obstacles in the exact test.
-		if oi.minDist2[e] > d2*(1+1e-9)+1e-18 {
+		if e.minDist2 > limit {
 			continue
 		}
-		if math.Abs(normPseudo(theta-oi.centers[e])) > oi.halfWidths[e] {
+		if math.Abs(normPseudo(theta-e.center)) > e.halfWidth {
 			continue
 		}
-		if obstacles[oi.obs[e]].BlocksSegment(s) {
+		r := &obstacles[e.obs]
+		if blocksLazy(r.MinX, r.MinY, r.MaxX, r.MaxY, p, q, dx, dy, d2, segLen) {
 			return true
 		}
 	}
 	return false
+}
+
+// blocksLazy is Rect.BlocksSegment for the sight line p-q with the square
+// root deferred: most tests reject at the clip stage and never pay for the
+// length. The verdict is bit-identical to BlocksSegment (the midpoint uses
+// p + t*(q-p) with the same deltas, and geom.SegLen equals Segment.Length).
+func blocksLazy(minX, minY, maxX, maxY float64, p, q geom.Point, dx, dy, d2 float64, segLen *float64) bool {
+	t0, t1, ok := geom.ClipSeg(minX, minY, maxX, maxY, p.X, p.Y, q.X, q.Y)
+	if !ok {
+		return false
+	}
+	if *segLen < 0 {
+		*segLen = geom.SegLen(dx, dy, d2)
+	}
+	if (t1-t0)*(*segLen) <= geom.Eps*10 {
+		return false
+	}
+	tm := (t0 + t1) / 2
+	mx := p.X + tm*dx
+	my := p.Y + tm*dy
+	return minX+geom.Eps < mx && mx < maxX-geom.Eps &&
+		minY+geom.Eps < my && my < maxY-geom.Eps
 }

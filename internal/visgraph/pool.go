@@ -1,0 +1,108 @@
+package visgraph
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// WorkerPool fans the embarrassingly parallel inner loops of one query —
+// candidate sight-line batches in AddObstacleIDs and visible-region
+// prefetch in CPLC — across a fixed set of goroutines. The calling
+// goroutine participates as worker 0, so a pool of n keeps n-1 background
+// goroutines; they block on a job channel between Run calls and exit on
+// Close. A pool serves one query at a time: Run calls must not overlap, and
+// the job callback must confine its writes to per-item result slots and
+// per-worker scratch (the pool provides the indexes, the caller the
+// storage), which is what makes the fan-out race-free by construction.
+type WorkerPool struct {
+	n    int
+	jobs chan *poolJob
+	wg   sync.WaitGroup
+}
+
+// poolJob is one Run invocation: items [0, n) are handed out by an atomic
+// cursor so the lanes stay busy regardless of per-item cost skew.
+type poolJob struct {
+	fn       func(worker, item int)
+	n        int
+	next     atomic.Int64
+	done     sync.WaitGroup
+	panicked atomic.Value // holds a panicValue
+}
+
+// panicValue wraps a recovered panic payload so every atomic.Value store
+// uses one concrete type regardless of what the lanes panicked with.
+type panicValue struct{ v any }
+
+// NewWorkerPool starts a pool of n lanes (n-1 goroutines plus the caller).
+// n must be at least 2 — a 1-lane pool is the sequential path, which
+// callers select by not building a pool at all.
+func NewWorkerPool(n int) *WorkerPool {
+	if n < 2 {
+		panic("visgraph: NewWorkerPool needs at least 2 workers")
+	}
+	p := &WorkerPool{n: n, jobs: make(chan *poolJob, n-1)}
+	for w := 1; w < n; w++ {
+		p.wg.Add(1)
+		go func(w int) {
+			defer p.wg.Done()
+			for j := range p.jobs {
+				j.run(w)
+				j.done.Done()
+			}
+		}(w)
+	}
+	return p
+}
+
+// Workers returns the pool width, including the calling goroutine's lane.
+func (p *WorkerPool) Workers() int { return p.n }
+
+// Run invokes fn(worker, item) for every item in [0, n) across the pool and
+// returns when all items are done. worker identifies the executing lane for
+// per-worker scratch selection; the caller runs as worker 0. A panic in any
+// lane is re-raised here after the job drains.
+func (p *WorkerPool) Run(n int, fn func(worker, item int)) {
+	if n <= 0 {
+		return
+	}
+	j := &poolJob{fn: fn, n: n}
+	helpers := p.n - 1
+	if helpers > n-1 {
+		helpers = n - 1 // never wake more lanes than there are items beyond ours
+	}
+	j.done.Add(helpers)
+	for i := 0; i < helpers; i++ {
+		p.jobs <- j
+	}
+	j.run(0)
+	j.done.Wait()
+	if r := j.panicked.Load(); r != nil {
+		panic(r.(panicValue).v)
+	}
+}
+
+func (j *poolJob) run(w int) {
+	defer func() {
+		if r := recover(); r != nil {
+			// First panic wins — one is enough to report.
+			j.panicked.CompareAndSwap(nil, panicValue{r})
+			// Drain the cursor so sibling lanes (and Run) finish promptly.
+			j.next.Store(int64(j.n))
+		}
+	}()
+	for {
+		i := int(j.next.Add(1)) - 1
+		if i >= j.n {
+			return
+		}
+		j.fn(w, i)
+	}
+}
+
+// Close shuts the background lanes down and waits for them to exit. The
+// pool must be idle (no Run in flight).
+func (p *WorkerPool) Close() {
+	close(p.jobs)
+	p.wg.Wait()
+}

@@ -118,7 +118,12 @@ func pointBox(p Point) Rect {
 func (db *DB) mutateTree(v, nv *version, kind rtree.Kind, fn func(*rtree.Tree) bool) bool {
 	old := v.eng
 	eng := &core.Engine{
-		Obstacles:   nv.obstacles,
+		Obstacles: nv.obstacles,
+		// The kernel is shared when the obstacle slice did not grow (point
+		// mutations, deletions — tombstoned obstacles stay in the kernel
+		// harmlessly, queries never mark them) and extended otherwise;
+		// Extend itself shares the BVH until the appended tail outgrows it.
+		Kernel:      old.Kernel.Extend(nv.obstacles),
 		Opts:        db.cfg.tuning,
 		Epoch:       nv.epoch,
 		States:      db.states,

@@ -141,8 +141,13 @@ func WithNoCache() QueryOption {
 // EDistanceJoinRequest, DistanceSemiJoinRequest, TrajectoryRequest) on a
 // bounded pool of n workers, each with its own engine view — shared
 // immutable indexes, private page counters, private (optional) LRU buffer
-// and private warm query state. n <= 0 selects GOMAXPROCS. Single-item
-// requests ignore the option.
+// and private warm query state. For single-item requests it instead engages
+// intra-query parallelism: the candidate sight-line batches of obstacle
+// insertion and CPLC's per-candidate visible-region computation fan across
+// a pool of n lanes inside the one execution, with the answer — payload and
+// NPE/NOE/|SVG| metrics — bit-identical to the sequential path. n <= 0
+// selects GOMAXPROCS, so on a single-CPU machine the option resolves to the
+// sequential path; absent the option, execution is always sequential.
 func WithWorkers(n int) QueryOption {
 	return func(o *execOptions) { o.workers = n; o.hasWork = true }
 }
@@ -286,6 +291,16 @@ func (db *DB) execAt(ctx context.Context, req Request, v *version, xo *execOptio
 	if xo.tuning != nil {
 		tuning = xo.tuning.toCore()
 	}
+	// WithWorkers on a single-item request engages the intra-query pool via
+	// the engine options; multi-item requests run their own inter-query pool
+	// instead, and their worker engines zero this field (workerEngine).
+	if xo.hasWork {
+		if n := xo.workers; n > 0 {
+			tuning.Workers = n
+		} else {
+			tuning.Workers = runtime.GOMAXPROCS(0)
+		}
+	}
 	if tuning.DisableVGReuse && v.eng.OneTree() {
 		return nil, errors.New("connquery: DisableVGReuse is incompatible with WithOneTree")
 	}
@@ -314,12 +329,13 @@ func (db *DB) execAt(ctx context.Context, req Request, v *version, xo *execOptio
 	// view — same trees, same page counters, so accounting is unchanged — is
 	// built only when this call needs private Opts or a cancellation hook.
 	eng := v.eng
-	if cancel != nil || xo.tuning != nil {
+	if cancel != nil || xo.tuning != nil || tuning.Workers > 1 {
 		eng = &core.Engine{
 			Data:        v.eng.Data,
 			Obst:        v.eng.Obst,
 			Unified:     v.eng.Unified,
 			Obstacles:   v.eng.Obstacles,
+			Kernel:      v.eng.Kernel,
 			Opts:        tuning,
 			Epoch:       v.epoch,
 			States:      v.eng.States,
@@ -361,6 +377,7 @@ func (x *execution) guarded(req Request) (value any, m Metrics, err error) {
 func (x *execution) workerEngine() *core.Engine {
 	cfg := x.db.cfg
 	cfg.tuning = x.opts
+	cfg.tuning.Workers = 0 // the pool parallelizes across items already
 	eng, _, _ := viewEngine(x.v, cfg, nil)
 	eng.Cancel = x.cancel
 	return eng
