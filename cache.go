@@ -329,6 +329,69 @@ func impactRegion(req Request, value any) anscache.Region {
 	return anscache.Everywhere() // unknown payload: only blanket safety remains
 }
 
+// requestBaseBox returns the bounding box of a request's own query geometry
+// (segments, centers, waypoints), independent of the answer. It is the seed
+// of the retrieval footprint: every object an execution consults lies within
+// Metrics.Reach of this box. Empty (inverted) for zero-query requests.
+func requestBaseBox(req Request) geom.Rect {
+	switch r := req.(type) {
+	case CONNRequest:
+		return segBox(r.Seg)
+	case COkNNRequest:
+		return segBox(r.Seg)
+	case CNNRequest:
+		return segBox(r.Seg)
+	case NaiveCONNRequest:
+		return segBox(r.Seg)
+	case ONNRequest:
+		return geom.RectFromPoints(r.P)
+	case VisibleKNNRequest:
+		return geom.RectFromPoints(r.P)
+	case RangeRequest:
+		return geom.RectFromPoints(r.Center)
+	case DistanceRequest:
+		return geom.RectFromPoints(r.A, r.B)
+	case TrajectoryRequest:
+		return geom.RectFromPoints(r.Waypoints...)
+	case CONNBatchRequest:
+		box := geom.RectFromPoints()
+		for _, s := range r.Segs {
+			box = box.Union(segBox(s))
+		}
+		return box
+	case EDistanceJoinRequest:
+		return geom.RectFromPoints(r.Queries...)
+	case DistanceSemiJoinRequest:
+		return geom.RectFromPoints(r.Queries...)
+	case ClosestPairRequest:
+		return geom.RectFromPoints(r.Queries...)
+	}
+	return anscache.InfiniteRect() // unknown request: no footprint bound
+}
+
+// widenRegion unions an answer's impact region with its retrieval footprint
+// (the request's base box inflated by the execution's reach), making cache
+// entries trace-exact: a mutation that survives invalidation lies outside
+// everything the execution consulted, so a fresh run at the promoted epoch
+// retrieves the same object sequence and reproduces not just the payload
+// but the NPE/NOE/|SVG|/Reach metrics bit for bit. The sharded tier's
+// differential guarantee rests on this: cached and freshly executed answers
+// are indistinguishable, wherever (single node, shard, or shard-union
+// mirror) they were produced.
+func widenRegion(rg anscache.Region, req Request, reach float64) anscache.Region {
+	if !rg.Points && !rg.Obstacles {
+		return rg // Nothing: zero-query answers consult no objects
+	}
+	if math.IsInf(reach, 1) {
+		rg.Rect = anscache.InfiniteRect()
+		return rg
+	}
+	if bb := requestBaseBox(req); !bb.Empty() {
+		rg.Rect = rg.Rect.Union(bb.Buffer(reach))
+	}
+	return rg
+}
+
 // knnRadius is the invalidation radius of a k-nearest answer: the k-th
 // distance, or +Inf while fewer than k neighbors are reachable (then any
 // insertion or unblocking anywhere could extend the answer). The engine

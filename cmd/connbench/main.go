@@ -65,6 +65,8 @@ func main() {
 	cacheDir := flag.String("cache-json", "", "measure answer-cache effectiveness on the Table 2 cell (uncached vs warm-cache ns/op, hit rate) and write BENCH_cache.json into this directory")
 	cacheBaseline := flag.String("cache-baseline", "", "with -cache-json: compare against this pinned BENCH_cache.json record and fail on regression")
 	workers := flag.Int("workers", 1, "with -json: fan each query's inner work across this many lanes via WithWorkers (1 = sequential, 0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 1, "with -json: answer the measured stream through a spatially sharded database with this many shard units (writes BENCH_shard.json; answers are bit-identical to single-node)")
+	metricsBaseline := flag.String("metrics-baseline", "", "with -json: require NPE/NOE/|SVG| to match this pinned BENCH_*.json record exactly, with no ns/op gate — the sharded bit-identity gate (ns ratios across backends are not comparable)")
 	kernelBaseline := flag.String("kernel-baseline", "", "with -json: compare against this pinned pre-kernel BENCH_*.json record and fail unless the measured run is at least -min-speedup times faster with exactly matching NPE/NOE/|SVG|")
 	minSpeedup := flag.Float64("min-speedup", 4.0, "with -kernel-baseline: minimum required speedup over the pinned pre-kernel record")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
@@ -105,7 +107,7 @@ func main() {
 	out := os.Stdout
 
 	if *jsonDir != "" {
-		res := measureTable2Exec(cfg, *workers)
+		res := measureTable2Exec(cfg, *workers, *shards)
 		path, err := bench.WriteJSON(*jsonDir, res)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "connbench:", err)
@@ -115,6 +117,12 @@ func main() {
 			path, res.NsPerOp/1e6, res.AllocsPerOp, res.NPE, res.NOE, res.SVG)
 		if *baseline != "" {
 			if err := compareBaseline(out, res, *baseline, *maxRegress); err != nil {
+				fmt.Fprintln(os.Stderr, "connbench:", err)
+				os.Exit(1)
+			}
+		}
+		if *metricsBaseline != "" {
+			if err := gateMetrics(out, res, *metricsBaseline); err != nil {
 				fmt.Fprintln(os.Stderr, "connbench:", err)
 				os.Exit(1)
 			}
@@ -180,19 +188,32 @@ func main() {
 // request: 1 omits the option (the default sequential path), anything else
 // fans the intra-query sight-line batches across that many lanes (0 =
 // GOMAXPROCS) — the answer is bit-identical either way, so the pinned
-// NPE/NOE/|SVG| gates apply unchanged.
-func measureTable2Exec(cfg bench.Config, workers int) bench.BenchResult {
+// NPE/NOE/|SVG| gates apply unchanged. shards > 1 answers the same stream
+// through a spatially sharded router (the record is named "shard" so it
+// never overwrites the single-node baseline): the scatter-gather tier is
+// also bit-identical, so NPE/NOE/|SVG| must still match the single-node
+// pinned record exactly — that is the -metrics-baseline gate.
+func measureTable2Exec(cfg bench.Config, workers, shards int) bench.BenchResult {
 	ctx := context.Background()
 	tool := "connbench -json (one op = one COkNNRequest via DB.Exec on the flat-geometry kernel, index build excluded)"
 	if workers != 1 {
 		tool += fmt.Sprintf("; workers=%d", workers)
 	}
-	return bench.MeasureTable2With(cfg, tool,
+	if shards > 1 {
+		tool += fmt.Sprintf("; sharded scatter-gather router, shards=%d", shards)
+	}
+	res := bench.MeasureTable2With(cfg, tool,
 		func(w bench.Workload) func(q geom.Segment) stats.QueryMetrics {
 			// The answer cache is disabled so this record keeps measuring the
 			// execution path the pinned baseline pinned; the cached path has
 			// its own record (BENCH_cache.json, -cache-json).
-			db, err := connquery.Open(w.Points, w.Obstacles, connquery.WithAnswerCache(0))
+			var db connquery.Database
+			var err error
+			if shards > 1 {
+				db, err = connquery.OpenSharded(w.Points, w.Obstacles, shards, connquery.WithAnswerCache(0))
+			} else {
+				db, err = connquery.Open(w.Points, w.Obstacles, connquery.WithAnswerCache(0))
+			}
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "connbench:", err)
 				os.Exit(1)
@@ -210,6 +231,10 @@ func measureTable2Exec(cfg bench.Config, workers int) bench.BenchResult {
 				return ans.Metrics()
 			}
 		})
+	if shards > 1 {
+		res.Name = "shard"
+	}
+	return res
 }
 
 // measureCacheExec measures answer-cache effectiveness on the Table 2
@@ -350,6 +375,32 @@ func compareBaseline(out *os.File, cur bench.BenchResult, path string, maxRegres
 		return fmt.Errorf("ns/op regressed %.1f%% (limit %.0f%%): %.2f ms/op vs baseline %.2f ms/op",
 			(ratio-1)*100, maxRegress*100, cur.NsPerOp/1e6, base.NsPerOp/1e6)
 	}
+	return nil
+}
+
+// gateMetrics enforces the metrics-only bit-identity gate: on a matching
+// workload, the machine-independent NPE/NOE/|SVG| metrics must equal the
+// pinned record's exactly, with no ns/op comparison at all. This is the
+// sharded-router gate: a sharded run answers the same query stream through
+// scatter-gather, so its per-query ns/op is not comparable to the
+// single-node record (different execution structure), but its metrics must
+// be — the router's contract is bit-identical answers AND traces.
+func gateMetrics(out *os.File, cur bench.BenchResult, path string) error {
+	base, err := bench.ReadJSON(path)
+	if err != nil {
+		return fmt.Errorf("metrics baseline %s: %w", path, err)
+	}
+	if cur.Scale != base.Scale || cur.Queries != base.Queries || cur.Seed != base.Seed || cur.K != base.K || cur.QL != base.QL {
+		return fmt.Errorf("workload parameters do not match the metrics baseline (scale %g vs %g, queries %d vs %d, seed %d vs %d): re-pin the record or align the flags",
+			cur.Scale, base.Scale, cur.Queries, base.Queries, cur.Seed, base.Seed)
+	}
+	const tol = 1e-9
+	if math.Abs(cur.NPE-base.NPE) > tol || math.Abs(cur.NOE-base.NOE) > tol || math.Abs(cur.SVG-base.SVG) > tol {
+		return fmt.Errorf("workload metrics deviate from %s: NPE %.2f vs %.2f, NOE %.2f vs %.2f, |SVG| %.2f vs %.2f — the sharded trace is not bit-identical",
+			path, cur.NPE, base.NPE, cur.NOE, base.NOE, cur.SVG, base.SVG)
+	}
+	fmt.Fprintf(out, "metrics baseline %s: NPE %.2f, NOE %.2f, |SVG| %.2f — exact match\n",
+		path, cur.NPE, cur.NOE, cur.SVG)
 	return nil
 }
 

@@ -56,6 +56,7 @@ func main() {
 	scale := flag.Float64("scale", 0.02, "generated dataset cardinality scale (1 = the paper's sizes)")
 	ratio := flag.Float64("ratio", 1, "|P|/|O| ratio for UL/ZL")
 	seed := flag.Int64("seed", 2009, "workload seed")
+	shards := flag.Int("shards", 1, "serve a spatially sharded database with this many shard units (1 = single-node; answers are bit-identical either way)")
 	oneTree := flag.Bool("onetree", false, "index points and obstacles in one R-tree")
 	buffer := flag.Int("buffer", 0, "LRU buffer pages per tree")
 	cacheBytes := flag.Int64("cache-bytes", connquery.DefaultAnswerCacheBytes,
@@ -75,11 +76,17 @@ func main() {
 	}
 	opts = append(opts, connquery.WithAnswerCache(*cacheBytes))
 
-	db, source, err := openDB(*load, *pointsCSV, *obstaclesCSV, *workload, *scale, *ratio, *seed, opts)
+	db, source, err := openDB(*load, *pointsCSV, *obstaclesCSV, *workload, *scale, *ratio, *seed, *shards, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("loaded %s: %d points, %d obstacles (epoch %d)", source, db.NumPoints(), db.NumObstacles(), db.Version())
+	if sdb, ok := db.(*connquery.ShardedDB); ok {
+		st := sdb.ShardStats()
+		log.Printf("loaded %s: %d points, %d obstacles (epoch %d), sharded %dx%d",
+			source, db.NumPoints(), db.NumObstacles(), db.Version(), st.Cols, st.Rows)
+	} else {
+		log.Printf("loaded %s: %d points, %d obstacles (epoch %d)", source, db.NumPoints(), db.NumObstacles(), db.Version())
+	}
 
 	srv, err := server.New(server.Config{
 		DB:             db,
@@ -134,13 +141,28 @@ func main() {
 	log.Printf("bye")
 }
 
-// openDB resolves the configured dataset source.
-func openDB(load, pointsCSV, obstaclesCSV, workload string, scale, ratio float64, seed int64, opts []connquery.Option) (*connquery.DB, string, error) {
+// openDB resolves the configured dataset source and opens it single-node or
+// sharded (shards > 1). For a binary snapshot the objects are extracted and
+// re-partitioned, since the snapshot format is single-node.
+func openDB(load, pointsCSV, obstaclesCSV, workload string, scale, ratio float64, seed int64, shards int, opts []connquery.Option) (connquery.Database, string, error) {
+	open := func(pts []connquery.Point, obs []connquery.Rect) (connquery.Database, error) {
+		if shards > 1 {
+			return connquery.OpenSharded(pts, obs, shards, opts...)
+		}
+		return connquery.Open(pts, obs, opts...)
+	}
 	switch {
 	case load != "":
 		db, err := connquery.LoadFile(load, opts...)
 		if err != nil {
 			return nil, "", err
+		}
+		if shards > 1 {
+			sdb, err := connquery.OpenSharded(db.Points(), db.Obstacles(), shards, opts...)
+			if err != nil {
+				return nil, "", err
+			}
+			return sdb, fmt.Sprintf("snapshot %s", load), nil
 		}
 		return db, fmt.Sprintf("snapshot %s", load), nil
 	case pointsCSV != "" || obstaclesCSV != "":
@@ -155,14 +177,14 @@ func openDB(load, pointsCSV, obstaclesCSV, workload string, scale, ratio float64
 		if err != nil {
 			return nil, "", err
 		}
-		db, err := connquery.Open(dataset.FilterPoints(pts, obs), obs, opts...)
+		db, err := open(dataset.FilterPoints(pts, obs), obs)
 		if err != nil {
 			return nil, "", err
 		}
 		return db, fmt.Sprintf("csv %s + %s", pointsCSV, obstaclesCSV), nil
 	default:
 		w := bench.BuildWorkload(strings.ToUpper(workload), scale, ratio, seed)
-		db, err := connquery.Open(w.Points, w.Obstacles, opts...)
+		db, err := open(w.Points, w.Obstacles)
 		if err != nil {
 			return nil, "", err
 		}

@@ -1,0 +1,54 @@
+package connquery
+
+import "context"
+
+// Pin is a released-once handle on a pinned MVCC cut: DB.Snapshot pins one
+// version of a single-node database, ShardedDB.Snapshot pins one consistent
+// cut across every shard. At returns the QueryOption that routes an Exec to
+// the pinned cut.
+type Pin interface {
+	// Epoch returns the epoch (single-node) or router revision (sharded) the
+	// pin holds.
+	Epoch() uint64
+	// Released reports whether Release has been called.
+	Released() bool
+	// Release unpins the cut. Idempotent.
+	Release()
+	// At returns the option pinning a query to this cut.
+	At() QueryOption
+}
+
+// Database is the query/mutation surface shared by the single-node DB and
+// the sharded router (ShardedDB): everything the HTTP service and the
+// tooling need. Both implementations answer every request kind with
+// identical payloads and identical machine-independent metrics
+// (NPE/NOE/|SVG|/Reach) — the sharded differential harness proves the
+// bit-for-bit equivalence.
+type Database interface {
+	Exec(ctx context.Context, req Request, opts ...QueryOption) (*Answer, error)
+	Watch(ctx context.Context, req Request, opts ...QueryOption) (<-chan Update, error)
+	InsertPoint(p Point) (int32, error)
+	DeletePoint(pid int32) bool
+	InsertObstacle(r Rect) (int32, error)
+	DeleteObstacle(oid int32) bool
+	NumPoints() int
+	NumObstacles() int
+	Version() uint64
+	CacheStats() CacheStats
+	Pin() Pin
+}
+
+var (
+	_ Database = (*DB)(nil)
+	_ Database = (*ShardedDB)(nil)
+	_ Pin      = (*Snapshot)(nil)
+	_ Pin      = (*ShardedSnapshot)(nil)
+)
+
+// At returns the QueryOption pinning a query to this snapshot, the
+// interface-friendly spelling of AtSnapshot(s).
+func (s *Snapshot) At() QueryOption { return AtSnapshot(s) }
+
+// Pin pins the current version and returns it behind the Pin interface; it
+// is DB.Snapshot for callers generic over Database.
+func (db *DB) Pin() Pin { return db.Snapshot() }

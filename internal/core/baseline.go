@@ -45,7 +45,8 @@ func (e *Engine) ONN(pt geom.Point, k int) ([]Neighbor, stats.QueryMetrics) {
 	for {
 		qs.poll()
 		bound, ok := qs.peekPointBound()
-		if !ok || bound >= kth() {
+		if thresh := kth(); !ok || bound >= thresh {
+			qs.noteStop(thresh, ok)
 			break
 		}
 		item, _, _ := qs.nextPoint()
@@ -64,7 +65,7 @@ func (e *Engine) ONN(pt geom.Point, k int) ([]Neighbor, stats.QueryMetrics) {
 			best = best[:k]
 		}
 	}
-	m := stats.QueryMetrics{NPE: qs.npe, NOE: qs.noe, SVG: qs.svgSize(), CPU: time.Since(start)}
+	m := stats.QueryMetrics{NPE: qs.npe, NOE: qs.noe, SVG: qs.svgSize(), CPU: time.Since(start), Reach: qs.reachValue()}
 	return best, m
 }
 
@@ -83,7 +84,8 @@ func (e *Engine) CNN(q geom.Segment) (*Result, stats.QueryMetrics) {
 	for {
 		qs.poll()
 		bound, ok := qs.peekPointBound()
-		if !ok || bound >= rlMax(q, rl) {
+		if thresh := rlMax(q, rl); !ok || bound >= thresh {
+			qs.noteStop(thresh, ok)
 			break
 		}
 		item, _, _ := qs.nextPoint()
@@ -92,7 +94,7 @@ func (e *Engine) CNN(q geom.Segment) (*Result, stats.QueryMetrics) {
 		cpl := CPL{{Span: geom.Span{Lo: 0, Hi: 1}, Fn: distFn{CP: p, Base: 0}, Valid: true}}
 		rl = qs.rlu(rl, item.ID, p, cpl)
 	}
-	m := stats.QueryMetrics{NPE: qs.npe, CPU: time.Since(start)}
+	m := stats.QueryMetrics{NPE: qs.npe, CPU: time.Since(start), Reach: qs.reachValue()}
 	return &Result{Q: q, Tuples: finalizeRL(rl), MaxDist: rlMax(q, rl)}, m
 }
 
@@ -117,6 +119,9 @@ func (e *Engine) NaiveCONN(q geom.Segment, samples int) (*Result, stats.QueryMet
 		agg.NOE += m.NOE
 		if m.SVG > agg.SVG {
 			agg.SVG = m.SVG
+		}
+		if m.Reach > agg.Reach {
+			agg.Reach = m.Reach
 		}
 		pid, p := NoOwner, geom.Point{}
 		if len(nbrs) > 0 {

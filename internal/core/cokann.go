@@ -45,7 +45,8 @@ func (e *Engine) COkNN(q geom.Segment, k int) (*KResult, stats.QueryMetrics) {
 	for {
 		qs.poll()
 		bound, ok := qs.peekPointBound()
-		if !ok || bound >= rlkMax(q, kl, k) {
+		if thresh := rlkMax(q, kl, k); !ok || bound >= thresh {
+			qs.noteStop(thresh, ok)
 			break
 		}
 		item, _, _ := qs.nextPoint()
@@ -61,10 +62,11 @@ func (e *Engine) COkNN(q geom.Segment, k int) (*KResult, stats.QueryMetrics) {
 	}
 
 	m := stats.QueryMetrics{
-		NPE: qs.npe,
-		NOE: qs.noe,
-		SVG: qs.svgSize(),
-		CPU: time.Since(start),
+		NPE:   qs.npe,
+		NOE:   qs.noe,
+		SVG:   qs.svgSize(),
+		CPU:   time.Since(start),
+		Reach: qs.reachValue(),
 	}
 	if e.DataCounter != nil {
 		m.FaultsData = e.DataCounter.Faults() - snapD

@@ -30,7 +30,8 @@ func (e *Engine) CONN(q geom.Segment) (*Result, stats.QueryMetrics) {
 	for {
 		qs.poll()
 		bound, ok := qs.peekPointBound()
-		if !ok || bound >= rlMax(q, rl) {
+		if thresh := rlMax(q, rl); !ok || bound >= thresh {
+			qs.noteStop(thresh, ok)
 			break // Lemma 2 (or P exhausted)
 		}
 		item, _, _ := qs.nextPoint()
@@ -40,10 +41,11 @@ func (e *Engine) CONN(q geom.Segment) (*Result, stats.QueryMetrics) {
 	}
 
 	m := stats.QueryMetrics{
-		NPE: qs.npe,
-		NOE: qs.noe,
-		SVG: qs.svgSize(),
-		CPU: time.Since(start),
+		NPE:   qs.npe,
+		NOE:   qs.noe,
+		SVG:   qs.svgSize(),
+		CPU:   time.Since(start),
+		Reach: qs.reachValue(),
 	}
 	if e.DataCounter != nil {
 		m.FaultsData = e.DataCounter.Faults() - snapD

@@ -8,14 +8,17 @@ import (
 // ObstructedDistance computes the exact obstructed distance ||a, b|| using
 // the incremental obstacle retrieval machinery: the local visibility graph
 // grows only until the shortest path from a to b stabilizes (Lemma 3), so
-// obstacles far from the pair are never touched.
-func (e *Engine) ObstructedDistance(a, b geom.Point) float64 {
+// obstacles far from the pair are never touched. The second return value is
+// the retrieval reach (see stats.QueryMetrics.Reach): the radius around the
+// segment a-b actually consulted, +Inf when the pair is mutually unreachable
+// (the retrieval then drained the whole obstacle stream).
+func (e *Engine) ObstructedDistance(a, b geom.Point) (float64, float64) {
 	if geom.Dist2(a, b) <= geom.Eps*geom.Eps {
-		return 0
+		return 0, 0
 	}
 	qs := e.newQueryState(geom.Seg(a, b))
 	defer e.release(qs)
 	pNode := qs.vg.AddPoint(a, visgraph.KindTransient)
 	_, dE := qs.ior(pNode)
-	return dE
+	return dE, qs.reachValue()
 }

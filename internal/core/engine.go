@@ -95,6 +95,16 @@ type queryState struct {
 
 	loadedUpTo float64
 
+	// reach/unbounded accumulate the query's observed retrieval radius (see
+	// stats.QueryMetrics.Reach): reach is the maximum distance at which the
+	// index streams were consulted — every popped key, every load radius and
+	// every termination threshold — and unbounded is set when a stream was
+	// exhausted under an infinite threshold, meaning the scan would have
+	// consumed candidates at any distance. Unlike loadedUpTo, these are never
+	// reset mid-query (DisableVGReuse rewinds re-pop already-noted keys).
+	reach     float64
+	unbounded bool
+
 	// Two-tree sources.
 	ptIter   *rtree.NearestIter
 	obstIter *rtree.NearestIter
@@ -157,6 +167,7 @@ func (e *Engine) newQueryState(q geom.Segment) *queryState {
 	qs.vg.SetCheck(e.Cancel)
 	qs.npe, qs.noe, qs.svgs = 0, 0, 0
 	qs.loadedUpTo = 0
+	qs.reach, qs.unbounded = 0, false
 	qs.search = nil
 	qs.ptIter, qs.obstIter, qs.unifIter = nil, nil, nil
 	qs.pending.Reset()
@@ -212,6 +223,41 @@ func (qs *queryState) resetVG() {
 	clear(qs.vrCache)
 }
 
+// noteReach widens the query's observed retrieval radius to d. An infinite
+// d marks the query unbounded.
+func (qs *queryState) noteReach(d float64) {
+	if math.IsInf(d, 1) {
+		qs.unbounded = true
+		return
+	}
+	if d > qs.reach {
+		qs.reach = d
+	}
+}
+
+// noteStop records a termination-threshold consultation: the best-first scan
+// compared the next candidate's lower bound against thresh and stopped.
+// streamOK reports whether the stream still had a candidate. Stopping on an
+// exhausted stream under an infinite threshold means the scan would have
+// accepted candidates at any distance, so the query is unbounded.
+func (qs *queryState) noteStop(thresh float64, streamOK bool) {
+	if math.IsInf(thresh, 1) {
+		if !streamOK {
+			qs.unbounded = true
+		}
+		return
+	}
+	qs.noteReach(thresh)
+}
+
+// reachValue returns the accumulated Reach metric (+Inf when unbounded).
+func (qs *queryState) reachValue() float64 {
+	if qs.unbounded {
+		return math.Inf(1)
+	}
+	return qs.reach
+}
+
 // addObstacleToVG inserts the obstacle with the given R-tree item ID into
 // the local graph, tracking NOE. Each insertion touches every node's
 // adjacency (edge invalidation plus four corner AddPoints), so this is also
@@ -238,6 +284,7 @@ func (qs *queryState) loadObstaclesUpTo(d float64) int {
 	ids := qs.idScratch[:0]
 	batched := qs.eng.Kernel != nil
 	n := 0
+	qs.noteReach(d)
 	if qs.eng.OneTree() {
 		for {
 			bound, ok := qs.unifIter.PeekDist()
@@ -255,7 +302,7 @@ func (qs *queryState) loadObstaclesUpTo(d float64) int {
 				}
 				n++
 			} else {
-				qs.pending.Push(key, item)
+				qs.pending.PushTie(key, item.TieKey(), item)
 			}
 		}
 	} else {
@@ -290,28 +337,36 @@ func (qs *queryState) loadAnyObstacle() bool {
 		for {
 			item, key, ok := qs.unifIter.Next()
 			if !ok {
+				qs.unbounded = true // would have taken an obstacle at any distance
 				return false
 			}
 			if item.Kind == rtree.KindObstacle {
 				qs.loadedUpTo = math.Max(qs.loadedUpTo, key)
+				qs.noteReach(key)
 				qs.addObstacleToVG(item.ID)
 				return true
 			}
-			qs.pending.Push(key, item)
+			qs.pending.PushTie(key, item.TieKey(), item)
 		}
 	}
 	item, key, ok := qs.obstIter.Next()
 	if !ok {
+		qs.unbounded = true // would have taken an obstacle at any distance
 		return false
 	}
 	qs.loadedUpTo = math.Max(qs.loadedUpTo, key)
+	qs.noteReach(key)
 	qs.addObstacleToVG(item.ID)
 	return true
 }
 
 // peekPointBound returns a lower bound on the mindist of the next data
 // point. In one-tree mode it drains any obstacles sitting ahead of the next
-// point into the visibility graph (they have been paid for already).
+// point into the visibility graph (they have been paid for already); the
+// returned bound is therefore a genuine retrieval event — obstacles up to it
+// entered the graph — and widens reach, and exhausting the unified stream
+// while hunting for a point drains every remaining obstacle, which marks
+// the query unbounded.
 func (qs *queryState) peekPointBound() (float64, bool) {
 	if !qs.eng.OneTree() {
 		return qs.ptIter.PeekDist()
@@ -319,9 +374,11 @@ func (qs *queryState) peekPointBound() (float64, bool) {
 	for {
 		bound, ok := qs.unifIter.PeekDist()
 		if !qs.pending.Empty() && (!ok || qs.pending.PeekKey() <= bound) {
+			qs.noteReach(qs.pending.PeekKey())
 			return qs.pending.PeekKey(), true
 		}
 		if !ok {
+			qs.unbounded = true
 			return 0, false
 		}
 		item, key, _ := qs.unifIter.Next()
@@ -330,19 +387,24 @@ func (qs *queryState) peekPointBound() (float64, bool) {
 			qs.addObstacleToVG(item.ID)
 			continue
 		}
-		qs.pending.Push(key, item)
+		qs.pending.PushTie(key, item.TieKey(), item)
 	}
 }
 
 // nextPoint pops the next data point in ascending mindist(p, q) order.
 func (qs *queryState) nextPoint() (rtree.Item, float64, bool) {
 	if !qs.eng.OneTree() {
-		return qs.ptIter.Next()
+		item, key, ok := qs.ptIter.Next()
+		if ok {
+			qs.noteReach(key)
+		}
+		return item, key, ok
 	}
 	if _, ok := qs.peekPointBound(); !ok {
 		return rtree.Item{}, 0, false
 	}
 	key, item := qs.pending.Pop()
+	qs.noteReach(key)
 	return item, key, true
 }
 

@@ -260,8 +260,8 @@ func TestObstructedDistanceEngine(t *testing.T) {
 		sc := randScene(r, 2, 1+r.Intn(8), 100)
 		e := sc.engine(Options{}, false)
 		a, b := sc.points[0], sc.points[1]
-		got := e.ObstructedDistance(a, b)
-		rev := e.ObstructedDistance(b, a)
+		got, _ := e.ObstructedDistance(a, b)
+		rev, _ := e.ObstructedDistance(b, a)
 		want := visgraph.BruteObstructedDist(a, b, sc.obstacles)
 		if math.Abs(got-want) > 1e-6*(1+want) || math.Abs(got-rev) > 1e-6*(1+got) {
 			t.Fatalf("trial %d: dist %v (rev %v), oracle %v", trial, got, rev, want)

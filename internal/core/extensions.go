@@ -41,6 +41,9 @@ func (e *Engine) TrajectoryCONN(waypoints []geom.Point) (*TrajectoryResult, stat
 		if m.SVG > agg.SVG {
 			agg.SVG = m.SVG
 		}
+		if m.Reach > agg.Reach {
+			agg.Reach = m.Reach
+		}
 	}
 	agg.CPU = time.Since(start)
 	return res, agg
@@ -89,6 +92,7 @@ func (e *Engine) ObstructedRange(center geom.Point, radius float64) ([]Neighbor,
 		qs.poll()
 		bound, ok := qs.peekPointBound()
 		if !ok || bound > radius {
+			qs.noteStop(radius, ok)
 			break
 		}
 		item, _, _ := qs.nextPoint()
@@ -102,6 +106,6 @@ func (e *Engine) ObstructedRange(center geom.Point, radius float64) ([]Neighbor,
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
-	m := stats.QueryMetrics{NPE: qs.npe, NOE: qs.noe, SVG: qs.svgSize(), CPU: time.Since(start)}
+	m := stats.QueryMetrics{NPE: qs.npe, NOE: qs.noe, SVG: qs.svgSize(), CPU: time.Since(start), Reach: qs.reachValue()}
 	return out, m
 }

@@ -40,6 +40,9 @@ func (eng *Engine) EDistanceJoin(queries []geom.Point, e float64) ([]JoinPair, s
 		if m.SVG > agg.SVG {
 			agg.SVG = m.SVG
 		}
+		if m.Reach > agg.Reach {
+			agg.Reach = m.Reach
+		}
 		for _, n := range nbrs {
 			out = append(out, JoinPair{QIdx: qi, PID: n.PID, P: n.P, Dist: n.Dist})
 		}
@@ -64,7 +67,13 @@ func (eng *Engine) ClosestPair(queries []geom.Point) (JoinPair, stats.QueryMetri
 	}
 	bounds := make([]qb, len(queries))
 	for qi, qp := range queries {
-		bounds[qi] = qb{qi, eng.euclideanNNDist(qp)}
+		d := eng.euclideanNNDist(qp)
+		bounds[qi] = qb{qi, d}
+		// Every bound is a retrieval event: the scan to the first point is a
+		// consultation at distance d (+Inf when no point exists at all).
+		if d > agg.Reach {
+			agg.Reach = d
+		}
 	}
 	sort.Slice(bounds, func(i, j int) bool { return bounds[i].bound < bounds[j].bound })
 
@@ -78,6 +87,9 @@ func (eng *Engine) ClosestPair(queries []geom.Point) (JoinPair, stats.QueryMetri
 		agg.NOE += m.NOE
 		if m.SVG > agg.SVG {
 			agg.SVG = m.SVG
+		}
+		if m.Reach > agg.Reach {
+			agg.Reach = m.Reach
 		}
 		if len(nbrs) > 0 && nbrs[0].Dist < best.Dist {
 			best = JoinPair{QIdx: b.qi, PID: nbrs[0].PID, P: nbrs[0].P, Dist: nbrs[0].Dist}
@@ -100,6 +112,9 @@ func (eng *Engine) DistanceSemiJoin(queries []geom.Point) ([]JoinPair, stats.Que
 		agg.NOE += m.NOE
 		if m.SVG > agg.SVG {
 			agg.SVG = m.SVG
+		}
+		if m.Reach > agg.Reach {
+			agg.Reach = m.Reach
 		}
 		if len(nbrs) > 0 {
 			out = append(out, JoinPair{QIdx: qi, PID: nbrs[0].PID, P: nbrs[0].P, Dist: nbrs[0].Dist})
@@ -152,7 +167,8 @@ func (eng *Engine) VisibleKNN(p geom.Point, k int) ([]Neighbor, stats.QueryMetri
 	for {
 		qs.poll()
 		bound, ok := qs.peekPointBound()
-		if !ok || bound >= kth() {
+		if thresh := kth(); !ok || bound >= thresh {
+			qs.noteStop(thresh, ok)
 			break
 		}
 		item, d, _ := qs.nextPoint()
@@ -171,6 +187,6 @@ func (eng *Engine) VisibleKNN(p geom.Point, k int) ([]Neighbor, stats.QueryMetri
 			best = best[:k]
 		}
 	}
-	m := stats.QueryMetrics{NPE: qs.npe, NOE: qs.noe, SVG: qs.svgSize(), CPU: time.Since(start)}
+	m := stats.QueryMetrics{NPE: qs.npe, NOE: qs.noe, SVG: qs.svgSize(), CPU: time.Since(start), Reach: qs.reachValue()}
 	return best, m
 }

@@ -1,9 +1,11 @@
 package minheap
 
-// Heap is a binary min-heap of values of type T ordered by a float64 key.
+// Heap is a binary min-heap of values of type T ordered by a float64 key,
+// then by an optional caller-supplied tie key, then by insertion order.
 // The zero value is an empty heap ready to use.
 type Heap[T any] struct {
 	keys []float64
+	ties []uint64
 	seqs []uint64
 	vals []T
 	seq  uint64
@@ -15,9 +17,18 @@ func (h *Heap[T]) Len() int { return len(h.keys) }
 // Empty reports whether the heap has no elements.
 func (h *Heap[T]) Empty() bool { return len(h.keys) == 0 }
 
-// Push inserts v with the given key.
-func (h *Heap[T]) Push(key float64, v T) {
+// Push inserts v with the given key and tie key 0.
+func (h *Heap[T]) Push(key float64, v T) { h.PushTie(key, 0, v) }
+
+// PushTie inserts v with the given key and tie key. Elements with equal
+// float keys pop in ascending tie order; equal (key, tie) pairs pop in
+// insertion order. Tie keys make the pop order a pure function of the pushed
+// (key, tie) multiset whenever ties are distinct, independent of push order —
+// the property the R-tree nearest iterator needs for structure-independent
+// emission.
+func (h *Heap[T]) PushTie(key float64, tie uint64, v T) {
 	h.keys = append(h.keys, key)
+	h.ties = append(h.ties, tie)
 	h.seqs = append(h.seqs, h.seq)
 	h.vals = append(h.vals, v)
 	h.seq++
@@ -39,10 +50,10 @@ func (h *Heap[T]) PeekKey() float64 { return h.keys[0] }
 func (h *Heap[T]) Pop() (key float64, v T) {
 	key, v = h.keys[0], h.vals[0]
 	n := len(h.keys) - 1
-	h.keys[0], h.seqs[0], h.vals[0] = h.keys[n], h.seqs[n], h.vals[n]
+	h.keys[0], h.ties[0], h.seqs[0], h.vals[0] = h.keys[n], h.ties[n], h.seqs[n], h.vals[n]
 	var zero T
 	h.vals[n] = zero // release reference for GC
-	h.keys, h.seqs, h.vals = h.keys[:n], h.seqs[:n], h.vals[:n]
+	h.keys, h.ties, h.seqs, h.vals = h.keys[:n], h.ties[:n], h.seqs[:n], h.vals[:n]
 	if n > 0 {
 		h.down(0)
 	}
@@ -55,7 +66,7 @@ func (h *Heap[T]) Reset() {
 	for i := range h.vals {
 		h.vals[i] = zero
 	}
-	h.keys, h.seqs, h.vals = h.keys[:0], h.seqs[:0], h.vals[:0]
+	h.keys, h.ties, h.seqs, h.vals = h.keys[:0], h.ties[:0], h.seqs[:0], h.vals[:0]
 	h.seq = 0
 }
 
@@ -63,11 +74,15 @@ func (h *Heap[T]) less(i, j int) bool {
 	if h.keys[i] != h.keys[j] {
 		return h.keys[i] < h.keys[j]
 	}
+	if h.ties[i] != h.ties[j] {
+		return h.ties[i] < h.ties[j]
+	}
 	return h.seqs[i] < h.seqs[j]
 }
 
 func (h *Heap[T]) swap(i, j int) {
 	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+	h.ties[i], h.ties[j] = h.ties[j], h.ties[i]
 	h.seqs[i], h.seqs[j] = h.seqs[j], h.seqs[i]
 	h.vals[i], h.vals[j] = h.vals[j], h.vals[i]
 }

@@ -38,6 +38,18 @@ func ObstacleItem(id int32, r geom.Rect) Item {
 // Point returns the point an Item of KindPoint represents.
 func (it Item) Point() geom.Point { return geom.Point{X: it.Rect.MinX, Y: it.Rect.MinY} }
 
+// TieKey returns the item's heap tie key for distance-ordered traversals:
+// a strictly positive value ordering items by (Kind, ID). Internal tree
+// nodes use tie key 0, so at equal distance every node expands before any
+// item is emitted and equal-distance items surface in (Kind, ID) order —
+// making the NearestIter emission sequence a pure function of the stored
+// item set, independent of how the tree was built (bulk load vs incremental
+// insert/delete history). Sharded execution relies on this to reproduce a
+// single-node trace bit-identically from differently-shaped trees.
+func (it Item) TieKey() uint64 {
+	return (uint64(it.Kind)+1)<<32 | uint64(uint32(it.ID))
+}
+
 // entrySize is the modelled on-disk footprint of one node entry:
 // an MBR (4 float64 = 32 bytes) plus a child pointer or object ID (8 bytes).
 const entrySize = 40

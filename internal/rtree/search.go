@@ -108,6 +108,20 @@ func (t *Tree) NewNearestIter(target DistanceTarget) *NearestIter {
 	return it
 }
 
+// pushChild enqueues one node entry: internal nodes with tie key 0, items
+// with their (Kind, ID) tie key. A node's mindist lower-bounds every item it
+// contains, so expanding nodes first at equal distance surfaces all
+// equal-distance items before any is emitted; the item tie key then fixes
+// their order. See Item.TieKey.
+func (it *NearestIter) pushChild(n *node, ce *entry) {
+	cd := it.target.DistToRect(ce.rect)
+	if n.leaf {
+		it.heap.PushTie(cd, ce.item.TieKey(), *ce)
+	} else {
+		it.heap.PushTie(cd, 0, *ce)
+	}
+}
+
 // Next returns the next item in distance order. ok is false when the tree is
 // exhausted.
 func (it *NearestIter) Next() (item Item, dist float64, ok bool) {
@@ -118,13 +132,8 @@ func (it *NearestIter) Next() (item Item, dist float64, ok bool) {
 		}
 		n := e.child
 		it.t.visit(n)
-		for _, ce := range n.entries {
-			cd := it.target.DistToRect(ce.rect)
-			if n.leaf {
-				it.heap.Push(cd, entry{item: ce.item})
-			} else {
-				it.heap.Push(cd, entry{child: ce.child})
-			}
+		for i := range n.entries {
+			it.pushChild(n, &n.entries[i])
 		}
 	}
 	return Item{}, 0, false
@@ -145,13 +154,8 @@ func (it *NearestIter) PeekDist() (float64, bool) {
 		it.heap.Pop()
 		n := e.child
 		it.t.visit(n)
-		for _, ce := range n.entries {
-			cd := it.target.DistToRect(ce.rect)
-			if n.leaf {
-				it.heap.Push(cd, entry{item: ce.item})
-			} else {
-				it.heap.Push(cd, entry{child: ce.child})
-			}
+		for i := range n.entries {
+			it.pushChild(n, &n.entries[i])
 		}
 		_ = d
 	}

@@ -57,6 +57,18 @@ type QueryMetrics struct {
 	NOE        int           // number of obstacles evaluated (inserted into VG)
 	SVG        int           // visibility graph size (corner vertices)
 	CPU        time.Duration // wall-clock compute time
+	// Reach is the query's observed retrieval radius: the maximum Euclidean
+	// distance (from the query geometry) at which the execution consulted its
+	// index streams — every popped candidate key and every termination
+	// threshold the scan compared against. Any object strictly farther than
+	// Reach from the query geometry provably did not, and could not, enter
+	// this execution's trace, so re-running the query on any sub-world that
+	// contains every object within Reach reproduces the answer AND the
+	// NPE/NOE/SVG trace bit-identically. +Inf when a stream was exhausted
+	// under an unbounded threshold (e.g. an unreachable interval), in which
+	// case only the full world reproduces the trace. Multi-item requests
+	// report the maximum over their items.
+	Reach float64
 }
 
 // Faults returns the total page faults across both trees.

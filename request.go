@@ -94,6 +94,8 @@ type QueryOption func(*execOptions)
 type execOptions struct {
 	snap    *Snapshot
 	bySnap  bool
+	ssnap   *ShardedSnapshot
+	bySSnap bool
 	epoch   uint64
 	byEpoch bool
 	tuning  *Tuning
@@ -103,14 +105,19 @@ type execOptions struct {
 }
 
 // pinned reports whether the options pin a fixed version.
-func (o *execOptions) pinned() bool { return o.bySnap || o.byEpoch }
+func (o *execOptions) pinned() bool { return o.bySnap || o.byEpoch || o.bySSnap }
 
 // AtSnapshot pins the query to the version held by an unreleased Snapshot
 // of the same DB handle, regardless of how far the live version has
 // advanced since. A nil Snapshot is rejected at Exec time (it is NOT
 // silently the live version).
 func AtSnapshot(s *Snapshot) QueryOption {
-	return func(o *execOptions) { o.snap = s; o.bySnap = true; o.byEpoch = false }
+	return func(o *execOptions) {
+		o.snap = s
+		o.bySnap = true
+		o.byEpoch = false
+		o.ssnap, o.bySSnap = nil, false
+	}
 }
 
 // AtVersion pins the query to the MVCC version with the given epoch. The
@@ -118,7 +125,12 @@ func AtSnapshot(s *Snapshot) QueryOption {
 // unreleased Snapshot of this handle — otherwise Exec returns
 // ErrVersionNotPinned.
 func AtVersion(epoch uint64) QueryOption {
-	return func(o *execOptions) { o.epoch = epoch; o.byEpoch = true; o.snap = nil; o.bySnap = false }
+	return func(o *execOptions) {
+		o.epoch = epoch
+		o.byEpoch = true
+		o.snap, o.bySnap = nil, false
+		o.ssnap, o.bySSnap = nil, false
+	}
 }
 
 // WithQueryTuning overrides the DB's ablation switches for this call only,
@@ -274,6 +286,10 @@ func (db *DB) resolveVersion(xo *execOptions) (*version, error) {
 	switch {
 	case xo.bySnap:
 		return xo.snap.pinned(db)
+	case xo.bySSnap:
+		// A ShardedSnapshot pins shard versions of a ShardedDB, never of a
+		// standalone DB handle.
+		return nil, ErrForeignSnapshot
 	case xo.byEpoch:
 		return db.versionAt(xo.epoch)
 	default:
@@ -351,7 +367,7 @@ func (db *DB) execAt(ctx context.Context, req Request, v *version, xo *execOptio
 	}
 	if useCache {
 		db.cache.Put(fp, v.epoch, &cachedAnswer{value: value, metrics: m, items: x.items},
-			impactRegion(req, value), answerFootprint(value, x.items))
+			widenRegion(impactRegion(req, value), req, m.Reach), answerFootprint(value, x.items))
 	}
 	return &Answer{req: req, epoch: v.epoch, value: value, metrics: m, items: x.items}, nil
 }
@@ -593,8 +609,8 @@ func (DistanceRequest) answer() float64 { return 0 }
 func (DistanceRequest) validate() error { return nil }
 func (r DistanceRequest) run(x *execution) (any, Metrics, error) {
 	start := time.Now()
-	d := x.eng.ObstructedDistance(r.A, r.B)
-	return d, Metrics{CPU: time.Since(start)}, nil
+	d, reach := x.eng.ObstructedDistance(r.A, r.B)
+	return d, Metrics{CPU: time.Since(start), Reach: reach}, nil
 }
 
 // TrajectoryRequest is a CONN query over a polyline trajectory (the paper's
@@ -795,6 +811,9 @@ func aggregateItems(items []Metrics, withFaults bool) Metrics {
 		agg.NOE += m.NOE
 		if m.SVG > agg.SVG {
 			agg.SVG = m.SVG
+		}
+		if m.Reach > agg.Reach {
+			agg.Reach = m.Reach
 		}
 	}
 	return agg

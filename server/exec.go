@@ -66,7 +66,7 @@ func (s *Server) execOptions(env *ExecRequest) (opts []connquery.QueryOption, re
 			return nil, release, err
 		}
 		release = done
-		opts = append(opts, connquery.AtSnapshot(snap))
+		opts = append(opts, snap.At())
 	} else if env.AtVersion != nil {
 		opts = append(opts, connquery.AtVersion(*env.AtVersion))
 	}

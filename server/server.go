@@ -45,8 +45,11 @@ import (
 
 // Config parameterizes New.
 type Config struct {
-	// DB is the database to serve. Required.
-	DB *connquery.DB
+	// DB is the database to serve: a single-node *connquery.DB or a
+	// sharded *connquery.ShardedDB — the API surface is identical either
+	// way (payloads and the machine-independent metrics are bit-identical
+	// between the two by the library's sharding contract). Required.
+	DB connquery.Database
 
 	// RequestTimeout caps the execution time of every /v1/exec call; a
 	// request's timeout_ms may only tighten it. 0 means no server-side
@@ -68,10 +71,10 @@ type Config struct {
 // DefaultSnapshotTTL is the pin lifetime used when Config.SnapshotTTL is 0.
 const DefaultSnapshotTTL = 5 * time.Minute
 
-// Server serves one connquery.DB over HTTP. Create it with New; it is safe
-// for concurrent use by any number of connections.
+// Server serves one connquery.Database over HTTP. Create it with New; it
+// is safe for concurrent use by any number of connections.
 type Server struct {
-	db  *connquery.DB
+	db  connquery.Database
 	cfg Config
 	mux *http.ServeMux
 
@@ -245,6 +248,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stats.mu.Unlock()
 	cs := s.db.CacheStats()
+	// A sharded database additionally reports its router/per-shard counters.
+	var shardStats *connquery.ShardStats
+	if sdb, ok := s.db.(interface{ ShardStats() connquery.ShardStats }); ok {
+		st := sdb.ShardStats()
+		shardStats = &st
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Epoch:         s.db.Version(),
 		Points:        s.db.NumPoints(),
@@ -272,5 +281,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Entries:       cs.Entries,
 			Bytes:         cs.Bytes,
 		},
+		Shards: shardStats,
 	})
 }

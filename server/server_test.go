@@ -46,7 +46,7 @@ func testDB(t *testing.T) *connquery.DB {
 }
 
 // newTestServer wires db behind a real TCP listener and registers cleanup.
-func newTestServer(t *testing.T, db *connquery.DB, cfg server.Config) (*server.Server, string) {
+func newTestServer(t *testing.T, db connquery.Database, cfg server.Config) (*server.Server, string) {
 	t.Helper()
 	cfg.DB = db
 	s, err := server.New(cfg)
@@ -102,7 +102,7 @@ func canonical(t *testing.T, r *server.ExecResponse) []byte {
 
 // assertBitIdentical runs req in-process pinned at the HTTP answer's epoch
 // and compares wire encodings byte for byte.
-func assertBitIdentical(t *testing.T, db *connquery.DB, req connquery.Request, got *server.ExecResponse, opts ...connquery.QueryOption) {
+func assertBitIdentical(t *testing.T, db connquery.Database, req connquery.Request, got *server.ExecResponse, opts ...connquery.QueryOption) {
 	t.Helper()
 	opts = append(opts, connquery.AtVersion(got.Epoch))
 	ans, err := db.Exec(context.Background(), req, opts...)

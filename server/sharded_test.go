@@ -1,0 +1,182 @@
+package server_test
+
+// End-to-end tests of the HTTP service over a sharded backend: the same
+// handlers serve a *connquery.ShardedDB through the Database interface, and
+// every wire answer must be byte-identical both to an in-process sharded
+// Exec and to a single-node twin's answer over the same data — the serving
+// tier's restatement of the library's sharding contract.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"connquery"
+	"connquery/server"
+)
+
+// shardedTwin builds a 2x2 ShardedDB and a single-node twin over a world
+// with points and obstacles in every quadrant and a straddling obstacle on
+// the interior border.
+func shardedTwin(t *testing.T) (*connquery.ShardedDB, *connquery.DB) {
+	t.Helper()
+	points := []connquery.Point{
+		connquery.Pt(0, 0), connquery.Pt(100, 100), connquery.Pt(100, 0), connquery.Pt(0, 100),
+		connquery.Pt(10, 40), connquery.Pt(90, 40), connquery.Pt(50, 85), connquery.Pt(30, 70),
+	}
+	obstacles := []connquery.Rect{
+		connquery.R(45, 10, 55, 70), // straddles the x=50 border
+		connquery.R(20, 60, 30, 68),
+	}
+	sdb, err := connquery.OpenSharded(points, obstacles, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := connquery.Open(points, obstacles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sdb, db
+}
+
+// TestShardedBackendEndToEnd drives border-crossing requests through a
+// server backed by a ShardedDB and checks each HTTP answer byte-identical
+// to the single-node twin's wire encoding.
+func TestShardedBackendEndToEnd(t *testing.T) {
+	sdb, twin := shardedTwin(t)
+	_, base := newTestServer(t, sdb, server.Config{})
+
+	cases := []server.ExecRequest{
+		{Kind: "conn", Seg: seg(10, 40, 90, 40)},
+		{Kind: "coknn", Seg: seg(30, 30, 70, 70), K: 2},
+		{Kind: "onn", P: pt(49, 40), K: 3},
+		{Kind: "distance", A: pt(40, 40), B: pt(60, 40)},
+		{Kind: "range", Center: pt(50, 50), Radius: 45},
+		{Kind: "closestpair", Queries: []server.Point{{X: 48, Y: 40}, {X: 52, Y: 40}}},
+	}
+	for _, env := range cases {
+		resp, body := postJSON(t, base+"/v1/exec", env)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: HTTP %d: %s", env.Kind, resp.StatusCode, body)
+		}
+		var got server.ExecResponse
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatalf("%s: %v", env.Kind, err)
+		}
+		req, err := env.ToRequest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Bit-identical to the sharded in-process exec...
+		assertBitIdentical(t, sdb, req, &got)
+		// ...and to the single-node twin over the same data.
+		want, err := twin.Exec(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, w := canonical(t, &got), canonical(t, server.EncodeAnswer(want))
+		if !bytes.Equal(g, w) {
+			t.Fatalf("%s: sharded HTTP answer differs from single-node twin\n sharded: %s\n single:  %s", env.Kind, g, w)
+		}
+	}
+}
+
+// TestShardedBackendSnapshotsAndStats exercises the server-held pin
+// endpoints over a sharded backend (Pin() yields a consistent cross-shard
+// cut) and checks /v1/stats carries the router's shard section.
+func TestShardedBackendSnapshotsAndStats(t *testing.T) {
+	sdb, twin := shardedTwin(t)
+	_, base := newTestServer(t, sdb, server.Config{})
+
+	// Pin the current cut over HTTP.
+	resp, body := postJSON(t, base+"/v1/snapshots", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create snapshot: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var snap server.SnapshotResponse
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate both twins identically past the pin.
+	p := connquery.Pt(49.5, 75)
+	if _, err := sdb.InsertPoint(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := twin.InsertPoint(p); err != nil {
+		t.Fatal(err)
+	}
+
+	// A pinned exec answers at the old cut, identical to the twin at the
+	// same epoch.
+	env := server.ExecRequest{Kind: "onn", P: pt(49, 40), K: 3, Snapshot: &snap.ID}
+	resp, body = postJSON(t, base+"/v1/exec", env)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pinned exec: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var got server.ExecResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != snap.Epoch {
+		t.Fatalf("pinned exec answered epoch %d, pin holds %d", got.Epoch, snap.Epoch)
+	}
+	req, _ := env.ToRequest()
+	want, err := twin.Exec(context.Background(), req, connquery.AtVersion(snap.Epoch))
+	if err == nil {
+		g, w := canonical(t, &got), canonical(t, server.EncodeAnswer(want))
+		if !bytes.Equal(g, w) {
+			t.Fatalf("pinned sharded answer differs from twin\n sharded: %s\n single:  %s", g, w)
+		}
+	}
+
+	// Stats must expose the per-shard section with live router counters.
+	statsResp, statsBody := postGet(t, base+"/v1/stats")
+	if statsResp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: HTTP %d", statsResp.StatusCode)
+	}
+	var stats server.StatsResponse
+	if err := json.Unmarshal(statsBody, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shards == nil {
+		t.Fatal("stats over a sharded backend omitted the shards section")
+	}
+	if stats.Shards.Shards != 4 || len(stats.Shards.PerShard) != 4 {
+		t.Fatalf("bad shard stats: %+v", stats.Shards)
+	}
+	if stats.Shards.RouterExecs == 0 || stats.Shards.ShardExecs == 0 {
+		t.Fatalf("router counters did not advance: %+v", stats.Shards)
+	}
+
+	// The pin releases cleanly over HTTP.
+	delReq, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/snapshots/%d", base, snap.ID), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp, err := http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot delete: HTTP %d", delResp.StatusCode)
+	}
+}
+
+func postGet(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}

@@ -19,10 +19,12 @@ import (
 // use) and a janitor goroutine releases expired pins — an abandoned client
 // can delay garbage of one version by at most the TTL, never forever.
 
-// serverSnap is one registered pin.
+// serverSnap is one registered pin. The Pin interface covers both backing
+// databases: a *connquery.Snapshot from a DB, a *connquery.ShardedSnapshot
+// (one consistent cross-shard cut) from a ShardedDB.
 type serverSnap struct {
 	id       uint64
-	snap     *connquery.Snapshot
+	snap     connquery.Pin
 	ttl      time.Duration
 	deadline time.Time
 	leases   int  // in-flight execs using the pin
@@ -97,9 +99,9 @@ func (sr *snapRegistry) sweep(now time.Time) {
 	}
 }
 
-// create pins the current version.
-func (sr *snapRegistry) create(db *connquery.DB) *serverSnap {
-	snap := db.Snapshot()
+// create pins the current version (cross-shard cut for a sharded backend).
+func (sr *snapRegistry) create(db connquery.Database) *serverSnap {
+	snap := db.Pin()
 	sr.mu.Lock()
 	defer sr.mu.Unlock()
 	sr.seq++
@@ -110,7 +112,7 @@ func (sr *snapRegistry) create(db *connquery.DB) *serverSnap {
 
 // lease hands the pin to one exec call: the TTL deadline slides, and the
 // janitor and DELETE leave the pin alive until the returned func runs.
-func (sr *snapRegistry) lease(id uint64) (*connquery.Snapshot, func(), error) {
+func (sr *snapRegistry) lease(id uint64) (connquery.Pin, func(), error) {
 	sr.mu.Lock()
 	defer sr.mu.Unlock()
 	e, ok := sr.byID[id]

@@ -93,9 +93,14 @@ type Tuple struct {
 }
 
 // Result is the wire form of a CONN-family answer (*connquery.Result).
+// max_dist is the answer's RLMAX bound (the paper's Lemma 2): the maximum
+// obstructed distance from any position on the segment to its nearest
+// neighbor — an upper bound on how far any influencing object can be.
+// "+Inf" when some interval has no reachable point.
 type Result struct {
-	Seg    Segment `json:"seg"`
-	Tuples []Tuple `json:"tuples"`
+	Seg     Segment `json:"seg"`
+	Tuples  []Tuple `json:"tuples"`
+	MaxDist Float   `json:"max_dist"`
 }
 
 // Owner is one member of a COkNN answer set.
@@ -112,10 +117,12 @@ type KTuple struct {
 }
 
 // KResult is the wire form of a COkNN answer (*connquery.KResult).
+// max_dist is the k-th-neighbor RLMAX bound (the paper's Lemma 7).
 type KResult struct {
-	Seg    Segment  `json:"seg"`
-	K      int      `json:"k"`
-	Tuples []KTuple `json:"tuples"`
+	Seg     Segment  `json:"seg"`
+	K       int      `json:"k"`
+	Tuples  []KTuple `json:"tuples"`
+	MaxDist Float    `json:"max_dist"`
 }
 
 // Neighbor is one answer of a point query (ONN, ObstructedRange,
@@ -144,7 +151,10 @@ type Trajectory struct {
 }
 
 // Metrics is the wire form of connquery.Metrics, the paper's per-query
-// cost profile.
+// cost profile. reach is the execution's retrieval footprint radius: the
+// maximum distance from the query geometry at which the engine consulted
+// its index streams ("+Inf" when a stream was exhausted under an unbounded
+// threshold, e.g. for an unreachable interval).
 type Metrics struct {
 	FaultsData int64 `json:"faults_data"`
 	FaultsObst int64 `json:"faults_obst"`
@@ -152,6 +162,7 @@ type Metrics struct {
 	NOE        int   `json:"noe"`
 	SVG        int   `json:"svg"`
 	CPUNs      int64 `json:"cpu_ns"`
+	Reach      Float `json:"reach"`
 }
 
 // Tuning is the wire form of connquery.Tuning, the per-call ablation
@@ -309,6 +320,9 @@ type StatsResponse struct {
 	NOETotal      int64            `json:"noe_total"`
 	SVGPeak       int64            `json:"svg_peak"`
 	Cache         CacheStats       `json:"cache"`
+	// Shards carries the scatter-gather router's counters when the served
+	// database is sharded; omitted for a single-node backend.
+	Shards *connquery.ShardStats `json:"shards,omitempty"`
 }
 
 // ---------------------------------------------------------------------------
@@ -347,6 +361,7 @@ func wireMetrics(m connquery.Metrics) Metrics {
 		NOE:        m.NOE,
 		SVG:        m.SVG,
 		CPUNs:      int64(m.CPU),
+		Reach:      Float(m.Reach),
 	}
 }
 
@@ -354,7 +369,7 @@ func wireResult(r *connquery.Result) *Result {
 	if r == nil {
 		return nil
 	}
-	out := &Result{Seg: wireSegment(r.Q), Tuples: make([]Tuple, len(r.Tuples))}
+	out := &Result{Seg: wireSegment(r.Q), Tuples: make([]Tuple, len(r.Tuples)), MaxDist: Float(r.MaxDist)}
 	for i, t := range r.Tuples {
 		out.Tuples[i] = Tuple{PID: t.PID, P: wirePoint(t.P), Span: wireSpan(t.Span)}
 	}
@@ -365,7 +380,7 @@ func wireKResult(r *connquery.KResult) *KResult {
 	if r == nil {
 		return nil
 	}
-	out := &KResult{Seg: wireSegment(r.Q), K: r.K, Tuples: make([]KTuple, len(r.Tuples))}
+	out := &KResult{Seg: wireSegment(r.Q), K: r.K, Tuples: make([]KTuple, len(r.Tuples)), MaxDist: Float(r.MaxDist)}
 	for i, t := range r.Tuples {
 		kt := KTuple{Span: wireSpan(t.Span), Owners: make([]Owner, len(t.Owners))}
 		for j, o := range t.Owners {

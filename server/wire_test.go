@@ -94,3 +94,90 @@ func TestToRequestValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestMaxDistReachRoundTrip: the RLMAX bound on CONN/COkNN payloads and the
+// retrieval-footprint radius in Metrics ride the wire exactly, including
+// the +Inf cases (an unreachable interval makes both unbounded).
+func TestMaxDistReachRoundTrip(t *testing.T) {
+	db, err := connquery.Open(
+		[]connquery.Point{connquery.Pt(10, 40), connquery.Pt(90, 40)},
+		[]connquery.Rect{connquery.R(45, 10, 55, 70)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	for _, req := range []connquery.Request{
+		connquery.CONNRequest{Seg: connquery.Seg(connquery.Pt(20, 40), connquery.Pt(80, 40))},
+		connquery.COkNNRequest{Seg: connquery.Seg(connquery.Pt(20, 40), connquery.Pt(80, 40)), K: 2},
+	} {
+		ans, err := db.Exec(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(EncodeAnswer(ans))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back ExecResponse
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		var gotMax float64
+		switch {
+		case back.Result != nil:
+			gotMax = float64(back.Result.MaxDist)
+			if want := ans.Result().MaxDist; gotMax != want {
+				t.Fatalf("%s: max_dist %v != %v", req.Kind(), gotMax, want)
+			}
+		case back.KResult != nil:
+			gotMax = float64(back.KResult.MaxDist)
+			if want := ans.KResult().MaxDist; gotMax != want {
+				t.Fatalf("%s: max_dist %v != %v", req.Kind(), gotMax, want)
+			}
+		default:
+			t.Fatalf("%s: no payload on the wire: %s", req.Kind(), b)
+		}
+		if gotMax <= 0 {
+			t.Fatalf("%s: max_dist not populated: %s", req.Kind(), b)
+		}
+		if got, want := float64(back.Metrics.Reach), ans.Metrics().Reach; got != want {
+			t.Fatalf("%s: reach %v != %v", req.Kind(), got, want)
+		}
+		if back.Metrics.Reach <= 0 {
+			t.Fatalf("%s: reach not populated: %s", req.Kind(), b)
+		}
+	}
+
+	// The +Inf path: a sealed world makes MaxDist and Reach unbounded, and
+	// both must survive as the "+Inf" string encoding.
+	sealed, err := connquery.Open(
+		[]connquery.Point{connquery.Pt(50, 50)},
+		[]connquery.Rect{
+			connquery.R(40, 40, 60, 43), connquery.R(40, 57, 60, 60),
+			connquery.R(40, 40, 43, 60), connquery.R(57, 40, 60, 60),
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := sealed.Exec(ctx, connquery.CONNRequest{Seg: connquery.Seg(connquery.Pt(0, 0), connquery.Pt(10, 0))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(ans.Result().MaxDist, 1) {
+		t.Fatalf("sealed world should have unbounded MaxDist, got %v", ans.Result().MaxDist)
+	}
+	b, err := json.Marshal(EncodeAnswer(ans))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ExecResponse
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(float64(back.Result.MaxDist), 1) {
+		t.Fatalf("+Inf max_dist did not survive the wire: %s", b)
+	}
+}

@@ -1,0 +1,188 @@
+package connquery
+
+// Deterministic shard-border geometry: the cases where naive spatial
+// partitioning breaks and the reach-bounded scatter-gather must not. Each
+// scenario is differentially checked against a single-node twin over the
+// same data.
+
+import (
+	"context"
+	"testing"
+)
+
+// borderTwin opens a 2x2 sharded world and its single-node twin over a
+// 100x100 world whose interior shard borders run at x=50 and y=50.
+func borderTwin(t *testing.T, pts []Point, obs []Rect) (*DB, *ShardedDB) {
+	t.Helper()
+	// Pin the grid extent with corner points so the borders land at 50.
+	single, err := Open(pts, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := OpenSharded(pts, obs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.m.cols != 2 || sharded.m.rows != 2 {
+		t.Fatalf("want 2x2 grid, got %dx%d", sharded.m.cols, sharded.m.rows)
+	}
+	return single, sharded
+}
+
+func checkBorderReq(t *testing.T, single *DB, sharded *ShardedDB, req Request) {
+	t.Helper()
+	ctx := context.Background()
+	want, err := single.Exec(ctx, req)
+	if err != nil {
+		t.Fatalf("%s: single: %v", req.Kind(), err)
+	}
+	got, err := sharded.Exec(ctx, req)
+	if err != nil {
+		t.Fatalf("%s: sharded: %v", req.Kind(), err)
+	}
+	checkTwinAnswers(t, req, got, want)
+}
+
+// TestShardBorderStraddlingObstacle routes queries around an obstacle that
+// straddles the vertical shard border: its replicas must behave as one
+// obstacle, never double-count (NOE), and detours crossing the border must
+// resolve exactly.
+func TestShardBorderStraddlingObstacle(t *testing.T) {
+	pts := []Point{
+		Pt(0, 0), Pt(100, 100), Pt(100, 0), Pt(0, 100), // grid-pinning corners
+		Pt(30, 50), Pt(70, 50), // NN candidates on both sides of the border
+		Pt(48, 70), Pt(53, 30),
+	}
+	obs := []Rect{
+		R(45, 40, 55, 60), // straddles x=50
+	}
+	single, sharded := borderTwin(t, pts, obs)
+
+	// A query segment crossing the border right through the obstacle's
+	// blocked corridor.
+	checkBorderReq(t, single, sharded, CONNRequest{Seg: Seg(Pt(40, 50), Pt(60, 50))})
+	checkBorderReq(t, single, sharded, COkNNRequest{Seg: Seg(Pt(40, 45), Pt(60, 55)), K: 3})
+	checkBorderReq(t, single, sharded, ONNRequest{P: Pt(49.5, 50), K: 4})
+	checkBorderReq(t, single, sharded, DistanceRequest{A: Pt(44, 50), B: Pt(56, 50)})
+	checkBorderReq(t, single, sharded, VisibleKNNRequest{P: Pt(50, 38), K: 3})
+
+	// The obstacle is one logical object: counted once, deletable once.
+	if n1, n2 := single.NumObstacles(), sharded.NumObstacles(); n1 != n2 {
+		t.Fatalf("obstacle counts differ: %d vs %d", n1, n2)
+	}
+	if !sharded.DeleteObstacle(0) || !single.DeleteObstacle(0) {
+		t.Fatal("straddling obstacle delete failed")
+	}
+	if sharded.DeleteObstacle(0) {
+		t.Fatal("double delete of straddling obstacle succeeded")
+	}
+	checkBorderReq(t, single, sharded, CONNRequest{Seg: Seg(Pt(40, 50), Pt(60, 50))})
+}
+
+// TestShardSpanningQuery runs a query whose segment spans three of the four
+// cells, forcing a genuine union-mirror execution, and verifies the router
+// recorded the multi-cell rounds while still pruning below broadcast.
+func TestShardSpanningQuery(t *testing.T) {
+	var pts []Point
+	pts = append(pts, Pt(0, 0), Pt(100, 100), Pt(100, 0), Pt(0, 100))
+	for i := 0; i < 20; i++ {
+		f := float64(i)
+		pts = append(pts, Pt(2+f*4.8, 25), Pt(2+f*4.8, 75))
+	}
+	obs := []Rect{R(20, 30, 30, 40), R(60, 60, 70, 70), R(40, 45, 60, 55)}
+	single, sharded := borderTwin(t, pts, obs)
+
+	// Diagonal through cells (0,0) → (1,0)/(0,1) → (1,1); long enough that
+	// the seed span alone covers ≥3 cells.
+	checkBorderReq(t, single, sharded, CONNRequest{Seg: Seg(Pt(10, 40), Pt(90, 60))})
+	checkBorderReq(t, single, sharded, TrajectoryRequest{Waypoints: []Point{Pt(10, 25), Pt(50, 25), Pt(90, 75)}})
+	checkBorderReq(t, single, sharded, CONNBatchRequest{Segs: []Segment{
+		Seg(Pt(5, 25), Pt(95, 25)),
+		Seg(Pt(48, 20), Pt(52, 80)),
+	}})
+	checkBorderReq(t, single, sharded, RangeRequest{Center: Pt(50, 50), Radius: 40})
+	checkBorderReq(t, single, sharded, EDistanceJoinRequest{Queries: []Point{Pt(25, 25), Pt(75, 75)}, E: 30})
+
+	// Cell-local queries ride the direct path; with them in the mix the
+	// router must come in strictly under broadcast cost.
+	checkBorderReq(t, single, sharded, ONNRequest{P: Pt(25, 24), K: 2})
+	checkBorderReq(t, single, sharded, ONNRequest{P: Pt(75, 76), K: 2})
+	checkBorderReq(t, single, sharded, RangeRequest{Center: Pt(20, 25), Radius: 5})
+
+	st := sharded.ShardStats()
+	if st.DirectExecs == 0 {
+		t.Fatalf("no cell-local query took the direct path: %+v", st)
+	}
+	if st.ShardExecs <= st.RouterExecs {
+		t.Fatalf("no multi-cell round was recorded: %+v", st)
+	}
+	if st.ShardExecs >= st.BroadcastCost {
+		t.Fatalf("router did not prune below broadcast: shard execs %d >= broadcast %d", st.ShardExecs, st.BroadcastCost)
+	}
+}
+
+// TestShardUnreachableFullFanout makes an answer provably world-dependent: a
+// query point sealed inside a blanket of obstacles has unreachable targets,
+// the engine exhausts its streams under an unbounded threshold, Reach goes
+// +Inf, and the router must expand to the full grid before accepting — the
+// only world that reproduces the trace.
+func TestShardUnreachableFullFanout(t *testing.T) {
+	pts := []Point{
+		Pt(0, 0), Pt(100, 100), Pt(100, 0), Pt(0, 100),
+		Pt(25, 25), // the sealed query-side world
+		Pt(75, 75), // a target it can never reach
+	}
+	// A closed box of four wall obstacles around (25,25), none containing a
+	// point, plus slack so the walls don't touch the sealed point.
+	obs := []Rect{
+		R(20, 20, 30, 21), R(20, 29, 30, 30), // bottom, top
+		R(20, 20, 21, 30), R(29, 20, 30, 30), // left, right
+	}
+	single, sharded := borderTwin(t, pts, obs)
+
+	req := ONNRequest{P: Pt(25, 25), K: 3}
+	ctx := context.Background()
+	want, err := single.Exec(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sharded.Exec(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTwinAnswers(t, req, got, want)
+
+	st := sharded.ShardStats()
+	if st.FullFanouts == 0 {
+		t.Fatalf("unreachable answer accepted without full fan-out: %+v", st)
+	}
+	if st.Expansions == 0 {
+		t.Fatalf("router never expanded: %+v", st)
+	}
+
+	// CONN through the sealed region: unreachable intervals report NoOwner
+	// identically.
+	checkBorderReq(t, single, sharded, CONNRequest{Seg: Seg(Pt(23, 25), Pt(27, 25))})
+}
+
+// TestShardBoundaryPointOwnership pins the half-open ownership convention: a
+// point exactly on an interior border belongs to the right/upper cell, and
+// queries around it stay exact.
+func TestShardBoundaryPointOwnership(t *testing.T) {
+	pts := []Point{
+		Pt(0, 0), Pt(100, 100), Pt(100, 0), Pt(0, 100),
+		Pt(50, 50), // exactly on both interior borders
+		Pt(50, 25), Pt(25, 50),
+	}
+	single, sharded := borderTwin(t, pts, nil)
+	checkBorderReq(t, single, sharded, ONNRequest{P: Pt(49.9, 49.9), K: 3})
+	checkBorderReq(t, single, sharded, ONNRequest{P: Pt(50.1, 50.1), K: 3})
+	checkBorderReq(t, single, sharded, CONNRequest{Seg: Seg(Pt(49, 49), Pt(51, 51))})
+
+	// The border point must be deletable through the router and the twins
+	// must agree afterwards.
+	if !sharded.DeletePoint(4) || !single.DeletePoint(4) {
+		t.Fatal("border point delete failed")
+	}
+	checkBorderReq(t, single, sharded, ONNRequest{P: Pt(50, 50), K: 2})
+}

@@ -1,0 +1,173 @@
+package connquery
+
+// Concurrency hygiene of the sharded tier, meant to run under -race:
+// writers on distinct shards commit in parallel (they contend only inside
+// the short commit sequencer, never on each other's shard writer lock or on
+// a global writer mutex), while cross-shard readers, snapshot-pinned
+// readers and a live watch race them. Asserts per-shard epochs advance
+// independently by exactly each shard's own mutation count, the router
+// revision totals all commits, and watch deliveries stay strictly monotone.
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestShardedConcurrentWriters(t *testing.T) {
+	// Corner points pin a 2x2 grid with interior borders at x=50, y=50.
+	pts := []Point{
+		Pt(0, 0), Pt(100, 100), Pt(100, 0), Pt(0, 100),
+		Pt(25, 25), Pt(75, 25), Pt(25, 75), Pt(75, 75),
+	}
+	sdb, err := OpenSharded(pts, nil, 4, WithAnswerCache(4<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseEpochs := make([]uint64, 4)
+	for i, st := range sdb.ShardStats().PerShard {
+		baseEpochs[i] = st.Epoch
+	}
+
+	const writerOps = 120
+	// Quadrant centers, one writer per shard. Writers stay strictly inside
+	// their own cell, so no two writers ever touch the same shard lock.
+	centers := []Point{Pt(25, 25), Pt(75, 25), Pt(25, 75), Pt(75, 75)}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Live watch across the whole world, collecting deliveries concurrently.
+	watchReq := CONNRequest{Seg: Seg(Pt(20, 20), Pt(80, 80))}
+	ch, err := sdb.Watch(ctx, watchReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	watchDone := make(chan struct{})
+	var deliveries int
+	go func() {
+		defer close(watchDone)
+		var prev uint64
+		for u := range ch {
+			if u.Err != nil {
+				t.Errorf("watch error: %v", u.Err)
+				return
+			}
+			if u.Epoch <= prev && prev != 0 {
+				t.Errorf("watch revs not monotone: %d after %d", u.Epoch, prev)
+				return
+			}
+			prev = u.Epoch
+			deliveries++
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for wi := 0; wi < 4; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(wi)))
+			c := centers[wi]
+			var mine []int32
+			for i := 0; i < writerOps; i++ {
+				if len(mine) > 0 && rng.Float64() < 0.3 {
+					k := rng.Intn(len(mine))
+					if !sdb.DeletePoint(mine[k]) {
+						t.Errorf("writer %d: delete of own point %d failed", wi, mine[k])
+						return
+					}
+					mine = append(mine[:k], mine[k+1:]...)
+					continue
+				}
+				p := Pt(c.X+rng.Float64()*40-20, c.Y+rng.Float64()*40-20)
+				pid, err := sdb.InsertPoint(p)
+				if err != nil {
+					t.Errorf("writer %d: %v", wi, err)
+					return
+				}
+				mine = append(mine, pid)
+			}
+		}(wi)
+	}
+
+	const readers = 3
+	for ri := 0; ri < readers; ri++ {
+		wg.Add(1)
+		go func(ri int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + ri)))
+			for i := 0; i < 80; i++ {
+				switch rng.Intn(3) {
+				case 0: // cross-shard spanning read
+					if _, err := sdb.Exec(ctx, CONNRequest{Seg: Seg(Pt(10, 45), Pt(90, 55))}); err != nil {
+						t.Errorf("reader %d: %v", ri, err)
+						return
+					}
+				case 1: // cell-local read
+					q := Pt(rng.Float64()*100, rng.Float64()*100)
+					if _, err := sdb.Exec(ctx, ONNRequest{P: q, K: 2}); err != nil {
+						t.Errorf("reader %d: %v", ri, err)
+						return
+					}
+				default: // snapshot-pinned read across a consistent cut
+					sp := sdb.Snapshot()
+					ans, err := sdb.Exec(ctx, ONNRequest{P: Pt(50, 50), K: 3}, sp.At())
+					if err != nil {
+						t.Errorf("reader %d pinned: %v", ri, err)
+						sp.Release()
+						return
+					}
+					if ans.Epoch() != sp.Epoch() {
+						t.Errorf("reader %d: pinned answer at rev %d, pin holds %d", ri, ans.Epoch(), sp.Epoch())
+					}
+					sp.Release()
+				}
+			}
+		}(ri)
+	}
+	wg.Wait()
+	cancel()
+	<-watchDone
+
+	// Every writer committed all its ops; the router revision is the sum.
+	if got, want := sdb.Version(), uint64(1+4*writerOps); got != want {
+		t.Fatalf("router revision %d, want %d", got, want)
+	}
+	// Per-shard epochs advanced independently by exactly each shard's own
+	// mutation count: writers are cell-local and points replicate nowhere.
+	perShard := sdb.ShardStats().PerShard
+	for i, st := range perShard {
+		if st.Epoch != baseEpochs[i]+writerOps {
+			t.Fatalf("shard %d epoch %d, want %d (+%d ops)", i, st.Epoch, baseEpochs[i]+writerOps, writerOps)
+		}
+	}
+	t.Logf("watch deliveries under concurrent writers: %d", deliveries)
+
+	// Quiesced, the world must again be bit-identical to a single node built
+	// from the surviving objects.
+	ref, err := Open(shardedAlivePoints(sdb), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.NumPoints() != sdb.NumPoints() {
+		t.Fatalf("alive point count: single %d, sharded %d", ref.NumPoints(), sdb.NumPoints())
+	}
+}
+
+// shardedAlivePoints reads the router's live point set in global-ID order.
+func shardedAlivePoints(s *ShardedDB) []Point {
+	s.seqMu.RLock()
+	defer s.seqMu.RUnlock()
+	var out []Point
+	for gid := range s.p2s {
+		loc := s.p2s[gid]
+		sh := s.shards[loc.shard]
+		v := sh.db.current()
+		if !v.deletedPts[loc.lid] {
+			out = append(out, loc.p)
+		}
+	}
+	return out
+}

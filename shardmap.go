@@ -1,0 +1,188 @@
+package connquery
+
+import (
+	"fmt"
+	"math"
+
+	"connquery/internal/geom"
+)
+
+// The shard map: a uniform cols x rows grid over the bounding rectangle of
+// the initial dataset. Interior cell boundaries follow the half-open
+// convention (a coordinate exactly on a boundary belongs to the cell on the
+// right/top), and the outermost cells extend to infinity, so the cell
+// regions tile the whole plane: every point has exactly one owning cell and
+// any rectangle intersects a contiguous block of cells.
+
+// shardMap assigns locations to grid cells. Immutable after creation.
+type shardMap struct {
+	cols, rows int
+	world      geom.Rect // finite grid extent; edge cells own everything beyond
+	cw, ch     float64   // cell width/height (always > 0)
+}
+
+// gridFor builds the near-square factorization of n shards over world:
+// rows is the largest divisor of n that is at most sqrt(n).
+func gridFor(n int, world geom.Rect) *shardMap {
+	rows := 1
+	for r := int(math.Sqrt(float64(n))); r >= 1; r-- {
+		if n%r == 0 {
+			rows = r
+			break
+		}
+	}
+	return newShardMap(n/rows, rows, world)
+}
+
+func newShardMap(cols, rows int, world geom.Rect) *shardMap {
+	m := &shardMap{cols: cols, rows: rows, world: world}
+	m.cw = world.Width() / float64(cols)
+	m.ch = world.Height() / float64(rows)
+	// Degenerate extents (all initial data collinear) collapse every
+	// interior boundary; any positive pitch keeps cellOf well-defined, with
+	// the outer cells absorbing the plane as usual.
+	if !(m.cw > 0) {
+		m.cw = 1
+	}
+	if !(m.ch > 0) {
+		m.ch = 1
+	}
+	return m
+}
+
+func (m *shardMap) numShards() int { return m.cols * m.rows }
+
+// cellOf returns the owning cell index of p: floor division clamped into
+// the grid, so boundary coordinates go right/up and everything beyond the
+// world rectangle lands in the nearest edge cell.
+func (m *shardMap) cellOf(p Point) int {
+	c := clampCell(int(math.Floor((p.X-m.world.MinX)/m.cw)), m.cols)
+	r := clampCell(int(math.Floor((p.Y-m.world.MinY)/m.ch)), m.rows)
+	return r*m.cols + c
+}
+
+func clampCell(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// cellRegion returns the region owned by cell i, with edge cells extended
+// to infinity. Regions of adjacent cells share their boundary line; the
+// half-open ownership convention of cellOf lives in cellOf, while regions
+// stay closed — the overlap is deliberate slack in the obstacle replication
+// predicate, never a correctness risk.
+func (m *shardMap) cellRegion(i int) geom.Rect {
+	c, r := i%m.cols, i/m.cols
+	return m.spanRect(cellSpan{c, r, c, r})
+}
+
+// cellSpan is a contiguous rectangular block of grid cells, the only shape
+// a scatter set ever takes: the cells intersecting any rectangle form such
+// a block, and the union of two blocks is their bounding block.
+type cellSpan struct{ c0, r0, c1, r1 int }
+
+func (s cellSpan) size() int    { return (s.c1 - s.c0 + 1) * (s.r1 - s.r0 + 1) }
+func (s cellSpan) single() bool { return s.c0 == s.c1 && s.r0 == s.r1 }
+func (s cellSpan) contains(c, r int) bool {
+	return c >= s.c0 && c <= s.c1 && r >= s.r0 && r <= s.r1
+}
+
+func (s cellSpan) union(o cellSpan) cellSpan {
+	if o.c0 < s.c0 {
+		s.c0 = o.c0
+	}
+	if o.r0 < s.r0 {
+		s.r0 = o.r0
+	}
+	if o.c1 > s.c1 {
+		s.c1 = o.c1
+	}
+	if o.r1 > s.r1 {
+		s.r1 = o.r1
+	}
+	return s
+}
+
+// cells invokes fn with every cell index of the span, in ascending order.
+func (s cellSpan) cells(m *shardMap, fn func(i int)) {
+	for r := s.r0; r <= s.r1; r++ {
+		for c := s.c0; c <= s.c1; c++ {
+			fn(r*m.cols + c)
+		}
+	}
+}
+
+func (s cellSpan) String() string {
+	return fmt.Sprintf("cells[%d,%d..%d,%d]", s.c0, s.r0, s.c1, s.r1)
+}
+
+// fullSpan covers the whole grid.
+func (m *shardMap) fullSpan() cellSpan {
+	return cellSpan{0, 0, m.cols - 1, m.rows - 1}
+}
+
+// spanFor returns the block of cells whose regions cover box. An empty box
+// maps to the origin cell (a canonical single-shard seed for requests with
+// no geometry); an infinite box maps to the full grid.
+func (m *shardMap) spanFor(box geom.Rect) cellSpan {
+	if box.Empty() {
+		return cellSpan{0, 0, 0, 0}
+	}
+	return cellSpan{
+		c0: cellIdx(box.MinX, m.world.MinX, m.cw, m.cols),
+		r0: cellIdx(box.MinY, m.world.MinY, m.ch, m.rows),
+		c1: cellIdx(box.MaxX, m.world.MinX, m.cw, m.cols),
+		r1: cellIdx(box.MaxY, m.world.MinY, m.ch, m.rows),
+	}
+}
+
+// cellIdx maps a coordinate to its clamped grid index on one axis. The
+// infinities need explicit cases: converting a non-finite float to int is
+// implementation-defined in Go, and +Inf must land on the far edge cell.
+func cellIdx(x, origin, pitch float64, n int) int {
+	if math.IsInf(x, 1) {
+		return n - 1
+	}
+	if math.IsInf(x, -1) {
+		return 0
+	}
+	return clampCell(int(math.Floor((x-origin)/pitch)), n)
+}
+
+// spanRect returns the plane region covered by a span's cell regions: the
+// bounding rectangle with edge rows/columns extended to infinity.
+func (m *shardMap) spanRect(s cellSpan) geom.Rect {
+	out := geom.Rect{
+		MinX: m.world.MinX + float64(s.c0)*m.cw,
+		MinY: m.world.MinY + float64(s.r0)*m.ch,
+		MaxX: m.world.MinX + float64(s.c1+1)*m.cw,
+		MaxY: m.world.MinY + float64(s.r1+1)*m.ch,
+	}
+	if s.c0 == 0 {
+		out.MinX = math.Inf(-1)
+	}
+	if s.r0 == 0 {
+		out.MinY = math.Inf(-1)
+	}
+	if s.c1 == m.cols-1 {
+		out.MaxX = math.Inf(1)
+	}
+	if s.r1 == m.rows-1 {
+		out.MaxY = math.Inf(1)
+	}
+	return out
+}
+
+// shardGuard pads the acceptance test of the scatter-gather expansion loop:
+// an answer computed on the union world of a cell span is accepted only
+// when its retrieval footprint, inflated by this guard, still resolves to
+// the same span. The pad absorbs the geometry package's Eps-slack
+// intersection tests and the boundary-ownership convention, so an object
+// grazing a cell boundary can never be consulted by the union execution yet
+// live outside it.
+const shardGuard = geom.Eps * 1024

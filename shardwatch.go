@@ -1,0 +1,159 @@
+package connquery
+
+import (
+	"context"
+	"sync"
+
+	"connquery/internal/anscache"
+	"connquery/internal/geom"
+)
+
+// Sharded watches. Semantics match DB.Watch — first Update at the revision
+// current at subscribe time, re-execution after commits with coalescing,
+// strictly increasing delivered revisions, identical error/close behavior —
+// with one sharded refinement: commits only wake the watchers whose
+// answer's impact region (the widened region proven sufficient for cache
+// invalidation) the change box intersects. A watcher whose region a
+// mutation misses provably keeps its exact answer, so the skipped wake-up
+// is unobservable except as fewer redundant deliveries: a sharded watch may
+// deliver fewer (never different) updates than its single-node twin under
+// mutations far from the watched geometry.
+
+// shardWatcher is one live sharded watch subscription.
+type shardWatcher struct {
+	wake chan struct{}
+
+	mu        sync.Mutex
+	region    anscache.Region
+	hasRegion bool // false until the first delivery: wake on everything
+}
+
+func (w *shardWatcher) setRegion(rg anscache.Region) {
+	w.mu.Lock()
+	w.region, w.hasRegion = rg, true
+	w.mu.Unlock()
+}
+
+// wakes reports whether a committed change box must wake this watcher.
+func (w *shardWatcher) wakes(change geom.Rect, isPoint bool) bool {
+	w.mu.Lock()
+	rg, has := w.region, w.hasRegion
+	w.mu.Unlock()
+	if !has {
+		return true
+	}
+	if isPoint {
+		if !rg.Points {
+			return false
+		}
+	} else if !rg.Obstacles {
+		return false
+	}
+	return rg.Rect.Intersects(change)
+}
+
+// shardWatchSet is the router's registry of live watch subscriptions.
+type shardWatchSet struct {
+	mu   sync.Mutex
+	subs map[*shardWatcher]struct{}
+}
+
+func (ws *shardWatchSet) add() *shardWatcher {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if ws.subs == nil {
+		ws.subs = make(map[*shardWatcher]struct{})
+	}
+	w := &shardWatcher{wake: make(chan struct{}, 1)}
+	ws.subs[w] = struct{}{}
+	return w
+}
+
+func (ws *shardWatchSet) remove(w *shardWatcher) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	delete(ws.subs, w)
+}
+
+// notify wakes the watchers a committed mutation could affect. Sends are
+// non-blocking (capacity-one channels), so bursts coalesce exactly as in
+// the single-node watchSet.
+func (ws *shardWatchSet) notify(change geom.Rect, isPoint bool) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	for w := range ws.subs {
+		if !w.wakes(change, isPoint) {
+			continue
+		}
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Watch subscribes req to the router's revision chain, with the same
+// contract as DB.Watch: same validation, same delivery and error semantics,
+// same coalescing. Delivered answers are bit-identical to the single-node
+// watch's answers at the same revisions; only redundant deliveries (updates
+// whose mutation provably could not change the answer) may be skipped.
+func (s *ShardedDB) Watch(ctx context.Context, req Request, opts ...QueryOption) (<-chan Update, error) {
+	if req == nil {
+		return nil, ErrNilRequest
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var xo execOptions
+	for _, o := range opts {
+		o(&xo)
+	}
+	if xo.pinned() {
+		return nil, ErrPinnedWatch
+	}
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	out := make(chan Update)
+	w := s.watch.add()
+	go s.watchLoop(ctx, req, &xo, out, w)
+	return out, nil
+}
+
+// watchLoop is the sharded per-subscription goroutine, mirroring
+// DB.watchLoop with the router cut in place of the MVCC version.
+func (s *ShardedDB) watchLoop(ctx context.Context, req Request, xo *execOptions, out chan<- Update, w *shardWatcher) {
+	defer close(out)
+	defer s.watch.remove(w)
+	var prev *Answer
+	var prevRev uint64
+	for {
+		cut := s.liveCut()
+		if prev == nil || cut.rev > prevRev {
+			ans, region, err := s.execRouted(ctx, req, xo, cut)
+			if err != nil {
+				if ctx.Err() != nil {
+					return // cancelled mid-execution: close without an errored update
+				}
+				select {
+				case out <- Update{Epoch: cut.rev, Err: err}:
+				case <-ctx.Done():
+				}
+				return
+			}
+			select {
+			case out <- Update{Epoch: cut.rev, Answer: ans, Delta: answerDelta(prev, ans)}:
+			case <-ctx.Done():
+				return
+			}
+			prev = ans
+			prevRev = cut.rev
+			w.setRegion(region)
+		}
+		select {
+		case <-w.wake:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
