@@ -186,3 +186,75 @@ func TestShardBoundaryPointOwnership(t *testing.T) {
 	}
 	checkBorderReq(t, single, sharded, ONNRequest{P: Pt(50, 50), K: 2})
 }
+
+// TestShardMirrorRegistryBounded drives more distinct multi-cell spans than
+// the mirror registry admits (a 3x3 grid has 36 spans, the cap is 2*9=18)
+// and checks the LRU holds: the live mirror count stays within the cap,
+// evictions are recorded, re-queried spans rebuild from the log with
+// bit-identical answers, and the aggregated cache counters survive the
+// evictions instead of dropping.
+func TestShardMirrorRegistryBounded(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(90, 90), Pt(90, 0), Pt(0, 90)} // borders at 30/60
+	for x := 5; x < 90; x += 8 {
+		for y := 5; y < 90; y += 8 {
+			pts = append(pts, Pt(float64(x), float64(y)))
+		}
+	}
+	// Obstacle interiors sit in the gaps of the 8-pitch lattice (x,y ≡ 5 mod 8).
+	obs := []Rect{R(14, 38, 20, 44), R(46, 14, 52, 20), R(62, 70, 68, 76)}
+	single, err := Open(pts, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := OpenSharded(pts, obs, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.m.cols != 3 || sharded.m.rows != 3 {
+		t.Fatalf("want 3x3 grid, got %dx%d", sharded.m.cols, sharded.m.rows)
+	}
+
+	// One CONN segment per multi-cell span of the grid, kept well inside the
+	// span so the seed resolves exactly there.
+	var reqs []Request
+	for c0 := 0; c0 < 3; c0++ {
+		for c1 := c0; c1 < 3; c1++ {
+			for r0 := 0; r0 < 3; r0++ {
+				for r1 := r0; r1 < 3; r1++ {
+					if c0 == c1 && r0 == r1 {
+						continue
+					}
+					reqs = append(reqs, CONNRequest{Seg: Seg(
+						Pt(float64(c0*30+7), float64(r0*30+7)),
+						Pt(float64(c1*30+23), float64(r1*30+23)))})
+				}
+			}
+		}
+	}
+	for _, req := range reqs {
+		checkBorderReq(t, single, sharded, req)
+	}
+	st := sharded.ShardStats()
+	if st.Mirrors > sharded.mirCap {
+		t.Fatalf("mirror registry exceeded its cap: %d live > %d", st.Mirrors, sharded.mirCap)
+	}
+	if st.MirrorEvicts == 0 {
+		t.Fatalf("%d spans queried but nothing was evicted: %+v", len(reqs), st)
+	}
+
+	// Mutate, then re-query every span: evicted mirrors must rebuild from
+	// the log and stay differentially exact.
+	if _, err := sharded.InsertPoint(Pt(33, 33)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := single.InsertPoint(Pt(33, 33)); err != nil {
+		t.Fatal(err)
+	}
+	cs := sharded.CacheStats()
+	for _, req := range reqs {
+		checkBorderReq(t, single, sharded, req)
+	}
+	if after := sharded.CacheStats(); after.Misses < cs.Misses || after.Hits < cs.Hits {
+		t.Fatalf("cache counters went backwards across evictions: %+v -> %+v", cs, after)
+	}
+}

@@ -10,9 +10,11 @@ package connquery
 
 import (
 	"context"
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestShardedConcurrentWriters(t *testing.T) {
@@ -153,6 +155,195 @@ func TestShardedConcurrentWriters(t *testing.T) {
 	}
 	if ref.NumPoints() != sdb.NumPoints() {
 		t.Fatalf("alive point count: single %d, sharded %d", ref.NumPoints(), sdb.NumPoints())
+	}
+}
+
+// TestShardedLiveReadEpochAgreement pins the live single-shard read
+// invariant: an answer stamped with router revision E reflects exactly the
+// mutations committed at or before E — never a later one that a concurrent
+// writer had applied to the shard DB but not yet (or only just) sequenced.
+// A writer streams inserts into one cell while a reader runs cell-local
+// range queries over it; every answer's visible insert set must be exactly
+// the prefix its stamp promises.
+func TestShardedLiveReadEpochAgreement(t *testing.T) {
+	pts := []Point{
+		Pt(0, 0), Pt(100, 100), Pt(100, 0), Pt(0, 100),
+		Pt(25, 25), Pt(75, 25), Pt(25, 75), Pt(75, 75),
+	}
+	const nInit = 8
+	sdb, err := OpenSharded(pts, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The writer streams inserts for the reader's whole run (capped so a
+	// stalled reader cannot grow the world unboundedly), keeping commits
+	// landing inside the reader's cut-capture windows throughout.
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50000; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			// All inserts land in cell (0,0), within radius 15 of (25,25).
+			a := float64(i) * 0.37
+			r := 1 + 14*float64(i%17)/16
+			if _, err := sdb.InsertPoint(Pt(25+r*math.Cos(a), 25+r*math.Sin(a))); err != nil {
+				t.Errorf("insert %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	ctx := context.Background()
+	req := RangeRequest{Center: Pt(25, 25), Radius: 20}
+	for i := 0; i < 2000; i++ {
+		ans, err := sdb.Exec(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Revision E covers exactly the first E-1 mutations, all of which are
+		// the writer's inserts with consecutive global PIDs from nInit.
+		want := int(ans.Epoch()) - 1
+		got := 0
+		for _, n := range ans.Neighbors() {
+			if n.PID < nInit {
+				continue
+			}
+			got++
+			if n.PID >= int32(nInit+want) {
+				t.Fatalf("answer stamped rev %d contains PID %d, committed only at rev %d",
+					ans.Epoch(), n.PID, n.PID-nInit+2)
+			}
+		}
+		if got != want {
+			t.Fatalf("answer stamped rev %d holds %d inserted points, want %d", ans.Epoch(), got, want)
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
+// TestShardedLiveCutOvertakenByCommit pins the same invariant
+// deterministically, white-box: a live cut is captured, a commit overtakes
+// it, and the routed execution — which can only read the shard's new head —
+// must slide its stamp to the revision the data actually reflects instead
+// of stamping newer data with the stale cut.
+func TestShardedLiveCutOvertakenByCommit(t *testing.T) {
+	pts := []Point{
+		Pt(0, 0), Pt(100, 100), Pt(100, 0), Pt(0, 100),
+		Pt(25, 25), Pt(75, 25), Pt(25, 75), Pt(75, 75),
+	}
+	sdb, err := OpenSharded(pts, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := sdb.liveCut()
+	pid, err := sdb.InsertPoint(Pt(26, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xo execOptions
+	ans, _, err := sdb.execRouted(context.Background(), RangeRequest{Center: Pt(25, 25), Radius: 20}, &xo, cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range ans.Neighbors() {
+		if n.PID == pid {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("live read missed the committed point %d entirely: %+v", pid, ans.Neighbors())
+	}
+	if ans.Epoch() != sdb.Version() {
+		t.Fatalf("answer contains the rev-%d insert but is stamped rev %d", sdb.Version(), ans.Epoch())
+	}
+}
+
+// TestShardedWatchRegionShiftLiveness drives the missed-wake race: each
+// round deletes the watched query's nearest neighbor (shrinking answer →
+// growing wake region) and immediately inserts a replacement that the *new*
+// region covers but the old one may not — the exact commit-during-
+// re-execution interleaving that must not strand the watcher on a stale
+// answer. The watch has to converge to the live answer every round.
+func TestShardedWatchRegionShiftLiveness(t *testing.T) {
+	pts := []Point{
+		Pt(0, 0), Pt(100, 100), Pt(100, 0), Pt(0, 100),
+		Pt(25, 25), Pt(75, 25), Pt(25, 75), Pt(75, 75),
+	}
+	sdb, err := OpenSharded(pts, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch, err := sdb.Watch(ctx, ONNRequest{P: Pt(20, 20), K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// converge drains updates until the payload matches want; a missed wake
+	// leaves the watcher asleep forever and trips the deadline instead.
+	converge := func(round int, want *Answer) {
+		t.Helper()
+		deadline := time.After(10 * time.Second)
+		for {
+			select {
+			case u, ok := <-ch:
+				if !ok || u.Err != nil {
+					t.Fatalf("round %d: watch died: %+v", round, u.Err)
+				}
+				if u.Epoch != u.Answer.Epoch() {
+					t.Fatalf("round %d: update stamped %d, answer stamped %d", round, u.Epoch, u.Answer.Epoch())
+				}
+				if answersEqual(u.Answer.Value(), want.Value()) {
+					return
+				}
+			case <-deadline:
+				t.Fatalf("round %d: watch never converged to the live answer (missed wake?)", round)
+			}
+		}
+	}
+
+	for round := 0; round < 20; round++ {
+		// A point almost on the query: the answer's wake region collapses
+		// around it. Converge so the collapsed region is installed.
+		near, err := sdb.InsertPoint(Pt(20.5, 20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantNear, err := sdb.Exec(ctx, ONNRequest{P: Pt(20, 20), K: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		converge(round, wantNear)
+
+		// Delete it: the wake fires, the watcher re-executes the baseline
+		// answer (whose region reaches back out to the 7.07-away owner) and
+		// then blocks delivering it to us — with the collapsed region still
+		// installed, because the new one is only set after delivery. The
+		// sleep parks it there; the insert at distance ~2.8 then commits
+		// outside the installed region, so it queues no wake of its own and
+		// only the post-delivery revision re-check can pick it up.
+		sdb.DeletePoint(near)
+		time.Sleep(5 * time.Millisecond)
+		mid, err := sdb.InsertPoint(Pt(22, 22))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sdb.Exec(ctx, ONNRequest{P: Pt(20, 20), K: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		converge(round, want)
+		sdb.DeletePoint(mid)
 	}
 }
 

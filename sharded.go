@@ -106,6 +106,16 @@ type shardUnit struct {
 	l2gP []int32
 	l2gO []int32
 
+	// committedEpoch/committedRev are the shard DB's MVCC epoch as of this
+	// shard's last sequencer-committed mutation and the router revision that
+	// commit produced (guarded by ShardedDB.seqMu, like the l2g tables).
+	// Writers apply to the shard DB before entering the sequencer, so the
+	// DB head alone can briefly run ahead of the router log; the live read
+	// path compares the head's epoch against committedEpoch to capture a
+	// version and a router revision that provably agree.
+	committedEpoch uint64
+	committedRev   uint64
+
 	execs atomic.Int64 // engine executions routed to this shard
 }
 
@@ -143,8 +153,18 @@ type ShardedDB struct {
 	// requires a non-empty point set; the dummy is deleted immediately).
 	dummy Point
 
-	mirMu   sync.Mutex
-	mirrors map[cellSpan]*unionMirror
+	// The union-mirror registry is LRU-bounded by mirCap: a cols x rows grid
+	// admits O((cols*rows)^2) distinct spans, so an unbounded registry would
+	// grow without limit on long-running servers with varied query geometry.
+	// mirSeq is the LRU clock and retiredCache accumulates the cache
+	// counters of evicted mirrors so CacheStats stays cumulative; all three
+	// are guarded by mirMu.
+	mirMu        sync.Mutex
+	mirrors      map[cellSpan]*unionMirror
+	mirSeq       uint64
+	mirCap       int
+	retiredCache CacheStats
+	mirEvictions atomic.Int64
 
 	pinMu sync.Mutex
 	pins  map[uint64]map[*ShardedSnapshot]struct{}
@@ -209,6 +229,10 @@ func OpenSharded(points []Point, obstacles []Rect, shards int, opts ...Option) (
 	s.rev.Store(1)
 	s.nPts.Store(int64(len(points)))
 	s.nObs.Store(int64(len(obstacles)))
+	s.mirCap = 2 * s.m.numShards()
+	if s.mirCap < 8 {
+		s.mirCap = 8
+	}
 
 	// Global registries: initial objects take gids 0..n-1 in input order,
 	// exactly the PIDs/OIDs Open would assign.
@@ -263,6 +287,8 @@ func OpenSharded(points []Point, obstacles []Rect, shards int, opts ...Option) (
 			sh.l2gP = append([]int32{-1}, sh.l2gP...)
 		}
 		sh.db = db
+		sh.committedEpoch = db.Version()
+		sh.committedRev = 1
 	}
 	return s, nil
 }
@@ -304,10 +330,17 @@ func (s *ShardedDB) liveCut() routerCut {
 // is appended before the revision advances — all under seqMu, while the
 // caller still holds the target shard locks. That nesting is what keeps
 // per-shard application order, global ID order and revision order aligned.
-func (s *ShardedDB) commit(stamp func() changeEntry) uint64 {
+// targets are the shards the caller applied the mutation to; their
+// committed-position markers advance with the revision, which is what lets
+// live reads pair a shard version with the router revision it belongs to.
+func (s *ShardedDB) commit(stamp func() changeEntry, targets ...*shardUnit) uint64 {
 	s.seqMu.Lock()
 	s.log = append(s.log, stamp())
 	rev := s.rev.Add(1)
+	for _, sh := range targets {
+		sh.committedEpoch = sh.db.Version()
+		sh.committedRev = rev
+	}
 	s.seqMu.Unlock()
 	return rev
 }
@@ -337,7 +370,7 @@ func (s *ShardedDB) InsertPoint(p Point) (int32, error) {
 		s.p2s = append(s.p2s, pointLoc{shard: int32(si), lid: lid, p: p})
 		sh.l2gP = append(sh.l2gP, gid)
 		return changeEntry{op: opInsPt, gid: gid, p: p}
-	})
+	}, sh)
 	s.nPts.Add(1)
 	s.watch.notify(pointBox(p), true)
 	return gid, nil
@@ -359,7 +392,7 @@ func (s *ShardedDB) DeletePoint(gid int32) bool {
 	if !sh.db.DeletePoint(loc.lid) {
 		return false
 	}
-	s.commit(func() changeEntry { return changeEntry{op: opDelPt, gid: gid, p: loc.p} })
+	s.commit(func() changeEntry { return changeEntry{op: opDelPt, gid: gid, p: loc.p} }, sh)
 	s.nPts.Add(-1)
 	s.watch.notify(pointBox(loc.p), true)
 	return true
@@ -417,7 +450,7 @@ func (s *ShardedDB) InsertObstacle(r Rect) (int32, error) {
 		}
 		s.o2s = append(s.o2s, loc)
 		return changeEntry{op: opInsObs, gid: gid, r: r}
-	})
+	}, targets...)
 	s.nObs.Add(1)
 	s.watch.notify(r, false)
 	return gid, nil
@@ -470,7 +503,7 @@ func (s *ShardedDB) DeleteObstacle(gid int32) bool {
 			return false
 		}
 	}
-	s.commit(func() changeEntry { return changeEntry{op: opDelObs, gid: gid, r: loc.r} })
+	s.commit(func() changeEntry { return changeEntry{op: opDelObs, gid: gid, r: loc.r} }, targets...)
 	s.nObs.Add(-1)
 	s.watch.notify(loc.r, false)
 	return true
@@ -488,33 +521,39 @@ func (s *ShardedDB) NumObstacles() int { return int(s.nObs.Load()) }
 // mutation history.
 func (s *ShardedDB) Version() uint64 { return s.rev.Load() }
 
+// addCacheStats folds one cache's counters into an aggregate.
+func addCacheStats(agg *CacheStats, st CacheStats) {
+	agg.Hits += st.Hits
+	agg.Misses += st.Misses
+	agg.Promotions += st.Promotions
+	agg.PromotedHits += st.PromotedHits
+	agg.Invalidations += st.Invalidations
+	agg.Evictions += st.Evictions
+	agg.Entries += st.Entries
+	agg.Bytes += st.Bytes
+}
+
 // CacheStats aggregates the answer-cache counters of every shard and every
-// live union mirror.
+// live union mirror, plus the final counters of mirrors the registry has
+// LRU-evicted (so the hit/miss totals stay cumulative across evictions).
 func (s *ShardedDB) CacheStats() CacheStats {
 	var agg CacheStats
-	add := func(st CacheStats) {
-		agg.Hits += st.Hits
-		agg.Misses += st.Misses
-		agg.Promotions += st.Promotions
-		agg.PromotedHits += st.PromotedHits
-		agg.Invalidations += st.Invalidations
-		agg.Evictions += st.Evictions
-		agg.Entries += st.Entries
-		agg.Bytes += st.Bytes
-	}
 	for _, sh := range s.shards {
-		add(sh.db.CacheStats())
+		addCacheStats(&agg, sh.db.CacheStats())
 	}
 	s.mirMu.Lock()
 	mirrors := make([]*unionMirror, 0, len(s.mirrors))
 	for _, m := range s.mirrors {
 		mirrors = append(mirrors, m)
 	}
+	addCacheStats(&agg, s.retiredCache)
 	s.mirMu.Unlock()
 	for _, m := range mirrors {
 		m.mu.Lock()
-		if m.db != nil {
-			add(m.db.CacheStats())
+		// A mirror evicted after the registry snapshot above already folded
+		// its counters into retiredCache; counting it again would double.
+		if m.db != nil && !m.retired {
+			addCacheStats(&agg, m.db.CacheStats())
 		}
 		m.mu.Unlock()
 	}
@@ -541,9 +580,11 @@ type ShardStats struct {
 	RouterExecs   int64       `json:"router_execs"`
 	ShardExecs    int64       `json:"shard_execs"`    // sum of |cells| over all exec rounds
 	BroadcastCost int64       `json:"broadcast_cost"` // router_execs * shards
-	Expansions    int64       `json:"expansions"`     // rounds rerun after a footprint escape
-	FullFanouts   int64       `json:"full_fanouts"`   // rounds spanning every shard
-	DirectExecs   int64       `json:"direct_execs"`   // rounds on exactly one shard
+	Expansions    int64       `json:"expansions"`       // rounds rerun after a footprint escape
+	FullFanouts   int64       `json:"full_fanouts"`     // rounds spanning every shard
+	DirectExecs   int64       `json:"direct_execs"`     // rounds on exactly one shard
+	Mirrors       int         `json:"mirrors"`          // live union mirrors (LRU-bounded)
+	MirrorEvicts  int64       `json:"mirror_evictions"` // mirrors dropped by the registry LRU
 	PerShard      []ShardStat `json:"per_shard"`
 }
 
@@ -559,7 +600,11 @@ func (s *ShardedDB) ShardStats() ShardStats {
 		Expansions:    s.expansions.Load(),
 		FullFanouts:   s.fullFanouts.Load(),
 		DirectExecs:   s.directExecs.Load(),
+		MirrorEvicts:  s.mirEvictions.Load(),
 	}
+	s.mirMu.Lock()
+	st.Mirrors = len(s.mirrors)
+	s.mirMu.Unlock()
 	for _, sh := range s.shards {
 		st.PerShard = append(st.PerShard, ShardStat{
 			Points:    sh.db.NumPoints(),

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 
 	"connquery/internal/anscache"
@@ -61,7 +62,17 @@ func (s *ShardedDB) Exec(ctx context.Context, req Request, opts ...QueryOption) 
 		return nil, err
 	}
 	ans, _, err := s.execRouted(ctx, req, &xo, cut)
-	return ans, err
+	if err != nil {
+		return nil, err
+	}
+	if xo.byEpoch && ans.Epoch() != xo.epoch {
+		// AtVersion resolved to the live cut, but a commit overtook the
+		// requested revision before the shard state could be captured; with
+		// no pin holding the older state, the verdict is the same one cutAt
+		// gives for any other unpinned revision.
+		return nil, fmt.Errorf("%w: epoch %d (current %d; pin versions with ShardedDB.Snapshot)", ErrVersionNotPinned, xo.epoch, ans.Epoch())
+	}
+	return ans, nil
 }
 
 // resolveCut picks the router cut the query runs against, mirroring
@@ -112,10 +123,14 @@ func (s *ShardedDB) cutAt(epoch uint64) (routerCut, error) {
 	return routerCut{rev: sp.rev, logLen: sp.logLen, pin: sp}, nil
 }
 
-// execRouted runs the scatter-gather loop at a fixed cut and returns the
+// execRouted runs the scatter-gather loop at a cut and returns the
 // translated answer plus its wake region (the retrieval footprint with the
 // request's mutation-kind sensitivity), which the sharded watch uses to
-// skip wakeups that provably cannot change the answer.
+// skip wakeups that provably cannot change the answer. Pinned and
+// mirror-backed reads run exactly at the given cut; a live single-shard
+// read may slide the cut forward when a commit on the target shard
+// overtook it (spanWorld), so the answer's stamped epoch — which always
+// matches the data it reflects — can exceed the requested cut.rev.
 func (s *ShardedDB) execRouted(ctx context.Context, req Request, xo *execOptions, cut routerCut) (*Answer, anscache.Region, error) {
 	span := s.m.spanFor(seedBox(req))
 	base := requestBaseBox(req)
@@ -132,7 +147,11 @@ func (s *ShardedDB) execRouted(ctx context.Context, req Request, xo *execOptions
 		if span.size() == s.m.numShards() {
 			s.fullFanouts.Add(1)
 		}
-		db, v, l2g, err := s.spanWorld(cut, span)
+		var db *DB
+		var v *version
+		var l2g []int32
+		var err error
+		db, v, l2g, cut, err = s.spanWorld(cut, span)
 		if err != nil {
 			return nil, anscache.Region{}, err
 		}
@@ -172,31 +191,56 @@ func (s *ShardedDB) execRouted(ctx context.Context, req Request, xo *execOptions
 
 // spanWorld returns the executable world of a cell block at a cut: a DB
 // whose current/pinned version holds exactly the block's sub-world, plus
-// the local-to-global PID table for answer translation.
-func (s *ShardedDB) spanWorld(cut routerCut, span cellSpan) (*DB, *version, []int32, error) {
+// the local-to-global PID table for answer translation, plus the cut the
+// world actually sits at. Pinned and mirror-backed worlds sit exactly at
+// the given cut. A live single-shard read captures the shard's committed
+// head, which a concurrent writer may have pushed past the cut; in that
+// case the returned cut slides forward to the captured position so the
+// stamped revision and the executed data always agree.
+func (s *ShardedDB) spanWorld(cut routerCut, span cellSpan) (*DB, *version, []int32, routerCut, error) {
 	if span.single() {
 		idx := span.r0*s.m.cols + span.c0
 		sh := s.shards[idx]
 		sh.execs.Add(1)
 		if cut.pin != nil {
-			return sh.db, cut.pin.snaps[idx].v, s.shardL2GP(sh), nil
+			return sh.db, cut.pin.snaps[idx].v, s.shardL2GP(sh), cut, nil
 		}
-		// Live read: the writer applies to the shard DB before it appends
-		// the l2g row in the sequencer, so a freshly captured version can
-		// briefly be ahead of the table. Re-read until the table covers it.
+		// Live read: capture the shard's committed state together with the
+		// router position it belongs to. The writer applies to the shard DB
+		// before its sequencer section, so the DB head can briefly be ahead
+		// of the last commit (and of the l2g table); a head whose epoch
+		// disagrees with the shard's committed epoch is mid-commit — retry
+		// until apply and commit agree. On agreement the captured version is
+		// the shard's exact state for every router revision in
+		// [committedRev, rev], and the l2g table covers it.
 		for {
+			s.seqMu.RLock()
+			ce, cr := sh.committedEpoch, sh.committedRev
+			l2g := sh.l2gP
+			rev, logLen := s.rev.Load(), len(s.log)
+			s.seqMu.RUnlock()
 			v := sh.db.current()
-			l2g := s.shardL2GP(sh)
-			if len(l2g) >= len(v.points) {
-				return sh.db, v, l2g, nil
+			if v.epoch != ce {
+				runtime.Gosched()
+				continue
 			}
-			runtime.Gosched()
+			if cut.rev >= cr {
+				// The cut falls inside [cr, rev]: v is the shard's state at
+				// cut.rev exactly, so the original stamp stands.
+				return sh.db, v, l2g, cut, nil
+			}
+			// A commit on this shard overtook the cut before the capture and
+			// the older state holds no pin; slide the cut to the consistent
+			// position read above.
+			return sh.db, v, l2g, routerCut{rev: rev, logLen: logLen}, nil
 		}
 	}
 	if cut.pin != nil {
-		return cut.pin.unionWorld(span)
+		db, v, l2g, err := cut.pin.unionWorld(span)
+		return db, v, l2g, cut, err
 	}
-	return s.mirrorWorld(cut, span)
+	db, v, l2g, err := s.mirrorWorld(cut, span)
+	return db, v, l2g, cut, err
 }
 
 // shardL2GP snapshots a shard's local-to-global point table.
@@ -224,10 +268,18 @@ type unionMirror struct {
 	g2lP    map[int32]int32
 	g2lO    map[int32]int32
 	l2gP    []int32
+
+	lastUse uint64 // registry LRU clock (guarded by ShardedDB.mirMu)
+	retired bool   // LRU-evicted; counters already folded into retiredCache (guarded by mu)
 }
 
 // mirrorFor returns (creating if needed) the mirror registry entry of a
 // block; the expensive build happens lazily under the mirror's own lock.
+// The registry is LRU-bounded (mirCap): each mirror carries a full copy of
+// its block's data plus an answer cache, and the possible spans are
+// quadratic in the grid size, so admitting a new span may evict the
+// longest-idle one. Eviction loses only work — the span's next query
+// rebuilds the mirror from the log — never answers.
 func (s *ShardedDB) mirrorFor(span cellSpan) *unionMirror {
 	s.mirMu.Lock()
 	defer s.mirMu.Unlock()
@@ -235,8 +287,49 @@ func (s *ShardedDB) mirrorFor(span cellSpan) *unionMirror {
 	if !ok {
 		m = &unionMirror{span: span, rect: s.m.spanRect(span)}
 		s.mirrors[span] = m
+		s.evictMirrors(m)
 	}
+	s.mirSeq++
+	m.lastUse = s.mirSeq
 	return m
+}
+
+// evictMirrors drops least-recently-used mirrors until the registry fits
+// mirCap again, sparing keep and any mirror whose lock is contended (a
+// held lock means a build or catch-up is in flight — de facto hot, and
+// folding its counters would block behind it). Counters of the evicted
+// accumulate in retiredCache so CacheStats stays cumulative. Caller holds
+// mirMu.
+func (s *ShardedDB) evictMirrors(keep *unionMirror) {
+	if len(s.mirrors) <= s.mirCap {
+		return
+	}
+	type cand struct {
+		span cellSpan
+		m    *unionMirror
+	}
+	cands := make([]cand, 0, len(s.mirrors))
+	for span, m := range s.mirrors {
+		if m != keep {
+			cands = append(cands, cand{span, m})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].m.lastUse < cands[j].m.lastUse })
+	for _, c := range cands {
+		if len(s.mirrors) <= s.mirCap {
+			return
+		}
+		if !c.m.mu.TryLock() {
+			continue
+		}
+		if c.m.db != nil {
+			addCacheStats(&s.retiredCache, c.m.db.CacheStats())
+		}
+		c.m.retired = true
+		c.m.mu.Unlock()
+		delete(s.mirrors, c.span)
+		s.mirEvictions.Add(1)
+	}
 }
 
 // mirrorWorld builds/catches up the block's mirror to the cut and captures

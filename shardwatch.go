@@ -141,14 +141,29 @@ func (s *ShardedDB) watchLoop(ctx context.Context, req Request, xo *execOptions,
 				}
 				return
 			}
+			// Stamp deliveries with the answer's own revision, not the cut's:
+			// a live single-shard execution slides forward when a commit on
+			// the target shard overtakes the cut (see spanWorld), and the
+			// delivered epoch must match the data it reflects.
 			select {
-			case out <- Update{Epoch: cut.rev, Answer: ans, Delta: answerDelta(prev, ans)}:
+			case out <- Update{Epoch: ans.Epoch(), Answer: ans, Delta: answerDelta(prev, ans)}:
 			case <-ctx.Done():
 				return
 			}
 			prev = ans
-			prevRev = cut.rev
+			prevRev = ans.Epoch()
 			w.setRegion(region)
+			// Close the missed-wake race: while this re-execution ran,
+			// notify filtered commits against the *previous* answer's region,
+			// so a mutation intersecting only the new region queued no wake.
+			// The new region is installed now; re-check the revision directly
+			// instead of trusting the wake channel, and go around again if
+			// anything committed meanwhile. Commits landing after this check
+			// are filtered against the region just installed, so their wakes
+			// (the channel holds one token) cannot be lost.
+			if s.liveCut().rev > prevRev {
+				continue
+			}
 		}
 		select {
 		case <-w.wake:
