@@ -8,6 +8,7 @@
 //	connbench -json <dir> [-baseline BENCH_table2_defaults.json] [-max-regress 0.10] [-workers 1]
 //	connbench -json <dir> -workers 0 -kernel-baseline BENCH_kernel_baseline.json [-min-speedup 4]
 //	connbench -cache-json <dir> [-cache-baseline BENCH_cache.json] [-max-regress 0.50]
+//	connbench -wal <dir> [-mutation-baseline BENCH_mutation.json] [-max-wal-factor 3]
 //
 // -scale 1 reproduces the paper's full dataset cardinalities (|CA| = 60,344
 // points, |LA| = 131,461 obstacles); the default 0.1 runs the whole suite in
@@ -35,6 +36,14 @@
 // warm ns/op additionally obeys -max-regress against the pinned record
 // (the warm path is sub-microsecond, so CI uses a looser tolerance than
 // the uncached gate) and the hit rate may never drop.
+//
+// -wal measures what durability costs per mutation: one seeded
+// insert/delete stream applied to an in-memory database, a durable one
+// under a -wal-window group-commit window, and a durable one in strict
+// fsync-per-mutation mode, written as BENCH_wal.json. With
+// -mutation-baseline the group-commit cost is gated at -max-wal-factor
+// times the pinned in-memory mutation record's ns/op — the durability-cost
+// regression gate.
 package main
 
 import (
@@ -42,6 +51,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"math/rand"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -50,6 +60,7 @@ import (
 
 	"connquery"
 	"connquery/internal/bench"
+	"connquery/internal/dataset"
 	"connquery/internal/geom"
 	"connquery/internal/stats"
 )
@@ -69,6 +80,11 @@ func main() {
 	metricsBaseline := flag.String("metrics-baseline", "", "with -json: require NPE/NOE/|SVG| to match this pinned BENCH_*.json record exactly, with no ns/op gate — the sharded bit-identity gate (ns ratios across backends are not comparable)")
 	kernelBaseline := flag.String("kernel-baseline", "", "with -json: compare against this pinned pre-kernel BENCH_*.json record and fail unless the measured run is at least -min-speedup times faster with exactly matching NPE/NOE/|SVG|")
 	minSpeedup := flag.Float64("min-speedup", 4.0, "with -kernel-baseline: minimum required speedup over the pinned pre-kernel record")
+	walDir := flag.String("wal", "", "measure durability cost (ns/mutation in-memory vs group-commit vs strict fsync on the same stream) and write BENCH_wal.json into this directory")
+	walOps := flag.Int("wal-ops", 2000, "with -wal: mutations per measured mode")
+	walWindow := flag.Duration("wal-window", 2*time.Millisecond, "with -wal: group-commit sync window")
+	mutationBaseline := flag.String("mutation-baseline", "", "with -wal: gate group-commit ns/mutation against this pinned in-memory mutation record (BENCH_mutation.json)")
+	maxWALFactor := flag.Float64("max-wal-factor", bench.MaxGroupCommitFactor, "with -mutation-baseline: maximum tolerated group-commit cost as a multiple of the pinned in-memory ns/op")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file when the run finishes")
 	flag.Parse()
@@ -129,6 +145,28 @@ func main() {
 		}
 		if *kernelBaseline != "" {
 			if err := gateKernel(out, res, *kernelBaseline, *minSpeedup); err != nil {
+				fmt.Fprintln(os.Stderr, "connbench:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	if *walDir != "" {
+		res, err := measureWALExec(cfg, *walOps, *walWindow)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "connbench:", err)
+			os.Exit(1)
+		}
+		path, err := bench.WriteWALJSON(*walDir, res)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "connbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(out, "%s: mem %.1f us/mut, group-commit %.1f us/mut (window %v), fsync %.1f us/mut\n",
+			path, res.MemNsPerOp/1e3, res.GroupNsPerOp/1e3, *walWindow, res.FsyncNsPerOp/1e3)
+		if *mutationBaseline != "" {
+			if err := gateWAL(out, res, *mutationBaseline, *maxWALFactor); err != nil {
 				fmt.Fprintln(os.Stderr, "connbench:", err)
 				os.Exit(1)
 			}
@@ -309,6 +347,109 @@ func measureCacheExec(cfg bench.Config) bench.CacheBenchResult {
 		WarmRounds:      rounds,
 		Timestamp:       time.Now().UTC().Format(time.RFC3339),
 	}
+}
+
+// measureWALExec measures what durability costs per mutation: one seeded
+// insert/delete stream applied to an in-memory handle, a durable handle
+// under a group-commit window, and a durable handle in strict
+// fsync-per-mutation mode. The streams are identical (same rng seed, same
+// engine semantics), so any ns difference is the logging itself. Automatic
+// checkpointing is disabled in the durable modes so the numbers measure the
+// steady-state append path, not a checkpoint that happens to fire mid-run.
+func measureWALExec(cfg bench.Config, ops int, window time.Duration) (bench.WALBenchResult, error) {
+	w := bench.BuildWorkload("CL", cfg.Scale, bench.DefaultRatio, cfg.Seed)
+
+	runStream := func(db connquery.Database) (float64, error) {
+		rng := rand.New(rand.NewSource(cfg.Seed + 1))
+		var live []int32
+		start := time.Now()
+		for n := 0; n < ops; n++ {
+			if len(live) > 0 && rng.Float64() < 0.4 {
+				i := rng.Intn(len(live))
+				if !db.DeletePoint(live[i]) {
+					return 0, fmt.Errorf("wal bench: DeletePoint(%d) failed", live[i])
+				}
+				live = append(live[:i], live[i+1:]...)
+				continue
+			}
+			p := geom.Point{X: rng.Float64() * dataset.Side, Y: rng.Float64() * dataset.Side}
+			id, err := db.InsertPoint(p)
+			if err != nil {
+				// The draw landed inside an obstacle; the rejection is part of
+				// the stream (identical across modes) and costs a validation
+				// pass, not a log append.
+				continue
+			}
+			live = append(live, id)
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(ops), nil
+	}
+
+	mem, err := connquery.Open(w.Points, w.Obstacles)
+	if err != nil {
+		return bench.WALBenchResult{}, err
+	}
+	memNs, err := runStream(mem)
+	if err != nil {
+		return bench.WALBenchResult{}, err
+	}
+
+	durableStream := func(opts ...connquery.Option) (float64, error) {
+		dir, err := os.MkdirTemp("", "connbench-wal-")
+		if err != nil {
+			return 0, err
+		}
+		defer os.RemoveAll(dir)
+		opts = append(opts, connquery.WithBootstrapData(w.Points, w.Obstacles), connquery.WithCheckpointEvery(-1))
+		db, err := connquery.OpenDurable(dir, opts...)
+		if err != nil {
+			return 0, err
+		}
+		defer db.Close()
+		return runStream(db)
+	}
+	groupNs, err := durableStream(connquery.WithGroupCommit(window))
+	if err != nil {
+		return bench.WALBenchResult{}, err
+	}
+	fsyncNs, err := durableStream()
+	if err != nil {
+		return bench.WALBenchResult{}, err
+	}
+
+	return bench.WALBenchResult{
+		Name:          "wal",
+		Tool:          "connbench -wal (one op = one point insert/delete on the CL workload; in-memory vs OpenDurable group-commit vs OpenDurable strict fsync)",
+		Scale:         cfg.Scale,
+		Ops:           ops,
+		Seed:          cfg.Seed,
+		MemNsPerOp:    memNs,
+		GroupNsPerOp:  groupNs,
+		FsyncNsPerOp:  fsyncNs,
+		GroupWindowMs: float64(window.Nanoseconds()) / 1e6,
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+	}, nil
+}
+
+// gateWAL enforces the durability-cost gate: group-commit logging may cost
+// at most maxFactor times the pinned in-memory mutation baseline
+// (BENCH_mutation.json). Like every ns gate in this repo the comparison is
+// machine-dependent — re-pin the baseline when the reference hardware
+// changes. Strict-fsync cost is informational: it is the device's sync
+// latency, not this code's overhead.
+func gateWAL(out *os.File, cur bench.WALBenchResult, baselinePath string, maxFactor float64) error {
+	base, err := bench.ReadJSON(baselinePath)
+	if err != nil {
+		return fmt.Errorf("mutation baseline %s: %w", baselinePath, err)
+	}
+	factor := cur.GroupNsPerOp / base.NsPerOp
+	fmt.Fprintf(out, "mutation baseline %s: in-memory %.1f us/mut, group-commit %.1f us/mut (%.2fx, ceiling %.1fx)\n",
+		baselinePath, base.NsPerOp/1e3, cur.GroupNsPerOp/1e3, factor, maxFactor)
+	if factor > maxFactor {
+		return fmt.Errorf("group-commit mutation cost %.1f us is %.2fx the pinned in-memory baseline %.1f us (ceiling %.1fx)",
+			cur.GroupNsPerOp/1e3, factor, base.NsPerOp/1e3, maxFactor)
+	}
+	return nil
 }
 
 // gateCache enforces the cache-effectiveness gate: the hard

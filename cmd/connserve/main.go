@@ -9,8 +9,19 @@
 // -obstacles-csv, the conngen format), or a generated paper workload
 // (-workload/-scale/-ratio/-seed, the default).
 //
+// With -data-dir the database is durable: every mutation is written to a
+// write-ahead log before it is acknowledged, checkpoints bound the log, and
+// a restart — graceful or kill -9 — recovers the exact last acknowledged
+// epoch. An empty directory is bootstrapped from the configured dataset
+// source; a populated one is recovered and the dataset flags are ignored.
+// -group-commit trades the per-mutation fsync for a windowed one;
+// -checkpoint-every tunes how often the log is folded into a checkpoint.
+// Works with -shards: each shard keeps its own WAL plus a global sequencer
+// log, and recovery rebuilds the identical sharded twin.
+//
 //	connserve -addr :8080 -workload CL -scale 0.02
 //	connserve -load city.snap -request-timeout 5s -snapshot-ttl 2m
+//	connserve -data-dir /var/lib/connquery -workload CL -scale 0.02 -group-commit 2ms
 //
 // Then, for example:
 //
@@ -57,6 +68,9 @@ func main() {
 	ratio := flag.Float64("ratio", 1, "|P|/|O| ratio for UL/ZL")
 	seed := flag.Int64("seed", 2009, "workload seed")
 	shards := flag.Int("shards", 1, "serve a spatially sharded database with this many shard units (1 = single-node; answers are bit-identical either way)")
+	dataDir := flag.String("data-dir", "", "durable storage directory (WAL + checkpoints): recovers existing state on boot — the dataset flags are ignored then — or bootstraps the directory from the configured dataset source")
+	groupCommit := flag.Duration("group-commit", 0, "with -data-dir: sync the WAL on this window instead of per mutation (0 = strict fsync before every commit)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "with -data-dir: checkpoint after this many logged records (0 = library default, negative = manual/shutdown only)")
 	oneTree := flag.Bool("onetree", false, "index points and obstacles in one R-tree")
 	buffer := flag.Int("buffer", 0, "LRU buffer pages per tree")
 	cacheBytes := flag.Int64("cache-bytes", connquery.DefaultAnswerCacheBytes,
@@ -76,7 +90,8 @@ func main() {
 	}
 	opts = append(opts, connquery.WithAnswerCache(*cacheBytes))
 
-	db, source, err := openDB(*load, *pointsCSV, *obstaclesCSV, *workload, *scale, *ratio, *seed, *shards, opts)
+	db, source, err := openDB(*load, *pointsCSV, *obstaclesCSV, *workload, *scale, *ratio, *seed,
+		*shards, *dataDir, *groupCommit, *ckptEvery, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -138,57 +153,111 @@ func main() {
 		log.Printf("shutdown: %v", err)
 	}
 	<-done
+	// With -data-dir this drains the WAL into a final checkpoint, so the next
+	// boot recovers instantly with nothing to replay; without it Close is a
+	// no-op.
+	if c, ok := db.(interface{ Close() error }); ok {
+		if err := c.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
+	}
 	log.Printf("bye")
 }
 
 // openDB resolves the configured dataset source and opens it single-node or
 // sharded (shards > 1). For a binary snapshot the objects are extracted and
-// re-partitioned, since the snapshot format is single-node.
-func openDB(load, pointsCSV, obstaclesCSV, workload string, scale, ratio float64, seed int64, shards int, opts []connquery.Option) (connquery.Database, string, error) {
-	open := func(pts []connquery.Point, obs []connquery.Rect) (connquery.Database, error) {
-		if shards > 1 {
-			return connquery.OpenSharded(pts, obs, shards, opts...)
+// re-partitioned, since the snapshot format is single-node. With dataDir
+// set, the database is durable: an existing store is recovered (the dataset
+// flags are then ignored — the directory IS the dataset), an empty one is
+// bootstrapped from the resolved source.
+func openDB(load, pointsCSV, obstaclesCSV, workload string, scale, ratio float64, seed int64,
+	shards int, dataDir string, groupCommit time.Duration, ckptEvery int, opts []connquery.Option) (connquery.Database, string, error) {
+	if dataDir != "" {
+		dopts := append([]connquery.Option(nil), opts...)
+		if groupCommit > 0 {
+			dopts = append(dopts, connquery.WithGroupCommit(groupCommit))
 		}
-		return connquery.Open(pts, obs, opts...)
+		if ckptEvery != 0 {
+			dopts = append(dopts, connquery.WithCheckpointEvery(ckptEvery))
+		}
+		if !connquery.HasDurableState(dataDir) {
+			pts, obs, source, err := resolveDataset(load, pointsCSV, obstaclesCSV, workload, scale, ratio, seed, nil)
+			if err != nil {
+				return nil, "", err
+			}
+			dopts = append(dopts, connquery.WithBootstrapData(pts, obs))
+			db, err := openDurable(dataDir, shards, dopts)
+			if err != nil {
+				return nil, "", err
+			}
+			return db, fmt.Sprintf("%s, bootstrapped into %s", source, dataDir), nil
+		}
+		db, err := openDurable(dataDir, shards, dopts)
+		if err != nil {
+			return nil, "", err
+		}
+		rs := db.(interface {
+			RecoveryStats() connquery.RecoveryStats
+		}).RecoveryStats()
+		return db, fmt.Sprintf("durable store %s (recovered epoch %d: %d checkpoint bytes, %d WAL records replayed)",
+			dataDir, rs.Epoch, rs.CheckpointBytes, rs.WALRecords), nil
 	}
-	switch {
-	case load != "":
+
+	// In-memory: a snapshot keeps its single-node handle (cheapest), anything
+	// else opens over the resolved object arrays.
+	if load != "" && shards == 1 {
 		db, err := connquery.LoadFile(load, opts...)
 		if err != nil {
 			return nil, "", err
 		}
-		if shards > 1 {
-			sdb, err := connquery.OpenSharded(db.Points(), db.Obstacles(), shards, opts...)
-			if err != nil {
-				return nil, "", err
-			}
-			return sdb, fmt.Sprintf("snapshot %s", load), nil
-		}
 		return db, fmt.Sprintf("snapshot %s", load), nil
+	}
+	pts, obs, source, err := resolveDataset(load, pointsCSV, obstaclesCSV, workload, scale, ratio, seed, opts)
+	if err != nil {
+		return nil, "", err
+	}
+	if shards > 1 {
+		db, err := connquery.OpenSharded(pts, obs, shards, opts...)
+		return db, source, err
+	}
+	db, err := connquery.Open(pts, obs, opts...)
+	return db, source, err
+}
+
+// openDurable dispatches to the durable constructor for the topology.
+func openDurable(dir string, shards int, opts []connquery.Option) (connquery.Database, error) {
+	if shards > 1 {
+		return connquery.OpenDurableSharded(dir, shards, opts...)
+	}
+	return connquery.OpenDurable(dir, opts...)
+}
+
+// resolveDataset materializes the configured source as object arrays.
+func resolveDataset(load, pointsCSV, obstaclesCSV, workload string, scale, ratio float64, seed int64,
+	opts []connquery.Option) ([]connquery.Point, []connquery.Rect, string, error) {
+	switch {
+	case load != "":
+		db, err := connquery.LoadFile(load, opts...)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		return db.Points(), db.Obstacles(), fmt.Sprintf("snapshot %s", load), nil
 	case pointsCSV != "" || obstaclesCSV != "":
 		if pointsCSV == "" || obstaclesCSV == "" {
-			return nil, "", errors.New("-points-csv and -obstacles-csv must be given together")
+			return nil, nil, "", errors.New("-points-csv and -obstacles-csv must be given together")
 		}
 		pts, err := readCSV(pointsCSV, dataset.ReadPointsCSV)
 		if err != nil {
-			return nil, "", err
+			return nil, nil, "", err
 		}
 		obs, err := readCSV(obstaclesCSV, dataset.ReadRectsCSV)
 		if err != nil {
-			return nil, "", err
+			return nil, nil, "", err
 		}
-		db, err := open(dataset.FilterPoints(pts, obs), obs)
-		if err != nil {
-			return nil, "", err
-		}
-		return db, fmt.Sprintf("csv %s + %s", pointsCSV, obstaclesCSV), nil
+		return dataset.FilterPoints(pts, obs), obs, fmt.Sprintf("csv %s + %s", pointsCSV, obstaclesCSV), nil
 	default:
 		w := bench.BuildWorkload(strings.ToUpper(workload), scale, ratio, seed)
-		db, err := open(w.Points, w.Obstacles)
-		if err != nil {
-			return nil, "", err
-		}
-		return db, fmt.Sprintf("workload %s scale %g", w.Name, scale), nil
+		return w.Points, w.Obstacles, fmt.Sprintf("workload %s scale %g", w.Name, scale), nil
 	}
 }
 

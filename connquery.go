@@ -184,6 +184,11 @@ type DB struct {
 
 	// watch holds the live Watch subscriptions notified on every publish.
 	watch watchSet
+
+	// dur is the durable attachment (nil for in-memory handles): the WAL
+	// writer every mutation logs to before publishing, the checkpoint
+	// cadence, and the latched fail-stop error. Guarded by mu.
+	dur *durableState
 }
 
 // current returns the snapshot a query should run against.

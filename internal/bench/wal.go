@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// WALBenchResult is the machine-readable record of the durability-cost
+// bench (BENCH_wal.json): the same mutation stream measured against an
+// in-memory database, a durable one in group-commit mode, and a durable one
+// in strict per-mutation fsync mode. Produced by `connbench -wal`; the
+// -mutation-baseline flag gates the group-commit cost against the pinned
+// in-memory mutation record (BENCH_mutation.json) — group commit is the
+// deployment default the README recommends, so its per-mutation cost may
+// not exceed MaxGroupCommitFactor times the pinned in-memory ns/op. Strict
+// mode is reported, not gated: its cost is the device's fsync latency, not
+// a property of this code.
+type WALBenchResult struct {
+	Name  string  `json:"name"`
+	Tool  string  `json:"tool"`
+	Scale float64 `json:"scale"`
+	Ops   int     `json:"ops"`
+	Seed  int64   `json:"seed"`
+	// MemNsPerOp is one mutation on a plain in-memory handle; GroupNsPerOp
+	// adds the WAL append under a GroupWindowMs sync window; FsyncNsPerOp
+	// adds a synchronous fsync to every mutation.
+	MemNsPerOp    float64 `json:"mem_ns_per_op"`
+	GroupNsPerOp  float64 `json:"group_ns_per_op"`
+	FsyncNsPerOp  float64 `json:"fsync_ns_per_op"`
+	GroupWindowMs float64 `json:"group_window_ms"`
+	Timestamp     string  `json:"timestamp"`
+}
+
+// MaxGroupCommitFactor is the acceptance ceiling for group-commit mutation
+// cost relative to the pinned in-memory mutation baseline: logging a
+// mutation under a sync window may slow the write path by at most this
+// factor.
+const MaxGroupCommitFactor = 3.0
+
+// ReadWALJSON loads a pinned WALBenchResult record.
+func ReadWALJSON(path string) (WALBenchResult, error) {
+	var r WALBenchResult
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// WriteWALJSON writes r to dir/BENCH_<name>.json and returns the path.
+func WriteWALJSON(dir string, r WALBenchResult) (string, error) {
+	path := filepath.Join(dir, "BENCH_"+r.Name+".json")
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,73 @@
+package wal
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzWALRecord drives the frame codec both ways. The encode direction
+// checks that any representable record round-trips exactly; the decode
+// direction feeds the raw fuzzed bytes to the scanner-side decoder and
+// checks the safety contract: it never panics, never accepts a frame whose
+// re-encoding differs (so a corrupt frame can never be mis-replayed), and
+// rejects every truncation of a valid frame — the torn-tail cases.
+func FuzzWALRecord(f *testing.F) {
+	seedRecs := []Record{
+		{Op: OpInsertPoint, ID: 0, Epoch: 1, Coords: [4]float64{0, 0}},
+		{Op: OpDeletePoint, ID: 42, Epoch: 1 << 40, Coords: [4]float64{-1.5, 2.25}},
+		{Op: OpInsertObstacle, ID: 7, Epoch: 2, Coords: [4]float64{1, 2, 3, 4}},
+		{Op: OpDeleteObstacle, ID: -1, Epoch: 99, Coords: [4]float64{math.Pi, -math.E, 1e300, 5e-324}},
+	}
+	for _, r := range seedRecs {
+		f.Add(AppendFrame(nil, r))
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0}, 64))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, n, ok := DecodeFrame(data)
+		if !ok {
+			// Rejected input must not hide a frame the writer could have
+			// produced: re-encoding of anything is irrelevant here, but the
+			// decoder's verdict must at least be stable.
+			if _, _, again := DecodeFrame(data); again {
+				t.Fatal("decoder verdict not deterministic")
+			}
+			return
+		}
+		if n < frameHeader+minPayloadLen || n > len(data) {
+			t.Fatalf("accepted frame with implausible length %d (input %d bytes)", n, len(data))
+		}
+		// An accepted frame must be exactly what the encoder produces for the
+		// decoded record — the no-mis-replay property. NaN coordinate bit
+		// patterns survive the trip because the codec moves raw float bits.
+		enc := AppendFrame(nil, rec)
+		if !bytes.Equal(enc, data[:n]) {
+			t.Fatalf("accepted frame is not canonical: % x vs % x", data[:n], enc)
+		}
+		// Every strict prefix of the frame is a torn tail and must be
+		// rejected, along with any single corrupted byte inside it.
+		for cut := n - 1; cut >= 0; cut-- {
+			if _, _, ok := DecodeFrame(data[:cut]); ok {
+				t.Fatalf("truncated frame of %d/%d bytes accepted", cut, n)
+			}
+		}
+		for i := 0; i < n; i++ {
+			mut := append([]byte(nil), data[:n]...)
+			mut[i] ^= 0x5a
+			if r2, _, ok := DecodeFrame(mut); ok {
+				// A flipped byte may still decode if it only toggled bits the
+				// checksum covers... it cannot: CRC-32C detects all single-byte
+				// errors within a frame this short. Length-prefix flips that
+				// still frame a valid shorter/longer payload would need the
+				// checksum to match by chance; treat any acceptance that
+				// changes the record as mis-replay.
+				if r2 != rec {
+					t.Fatalf("byte %d flip decoded to a different record: %+v vs %+v", i, r2, rec)
+				}
+			}
+		}
+	})
+}

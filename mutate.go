@@ -6,6 +6,7 @@ import (
 
 	"connquery/internal/core"
 	"connquery/internal/rtree"
+	"connquery/internal/wal"
 )
 
 // Mutation support with snapshot isolation. Every mutation serializes on the
@@ -97,9 +98,23 @@ func (db *DB) publish(nv *version) {
 // ordering is not load-bearing for correctness, because a lookup only hits
 // an entry whose validity range covers the queried epoch, but it means a
 // watcher woken by this publish finds its promoted entry already in place.
-func (db *DB) commit(v, nv *version, change Rect, points bool) {
+//
+// On a durable handle the mutation's WAL record is appended — and, in
+// strict mode, fsynced — before any of that: an error means nothing was
+// published and the caller must discard nv (the orphaned array append is
+// harmless; the next insert at this epoch overwrites the same slot).
+func (db *DB) commit(v, nv *version, change Rect, points bool, rec wal.Record) error {
+	if db.dur != nil {
+		if err := db.dur.logRecord(nv.epoch, rec); err != nil {
+			return err
+		}
+	}
 	db.cache.Invalidate(v.epoch, nv.epoch, change, points)
 	db.publish(nv)
+	if db.dur != nil {
+		db.maybeCheckpointLocked(nv)
+	}
+	return nil
 }
 
 // pointBox is the change box of a point mutation.
@@ -162,6 +177,9 @@ func (db *DB) InsertPoint(p Point) (int32, error) {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.writableLocked(); err != nil {
+		return 0, err
+	}
 	v := db.current()
 	for _, o := range v.obstaclesNear(p) {
 		if o.ContainsOpen(p) {
@@ -181,7 +199,10 @@ func (db *DB) InsertPoint(p Point) (int32, error) {
 		t.Insert(rtree.PointItem(pid, p))
 		return true
 	})
-	db.commit(v, nv, pointBox(p), true)
+	rec := wal.Record{Op: wal.OpInsertPoint, ID: pid, Coords: [4]float64{p.X, p.Y}}
+	if err := db.commit(v, nv, pointBox(p), true, rec); err != nil {
+		return 0, err
+	}
 	return pid, nil
 }
 
@@ -190,6 +211,9 @@ func (db *DB) InsertPoint(p Point) (int32, error) {
 func (db *DB) DeletePoint(pid int32) bool {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.writableLocked() != nil {
+		return false
+	}
 	v := db.current()
 	if pid < 0 || int(pid) >= len(v.points) || v.deletedPts[pid] {
 		return false
@@ -201,8 +225,9 @@ func (db *DB) DeletePoint(pid int32) bool {
 	}) {
 		return false
 	}
-	db.commit(v, nv, pointBox(v.points[pid]), true)
-	return true
+	p := v.points[pid]
+	rec := wal.Record{Op: wal.OpDeletePoint, ID: pid, Coords: [4]float64{p.X, p.Y}}
+	return db.commit(v, nv, pointBox(p), true, rec) == nil
 }
 
 // InsertObstacle adds an obstacle and returns its ID. The rectangle must
@@ -214,6 +239,9 @@ func (db *DB) InsertObstacle(r Rect) (int32, error) {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.writableLocked(); err != nil {
+		return 0, err
+	}
 	v := db.current()
 	var blocked *int32
 	v.pointTree().View(nil).Search(r, func(it rtree.Item) bool {
@@ -238,7 +266,10 @@ func (db *DB) InsertObstacle(r Rect) (int32, error) {
 		t.Insert(rtree.ObstacleItem(oid, r))
 		return true
 	})
-	db.commit(v, nv, r, false)
+	rec := wal.Record{Op: wal.OpInsertObstacle, ID: oid, Coords: [4]float64{r.MinX, r.MinY, r.MaxX, r.MaxY}}
+	if err := db.commit(v, nv, r, false, rec); err != nil {
+		return 0, err
+	}
 	return oid, nil
 }
 
@@ -247,6 +278,9 @@ func (db *DB) InsertObstacle(r Rect) (int32, error) {
 func (db *DB) DeleteObstacle(oid int32) bool {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.writableLocked() != nil {
+		return false
+	}
 	v := db.current()
 	if oid < 0 || int(oid) >= len(v.obstacles) || v.deletedObs[oid] {
 		return false
@@ -258,6 +292,7 @@ func (db *DB) DeleteObstacle(oid int32) bool {
 	}) {
 		return false
 	}
-	db.commit(v, nv, v.obstacles[oid], false)
-	return true
+	o := v.obstacles[oid]
+	rec := wal.Record{Op: wal.OpDeleteObstacle, ID: oid, Coords: [4]float64{o.MinX, o.MinY, o.MaxX, o.MaxY}}
+	return db.commit(v, nv, o, false, rec) == nil
 }

@@ -1,6 +1,10 @@
 package connquery
 
-import "connquery/internal/core"
+import (
+	"time"
+
+	"connquery/internal/core"
+)
 
 // config holds DB construction parameters.
 type config struct {
@@ -9,10 +13,22 @@ type config struct {
 	oneTree     bool
 	cacheBytes  int64
 	tuning      core.Options
+
+	// Durable-tier knobs, consumed by OpenDurable/OpenDurableSharded and
+	// ignored by the in-memory constructors.
+	boot        *bootstrapData
+	groupWindow time.Duration
+	ckptEvery   int
 }
 
 func defaultConfig() config {
 	return config{pageSize: 4096, cacheBytes: DefaultAnswerCacheBytes}
+}
+
+// bootstrapData is the initial dataset for a fresh durable directory.
+type bootstrapData struct {
+	points    []Point
+	obstacles []Rect
 }
 
 // Option configures Open.
@@ -86,3 +102,40 @@ func (t Tuning) toCore() core.Options {
 func WithTuning(t Tuning) Option {
 	return func(c *config) { c.tuning = t.toCore() }
 }
+
+// WithBootstrapData supplies the initial dataset for OpenDurable and
+// OpenDurableSharded when the directory holds no durable state yet: the
+// world is built exactly as Open/OpenSharded would (same validation, same
+// IDs, epoch 1) and an initial checkpoint is written before the call
+// returns. The option is an error when the directory already has state —
+// silently ignoring it could hide an operator pointing a seeded boot at
+// the wrong directory. In-memory constructors ignore it.
+func WithBootstrapData(points []Point, obstacles []Rect) Option {
+	return func(c *config) { c.boot = &bootstrapData{points: points, obstacles: obstacles} }
+}
+
+// WithGroupCommit sets the WAL group-commit window for the durable
+// constructors. Zero (the default) is strict durability: every mutation's
+// log record is fsynced before the mutation publishes, so a recovered
+// instance resumes at the exact pre-crash epoch. A positive window batches
+// fsyncs: mutations publish immediately and the log tail reaches disk
+// within one window, so a crash can lose up to the window's worth of the
+// newest mutations — recovery still lands on a consistent earlier epoch,
+// never a torn state. In-memory constructors ignore the option.
+func WithGroupCommit(window time.Duration) Option {
+	return func(c *config) { c.groupWindow = window }
+}
+
+// WithCheckpointEvery makes the durable tier write a checkpoint (and
+// truncate the WAL) automatically after every n logged mutations, bounding
+// both recovery replay time and log growth. Zero keeps the default
+// (DefaultCheckpointEvery); negative disables automatic checkpoints, for
+// callers driving Checkpoint explicitly. In-memory constructors ignore the
+// option.
+func WithCheckpointEvery(n int) Option {
+	return func(c *config) { c.ckptEvery = n }
+}
+
+// DefaultCheckpointEvery is the automatic checkpoint interval (in logged
+// mutations) when WithCheckpointEvery is not given.
+const DefaultCheckpointEvery = 4096

@@ -171,6 +171,15 @@ type ShardedDB struct {
 
 	watch shardWatchSet
 
+	// dur is the durable attachment (nil for in-memory routers); its mutable
+	// fields are guarded by seqMu. initDeadPts/initDeadObs are set only by
+	// recovery: initial-range objects already deleted at the recovered router
+	// checkpoint, whose deletions live in no log — mirror builds must skip
+	// them. Immutable after open.
+	dur         *shardedDurable
+	initDeadPts map[int32]bool
+	initDeadObs map[int32]bool
+
 	// Router counters, surfaced by ShardStats.
 	routerExecs   atomic.Int64
 	shardExecs    atomic.Int64
@@ -333,10 +342,26 @@ func (s *ShardedDB) liveCut() routerCut {
 // targets are the shards the caller applied the mutation to; their
 // committed-position markers advance with the revision, which is what lets
 // live reads pair a shard version with the router revision it belongs to.
+// On a durable router the sequencer record is appended — and in strict mode
+// fsynced — before the revision advances, so the on-disk sequencer log is
+// always a prefix of the revision stream. The target shards already applied
+// (and shard-logged) the mutation, so a sequencer failure cannot be rolled
+// back: the entry still commits in memory and the error latches, refusing
+// every later mutation; recovery after the inevitable restart cuts before
+// the unsequenced mutation on every shard at once.
 func (s *ShardedDB) commit(stamp func() changeEntry, targets ...*shardUnit) uint64 {
 	s.seqMu.Lock()
-	s.log = append(s.log, stamp())
-	rev := s.rev.Add(1)
+	e := stamp()
+	rev := s.rev.Load() + 1
+	if d := s.dur; d != nil && d.err == nil && !d.closed {
+		if err := d.seq.Append(entryRecord(e, rev)); err != nil {
+			d.err = fmt.Errorf("connquery: durable: sequencer: %w", err)
+		} else {
+			d.since++
+		}
+	}
+	s.log = append(s.log, e)
+	s.rev.Store(rev)
 	for _, sh := range targets {
 		sh.committedEpoch = sh.db.Version()
 		sh.committedRev = rev
@@ -351,6 +376,10 @@ func (s *ShardedDB) InsertPoint(p Point) (int32, error) {
 	if !validPoint(p) {
 		return 0, fmt.Errorf("connquery: invalid point %v", p)
 	}
+	if err := s.durWritable(); err != nil {
+		return 0, err
+	}
+	s.maybeCheckpointDurable()
 	si := s.m.cellOf(p)
 	sh := s.shards[si]
 	sh.mu.Lock()
@@ -379,6 +408,10 @@ func (s *ShardedDB) InsertPoint(p Point) (int32, error) {
 // DeletePoint tombstones a global PID. Same contract as DB.DeletePoint:
 // false for unknown or already-deleted IDs.
 func (s *ShardedDB) DeletePoint(gid int32) bool {
+	if s.durWritable() != nil {
+		return false
+	}
+	s.maybeCheckpointDurable()
 	s.seqMu.RLock()
 	if gid < 0 || int(gid) >= len(s.p2s) {
 		s.seqMu.RUnlock()
@@ -406,6 +439,10 @@ func (s *ShardedDB) InsertObstacle(r Rect) (int32, error) {
 	if !validRect(r) {
 		return 0, fmt.Errorf("connquery: invalid obstacle %v (must be finite with positive width and height)", r)
 	}
+	if err := s.durWritable(); err != nil {
+		return 0, err
+	}
+	s.maybeCheckpointDurable()
 	var targets []*shardUnit
 	var tids []int32
 	for i, sh := range s.shards { // ascending index: the global lock order
@@ -476,6 +513,10 @@ func (sh *shardUnit) swallowedPoint(r Rect) (int32, bool) {
 // DeleteObstacle tombstones a global OID on every replica shard. Same
 // contract as DB.DeleteObstacle.
 func (s *ShardedDB) DeleteObstacle(gid int32) bool {
+	if s.durWritable() != nil {
+		return false
+	}
+	s.maybeCheckpointDurable()
 	s.seqMu.RLock()
 	if gid < 0 || int(gid) >= len(s.o2s) {
 		s.seqMu.RUnlock()
@@ -578,8 +619,8 @@ type ShardStats struct {
 	Cols          int         `json:"cols"`
 	Rows          int         `json:"rows"`
 	RouterExecs   int64       `json:"router_execs"`
-	ShardExecs    int64       `json:"shard_execs"`    // sum of |cells| over all exec rounds
-	BroadcastCost int64       `json:"broadcast_cost"` // router_execs * shards
+	ShardExecs    int64       `json:"shard_execs"`      // sum of |cells| over all exec rounds
+	BroadcastCost int64       `json:"broadcast_cost"`   // router_execs * shards
 	Expansions    int64       `json:"expansions"`       // rounds rerun after a footprint escape
 	FullFanouts   int64       `json:"full_fanouts"`     // rounds spanning every shard
 	DirectExecs   int64       `json:"direct_execs"`     // rounds on exactly one shard

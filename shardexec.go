@@ -362,6 +362,13 @@ func (s *ShardedDB) buildMirror(m *unionMirror) error {
 	var pts []Point
 	var l2gP []int32
 	for gid := range initPts {
+		// Initial-range objects dead at a recovered checkpoint never appear
+		// in the replay log; including them here would resurrect them (and a
+		// dead point may even sit inside a younger obstacle, which Open
+		// rejects).
+		if s.initDeadPts[int32(gid)] {
+			continue
+		}
 		p := initPts[gid].p
 		if c, r := s.m.cellCoords(p); m.span.contains(c, r) {
 			m.g2lP[int32(gid)] = int32(len(pts))
@@ -371,6 +378,9 @@ func (s *ShardedDB) buildMirror(m *unionMirror) error {
 	}
 	var obs []Rect
 	for gid := range initObs {
+		if s.initDeadObs[int32(gid)] {
+			continue
+		}
 		if o := initObs[gid].r; o.Intersects(m.rect) {
 			m.g2lO[int32(gid)] = int32(len(obs))
 			obs = append(obs, o)

@@ -137,17 +137,15 @@ func Load(r io.Reader, opts ...Option) (*DB, error) {
 	return Open(points, obstacles, opts...)
 }
 
-// SaveFile writes the snapshot to a file.
+// SaveFile writes the snapshot to a file atomically: the bytes go to a
+// temp file in the same directory, are fsynced, and replace path with a
+// rename, so a crash mid-save leaves either the previous snapshot or the
+// complete new one — never a truncated file that Load rejects.
 func (db *DB) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	if err := atomicWriteFile(path, db.Save); err != nil {
 		return fmt.Errorf("connquery: save: %w", err)
 	}
-	if err := db.Save(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return nil
 }
 
 // LoadFile reads a snapshot from a file.
