@@ -9,6 +9,7 @@
 //	connbench -json <dir> -workers 0 -kernel-baseline BENCH_kernel_baseline.json [-min-speedup 4]
 //	connbench -cache-json <dir> [-cache-baseline BENCH_cache.json] [-max-regress 0.50]
 //	connbench -wal <dir> [-mutation-baseline BENCH_mutation.json] [-max-wal-factor 3]
+//	connbench -storm <dir> [-storm-baseline BENCH_planner.json] [-storm-readers 16] [-storm-ops 40]
 //
 // -scale 1 reproduces the paper's full dataset cardinalities (|CA| = 60,344
 // points, |LA| = 131,461 obstacles); the default 0.1 runs the whole suite in
@@ -37,6 +38,17 @@
 // (the warm path is sub-microsecond, so CI uses a looser tolerance than
 // the uncached gate) and the hit rate may never drop.
 //
+// -storm measures what the shared-subcomputation execution planner buys
+// under real concurrency: -storm-readers goroutines each answer the same
+// precomputed streams of overlapping hot-region obstructed-distance
+// queries (the SVG-construction-bound request kind), once on a
+// planner-enabled handle and once on a WithNoPlanner twin (answer caches
+// disabled on both, so every op is a real execution), written as
+// BENCH_planner.json. The gate always enforces the bench.MinStormSpeedup
+// floor on planner-on vs planner-off; with -storm-baseline the planner-on
+// ns/op additionally obeys -max-regress against the pinned record and the
+// recorded speedup may not fall below the floor.
+//
 // -wal measures what durability costs per mutation: one seeded
 // insert/delete stream applied to an in-memory database, a durable one
 // under a -wal-window group-commit window, and a durable one in strict
@@ -56,6 +68,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"connquery"
@@ -80,6 +93,10 @@ func main() {
 	metricsBaseline := flag.String("metrics-baseline", "", "with -json: require NPE/NOE/|SVG| to match this pinned BENCH_*.json record exactly, with no ns/op gate — the sharded bit-identity gate (ns ratios across backends are not comparable)")
 	kernelBaseline := flag.String("kernel-baseline", "", "with -json: compare against this pinned pre-kernel BENCH_*.json record and fail unless the measured run is at least -min-speedup times faster with exactly matching NPE/NOE/|SVG|")
 	minSpeedup := flag.Float64("min-speedup", 4.0, "with -kernel-baseline: minimum required speedup over the pinned pre-kernel record")
+	stormDir := flag.String("storm", "", "measure the execution planner under a concurrent overlapping storm (planner on vs WithNoPlanner on identical streams) and write BENCH_planner.json into this directory")
+	stormBaseline := flag.String("storm-baseline", "", "with -storm: compare against this pinned BENCH_planner.json record and fail on regression")
+	stormReaders := flag.Int("storm-readers", 16, "with -storm: concurrent reader goroutines")
+	stormOps := flag.Int("storm-ops", 40, "with -storm: queries per reader per measured mode")
 	walDir := flag.String("wal", "", "measure durability cost (ns/mutation in-memory vs group-commit vs strict fsync on the same stream) and write BENCH_wal.json into this directory")
 	walOps := flag.Int("wal-ops", 2000, "with -wal: mutations per measured mode")
 	walWindow := flag.Duration("wal-window", 2*time.Millisecond, "with -wal: group-commit sync window")
@@ -170,6 +187,23 @@ func main() {
 				fmt.Fprintln(os.Stderr, "connbench:", err)
 				os.Exit(1)
 			}
+		}
+		return
+	}
+
+	if *stormDir != "" {
+		res := measureStormExec(cfg, *stormReaders, *stormOps)
+		path, err := bench.WriteStormJSON(*stormDir, res)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "connbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(out, "%s: planner %.2f ms/op, no-planner %.2f ms/op, speedup %.2fx (groups %d, adoptions %d, fallbacks %d)\n",
+			path, res.PlannerNsPerOp/1e6, res.NoPlannerNsPerOp/1e6, res.Speedup,
+			res.GroupsFormed, res.Adoptions, res.Fallbacks)
+		if err := gateStorm(out, res, *stormBaseline, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, "connbench:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -347,6 +381,182 @@ func measureCacheExec(cfg bench.Config) bench.CacheBenchResult {
 		WarmRounds:      rounds,
 		Timestamp:       time.Now().UTC().Format(time.RFC3339),
 	}
+}
+
+// measureStormExec measures the execution planner under the workload it was
+// built for: readers goroutines concurrently answer overlapping
+// obstructed-distance queries concentrated in a hot sub-square of a dense
+// world — dense enough that the kernel's full corner-pair table is gated
+// off, which is the only regime where the planner engages. Obstructed
+// distance is the SVG-construction-bound kind: nearly all of an op is
+// corner-pair sight-line work, the exact subcomputation the shared table
+// serves (COkNN storms spend most of each op in top-k retrieval and
+// shortest-path settling, which no amount of sharing can touch). Each
+// reader gets its own precomputed seeded stream, and the identical streams
+// run once against a WithNoPlanner handle and once against a
+// planner-enabled one, answer caches disabled on both so every op is a real
+// execution. Under the storm the planner groups in-flight requests by
+// quantized region, builds one shared region-scoped sight-line certificate
+// table per group, and members answer covered visibility pairs from table
+// lookups instead of private BVH walks — the measured speedup is exactly
+// that sharing, on answers the plandiff storm proves bit-identical.
+func measureStormExec(cfg bench.Config, readers, ops int) bench.StormBenchResult {
+	ctx := context.Background()
+	w := bench.BuildWorkload("CL", cfg.Scale, bench.DefaultRatio, cfg.Seed)
+	// The hot sub-square sits on the densest point cell of the clustered CL
+	// workload — where a real query hotspot would be, and where COkNN stays
+	// local (a hot box over a point desert degenerates into whole-world
+	// retrievals). At 4% of the world side it spans only a few quantized
+	// planner cells, so the concurrent streams collide on group keys.
+	const hotFrac = 0.005
+	hotSide := dataset.Side * hotFrac
+	lox, loy := densestCell(w.Points, hotSide)
+	hotRegion := geom.Rect{MinX: lox, MinY: loy, MaxX: lox + hotSide, MaxY: loy + hotSide}
+	streams := make([][]connquery.DistanceRequest, readers)
+	for r := range streams {
+		rng := rand.New(rand.NewSource(cfg.Seed + 100 + int64(r)))
+		reqs := make([]connquery.DistanceRequest, ops)
+		for i := range reqs {
+			// The endpoint pairs are travelable-segment endpoints (the
+			// paper's QuerySegment rejection rule): both free points, ql
+			// apart, with open space between them — a pair walled into a
+			// different obstacle pocket degenerates into a whole-world
+			// search.
+			s := dataset.QuerySegmentIn(rng, bench.DefaultQL, w.Obstacles, hotRegion)
+			reqs[i] = connquery.DistanceRequest{A: s.A, B: s.B}
+		}
+		streams[r] = reqs
+	}
+
+	run := func(opts ...connquery.Option) (float64, connquery.PlannerStats) {
+		db, err := connquery.Open(w.Points, w.Obstacles,
+			append([]connquery.Option{connquery.WithAnswerCache(0)}, opts...)...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "connbench:", err)
+			os.Exit(1)
+		}
+		storm := func() {
+			var wg sync.WaitGroup
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					for _, q := range streams[r] {
+						if _, err := db.Exec(ctx, q); err != nil {
+							fmt.Fprintln(os.Stderr, "connbench:", err)
+							os.Exit(1)
+						}
+					}
+				}(r)
+			}
+			wg.Wait()
+		}
+		// Warmup: repeat full storm rounds until the planner's group set
+		// stops growing (group formation needs two requests in flight on one
+		// key, which the scheduler may withhold on any single round but not
+		// round after round). The measured pass is then the steady state a
+		// sustained storm reaches — hot groups built, every op adopting —
+		// with no build time on the clock. Planner-off runs see no groups
+		// and settle after two rounds, warming the same pooled state.
+		prev := ^uint64(0)
+		for round := 0; round < 8; round++ {
+			storm()
+			if ps := db.PlannerStats(); ps.GroupsFormed == prev {
+				break
+			} else {
+				prev = ps.GroupsFormed
+			}
+		}
+		start := time.Now()
+		storm()
+		return float64(time.Since(start).Nanoseconds()) / float64(readers*ops), db.PlannerStats()
+	}
+
+	offNs, _ := run(connquery.WithNoPlanner())
+	onNs, ps := run()
+
+	return bench.StormBenchResult{
+		Name:             "planner",
+		Tool:             "connbench -storm (one op = one DistanceRequest via DB.Exec under N concurrent readers on overlapping hot-region streams; planner on vs WithNoPlanner, answer caches off)",
+		Kind:             connquery.DistanceRequest{}.Kind(),
+		Scale:            cfg.Scale,
+		Readers:          readers,
+		OpsPerReader:     ops,
+		Seed:             cfg.Seed,
+		QL:               bench.DefaultQL,
+		HotFrac:          hotFrac,
+		PlannerNsPerOp:   onNs,
+		NoPlannerNsPerOp: offNs,
+		Speedup:          offNs / onNs,
+		GroupsFormed:     ps.GroupsFormed,
+		Adoptions:        ps.Adoptions,
+		Fallbacks:        ps.Fallbacks,
+		Timestamp:        time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// densestCell grids the world at the hot box's side and returns the
+// lower-left corner of the cell holding the most points (ties to the lowest
+// cell index, so the choice is a pure deterministic function of the
+// workload).
+func densestCell(pts []geom.Point, side float64) (lox, loy float64) {
+	n := int(dataset.Side / side)
+	if n < 1 {
+		n = 1
+	}
+	counts := make([]int, n*n)
+	for _, p := range pts {
+		i, j := int(p.X/side), int(p.Y/side)
+		if i < 0 || i >= n || j < 0 || j >= n {
+			continue
+		}
+		counts[j*n+i]++
+	}
+	best := 0
+	for c := range counts {
+		if counts[c] > counts[best] {
+			best = c
+		}
+	}
+	return float64(best%n) * side, float64(best/n) * side
+}
+
+// gateStorm enforces the planner-effectiveness gate: the hard
+// MinStormSpeedup floor always applies, and the planner-on run must have
+// actually formed and shared groups (a speedup without adoptions would be
+// noise, not the planner). With a pinned baseline, parameters must match
+// and the planner-on ns/op may not regress by more than maxRegress (the
+// storm is concurrency-scheduled, so CI passes a looser tolerance than the
+// single-query gate).
+func gateStorm(out *os.File, cur bench.StormBenchResult, baselinePath string, maxRegress float64) error {
+	if cur.GroupsFormed == 0 || cur.Adoptions == 0 {
+		return fmt.Errorf("planner never engaged under the storm (groups %d, adoptions %d): the measurement is vacuous",
+			cur.GroupsFormed, cur.Adoptions)
+	}
+	if cur.Speedup < bench.MinStormSpeedup {
+		return fmt.Errorf("planner storm speedup %.2fx is below the %.1fx floor (planner %.2f ms/op, no-planner %.2f ms/op)",
+			cur.Speedup, bench.MinStormSpeedup, cur.PlannerNsPerOp/1e6, cur.NoPlannerNsPerOp/1e6)
+	}
+	if baselinePath == "" {
+		return nil
+	}
+	base, err := bench.ReadStormJSON(baselinePath)
+	if err != nil {
+		return fmt.Errorf("storm baseline %s: %w", baselinePath, err)
+	}
+	ratio := cur.PlannerNsPerOp / base.PlannerNsPerOp
+	fmt.Fprintf(out, "storm baseline %s: planner %.2f ms/op -> %.2f ms/op (%+.1f%%), speedup %.2fx -> %.2fx\n",
+		baselinePath, base.PlannerNsPerOp/1e6, cur.PlannerNsPerOp/1e6, (ratio-1)*100, base.Speedup, cur.Speedup)
+	if cur.Scale != base.Scale || cur.Readers != base.Readers || cur.OpsPerReader != base.OpsPerReader ||
+		cur.Seed != base.Seed || cur.Kind != base.Kind || cur.QL != base.QL || cur.HotFrac != base.HotFrac {
+		return fmt.Errorf("storm parameters do not match the baseline (scale %g vs %g, readers %d vs %d, ops %d vs %d, seed %d vs %d): re-pin the record or align the flags",
+			cur.Scale, base.Scale, cur.Readers, base.Readers, cur.OpsPerReader, base.OpsPerReader, cur.Seed, base.Seed)
+	}
+	if ratio > 1+maxRegress {
+		return fmt.Errorf("planner-on ns/op regressed %.1f%% (limit %.0f%%): %.2f ms/op vs baseline %.2f ms/op",
+			(ratio-1)*100, maxRegress*100, cur.PlannerNsPerOp/1e6, base.PlannerNsPerOp/1e6)
+	}
+	return nil
 }
 
 // measureWALExec measures what durability costs per mutation: one seeded

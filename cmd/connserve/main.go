@@ -75,6 +75,7 @@ func main() {
 	buffer := flag.Int("buffer", 0, "LRU buffer pages per tree")
 	cacheBytes := flag.Int64("cache-bytes", connquery.DefaultAnswerCacheBytes,
 		"answer cache budget in bytes (0 disables; hits/promotions surface in /v1/stats)")
+	noPlanner := flag.Bool("no-planner", false, "disable the shared-subcomputation execution planner (planner counters surface in /v1/stats)")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-exec execution cap (0 = none)")
 	snapTTL := flag.Duration("snapshot-ttl", server.DefaultSnapshotTTL, "idle lifetime of server-held snapshot pins")
 	grace := flag.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight requests on shutdown")
@@ -89,6 +90,9 @@ func main() {
 		opts = append(opts, connquery.WithBufferPages(*buffer))
 	}
 	opts = append(opts, connquery.WithAnswerCache(*cacheBytes))
+	if *noPlanner {
+		opts = append(opts, connquery.WithNoPlanner())
+	}
 
 	db, source, err := openDB(*load, *pointsCSV, *obstaclesCSV, *workload, *scale, *ratio, *seed,
 		*shards, *dataDir, *groupCommit, *ckptEvery, opts)

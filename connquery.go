@@ -69,6 +69,7 @@ import (
 	"connquery/internal/flatgeom"
 	"connquery/internal/geom"
 	"connquery/internal/lru"
+	"connquery/internal/planner"
 	"connquery/internal/rtree"
 	"connquery/internal/stats"
 )
@@ -179,6 +180,12 @@ type DB struct {
 	// epoch), and Watch serves promoted answers without re-executing.
 	cache *anscache.Cache
 
+	// planner is the shared-subcomputation execution planner (nil when
+	// disabled via WithNoPlanner): Exec admits each cache-missing request
+	// into an (epoch, quantized region) group, and groups with concurrent
+	// members share one region-scoped sight-line certificate table.
+	planner *planner.Planner
+
 	// pins holds the versions kept alive by unreleased Snapshot handles.
 	pins pinSet
 
@@ -231,6 +238,9 @@ func Open(points []Point, obstacles []Rect, opts ...Option) (*DB, error) {
 		ownPts: true,
 		ownObs: true,
 		cache:  anscache.New(cfg.cacheBytes),
+	}
+	if !cfg.noPlanner {
+		db.planner = planner.New(plannerMaxGroups)
 	}
 	v := &version{
 		epoch:     1,
@@ -429,6 +439,11 @@ func (db *DB) Clone() *DB {
 	// fork its own mutation history, so sharing entries (or their promotion
 	// stream) with the parent would be unsound.
 	cp := &DB{cfg: db.cfg, states: core.NewStatePool(), cache: anscache.New(db.cfg.cacheBytes)}
+	if !db.cfg.noPlanner {
+		// A fresh planner, not the parent's: the clone may fork its own
+		// epoch chain, and groups must never cross handles.
+		cp.planner = planner.New(plannerMaxGroups)
+	}
 	eng, dataBuf, obstBuf := viewEngine(v, db.cfg, cp.states)
 	cp.dataBuf, cp.obstBuf = dataBuf, obstBuf
 	cp.cur.Store(&version{

@@ -35,6 +35,7 @@ type Database interface {
 	NumObstacles() int
 	Version() uint64
 	CacheStats() CacheStats
+	PlannerStats() PlannerStats
 	Pin() Pin
 }
 

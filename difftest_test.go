@@ -29,6 +29,7 @@ import (
 type diffWorkload struct {
 	rng      *rand.Rand
 	db       *DB
+	hot      *hotBox // non-nil confines coordinate draws (planner storms)
 	alivePts []int32
 	aliveObs []int32
 	history  []Request // previously issued requests, re-issued to force hits
@@ -36,13 +37,29 @@ type diffWorkload struct {
 
 const diffSide = 100.0 // coordinate range of the harness's world
 
+// hotBox confines a workload's coordinate draws to a sub-square and scales
+// the segment/radius draws to match: the planner storms concentrate their
+// requests so quantized group keys collide.
+type hotBox struct{ lo, side float64 }
+
+// scale is the draw-size multiplier relative to the default world side.
+func (w *diffWorkload) scale() float64 {
+	if w.hot == nil {
+		return 1
+	}
+	return w.hot.side / diffSide
+}
+
 func (w *diffWorkload) pt() Point {
+	if w.hot != nil {
+		return Pt(w.hot.lo+w.rng.Float64()*w.hot.side, w.hot.lo+w.rng.Float64()*w.hot.side)
+	}
 	return Pt(w.rng.Float64()*diffSide, w.rng.Float64()*diffSide)
 }
 
 func (w *diffWorkload) seg() Segment {
 	a := w.pt()
-	d := 2 + w.rng.Float64()*18
+	d := (2 + w.rng.Float64()*18) * w.scale()
 	ang := w.rng.Float64() * 2 * math.Pi
 	return Seg(a, Pt(a.X+d*math.Cos(ang), a.Y+d*math.Sin(ang)))
 }
@@ -70,7 +87,7 @@ func (w *diffWorkload) newRequest() Request {
 	case 4:
 		return NaiveCONNRequest{Seg: w.seg(), Samples: 2 + w.rng.Intn(3)}
 	case 5:
-		return RangeRequest{Center: w.pt(), Radius: w.rng.Float64() * 25}
+		return RangeRequest{Center: w.pt(), Radius: w.rng.Float64() * 25 * w.scale()}
 	case 6:
 		return VisibleKNNRequest{P: w.pt(), K: 1 + w.rng.Intn(3)}
 	case 7:
@@ -85,7 +102,7 @@ func (w *diffWorkload) newRequest() Request {
 		}
 		return CONNBatchRequest{Segs: segs}
 	case 10:
-		return EDistanceJoinRequest{Queries: w.pts(1, 3), E: w.rng.Float64() * 20}
+		return EDistanceJoinRequest{Queries: w.pts(1, 3), E: w.rng.Float64() * 20 * w.scale()}
 	case 11:
 		return DistanceSemiJoinRequest{Queries: w.pts(1, 3)}
 	default:

@@ -1,10 +1,141 @@
 package connquery
 
-import "context"
+import (
+	"context"
+	"testing"
+)
 
 // runDist is the request-based obstructed-distance probe the tests use in
 // expressions (DistanceRequest cannot error without a cancellable context).
 func runDist(db *DB, a, b Point) float64 {
 	d, _, _ := Run(context.Background(), db, DistanceRequest{A: a, B: b})
 	return d
+}
+
+// twinHarness drives two Database handles through the identical operation
+// stream and asserts they never diverge: mutations must agree on assigned
+// IDs, error outcomes and the version/count books, and answer pairs must be
+// bit-identical in payload, epoch and the machine-independent metrics
+// (NPE/NOE/|SVG|/Reach). sharddiff_test.go twins a sharded router against a
+// single node, plandiff_test.go twins a planner-enabled handle against a
+// WithNoPlanner one — the setup lives here so each differential suite does
+// not re-grow its own copy.
+//
+// All failures are reported with t.Errorf (never Fatalf) so harness methods
+// are safe to call from reader/writer goroutines; sequential drivers should
+// bail out of their loop when t.Failed() turns true.
+type twinHarness struct {
+	gen *diffWorkload // request/mutation generator: rng, draws, alive-ID books
+	dut Database      // handle under test
+	ref Database      // reference twin, receives the identical sequence
+}
+
+// newTwinHarness wraps a generator and an already-opened handle pair. Both
+// handles must have been opened over the same initial dataset, and gen's
+// alive-ID books must list that dataset's IDs.
+func newTwinHarness(gen *diffWorkload, dut, ref Database) *twinHarness {
+	return &twinHarness{gen: gen, dut: dut, ref: ref}
+}
+
+// mutate applies one identical random mutation to both twins and asserts
+// the outcomes agree (IDs, booleans, error-ness) and that the version and
+// count books stay in lockstep. The caller must be the only mutator.
+func (tw *twinHarness) mutate(t *testing.T) {
+	t.Helper()
+	w := tw.gen
+	switch w.rng.Intn(4) {
+	case 0:
+		p := w.pt()
+		pid1, err1 := tw.ref.InsertPoint(p)
+		pid2, err2 := tw.dut.InsertPoint(p)
+		if (err1 == nil) != (err2 == nil) || (err1 == nil && pid1 != pid2) {
+			t.Errorf("InsertPoint(%v): ref (%d,%v) vs dut (%d,%v)", p, pid1, err1, pid2, err2)
+			return
+		}
+		if err1 == nil {
+			w.alivePts = append(w.alivePts, pid1)
+		}
+	case 1:
+		lo := w.pt()
+		sz := w.scale()
+		r := R(lo.X, lo.Y, lo.X+(0.5+w.rng.Float64()*6)*sz, lo.Y+(0.5+w.rng.Float64()*6)*sz)
+		oid1, err1 := tw.ref.InsertObstacle(r)
+		oid2, err2 := tw.dut.InsertObstacle(r)
+		if (err1 == nil) != (err2 == nil) || (err1 == nil && oid1 != oid2) {
+			t.Errorf("InsertObstacle(%v): ref (%d,%v) vs dut (%d,%v)", r, oid1, err1, oid2, err2)
+			return
+		}
+		if err1 == nil {
+			w.aliveObs = append(w.aliveObs, oid1)
+		}
+	case 2:
+		if len(w.alivePts) > 1 { // keep at least one point alive
+			i := w.rng.Intn(len(w.alivePts))
+			pid := w.alivePts[i]
+			ok1 := tw.ref.DeletePoint(pid)
+			ok2 := tw.dut.DeletePoint(pid)
+			if !ok1 || !ok2 {
+				t.Errorf("DeletePoint(%d): ref %v, dut %v", pid, ok1, ok2)
+				return
+			}
+			w.alivePts = append(w.alivePts[:i], w.alivePts[i+1:]...)
+		}
+	default:
+		if len(w.aliveObs) > 0 {
+			i := w.rng.Intn(len(w.aliveObs))
+			oid := w.aliveObs[i]
+			ok1 := tw.ref.DeleteObstacle(oid)
+			ok2 := tw.dut.DeleteObstacle(oid)
+			if !ok1 || !ok2 {
+				t.Errorf("DeleteObstacle(%d): ref %v, dut %v", oid, ok1, ok2)
+				return
+			}
+			w.aliveObs = append(w.aliveObs[:i], w.aliveObs[i+1:]...)
+		}
+	}
+	if v1, v2 := tw.ref.Version(), tw.dut.Version(); v1 != v2 {
+		t.Errorf("version skew after mutation: ref %d, dut %d", v1, v2)
+	}
+	if n1, n2 := tw.ref.NumPoints(), tw.dut.NumPoints(); n1 != n2 {
+		t.Errorf("point count skew: ref %d, dut %d", n1, n2)
+	}
+	if n1, n2 := tw.ref.NumObstacles(), tw.dut.NumObstacles(); n1 != n2 {
+		t.Errorf("obstacle count skew: ref %d, dut %d", n1, n2)
+	}
+}
+
+// checkTwinAnswers asserts got (the handle under test) is bit-identical to
+// want (the reference twin): payload, epoch, and the deterministic metrics.
+func checkTwinAnswers(t *testing.T, req Request, got, want *Answer) {
+	t.Helper()
+	if got.Epoch() != want.Epoch() {
+		t.Errorf("%s: dut epoch %d, ref %d", req.Kind(), got.Epoch(), want.Epoch())
+		return
+	}
+	if !answersEqual(got.Value(), want.Value()) {
+		t.Errorf("%s: payload differs\n dut: %#v\n ref: %#v", req.Kind(), got.Value(), want.Value())
+		return
+	}
+	gm, wm := got.Metrics(), want.Metrics()
+	if gm.NPE != wm.NPE || gm.NOE != wm.NOE || gm.SVG != wm.SVG || gm.Reach != wm.Reach {
+		t.Errorf("%s: metrics differ: dut npe=%d noe=%d svg=%d reach=%v, ref npe=%d noe=%d svg=%d reach=%v",
+			req.Kind(), gm.NPE, gm.NOE, gm.SVG, gm.Reach, wm.NPE, wm.NOE, wm.SVG, wm.Reach)
+	}
+}
+
+// exec runs req on both twins with per-twin options and checks equivalence
+// of outcomes (both error, or both answer identically).
+func (tw *twinHarness) exec(t *testing.T, req Request, dutOpts, refOpts []QueryOption) {
+	t.Helper()
+	ctx := context.Background()
+	want, err1 := tw.ref.Exec(ctx, req, refOpts...)
+	got, err2 := tw.dut.Exec(ctx, req, dutOpts...)
+	if (err1 == nil) != (err2 == nil) {
+		t.Errorf("%s: ref err=%v, dut err=%v", req.Kind(), err1, err2)
+		return
+	}
+	if err1 != nil {
+		return
+	}
+	checkTwinAnswers(t, req, got, want)
 }

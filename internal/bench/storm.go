@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// StormBenchResult is the machine-readable record of the execution-planner
+// storm bench (BENCH_planner.json): Readers concurrent goroutines each
+// answer OpsPerReader overlapping hot-region obstructed-distance queries —
+// the same precomputed streams — once on a planner-enabled handle and once
+// on a WithNoPlanner twin, with answer caches disabled on both so every op
+// is a real execution. Obstructed distance is the SVG-construction-bound
+// request kind (no top-k retrieval loop diluting the visibility phase), so
+// the speedup between the two runs is what the shared region-scoped
+// sight-line certificate table buys under real concurrency. Produced by
+// `connbench -storm`; the gate always enforces the MinStormSpeedup floor,
+// and -storm-baseline additionally gates the planner-on ns/op against a
+// pinned record.
+type StormBenchResult struct {
+	Name         string  `json:"name"`
+	Tool         string  `json:"tool"`
+	Kind         string  `json:"kind"`
+	Scale        float64 `json:"scale"`
+	Readers      int     `json:"readers"`
+	OpsPerReader int     `json:"ops_per_reader"`
+	Seed         int64   `json:"seed"`
+	QL           float64 `json:"ql"`
+	// HotFrac is the hot sub-square's side as a fraction of the world side:
+	// small enough that concurrent queries collide on quantized planner
+	// group keys, which is the regime the planner exists for.
+	HotFrac          float64 `json:"hot_frac"`
+	PlannerNsPerOp   float64 `json:"planner_ns_per_op"`
+	NoPlannerNsPerOp float64 `json:"no_planner_ns_per_op"`
+	Speedup          float64 `json:"speedup"`
+	// The planner-on run's own counters, recorded so the pinned record
+	// proves the measured speedup came from real group formation and table
+	// adoption rather than noise.
+	GroupsFormed uint64 `json:"groups_formed"`
+	Adoptions    uint64 `json:"adoptions"`
+	Fallbacks    uint64 `json:"fallbacks"`
+	Timestamp    string `json:"timestamp"`
+}
+
+// MinStormSpeedup is the hard acceptance floor for the planner's speedup on
+// the concurrent overlapping storm: whatever the hardware, sharing one
+// sight-line certificate table across the storm must beat every query
+// re-deriving its verdicts privately by at least this factor.
+const MinStormSpeedup = 1.5
+
+// ReadStormJSON loads a pinned StormBenchResult record.
+func ReadStormJSON(path string) (StormBenchResult, error) {
+	var r StormBenchResult
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// WriteStormJSON writes r to dir/BENCH_<name>.json and returns the path.
+func WriteStormJSON(dir string, r StormBenchResult) (string, error) {
+	path := filepath.Join(dir, "BENCH_"+r.Name+".json")
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -33,6 +33,15 @@ type Engine struct {
 	// Nil engines (tests, ablations) fall back to the per-graph R-tree path;
 	// both paths return identical verdicts.
 	Kernel *flatgeom.Kernel
+	// Shared, when set, is a region-scoped corner-pair certificate table
+	// built over Kernel by the execution planner and shared read-only across
+	// the concurrent queries of one (epoch, region) group. Query states hand
+	// it to their visibility graphs, which answer covered corner-pair
+	// sight-line tests from its full-set blocker lists and fall back to the
+	// exact kernel test for uncovered pairs — same verdicts, same answers,
+	// same NPE/NOE/|SVG|/Reach accounting, only the test's cost changes.
+	// Must have been built from Kernel at this same Epoch.
+	Shared *flatgeom.CornerTable
 	// Opts toggles individual optimizations (ablation switches).
 	Opts Options
 
@@ -217,6 +226,9 @@ func (qs *queryState) resetVG() {
 	qs.vg.Reset()
 	if qs.eng.Kernel != nil {
 		qs.vg.SetKernel(qs.eng.Kernel)
+		if qs.eng.Shared != nil {
+			qs.vg.SetShared(qs.eng.Shared)
+		}
 	}
 	qs.sID = qs.vg.AddPoint(qs.q.A, visgraph.KindAnchor)
 	qs.eID = qs.vg.AddPoint(qs.q.B, visgraph.KindAnchor)

@@ -28,11 +28,17 @@ type CornerTable struct {
 	n       int
 	offsets []int32 // n*n+1 prefix offsets into ids; cell (i,j) = i*n+j
 	ids     []int32 // concatenated full-set blocker lists
+	// local, when non-nil, marks this a region-scoped table (see
+	// Kernel.RegionTable): it maps a kernel corner index to its row in the
+	// table, -1 for corners outside the covered set. A nil local is the full
+	// table, where kernel corner indexes are rows directly.
+	local []int32
 }
 
 // BlockedPair reports whether any obstacle in m blocks the sight line from
 // corner gi to corner gj. Bit-identical to testing geom.BlocksSegLen for
-// every obstacle in m against that segment.
+// every obstacle in m against that segment. Only valid on a full table; use
+// PairVerdict when the table may be region-scoped.
 func (t *CornerTable) BlockedPair(m *Marks, gi, gj int32) bool {
 	c := int(gi)*t.n + int(gj)
 	for _, id := range t.ids[t.offsets[c]:t.offsets[c+1]] {
@@ -41,6 +47,41 @@ func (t *CornerTable) BlockedPair(m *Marks, gi, gj int32) bool {
 		}
 	}
 	return false
+}
+
+// row maps a kernel corner index to its table row, -1 when the table does
+// not cover it.
+func (t *CornerTable) row(g int32) int32 {
+	if t.local == nil {
+		return g
+	}
+	if int(g) >= len(t.local) {
+		return -1
+	}
+	return t.local[g]
+}
+
+// Covers reports whether the table has rows for corner g's pairs.
+func (t *CornerTable) Covers(g int32) bool { return t.row(g) >= 0 }
+
+// PairVerdict is BlockedPair for tables that may be region-scoped: ok
+// reports whether the table covers the ordered corner pair (gi, gj), and a
+// covered pair's blocked verdict is bit-identical to testing
+// geom.BlocksSegLen for every obstacle in m against the directed segment
+// corner(gi) -> corner(gj). Uncovered pairs must be decided by the caller's
+// exact geometric path.
+func (t *CornerTable) PairVerdict(m *Marks, gi, gj int32) (blocked, ok bool) {
+	li, lj := t.row(gi), t.row(gj)
+	if li < 0 || lj < 0 {
+		return false, false
+	}
+	c := int(li)*t.n + int(lj)
+	for _, id := range t.ids[t.offsets[c]:t.offsets[c+1]] {
+		if m.Has(id) {
+			return true, true
+		}
+	}
+	return false, true
 }
 
 // Corners returns the kernel's corner-pair table, building it on first use,

@@ -1,0 +1,126 @@
+package flatgeom
+
+import "connquery/internal/geom"
+
+// This file is the region-scoped extension of the corner-pair certificate
+// table (corners.go): a table covering only the corners of the obstacles
+// intersecting one build region, so large worlds — whose full quadratic
+// table is gated off by cornerTableMaxCorners — can still share precomputed
+// sight-line verdicts across the concurrent queries of a spatial hot spot.
+// Each covered pair's blocker list is computed over the FULL obstacle set
+// (Kernel.AppendBlockers searches the whole BVH plus the linear tail), so
+// subset verdicts stay exact no matter where a query's retrieval wanders;
+// the region only chooses WHICH pairs are tabulated, never weakens a
+// verdict. Pairs outside the covered set report "uncovered" through
+// CornerTable.PairVerdict and fall back to the caller's exact geometry.
+
+// Bounds returns the bounding box of the kernel's whole obstacle set (BVH
+// root box united with the linear tail), or an inverted empty rectangle for
+// an obstacle-free kernel.
+func (k *Kernel) Bounds() geom.Rect {
+	out := geom.RectFromPoints() // inverted empty
+	if len(k.bvh.nodes) > 0 {
+		nd := &k.bvh.nodes[0]
+		out = geom.Rect{MinX: nd.minX, MinY: nd.minY, MaxX: nd.maxX, MaxY: nd.maxY}
+	}
+	for id := k.base; id < len(k.all); id++ {
+		out = out.Union(k.all[id])
+	}
+	return out
+}
+
+// AppendIntersectingIDs appends the ID of every obstacle in the kernel —
+// marked or not, including deleted IDs — whose rectangle intersects w
+// (geom.Rect.Intersects semantics) and returns dst. Order follows the BVH
+// leaf layout, then the tail.
+func (k *Kernel) AppendIntersectingIDs(dst []int32, w geom.Rect) []int32 {
+	dst = k.bvh.AppendIntersectingIDs(dst, w)
+	for id := k.base; id < len(k.all); id++ {
+		if k.all[id].Intersects(w) {
+			dst = append(dst, int32(id))
+		}
+	}
+	return dst
+}
+
+// AppendIntersectingIDs is the unfiltered form of AppendIntersecting: every
+// obstacle ID whose rectangle intersects w, regardless of marks.
+func (b *BVH) AppendIntersectingIDs(dst []int32, w geom.Rect) []int32 {
+	if len(b.nodes) == 0 {
+		return dst
+	}
+	var stack [64]int32
+	top := 0
+	stack[0] = 0
+	for top >= 0 {
+		idx := stack[top]
+		top--
+		nd := &b.nodes[idx]
+		if !(nd.minX <= w.MaxX+geom.Eps && w.MinX <= nd.maxX+geom.Eps &&
+			nd.minY <= w.MaxY+geom.Eps && w.MinY <= nd.maxY+geom.Eps) {
+			continue
+		}
+		if nd.b < 0 {
+			top++
+			stack[top] = nd.a
+			top++
+			stack[top] = idx + 1
+			continue
+		}
+		qs := b.quads[4*nd.a : 4*(nd.a+nd.b)]
+		ids := b.ids[nd.a : nd.a+nd.b]
+		for i, id := range ids {
+			q := qs[4*i : 4*i+4 : 4*i+4]
+			if q[0] <= w.MaxX+geom.Eps && w.MinX <= q[2]+geom.Eps &&
+				q[1] <= w.MaxY+geom.Eps && w.MinY <= q[3]+geom.Eps {
+				dst = append(dst, id)
+			}
+		}
+	}
+	return dst
+}
+
+// RegionTable builds a corner-pair certificate table covering the corners of
+// every obstacle intersecting region, with full-set blocker lists (the same
+// AppendBlockers calls buildCornerTable makes, so covered verdicts are
+// bit-identical to the full table's). It returns nil when the region covers
+// no obstacle or contributes more than maxCorners corners — the quadratic
+// build would then cost more than it amortizes. The returned table is
+// immutable and safe for concurrent use, like the kernel itself; it must
+// only be consulted with Marks sized for this kernel's ID space.
+func (k *Kernel) RegionTable(region geom.Rect, maxCorners int) *CornerTable {
+	idsIn := k.AppendIntersectingIDs(nil, region)
+	n := 4 * len(idsIn)
+	if n == 0 || n > maxCorners {
+		return nil
+	}
+	local := make([]int32, 4*len(k.all))
+	for i := range local {
+		local[i] = -1
+	}
+	pts := make([]geom.Point, n)
+	for li, id := range idsIn {
+		v := k.all[id].Vertices()
+		copy(pts[4*li:], v[:])
+		for g := 0; g < 4; g++ {
+			local[4*int(id)+g] = int32(4*li + g)
+		}
+	}
+	t := &CornerTable{n: n, local: local, offsets: make([]int32, n*n+1)}
+	ids := make([]int32, 0, 4*n)
+	for i := 0; i < n; i++ {
+		pi := pts[i]
+		row := i * n
+		for j := 0; j < n; j++ {
+			if j != i {
+				pj := pts[j]
+				dx, dy := pj.X-pi.X, pj.Y-pi.Y
+				ids = k.AppendBlockers(ids, pi.X, pi.Y, pj.X, pj.Y,
+					geom.SegLen(dx, dy, dx*dx+dy*dy))
+			}
+			t.offsets[row+j+1] = int32(len(ids))
+		}
+	}
+	t.ids = ids
+	return t
+}

@@ -1,0 +1,70 @@
+package planner
+
+import (
+	"math"
+	"testing"
+
+	"connquery/internal/geom"
+)
+
+// FuzzPlannerGroupKey fuzzes the quantization invariants the planner's
+// soundness rests on:
+//
+//  1. Containment: every box GroupKey accepts is contained in the build
+//     region it returns — so a member's query geometry (and with it the
+//     corners its visibility phase starts from) lies inside the region the
+//     shared table was built over.
+//  2. Key determinism: the build region is a pure function of the key, so
+//     two boxes in the same group always share one build region.
+//  3. Epoch separation: distinct epochs never share a key — a shared table
+//     can never serve a snapshot it was not built from.
+func FuzzPlannerGroupKey(f *testing.F) {
+	f.Add(uint64(1), uint64(2), 48.0, 48.0, 2.0, 1.0, 49.0, 47.5, 0.5, 0.5, 100.0/32, 100.0/4)
+	f.Add(uint64(7), uint64(7), -3.0, 9.0, 0.0, 0.0, 1000.0, -1000.0, 30.0, 5.0, 3.125, 25.0)
+	f.Add(uint64(0), uint64(1), 1e9, -1e9, 100.0, 250.0, 1e9, -1e9, 100.0, 250.0, 10.0, 1000.0)
+	f.Fuzz(func(t *testing.T, e1, e2 uint64, ax, ay, aw, ah, bx, by, bw, bh, minSide, maxSide float64) {
+		boxA := geom.Rect{MinX: ax, MinY: ay, MaxX: ax + aw, MaxY: ay + ah}
+		boxB := geom.Rect{MinX: bx, MinY: by, MaxX: bx + bw, MaxY: by + bh}
+		keyA, regA, okA := GroupKey(e1, boxA, minSide, maxSide)
+		if !okA {
+			return
+		}
+		if keyA.Epoch != e1 {
+			t.Fatalf("key epoch %d, want %d", keyA.Epoch, e1)
+		}
+		contains := func(r, b geom.Rect) bool {
+			return b.MinX >= r.MinX && b.MinY >= r.MinY && b.MaxX <= r.MaxX && b.MaxY <= r.MaxY
+		}
+		if !contains(regA, boxA) {
+			t.Fatalf("box %+v escapes its build region %+v (key %+v)", boxA, regA, keyA)
+		}
+		// Determinism: the same inputs must quantize identically.
+		keyA2, regA2, okA2 := GroupKey(e1, boxA, minSide, maxSide)
+		if !okA2 || keyA2 != keyA || regA2 != regA {
+			t.Fatalf("GroupKey not deterministic: (%+v,%+v,%v) vs (%+v,%+v,%v)",
+				keyA, regA, okA, keyA2, regA2, okA2)
+		}
+		// The region is a function of the key alone.
+		s := math.Ldexp(1, keyA.Exp)
+		want := geom.Rect{
+			MinX: (float64(keyA.CX) - 1) * s, MinY: (float64(keyA.CY) - 1) * s,
+			MaxX: (float64(keyA.CX) + 2) * s, MaxY: (float64(keyA.CY) + 2) * s,
+		}
+		if regA != want {
+			t.Fatalf("region %+v is not determined by key %+v (want %+v)", regA, keyA, want)
+		}
+		if keyB, regB, okB := GroupKey(e1, boxB, minSide, maxSide); okB && keyB == keyA {
+			// Same group: both boxes must sit inside the one merged region.
+			if regB != regA {
+				t.Fatalf("same key %+v, different regions %+v vs %+v", keyA, regA, regB)
+			}
+			if !contains(regA, boxB) {
+				t.Fatalf("groupmate %+v escapes shared region %+v", boxB, regA)
+			}
+		}
+		// Epoch separation.
+		if keyE, _, okE := GroupKey(e2, boxA, minSide, maxSide); okE && e2 != e1 && keyE == keyA {
+			t.Fatalf("epochs %d and %d shared key %+v", e1, e2, keyA)
+		}
+	})
+}

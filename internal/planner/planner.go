@@ -1,0 +1,262 @@
+// Package planner is the shared-subcomputation admission layer in front of
+// query execution: concurrent, spatially overlapping requests are grouped by
+// an (epoch, quantized region) key, and each group that actually has
+// concurrency builds ONE region-scoped sight-line certificate table
+// (flatgeom.CornerTable over the group's merged build region) that every
+// member — and every later request hitting the same group — runs its
+// visibility-graph phase against. Requests without a concurrent partner run
+// the private path untouched, so isolated queries pay nothing beyond a map
+// lookup; only storms amortize the build.
+//
+// The planner never changes what a query computes: the shared table holds
+// full-obstacle-set blocker certificates, whose subset verdicts are exact by
+// blocking monotonicity, and pairs the region does not cover fall back to
+// the private geometric test. Answers, epochs and the machine-independent
+// NPE/NOE/|SVG|/Reach metrics are bit-identical with the planner on or off
+// (plandiff_test.go proves it differentially).
+package planner
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"connquery/internal/flatgeom"
+	"connquery/internal/geom"
+)
+
+// Stats is a snapshot of the planner's cumulative counters.
+type Stats struct {
+	// GroupsFormed counts groups that built a shared table (a group forms
+	// only when at least two requests were in flight on its key, or a later
+	// request found the table already built).
+	GroupsFormed uint64
+	// Adoptions counts requests that ran against a table another request
+	// built (including waiters that arrived during the build).
+	Adoptions uint64
+	// Fallbacks counts requests that consulted the planner but ran the
+	// private path: no concurrent partner, an ungroupable query box, a
+	// declined build (region too dense), or cancellation while waiting.
+	Fallbacks uint64
+	// BuildNs is the total wall time spent building shared tables.
+	BuildNs int64
+	// SavedNs estimates the build work adoptions avoided: each adoption
+	// credits the build time of the table it reused.
+	SavedNs int64
+}
+
+// Key identifies one admission group: an MVCC epoch plus a cell of the
+// power-of-two quantization grid. Distinct epochs never share a key, so a
+// shared table always matches the adopter's snapshot geometry exactly.
+type Key struct {
+	Epoch  uint64
+	Exp    int // cell side = 2^Exp
+	CX, CY int64
+}
+
+// GroupKey quantizes a request's query box onto the power-of-two grid: the
+// cell side is the smallest power of two >= max(longest box side, minSide),
+// the cell is the one containing the box center, and the build region is
+// the cell inflated by one cell on every side (3x3 cells). ok is false when
+// the box is empty or non-finite, or the required cell side exceeds maxSide
+// (the request is too large to group profitably).
+//
+// Containment invariant (FuzzPlannerGroupKey): every box mapped to a key is
+// contained in that key's build region — the box's half-extent per axis is
+// at most side/2 <= s/2, and its center lies inside the center cell, so the
+// one-cell inflation covers it with s/2 slack per side.
+func GroupKey(epoch uint64, box geom.Rect, minSide, maxSide float64) (Key, geom.Rect, bool) {
+	if box.Empty() || !(minSide > 0) || !(maxSide >= minSide) {
+		return Key{}, geom.Rect{}, false
+	}
+	if math.IsInf(box.MinX, 0) || math.IsInf(box.MinY, 0) ||
+		math.IsInf(box.MaxX, 0) || math.IsInf(box.MaxY, 0) {
+		return Key{}, geom.Rect{}, false
+	}
+	side := math.Max(box.MaxX-box.MinX, box.MaxY-box.MinY)
+	side = math.Max(side, minSide)
+	if !(side <= maxSide) { // also rejects NaN
+		return Key{}, geom.Rect{}, false
+	}
+	exp := int(math.Ceil(math.Log2(side)))
+	s := math.Ldexp(1, exp)
+	if s < side { // Log2 rounding slack
+		exp++
+		s = math.Ldexp(1, exp)
+	}
+	cxf := math.Floor((box.MinX + box.MaxX) / 2 / s)
+	cyf := math.Floor((box.MinY + box.MaxY) / 2 / s)
+	if math.Abs(cxf) > 1e15 || math.Abs(cyf) > 1e15 {
+		return Key{}, geom.Rect{}, false // cell index would not be exact
+	}
+	key := Key{Epoch: epoch, Exp: exp, CX: int64(cxf), CY: int64(cyf)}
+	region := geom.Rect{
+		MinX: (cxf - 1) * s, MinY: (cyf - 1) * s,
+		MaxX: (cxf + 2) * s, MaxY: (cyf + 2) * s,
+	}
+	return key, region, true
+}
+
+// Planner tracks in-flight admission groups and their shared tables. Safe
+// for concurrent use. Groups are evicted in insertion order once the map
+// exceeds the configured capacity, which bounds memory across the epoch
+// churn of a mutating workload (every mutation starts a fresh key space).
+type Planner struct {
+	max int
+
+	mu     sync.Mutex
+	groups map[Key]*group
+	order  []Key
+
+	groupsFormed atomic.Uint64
+	adoptions    atomic.Uint64
+	fallbacks    atomic.Uint64
+	buildNs      atomic.Int64
+	savedNs      atomic.Int64
+}
+
+// New returns a planner retaining at most maxGroups admission groups
+// (minimum 1).
+func New(maxGroups int) *Planner {
+	if maxGroups < 1 {
+		maxGroups = 1
+	}
+	return &Planner{max: maxGroups, groups: make(map[Key]*group)}
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (p *Planner) Stats() Stats {
+	return Stats{
+		GroupsFormed: p.groupsFormed.Load(),
+		Adoptions:    p.adoptions.Load(),
+		Fallbacks:    p.fallbacks.Load(),
+		BuildNs:      p.buildNs.Load(),
+		SavedNs:      p.savedNs.Load(),
+	}
+}
+
+const (
+	stateIdle = iota
+	stateBuilding
+	stateBuilt
+)
+
+// group is one (epoch, cell) admission group: the in-flight membership
+// count, the build-state machine and the shared table once built.
+type group struct {
+	p      *Planner
+	region geom.Rect
+
+	mu       sync.Mutex
+	inflight int
+	state    int
+	table    *flatgeom.CornerTable
+	buildNs  int64
+	done     chan struct{}
+}
+
+// Ticket is one admitted request's membership in a group. The holder must
+// call Done exactly once when its execution finishes.
+type Ticket struct{ g *group }
+
+// Region returns the group's merged build region.
+func (t *Ticket) Region() geom.Rect { return t.g.region }
+
+// Admit registers an in-flight request whose query box is box at the given
+// epoch and returns its group ticket, or nil (counting a fallback) when the
+// box cannot be grouped. minSide/maxSide are the grid clamps (see GroupKey).
+func (p *Planner) Admit(epoch uint64, box geom.Rect, minSide, maxSide float64) *Ticket {
+	key, region, ok := GroupKey(epoch, box, minSide, maxSide)
+	if !ok {
+		p.fallbacks.Add(1)
+		return nil
+	}
+	p.mu.Lock()
+	g := p.groups[key]
+	if g == nil {
+		g = &group{p: p, region: region, done: make(chan struct{})}
+		p.groups[key] = g
+		p.order = append(p.order, key)
+		for len(p.order) > p.max {
+			delete(p.groups, p.order[0])
+			p.order = p.order[1:]
+		}
+	}
+	p.mu.Unlock()
+	g.mu.Lock()
+	g.inflight++
+	g.mu.Unlock()
+	return &Ticket{g: g}
+}
+
+// Done releases the ticket's in-flight membership.
+func (t *Ticket) Done() {
+	t.g.mu.Lock()
+	t.g.inflight--
+	t.g.mu.Unlock()
+}
+
+// Table resolves the group's shared table for this member: the first member
+// that observes real concurrency (>= 2 in flight) builds it via build —
+// which may decline by returning nil — later members adopt it (waiting out
+// an in-progress build), and a member alone on its key returns nil
+// immediately, keeping isolated queries on the private path. A nil return
+// always means "run privately" and counts a fallback; a non-nil return is
+// safe to share read-only across every member.
+func (t *Ticket) Table(ctx context.Context, build func(region geom.Rect) *flatgeom.CornerTable) *flatgeom.CornerTable {
+	g := t.g
+	p := g.p
+	g.mu.Lock()
+	switch g.state {
+	case stateIdle:
+		if g.inflight < 2 {
+			g.mu.Unlock()
+			p.fallbacks.Add(1)
+			return nil
+		}
+		g.state = stateBuilding
+		g.mu.Unlock()
+		var tbl *flatgeom.CornerTable
+		start := time.Now()
+		func() {
+			// Publish the terminal state even if build panics, so waiters
+			// are never stranded on the done channel.
+			defer func() {
+				ns := time.Since(start).Nanoseconds()
+				g.mu.Lock()
+				g.table, g.buildNs, g.state = tbl, ns, stateBuilt
+				g.mu.Unlock()
+				close(g.done)
+				p.groupsFormed.Add(1)
+				p.buildNs.Add(ns)
+			}()
+			tbl = build(g.region)
+		}()
+		if tbl == nil {
+			p.fallbacks.Add(1)
+		}
+		return tbl
+	case stateBuilding:
+		g.mu.Unlock()
+		select {
+		case <-g.done:
+		case <-ctx.Done():
+			p.fallbacks.Add(1)
+			return nil
+		}
+	default:
+		g.mu.Unlock()
+	}
+	g.mu.Lock()
+	tbl, ns := g.table, g.buildNs
+	g.mu.Unlock()
+	if tbl == nil {
+		p.fallbacks.Add(1)
+		return nil
+	}
+	p.adoptions.Add(1)
+	p.savedNs.Add(ns)
+	return tbl
+}

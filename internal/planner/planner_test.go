@@ -1,0 +1,282 @@
+package planner
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"connquery/internal/flatgeom"
+	"connquery/internal/geom"
+)
+
+const (
+	minSide = 100.0 / 32
+	maxSide = 100.0 / 4
+)
+
+func box(cx, cy, side float64) geom.Rect {
+	h := side / 2
+	return geom.Rect{MinX: cx - h, MinY: cy - h, MaxX: cx + h, MaxY: cy + h}
+}
+
+// table returns a distinct non-nil CornerTable sentinel for build closures.
+func table() *flatgeom.CornerTable { return new(flatgeom.CornerTable) }
+
+func TestGroupKeyRejects(t *testing.T) {
+	inf := geom.Rect{MinX: -1e308, MinY: 0, MaxX: 1e308, MaxY: 1}
+	cases := []struct {
+		name             string
+		box              geom.Rect
+		minSide, maxSide float64
+	}{
+		{"empty box", geom.Rect{MinX: 1, MinY: 1, MaxX: 0, MaxY: 0}, minSide, maxSide},
+		{"zero minSide", box(50, 50, 1), 0, maxSide},
+		{"negative minSide", box(50, 50, 1), -1, maxSide},
+		{"maxSide below minSide", box(50, 50, 1), 4, 2},
+		{"box larger than maxSide", box(50, 50, maxSide*2), minSide, maxSide},
+		{"infinite box", geom.Rect{MinX: math.Inf(-1), MinY: 0, MaxX: math.Inf(1), MaxY: 1}, minSide, maxSide},
+		{"overflowing cell index", box(1e300, 0, 1), minSide, maxSide},
+		{"huge finite box", inf, minSide, maxSide},
+	}
+	for _, c := range cases {
+		if _, _, ok := GroupKey(1, c.box, c.minSide, c.maxSide); ok {
+			t.Errorf("%s: GroupKey accepted %+v", c.name, c.box)
+		}
+	}
+}
+
+func TestGroupKeyQuantization(t *testing.T) {
+	// Two nearby small boxes must share a key; the build region must contain
+	// both; distinct epochs must never share a key.
+	b1, b2 := box(50, 50, 2), box(50.5, 49.5, 1)
+	k1, r1, ok1 := GroupKey(7, b1, minSide, maxSide)
+	k2, r2, ok2 := GroupKey(7, b2, minSide, maxSide)
+	if !ok1 || !ok2 {
+		t.Fatalf("small boxes rejected: %v %v", ok1, ok2)
+	}
+	if k1 != k2 || r1 != r2 {
+		t.Fatalf("nearby boxes split groups: %+v/%+v vs %+v/%+v", k1, r1, k2, r2)
+	}
+	for _, b := range []geom.Rect{b1, b2} {
+		if b.MinX < r1.MinX || b.MinY < r1.MinY || b.MaxX > r1.MaxX || b.MaxY > r1.MaxY {
+			t.Fatalf("box %+v escapes build region %+v", b, r1)
+		}
+	}
+	if k3, _, _ := GroupKey(8, b1, minSide, maxSide); k3 == k1 {
+		t.Fatal("distinct epochs shared a key")
+	}
+	if k1.Epoch != 7 {
+		t.Fatalf("key epoch %d, want 7", k1.Epoch)
+	}
+	// A zero-extent box (point query) is clamped up to minSide, not rejected.
+	if _, _, ok := GroupKey(1, box(10, 10, 0), minSide, maxSide); !ok {
+		t.Fatal("point box rejected")
+	}
+}
+
+func TestNewClampsCapacity(t *testing.T) {
+	p := New(0)
+	if p.max != 1 {
+		t.Fatalf("max = %d, want clamp to 1", p.max)
+	}
+}
+
+func TestAdmitUngroupableCountsFallback(t *testing.T) {
+	p := New(4)
+	if tk := p.Admit(1, box(50, 50, maxSide*2), minSide, maxSide); tk != nil {
+		t.Fatal("oversized box admitted")
+	}
+	if st := p.Stats(); st.Fallbacks != 1 {
+		t.Fatalf("stats = %+v, want 1 fallback", st)
+	}
+}
+
+func TestSoloMemberRunsPrivately(t *testing.T) {
+	p := New(4)
+	tk := p.Admit(1, box(50, 50, 2), minSide, maxSide)
+	if tk == nil {
+		t.Fatal("admit failed")
+	}
+	built := false
+	if tbl := tk.Table(context.Background(), func(geom.Rect) *flatgeom.CornerTable {
+		built = true
+		return table()
+	}); tbl != nil {
+		t.Fatal("solo member got a shared table")
+	}
+	tk.Done()
+	if built {
+		t.Fatal("solo member triggered a build")
+	}
+	st := p.Stats()
+	if st.GroupsFormed != 0 || st.Fallbacks != 1 {
+		t.Fatalf("stats = %+v, want no groups, 1 fallback", st)
+	}
+}
+
+func TestConcurrentMembersShareOneBuild(t *testing.T) {
+	p := New(4)
+	b := box(50, 50, 2)
+	t1 := p.Admit(3, b, minSide, maxSide)
+	t2 := p.Admit(3, b, minSide, maxSide)
+	if t1 == nil || t2 == nil {
+		t.Fatal("admit failed")
+	}
+	if t1.Region() != t2.Region() {
+		t.Fatalf("regions differ: %+v vs %+v", t1.Region(), t2.Region())
+	}
+	builds := 0
+	build := func(region geom.Rect) *flatgeom.CornerTable {
+		if region != t1.Region() {
+			t.Errorf("build region %+v, want %+v", region, t1.Region())
+		}
+		builds++
+		return table()
+	}
+	tbl1 := t1.Table(context.Background(), build)
+	if tbl1 == nil {
+		t.Fatal("first member with concurrency did not build")
+	}
+	tbl2 := t2.Table(context.Background(), build)
+	if tbl2 != tbl1 {
+		t.Fatal("second member did not adopt the shared table")
+	}
+	t1.Done()
+	t2.Done()
+	if builds != 1 {
+		t.Fatalf("build ran %d times, want 1", builds)
+	}
+	st := p.Stats()
+	if st.GroupsFormed != 1 || st.Adoptions != 1 || st.Fallbacks != 0 {
+		t.Fatalf("stats = %+v, want 1 group, 1 adoption", st)
+	}
+	if st.SavedNs != st.BuildNs {
+		t.Fatalf("one adoption must credit exactly the build time: %+v", st)
+	}
+
+	// A third, late member (its partners already Done) still adopts.
+	t3 := p.Admit(3, b, minSide, maxSide)
+	if tbl3 := t3.Table(context.Background(), build); tbl3 != tbl1 {
+		t.Fatal("late member did not adopt the built table")
+	}
+	t3.Done()
+	if st := p.Stats(); st.Adoptions != 2 {
+		t.Fatalf("stats = %+v, want 2 adoptions", st)
+	}
+}
+
+func TestDeclinedBuildFallsBackEveryone(t *testing.T) {
+	p := New(4)
+	b := box(50, 50, 2)
+	t1 := p.Admit(1, b, minSide, maxSide)
+	t2 := p.Admit(1, b, minSide, maxSide)
+	decline := func(geom.Rect) *flatgeom.CornerTable { return nil }
+	if tbl := t1.Table(context.Background(), decline); tbl != nil {
+		t.Fatal("declined build returned a table")
+	}
+	if tbl := t2.Table(context.Background(), decline); tbl != nil {
+		t.Fatal("member adopted a declined build")
+	}
+	t1.Done()
+	t2.Done()
+	st := p.Stats()
+	// The build still publishes (GroupsFormed counts the attempt) but every
+	// member runs privately.
+	if st.GroupsFormed != 1 || st.Adoptions != 0 || st.Fallbacks != 2 {
+		t.Fatalf("stats = %+v, want 1 group, 0 adoptions, 2 fallbacks", st)
+	}
+}
+
+func TestWaiterAdoptsInProgressBuild(t *testing.T) {
+	p := New(4)
+	b := box(50, 50, 2)
+	t1 := p.Admit(1, b, minSide, maxSide)
+	t2 := p.Admit(1, b, minSide, maxSide)
+	started := make(chan struct{})
+	finish := make(chan struct{})
+	var wg sync.WaitGroup
+	var tbl1 *flatgeom.CornerTable
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tbl1 = t1.Table(context.Background(), func(geom.Rect) *flatgeom.CornerTable {
+			close(started)
+			<-finish
+			return table()
+		})
+	}()
+	<-started // the build is in flight; t2 must wait it out, not build again
+	var tbl2 *flatgeom.CornerTable
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tbl2 = t2.Table(context.Background(), func(geom.Rect) *flatgeom.CornerTable {
+			t.Error("second build started during first")
+			return nil
+		})
+	}()
+	time.Sleep(10 * time.Millisecond) // let t2 reach the wait
+	close(finish)
+	wg.Wait()
+	t1.Done()
+	t2.Done()
+	if tbl1 == nil || tbl2 != tbl1 {
+		t.Fatalf("waiter got %p, builder %p", tbl2, tbl1)
+	}
+}
+
+func TestWaiterCancellation(t *testing.T) {
+	p := New(4)
+	b := box(50, 50, 2)
+	t1 := p.Admit(1, b, minSide, maxSide)
+	t2 := p.Admit(1, b, minSide, maxSide)
+	started := make(chan struct{})
+	finish := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t1.Table(context.Background(), func(geom.Rect) *flatgeom.CornerTable {
+			close(started)
+			<-finish
+			return table()
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if tbl := t2.Table(ctx, nil); tbl != nil {
+		t.Fatal("cancelled waiter got a table")
+	}
+	if st := p.Stats(); st.Fallbacks != 1 {
+		t.Fatalf("stats = %+v, want the cancelled waiter as 1 fallback", st)
+	}
+	close(finish)
+	<-done
+	t1.Done()
+	t2.Done()
+}
+
+func TestEvictionBoundsGroups(t *testing.T) {
+	p := New(2)
+	for i := 0; i < 5; i++ {
+		tk := p.Admit(1, box(float64(10+20*i), 50, 2), minSide, maxSide)
+		if tk == nil {
+			t.Fatalf("admit %d failed", i)
+		}
+		tk.Done()
+	}
+	p.mu.Lock()
+	n, o := len(p.groups), len(p.order)
+	p.mu.Unlock()
+	if n != 2 || o != 2 {
+		t.Fatalf("retained %d groups / %d order entries, want 2", n, o)
+	}
+	// An evicted key readmits as a fresh group (same box as the first admit).
+	tk := p.Admit(1, box(10, 50, 2), minSide, maxSide)
+	if tk == nil {
+		t.Fatal("readmit after eviction failed")
+	}
+	tk.Done()
+}

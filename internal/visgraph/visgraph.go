@@ -63,8 +63,14 @@ type Graph struct {
 	obsIndex *rtree.Tree
 	// kern, when non-nil, is the immutable per-version geometry kernel;
 	// marks records which of its obstacle IDs this graph has loaded.
-	kern    *flatgeom.Kernel
-	marks   flatgeom.Marks
+	kern  *flatgeom.Kernel
+	marks flatgeom.Marks
+	// shared, when non-nil, is a region-scoped corner-pair certificate table
+	// built over kern by the execution planner and shared read-only across
+	// concurrent queries (see SetShared). Consulted only when the kernel's
+	// own full table is absent; pairs it does not cover fall back to the
+	// exact kernel test, so verdicts never change — only their cost.
+	shared  *flatgeom.CornerTable
 	version int
 	// mutations counts every structural change (nodes, edges, obstacles,
 	// resets); a Search snapshot is valid only while it is unchanged.
@@ -111,6 +117,26 @@ func (g *Graph) SetKernel(k *flatgeom.Kernel) {
 	g.marks.Reset(k.NumObstacles())
 }
 
+// SetShared attaches a region-scoped corner-pair table built over the
+// attached kernel (same version, same obstacle ID space). Call after
+// SetKernel; Reset detaches it. The table is read-only and may be shared by
+// any number of concurrent graphs. When the kernel has its own full table
+// the shared one is ignored (the full table already answers every pair).
+func (g *Graph) SetShared(t *flatgeom.CornerTable) { g.shared = t }
+
+// cornerTable resolves the table serving corner-pair sight-line verdicts:
+// the kernel's full table when the scene is small enough for one, else the
+// planner-shared region table, else nil.
+func (g *Graph) cornerTable() *flatgeom.CornerTable {
+	if g.kern == nil {
+		return nil
+	}
+	if t := g.kern.Corners(); t != nil {
+		return t
+	}
+	return g.shared
+}
+
 // Reset empties the graph for reuse, retaining node, adjacency and search
 // buffer capacity so a pooled graph answers subsequent queries with few
 // allocations. All node IDs and outstanding Searches are invalidated.
@@ -124,6 +150,7 @@ func (g *Graph) Reset() {
 	g.obstacles = g.obstacles[:0]
 	g.obsIndex = nil
 	g.kern = nil
+	g.shared = nil
 	// Shrink the outer adjacency slice but keep both its backing array and
 	// every inner slice's capacity: allocNode re-extends within capacity and
 	// reuses the retired per-node edge storage.
@@ -233,7 +260,12 @@ func (g *Graph) addPoint(p geom.Point, kind NodeKind, gi int32) NodeID {
 	g.mutations++
 	var tbl *flatgeom.CornerTable
 	if gi >= 0 {
-		tbl = g.kern.Corners()
+		// A table that does not cover this corner at all (a region-scoped
+		// shared table, with the corner outside the build region) answers no
+		// pair, so take the occlusion path as if no table existed.
+		if tbl = g.cornerTable(); tbl != nil && !tbl.Covers(gi) {
+			tbl = nil
+		}
 	}
 	if tbl == nil {
 		g.occ.build(p, g.obstacles)
@@ -252,12 +284,13 @@ func (g *Graph) addPoint(p geom.Point, kind NodeKind, gi int32) NodeID {
 		d2 := dx*dx + dy*dy
 		segLen := -1.0
 		if tbl != nil {
-			if gj := g.gidx[other]; gj >= 0 {
-				if tbl.BlockedPair(&g.marks, gi, gj) {
+			if blocked, ok := g.pairBlocked(tbl, gi, g.gidx[other]); ok {
+				if blocked {
 					continue
 				}
 			} else {
-				// Anchor/transient candidates (a handful per corner) take the
+				// Anchor/transient candidates (a handful per corner) and
+				// corner pairs a region-scoped table leaves uncovered take the
 				// exact kernel test, which matches the occlusion-path verdict.
 				segLen = geom.SegLen(dx, dy, d2)
 				if g.kern.Blocked(&g.marks, p.X, p.Y, q.X, q.Y, segLen) {
@@ -279,6 +312,16 @@ func (g *Graph) addPoint(p geom.Point, kind NodeKind, gi int32) NodeID {
 		g.adjBox[other] = expandRect(g.adjBox[other], p)
 	}
 	return id
+}
+
+// pairBlocked consults tbl for the directed corner pair (gi, gj): ok is
+// false when gj is not a corner or a region-scoped table leaves the pair
+// uncovered, and the caller must decide the pair geometrically.
+func (g *Graph) pairBlocked(tbl *flatgeom.CornerTable, gi, gj int32) (blocked, ok bool) {
+	if gj < 0 {
+		return false, false
+	}
+	return tbl.PairVerdict(&g.marks, gi, gj)
 }
 
 // RemovePoint deletes a transient node and all its edges; the slot is
@@ -357,8 +400,9 @@ func (g *Graph) AddObstacleIDs(ids []int32) {
 	// the lists were built with exactly those BlocksSegLen calls. Without a
 	// table, one gated geometric pass per rectangle: the per-rectangle
 	// adjacency-box gate skips most nodes outright, which a batch-union box
-	// would be too large to do.
-	if tbl := g.kern.Corners(); tbl != nil {
+	// would be too large to do. A region-scoped shared table serves the same
+	// pass; pairs it leaves uncovered are decided geometrically in place.
+	if tbl := g.cornerTable(); tbl != nil {
 		g.batchMarks.Reset(g.kern.NumObstacles())
 		for _, id := range ids {
 			g.batchMarks.Set(id)
@@ -388,7 +432,7 @@ func (g *Graph) AddObstacleIDs(ids []int32) {
 	// no corner table, which already answers per pair in a few loads), the
 	// sight-line verdicts for the whole batch are computed concurrently and
 	// applied serially — bit-identical to this loop (see parallel.go).
-	if g.par != nil && g.kern.Corners() == nil && len(rects) > 1 {
+	if g.par != nil && g.cornerTable() == nil && len(rects) > 1 {
 		g.linkCornersParallel(ids, rects)
 		return
 	}
@@ -477,7 +521,8 @@ func (g *Graph) invalidateEdges(r geom.Rect) {
 // was produced by the very BlocksSegLen(r, pu, pv, w) call the geometric
 // pass would make, with w equal to the stored weight (SegLen is sign-
 // insensitive in its deltas), so the kill set is bit-identical. Edges with
-// a non-corner endpoint fall back to the geometric per-rectangle test. The
+// a non-corner endpoint — and corner pairs a region-scoped shared table
+// leaves uncovered — fall back to the geometric per-rectangle test. The
 // union-box screens are conservative exactly as in invalidateEdges: a
 // segment on one side of the union box's slab is on that side of every
 // batch rectangle's slab.
@@ -497,12 +542,15 @@ func (g *Graph) invalidateEdgesBatch(tbl *flatgeom.CornerTable, rects []geom.Rec
 		removed := false
 		for _, e := range list {
 			dead := false
+			decided := false
 			if (pu.X <= ub.MinX && e.vx <= ub.MinX) || (pu.X >= ub.MaxX && e.vx >= ub.MaxX) ||
 				(pu.Y <= ub.MinY && e.vy <= ub.MinY) || (pu.Y >= ub.MaxY && e.vy >= ub.MaxY) {
 				// Edge cannot enter any batch rectangle's open interior.
+				decided = true
 			} else if tbl != nil && gu >= 0 && e.gto >= 0 {
-				dead = tbl.BlockedPair(&g.batchMarks, gu, e.gto)
-			} else {
+				dead, decided = tbl.PairVerdict(&g.batchMarks, gu, e.gto)
+			}
+			if !decided {
 				for _, r := range rects {
 					if (pu.X <= r.MinX && e.vx <= r.MinX) || (pu.X >= r.MaxX && e.vx >= r.MaxX) ||
 						(pu.Y <= r.MinY && e.vy <= r.MinY) || (pu.Y >= r.MaxY && e.vy >= r.MaxY) {

@@ -12,6 +12,7 @@ type config struct {
 	bufferPages int
 	oneTree     bool
 	cacheBytes  int64
+	noPlanner   bool
 	tuning      core.Options
 
 	// Durable-tier knobs, consumed by OpenDurable/OpenDurableSharded and
@@ -64,6 +65,26 @@ func WithOneTree() Option {
 // as read-only, which has always been the library's contract.
 func WithAnswerCache(bytes int64) Option {
 	return func(c *config) { c.cacheBytes = bytes }
+}
+
+// WithPlanner enables the shared-subcomputation execution planner (the
+// default): concurrent Execs whose query regions fall into the same
+// (epoch, quantized cell) group share one region-scoped sight-line
+// certificate table instead of each paying the full private
+// visibility-graph cost. Answers and the machine-independent metrics are
+// bit-identical with the planner on or off; only throughput under
+// overlapping query storms changes. See DB.PlannerStats for the counters.
+func WithPlanner() Option {
+	return func(c *config) { c.noPlanner = false }
+}
+
+// WithNoPlanner disables the execution planner for the handle: every Exec
+// runs the private path unconditionally. The escape hatch exists for
+// differential testing (plandiff_test.go twins a planner handle against a
+// WithNoPlanner one) and for latency-critical deployments that prefer no
+// cross-query coupling.
+func WithNoPlanner() Option {
+	return func(c *config) { c.noPlanner = true }
 }
 
 // Tuning toggles individual algorithmic optimizations, primarily for

@@ -1,0 +1,6 @@
+//go:build !race
+
+package connquery
+
+// raceEnabled is false in a regular test binary; see race_on_test.go.
+const raceEnabled = false

@@ -1,0 +1,11 @@
+//go:build race
+
+package connquery
+
+// raceEnabled reports whether this test binary was built with the race
+// detector (see race_off_test.go for the other half). Storm-style tests use
+// it to shrink their op volume: the race detector multiplies every exec's
+// cost roughly tenfold, and the properties the storms prove (per-answer
+// bit-identity, monotone epochs) are per-op invariants that sheer volume
+// does not strengthen.
+const raceEnabled = true

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"connquery/internal/core"
+	"connquery/internal/flatgeom"
 )
 
 // This file is the request-based query surface: every query the database
@@ -341,17 +342,30 @@ func (db *DB) execAt(ctx context.Context, req Request, v *version, xo *execOptio
 	if ctx.Done() != nil {
 		cancel = ctx.Err
 	}
+	// Execution planner: admit this request into its (epoch, quantized
+	// region) group. With a concurrent partner on the same group the call
+	// receives a shared region-scoped certificate table to run against;
+	// alone (or ungroupable) it gets nil and runs the private path. Either
+	// way the answer is bit-identical — the table only changes how
+	// sight-line verdicts are computed, never what they are.
+	var shared *flatgeom.CornerTable
+	if tk := db.admitPlanner(req, v); tk != nil {
+		defer tk.Done()
+		shared = tk.Table(ctx, plannerBuild(v))
+	}
 	// The fast path executes on the version's own engine. A per-call engine
 	// view — same trees, same page counters, so accounting is unchanged — is
-	// built only when this call needs private Opts or a cancellation hook.
+	// built only when this call needs private Opts, a cancellation hook or a
+	// planner-shared table.
 	eng := v.eng
-	if cancel != nil || xo.tuning != nil || tuning.Workers > 1 {
+	if cancel != nil || xo.tuning != nil || tuning.Workers > 1 || shared != nil {
 		eng = &core.Engine{
 			Data:        v.eng.Data,
 			Obst:        v.eng.Obst,
 			Unified:     v.eng.Unified,
 			Obstacles:   v.eng.Obstacles,
 			Kernel:      v.eng.Kernel,
+			Shared:      shared,
 			Opts:        tuning,
 			Epoch:       v.epoch,
 			States:      v.eng.States,
@@ -396,6 +410,9 @@ func (x *execution) workerEngine() *core.Engine {
 	cfg.tuning.Workers = 0 // the pool parallelizes across items already
 	eng, _, _ := viewEngine(x.v, cfg, nil)
 	eng.Cancel = x.cancel
+	// Workers of a multi-item request share the call's planner table: the
+	// per-item executions are exactly the members the group was formed for.
+	eng.Shared = x.eng.Shared
 	return eng
 }
 

@@ -248,6 +248,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stats.mu.Unlock()
 	cs := s.db.CacheStats()
+	ps := s.db.PlannerStats()
 	// A sharded database additionally reports its router/per-shard counters.
 	var shardStats *connquery.ShardStats
 	if sdb, ok := s.db.(interface{ ShardStats() connquery.ShardStats }); ok {
@@ -280,6 +281,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Sweeps:        cs.Sweeps,
 			Entries:       cs.Entries,
 			Bytes:         cs.Bytes,
+		},
+		Planner: PlannerStats{
+			GroupsFormed: ps.GroupsFormed,
+			Adoptions:    ps.Adoptions,
+			Fallbacks:    ps.Fallbacks,
+			BuildNs:      ps.BuildNs,
+			SavedNs:      ps.SavedNs,
 		},
 		Shards: shardStats,
 	})

@@ -298,6 +298,21 @@ type CacheStats struct {
 	Bytes         int64 `json:"bytes"`
 }
 
+// PlannerStats is the wire form of connquery.PlannerStats: the execution
+// planner's cumulative counters. groups_formed counts shared sight-line
+// certificate tables built (one per admission group with real concurrency),
+// adoptions the executions that reused another execution's table, fallbacks
+// the executions that consulted the planner but ran the private path, and
+// build_ns/saved_ns the wall time spent building tables vs. the build work
+// adoptions avoided. All zero when the planner is disabled (-no-planner).
+type PlannerStats struct {
+	GroupsFormed uint64 `json:"groups_formed"`
+	Adoptions    uint64 `json:"adoptions"`
+	Fallbacks    uint64 `json:"fallbacks"`
+	BuildNs      int64  `json:"build_ns"`
+	SavedNs      int64  `json:"saved_ns"`
+}
+
 // StatsResponse is the body of GET /v1/stats: the live dataset shape plus
 // cumulative serving counters, including the paper's NPE/NOE/|SVG| cost
 // metrics summed (peak for SVG) over every query this process executed
@@ -320,6 +335,7 @@ type StatsResponse struct {
 	NOETotal      int64            `json:"noe_total"`
 	SVGPeak       int64            `json:"svg_peak"`
 	Cache         CacheStats       `json:"cache"`
+	Planner       PlannerStats     `json:"planner"`
 	// Shards carries the scatter-gather router's counters when the served
 	// database is sharded; omitted for a single-node backend.
 	Shards *connquery.ShardStats `json:"shards,omitempty"`

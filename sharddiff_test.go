@@ -23,9 +23,12 @@ import (
 	"time"
 )
 
-// twinWorld drives one ShardedDB and its single-node twin in lockstep.
+// twinWorld drives one ShardedDB and its single-node twin in lockstep. The
+// lockstep mutation/exec/compare machinery lives in twinHarness
+// (helpers_test.go); this wrapper keeps the concretely-typed handles the
+// sharded assertions need (ShardStats, typed snapshots).
 type twinWorld struct {
-	gen     *diffWorkload // request/mutation generator (rng + history books)
+	*twinHarness
 	single  *DB
 	sharded *ShardedDB
 }
@@ -41,101 +44,7 @@ func newTwinWorld(t *testing.T, seed int64, shards int) *twinWorld {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &twinWorld{gen: w, single: w.db, sharded: sdb}
-}
-
-// mutate applies one identical random mutation to both twins and asserts
-// the outcomes agree (IDs, booleans, error-ness).
-func (tw *twinWorld) mutate(t *testing.T) {
-	t.Helper()
-	w := tw.gen
-	switch w.rng.Intn(4) {
-	case 0:
-		p := w.pt()
-		pid1, err1 := tw.single.InsertPoint(p)
-		pid2, err2 := tw.sharded.InsertPoint(p)
-		if (err1 == nil) != (err2 == nil) || (err1 == nil && pid1 != pid2) {
-			t.Fatalf("InsertPoint(%v): single (%d,%v) vs sharded (%d,%v)", p, pid1, err1, pid2, err2)
-		}
-		if err1 == nil {
-			w.alivePts = append(w.alivePts, pid1)
-		}
-	case 1:
-		lo := w.pt()
-		r := R(lo.X, lo.Y, lo.X+0.5+w.rng.Float64()*6, lo.Y+0.5+w.rng.Float64()*6)
-		oid1, err1 := tw.single.InsertObstacle(r)
-		oid2, err2 := tw.sharded.InsertObstacle(r)
-		if (err1 == nil) != (err2 == nil) || (err1 == nil && oid1 != oid2) {
-			t.Fatalf("InsertObstacle(%v): single (%d,%v) vs sharded (%d,%v)", r, oid1, err1, oid2, err2)
-		}
-		if err1 == nil {
-			w.aliveObs = append(w.aliveObs, oid1)
-		}
-	case 2:
-		if len(w.alivePts) > 1 {
-			i := w.rng.Intn(len(w.alivePts))
-			pid := w.alivePts[i]
-			ok1 := tw.single.DeletePoint(pid)
-			ok2 := tw.sharded.DeletePoint(pid)
-			if !ok1 || !ok2 {
-				t.Fatalf("DeletePoint(%d): single %v, sharded %v", pid, ok1, ok2)
-			}
-			w.alivePts = append(w.alivePts[:i], w.alivePts[i+1:]...)
-		}
-	default:
-		if len(w.aliveObs) > 0 {
-			i := w.rng.Intn(len(w.aliveObs))
-			oid := w.aliveObs[i]
-			ok1 := tw.single.DeleteObstacle(oid)
-			ok2 := tw.sharded.DeleteObstacle(oid)
-			if !ok1 || !ok2 {
-				t.Fatalf("DeleteObstacle(%d): single %v, sharded %v", oid, ok1, ok2)
-			}
-			w.aliveObs = append(w.aliveObs[:i], w.aliveObs[i+1:]...)
-		}
-	}
-	if v1, v2 := tw.single.Version(), tw.sharded.Version(); v1 != v2 {
-		t.Fatalf("version skew after mutation: single %d, sharded %d", v1, v2)
-	}
-	if n1, n2 := tw.single.NumPoints(), tw.sharded.NumPoints(); n1 != n2 {
-		t.Fatalf("point count skew: single %d, sharded %d", n1, n2)
-	}
-	if n1, n2 := tw.single.NumObstacles(), tw.sharded.NumObstacles(); n1 != n2 {
-		t.Fatalf("obstacle count skew: single %d, sharded %d", n1, n2)
-	}
-}
-
-// checkTwinAnswers asserts the sharded answer is bit-identical to the
-// single-node one: payload, epoch, and the deterministic metrics.
-func checkTwinAnswers(t *testing.T, req Request, got, want *Answer) {
-	t.Helper()
-	if got.Epoch() != want.Epoch() {
-		t.Fatalf("%s: sharded epoch %d, single %d", req.Kind(), got.Epoch(), want.Epoch())
-	}
-	if !answersEqual(got.Value(), want.Value()) {
-		t.Fatalf("%s: payload differs\n sharded: %#v\n single:  %#v", req.Kind(), got.Value(), want.Value())
-	}
-	gm, wm := got.Metrics(), want.Metrics()
-	if gm.NPE != wm.NPE || gm.NOE != wm.NOE || gm.SVG != wm.SVG || gm.Reach != wm.Reach {
-		t.Fatalf("%s: metrics differ: sharded npe=%d noe=%d svg=%d reach=%v, single npe=%d noe=%d svg=%d reach=%v",
-			req.Kind(), gm.NPE, gm.NOE, gm.SVG, gm.Reach, wm.NPE, wm.NOE, wm.SVG, wm.Reach)
-	}
-}
-
-// exec runs req on both twins with per-twin options and checks equivalence
-// of outcomes (both error, or both answer identically).
-func (tw *twinWorld) exec(t *testing.T, req Request, singleOpts, shardedOpts []QueryOption) {
-	t.Helper()
-	ctx := context.Background()
-	want, err1 := tw.single.Exec(ctx, req, singleOpts...)
-	got, err2 := tw.sharded.Exec(ctx, req, shardedOpts...)
-	if (err1 == nil) != (err2 == nil) {
-		t.Fatalf("%s: single err=%v, sharded err=%v", req.Kind(), err1, err2)
-	}
-	if err1 != nil {
-		return
-	}
-	checkTwinAnswers(t, req, got, want)
+	return &twinWorld{twinHarness: newTwinHarness(w, sdb, w.db), single: w.db, sharded: sdb}
 }
 
 func runShardedDifferential(t *testing.T, seed int64, shards, ops int) {
@@ -145,6 +54,9 @@ func runShardedDifferential(t *testing.T, seed int64, shards, ops int) {
 	var snap1 *Snapshot
 	var snap2 *ShardedSnapshot
 	for i := 0; i < ops; i++ {
+		if t.Failed() {
+			t.FailNow() // harness errors are non-fatal; stop before they cascade
+		}
 		roll := w.rng.Float64()
 		switch {
 		case roll < 0.15:
@@ -162,7 +74,7 @@ func runShardedDifferential(t *testing.T, seed int64, shards, ops int) {
 		case roll < 0.22 && snap1 != nil && !snap1.Released():
 			// Snapshot-pinned reads at a (usually old) cut.
 			req := w.request()
-			tw.exec(t, req, []QueryOption{AtSnapshot(snap1)}, []QueryOption{snap2.At()})
+			tw.exec(t, req, []QueryOption{snap2.At()}, []QueryOption{AtSnapshot(snap1)})
 		case roll < 0.25 && snap1 != nil && !snap1.Released():
 			// AtVersion resolution through the pin registries.
 			req := w.request()
@@ -212,6 +124,9 @@ func TestShardedCacheHitPaths(t *testing.T) {
 		reqs[i] = w.newRequest()
 	}
 	for round := 0; round < 12; round++ {
+		if t.Failed() {
+			t.FailNow()
+		}
 		for _, req := range reqs {
 			tw.exec(t, req, nil, nil)
 		}

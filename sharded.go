@@ -159,12 +159,13 @@ type ShardedDB struct {
 	// mirSeq is the LRU clock and retiredCache accumulates the cache
 	// counters of evicted mirrors so CacheStats stays cumulative; all three
 	// are guarded by mirMu.
-	mirMu        sync.Mutex
-	mirrors      map[cellSpan]*unionMirror
-	mirSeq       uint64
-	mirCap       int
-	retiredCache CacheStats
-	mirEvictions atomic.Int64
+	mirMu          sync.Mutex
+	mirrors        map[cellSpan]*unionMirror
+	mirSeq         uint64
+	mirCap         int
+	retiredCache   CacheStats
+	retiredPlanner PlannerStats
+	mirEvictions   atomic.Int64
 
 	pinMu sync.Mutex
 	pins  map[uint64]map[*ShardedSnapshot]struct{}
@@ -595,6 +596,54 @@ func (s *ShardedDB) CacheStats() CacheStats {
 		// its counters into retiredCache; counting it again would double.
 		if m.db != nil && !m.retired {
 			addCacheStats(&agg, m.db.CacheStats())
+		}
+		m.mu.Unlock()
+	}
+	return agg
+}
+
+// PlannerStats aggregates the execution-planner counters of every world the
+// router executes on: the shard units, the live union mirrors, and the
+// pinned union sub-worlds of unreleased snapshots — plus the final counters
+// of LRU-evicted mirrors and released pins (retiredPlanner), the same
+// cumulative-across-evictions contract as CacheStats.
+func (s *ShardedDB) PlannerStats() PlannerStats {
+	var agg PlannerStats
+	for _, sh := range s.shards {
+		addPlannerStats(&agg, sh.db.PlannerStats())
+	}
+	s.pinMu.Lock()
+	var pins []*ShardedSnapshot
+	for _, set := range s.pins {
+		for sp := range set {
+			pins = append(pins, sp)
+		}
+	}
+	s.pinMu.Unlock()
+	for _, sp := range pins {
+		sp.mu.Lock()
+		// A pin released after the registry snapshot above already folded its
+		// unions into retiredPlanner; counting them again would double.
+		if !sp.plannerFolded {
+			for _, u := range sp.unions {
+				addPlannerStats(&agg, u.db.PlannerStats())
+			}
+		}
+		sp.mu.Unlock()
+	}
+	s.mirMu.Lock()
+	mirrors := make([]*unionMirror, 0, len(s.mirrors))
+	for _, m := range s.mirrors {
+		mirrors = append(mirrors, m)
+	}
+	addPlannerStats(&agg, s.retiredPlanner)
+	s.mirMu.Unlock()
+	for _, m := range mirrors {
+		m.mu.Lock()
+		// Same double-count guard as CacheStats: a mirror evicted after the
+		// registry snapshot already folded into retiredPlanner.
+		if m.db != nil && !m.retired {
+			addPlannerStats(&agg, m.db.PlannerStats())
 		}
 		m.mu.Unlock()
 	}

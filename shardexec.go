@@ -324,6 +324,7 @@ func (s *ShardedDB) evictMirrors(keep *unionMirror) {
 		}
 		if c.m.db != nil {
 			addCacheStats(&s.retiredCache, c.m.db.CacheStats())
+			addPlannerStats(&s.retiredPlanner, c.m.db.PlannerStats())
 		}
 		c.m.retired = true
 		c.m.mu.Unlock()

@@ -22,8 +22,9 @@ type ShardedSnapshot struct {
 	snaps    []*Snapshot // per shard, indexed like s.shards
 	released atomic.Bool
 
-	mu     sync.Mutex
-	unions map[cellSpan]*pinnedUnion
+	mu            sync.Mutex
+	unions        map[cellSpan]*pinnedUnion
+	plannerFolded bool // Release folded the unions' planner counters (guarded by mu)
 }
 
 // pinnedUnion is a lazily built immutable union world of one cell block at
@@ -90,6 +91,21 @@ func (sp *ShardedSnapshot) Release() {
 		snap.Release()
 	}
 	s := sp.s
+	// Fold the pinned union worlds' planner counters into the router's
+	// retired accumulator so ShardedDB.PlannerStats stays cumulative after
+	// the pin (and its lazily built sub-worlds) is gone.
+	sp.mu.Lock()
+	var ps PlannerStats
+	for _, u := range sp.unions {
+		addPlannerStats(&ps, u.db.PlannerStats())
+	}
+	sp.plannerFolded = true // a concurrent PlannerStats must not count them again
+	sp.mu.Unlock()
+	if ps != (PlannerStats{}) {
+		s.mirMu.Lock()
+		addPlannerStats(&s.retiredPlanner, ps)
+		s.mirMu.Unlock()
+	}
 	s.pinMu.Lock()
 	if set, ok := s.pins[sp.rev]; ok {
 		delete(set, sp)
