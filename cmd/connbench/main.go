@@ -9,6 +9,7 @@
 //	connbench -json <dir> -workers 0 -kernel-baseline BENCH_kernel_baseline.json [-min-speedup 4]
 //	connbench -cache-json <dir> [-cache-baseline BENCH_cache.json] [-max-regress 0.50]
 //	connbench -wal <dir> [-mutation-baseline BENCH_mutation.json] [-max-wal-factor 3]
+//	connbench -stream <dir> [-stream-baseline BENCH_mutation.json] [-stream-batch 64] [-max-stream-factor 0.25]
 //	connbench -storm <dir> [-storm-baseline BENCH_planner.json] [-storm-readers 16] [-storm-ops 40]
 //
 // -scale 1 reproduces the paper's full dataset cardinalities (|CA| = 60,344
@@ -56,6 +57,15 @@
 // -mutation-baseline the group-commit cost is gated at -max-wal-factor
 // times the pinned in-memory mutation record's ns/op — the durability-cost
 // regression gate.
+//
+// -stream measures what batched ingest buys per mutation: one seeded
+// insert/delete stream committed one public call per mutation versus the
+// identical stream batched through DB.Apply at -stream-batch mutations
+// per tick (one COW pass, one cache invalidation, one published epoch per
+// tick), written as BENCH_stream.json. With -stream-baseline one
+// mutation's share of a batched tick is gated at -max-stream-factor times
+// the pinned per-mutation record's ns/op — the batching-amortization
+// regression gate.
 package main
 
 import (
@@ -102,6 +112,11 @@ func main() {
 	walWindow := flag.Duration("wal-window", 2*time.Millisecond, "with -wal: group-commit sync window")
 	mutationBaseline := flag.String("mutation-baseline", "", "with -wal: gate group-commit ns/mutation against this pinned in-memory mutation record (BENCH_mutation.json)")
 	maxWALFactor := flag.Float64("max-wal-factor", bench.MaxGroupCommitFactor, "with -mutation-baseline: maximum tolerated group-commit cost as a multiple of the pinned in-memory ns/op")
+	streamDir := flag.String("stream", "", "measure batched-ingest cost (ns/mutation one-call-per-mutation vs DB.Apply ticks on the identical stream) and write BENCH_stream.json into this directory")
+	streamOps := flag.Int("stream-ops", 4096, "with -stream: mutations per measured mode")
+	streamBatch := flag.Int("stream-batch", 64, "with -stream: mutations per Apply tick in the batched mode")
+	streamBaseline := flag.String("stream-baseline", "", "with -stream: gate batched ns/mutation against this pinned per-mutation record (BENCH_mutation.json)")
+	maxStreamFactor := flag.Float64("max-stream-factor", bench.MaxStreamFactor, "with -stream-baseline: maximum tolerated batched cost as a fraction of the pinned per-mutation ns/op")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file when the run finishes")
 	flag.Parse()
@@ -184,6 +199,28 @@ func main() {
 			path, res.MemNsPerOp/1e3, res.GroupNsPerOp/1e3, *walWindow, res.FsyncNsPerOp/1e3)
 		if *mutationBaseline != "" {
 			if err := gateWAL(out, res, *mutationBaseline, *maxWALFactor); err != nil {
+				fmt.Fprintln(os.Stderr, "connbench:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	if *streamDir != "" {
+		res, err := measureStreamExec(cfg, *streamOps, *streamBatch)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "connbench:", err)
+			os.Exit(1)
+		}
+		path, err := bench.WriteStreamJSON(*streamDir, res)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "connbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(out, "%s: per-call %.1f us/mut, batched %.2f us/mut at batch=%d (%.1fx)\n",
+			path, res.SeqNsPerOp/1e3, res.BatchNsPerOp/1e3, res.Batch, res.Speedup)
+		if *streamBaseline != "" {
+			if err := gateStream(out, res, *streamBaseline, *maxStreamFactor); err != nil {
 				fmt.Fprintln(os.Stderr, "connbench:", err)
 				os.Exit(1)
 			}
@@ -658,6 +695,127 @@ func gateWAL(out *os.File, cur bench.WALBenchResult, baselinePath string, maxFac
 	if factor > maxFactor {
 		return fmt.Errorf("group-commit mutation cost %.1f us is %.2fx the pinned in-memory baseline %.1f us (ceiling %.1fx)",
 			cur.GroupNsPerOp/1e3, factor, base.NsPerOp/1e3, maxFactor)
+	}
+	return nil
+}
+
+// measureStreamExec measures what batched ingest buys per mutation: one
+// precomputed seeded insert/delete stream, committed against one handle
+// with a public call per mutation (one COW clone, one cache invalidation,
+// one published epoch each) and against a fresh identical handle through
+// DB.Apply in batch-sized ticks (the commit overhead amortized across the
+// tick). The mutation list is generated once — insert PIDs are predicted
+// from the library's sequential ID assignment, so both modes commit the
+// byte-identical stream and any ns difference is the batching itself.
+func measureStreamExec(cfg bench.Config, ops, batch int) (bench.StreamBenchResult, error) {
+	if batch < 1 {
+		return bench.StreamBenchResult{}, fmt.Errorf("stream batch must be >= 1, got %d", batch)
+	}
+	w := bench.BuildWorkload("CL", cfg.Scale, bench.DefaultRatio, cfg.Seed)
+
+	// Insert positions are drawn outside every obstacle so each insert
+	// succeeds and the predicted PID sequence matches the engine's.
+	inside := func(p geom.Point) bool {
+		for _, r := range w.Obstacles {
+			if p.X > r.MinX && p.X < r.MaxX && p.Y > r.MinY && p.Y < r.MaxY {
+				return true
+			}
+		}
+		return false
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	nextPID := int32(len(w.Points))
+	var live []int32
+	muts := make([]connquery.Mutation, 0, ops)
+	for len(muts) < ops {
+		if len(live) > 0 && rng.Float64() < 0.4 {
+			i := rng.Intn(len(live))
+			muts = append(muts, connquery.Mutation{Op: connquery.MutDeletePoint, ID: live[i]})
+			live = append(live[:i], live[i+1:]...)
+			continue
+		}
+		p := geom.Point{X: rng.Float64() * dataset.Side, Y: rng.Float64() * dataset.Side}
+		if inside(p) {
+			continue // rejected draws stay identical across modes: same rng
+		}
+		muts = append(muts, connquery.Mutation{Op: connquery.MutInsertPoint, P: p})
+		live = append(live, nextPID)
+		nextPID++
+	}
+
+	seqDB, err := connquery.Open(w.Points, w.Obstacles)
+	if err != nil {
+		return bench.StreamBenchResult{}, err
+	}
+	start := time.Now()
+	for _, m := range muts {
+		switch m.Op {
+		case connquery.MutInsertPoint:
+			if _, err := seqDB.InsertPoint(m.P); err != nil {
+				return bench.StreamBenchResult{}, fmt.Errorf("stream bench: InsertPoint: %w", err)
+			}
+		case connquery.MutDeletePoint:
+			if !seqDB.DeletePoint(m.ID) {
+				return bench.StreamBenchResult{}, fmt.Errorf("stream bench: DeletePoint(%d) failed", m.ID)
+			}
+		}
+	}
+	seqNs := float64(time.Since(start).Nanoseconds()) / float64(ops)
+
+	batchDB, err := connquery.Open(w.Points, w.Obstacles)
+	if err != nil {
+		return bench.StreamBenchResult{}, err
+	}
+	start = time.Now()
+	for lo := 0; lo < len(muts); lo += batch {
+		hi := min(lo+batch, len(muts))
+		res, err := batchDB.Apply(muts[lo:hi])
+		if err != nil {
+			return bench.StreamBenchResult{}, fmt.Errorf("stream bench: Apply: %w", err)
+		}
+		if res.Applied != hi-lo {
+			return bench.StreamBenchResult{}, fmt.Errorf("stream bench: tick applied %d of %d members", res.Applied, hi-lo)
+		}
+	}
+	batchNs := float64(time.Since(start).Nanoseconds()) / float64(ops)
+
+	// The two handles must agree exactly — the batched stream is the same
+	// stream.
+	if batchDB.Version() != seqDB.Version() || batchDB.NumPoints() != seqDB.NumPoints() {
+		return bench.StreamBenchResult{}, fmt.Errorf("stream bench: modes diverged (epoch %d vs %d, points %d vs %d)",
+			batchDB.Version(), seqDB.Version(), batchDB.NumPoints(), seqDB.NumPoints())
+	}
+
+	return bench.StreamBenchResult{
+		Name:         "stream",
+		Tool:         "connbench -stream (one op = one point insert/delete on the CL workload; one public call per mutation vs DB.Apply ticks)",
+		Scale:        cfg.Scale,
+		Ops:          ops,
+		Batch:        batch,
+		Seed:         cfg.Seed,
+		SeqNsPerOp:   seqNs,
+		BatchNsPerOp: batchNs,
+		Speedup:      seqNs / batchNs,
+		Timestamp:    time.Now().UTC().Format(time.RFC3339),
+	}, nil
+}
+
+// gateStream enforces the batching-amortization gate: one mutation's share
+// of a batched tick may cost at most maxFactor times the pinned
+// per-mutation baseline (BENCH_mutation.json). Like every ns gate in this
+// repo the comparison is machine-dependent — re-pin the baseline when the
+// reference hardware changes.
+func gateStream(out *os.File, cur bench.StreamBenchResult, baselinePath string, maxFactor float64) error {
+	base, err := bench.ReadJSON(baselinePath)
+	if err != nil {
+		return fmt.Errorf("stream baseline %s: %w", baselinePath, err)
+	}
+	factor := cur.BatchNsPerOp / base.NsPerOp
+	fmt.Fprintf(out, "mutation baseline %s: per-call %.1f us/mut, batched %.2f us/mut (%.3fx, ceiling %.2fx)\n",
+		baselinePath, base.NsPerOp/1e3, cur.BatchNsPerOp/1e3, factor, maxFactor)
+	if factor > maxFactor {
+		return fmt.Errorf("batched mutation cost %.2f us is %.3fx the pinned per-mutation baseline %.1f us (ceiling %.2fx)",
+			cur.BatchNsPerOp/1e3, factor, base.NsPerOp/1e3, maxFactor)
 	}
 	return nil
 }

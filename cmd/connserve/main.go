@@ -14,7 +14,8 @@
 // a restart — graceful or kill -9 — recovers the exact last acknowledged
 // epoch. An empty directory is bootstrapped from the configured dataset
 // source; a populated one is recovered and the dataset flags are ignored.
-// -group-commit trades the per-mutation fsync for a windowed one;
+// -group-commit trades the per-mutation fsync for a windowed one (add
+// -sync-ack to keep acknowledgments durable on top of the batched writes);
 // -checkpoint-every tunes how often the log is folded into a checkpoint.
 // Works with -shards: each shard keeps its own WAL plus a global sequencer
 // log, and recovery rebuilds the identical sharded twin.
@@ -70,6 +71,7 @@ func main() {
 	shards := flag.Int("shards", 1, "serve a spatially sharded database with this many shard units (1 = single-node; answers are bit-identical either way)")
 	dataDir := flag.String("data-dir", "", "durable storage directory (WAL + checkpoints): recovers existing state on boot — the dataset flags are ignored then — or bootstraps the directory from the configured dataset source")
 	groupCommit := flag.Duration("group-commit", 0, "with -data-dir: sync the WAL on this window instead of per mutation (0 = strict fsync before every commit)")
+	syncAck := flag.Bool("sync-ack", false, "with -data-dir and -group-commit: fsync the WAL before acknowledging each commit — durable acks with the batched write path (no effect in strict mode, which always syncs)")
 	ckptEvery := flag.Int("checkpoint-every", 0, "with -data-dir: checkpoint after this many logged records (0 = library default, negative = manual/shutdown only)")
 	oneTree := flag.Bool("onetree", false, "index points and obstacles in one R-tree")
 	buffer := flag.Int("buffer", 0, "LRU buffer pages per tree")
@@ -95,7 +97,7 @@ func main() {
 	}
 
 	db, source, err := openDB(*load, *pointsCSV, *obstaclesCSV, *workload, *scale, *ratio, *seed,
-		*shards, *dataDir, *groupCommit, *ckptEvery, opts)
+		*shards, *dataDir, *groupCommit, *syncAck, *ckptEvery, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -175,11 +177,14 @@ func main() {
 // flags are then ignored — the directory IS the dataset), an empty one is
 // bootstrapped from the resolved source.
 func openDB(load, pointsCSV, obstaclesCSV, workload string, scale, ratio float64, seed int64,
-	shards int, dataDir string, groupCommit time.Duration, ckptEvery int, opts []connquery.Option) (connquery.Database, string, error) {
+	shards int, dataDir string, groupCommit time.Duration, syncAck bool, ckptEvery int, opts []connquery.Option) (connquery.Database, string, error) {
 	if dataDir != "" {
 		dopts := append([]connquery.Option(nil), opts...)
 		if groupCommit > 0 {
 			dopts = append(dopts, connquery.WithGroupCommit(groupCommit))
+		}
+		if syncAck {
+			dopts = append(dopts, connquery.WithSyncAck())
 		}
 		if ckptEvery != 0 {
 			dopts = append(dopts, connquery.WithCheckpointEvery(ckptEvery))

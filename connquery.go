@@ -189,8 +189,17 @@ type DB struct {
 	// pins holds the versions kept alive by unreleased Snapshot handles.
 	pins pinSet
 
-	// watch holds the live Watch subscriptions notified on every publish.
+	// watch holds the live Watch subscriptions, woken per publish when the
+	// commit's change box hits their answer's impact region.
 	watch watchSet
+
+	// motion is the tracked-object registry behind validity horizons
+	// (motion.go): declared-speed objects with their last known position.
+	// lastUnbounded is the latest epoch whose commit was NOT a
+	// motion-bounded tick; a stamped ValidUntil horizon covers an epoch
+	// range only while lastUnbounded stays at or below its base epoch.
+	motion        motionTable
+	lastUnbounded atomic.Uint64
 
 	// dur is the durable attachment (nil for in-memory handles): the WAL
 	// writer every mutation logs to before publishing, the checkpoint

@@ -31,6 +31,8 @@ type Database interface {
 	DeletePoint(pid int32) bool
 	InsertObstacle(r Rect) (int32, error)
 	DeleteObstacle(oid int32) bool
+	Apply(batch []Mutation) (ApplyResult, error)
+	WatchStats() WatchStats
 	NumPoints() int
 	NumObstacles() int
 	Version() uint64

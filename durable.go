@@ -270,6 +270,33 @@ func (d *durableState) logRecord(epoch uint64, r wal.Record) error {
 	return nil
 }
 
+// logBatch appends one batched tick's record group as a single write (and,
+// in strict mode, a single fsync): either every record in the group is
+// logged or the writer latched and nothing publishes. The caller has
+// already stamped consecutive epochs onto the records. Caller holds db.mu.
+func (d *durableState) logBatch(recs []wal.Record) error {
+	if err := d.w.AppendBatch(recs); err != nil {
+		d.err = fmt.Errorf("connquery: durable: %w", err)
+		return d.err
+	}
+	d.since += len(recs)
+	return nil
+}
+
+// syncLocked forces the log tail to disk, latching on failure — the
+// WithSyncAck half of a commit: a mutation acked to the caller is on disk.
+// Caller holds db.mu.
+func (d *durableState) syncLocked() error {
+	if d.err != nil {
+		return d.err
+	}
+	if err := d.w.Sync(); err != nil {
+		d.err = fmt.Errorf("connquery: durable: %w", err)
+		return d.err
+	}
+	return nil
+}
+
 // maybeCheckpointLocked runs the automatic checkpoint when the interval is
 // armed and due. Caller holds db.mu; the published version is already
 // live, so a checkpoint failure only latches the writer — readers are
@@ -317,14 +344,7 @@ func (db *DB) syncWAL() error {
 	if d == nil {
 		return nil
 	}
-	if d.err != nil {
-		return d.err
-	}
-	if err := d.w.Sync(); err != nil {
-		d.err = fmt.Errorf("connquery: durable: %w", err)
-		return d.err
-	}
-	return nil
+	return d.syncLocked()
 }
 
 // Checkpoint writes a durable checkpoint of the current version and

@@ -206,6 +206,23 @@ func (c *Cache) Put(key string, epoch uint64, value any, region Region, size int
 // the epochs between. The caller must invoke Invalidate for every committed
 // mutation, in commit order, before publishing the new version.
 func (c *Cache) Invalidate(from, to uint64, change geom.Rect, points bool) {
+	if points {
+		c.InvalidateBatch(from, to, change, geom.Rect{}, true, false)
+	} else {
+		c.InvalidateBatch(from, to, geom.Rect{}, change, false, true)
+	}
+}
+
+// InvalidateBatch applies one committed batch of mutations in a single
+// sweep: ptBox is the union change box of the batch's point mutations
+// (meaningful only when points is set), obsBox the union box of its obstacle
+// mutations (meaningful only when obstacles is set). An entry survives only
+// if it survives both union boxes; the union is conservative — strictly more
+// entries drop than under per-mutation invalidation — so promoted entries
+// stay bit-identical to re-execution. Epoch semantics match Invalidate:
+// entries valid at `from` are promoted to `to` or dropped, everything else
+// is swept.
+func (c *Cache) InvalidateBatch(from, to uint64, ptBox, obsBox geom.Rect, points, obstacles bool) {
 	if c == nil {
 		return
 	}
@@ -217,7 +234,8 @@ func (c *Cache) Invalidate(from, to uint64, change geom.Rect, points bool) {
 			case e.last != from:
 				c.sweeps.Add(1)
 				s.remove(e)
-			case e.region.survives(change, points):
+			case (!points || e.region.survives(ptBox, true)) &&
+				(!obstacles || e.region.survives(obsBox, false)):
 				e.last = to
 				c.promotions.Add(1)
 			default:

@@ -237,3 +237,56 @@ func TestConcurrentUse(t *testing.T) {
 	wg.Wait()
 	c.Stats() // must not race with anything above
 }
+
+// TestInvalidateBatch pins the batched sweep: one call covers a whole tick's
+// union change boxes, entries must survive BOTH applicable boxes to be
+// promoted across the full epoch span, and stale entries sweep exactly as
+// under per-mutation invalidation.
+func TestInvalidateBatch(t *testing.T) {
+	c := New(1 << 20)
+	r := geom.R(0, 0, 10, 10)
+	c.Put("both-far", 1, "both-far", region(geom.R(100, 100, 110, 110)), 8)
+	c.Put("pt-hit", 1, "pt-hit", region(r), 8)
+	c.Put("obs-hit", 1, "obs-hit", region(geom.R(40, 40, 50, 50)), 8)
+	c.Put("pt-only-obs-box", 1, "v", Region{Rect: geom.R(40, 40, 50, 50), Points: true}, 8)
+	c.Put("stale", 0, "stale", Nothing(), 8)
+
+	// One batch spanning epochs 1 -> 4: point mutations with union box
+	// around (5,5), obstacle mutations with union box around (45,45).
+	c.InvalidateBatch(1, 4, geom.R(5, 5, 6, 6), geom.R(45, 45, 46, 46), true, true)
+
+	if v, ok := c.Get("both-far", 4); !ok || v != "both-far" {
+		t.Fatal("entry far from both union boxes must be promoted across the whole batch")
+	}
+	if _, ok := c.Get("both-far", 2); !ok {
+		t.Fatal("batch promotion must cover the intermediate epochs")
+	}
+	if _, ok := c.Get("pt-hit", 4); ok {
+		t.Fatal("entry intersecting the point union box must drop")
+	}
+	if _, ok := c.Get("obs-hit", 4); ok {
+		t.Fatal("entry intersecting the obstacle union box must drop")
+	}
+	if v, ok := c.Get("pt-only-obs-box", 4); !ok || v != "v" {
+		t.Fatal("point-only entry must ignore the obstacle union box")
+	}
+	if _, ok := c.Get("stale", 0); ok {
+		t.Fatal("stale entry must be swept by the batched invalidation")
+	}
+	st := c.Stats()
+	if st.Promotions != 2 || st.Invalidations != 2 || st.Sweeps != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// A point-only batch must leave obstacle-only entries alone even when
+	// the (meaningless) obstacle box would cover them.
+	c.Put("obs-only", 4, "obs-only", Region{Rect: r, Obstacles: true}, 8)
+	c.InvalidateBatch(4, 6, geom.R(1, 1, 2, 2), r, true, false)
+	if _, ok := c.Get("obs-only", 6); !ok {
+		t.Fatal("obstacle-only entry must survive a point-only batch")
+	}
+
+	// Nil cache: no-op.
+	var nc *Cache
+	nc.InvalidateBatch(1, 2, r, r, true, true)
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// StreamBenchResult is the machine-readable record of the batched-ingest
+// bench (BENCH_stream.json): the same seeded mutation stream committed
+// one public call per mutation versus batched through DB.Apply at Batch
+// mutations per tick. Produced by `connbench -stream`; the
+// -stream-baseline flag gates the batched per-mutation cost against the
+// pinned in-memory mutation record (BENCH_mutation.json) — batching
+// amortizes the clone/log/invalidate/publish commit overhead across the
+// tick, so one mutation inside a batch=64 tick must cost at most
+// MaxStreamFactor times the pinned one-call-per-mutation ns/op.
+type StreamBenchResult struct {
+	Name  string  `json:"name"`
+	Tool  string  `json:"tool"`
+	Scale float64 `json:"scale"`
+	Ops   int     `json:"ops"`
+	Batch int     `json:"batch"`
+	Seed  int64   `json:"seed"`
+	// SeqNsPerOp is one mutation committed through its own public call
+	// (one COW pass, one published epoch each); BatchNsPerOp is one
+	// mutation's share of a Batch-sized Apply tick. Speedup is their
+	// ratio.
+	SeqNsPerOp   float64 `json:"seq_ns_per_op"`
+	BatchNsPerOp float64 `json:"batch_ns_per_op"`
+	Speedup      float64 `json:"speedup"`
+	Timestamp    string  `json:"timestamp"`
+}
+
+// MaxStreamFactor is the acceptance ceiling for batched-ingest mutation
+// cost relative to the pinned per-mutation baseline: one mutation inside
+// a batched tick may cost at most this fraction of a one-call-per-mutation
+// commit, or the batching amortization has regressed.
+const MaxStreamFactor = 0.25
+
+// ReadStreamJSON loads a pinned StreamBenchResult record.
+func ReadStreamJSON(path string) (StreamBenchResult, error) {
+	var r StreamBenchResult
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// WriteStreamJSON writes r to dir/BENCH_<name>.json and returns the path.
+func WriteStreamJSON(dir string, r StreamBenchResult) (string, error) {
+	path := filepath.Join(dir, "BENCH_"+r.Name+".json")
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -386,6 +386,58 @@ func (w *Writer) Append(r Record) error {
 	return nil
 }
 
+// AppendBatch logs a group of records as one physical write and — in strict
+// mode — one fsync, the durability half of a batched commit: either the
+// whole group is durable when AppendBatch returns, or the writer failed and
+// nothing published. Epochs must be strictly increasing across the group
+// and past the writer's last epoch, exactly as if each record had been
+// Appended individually; recovery cannot tell the difference. In group-
+// commit mode the frames buffer like any other append and the window syncer
+// covers them. An empty batch is a no-op.
+func (w *Writer) AppendBatch(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	last := w.lastEpoch
+	for _, r := range recs {
+		if r.Epoch <= last {
+			return w.fail(fmt.Errorf("wal: non-monotonic epoch %d after %d in batch", r.Epoch, last))
+		}
+		last = r.Epoch
+	}
+	if w.size >= w.opts.SegmentBytes {
+		if err := w.rotateLocked(recs[0].Epoch); err != nil {
+			return w.fail(err)
+		}
+	}
+	var buf []byte
+	for _, r := range recs {
+		buf = AppendFrame(buf, r)
+	}
+	if _, err := w.f.Write(buf); err != nil {
+		return w.fail(err)
+	}
+	w.size += int64(len(buf))
+	w.lastEpoch = last
+	if w.opts.SyncWindow == 0 {
+		if err := w.f.Sync(); err != nil {
+			return w.fail(err)
+		}
+		return nil
+	}
+	w.dirty = true
+	select {
+	case w.syncReq <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
 // fail latches err. Caller holds w.mu.
 func (w *Writer) fail(err error) error {
 	if w.err == nil {
@@ -438,6 +490,15 @@ func (w *Writer) syncLoop() {
 		}
 		w.mu.Unlock()
 	}
+}
+
+// Dirty reports whether appended records are still awaiting an fsync — the
+// group-commit relaxed window. Strict mode and a sync-acked commit always
+// leave the writer clean.
+func (w *Writer) Dirty() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dirty
 }
 
 // Sync forces buffered records to disk (a no-op in strict mode, where

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -289,5 +290,216 @@ func TestScanPageAccounting(t *testing.T) {
 	want := int((res.Bytes + 511) / 512)
 	if len(pages) != want {
 		t.Fatalf("charged %d distinct pages, want %d for %d bytes", len(pages), want, res.Bytes)
+	}
+}
+
+// batches splits recs into groups of batchLen for AppendBatch tests.
+func batches(recs []Record, batchLen int) [][]Record {
+	var out [][]Record
+	for len(recs) > 0 {
+		n := batchLen
+		if n > len(recs) {
+			n = len(recs)
+		}
+		out = append(out, recs[:n])
+		recs = recs[n:]
+	}
+	return out
+}
+
+// TestAppendBatchRoundTrip proves a scan cannot tell batched appends from
+// individual ones: groups of records written through AppendBatch (mixed with
+// single Appends and empty batches) read back as the identical record
+// sequence.
+func TestAppendBatchRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	recs := someRecords(30, 3)
+	w, err := Create(dir, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if err := w.AppendBatch(recs[:7]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(recs[7]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch(recs[8:8]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch(recs[8:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ScanDir(dir, 4096, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != len(recs) {
+		t.Fatalf("scanned %d records, want %d", len(res.Records), len(recs))
+	}
+	for i, r := range res.Records {
+		if r != recs[i] {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, r, recs[i])
+		}
+	}
+}
+
+// TestAppendBatchMonotonicRejected pins the epoch discipline: a batch that
+// repeats an epoch internally, or that starts at or below the writer's last
+// epoch, is rejected whole and latches the writer.
+func TestAppendBatchMonotonicRejected(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.AppendBatch([]Record{rec(OpInsertPoint, 1, 1, 0, 0), rec(OpInsertPoint, 2, 1, 1, 1)}); err == nil {
+		t.Fatal("internally duplicate epochs accepted")
+	}
+	if err := w.Append(rec(OpInsertPoint, 3, 2, 0, 0)); err == nil {
+		t.Fatal("writer did not latch after the rejected batch")
+	}
+
+	dir2 := t.TempDir()
+	w2, err := Create(dir2, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if err := w2.Append(rec(OpInsertPoint, 1, 5, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.AppendBatch([]Record{rec(OpInsertPoint, 2, 5, 0, 0)}); err == nil {
+		t.Fatal("batch starting at the writer's last epoch accepted")
+	}
+}
+
+// TestAppendBatchRotation proves a batch never splits across segments: the
+// roll happens before the group's single write, so every group lands whole
+// in one segment even when it overshoots the threshold.
+func TestAppendBatchRotation(t *testing.T) {
+	dir := t.TempDir()
+	recs := someRecords(60, 1)
+	w, err := Create(dir, 1, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := batches(recs, 6)
+	for _, g := range groups {
+		if err := w.AppendBatch(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) < 2 {
+		t.Fatalf("expected multiple segments with a 128-byte roll threshold, got %v", names)
+	}
+	// Each segment must begin exactly at a group boundary: its name carries
+	// the epoch of its first record, and every group starts at epochs
+	// 1, 7, 13, ... for groups of 6.
+	for _, name := range names {
+		var first uint64
+		if _, err := fmt.Sscanf(name, "wal-%x.log", &first); err != nil {
+			t.Fatalf("unparseable segment name %q", name)
+		}
+		if (first-1)%6 != 0 {
+			t.Fatalf("segment %q starts mid-batch at epoch %d", name, first)
+		}
+	}
+	res, err := ScanDir(dir, 4096, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != len(recs) {
+		t.Fatalf("scanned %d records, want %d", len(res.Records), len(recs))
+	}
+	for i, r := range res.Records {
+		if r != recs[i] {
+			t.Fatalf("record %d mismatch after batched rotation", i)
+		}
+	}
+}
+
+// TestAppendBatchTornTail tears bytes off a batched log: the scan must
+// surface the longest valid record prefix, exactly as for individual
+// appends.
+func TestAppendBatchTornTail(t *testing.T) {
+	dir := t.TempDir()
+	recs := someRecords(12, 1)
+	w, err := Create(dir, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range batches(recs, 4) {
+		if err := w.AppendBatch(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := listSegments(dir)
+	path := filepath.Join(dir, names[0])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ScanDir(dir, 4096, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != len(recs)-1 || res.TornBytes == 0 {
+		t.Fatalf("torn batched log scanned %d records (%d torn bytes), want %d", len(res.Records), res.TornBytes, len(recs)-1)
+	}
+}
+
+// TestAppendBatchDirty pins the Dirty observability: strict mode syncs
+// within AppendBatch (clean on return), group mode leaves the group dirty
+// until a Sync.
+func TestAppendBatchDirty(t *testing.T) {
+	strict, err := Create(t.TempDir(), 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer strict.Close()
+	if err := strict.AppendBatch(someRecords(4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if strict.Dirty() {
+		t.Fatal("strict-mode AppendBatch returned with the log dirty")
+	}
+
+	grouped, err := Create(t.TempDir(), 1, Options{SyncWindow: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer grouped.Close()
+	if err := grouped.AppendBatch(someRecords(4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if !grouped.Dirty() {
+		t.Fatal("group-mode AppendBatch left the log clean without a sync")
+	}
+	if err := grouped.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if grouped.Dirty() {
+		t.Fatal("Sync left the log dirty")
 	}
 }

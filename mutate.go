@@ -77,13 +77,14 @@ func beginVersion(v *version) *version {
 	}
 }
 
-// publish makes nv the DB's current version and wakes every Watch
-// subscription so it re-executes against the fresh version. Callers hold
-// db.mu, so publishes (and therefore watcher wake-ups) are ordered;
+// publish makes nv the DB's current version and wakes the Watch
+// subscriptions whose answer the committing change box could have altered
+// (watchSet.notify filters against each watcher's impact region). Callers
+// hold db.mu, so publishes (and therefore watcher wake-ups) are ordered;
 // wake-ups are non-blocking and coalesce per watcher.
-func (db *DB) publish(nv *version) {
+func (db *DB) publish(nv *version, change Rect, points bool) {
 	db.cur.Store(nv)
-	db.watch.notifyAll()
+	db.watch.notify(change, points)
 }
 
 // commit applies one mutation's impact to the answer cache, then publishes.
@@ -100,17 +101,28 @@ func (db *DB) publish(nv *version) {
 // watcher woken by this publish finds its promoted entry already in place.
 //
 // On a durable handle the mutation's WAL record is appended — and, in
-// strict mode, fsynced — before any of that: an error means nothing was
-// published and the caller must discard nv (the orphaned array append is
-// harmless; the next insert at this epoch overwrites the same slot).
+// strict mode or under WithSyncAck, fsynced — before any of that: an error
+// means nothing was published and the caller must discard nv (the orphaned
+// array append is harmless; the next insert at this epoch overwrites the
+// same slot).
 func (db *DB) commit(v, nv *version, change Rect, points bool, rec wal.Record) error {
 	if db.dur != nil {
 		if err := db.dur.logRecord(nv.epoch, rec); err != nil {
 			return err
 		}
+		if db.cfg.syncAck {
+			if err := db.dur.syncLocked(); err != nil {
+				return err
+			}
+		}
 	}
 	db.cache.Invalidate(v.epoch, nv.epoch, change, points)
-	db.publish(nv)
+	// A plain mutation is never a motion-bounded tick (only DB.Apply can
+	// prove speed compliance), so it bounds every outstanding validity
+	// horizon. Store before the version swap: a watcher that observes the
+	// new epoch must also observe the bound.
+	db.lastUnbounded.Store(nv.epoch)
+	db.publish(nv, change, points)
 	if db.dur != nil {
 		db.maybeCheckpointLocked(nv)
 	}
@@ -227,7 +239,11 @@ func (db *DB) DeletePoint(pid int32) bool {
 	}
 	p := v.points[pid]
 	rec := wal.Record{Op: wal.OpDeletePoint, ID: pid, Coords: [4]float64{p.X, p.Y}}
-	return db.commit(v, nv, pointBox(p), true, rec) == nil
+	if db.commit(v, nv, pointBox(p), true, rec) != nil {
+		return false
+	}
+	db.motion.forget(pid)
+	return true
 }
 
 // InsertObstacle adds an obstacle and returns its ID. The rectangle must

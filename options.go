@@ -20,6 +20,7 @@ type config struct {
 	boot        *bootstrapData
 	groupWindow time.Duration
 	ckptEvery   int
+	syncAck     bool
 }
 
 func defaultConfig() config {
@@ -145,6 +146,20 @@ func WithBootstrapData(points []Point, obstacles []Rect) Option {
 // never a torn state. In-memory constructors ignore the option.
 func WithGroupCommit(window time.Duration) Option {
 	return func(c *config) { c.groupWindow = window }
+}
+
+// WithSyncAck makes every mutation ack — the public call returning, the
+// HTTP endpoint responding — imply durability even under WithGroupCommit:
+// the commit path fsyncs the WAL tail before the mutation publishes and
+// returns. Without it, a group-commit handle acks up to one window ahead of
+// the disk, so an acked mutation can vanish in a crash (the relaxed
+// window documented in ARCHITECTURE.md). The cost profile is why the
+// option exists separately from strict mode: per-mutation it is strict
+// fsync, but a batched DB.Apply tick syncs its whole record group once, so
+// the stream path keeps its amortization while acked ticks always survive
+// recovery. In-memory constructors ignore the option.
+func WithSyncAck() Option {
+	return func(c *config) { c.syncAck = true }
 }
 
 // WithCheckpointEvery makes the durable tier write a checkpoint (and

@@ -174,12 +174,13 @@ func WithWorkers(n int) QueryOption {
 // different kind; Value gives the untyped payload, and the generic Run
 // helper returns it statically typed.
 type Answer struct {
-	req     Request
-	epoch   uint64
-	value   any
-	metrics Metrics
-	items   []Metrics
-	cached  bool
+	req        Request
+	epoch      uint64
+	value      any
+	metrics    Metrics
+	items      []Metrics
+	cached     bool
+	validUntil time.Time
 }
 
 // Request returns the request this answer was produced for.
@@ -187,6 +188,16 @@ func (a *Answer) Request() Request { return a.req }
 
 // Epoch returns the snapshot epoch the query executed against.
 func (a *Answer) Epoch() uint64 { return a.epoch }
+
+// ValidUntil returns the answer's validity horizon: the earliest wall-clock
+// instant at which any speed-declared object (DB.Apply with Mutation.Speed)
+// could first reach the answer's impact region. Until then, ticks made
+// entirely of speed-compliant moves provably leave the answer bit-identical,
+// and Watch subscriptions skip re-execution (motion.go). The zero time means
+// no horizon: nothing is tracked, a tracked object is too close, or the
+// answer's region is unbounded. The horizon is advisory for plain mutations —
+// any non-compliant commit re-arms watchers regardless of it.
+func (a *Answer) ValidUntil() time.Time { return a.validUntil }
 
 // Cached reports whether the answer was served from the answer cache
 // without executing the engine. A cached answer's payload is bit-identical
@@ -335,7 +346,9 @@ func (db *DB) execAt(ctx context.Context, req Request, v *version, xo *execOptio
 			useCache = false
 		} else if rec, hit := db.cache.Get(fp, v.epoch); hit {
 			ca := rec.(*cachedAnswer)
-			return &Answer{req: req, epoch: v.epoch, value: ca.value, metrics: ca.metrics, items: ca.items, cached: true}, nil
+			ans := &Answer{req: req, epoch: v.epoch, value: ca.value, metrics: ca.metrics, items: ca.items, cached: true}
+			db.stampHorizon(ans)
+			return ans, nil
 		}
 	}
 	var cancel func() error
@@ -383,7 +396,9 @@ func (db *DB) execAt(ctx context.Context, req Request, v *version, xo *execOptio
 		db.cache.Put(fp, v.epoch, &cachedAnswer{value: value, metrics: m, items: x.items},
 			widenRegion(impactRegion(req, value), req, m.Reach), answerFootprint(value, x.items))
 	}
-	return &Answer{req: req, epoch: v.epoch, value: value, metrics: m, items: x.items}, nil
+	ans := &Answer{req: req, epoch: v.epoch, value: value, metrics: m, items: x.items}
+	db.stampHorizon(ans)
+	return ans, nil
 }
 
 // guarded invokes req.run, translating a cancellation panic (core.Aborted)

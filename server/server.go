@@ -20,6 +20,7 @@
 //	DELETE /v1/points/{id}     delete a data point
 //	POST   /v1/obstacles       insert an obstacle
 //	DELETE /v1/obstacles/{id}  delete an obstacle
+//	POST   /v1/stream          NDJSON mutation ingest, batched into ticks
 //	POST   /v1/snapshots       pin the current MVCC version (TTL-guarded)
 //	GET    /v1/snapshots       list live pins
 //	DELETE /v1/snapshots/{id}  release a pin
@@ -95,9 +96,15 @@ type counters struct {
 	watchUpdates atomic.Int64
 	mutations    atomic.Int64
 	inflight     atomic.Int64
-	npe          atomic.Int64
-	noe          atomic.Int64
-	svgPeak      atomic.Int64
+
+	streamsOpen    atomic.Int64
+	streamTicks    atomic.Int64
+	streamLines    atomic.Int64
+	streamRejected atomic.Int64
+
+	npe     atomic.Int64
+	noe     atomic.Int64
+	svgPeak atomic.Int64
 
 	mu     sync.Mutex
 	byKind map[string]int64
@@ -149,6 +156,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/points/{id}", s.handleDeletePoint)
 	s.mux.HandleFunc("POST /v1/obstacles", s.handleInsertObstacle)
 	s.mux.HandleFunc("DELETE /v1/obstacles/{id}", s.handleDeleteObstacle)
+	s.mux.HandleFunc("POST /v1/stream", s.handleStream)
 	s.mux.HandleFunc("POST /v1/snapshots", s.handleCreateSnapshot)
 	s.mux.HandleFunc("GET /v1/snapshots", s.handleListSnapshots)
 	s.mux.HandleFunc("DELETE /v1/snapshots/{id}", s.handleDeleteSnapshot)
@@ -249,6 +257,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.stats.mu.Unlock()
 	cs := s.db.CacheStats()
 	ps := s.db.PlannerStats()
+	ws := s.db.WatchStats()
 	// A sharded database additionally reports its router/per-shard counters.
 	var shardStats *connquery.ShardStats
 	if sdb, ok := s.db.(interface{ ShardStats() connquery.ShardStats }); ok {
@@ -288,6 +297,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Fallbacks:    ps.Fallbacks,
 			BuildNs:      ps.BuildNs,
 			SavedNs:      ps.SavedNs,
+		},
+		Watch: WatchDBStats{
+			Woken:        ws.Woken,
+			Skipped:      ws.Skipped,
+			HorizonSkips: ws.HorizonSkips,
+		},
+		Stream: StreamStats{
+			Open:     s.stats.streamsOpen.Load(),
+			Ticks:    s.stats.streamTicks.Load(),
+			Lines:    s.stats.streamLines.Load(),
+			Rejected: s.stats.streamRejected.Load(),
 		},
 		Shards: shardStats,
 	})

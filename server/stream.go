@@ -1,0 +1,311 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"connquery"
+)
+
+// handleStream serves POST /v1/stream: a long-lived NDJSON mutation ingest
+// that batches the incoming lines into ticks and commits each tick with one
+// DB.Apply call — one copy-on-write pass, one WAL fsync group, one published
+// epoch, one watcher wake per tick, however many lines arrived inside it.
+// This is the server face of the library's batched-commit path; a motion
+// feed at thousands of position updates per second costs per-tick, not
+// per-update, commit work.
+//
+// Request body: one JSON mutation per line,
+//
+//	{"op":"insert-point","p":{"x":1,"y":2},"speed":3}
+//	{"op":"move-point","id":17,"p":{"x":4,"y":5}}
+//	{"op":"delete-point","id":17}
+//	{"op":"insert-obstacle","rect":{"min_x":0,"min_y":0,"max_x":1,"max_y":1}}
+//	{"op":"delete-obstacle","id":4}
+//
+// Query parameters: tick_ms sets the batching window (default 25, max
+// 10000) — lines arriving within one window commit as one tick; max_batch
+// caps the lines per tick (default 256, max 4096) — a full batch commits
+// immediately without waiting out the window.
+//
+// Response: NDJSON, one line per committed tick carrying the published
+// epoch and the per-member outcomes in input order. A malformed FIRST line
+// is a plain 400 (the stream never starts); a malformed line later is
+// reported as an in-stream {"error": ...} line and skipped — the stream
+// and the lines around it are unaffected, matching how a failed Apply
+// member doesn't abort its batch. When the client disconnects mid-tick,
+// the lines already received still commit: each line was accepted when it
+// was read, so it is applied even if the acknowledgment can no longer be
+// delivered.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	defer s.track()()
+
+	tickWindow, maxBatch, err := streamParams(r)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 4096), maxStreamLineBytes)
+
+	// The first line decides between 400 and a started stream: parse it
+	// before committing to a 200 status line. Blank lines don't count.
+	var pending []connquery.Mutation
+	firstLine := 0
+	for sc.Scan() {
+		firstLine++
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		m, err := decodeStreamLine(sc.Bytes())
+		if err != nil {
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("stream line %d: %w", firstLine, err))
+			return
+		}
+		pending = append(pending, m)
+		break
+	}
+	if len(pending) == 0 {
+		if err := sc.Err(); err != nil {
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("stream line %d: %w", firstLine+1, err))
+			return
+		}
+	}
+
+	// The handler interleaves request-body reads with response writes; for
+	// HTTP/1.1 the server would otherwise drain the remaining body before
+	// the first write. Errors (an already-hijacked connection) are moot —
+	// HTTP/2 is always full-duplex.
+	_ = http.NewResponseController(w).EnableFullDuplex()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	s.stats.streamsOpen.Add(1)
+	defer s.stats.streamsOpen.Add(-1)
+
+	// The scanner blocks in Read, so a goroutine feeds parsed lines to the
+	// tick loop. Line numbers are 1-based over the whole request body.
+	type lineMsg struct {
+		mut  connquery.Mutation
+		err  error
+		line int
+	}
+	lines := make(chan lineMsg)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		defer close(lines)
+		n := firstLine // lines up to here were consumed synchronously above
+		for sc.Scan() {
+			n++
+			if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+				continue
+			}
+			m, err := decodeStreamLine(sc.Bytes())
+			select {
+			case lines <- lineMsg{mut: m, err: err, line: n}:
+			case <-done:
+				return
+			}
+		}
+		if err := sc.Err(); err != nil {
+			select {
+			case lines <- lineMsg{err: fmt.Errorf("read: %w", err), line: n + 1}:
+			case <-done:
+			}
+		}
+	}()
+
+	// commit flushes the pending lines as one tick and writes its ack line.
+	// A dead connection doesn't stop the commit: the lines were accepted.
+	alive := true
+	commit := func() {
+		if len(pending) == 0 {
+			return
+		}
+		batch := pending
+		pending = nil
+		res, err := s.db.Apply(batch)
+		if err != nil {
+			// Unwritable handle / failed durable append: fail-stop, nothing
+			// published. Surface it in-stream and end the ingest.
+			s.stats.streamRejected.Add(int64(len(batch)))
+			if alive {
+				alive = s.writeStreamLine(w, flusher, StreamTick{Error: err.Error()})
+			}
+			return
+		}
+		s.stats.streamTicks.Add(1)
+		s.stats.streamLines.Add(int64(len(batch)))
+		s.stats.mutations.Add(int64(res.Applied))
+		if !alive {
+			return
+		}
+		tick := StreamTick{Epoch: res.Epoch, Applied: res.Applied,
+			Results: make([]StreamResult, len(res.Results))}
+		for i, mr := range res.Results {
+			sr := StreamResult{ID: mr.ID, Deleted: mr.Deleted}
+			if mr.Err != nil {
+				sr.Error = mr.Err.Error()
+			}
+			tick.Results[i] = sr
+		}
+		alive = s.writeStreamLine(w, flusher, tick)
+	}
+
+	// A max_batch of 1 commits the synchronously-read first line before the
+	// loop even starts.
+	if len(pending) >= maxBatch {
+		commit()
+	}
+
+	// The tick timer runs only while a tick is open: it arms when the first
+	// line of a tick arrives and fires one commit per window.
+	timer := time.NewTimer(tickWindow)
+	defer timer.Stop()
+	if len(pending) == 0 {
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+	}
+	for {
+		select {
+		case msg, ok := <-lines:
+			if !ok {
+				commit() // EOF: flush the open tick
+				return
+			}
+			if msg.err != nil {
+				s.stats.streamRejected.Add(1)
+				if alive {
+					alive = s.writeStreamLine(w, flusher, StreamTick{
+						Error: fmt.Sprintf("stream line %d: %v", msg.line, msg.err)})
+				}
+				continue
+			}
+			if len(pending) == 0 {
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+				timer.Reset(tickWindow)
+			}
+			pending = append(pending, msg.mut)
+			if len(pending) >= maxBatch {
+				commit()
+			}
+		case <-timer.C:
+			commit()
+		case <-s.closed:
+			commit() // server shutdown: accepted lines still commit
+			return
+		}
+	}
+}
+
+// maxStreamLineBytes bounds one NDJSON mutation line; a single mutation is
+// a few hundred bytes, so this is generous while keeping one line from
+// buffering the server into the ground. The stream's total length is
+// unbounded by design — it is an ingest feed, not a request body.
+const maxStreamLineBytes = 1 << 16
+
+// streamParams parses and bounds the tick_ms and max_batch parameters.
+func streamParams(r *http.Request) (time.Duration, int, error) {
+	tickMS := 25
+	if raw := r.URL.Query().Get("tick_ms"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 || v > 10000 {
+			return 0, 0, fmt.Errorf("tick_ms must be an integer in [1, 10000], got %q", raw)
+		}
+		tickMS = v
+	}
+	maxBatch := 256
+	if raw := r.URL.Query().Get("max_batch"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 || v > 4096 {
+			return 0, 0, fmt.Errorf("max_batch must be an integer in [1, 4096], got %q", raw)
+		}
+		maxBatch = v
+	}
+	return time.Duration(tickMS) * time.Millisecond, maxBatch, nil
+}
+
+// decodeStreamLine parses one NDJSON mutation line into the library form.
+// Field presence is validated here; value validation (speed domain, dead
+// IDs, containment) is Apply's job, so the stream rejects exactly what the
+// library rejects.
+func decodeStreamLine(b []byte) (connquery.Mutation, error) {
+	var line StreamMutation
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&line); err != nil {
+		return connquery.Mutation{}, err
+	}
+	var m connquery.Mutation
+	switch line.Op {
+	case "insert-point":
+		if line.P == nil {
+			return m, need("insert-point", "p")
+		}
+		m = connquery.Mutation{Op: connquery.MutInsertPoint, P: line.P.lib(), Speed: line.Speed}
+	case "delete-point":
+		if line.ID == nil {
+			return m, need("delete-point", "id")
+		}
+		m = connquery.Mutation{Op: connquery.MutDeletePoint, ID: *line.ID}
+	case "insert-obstacle":
+		if line.Rect == nil {
+			return m, need("insert-obstacle", "rect")
+		}
+		m = connquery.Mutation{Op: connquery.MutInsertObstacle, R: line.Rect.lib()}
+	case "delete-obstacle":
+		if line.ID == nil {
+			return m, need("delete-obstacle", "id")
+		}
+		m = connquery.Mutation{Op: connquery.MutDeleteObstacle, ID: *line.ID}
+	case "move-point":
+		if line.ID == nil {
+			return m, need("move-point", "id")
+		}
+		if line.P == nil {
+			return m, need("move-point", "p")
+		}
+		m = connquery.Mutation{Op: connquery.MutMovePoint, ID: *line.ID, P: line.P.lib(), Speed: line.Speed}
+	case "":
+		return m, fmt.Errorf("missing op")
+	default:
+		return m, fmt.Errorf("unknown op %q", line.Op)
+	}
+	return m, nil
+}
+
+// writeStreamLine emits one NDJSON frame; false means the connection is
+// dead (the ingest continues — accepted lines still apply, only the acks
+// are lost).
+func (s *Server) writeStreamLine(w http.ResponseWriter, flusher http.Flusher, v any) bool {
+	line, err := json.Marshal(v)
+	if err != nil {
+		s.logf("stream: marshal: %v", err)
+		return false
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", line); err != nil {
+		return false
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	return true
+}

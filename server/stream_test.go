@@ -1,0 +1,419 @@
+package server_test
+
+// End-to-end tests for POST /v1/stream: the NDJSON mutation ingest that
+// batches incoming lines into ticks, each tick one DB.Apply commit — one
+// published epoch however many lines it carried. Tick boundaries are forced
+// deterministically with max_batch (never with wall-clock timing), epochs
+// are checked against the library's one-epoch-per-tick contract, malformed
+// lines must surface in-stream without ending the ingest, and a client that
+// disconnects mid-tick must still get its accepted lines committed.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"connquery"
+	"connquery/server"
+)
+
+// postStream sends body to POST /v1/stream with the given query string and
+// decodes every NDJSON response line.
+func postStream(t *testing.T, base, query, body string) (*http.Response, []server.StreamTick) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/stream"+query, "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ticks []server.StreamTick
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var tk server.StreamTick
+		if err := json.Unmarshal(sc.Bytes(), &tk); err != nil {
+			t.Fatalf("bad stream response line %q: %v", sc.Text(), err)
+		}
+		ticks = append(ticks, tk)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return resp, ticks
+}
+
+// insLine renders one insert-point NDJSON line.
+func insLine(x, y float64) string {
+	return fmt.Sprintf(`{"op":"insert-point","p":{"x":%g,"y":%g}}`, x, y)
+}
+
+// TestStreamTickBatchingAndEpochs drives ten inserts through max_batch=4
+// (the tick window is far too long to fire): the ingest must commit exactly
+// three ticks of 4, 4, and 2 lines — per-tick epochs advancing by exactly
+// the tick's applied count from the pre-stream version, the final epoch
+// being the database's live version, and every line acked with its assigned
+// PID in input order.
+func TestStreamTickBatchingAndEpochs(t *testing.T) {
+	db := testDB(t)
+	_, base := newTestServer(t, db, server.Config{})
+	v0 := db.Version()
+	n0 := db.NumPoints()
+
+	var lines []string
+	for i := 0; i < 10; i++ {
+		lines = append(lines, insLine(60+float64(i), 5))
+	}
+	resp, ticks := postStream(t, base, "?tick_ms=10000&max_batch=4", strings.Join(lines, "\n")+"\n")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	if len(ticks) != 3 {
+		t.Fatalf("got %d ticks, want 3: %+v", len(ticks), ticks)
+	}
+	wantSizes := []int{4, 4, 2}
+	epoch := v0
+	seen := 0
+	for i, tk := range ticks {
+		if tk.Error != "" {
+			t.Fatalf("tick %d carries error %q", i, tk.Error)
+		}
+		if tk.Applied != wantSizes[i] || len(tk.Results) != wantSizes[i] {
+			t.Fatalf("tick %d applied %d with %d results, want %d", i, tk.Applied, len(tk.Results), wantSizes[i])
+		}
+		epoch += uint64(tk.Applied)
+		if tk.Epoch != epoch {
+			t.Fatalf("tick %d published epoch %d, want %d (one epoch per tick, intermediates unpublished)", i, tk.Epoch, epoch)
+		}
+		for j, r := range tk.Results {
+			if r.Error != "" {
+				t.Fatalf("tick %d line %d failed: %s", i, j, r.Error)
+			}
+			if r.ID < 0 {
+				t.Fatalf("tick %d line %d got no PID", i, j)
+			}
+			seen++
+		}
+	}
+	if got := db.Version(); got != epoch {
+		t.Fatalf("live version %d, want the last tick's epoch %d", got, epoch)
+	}
+	if got := db.NumPoints(); got != n0+10 {
+		t.Fatalf("NumPoints %d, want %d", got, n0+10)
+	}
+	if seen != 10 {
+		t.Fatalf("acked %d lines, want 10", seen)
+	}
+}
+
+// TestStreamMalformedFirstLine pins the 400 contract: a stream whose first
+// line does not parse never starts (plain error response, no ticks, no
+// mutations), covering bad JSON, an unknown op, and a missing required
+// field.
+func TestStreamMalformedFirstLine(t *testing.T) {
+	db := testDB(t)
+	_, base := newTestServer(t, db, server.Config{})
+	v0 := db.Version()
+
+	for _, body := range []string{
+		"not json at all\n",
+		`{"op":"explode"}` + "\n",
+		`{"op":"insert-point"}` + "\n",                             // requires p
+		`{"op":"insert-point","p":{"x":1,"y":2},"bogus":3}` + "\n", // unknown field
+	} {
+		resp, err := http.Post(base+"/v1/stream", "application/x-ndjson", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400 (%s)", body, resp.StatusCode, raw)
+		}
+		var e server.ErrorResponse
+		if err := json.Unmarshal(raw, &e); err != nil || !strings.Contains(e.Error, "stream line 1") {
+			t.Fatalf("body %q: error envelope %q does not name stream line 1", body, raw)
+		}
+	}
+	if db.Version() != v0 {
+		t.Fatalf("rejected streams mutated the database: %d -> %d", v0, db.Version())
+	}
+}
+
+// TestStreamMalformedMidStream feeds good and bad lines through max_batch=1
+// so every good line is its own tick: the two bad lines must come back as
+// in-stream error lines naming their 1-based line numbers, the good lines
+// on either side of them must commit, and the stream counters must report
+// the split.
+func TestStreamMalformedMidStream(t *testing.T) {
+	db := testDB(t)
+	_, base := newTestServer(t, db, server.Config{})
+	n0 := db.NumPoints()
+
+	body := strings.Join([]string{
+		insLine(61, 5),
+		`{"op":"insert-point"}`, // missing p
+		`}garbage{`,
+		insLine(62, 5),
+	}, "\n") + "\n"
+	resp, ticks := postStream(t, base, "?tick_ms=10000&max_batch=1", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	if len(ticks) != 4 {
+		t.Fatalf("got %d response lines, want 4: %+v", len(ticks), ticks)
+	}
+	if ticks[0].Error != "" || ticks[0].Applied != 1 {
+		t.Fatalf("first good line did not commit: %+v", ticks[0])
+	}
+	if !strings.Contains(ticks[1].Error, "stream line 2") {
+		t.Fatalf("second response line %+v does not report stream line 2", ticks[1])
+	}
+	if !strings.Contains(ticks[2].Error, "stream line 3") {
+		t.Fatalf("third response line %+v does not report stream line 3", ticks[2])
+	}
+	if ticks[3].Error != "" || ticks[3].Applied != 1 {
+		t.Fatalf("good line after the malformed ones did not commit: %+v", ticks[3])
+	}
+	if got := db.NumPoints(); got != n0+2 {
+		t.Fatalf("NumPoints %d, want %d", got, n0+2)
+	}
+
+	stats := getStats(t, base)
+	if stats.Stream.Ticks != 2 || stats.Stream.Lines != 2 || stats.Stream.Rejected != 2 {
+		t.Fatalf("stream stats %+v, want 2 ticks / 2 lines / 2 rejected", stats.Stream)
+	}
+	if stats.Stream.Open != 0 {
+		t.Fatalf("stream still counted open: %+v", stats.Stream)
+	}
+}
+
+// TestStreamAllOpsAndMemberFailure drives every op through one stream —
+// insert with a declared speed, move (fresh PID, delete half acked), both
+// obstacle ops, plain delete — plus an in-tick member failure (deleting a
+// dead PID), which must ack with an error while the rest of its tick
+// commits, exactly like DB.Apply.
+func TestStreamAllOpsAndMemberFailure(t *testing.T) {
+	db := testDB(t)
+	_, base := newTestServer(t, db, server.Config{})
+
+	// Tick 1: a tracked insert and an obstacle, committed together.
+	_, ticks := postStream(t, base, "?tick_ms=10000&max_batch=2", strings.Join([]string{
+		`{"op":"insert-point","p":{"x":70,"y":5},"speed":3}`,
+		`{"op":"insert-obstacle","rect":{"min_x":60,"min_y":20,"max_x":62,"max_y":22}}`,
+	}, "\n")+"\n")
+	if len(ticks) != 1 || ticks[0].Applied != 2 {
+		t.Fatalf("setup tick: %+v", ticks)
+	}
+	pid, oid := ticks[0].Results[0].ID, ticks[0].Results[1].ID
+
+	// Tick 2: move the tracked point, delete the obstacle, fail a member on
+	// a dead PID — three lines, one commit, the failure contained.
+	_, ticks = postStream(t, base, "?tick_ms=10000&max_batch=3", strings.Join([]string{
+		fmt.Sprintf(`{"op":"move-point","id":%d,"p":{"x":71,"y":6}}`, pid),
+		fmt.Sprintf(`{"op":"delete-obstacle","id":%d}`, oid),
+		`{"op":"delete-point","id":9999}`,
+	}, "\n")+"\n")
+	if len(ticks) != 1 {
+		t.Fatalf("got %d ticks, want 1: %+v", len(ticks), ticks)
+	}
+	tk := ticks[0]
+	// The move contributes two primitives, the obstacle delete one; the dead
+	// delete contributes nothing but still gets its result slot.
+	if tk.Applied != 3 || len(tk.Results) != 3 {
+		t.Fatalf("mixed tick applied %d with %d results, want 3 and 3: %+v", tk.Applied, len(tk.Results), tk)
+	}
+	mv := tk.Results[0]
+	if mv.Error != "" || !mv.Deleted || mv.ID == pid {
+		t.Fatalf("move result %+v: want deleted=true and a fresh PID (old %d)", mv, pid)
+	}
+	if del := tk.Results[1]; del.Error != "" || !del.Deleted {
+		t.Fatalf("obstacle delete result %+v", del)
+	}
+	if dead := tk.Results[2]; dead.Error == "" || dead.Deleted {
+		t.Fatalf("dead-PID delete result %+v: want a contained member error", dead)
+	}
+	if tk.Epoch != db.Version() {
+		t.Fatalf("tick epoch %d, live version %d", tk.Epoch, db.Version())
+	}
+
+	// Tick 3: delete the moved point by its fresh PID.
+	_, ticks = postStream(t, base, "?tick_ms=10000&max_batch=1",
+		fmt.Sprintf(`{"op":"delete-point","id":%d}`, mv.ID)+"\n")
+	if len(ticks) != 1 || !ticks[0].Results[0].Deleted {
+		t.Fatalf("delete by fresh PID: %+v", ticks)
+	}
+}
+
+// TestStreamShardedBackend runs the ingest against a sharded database: the
+// stream surface is backend-agnostic (ShardedDB.Apply commits members
+// sequentially, so per-tick epochs advance by the applied count there too).
+func TestStreamShardedBackend(t *testing.T) {
+	sdb, err := connquery.OpenSharded(
+		[]connquery.Point{connquery.Pt(10, 40), connquery.Pt(90, 40)},
+		[]connquery.Rect{connquery.R(45, 10, 55, 70)}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, base := newTestServer(t, sdb, server.Config{})
+	v0 := sdb.Version()
+
+	var lines []string
+	for i := 0; i < 6; i++ {
+		lines = append(lines, insLine(5+float64(i*15), 80))
+	}
+	_, ticks := postStream(t, base, "?tick_ms=10000&max_batch=3", strings.Join(lines, "\n")+"\n")
+	if len(ticks) != 2 {
+		t.Fatalf("got %d ticks, want 2: %+v", len(ticks), ticks)
+	}
+	epoch := v0
+	for i, tk := range ticks {
+		if tk.Error != "" || tk.Applied != 3 {
+			t.Fatalf("sharded tick %d: %+v", i, tk)
+		}
+		epoch += 3
+		if tk.Epoch != epoch {
+			t.Fatalf("sharded tick %d epoch %d, want %d", i, tk.Epoch, epoch)
+		}
+	}
+	if sdb.NumPoints() != 8 {
+		t.Fatalf("sharded NumPoints %d, want 8", sdb.NumPoints())
+	}
+}
+
+// TestStreamDisconnectMidTick opens a raw chunked-encoding connection,
+// sends two lines into a wide-open tick window, and drops the connection
+// without terminating the body: the lines were accepted when read, so the
+// server must commit them anyway.
+func TestStreamDisconnectMidTick(t *testing.T) {
+	db := testDB(t)
+	_, base := newTestServer(t, db, server.Config{})
+	n0 := db.NumPoints()
+
+	u, err := url.Parse(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", u.Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := func(s string) string { return fmt.Sprintf("%x\r\n%s\r\n", len(s), s) }
+	_, err = io.WriteString(conn,
+		"POST /v1/stream?tick_ms=10000 HTTP/1.1\r\n"+
+			"Host: "+u.Host+"\r\n"+
+			"Content-Type: application/x-ndjson\r\n"+
+			"Transfer-Encoding: chunked\r\n"+
+			"\r\n"+
+			chunk(insLine(63, 5)+"\n")+
+			chunk(insLine(64, 5)+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half-close: FIN after the data, never the terminal chunk. The server's
+	// chunked reader consumes both lines and then fails with an unexpected
+	// EOF — the client is gone mid-tick, and the accepted lines must commit.
+	// (A full Close could RST the buffered response out from under the
+	// not-yet-read lines; CloseWrite delivers them reliably.)
+	if err := conn.(*net.TCPConn).CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for db.NumPoints() != n0+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("lines accepted before the disconnect were not committed: NumPoints %d, want %d",
+				db.NumPoints(), n0+2)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if db.NumPoints() != n0+2 {
+		t.Fatalf("NumPoints %d, want %d", db.NumPoints(), n0+2)
+	}
+}
+
+// TestStreamWithConcurrentWatchers runs the ingest while two watch streams
+// (one whose region the inserts hit, one far away) are live: the in-region
+// watcher must observe a committed tick's epoch, and the whole arrangement
+// runs under -race in CI. The far watcher exercises the wake filter and the
+// /v1/stats watch counters concurrently with stream commits.
+func TestStreamWithConcurrentWatchers(t *testing.T) {
+	db := testDB(t)
+	_, base := newTestServer(t, db, server.Config{})
+
+	openWatch := func(envSeg *server.Segment) (*bufio.Scanner, func()) {
+		t.Helper()
+		raw, _ := json.Marshal(ExecEnv{Kind: "CONN", Seg: envSeg})
+		req, err := http.NewRequest("GET", base+"/v1/watch?"+url.Values{"request": {string(raw)}}.Encode(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("watch status %d", resp.StatusCode)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		return sc, func() { resp.Body.Close() }
+	}
+	next := func(sc *bufio.Scanner) server.WatchUpdate {
+		t.Helper()
+		if !sc.Scan() {
+			t.Fatalf("watch stream ended early: %v", sc.Err())
+		}
+		var u server.WatchUpdate
+		if err := json.Unmarshal(sc.Bytes(), &u); err != nil {
+			t.Fatal(err)
+		}
+		if u.Error != "" {
+			t.Fatalf("watch error: %s", u.Error)
+		}
+		return u
+	}
+
+	nearSC, nearClose := openWatch(seg(0, 0, 100, 0)) // inserts at y=5 influence this
+	defer nearClose()
+	farSC, farClose := openWatch(seg(0, 95, 5, 95)) // nothing near it changes
+	defer farClose()
+	next(nearSC) // initial deliveries: both streams are live
+	next(farSC)
+
+	var lines []string
+	for i := 0; i < 8; i++ {
+		lines = append(lines, insLine(20+float64(i*8), 5))
+	}
+	_, ticks := postStream(t, base, "?tick_ms=10000&max_batch=8", strings.Join(lines, "\n")+"\n")
+	if len(ticks) != 1 || ticks[0].Applied != 8 {
+		t.Fatalf("ingest under watchers: %+v", ticks)
+	}
+
+	// The near watcher sees the tick (write bursts coalesce, so any update
+	// at or past the tick's epoch proves delivery ordering held).
+	u := next(nearSC)
+	if u.Epoch < ticks[0].Epoch {
+		t.Fatalf("near watcher delivered epoch %d, tick published %d", u.Epoch, ticks[0].Epoch)
+	}
+
+	stats := getStats(t, base)
+	if stats.Watch.Woken == 0 {
+		t.Fatalf("watch counters not surfaced: %+v", stats.Watch)
+	}
+	if stats.Stream.Ticks == 0 || stats.Stream.Lines != 8 {
+		t.Fatalf("stream counters %+v, want 8 lines", stats.Stream)
+	}
+}

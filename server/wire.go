@@ -254,6 +254,44 @@ type WatchUpdate struct {
 	Error        string        `json:"error,omitempty"`
 }
 
+// StreamMutation is one NDJSON line of the POST /v1/stream ingest body.
+// op selects the operation and decides which other fields are required:
+//
+//	insert-point     — p (speed optional: declares a motion bound)
+//	delete-point     — id
+//	insert-obstacle  — rect
+//	delete-obstacle  — id
+//	move-point       — id, p (speed optional: re-declares the bound)
+type StreamMutation struct {
+	Op    string  `json:"op"`
+	ID    *int32  `json:"id,omitempty"`
+	P     *Point  `json:"p,omitempty"`
+	Rect  *Rect   `json:"rect,omitempty"`
+	Speed float64 `json:"speed,omitempty"`
+}
+
+// StreamResult is the outcome of one stream line within its tick, in input
+// order: the assigned ID for inserts (the fresh PID for a completed move),
+// whether a delete removed an existing object, and the member's validation
+// error when it failed (a failed member never aborts its tick).
+type StreamResult struct {
+	ID      int32  `json:"id"`
+	Deleted bool   `json:"deleted,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// StreamTick is one response line of POST /v1/stream: the epoch the tick
+// published, the count of committed primitive mutations (a completed move
+// contributes two), and the per-line outcomes. A line carrying only error
+// reports a malformed input line (skipped; the stream continues) or, for a
+// durable-tier failure, the fail-stop end of the ingest.
+type StreamTick struct {
+	Epoch   uint64         `json:"epoch,omitempty"`
+	Applied int            `json:"applied,omitempty"`
+	Results []StreamResult `json:"results,omitempty"`
+	Error   string         `json:"error,omitempty"`
+}
+
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
@@ -313,6 +351,29 @@ type PlannerStats struct {
 	SavedNs      int64  `json:"saved_ns"`
 }
 
+// WatchDBStats is the wire form of connquery.WatchStats: the library's
+// wake-filter counters. woken counts wake signals delivered to watchers;
+// skipped counts commit×watcher pairs suppressed because the commit's
+// impact region provably could not alter the watcher's answer;
+// horizon_skips counts woken watchers that skipped re-execution because
+// their delivered answer's validity horizon still covered every commit
+// since.
+type WatchDBStats struct {
+	Woken        int64 `json:"woken"`
+	Skipped      int64 `json:"skipped"`
+	HorizonSkips int64 `json:"horizon_skips"`
+}
+
+// StreamStats aggregates the POST /v1/stream ingest counters: open streams,
+// committed ticks, mutation lines committed through them, and malformed
+// lines rejected in-stream.
+type StreamStats struct {
+	Open     int64 `json:"open"`
+	Ticks    int64 `json:"ticks"`
+	Lines    int64 `json:"lines"`
+	Rejected int64 `json:"rejected"`
+}
+
 // StatsResponse is the body of GET /v1/stats: the live dataset shape plus
 // cumulative serving counters, including the paper's NPE/NOE/|SVG| cost
 // metrics summed (peak for SVG) over every query this process executed
@@ -336,6 +397,8 @@ type StatsResponse struct {
 	SVGPeak       int64            `json:"svg_peak"`
 	Cache         CacheStats       `json:"cache"`
 	Planner       PlannerStats     `json:"planner"`
+	Watch         WatchDBStats     `json:"watch"`
+	Stream        StreamStats      `json:"stream"`
 	// Shards carries the scatter-gather router's counters when the served
 	// database is sharded; omitted for a single-node backend.
 	Shards *connquery.ShardStats `json:"shards,omitempty"`

@@ -170,7 +170,7 @@ type ShardedDB struct {
 	pinMu sync.Mutex
 	pins  map[uint64]map[*ShardedSnapshot]struct{}
 
-	watch shardWatchSet
+	watch watchSet
 
 	// dur is the durable attachment (nil for in-memory routers); its mutable
 	// fields are guarded by seqMu. initDeadPts/initDeadObs are set only by

@@ -2,95 +2,20 @@ package connquery
 
 import (
 	"context"
-	"sync"
-
-	"connquery/internal/anscache"
-	"connquery/internal/geom"
 )
 
 // Sharded watches. Semantics match DB.Watch — first Update at the revision
 // current at subscribe time, re-execution after commits with coalescing,
-// strictly increasing delivered revisions, identical error/close behavior —
-// with one sharded refinement: commits only wake the watchers whose
-// answer's impact region (the widened region proven sufficient for cache
-// invalidation) the change box intersects. A watcher whose region a
-// mutation misses provably keeps its exact answer, so the skipped wake-up
-// is unobservable except as fewer redundant deliveries: a sharded watch may
-// deliver fewer (never different) updates than its single-node twin under
-// mutations far from the watched geometry.
+// strictly increasing delivered revisions, identical error/close behavior.
+// The impact-region wake filter (watcher/watchSet, shared with the
+// single-node implementation in watch.go) originated here: commits only
+// wake the watchers whose answer's impact region (the widened region proven
+// sufficient for cache invalidation) the change box intersects. A watcher
+// whose region a mutation misses provably keeps its exact answer, so the
+// skipped wake-up is unobservable except as fewer redundant deliveries.
 
-// shardWatcher is one live sharded watch subscription.
-type shardWatcher struct {
-	wake chan struct{}
-
-	mu        sync.Mutex
-	region    anscache.Region
-	hasRegion bool // false until the first delivery: wake on everything
-}
-
-func (w *shardWatcher) setRegion(rg anscache.Region) {
-	w.mu.Lock()
-	w.region, w.hasRegion = rg, true
-	w.mu.Unlock()
-}
-
-// wakes reports whether a committed change box must wake this watcher.
-func (w *shardWatcher) wakes(change geom.Rect, isPoint bool) bool {
-	w.mu.Lock()
-	rg, has := w.region, w.hasRegion
-	w.mu.Unlock()
-	if !has {
-		return true
-	}
-	if isPoint {
-		if !rg.Points {
-			return false
-		}
-	} else if !rg.Obstacles {
-		return false
-	}
-	return rg.Rect.Intersects(change)
-}
-
-// shardWatchSet is the router's registry of live watch subscriptions.
-type shardWatchSet struct {
-	mu   sync.Mutex
-	subs map[*shardWatcher]struct{}
-}
-
-func (ws *shardWatchSet) add() *shardWatcher {
-	ws.mu.Lock()
-	defer ws.mu.Unlock()
-	if ws.subs == nil {
-		ws.subs = make(map[*shardWatcher]struct{})
-	}
-	w := &shardWatcher{wake: make(chan struct{}, 1)}
-	ws.subs[w] = struct{}{}
-	return w
-}
-
-func (ws *shardWatchSet) remove(w *shardWatcher) {
-	ws.mu.Lock()
-	defer ws.mu.Unlock()
-	delete(ws.subs, w)
-}
-
-// notify wakes the watchers a committed mutation could affect. Sends are
-// non-blocking (capacity-one channels), so bursts coalesce exactly as in
-// the single-node watchSet.
-func (ws *shardWatchSet) notify(change geom.Rect, isPoint bool) {
-	ws.mu.Lock()
-	defer ws.mu.Unlock()
-	for w := range ws.subs {
-		if !w.wakes(change, isPoint) {
-			continue
-		}
-		select {
-		case w.wake <- struct{}{}:
-		default:
-		}
-	}
-}
+// WatchStats returns the wake-filter counters for the router's watchers.
+func (s *ShardedDB) WatchStats() WatchStats { return s.watch.stats() }
 
 // Watch subscribes req to the router's revision chain, with the same
 // contract as DB.Watch: same validation, same delivery and error semantics,
@@ -122,7 +47,7 @@ func (s *ShardedDB) Watch(ctx context.Context, req Request, opts ...QueryOption)
 
 // watchLoop is the sharded per-subscription goroutine, mirroring
 // DB.watchLoop with the router cut in place of the MVCC version.
-func (s *ShardedDB) watchLoop(ctx context.Context, req Request, xo *execOptions, out chan<- Update, w *shardWatcher) {
+func (s *ShardedDB) watchLoop(ctx context.Context, req Request, xo *execOptions, out chan<- Update, w *watcher) {
 	defer close(out)
 	defer s.watch.remove(w)
 	var prev *Answer

@@ -4,26 +4,44 @@ import (
 	"context"
 	"math"
 	"sync"
+	"sync/atomic"
+
+	"connquery/internal/anscache"
+	"connquery/internal/geom"
 )
 
 // Watch support: the paper's queries are *continuous* along a segment; a
-// watch makes them continuous along the time axis too. Every committed
-// mutation notifies the registered watchers, each of which re-resolves its
-// Request against the freshly published MVCC version and delivers the
-// revised Answer together with the delta against the previous one. Because
-// a watcher re-reads the current version when it wakes, bursts of mutations
-// coalesce: under write load a watcher skips intermediate epochs instead of
-// queueing stale work, and delivered epochs are strictly increasing.
+// watch makes them continuous along the time axis too. A committed mutation
+// notifies the registered watchers whose answer it could have changed, each
+// of which re-resolves its Request against the freshly published MVCC
+// version and delivers the revised Answer together with the delta against
+// the previous one. Because a watcher re-reads the current version when it
+// wakes, bursts of mutations coalesce: under write load a watcher skips
+// intermediate epochs instead of queueing stale work, and delivered epochs
+// are strictly increasing.
+//
+// Wake-ups are filtered by impact region, exactly as in the sharded tier
+// (shardwatch.go shares these types): a commit wakes a watcher only when
+// its change box intersects the watcher's last answer's widened impact
+// region — the same region proven sufficient for cache invalidation — so a
+// mutation far from the watched geometry provably leaves the answer
+// bit-identical and the skipped wake-up is unobservable except as fewer
+// redundant deliveries. Until the first delivery installs a region, every
+// commit wakes the watcher. After each delivery the loop re-checks the
+// live epoch directly (the region-shift liveness re-check): while a
+// re-execution ran, notify filtered commits against the *previous* region,
+// so a commit hitting only the new region queued no wake.
 //
 // Re-resolution goes through the answer cache (watchLoop executes via
-// db.execAt, the same path Exec takes): a mutation whose change box missed
-// the watched answer's impact region promoted the cache entry to the new
-// epoch, so the watcher delivers the promoted answer — correct at the new
-// epoch, with Delta.Changed false — without re-executing the engine. Only
-// watchers whose answers a mutation could actually have changed pay for
-// re-execution, turning Watch from re-exec-per-commit into incremental
-// answer maintenance (cf. answering FO+MOD queries under updates by
-// maintenance rather than recomputation).
+// db.execAt, the same path Exec takes): a woken watcher whose entry
+// survived invalidation delivers the promoted answer without re-executing
+// the engine. On top of that, answers carrying a validity horizon
+// (Answer.ValidUntil, stamped from declared object speeds — see motion.go)
+// skip re-execution entirely while the horizon holds and every commit
+// since the last delivery was a motion-bounded tick. Together these turn
+// Watch from re-exec-per-commit into incremental answer maintenance (cf.
+// answering FO+MOD queries under updates by maintenance rather than
+// recomputation).
 
 // Update is one delivery of a watched request: the answer re-computed at
 // Epoch, and how it differs from the previously delivered answer.
@@ -52,45 +70,115 @@ type Delta struct {
 	ChangedSpans []Span
 }
 
-// watchSet is a DB's registry of live watch subscriptions.
-type watchSet struct {
-	mu   sync.Mutex
-	subs map[uint64]chan struct{}
-	seq  uint64
+// watcher is one live watch subscription, shared by the single-node DB and
+// the sharded router: a capacity-one wake channel plus the impact region of
+// the last delivered answer, against which committed change boxes are
+// filtered.
+type watcher struct {
+	wake chan struct{}
+
+	mu        sync.Mutex
+	region    anscache.Region
+	hasRegion bool // false until the first delivery: wake on everything
 }
 
-// notifyAll wakes every watcher. Sends are non-blocking: each watcher's
-// wake channel has capacity one, so a watcher that is already flagged (or
-// mid-execution) simply coalesces this publish into its next wake-up.
-func (ws *watchSet) notifyAll() {
+func (w *watcher) setRegion(rg anscache.Region) {
+	w.mu.Lock()
+	w.region, w.hasRegion = rg, true
+	w.mu.Unlock()
+}
+
+// wakes reports whether a committed change box must wake this watcher.
+func (w *watcher) wakes(change geom.Rect, isPoint bool) bool {
+	w.mu.Lock()
+	rg, has := w.region, w.hasRegion
+	w.mu.Unlock()
+	if !has {
+		return true
+	}
+	if isPoint {
+		if !rg.Points {
+			return false
+		}
+	} else if !rg.Obstacles {
+		return false
+	}
+	return rg.Rect.Intersects(change)
+}
+
+// WatchStats counts watch wake-up activity, the observability handle on the
+// impact-region filter: Skipped > 0 under a mutation load proves the filter
+// is not vacuous, and HorizonSkips counts re-executions avoided because a
+// delivered answer's validity horizon still held.
+type WatchStats struct {
+	// Woken counts wake signals delivered to watchers; Skipped counts
+	// commit×watcher pairs suppressed because the change box provably could
+	// not alter the watcher's answer.
+	Woken   int64
+	Skipped int64
+	// HorizonSkips counts watcher wake-ups that skipped re-execution because
+	// the previous answer's ValidUntil horizon covered every commit since.
+	HorizonSkips int64
+}
+
+// watchSet is a registry of live watch subscriptions (one per DB, one per
+// ShardedDB router).
+type watchSet struct {
+	mu   sync.Mutex
+	subs map[*watcher]struct{}
+
+	woken        atomic.Int64
+	skipped      atomic.Int64
+	horizonSkips atomic.Int64
+}
+
+// notify wakes the watchers a committed mutation could affect. Sends are
+// non-blocking: each watcher's wake channel has capacity one, so a watcher
+// that is already flagged (or mid-execution) simply coalesces this publish
+// into its next wake-up.
+func (ws *watchSet) notify(change geom.Rect, isPoint bool) {
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
-	for _, ch := range ws.subs {
+	for w := range ws.subs {
+		if !w.wakes(change, isPoint) {
+			ws.skipped.Add(1)
+			continue
+		}
+		ws.woken.Add(1)
 		select {
-		case ch <- struct{}{}:
+		case w.wake <- struct{}{}:
 		default:
 		}
 	}
 }
 
-func (ws *watchSet) add() (id uint64, wake chan struct{}) {
+func (ws *watchSet) add() *watcher {
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
 	if ws.subs == nil {
-		ws.subs = make(map[uint64]chan struct{})
+		ws.subs = make(map[*watcher]struct{})
 	}
-	ws.seq++
-	id = ws.seq
-	wake = make(chan struct{}, 1)
-	ws.subs[id] = wake
-	return id, wake
+	w := &watcher{wake: make(chan struct{}, 1)}
+	ws.subs[w] = struct{}{}
+	return w
 }
 
-func (ws *watchSet) remove(id uint64) {
+func (ws *watchSet) remove(w *watcher) {
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
-	delete(ws.subs, id)
+	delete(ws.subs, w)
 }
+
+func (ws *watchSet) stats() WatchStats {
+	return WatchStats{
+		Woken:        ws.woken.Load(),
+		Skipped:      ws.skipped.Load(),
+		HorizonSkips: ws.horizonSkips.Load(),
+	}
+}
+
+// WatchStats returns the wake-filter counters for this handle's watchers.
+func (db *DB) WatchStats() WatchStats { return db.watch.stats() }
 
 // Watch subscribes req to the database's version chain and returns a
 // channel of revised answers. The first Update carries the answer at the
@@ -122,40 +210,61 @@ func (db *DB) Watch(ctx context.Context, req Request, opts ...QueryOption) (<-ch
 		return nil, err
 	}
 	out := make(chan Update)
-	id, wake := db.watch.add()
-	go db.watchLoop(ctx, req, &xo, out, wake, id)
+	w := db.watch.add()
+	go db.watchLoop(ctx, req, &xo, out, w)
 	return out, nil
 }
 
 // watchLoop is the per-subscription goroutine: execute at the current
-// version, deliver, sleep until the next publish (or ctx), repeat.
-func (db *DB) watchLoop(ctx context.Context, req Request, xo *execOptions, out chan<- Update, wake <-chan struct{}, id uint64) {
+// version, deliver, install the answer's impact region as the wake filter,
+// sleep until the next region-hitting publish (or ctx), repeat.
+func (db *DB) watchLoop(ctx context.Context, req Request, xo *execOptions, out chan<- Update, w *watcher) {
 	defer close(out)
-	defer db.watch.remove(id)
+	defer db.watch.remove(w)
 	var prev *Answer
 	for {
 		v := db.current()
 		if prev == nil || v.epoch > prev.epoch {
-			ans, err := db.execAt(ctx, req, v, xo)
-			if err != nil {
-				if ctx.Err() != nil {
-					return // cancelled mid-execution: close without an errored update
+			if prev != nil && db.horizonHolds(prev) {
+				// Every commit since the delivered answer was a motion-bounded
+				// tick and the answer's validity horizon still holds: no tracked
+				// object can have entered the impact region yet, so the answer
+				// is provably unchanged and re-execution would be wasted.
+				db.watch.horizonSkips.Add(1)
+			} else {
+				ans, err := db.execAt(ctx, req, v, xo)
+				if err != nil {
+					if ctx.Err() != nil {
+						return // cancelled mid-execution: close without an errored update
+					}
+					select {
+					case out <- Update{Epoch: v.epoch, Err: err}:
+					case <-ctx.Done():
+					}
+					return
 				}
 				select {
-				case out <- Update{Epoch: v.epoch, Err: err}:
+				case out <- Update{Epoch: v.epoch, Answer: ans, Delta: answerDelta(prev, ans)}:
 				case <-ctx.Done():
+					return
 				}
-				return
+				prev = ans
+				w.setRegion(widenRegion(impactRegion(req, ans.value), req, ans.metrics.Reach))
+				// Close the missed-wake race: while this re-execution ran,
+				// notify filtered commits against the *previous* answer's
+				// region, so a mutation intersecting only the new region queued
+				// no wake. The new region is installed now; re-check the epoch
+				// directly instead of trusting the wake channel, and go around
+				// again if anything committed meanwhile. Commits landing after
+				// this check are filtered against the region just installed, so
+				// their wakes (the channel holds one token) cannot be lost.
+				if db.current().epoch > prev.epoch {
+					continue
+				}
 			}
-			select {
-			case out <- Update{Epoch: v.epoch, Answer: ans, Delta: answerDelta(prev, ans)}:
-			case <-ctx.Done():
-				return
-			}
-			prev = ans
 		}
 		select {
-		case <-wake:
+		case <-w.wake:
 		case <-ctx.Done():
 			return
 		}

@@ -53,16 +53,32 @@ func TestWatchBasic(t *testing.T) {
 		}
 	}
 
-	// A mutation far away: the answer is recomputed but unchanged.
+	// A mutation far away: the change box misses the answer's impact region,
+	// so the wake is filtered and nothing is delivered (the answer is
+	// provably unchanged — see TestWatchSkipsFarMutations for the focused
+	// regression).
 	if _, err := db.InsertObstacle(R(900, 900, 950, 950)); err != nil {
 		t.Fatal(err)
 	}
-	u = <-ch
-	if u.Err != nil || u.Epoch != 3 {
-		t.Fatalf("update after remote insert: %+v", u)
+	select {
+	case u = <-ch:
+		t.Fatalf("remote mutation delivered an update: %+v", u)
+	case <-time.After(50 * time.Millisecond):
 	}
-	if u.Delta.Changed || len(u.Delta.ChangedSpans) != 0 {
-		t.Fatalf("remote mutation flagged a change: %+v", u.Delta)
+	if st := db.WatchStats(); st.Skipped == 0 {
+		t.Fatalf("remote mutation was not counted as skipped: %+v", st)
+	}
+
+	// A near mutation still gets through, at the then-current epoch.
+	if _, err := db.InsertPoint(Pt(60, 2)); err != nil {
+		t.Fatal(err)
+	}
+	u = <-ch
+	if u.Err != nil || u.Epoch != 4 {
+		t.Fatalf("update after near insert: %+v", u)
+	}
+	if !u.Delta.Changed {
+		t.Fatalf("near insert flagged no change: %+v", u.Delta)
 	}
 
 	cancel()
@@ -78,6 +94,138 @@ func TestWatchBasic(t *testing.T) {
 	}
 	if _, err := db.Watch(context.Background(), CONNRequest{Seg: Seg(Pt(1, 1), Pt(1, 1))}); err == nil {
 		t.Fatal("degenerate watched request accepted")
+	}
+}
+
+// TestWatchSkipsFarMutations is the single-node wake-filter regression (the
+// twin of TestShardedWatchSkipsFarMutations): commits whose change box
+// misses the watcher's widened impact region deliver nothing, commits
+// inside it still get through at the then-current epoch, and the skip
+// counter proves the filter actually fired.
+func TestWatchSkipsFarMutations(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// A dense local cluster keeps the watched query's reach tiny.
+	pts := []Point{
+		Pt(10, 10), Pt(11, 10), Pt(10, 11), Pt(12, 12), Pt(11, 12),
+		Pt(90, 90), Pt(95, 95), Pt(90, 95), Pt(95, 90),
+	}
+	db, err := Open(pts, nil, WithAnswerCache(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := CONNRequest{Seg: Seg(Pt(10, 10), Pt(12, 12))}
+	ch, err := db.Watch(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := <-ch
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	// Mutations in the far corner: outside the watcher's widened region.
+	for i := 0; i < 5; i++ {
+		if _, err := db.InsertPoint(Pt(97+float64(i)/10, 97)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case u := <-ch:
+		t.Fatalf("far mutations woke the watcher: %+v", u)
+	default:
+	}
+	if st := db.WatchStats(); st.Skipped < 5 {
+		t.Fatalf("expected >= 5 skipped wakes, got %+v", st)
+	}
+	// A mutation inside the region must still get through.
+	if _, err := db.InsertPoint(Pt(10.5, 10.5)); err != nil {
+		t.Fatal(err)
+	}
+	u := <-ch
+	if u.Err != nil {
+		t.Fatal(u.Err)
+	}
+	if u.Epoch != db.Version() {
+		t.Fatalf("near mutation delivered epoch %d, want %d", u.Epoch, db.Version())
+	}
+}
+
+// TestWatchRegionShiftLiveness is the single-node twin of
+// TestShardedWatchRegionShiftLiveness: when a delivered answer's region
+// collapses around a near point and the next commits first widen (delete)
+// then land outside the still-installed collapsed region (insert), only the
+// post-delivery epoch re-check keeps the watcher live. A missed wake parks
+// it forever and trips the converge deadline.
+func TestWatchRegionShiftLiveness(t *testing.T) {
+	pts := []Point{
+		Pt(0, 0), Pt(100, 100), Pt(100, 0), Pt(0, 100),
+		Pt(25, 25), Pt(75, 25), Pt(25, 75), Pt(75, 75),
+	}
+	db, err := Open(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch, err := db.Watch(ctx, ONNRequest{P: Pt(20, 20), K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// converge drains updates until the payload matches want; a missed wake
+	// leaves the watcher asleep forever and trips the deadline instead.
+	converge := func(round int, want *Answer) {
+		t.Helper()
+		deadline := time.After(10 * time.Second)
+		for {
+			select {
+			case u, ok := <-ch:
+				if !ok || u.Err != nil {
+					t.Fatalf("round %d: watch died: %+v", round, u.Err)
+				}
+				if u.Epoch != u.Answer.Epoch() {
+					t.Fatalf("round %d: update stamped %d, answer stamped %d", round, u.Epoch, u.Answer.Epoch())
+				}
+				if answersEqual(u.Answer.Value(), want.Value()) {
+					return
+				}
+			case <-deadline:
+				t.Fatalf("round %d: watch never converged to the live answer (missed wake?)", round)
+			}
+		}
+	}
+
+	for round := 0; round < 20; round++ {
+		// A point almost on the query: the answer's wake region collapses
+		// around it. Converge so the collapsed region is installed.
+		near, err := db.InsertPoint(Pt(20.5, 20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantNear, err := db.Exec(ctx, ONNRequest{P: Pt(20, 20), K: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		converge(round, wantNear)
+
+		// Delete it: the wake fires, the watcher re-executes the baseline
+		// answer and then blocks delivering it — with the collapsed region
+		// still installed, because the new one is only set after delivery.
+		// The sleep parks it there; the insert at distance ~2.8 then commits
+		// outside the installed region, so it queues no wake of its own and
+		// only the post-delivery epoch re-check can pick it up.
+		db.DeletePoint(near)
+		time.Sleep(5 * time.Millisecond)
+		mid, err := db.InsertPoint(Pt(22, 22))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := db.Exec(ctx, ONNRequest{P: Pt(20, 20), K: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		converge(round, want)
+		db.DeletePoint(mid)
 	}
 }
 
@@ -156,25 +304,30 @@ free:
 		snapMu.Unlock()
 	}
 
-	// Wait until the watcher has caught up with the final epoch (bursts
-	// coalesce, so intermediate epochs may be skipped — but the last one
-	// must arrive), then stop the watch.
-	final := db.Version()
+	// Wait until the watcher's latest delivered answer equals a fresh Exec
+	// at the final epoch. Bursts coalesce and the wake filter suppresses
+	// commits that provably leave the answer unchanged, so the watcher need
+	// not deliver *at* the final epoch — but its last delivery must be
+	// bit-identical to the live truth.
+	truth, _, err := Run(context.Background(), db, CONNRequest{Seg: q})
+	if err != nil {
+		t.Fatal(err)
+	}
 	deadline := time.After(60 * time.Second)
 	for {
 		upMu.Lock()
 		n := len(updates)
-		var last uint64
-		if n > 0 {
-			last = updates[n-1].Epoch
+		var last *Result
+		if n > 0 && updates[n-1].Answer != nil {
+			last = updates[n-1].Answer.Result()
 		}
 		upMu.Unlock()
-		if last == final {
+		if last != nil && resultsEqual(last, truth) {
 			break
 		}
 		select {
 		case <-deadline:
-			t.Fatalf("watcher never reached the final epoch %d (last %d)", final, last)
+			t.Fatalf("watcher never converged on the live answer (%d updates)", n)
 		case <-time.After(5 * time.Millisecond):
 		}
 	}
@@ -242,20 +395,32 @@ func TestWatchWriterConcurrent(t *testing.T) {
 	}()
 	wg.Wait()
 
-	// The writer is done: the watcher's pending wake guarantees an update
-	// at the final epoch arrives (bursts in between coalesce arbitrarily).
-	final := db.Version()
+	// The writer is done. Bursts coalesce and filtered commits deliver
+	// nothing, but the watcher's final delivery is guaranteed to be
+	// bit-identical to the live answer: drain with monotone epochs until an
+	// update matches a fresh Exec.
+	truth, err := db.Exec(context.Background(), COkNNRequest{Seg: q, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	prev := uint64(0)
-	for u := range ch {
-		if u.Err != nil {
-			t.Fatalf("update errored: %v", u.Err)
-		}
-		if u.Epoch <= prev {
-			t.Fatalf("epochs not monotone: %d after %d", u.Epoch, prev)
-		}
-		prev = u.Epoch
-		if u.Epoch == final {
-			break
+	deadline := time.After(60 * time.Second)
+	for converged := false; !converged; {
+		select {
+		case u, ok := <-ch:
+			if !ok {
+				t.Fatal("watch channel closed before converging")
+			}
+			if u.Err != nil {
+				t.Fatalf("update errored: %v", u.Err)
+			}
+			if u.Epoch <= prev {
+				t.Fatalf("epochs not monotone: %d after %d", u.Epoch, prev)
+			}
+			prev = u.Epoch
+			converged = answersEqual(u.Answer.Value(), truth.Value())
+		case <-deadline:
+			t.Fatal("watcher never converged on the live answer")
 		}
 	}
 	cancel()
