@@ -621,13 +621,12 @@ func (b *batchState) commit() error {
 		// must also observe the horizon bound (see mutate.go commit).
 		db.lastUnbounded.Store(b.nv.epoch)
 	}
-	for _, u := range b.motions {
-		if u.forget {
-			db.motion.forget(u.pid)
-		} else {
-			db.motion.set(u.pid, u.entry)
-		}
-	}
+	// Registry updates land before the version swap and re-key the table at
+	// the batch's epoch: a stamp at the new epoch sees the post-tick table,
+	// while an in-flight stamp for an older answer sees ver advance and
+	// refuses (motion.go) instead of certifying a horizon from positions the
+	// answer never observed.
+	db.motion.applyAt(b.motions, b.nv.epoch)
 	db.cur.Store(b.nv)
 	if b.hasPt {
 		db.watch.notify(b.ptBox, true)

@@ -28,6 +28,17 @@ import (
 // while lastUnbounded is at or below the answer's epoch, so a single
 // non-compliant commit instantly re-arms every watcher.
 //
+// The registry is keyed at the epoch of the commit that last rewrote it,
+// and a horizon is stamped only onto answers at or past that epoch. The
+// stamp runs after execution, outside DB.mu, so a tick can commit between
+// an answer's snapshot and its stamp; reading the post-tick registry for a
+// pre-tick answer would be unsound — a compliant move can carry a tracked
+// object OUT of the answer's impact region, and the post-move position
+// (safely outside) would certify a horizon for an answer the tick already
+// changed. Commits serialize under DB.mu with strictly increasing epochs,
+// so ver <= answer epoch proves the table read is exactly the registry as
+// of that epoch; otherwise the stamp degrades to no horizon.
+//
 // The registry is runtime-advisory state: it is not persisted in the WAL,
 // so a recovered durable handle starts with an empty table (answers simply
 // carry no horizon until speeds are re-declared). The sharded tier does not
@@ -49,7 +60,25 @@ type motionTable struct {
 	mu   sync.Mutex
 	objs map[int32]motionEntry
 	n    atomic.Int32
+
+	// ver is the epoch of the last commit that rewrote the registry
+	// (applyAt/forgetAt). horizon refuses to stamp an answer whose epoch is
+	// below ver: the table would be newer than the answer (see the file
+	// header for why that is unsound).
+	ver uint64
+
+	// memo caches horizon results per impact region for the current table
+	// contents; any edit clears it. A horizon is a pure function of
+	// (registry state, region), so a hit replays the scan's exact result —
+	// watch- and cache-hit-heavy workloads stamp the same few regions over
+	// and over between ticks, and the memo keeps that path O(1) instead of
+	// O(tracked objects) under mt.mu.
+	memo map[anscache.Region]time.Time
 }
+
+// horizonMemoCap bounds the memo; past it the map is simply reset (the
+// region population between two ticks is tiny in practice).
+const horizonMemoCap = 256
 
 // empty reports whether no object is tracked, without taking the lock.
 func (mt *motionTable) empty() bool { return mt.n.Load() == 0 }
@@ -58,6 +87,10 @@ func (mt *motionTable) empty() bool { return mt.n.Load() == 0 }
 func (mt *motionTable) set(pid int32, e motionEntry) {
 	mt.mu.Lock()
 	defer mt.mu.Unlock()
+	mt.setLocked(pid, e)
+}
+
+func (mt *motionTable) setLocked(pid int32, e motionEntry) {
 	if mt.objs == nil {
 		mt.objs = make(map[int32]motionEntry)
 	}
@@ -65,6 +98,7 @@ func (mt *motionTable) set(pid int32, e motionEntry) {
 		mt.n.Add(1)
 	}
 	mt.objs[pid] = e
+	mt.memo = nil
 }
 
 // forget drops a tracked object (no-op when untracked). Deletions only ever
@@ -75,9 +109,49 @@ func (mt *motionTable) forget(pid int32) {
 	}
 	mt.mu.Lock()
 	defer mt.mu.Unlock()
-	if _, ok := mt.objs[pid]; ok {
-		delete(mt.objs, pid)
-		mt.n.Add(-1)
+	mt.forgetLocked(pid)
+}
+
+func (mt *motionTable) forgetLocked(pid int32) bool {
+	if _, ok := mt.objs[pid]; !ok {
+		return false
+	}
+	delete(mt.objs, pid)
+	mt.n.Add(-1)
+	mt.memo = nil
+	return true
+}
+
+// applyAt applies one committed batch's registry edits and re-keys the
+// table at the committing epoch, atomically with respect to horizon reads.
+// The caller (commit, under DB.mu) invokes it before publishing the epoch,
+// so a stamp at the new epoch always sees the post-tick table.
+func (mt *motionTable) applyAt(updates []motionUpdate, epoch uint64) {
+	if len(updates) == 0 {
+		return
+	}
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	for _, u := range updates {
+		if u.forget {
+			mt.forgetLocked(u.pid)
+		} else {
+			mt.setLocked(u.pid, u.entry)
+		}
+	}
+	mt.ver = epoch
+}
+
+// forgetAt drops a tracked object at the deleting commit's epoch (no-op
+// when untracked).
+func (mt *motionTable) forgetAt(pid int32, epoch uint64) {
+	if mt.empty() {
+		return
+	}
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	if mt.forgetLocked(pid) {
+		mt.ver = epoch
 	}
 }
 
@@ -112,18 +186,21 @@ func rectDist(p Point, r Rect) float64 {
 	return math.Hypot(dx, dy)
 }
 
-// horizon computes the validity horizon of an answer with the given widened
-// impact region: the minimum over tracked objects of the object's earliest
-// possible first touch of the region rect, e.at + dist(e.pos, rect)/e.speed.
-// A compliant move committed at time t satisfies dist(e.pos, new) <=
-// e.speed*(t-e.at), so before the horizon the object — and therefore its
-// delete+insert change boxes — stays strictly outside the rect: the answer
-// is bit-identical and the wake filter would skip the commit too. Re-keying
-// the entry at the move only pushes its bound later (triangle inequality),
-// so horizons stamped from older entries remain valid. The zero time means
-// no horizon: region insensitive to points, empty table, an object already
-// inside (or possibly inside) the rect, or a non-positive declared speed.
-func (mt *motionTable) horizon(rg anscache.Region) time.Time {
+// horizon computes the validity horizon of an answer at the given epoch
+// with the given widened impact region: the minimum over tracked objects of
+// the object's earliest possible first touch of the region rect, e.at +
+// dist(e.pos, rect)/e.speed. A compliant move committed at time t satisfies
+// dist(e.pos, new) <= e.speed*(t-e.at), so before the horizon the object —
+// and therefore its delete+insert change boxes — stays strictly outside the
+// rect: the answer is bit-identical and the wake filter would skip the
+// commit too. Re-keying the entry at the move only pushes its bound later
+// (triangle inequality), so horizons stamped from older entries remain
+// valid. The zero time means no horizon: region insensitive to points,
+// empty table, an object already inside (or possibly inside) the rect, a
+// non-positive declared speed — or a registry rewritten at an epoch past
+// the answer's, whose positions may hide that an object sat inside the
+// region at the answer's epoch and has since moved out.
+func (mt *motionTable) horizon(rg anscache.Region, epoch uint64) time.Time {
 	if !rg.Points {
 		// Tracked motion is point motion; a point-insensitive answer cannot
 		// be affected by it, and the wake filter already skips point commits
@@ -132,6 +209,23 @@ func (mt *motionTable) horizon(rg anscache.Region) time.Time {
 	}
 	mt.mu.Lock()
 	defer mt.mu.Unlock()
+	if mt.ver > epoch {
+		return time.Time{}
+	}
+	if h, ok := mt.memo[rg]; ok {
+		return h
+	}
+	h := mt.scanLocked(rg)
+	if mt.memo == nil {
+		mt.memo = make(map[anscache.Region]time.Time)
+	} else if len(mt.memo) >= horizonMemoCap {
+		clear(mt.memo)
+	}
+	mt.memo[rg] = h
+	return h
+}
+
+func (mt *motionTable) scanLocked(rg anscache.Region) time.Time {
 	var h time.Time
 	for _, e := range mt.objs {
 		if e.speed <= 0 {
@@ -152,13 +246,16 @@ func (mt *motionTable) horizon(rg anscache.Region) time.Time {
 // stampHorizon attaches a validity horizon to a freshly built Answer. Both
 // execAt paths (cache hit and fresh execution) allocate the Answer wrapper
 // per call, so the stamp never mutates shared state. The empty-table fast
-// path keeps motion-free deployments at zero overhead.
+// path keeps motion-free deployments at zero overhead; the epoch argument
+// keeps the stamp consistent with the answer — a registry rewritten by a
+// commit past a.epoch (including a tick racing this very stamp) yields no
+// horizon rather than an unsound one.
 func (db *DB) stampHorizon(a *Answer) {
 	if db.motion.empty() {
 		return
 	}
 	rg := widenRegion(impactRegion(a.req, a.value), a.req, a.metrics.Reach)
-	a.validUntil = db.motion.horizon(rg)
+	a.validUntil = db.motion.horizon(rg, a.epoch)
 }
 
 // horizonHolds reports whether prev's validity horizon still covers the

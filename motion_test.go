@@ -41,7 +41,7 @@ func TestRectDist(t *testing.T) {
 func TestMotionHorizonMath(t *testing.T) {
 	mt := &motionTable{}
 	rg := anscache.Region{Rect: R(10, 0, 20, 10), Points: true}
-	if h := mt.horizon(rg); !h.IsZero() {
+	if h := mt.horizon(rg, 1); !h.IsZero() {
 		t.Fatalf("empty table produced horizon %v", h)
 	}
 	base := time.Now()
@@ -50,7 +50,7 @@ func TestMotionHorizonMath(t *testing.T) {
 	// base+5s, anchored at the declaration time, not at stamping time.
 	mt.set(1, motionEntry{pos: Pt(0, 5), speed: 2, at: base})
 	want := base.Add(5 * time.Second)
-	if h := mt.horizon(rg); !h.Equal(want) {
+	if h := mt.horizon(rg, 1); !h.Equal(want) {
 		t.Fatalf("single-entry horizon %v, want %v", h, want)
 	}
 
@@ -58,37 +58,81 @@ func TestMotionHorizonMath(t *testing.T) {
 	// touches first.
 	mt.set(2, motionEntry{pos: Pt(8, 5), speed: 4, at: base})
 	want = base.Add(500 * time.Millisecond)
-	if h := mt.horizon(rg); !h.Equal(want) {
+	if h := mt.horizon(rg, 1); !h.Equal(want) {
 		t.Fatalf("min-entry horizon %v, want %v", h, want)
 	}
 
 	// An object already inside the rect voids the horizon entirely.
 	mt.set(3, motionEntry{pos: Pt(15, 5), speed: 1, at: base})
-	if h := mt.horizon(rg); !h.IsZero() {
+	if h := mt.horizon(rg, 1); !h.IsZero() {
 		t.Fatalf("inside-the-rect entry left horizon %v", h)
 	}
 	mt.forget(3)
-	if h := mt.horizon(rg); !h.Equal(want) {
+	if h := mt.horizon(rg, 1); !h.Equal(want) {
 		t.Fatalf("horizon after forget %v, want %v", h, want)
 	}
 
 	// A non-positive declared speed is an unbounded object: no horizon.
 	mt.set(4, motionEntry{pos: Pt(0, 50), speed: 0, at: base})
-	if h := mt.horizon(rg); !h.IsZero() {
+	if h := mt.horizon(rg, 1); !h.IsZero() {
 		t.Fatalf("zero-speed entry left horizon %v", h)
 	}
 	mt.forget(4)
 
 	// Point motion cannot affect a point-insensitive region.
-	if h := mt.horizon(anscache.Region{Rect: R(10, 0, 20, 10), Obstacles: true}); !h.IsZero() {
+	if h := mt.horizon(anscache.Region{Rect: R(10, 0, 20, 10), Obstacles: true}, 1); !h.IsZero() {
 		t.Fatalf("point-insensitive region got horizon %v", h)
 	}
 
 	// Crawling speeds clamp at maxHorizon instead of overflowing.
 	mt2 := &motionTable{}
 	mt2.set(1, motionEntry{pos: Pt(0, 5), speed: 1e-300, at: base})
-	if h := mt2.horizon(rg); !h.Equal(base.Add(maxHorizon)) {
+	if h := mt2.horizon(rg, 1); !h.Equal(base.Add(maxHorizon)) {
 		t.Fatalf("near-zero speed horizon %v, want the %v clamp", h, maxHorizon)
+	}
+}
+
+// TestMotionRegistryEpochGate pins the stamp-consistency rule: commit-path
+// edits (applyAt, forgetAt) re-key the registry at the committing epoch, and
+// horizon refuses to stamp any answer older than that key — the table could
+// hide that an object sat inside the answer's region before the rewrite.
+func TestMotionRegistryEpochGate(t *testing.T) {
+	rg := anscache.Region{Rect: R(10, 0, 20, 10), Points: true}
+	base := time.Now()
+	want := base.Add(5 * time.Second)
+
+	mt := &motionTable{}
+	mt.applyAt([]motionUpdate{{pid: 1, entry: motionEntry{pos: Pt(0, 5), speed: 2, at: base}}}, 7)
+	if h := mt.horizon(rg, 6); !h.IsZero() {
+		t.Fatalf("epoch-6 answer stamped %v from a registry rewritten at epoch 7", h)
+	}
+	if h := mt.horizon(rg, 7); !h.Equal(want) {
+		t.Fatalf("epoch-7 answer horizon %v, want %v", h, want)
+	}
+	// The memo replays, never goes stale: a second stamp of the same region
+	// hits it, and the next rewrite drops it.
+	if h := mt.horizon(rg, 9); !h.Equal(want) {
+		t.Fatalf("memoized horizon %v, want %v", h, want)
+	}
+	mt.applyAt([]motionUpdate{{pid: 2, entry: motionEntry{pos: Pt(6, 5), speed: 8, at: base}}}, 8)
+	if h := mt.horizon(rg, 7); !h.IsZero() {
+		t.Fatalf("epoch-7 answer stamped %v after an epoch-8 rewrite", h)
+	}
+	if h := mt.horizon(rg, 8); !h.Equal(base.Add(500 * time.Millisecond)) {
+		t.Fatalf("post-rewrite horizon %v, want %v", h, base.Add(500*time.Millisecond))
+	}
+	// A sequential-path delete re-keys too.
+	mt.forgetAt(2, 9)
+	if h := mt.horizon(rg, 8); !h.IsZero() {
+		t.Fatalf("epoch-8 answer stamped %v after an epoch-9 deletion", h)
+	}
+	if h := mt.horizon(rg, 9); !h.Equal(want) {
+		t.Fatalf("post-deletion horizon %v, want %v", h, want)
+	}
+	// Forgetting an untracked object neither edits nor re-keys.
+	mt.forgetAt(42, 11)
+	if h := mt.horizon(rg, 9); !h.Equal(want) {
+		t.Fatalf("no-op forget re-keyed the registry: %v", h)
 	}
 }
 
@@ -275,5 +319,60 @@ func TestWatchHorizonSkip(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("no delivery after an unbounded commit")
+	}
+}
+
+// TestHorizonStampRegistrySkew is the regression test for the horizon-
+// stamping race: stampHorizon runs outside db.mu, so a motion tick can
+// commit between an answer's snapshot and its stamp, and reading the
+// post-tick registry would certify a horizon for an answer the tick may
+// already have changed. The race window is reproduced deterministically by
+// pinning the pre-tick epoch: executing at the pin after the tick stamps
+// from a registry newer than the answer, which must yield no horizon, while
+// a live execution at the tick's own epoch keeps its horizon.
+func TestHorizonStampRegistrySkew(t *testing.T) {
+	pts := []Point{Pt(10, 10), Pt(11, 10), Pt(10, 11), Pt(11, 11)}
+	db, err := Open(pts, nil, WithAnswerCache(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := CONNRequest{Seg: Seg(Pt(10, 10), Pt(11, 11))}
+	ctx := context.Background()
+
+	res, err := db.Apply([]Mutation{{Op: MutInsertPoint, P: Pt(95, 95), Speed: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid := res.Results[0].ID
+	snap := db.Snapshot()
+	defer snap.Release()
+
+	// A compliant move commits a motion-bounded tick that rewrites the
+	// registry (the sleep keeps the 0.01-unit displacement within the 5 u/s
+	// declaration, as in TestWatchHorizonSkip).
+	time.Sleep(50 * time.Millisecond)
+	mv, err := db.Apply([]Mutation{{Op: MutMovePoint, ID: pid, P: Pt(95.01, 95)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := mv.Results[0]; r.Err != nil || !r.Deleted {
+		t.Fatalf("compliant move failed: %+v", r)
+	}
+
+	a, err := db.Exec(ctx, req, AtSnapshot(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.ValidUntil().IsZero() {
+		t.Fatalf("answer at pre-tick epoch %d stamped horizon %v from the post-tick registry",
+			snap.Epoch(), a.ValidUntil())
+	}
+
+	b, err := db.Exec(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ValidUntil().IsZero() || !b.ValidUntil().After(time.Now()) {
+		t.Fatalf("live answer at the tick's epoch lost its horizon: %v", b.ValidUntil())
 	}
 }

@@ -242,7 +242,7 @@ func (db *DB) DeletePoint(pid int32) bool {
 	if db.commit(v, nv, pointBox(p), true, rec) != nil {
 		return false
 	}
-	db.motion.forget(pid)
+	db.motion.forgetAt(pid, nv.epoch)
 	return true
 }
 

@@ -38,7 +38,10 @@ import (
 // is a plain 400 (the stream never starts); a malformed line later is
 // reported as an in-stream {"error": ...} line and skipped — the stream
 // and the lines around it are unaffected, matching how a failed Apply
-// member doesn't abort its batch. When the client disconnects mid-tick,
+// member doesn't abort its batch. An Apply-level failure (unwritable
+// handle, latched durable tier) is different: it is fail-stop for every
+// later tick too, so the stream emits one final error line and ends
+// instead of re-failing per tick. When the client disconnects mid-tick,
 // the lines already received still commit: each line was accepted when it
 // was read, so it is applied even if the acknowledgment can no longer be
 // delivered.
@@ -124,12 +127,15 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 
-	// commit flushes the pending lines as one tick and writes its ack line.
-	// A dead connection doesn't stop the commit: the lines were accepted.
+	// commit flushes the pending lines as one tick and writes its ack line,
+	// reporting whether the ingest may continue. A dead connection doesn't
+	// stop the commit (the lines were accepted, only the ack is lost), but a
+	// failed Apply does: the handle is unwritable or its durable tier has
+	// latched fail-stop, so every further tick would fail identically.
 	alive := true
-	commit := func() {
+	commit := func() bool {
 		if len(pending) == 0 {
-			return
+			return true
 		}
 		batch := pending
 		pending = nil
@@ -141,13 +147,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			if alive {
 				alive = s.writeStreamLine(w, flusher, StreamTick{Error: err.Error()})
 			}
-			return
+			return false
 		}
 		s.stats.streamTicks.Add(1)
 		s.stats.streamLines.Add(int64(len(batch)))
 		s.stats.mutations.Add(int64(res.Applied))
 		if !alive {
-			return
+			return true
 		}
 		tick := StreamTick{Epoch: res.Epoch, Applied: res.Applied,
 			Results: make([]StreamResult, len(res.Results))}
@@ -159,12 +165,15 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			tick.Results[i] = sr
 		}
 		alive = s.writeStreamLine(w, flusher, tick)
+		return true
 	}
 
 	// A max_batch of 1 commits the synchronously-read first line before the
 	// loop even starts.
 	if len(pending) >= maxBatch {
-		commit()
+		if !commit() {
+			return
+		}
 	}
 
 	// The tick timer runs only while a tick is open: it arms when the first
@@ -205,10 +214,14 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			}
 			pending = append(pending, msg.mut)
 			if len(pending) >= maxBatch {
-				commit()
+				if !commit() {
+					return
+				}
 			}
 		case <-timer.C:
-			commit()
+			if !commit() {
+				return
+			}
 		case <-s.closed:
 			commit() // server shutdown: accepted lines still commit
 			return

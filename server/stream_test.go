@@ -417,3 +417,82 @@ func TestStreamWithConcurrentWatchers(t *testing.T) {
 		t.Fatalf("stream counters %+v, want 8 lines", stats.Stream)
 	}
 }
+
+// TestStreamApplyFailureEndsIngest pins the fail-stop contract for
+// Apply-level errors (as opposed to per-member or per-line failures): once
+// the handle's durable tier refuses writes, every later tick would fail the
+// same way, so the stream must emit exactly one terminal error line and end
+// — not one error line per tick window for the rest of the feed.
+func TestStreamApplyFailureEndsIngest(t *testing.T) {
+	db, err := connquery.OpenDurable(t.TempDir(),
+		connquery.WithBootstrapData([]connquery.Point{connquery.Pt(10, 40)}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, base := newTestServer(t, db, server.Config{})
+
+	u, err := url.Parse(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", u.Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	chunk := func(s string) string { return fmt.Sprintf("%x\r\n%s\r\n", len(s), s) }
+	_, err = io.WriteString(conn,
+		"POST /v1/stream?tick_ms=10000&max_batch=1 HTTP/1.1\r\n"+
+			"Host: "+u.Host+"\r\n"+
+			"Content-Type: application/x-ndjson\r\n"+
+			"Transfer-Encoding: chunked\r\n"+
+			"\r\n"+
+			chunk(insLine(63, 5)+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no ack for the first tick: %v", sc.Err())
+	}
+	var first server.StreamTick
+	if err := json.Unmarshal(sc.Bytes(), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Error != "" || first.Applied != 1 {
+		t.Fatalf("first tick did not commit: %+v", first)
+	}
+
+	// Latch the handle under the live stream, then feed two more lines. The
+	// first fails its Apply and must end the ingest; the second must never
+	// produce a response line.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(conn,
+		chunk(insLine(64, 5)+"\n")+chunk(insLine(65, 5)+"\n")+"0\r\n\r\n"); err != nil {
+		t.Fatal(err)
+	}
+	var tail []server.StreamTick
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var tk server.StreamTick
+		if err := json.Unmarshal(sc.Bytes(), &tk); err != nil {
+			t.Fatalf("bad stream response line %q: %v", sc.Text(), err)
+		}
+		tail = append(tail, tk)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 1 || tail[0].Error == "" {
+		t.Fatalf("want exactly one terminal error line after the handle latched, got %+v", tail)
+	}
+}
